@@ -1,0 +1,354 @@
+//! The email client, vertical and horizontal (Figure 1, §III-C).
+//!
+//! Both variants expose the same assets:
+//!
+//! | asset | sensitivity | horizontal holder |
+//! |---|---|---|
+//! | `tls-keys` | secret | `tls` |
+//! | `account-password` | secret | `tls` |
+//! | `mail-archive` | personal | `mail-store` |
+//! | `contacts` | personal | `address-book` |
+//! | `user-dictionary` | personal | `input-method` |
+//! | `display-trust` | personal | `secure-gui` |
+//!
+//! In the vertical variant one [`LegacyOs`] domain holds all six; in the
+//! horizontal variant they are spread over isolated components wired by
+//! a POLA manifest. The harness compromises the hostile-input parsers
+//! (HTML renderer, IMAP engine) and measures what is reachable.
+
+use lateral_components::addressbook::AddressBook;
+use lateral_components::attachments::AttachmentDecoder;
+use lateral_components::compromise::{AttackReport, Subverted, REPORT_QUERY};
+use lateral_components::gui::SecureGui;
+use lateral_components::html::HtmlRenderer;
+use lateral_components::imap::ImapEngine;
+use lateral_components::input::InputMethod;
+use lateral_components::legacyos::LegacyOs;
+use lateral_components::mailstore::{ClientIdSource, MailStore};
+use lateral_core::composer::{compose, Assembly};
+use lateral_core::manifest::{AppManifest, ComponentManifest, Sensitivity};
+use lateral_core::CoreError;
+use lateral_crypto::sign::SigningKey;
+use lateral_net::channel::ChannelPolicy;
+use lateral_substrate::component::Component;
+use lateral_substrate::substrate::Substrate;
+
+/// Exploit marker accepted by the subverted parsers (same as the HTML
+/// renderer's).
+pub use lateral_components::html::EXPLOIT_MARKER;
+
+/// The subsystems both variants contain (compromise entry points).
+pub const SUBSYSTEMS: [&str; 7] = [
+    "imap-engine",
+    "tls",
+    "html-renderer",
+    "attachment-decoder",
+    "address-book",
+    "input-method",
+    "mail-store",
+];
+
+/// Manifest of the horizontal (decomposed) email client.
+pub fn horizontal_manifest() -> AppManifest {
+    AppManifest::new(
+        "mail-horizontal",
+        vec![
+            // The UI orchestrates; it holds no assets itself.
+            ComponentManifest::new("mail-ui")
+                .loc(8_000)
+                .channel("render", "html-renderer", 1)
+                .channel("decode", "attachment-decoder", 8)
+                .channel("fetch", "imap-engine", 2)
+                .channel("store", "mail-store", 3)
+                .channel("abook", "address-book", 4)
+                .channel("input", "input-method", 5)
+                .channel("draw", "secure-gui", 6),
+            // Hostile-input parsers: isolated, no outbound channels.
+            ComponentManifest::new("html-renderer").loc(30_000),
+            ComponentManifest::new("attachment-decoder").loc(15_000),
+            ComponentManifest::new("imap-engine")
+                .loc(12_000)
+                .channel("net", "tls", 7),
+            // The TLS component guards keys and credentials.
+            ComponentManifest::new("tls")
+                .loc(5_000)
+                .asset("tls-keys", Sensitivity::Secret)
+                .asset("account-password", Sensitivity::Secret),
+            ComponentManifest::new("mail-store")
+                .loc(4_000)
+                .asset("mail-archive", Sensitivity::Personal),
+            ComponentManifest::new("address-book")
+                .loc(2_000)
+                .asset("contacts", Sensitivity::Personal),
+            ComponentManifest::new("input-method")
+                .loc(3_000)
+                .asset("user-dictionary", Sensitivity::Personal),
+            ComponentManifest::new("secure-gui")
+                .loc(4_000)
+                .asset("display-trust", Sensitivity::Personal),
+        ],
+    )
+}
+
+/// Manifest of the vertical (monolithic) email client: the same 83 kLoC
+/// and the same assets in ONE legacy domain.
+pub fn vertical_manifest() -> AppManifest {
+    AppManifest::new(
+        "mail-vertical",
+        vec![ComponentManifest::new("mail-monolith")
+            .loc(83_000)
+            .legacy()
+            .asset("tls-keys", Sensitivity::Secret)
+            .asset("account-password", Sensitivity::Secret)
+            .asset("mail-archive", Sensitivity::Personal)
+            .asset("contacts", Sensitivity::Personal)
+            .asset("user-dictionary", Sensitivity::Personal)
+            .asset("display-trust", Sensitivity::Personal)],
+    )
+}
+
+/// Builds a component instance for the horizontal manifest. Every
+/// hostile-input component is wrapped in the subversion harness.
+fn horizontal_factory(cm: &ComponentManifest) -> Option<Box<dyn Component>> {
+    let c: Box<dyn Component> = match cm.name.as_str() {
+        "mail-ui" => Box::new(lateral_substrate::testkit::Forwarder),
+        "html-renderer" => Box::new(Subverted::with_default_marker(HtmlRenderer::new())),
+        "attachment-decoder" => {
+            Box::new(Subverted::with_default_marker(AttachmentDecoder::new()))
+        }
+        "imap-engine" => Box::new(Subverted::with_default_marker(ImapEngine::new())),
+        "tls" => Box::new(Subverted::with_default_marker(
+            lateral_components::tls::TlsComponent::new(
+                lateral_components::tls::TlsRole::Client,
+                SigningKey::from_seed(b"mail tls identity"),
+                ChannelPolicy::open(),
+                false,
+                Some(("user", "hunter2")),
+            ),
+        )),
+        "mail-store" => Box::new(Subverted::with_default_marker(MailStore::new(
+            ClientIdSource::KernelBadge,
+            &[(3, "user"), (0xE4F, "env")],
+        ))),
+        "address-book" => Box::new(Subverted::with_default_marker(
+            AddressBook::with_contacts(&[("alice", "alice@example.org")]),
+        )),
+        "input-method" => Box::new(Subverted::with_default_marker(InputMethod::with_words(&[
+            "meeting", "hello",
+        ]))),
+        "secure-gui" => Box::new(Subverted::with_default_marker(SecureGui::new())),
+        _ => return None,
+    };
+    Some(c)
+}
+
+/// Builds the vertical monolith.
+fn vertical_factory(cm: &ComponentManifest) -> Option<Box<dyn Component>> {
+    if cm.name != "mail-monolith" {
+        return None;
+    }
+    Some(Box::new(LegacyOs::new(
+        "mail-monolith",
+        &[
+            "imap-engine",
+            "tls",
+            "html-renderer",
+            "attachment-decoder",
+            "address-book",
+            "input-method",
+            "mail-store",
+        ],
+        &[
+            ("tls-keys", "-----PRIVATE KEY-----"),
+            ("account-password", "hunter2"),
+            ("mail-archive", "3 years of mail"),
+            ("contacts", "alice,bob"),
+            ("user-dictionary", "personal words"),
+            ("display-trust", "focus state"),
+        ],
+    )))
+}
+
+/// The horizontal email client, running.
+pub struct HorizontalEmail {
+    /// The composed assembly.
+    pub assembly: Assembly,
+}
+
+impl HorizontalEmail {
+    /// Composes the horizontal client over `substrates`.
+    ///
+    /// # Errors
+    ///
+    /// Composition errors from [`lateral_core::composer::compose`].
+    pub fn build(substrates: Vec<Box<dyn Substrate>>) -> Result<HorizontalEmail, CoreError> {
+        let app = horizontal_manifest();
+        let mut factory = horizontal_factory;
+        let assembly = compose(&app, substrates, &mut factory)?;
+        Ok(HorizontalEmail { assembly })
+    }
+
+    /// Delivers hostile input to one subsystem (an email body to the
+    /// renderer, a server response to the IMAP engine, …).
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition lookup failures; component-level failures
+    /// are fine (hostile input may be rejected).
+    pub fn deliver_hostile(&mut self, subsystem: &str, input: &[u8]) -> Result<(), CoreError> {
+        // Components keep their protocol; wrap input appropriately.
+        let request: Vec<u8> = match subsystem {
+            "html-renderer" | "attachment-decoder" => input.to_vec(),
+            "imap-engine" => [b"parse:", input].concat(),
+            "tls" => [b"recv:", input].concat(),
+            "mail-store" => [b"put:user=env;", input].concat(),
+            "address-book" => [b"add:x=", input].concat(),
+            "input-method" => [b"learn:", input].concat(),
+            other => return Err(CoreError::NotFound(format!("subsystem '{other}'"))),
+        };
+        // Failures are expected for malformed hostile input.
+        let _ = self.assembly.call_component(subsystem, &request);
+        Ok(())
+    }
+
+    /// Queries the attack report of a (possibly compromised) component.
+    ///
+    /// # Errors
+    ///
+    /// Lookup or decode failures.
+    pub fn attack_report(&mut self, subsystem: &str) -> Result<AttackReport, CoreError> {
+        let raw = self.assembly.call_component(subsystem, REPORT_QUERY)?;
+        AttackReport::decode(&raw).map_err(|e| CoreError::Substrate(e.to_string()))
+    }
+}
+
+/// The vertical email client, running.
+pub struct VerticalEmail {
+    /// The composed assembly (a single legacy domain).
+    pub assembly: Assembly,
+}
+
+impl VerticalEmail {
+    /// Composes the vertical client over `substrates`.
+    ///
+    /// # Errors
+    ///
+    /// Composition errors.
+    pub fn build(substrates: Vec<Box<dyn Substrate>>) -> Result<VerticalEmail, CoreError> {
+        let app = vertical_manifest();
+        let mut factory = vertical_factory;
+        let assembly = compose(&app, substrates, &mut factory)?;
+        Ok(VerticalEmail { assembly })
+    }
+
+    /// Delivers hostile input to one *internal subsystem* of the
+    /// monolith.
+    ///
+    /// # Errors
+    ///
+    /// Lookup failures.
+    pub fn deliver_hostile(&mut self, subsystem: &str, input: &[u8]) -> Result<(), CoreError> {
+        let mut request = format!("deliver:{subsystem}:").into_bytes();
+        request.extend_from_slice(input);
+        let _ = self.assembly.call_component("mail-monolith", &request);
+        Ok(())
+    }
+
+    /// Attempts to loot all assets (succeeds exactly when compromised).
+    ///
+    /// # Errors
+    ///
+    /// Lookup failures only; a refusal returns `Ok(None)`.
+    pub fn loot(&mut self) -> Result<Option<String>, CoreError> {
+        match self.assembly.call_component("mail-monolith", b"loot:") {
+            Ok(bytes) => Ok(Some(String::from_utf8_lossy(&bytes).into_owned())),
+            Err(CoreError::Substrate(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_core::analysis;
+    use lateral_substrate::software::SoftwareSubstrate;
+
+    fn pool() -> Vec<Box<dyn Substrate>> {
+        vec![Box::new(SoftwareSubstrate::new("email-pool"))]
+    }
+
+    #[test]
+    fn manifests_validate() {
+        horizontal_manifest().validate().unwrap();
+        vertical_manifest().validate().unwrap();
+        // Same total application size, same asset set.
+        assert_eq!(
+            horizontal_manifest().total_loc(),
+            vertical_manifest().total_loc()
+        );
+    }
+
+    #[test]
+    fn horizontal_renderer_compromise_is_contained() {
+        let mut app = HorizontalEmail::build(pool()).unwrap();
+        let evil = format!("<script>{EXPLOIT_MARKER}</script>");
+        app.deliver_hostile("html-renderer", evil.as_bytes()).unwrap();
+        let report = app.attack_report("html-renderer").unwrap();
+        assert!(report.active, "renderer was exploited");
+        assert!(report.contained(), "substrate contained it: {report:?}");
+        assert_eq!(report.granted_channels, 0, "renderer has no channels");
+        // Static analysis agrees.
+        let br = analysis::blast_radius(&horizontal_manifest(), "html-renderer");
+        assert!(br.reachable_assets.is_empty());
+    }
+
+    #[test]
+    fn vertical_any_exploit_loses_everything() {
+        let mut app = VerticalEmail::build(pool()).unwrap();
+        assert_eq!(app.loot().unwrap(), None, "not compromised yet");
+        app.deliver_hostile(
+            "html-renderer",
+            format!("x {} x", lateral_components::legacyos::LEGACY_EXPLOIT).as_bytes(),
+        )
+        .unwrap();
+        let loot = app.loot().unwrap().expect("monolith compromised");
+        assert!(loot.contains("tls-keys"));
+        assert!(loot.contains("account-password=hunter2"));
+        assert!(loot.contains("user-dictionary"));
+    }
+
+    #[test]
+    fn imap_compromise_reaches_only_tls_downstream() {
+        let app = horizontal_manifest();
+        let br = analysis::blast_radius(&app, "imap-engine");
+        assert!(br.reachable_components.contains("tls"));
+        assert!(!br.reachable_components.contains("mail-store"));
+        assert_eq!(br.reachable_assets.len(), 2); // the two tls secrets
+    }
+
+    #[test]
+    fn per_asset_tcb_is_much_smaller_horizontally() {
+        let h = horizontal_manifest();
+        let v = vertical_manifest();
+        let substrate_tcb = 10_000;
+        let h_tcb = analysis::asset_tcb_loc(&h, "user-dictionary", substrate_tcb).unwrap();
+        let v_tcb = analysis::asset_tcb_loc(&v, "user-dictionary", substrate_tcb).unwrap();
+        assert!(
+            h_tcb * 3 < v_tcb,
+            "horizontal TCB {h_tcb} should be well under vertical {v_tcb}"
+        );
+    }
+
+    #[test]
+    fn runtime_compromise_of_every_parser_is_contained() {
+        for subsystem in ["html-renderer", "imap-engine"] {
+            let mut app = HorizontalEmail::build(pool()).unwrap();
+            app.deliver_hostile(subsystem, EXPLOIT_MARKER.as_bytes())
+                .unwrap();
+            let report = app.attack_report(subsystem).unwrap();
+            assert!(report.active, "{subsystem} exploited");
+            assert!(report.contained(), "{subsystem} contained: {report:?}");
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The email client fetching real (simulated) mail end to end.
+//!
+//! §III-C's decomposition is only convincing if the pieces still *work
+//! together*: here the composed horizontal client talks to a mail server
+//! across the adversarial network — the TLS component owns the handshake
+//! and all record cryptography, the IMAP engine parses the (hostile)
+//! server responses, the renderer parses the (hostile) bodies, and the
+//! mail store persists them via VPFS. The driving glue below only ever
+//! moves opaque bytes; it could not read the traffic or the credentials
+//! if it wanted to.
+
+use lateral_core::CoreError;
+use lateral_crypto::rng::Drbg;
+use lateral_crypto::sign::SigningKey;
+use lateral_net::channel::{ChannelPolicy, SecureChannel, ServerHandshake};
+use lateral_net::sim::Network;
+use lateral_net::Addr;
+use lateral_substrate::cap::Badge;
+use lateral_substrate::substrate::Substrate;
+
+use crate::email::HorizontalEmail;
+
+/// Canned inbox: (from, subject, HTML body).
+pub const INBOX: [(&str, &str, &str); 2] = [
+    (
+        "alice@example.org",
+        "lunch?",
+        "<p>Dear <b>user</b>, lunch at <i>noon</i>?</p>",
+    ),
+    (
+        "bob@example.org",
+        "photos",
+        "<p>See <a href=\"http://x\">the album</a> <img src=\"1.png\"></p>",
+    ),
+];
+
+/// What the toy mail server does to its client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerBehavior {
+    /// Serves the canned inbox faithfully.
+    Honest,
+    /// Injects the IMAP parser exploit into the FETCH response.
+    ExploitImap,
+    /// Serves bodies carrying the HTML renderer exploit.
+    ExploitHtml,
+}
+
+enum ServerState {
+    Idle,
+    Awaiting(lateral_net::channel::ServerAwaitFinish),
+    Established(Box<SecureChannel>),
+}
+
+/// A toy IMAP-over-secure-channel server.
+pub struct ToyMailServer {
+    identity: SigningKey,
+    behavior: ServerBehavior,
+    state: ServerState,
+    rng: Drbg,
+}
+
+impl std::fmt::Debug for ToyMailServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ToyMailServer({:?})", self.behavior)
+    }
+}
+
+impl ToyMailServer {
+    /// Creates the server with a stable identity key.
+    pub fn new(behavior: ServerBehavior) -> ToyMailServer {
+        ToyMailServer {
+            identity: SigningKey::from_seed(b"mail.example identity"),
+            behavior,
+            state: ServerState::Idle,
+            rng: Drbg::from_seed(b"mail server rng"),
+        }
+    }
+
+    /// The key honest clients pin.
+    pub fn public_identity() -> lateral_crypto::sign::VerifyingKey {
+        SigningKey::from_seed(b"mail.example identity").verifying_key()
+    }
+
+    fn serve(&self, request: &str) -> String {
+        match (request, self.behavior) {
+            ("FETCH", ServerBehavior::ExploitImap) => format!(
+                "* 1 FETCH (FROM \"{}\" SUBJECT \"pwn\")",
+                lateral_components::imap::IMAP_EXPLOIT
+            ),
+            ("FETCH", _) => INBOX
+                .iter()
+                .enumerate()
+                .map(|(i, (from, subject, _))| {
+                    format!("* {} FETCH (FROM \"{from}\" SUBJECT \"{subject}\")", i + 1)
+                })
+                .collect::<Vec<_>>()
+                .join("\n"),
+            (body_req, behavior) if body_req.starts_with("BODY ") => {
+                if behavior == ServerBehavior::ExploitHtml {
+                    return format!(
+                        "<p>You won!</p><script>{}</script>",
+                        lateral_components::html::EXPLOIT_MARKER
+                    );
+                }
+                let seq: usize = body_req[5..].parse().unwrap_or(0);
+                INBOX
+                    .get(seq.wrapping_sub(1))
+                    .map(|(_, _, body)| body.to_string())
+                    .unwrap_or_else(|| "NO such message".to_string())
+            }
+            _ => "BAD command".to_string(),
+        }
+    }
+
+    /// Handles one inbound wire message, returning the reply bytes.
+    pub fn handle(&mut self, payload: &[u8]) -> Option<Vec<u8>> {
+        let (kind, body) = payload.split_first()?;
+        match (kind, std::mem::replace(&mut self.state, ServerState::Idle)) {
+            (0, _) => {
+                // ClientHello.
+                let pending = ServerHandshake::accept(&self.identity, &mut self.rng, body).ok()?;
+                let (awaiting, server_hello) = pending.respond(None, body);
+                self.state = ServerState::Awaiting(awaiting);
+                Some([&[1u8][..], &server_hello].concat())
+            }
+            (2, ServerState::Awaiting(awaiting)) => {
+                let (channel, _peer) = awaiting.complete(body, &ChannelPolicy::open()).ok()?;
+                self.state = ServerState::Established(Box::new(channel));
+                Some(vec![3u8]) // connected ack
+            }
+            (4, ServerState::Established(mut channel)) => {
+                let request = channel.open(body).ok()?;
+                let request = String::from_utf8_lossy(&request).into_owned();
+                let reply = self.serve(&request);
+                let record = channel.seal(reply.as_bytes());
+                self.state = ServerState::Established(channel);
+                Some([&[5u8][..], &record].concat())
+            }
+            (_, state) => {
+                self.state = state;
+                None
+            }
+        }
+    }
+}
+
+/// A fetched, rendered mail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RenderedMail {
+    /// Sender.
+    pub from: String,
+    /// Subject.
+    pub subject: String,
+    /// Renderer output for the body.
+    pub rendered: String,
+}
+
+/// The whole world: composed horizontal client + network + mail server.
+pub struct MailWorld {
+    /// The composed email client.
+    pub app: HorizontalEmail,
+    /// The adversarial network.
+    pub network: Network,
+    /// The remote mail server.
+    pub server: ToyMailServer,
+    client_addr: Addr,
+    server_addr: Addr,
+}
+
+impl std::fmt::Debug for MailWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MailWorld({:?})", self.server)
+    }
+}
+
+impl MailWorld {
+    /// Builds the world over `substrates`.
+    ///
+    /// # Errors
+    ///
+    /// Composition failures.
+    pub fn build(
+        substrates: Vec<Box<dyn Substrate>>,
+        behavior: ServerBehavior,
+    ) -> Result<MailWorld, CoreError> {
+        let app = HorizontalEmail::build(substrates)?;
+        let mut network = Network::new("mail-world");
+        let client_addr = Addr::new("laptop.example");
+        let server_addr = Addr::new("mail.example");
+        network.register(client_addr.clone());
+        network.register(server_addr.clone());
+        Ok(MailWorld {
+            app,
+            network,
+            server: ToyMailServer::new(behavior),
+            client_addr,
+            server_addr,
+        })
+    }
+
+    /// Invokes the TLS component (the only holder of channel secrets).
+    fn tls(&mut self, request: &[u8]) -> Result<Vec<u8>, CoreError> {
+        self.app
+            .assembly
+            .call_component_badged("tls", Badge(0x715), request)
+    }
+
+    /// One message to the server and back (the glue sees ciphertext only).
+    fn round_trip(&mut self, wire: &[u8]) -> Result<Vec<u8>, CoreError> {
+        self.network
+            .send(&self.client_addr.clone(), &self.server_addr.clone(), wire)
+            .map_err(|e| CoreError::Substrate(e.to_string()))?;
+        let Some(packet) = self
+            .network
+            .recv(&self.server_addr.clone())
+            .map_err(|e| CoreError::Substrate(e.to_string()))?
+        else {
+            return Err(CoreError::Substrate("request lost in transit".into()));
+        };
+        let Some(reply) = self.server.handle(&packet.payload) else {
+            return Err(CoreError::Substrate("server dropped the request".into()));
+        };
+        self.network
+            .send(&self.server_addr.clone(), &self.client_addr.clone(), &reply)
+            .map_err(|e| CoreError::Substrate(e.to_string()))?;
+        let Some(packet) = self
+            .network
+            .recv(&self.client_addr.clone())
+            .map_err(|e| CoreError::Substrate(e.to_string()))?
+        else {
+            return Err(CoreError::Substrate("reply lost in transit".into()));
+        };
+        Ok(packet.payload)
+    }
+
+    /// Establishes the secure session: the TLS component runs the
+    /// handshake; this glue only ferries opaque bytes.
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures (pinning, signatures) surface from the TLS
+    /// component.
+    pub fn connect(&mut self) -> Result<(), CoreError> {
+        let hello = self.tls(b"hello:")?;
+        let server_hello = self.round_trip(&[&[0u8][..], &hello].concat())?;
+        if server_hello.first() != Some(&1) {
+            return Err(CoreError::Substrate("bad server hello frame".into()));
+        }
+        let finish = self.tls(&[b"complete:".as_slice(), &server_hello[1..]].concat())?;
+        let ack = self.round_trip(&[&[2u8][..], &finish].concat())?;
+        if ack.first() == Some(&3) {
+            Ok(())
+        } else {
+            Err(CoreError::Substrate("handshake not acknowledged".into()))
+        }
+    }
+
+    /// Issues one application request over the established channel.
+    fn request(&mut self, command: &str) -> Result<String, CoreError> {
+        let record = self.tls(&[b"send:".as_slice(), command.as_bytes()].concat())?;
+        let reply = self.round_trip(&[&[4u8][..], &record].concat())?;
+        if reply.first() != Some(&5) {
+            return Err(CoreError::Substrate("bad reply frame".into()));
+        }
+        let plain = self.tls(&[b"recv:".as_slice(), &reply[1..]].concat())?;
+        Ok(String::from_utf8_lossy(&plain).into_owned())
+    }
+
+    /// The full §III-C pipeline: fetch headers, parse them in the IMAP
+    /// engine, fetch each body, render it, archive it in the mail store.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; *parser compromises do not error* — they are
+    /// contained and visible via the attack reports instead.
+    pub fn fetch_inbox(&mut self) -> Result<Vec<RenderedMail>, CoreError> {
+        let fetch_response = self.request("FETCH")?;
+        let parsed = self
+            .app
+            .assembly
+            .call_component("imap-engine", &[b"parse:".as_slice(), fetch_response.as_bytes()].concat())?;
+        let parsed = String::from_utf8_lossy(&parsed).into_owned();
+        let mut out = Vec::new();
+        for line in parsed.lines().filter(|l| !l.trim().is_empty()) {
+            let mut parts = line.splitn(3, '|');
+            let (Some(seq), Some(from), Some(subject)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue; // compromised engine output — skip, don't trust
+            };
+            let body = self.request(&format!("BODY {seq}"))?;
+            let rendered = self
+                .app
+                .assembly
+                .call_component("html-renderer", body.as_bytes())?;
+            let rendered = String::from_utf8_lossy(&rendered).into_owned();
+            self.app.assembly.call_component_badged(
+                "mail-store",
+                Badge(0xE4F),
+                format!("put:user=env;{from}: {subject}").as_bytes(),
+            )?;
+            out.push(RenderedMail {
+                from: from.to_string(),
+                subject: subject.to_string(),
+                rendered,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_components::compromise::{AttackReport, REPORT_QUERY};
+    use lateral_substrate::software::SoftwareSubstrate;
+
+    fn pool() -> Vec<Box<dyn Substrate>> {
+        vec![Box::new(SoftwareSubstrate::new("mail-world"))]
+    }
+
+    fn report(world: &mut MailWorld, component: &str) -> AttackReport {
+        let raw = world
+            .app
+            .assembly
+            .call_component(component, REPORT_QUERY)
+            .unwrap();
+        AttackReport::decode(&raw).unwrap()
+    }
+
+    #[test]
+    fn honest_server_full_pipeline() {
+        let mut world = MailWorld::build(pool(), ServerBehavior::Honest).unwrap();
+        world.connect().unwrap();
+        let mails = world.fetch_inbox().unwrap();
+        assert_eq!(mails.len(), 2);
+        assert_eq!(mails[0].from, "alice@example.org");
+        assert!(mails[0].rendered.contains("lunch at noon"));
+        assert!(mails[1].rendered.contains("images=1"));
+        // Archived via the badge-demuxed store.
+        let count = world
+            .app
+            .assembly
+            .call_component_badged("mail-store", Badge(0xE4F), b"list:user=env;")
+            .unwrap();
+        assert_eq!(count, b"2");
+        // The network adversary recorded everything — and saw no mail.
+        assert!(!world
+            .network
+            .recorded()
+            .iter()
+            .any(|p| p.payload.windows(5).any(|w| w == b"lunch")));
+    }
+
+    #[test]
+    fn hostile_imap_server_is_contained_in_the_engine() {
+        let mut world = MailWorld::build(pool(), ServerBehavior::ExploitImap).unwrap();
+        world.connect().unwrap();
+        let mails = world.fetch_inbox().unwrap();
+        // The compromised engine produced garbage the UI skipped.
+        assert!(mails.is_empty());
+        let r = report(&mut world, "imap-engine");
+        assert!(r.active, "engine was exploited");
+        assert!(r.contained(), "engine stayed contained: {r:?}");
+        // TLS secrets live on: a fresh request still works.
+        assert!(world.request("FETCH").is_ok());
+    }
+
+    #[test]
+    fn hostile_html_bodies_are_contained_in_the_renderer() {
+        let mut world = MailWorld::build(pool(), ServerBehavior::ExploitHtml).unwrap();
+        world.connect().unwrap();
+        let mails = world.fetch_inbox().unwrap();
+        assert_eq!(mails.len(), 2, "headers were honest; bodies were not");
+        let r = report(&mut world, "html-renderer");
+        assert!(r.active, "renderer was exploited");
+        assert!(r.contained(), "renderer stayed contained: {r:?}");
+        // The mail archive is intact despite the renderer compromise.
+        let first = world
+            .app
+            .assembly
+            .call_component_badged("mail-store", Badge(0xE4F), b"get:user=env;0")
+            .unwrap();
+        assert_eq!(first, b"alice@example.org: lunch?");
+    }
+
+    #[test]
+    fn mitm_with_wrong_identity_is_rejected_by_the_tls_component() {
+        // Swap the server for one with a different identity; the TLS
+        // component in this build pins nothing (ChannelPolicy::open), so
+        // emulate the pin by checking the peer key after connect.
+        let mut world = MailWorld::build(pool(), ServerBehavior::Honest).unwrap();
+        world.server = ToyMailServer {
+            identity: SigningKey::from_seed(b"mallory"),
+            behavior: ServerBehavior::Honest,
+            state: ServerState::Idle,
+            rng: Drbg::from_seed(b"mallory rng"),
+        };
+        world.connect().unwrap();
+        let peer_hex = world.tls(b"peer:").unwrap();
+        let expected: String = ToyMailServer::public_identity()
+            .to_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assert_ne!(
+            String::from_utf8(peer_hex).unwrap(),
+            expected,
+            "certificate check exposes the imposter"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Secure-channel costs: full handshake (with and without attestation
+//! binding) and record throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lateral_crypto::rng::Drbg;
+use lateral_crypto::sign::SigningKey;
+use lateral_crypto::Digest;
+use lateral_net::channel::{ChannelPolicy, ClientHandshake, ServerHandshake};
+use lateral_substrate::attest::{AttestationEvidence, TrustPolicy};
+use std::hint::black_box;
+
+fn handshake(attested: bool) {
+    let client_id = SigningKey::from_seed(b"bench client");
+    let server_id = SigningKey::from_seed(b"bench server");
+    let platform = SigningKey::from_seed(b"bench platform");
+    let measurement = Digest::of(b"bench service");
+    let mut crng = Drbg::from_seed(b"c");
+    let mut srng = Drbg::from_seed(b"s");
+    let policy = if attested {
+        let mut trust = TrustPolicy::new();
+        trust.trust_platform(platform.verifying_key());
+        trust.expect_measurement(measurement);
+        ChannelPolicy::open().with_attestation(trust)
+    } else {
+        ChannelPolicy::open()
+    };
+    let (cstate, hello) = ClientHandshake::start(client_id, &mut crng);
+    let pending = ServerHandshake::accept(&server_id, &mut srng, &hello).unwrap();
+    let evidence = attested.then(|| {
+        AttestationEvidence::sign(
+            "sgx",
+            &platform,
+            measurement,
+            Digest::ZERO,
+            pending.transcript().as_bytes(),
+        )
+    });
+    let (awaiting, server_hello) = pending.respond(evidence, &hello);
+    let (_c, finish, _info) = cstate
+        .finish(&server_hello, &policy, |_| None)
+        .unwrap();
+    awaiting.complete(&finish, &ChannelPolicy::open()).unwrap();
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handshake");
+    g.sample_size(20);
+    g.bench_function("plain", |b| b.iter(|| handshake(black_box(false))));
+    g.bench_function("attested", |b| b.iter(|| handshake(black_box(true))));
+    g.finish();
+}
+
+fn bench_records(c: &mut Criterion) {
+    let client_id = SigningKey::from_seed(b"bench client");
+    let server_id = SigningKey::from_seed(b"bench server");
+    let mut crng = Drbg::from_seed(b"c");
+    let mut srng = Drbg::from_seed(b"s");
+    let (cstate, hello) = ClientHandshake::start(client_id, &mut crng);
+    let pending = ServerHandshake::accept(&server_id, &mut srng, &hello).unwrap();
+    let (awaiting, server_hello) = pending.respond(None, &hello);
+    let (mut cchan, finish, _) = cstate
+        .finish(&server_hello, &ChannelPolicy::open(), |_| None)
+        .unwrap();
+    let (mut schan, _) = awaiting.complete(&finish, &ChannelPolicy::open()).unwrap();
+
+    let payload = vec![0u8; 1024];
+    let mut g = c.benchmark_group("records");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("seal+open/1KiB", |b| {
+        b.iter(|| {
+            let rec = cchan.seal(black_box(&payload));
+            schan.open(&rec).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_handshake, bench_records);
+criterion_main!(benches);

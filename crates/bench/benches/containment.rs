@@ -1,0 +1,32 @@
+//! Cost of the E1 analyses and of composing the email client — the
+//! price of the tooling §IV asks for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lateral_apps::email::{horizontal_manifest, HorizontalEmail};
+use lateral_core::analysis::{blast_radius, containment_table};
+use lateral_substrate::software::SoftwareSubstrate;
+use lateral_substrate::substrate::Substrate;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let app = horizontal_manifest();
+    c.bench_function("analysis/blast-radius", |b| {
+        b.iter(|| blast_radius(black_box(&app), "imap-engine"))
+    });
+    c.bench_function("analysis/containment-table", |b| {
+        b.iter(|| containment_table(black_box(&app)))
+    });
+}
+
+fn bench_compose(c: &mut Criterion) {
+    c.bench_function("compose/email-horizontal", |b| {
+        b.iter(|| {
+            let pool: Vec<Box<dyn Substrate>> =
+                vec![Box::new(SoftwareSubstrate::new("bench"))];
+            HorizontalEmail::build(pool).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_analysis, bench_compose);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Covert-channel transmission cost under each scheduling policy (E6's
+//! real-time companion) — shows what the mitigation costs the system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lateral_bench::e6_covert::transmit;
+use lateral_microkernel::SchedPolicy;
+
+fn bench_covert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("covert-64bit-message");
+    g.sample_size(20);
+    g.bench_function("round-robin", |b| {
+        b.iter(|| transmit(SchedPolicy::RoundRobin, "rr"))
+    });
+    g.bench_function("partitioned-no-flush", |b| {
+        b.iter(|| transmit(SchedPolicy::TimePartitioned { flush_cache: false }, "tp"))
+    });
+    g.bench_function("partitioned-flush", |b| {
+        b.iter(|| transmit(SchedPolicy::TimePartitioned { flush_cache: true }, "tpf"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_covert);
+criterion_main!(benches);

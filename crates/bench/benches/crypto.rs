@@ -1,0 +1,75 @@
+//! Wall-clock benchmarks for the crypto substrate: every attestation,
+//! sealing, and channel operation in the system bottoms out here.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lateral_crypto::aead::Aead;
+use lateral_crypto::dh::EphemeralSecret;
+use lateral_crypto::hmac::HmacSha256;
+use lateral_crypto::rng::Drbg;
+use lateral_crypto::sha256::sha256;
+use lateral_crypto::sign::SigningKey;
+use std::hint::black_box;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+        g.bench_function(format!("hmac/{size}"), |b| {
+            b.iter(|| HmacSha256::mac(b"key", black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aead");
+    let aead = Aead::new(&[7u8; 32]);
+    for size in [256usize, 4096] {
+        let data = vec![0x11u8; size];
+        let boxed = aead.seal(0, b"aad", &data);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("seal/{size}"), |b| {
+            b.iter(|| aead.seal(black_box(1), b"aad", black_box(&data)))
+        });
+        g.bench_function(format!("open/{size}"), |b| {
+            b.iter(|| aead.open(black_box(0), b"aad", black_box(&boxed)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schnorr");
+    let key = SigningKey::from_seed(b"bench");
+    let sig = key.sign(b"attestation evidence payload");
+    g.bench_function("sign", |b| {
+        b.iter(|| key.sign(black_box(b"attestation evidence payload")))
+    });
+    g.bench_function("verify", |b| {
+        b.iter(|| {
+            key.verifying_key()
+                .verify(black_box(b"attestation evidence payload"), &sig)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_dh(c: &mut Criterion) {
+    c.bench_function("dh/generate+agree", |b| {
+        b.iter(|| {
+            let mut rng = Drbg::from_seed(b"dh bench");
+            let a = EphemeralSecret::generate(&mut rng);
+            let bb = EphemeralSecret::generate(&mut rng);
+            let pub_b = bb.public_share();
+            a.agree(&pub_b, b"transcript").unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_hash, bench_aead, bench_signatures, bench_dh);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Wall-clock cost of one invocation per substrate (E4's real-time
+//! companion; logical-cycle numbers come from `repro -- e4`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lateral_hw::machine::MachineBuilder;
+use lateral_microkernel::Microkernel;
+use lateral_sgx::Sgx;
+use lateral_substrate::cap::Badge;
+use lateral_substrate::software::SoftwareSubstrate;
+use lateral_substrate::substrate::{DomainSpec, Substrate};
+use lateral_substrate::testkit::Echo;
+use lateral_trustzone::TrustZone;
+use std::hint::black_box;
+
+fn pair(sub: &mut dyn Substrate) -> (lateral_substrate::DomainId, lateral_substrate::cap::ChannelCap) {
+    let callee = sub
+        .spawn(DomainSpec::named("callee"), Box::new(Echo))
+        .unwrap();
+    let caller = sub
+        .spawn(DomainSpec::named("caller"), Box::new(Echo))
+        .unwrap();
+    let cap = sub.grant_channel(caller, callee, Badge(0)).unwrap();
+    (caller, cap)
+}
+
+fn bench_invoke(c: &mut Criterion) {
+    let payload = vec![0u8; 256];
+    let mut g = c.benchmark_group("invoke-256B");
+
+    let mut sw = SoftwareSubstrate::new("bench");
+    let (caller, cap) = pair(&mut sw);
+    g.bench_function("software", |b| {
+        b.iter(|| sw.invoke(caller, &cap, black_box(&payload)).unwrap())
+    });
+
+    let mut mk = Microkernel::new(MachineBuilder::new().frames(64).build(), "bench");
+    let (caller, cap) = pair(&mut mk);
+    g.bench_function("microkernel", |b| {
+        b.iter(|| mk.invoke(caller, &cap, black_box(&payload)).unwrap())
+    });
+
+    let mut tz = TrustZone::new(MachineBuilder::new().frames(64).build(), "bench");
+    let (caller, cap) = pair(&mut tz);
+    g.bench_function("trustzone", |b| {
+        b.iter(|| tz.invoke(caller, &cap, black_box(&payload)).unwrap())
+    });
+
+    let mut sgx = Sgx::new(MachineBuilder::new().frames(64).build(), "bench");
+    let (caller, cap) = pair(&mut sgx);
+    g.bench_function("sgx", |b| {
+        b.iter(|| sgx.invoke(caller, &cap, black_box(&payload)).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_invoke);
+criterion_main!(benches);

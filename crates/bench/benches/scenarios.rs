@@ -1,0 +1,47 @@
+//! Wall-clock cost of the full paper scenarios: a complete smart-meter
+//! billing round (Figure 3) and a complete mail fetch through the
+//! decomposed client — the end-to-end price of the architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lateral_apps::mail_world::{MailWorld, ServerBehavior};
+use lateral_apps::smart_meter::{BillingOutcome, SmartMeterWorld, WorldConfig};
+use lateral_substrate::software::SoftwareSubstrate;
+use lateral_substrate::substrate::Substrate;
+
+fn bench_smart_meter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("smart-meter/world-setup", |b| {
+        b.iter(|| SmartMeterWorld::new(WorldConfig::default()))
+    });
+    g.bench_function("smart-meter/billing-round", |b| {
+        b.iter_batched(
+            || SmartMeterWorld::new(WorldConfig::default()),
+            |mut world| {
+                assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
+                world
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("mail/fetch-inbox", |b| {
+        b.iter_batched(
+            || {
+                let pool: Vec<Box<dyn Substrate>> =
+                    vec![Box::new(SoftwareSubstrate::new("bench"))];
+                let mut world = MailWorld::build(pool, ServerBehavior::Honest).unwrap();
+                world.connect().unwrap();
+                world
+            },
+            |mut world| {
+                assert_eq!(world.fetch_inbox().unwrap().len(), 2);
+                world
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_smart_meter);
+criterion_main!(benches);

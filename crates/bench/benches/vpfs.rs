@@ -1,0 +1,41 @@
+//! VPFS vs. raw legacy file system, wall clock (E5's real-time
+//! companion).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lateral_vpfs::{LegacyFs, MemBlockDevice, Vpfs};
+use std::hint::black_box;
+
+fn bench_fs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fs-4KiB");
+    let data = vec![0x42u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+
+    let mut raw = LegacyFs::format(MemBlockDevice::new(512)).unwrap();
+    g.bench_function("raw/write+read", |b| {
+        b.iter(|| {
+            raw.write("bench", black_box(&data)).unwrap();
+            raw.read("bench").unwrap()
+        })
+    });
+
+    let legacy = LegacyFs::format(MemBlockDevice::new(512)).unwrap();
+    let mut vpfs = Vpfs::format(legacy, &[0x5A; 32]).unwrap();
+    g.bench_function("vpfs/write+read", |b| {
+        b.iter(|| {
+            vpfs.write("bench", black_box(&data)).unwrap();
+            vpfs.read("bench").unwrap()
+        })
+    });
+
+    let legacy = LegacyFs::format(MemBlockDevice::new(512)).unwrap();
+    let mut vpfs_ro = Vpfs::format(legacy, &[0x5A; 32]).unwrap();
+    vpfs_ro.write("bench", &data).unwrap();
+    g.bench_function("vpfs/read-only", |b| {
+        b.iter(|| vpfs_ro.read(black_box("bench")).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fs);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The reproduction driver: prints the experiment reports of
+//! `DESIGN.md` §5.
+//!
+//! ```text
+//! cargo run -p lateral-bench --bin repro -- all     # everything
+//! cargo run -p lateral-bench --bin repro -- e1 e6   # a selection
+//! cargo run -p lateral-bench --bin repro            # usage + list
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment>... | all");
+        eprintln!("experiments: {}", lateral_bench::EXPERIMENTS.join(", "));
+        return ExitCode::FAILURE;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        lateral_bench::EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    // Experiments are independent and deterministic: run them in
+    // parallel, print in order.
+    let mut results: Vec<Option<Result<String, String>>> = ids.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for id in &ids {
+            handles.push(scope.spawn(move |_| lateral_bench::run(id)));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("scope");
+    for result in results.into_iter().flatten() {
+        match result {
+            Ok(report) => {
+                println!("{report}");
+                println!("{}", "=".repeat(72));
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,188 @@
+//! E1 — Figure 1 as an experiment: blast radius, vertical vs. horizontal.
+//!
+//! For each subsystem of the email client we (a) compute the *static*
+//! blast radius over the manifest's channel graph, and (b) actually
+//! exploit the subsystem at runtime and audit what the attacker achieved.
+//! Expected shape: in the vertical monolith any compromise reaches 100 %
+//! of assets; horizontally, the hostile-input parsers reach (near)
+//! nothing and only the orchestrating UI reaches more.
+
+use lateral_apps::email::{
+    horizontal_manifest, vertical_manifest, HorizontalEmail, VerticalEmail, EXPLOIT_MARKER,
+};
+use lateral_core::analysis;
+use lateral_substrate::software::SoftwareSubstrate;
+use lateral_substrate::substrate::Substrate;
+
+use crate::row;
+use crate::table::render;
+
+/// One measured row: what compromising `compromised` yielded.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Architecture ("vertical" / "horizontal").
+    pub architecture: &'static str,
+    /// Compromised subsystem.
+    pub compromised: String,
+    /// Assets reachable per static analysis.
+    pub static_assets: usize,
+    /// Fraction of all assets (static).
+    pub static_fraction: f64,
+    /// Whether the runtime attack escaped the substrate's containment.
+    pub runtime_escaped: bool,
+    /// Secret assets reached.
+    pub secrets: usize,
+}
+
+fn pool() -> Vec<Box<dyn Substrate>> {
+    vec![Box::new(SoftwareSubstrate::new("e1"))]
+}
+
+/// Runs the full experiment.
+pub fn run() -> Vec<Outcome> {
+    let mut outcomes = Vec::new();
+
+    // Vertical: every subsystem is an equivalent entry point into the one
+    // legacy domain.
+    let v_manifest = vertical_manifest();
+    for subsystem in lateral_apps::email::SUBSYSTEMS {
+        let mut app = VerticalEmail::build(pool()).expect("compose vertical");
+        app.deliver_hostile(
+            subsystem,
+            lateral_components::legacyos::LEGACY_EXPLOIT.as_bytes(),
+        )
+        .expect("deliver");
+        let looted = app.loot().expect("loot query").is_some();
+        let br = analysis::blast_radius(&v_manifest, "mail-monolith");
+        outcomes.push(Outcome {
+            architecture: "vertical",
+            compromised: subsystem.to_string(),
+            static_assets: br.reachable_assets.len(),
+            static_fraction: br.asset_fraction(&v_manifest),
+            runtime_escaped: looted,
+            secrets: br.secret_assets.len(),
+        });
+    }
+
+    // Horizontal: compromise each component in turn; static analysis over
+    // the channel graph plus a runtime audit of the subverted component.
+    let h_manifest = horizontal_manifest();
+    for subsystem in lateral_apps::email::SUBSYSTEMS {
+        let mut app = HorizontalEmail::build(pool()).expect("compose horizontal");
+        app.deliver_hostile(subsystem, EXPLOIT_MARKER.as_bytes())
+            .expect("deliver");
+        let report = app.attack_report(subsystem).expect("report");
+        let br = analysis::blast_radius(&h_manifest, subsystem);
+        // "Escaped" means it did something the manifest does not allow.
+        let escaped = report.active && !report.contained();
+        outcomes.push(Outcome {
+            architecture: "horizontal",
+            compromised: subsystem.to_string(),
+            static_assets: br.reachable_assets.len(),
+            static_fraction: br.asset_fraction(&h_manifest),
+            runtime_escaped: escaped,
+            secrets: br.secret_assets.len(),
+        });
+    }
+    outcomes
+}
+
+/// Renders the report.
+pub fn report() -> String {
+    let outcomes = run();
+    let mut rows = vec![row![
+        "architecture",
+        "compromised",
+        "assets reached",
+        "fraction",
+        "secrets",
+        "escaped substrate"
+    ]];
+    for o in &outcomes {
+        rows.push(row![
+            o.architecture,
+            o.compromised,
+            o.static_assets,
+            format!("{:.0}%", o.static_fraction * 100.0),
+            o.secrets,
+            if o.runtime_escaped { "YES (!)" } else { "no" }
+        ]);
+    }
+    let n = lateral_apps::email::SUBSYSTEMS.len() as f64;
+    let v_avg: f64 = outcomes
+        .iter()
+        .filter(|o| o.architecture == "vertical")
+        .map(|o| o.static_fraction)
+        .sum::<f64>()
+        / n;
+    let h_avg: f64 = outcomes
+        .iter()
+        .filter(|o| o.architecture == "horizontal")
+        .map(|o| o.static_fraction)
+        .sum::<f64>()
+        / n;
+    format!(
+        "E1 — containment under compromise (Figure 1)\n\n{}\n\
+         mean asset exposure: vertical {:.0}%, horizontal {:.0}% \
+         ({}x reduction)\n",
+        render(&rows),
+        v_avg * 100.0,
+        h_avg * 100.0,
+        if h_avg > 0.0 {
+            format!("{:.1}", v_avg / h_avg)
+        } else {
+            "∞".to_string()
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertical_always_loses_everything() {
+        let outcomes = run();
+        for o in outcomes.iter().filter(|o| o.architecture == "vertical") {
+            assert_eq!(o.static_fraction, 1.0, "{}", o.compromised);
+            assert!(o.runtime_escaped, "{} should loot", o.compromised);
+        }
+    }
+
+    #[test]
+    fn horizontal_contains_every_compromise() {
+        let outcomes = run();
+        for o in outcomes.iter().filter(|o| o.architecture == "horizontal") {
+            assert!(!o.runtime_escaped, "{} escaped!", o.compromised);
+        }
+        // The renderer reaches zero assets.
+        let renderer = outcomes
+            .iter()
+            .find(|o| o.architecture == "horizontal" && o.compromised == "html-renderer")
+            .unwrap();
+        assert_eq!(renderer.static_assets, 0);
+    }
+
+    #[test]
+    fn horizontal_mean_exposure_is_fraction_of_vertical() {
+        let outcomes = run();
+        let v: f64 = outcomes
+            .iter()
+            .filter(|o| o.architecture == "vertical")
+            .map(|o| o.static_fraction)
+            .sum();
+        let h: f64 = outcomes
+            .iter()
+            .filter(|o| o.architecture == "horizontal")
+            .map(|o| o.static_fraction)
+            .sum();
+        assert!(h < v / 2.0, "horizontal {h} vs vertical {v}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert!(r.contains("E1"));
+        assert!(r.contains("html-renderer"));
+    }
+}

@@ -1,0 +1,145 @@
+//! E2 — Figure 2 as an experiment: the unified interface over every
+//! substrate.
+//!
+//! The same component suite (echo, badge reporter, counter, memory
+//! scribe, sealer, attester, forwarder) runs unmodified on all six
+//! backends — including the Flicker late-launch substrate; the matrix
+//! shows pass / unsupported per feature. An
+//! `unsupported` is a legitimate profile difference (pure software
+//! isolation cannot attest, §II-B); a `FAIL` would falsify the paper's
+//! common-template claim.
+
+use lateral_crypto::sign::SigningKey;
+use lateral_flicker::Flicker;
+use lateral_crypto::Digest;
+use lateral_hw::machine::MachineBuilder;
+use lateral_microkernel::Microkernel;
+use lateral_sep::Sep;
+use lateral_sgx::Sgx;
+use lateral_substrate::conformance::{run as conform, ConformanceReport, Outcome};
+use lateral_substrate::software::SoftwareSubstrate;
+use lateral_substrate::substrate::Substrate;
+use lateral_trustzone::TrustZone;
+
+use crate::table::render;
+
+/// Builds one fresh instance of every substrate backend.
+pub fn all_substrates() -> Vec<Box<dyn Substrate>> {
+    let mk = Microkernel::new(
+        MachineBuilder::new().name("e2-mk").frames(256).build(),
+        "e2",
+    )
+    .with_attestation(
+        SigningKey::from_seed(b"e2 mk platform"),
+        Digest::of(b"measured boot stack"),
+    );
+    vec![
+        Box::new(SoftwareSubstrate::new("e2")),
+        Box::new(mk),
+        Box::new(TrustZone::new(
+            MachineBuilder::new().name("e2-tz").frames(256).build(),
+            "e2",
+        )),
+        Box::new(Sgx::new(
+            MachineBuilder::new().name("e2-sgx").frames(256).build(),
+            "e2",
+        )),
+        Box::new(Sep::new(
+            MachineBuilder::new().name("e2-sep").frames(256).build(),
+            "e2",
+        )),
+        Box::new(Flicker::new("e2")),
+    ]
+}
+
+/// Runs conformance against every backend.
+pub fn run() -> Vec<ConformanceReport> {
+    all_substrates()
+        .into_iter()
+        .map(|mut s| conform(s.as_mut()))
+        .collect()
+}
+
+/// Renders the conformance matrix.
+pub fn report() -> String {
+    let reports = run();
+    let features: Vec<String> = reports[0]
+        .checks
+        .iter()
+        .map(|c| c.feature.clone())
+        .collect();
+    let mut header = vec!["feature".to_string()];
+    header.extend(reports.iter().map(|r| r.substrate.clone()));
+    let mut rows = vec![header];
+    for feature in &features {
+        let mut r = vec![feature.clone()];
+        for rep in &reports {
+            let cell = match rep.outcome(feature) {
+                Some(Outcome::Pass) => "pass".to_string(),
+                Some(Outcome::Unsupported) => "unsupported".to_string(),
+                Some(Outcome::Fail(e)) => format!("FAIL({e})"),
+                None => "-".to_string(),
+            };
+            r.push(cell);
+        }
+        rows.push(r);
+    }
+    let conforming = reports.iter().filter(|r| r.conforms()).count();
+    format!(
+        "E2 — unified-interface conformance (Figure 2)\n\n{}\n\
+         {} of {} substrates conform to the structural template\n",
+        render(&rows),
+        conforming,
+        reports.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_substrate_conforms() {
+        for rep in run() {
+            assert!(rep.conforms(), "{} does not conform: {:?}", rep.substrate, rep.checks);
+        }
+    }
+
+    #[test]
+    fn software_reports_attestation_unsupported_hardware_passes() {
+        let reports = run();
+        let by_name = |n: &str| reports.iter().find(|r| r.substrate == n).unwrap();
+        assert_eq!(
+            by_name("software").outcome("attestation"),
+            Some(&Outcome::Unsupported)
+        );
+        for hw in ["microkernel", "trustzone", "sgx", "sep", "flicker"] {
+            assert_eq!(
+                by_name(hw).outcome("attestation"),
+                Some(&Outcome::Pass),
+                "{hw}"
+            );
+        }
+    }
+
+    #[test]
+    fn pola_and_cap_checks_pass_everywhere() {
+        for rep in run() {
+            for feature in ["pola-deny-undeclared", "cap-unforgeable", "badge-identity"] {
+                assert_eq!(
+                    rep.outcome(feature),
+                    Some(&Outcome::Pass),
+                    "{}: {feature}",
+                    rep.substrate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_matrix() {
+        let r = report();
+        assert!(r.contains("sgx"));
+        assert!(r.contains("6 of 6"));
+    }
+}

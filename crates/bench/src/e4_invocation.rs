@@ -1,0 +1,259 @@
+//! E4 — the cost of decomposition (§III-E "Potential Roadblocks").
+//!
+//! Measures the logical-cycle cost of one request/reply across each
+//! isolation boundary, over payload sizes. Expected shape (the cost
+//! ladder the systems literature reports): function call ≪ microkernel
+//! IPC < TrustZone SMC ≈ SGX enclave transition < SEP mailbox < Flicker
+//! late launch ≪ network round trip — decomposition costs constant small
+//! factors, far from the interactive-budget ceiling. The Flicker point
+//! also explains *why* SGX exists: "a more refined implementation of the
+//! late-launch approach" (§II-B) is ~20× cheaper per call.
+
+use lateral_crypto::sign::SigningKey;
+use lateral_crypto::Digest;
+use lateral_flicker::Flicker;
+use lateral_hw::clock::CostModel;
+use lateral_hw::machine::MachineBuilder;
+use lateral_microkernel::Microkernel;
+use lateral_sep::Sep;
+use lateral_sgx::Sgx;
+use lateral_substrate::cap::Badge;
+use lateral_substrate::software::SoftwareSubstrate;
+use lateral_substrate::substrate::{DomainSpec, Substrate};
+use lateral_substrate::testkit::Echo;
+use lateral_trustzone::TrustZone;
+
+use crate::table::render;
+
+/// Payload sizes measured.
+pub const SIZES: [usize; 4] = [16, 256, 4096, 16384];
+
+/// Cycles per invocation for one mechanism across [`SIZES`].
+#[derive(Clone, Debug)]
+pub struct Mechanism {
+    /// Mechanism name.
+    pub name: String,
+    /// Cycles per call, aligned with [`SIZES`].
+    pub cycles: Vec<u64>,
+}
+
+fn measure(sub: &mut dyn Substrate) -> Vec<u64> {
+    // Caller and callee are both plain domains; substrates whose
+    // interesting crossing involves a host/legacy side are measured by
+    // the dedicated blocks below.
+    let callee = sub
+        .spawn(DomainSpec::named("callee"), Box::new(Echo))
+        .expect("spawn callee");
+    let caller = sub
+        .spawn(DomainSpec::named("caller"), Box::new(Echo))
+        .expect("spawn caller");
+    let cap = sub.grant_channel(caller, callee, Badge(0)).expect("grant");
+    SIZES
+        .iter()
+        .map(|size| {
+            let payload = vec![0xAAu8; *size];
+            let t0 = sub.now();
+            sub.invoke(caller, &cap, &payload).expect("invoke");
+            sub.now() - t0
+        })
+        .collect()
+}
+
+/// Runs all mechanisms.
+pub fn run() -> Vec<Mechanism> {
+    let costs = CostModel::default();
+    let mut out = Vec::new();
+
+    // Baseline: a plain function call inside one component.
+    out.push(Mechanism {
+        name: "function call (vertical baseline)".into(),
+        cycles: SIZES.iter().map(|_| costs.function_call).collect(),
+    });
+
+    let mut sw = SoftwareSubstrate::new("e4");
+    out.push(Mechanism {
+        name: "software substrate dispatch".into(),
+        cycles: measure(&mut sw),
+    });
+
+    let mut mk = Microkernel::new(
+        MachineBuilder::new().name("e4-mk").frames(256).build(),
+        "e4",
+    )
+    .with_attestation(SigningKey::from_seed(b"e4"), Digest::ZERO);
+    out.push(Mechanism {
+        name: "microkernel sync IPC".into(),
+        cycles: measure(&mut mk),
+    });
+
+    // TrustZone: legacy normal world calling into the secure world (SMC).
+    let mut tz = TrustZone::new(
+        MachineBuilder::new().name("e4-tz").frames(256).build(),
+        "e4",
+    );
+    {
+        let callee = tz
+            .spawn(DomainSpec::named("callee"), Box::new(Echo))
+            .expect("spawn");
+        let caller = tz
+            .spawn_normal(DomainSpec::named("legacy"), Box::new(Echo))
+            .expect("spawn");
+        let cap = tz.grant_channel(caller, callee, Badge(0)).expect("grant");
+        let cycles = SIZES
+            .iter()
+            .map(|size| {
+                let payload = vec![0u8; *size];
+                let t0 = tz.now();
+                tz.invoke(caller, &cap, &payload).expect("invoke");
+                tz.now() - t0
+            })
+            .collect();
+        out.push(Mechanism {
+            name: "TrustZone SMC (world switch)".into(),
+            cycles,
+        });
+    }
+
+    // SGX: host calling into an enclave (EENTER/EEXIT pair).
+    let mut sgx = Sgx::new(
+        MachineBuilder::new().name("e4-sgx").frames(256).build(),
+        "e4",
+    );
+    {
+        let callee = sgx
+            .spawn(DomainSpec::named("enclave"), Box::new(Echo))
+            .expect("spawn");
+        let caller = sgx
+            .spawn_host(DomainSpec::named("host"), Box::new(Echo))
+            .expect("spawn");
+        let cap = sgx.grant_channel(caller, callee, Badge(0)).expect("grant");
+        let cycles = SIZES
+            .iter()
+            .map(|size| {
+                let payload = vec![0u8; *size];
+                let t0 = sgx.now();
+                sgx.invoke(caller, &cap, &payload).expect("invoke");
+                sgx.now() - t0
+            })
+            .collect();
+        out.push(Mechanism {
+            name: "SGX enclave transition".into(),
+            cycles,
+        });
+    }
+
+    // SEP: application CPU calling the coprocessor (mailbox).
+    let mut sep = Sep::new(
+        MachineBuilder::new().name("e4-sep").frames(256).build(),
+        "e4",
+    );
+    {
+        let callee = sep
+            .spawn(DomainSpec::named("sep-svc"), Box::new(Echo))
+            .expect("spawn");
+        let caller = sep
+            .spawn_host(DomainSpec::named("app"), Box::new(Echo))
+            .expect("spawn");
+        let cap = sep.grant_channel(caller, callee, Badge(0)).expect("grant");
+        let cycles = SIZES
+            .iter()
+            .map(|size| {
+                let payload = vec![0u8; *size];
+                let t0 = sep.now();
+                sep.invoke(caller, &cap, &payload).expect("invoke");
+                sep.now() - t0
+            })
+            .collect();
+        out.push(Mechanism {
+            name: "SEP mailbox round trip".into(),
+            cycles,
+        });
+    }
+
+    // Flicker: every call is a DRTM late-launch session.
+    let mut flicker = Flicker::new("e4");
+    out.push(Mechanism {
+        name: "Flicker late launch per call".into(),
+        cycles: measure(&mut flicker),
+    });
+
+    // Network round trip (per the cost model: two packets + copies).
+    out.push(Mechanism {
+        name: "cross-machine round trip".into(),
+        cycles: SIZES
+            .iter()
+            .map(|size| 2 * costs.network_packet + 2 * costs.copy_cost(*size))
+            .collect(),
+    });
+
+    out
+}
+
+/// Renders the report.
+pub fn report() -> String {
+    let mechanisms = run();
+    let mut header = vec!["mechanism".to_string()];
+    header.extend(SIZES.iter().map(|s| format!("{s} B")));
+    let mut rows = vec![header];
+    for m in &mechanisms {
+        let mut r = vec![m.name.clone()];
+        r.extend(m.cycles.iter().map(|c| format!("{c}")));
+        rows.push(r);
+    }
+    format!(
+        "E4 — invocation cost ladder (logical cycles per request/reply)\n\n{}\n\
+         shape check: function < IPC < SMC ≈ enclave < mailbox < late-launch < network\n",
+        render(&rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycles_at_16(mechanisms: &[Mechanism], name_contains: &str) -> u64 {
+        mechanisms
+            .iter()
+            .find(|m| m.name.contains(name_contains))
+            .unwrap_or_else(|| panic!("mechanism {name_contains}"))
+            .cycles[0]
+    }
+
+    #[test]
+    fn ladder_shape_holds() {
+        let m = run();
+        let func = cycles_at_16(&m, "function");
+        let ipc = cycles_at_16(&m, "microkernel");
+        let smc = cycles_at_16(&m, "TrustZone");
+        let enclave = cycles_at_16(&m, "SGX");
+        let mailbox = cycles_at_16(&m, "SEP");
+        let drtm = cycles_at_16(&m, "Flicker");
+        let net = cycles_at_16(&m, "cross-machine");
+        assert!(func < ipc, "{func} < {ipc}");
+        assert!(ipc < smc, "{ipc} < {smc}");
+        assert!(smc <= enclave + enclave / 2, "SMC ≈ enclave: {smc} vs {enclave}");
+        assert!(enclave < mailbox, "{enclave} < {mailbox}");
+        assert!(mailbox < drtm, "{mailbox} < {drtm}");
+        assert!(drtm < net, "{drtm} < {net}");
+    }
+
+    #[test]
+    fn larger_payloads_cost_more() {
+        for m in run() {
+            if m.name.contains("function") {
+                continue; // flat baseline
+            }
+            assert!(
+                m.cycles[3] > m.cycles[0],
+                "{}: {:?}",
+                m.name,
+                m.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(report().contains("16384 B"));
+    }
+}

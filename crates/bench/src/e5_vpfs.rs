@@ -1,0 +1,263 @@
+//! E5 — the VPFS trusted wrapper: overhead and tamper detection.
+//!
+//! Workload: write/read files of several sizes through the raw legacy
+//! file system and through VPFS, counting block-device I/O. Then inject
+//! tampering (data corruption, object deletion, whole-device rollback)
+//! and count detections. Expected shape: VPFS costs a constant-factor
+//! I/O overhead and detects 100 % of injected tampering; the raw legacy
+//! stack detects none.
+
+use lateral_vpfs::{FsError, LegacyFs, MemBlockDevice, Vpfs};
+
+use crate::row;
+use crate::table::render;
+
+/// File sizes exercised.
+pub const SIZES: [usize; 4] = [512, 4 * 1024, 16 * 1024, 40 * 1024];
+
+/// I/O cost of one size point.
+#[derive(Clone, Debug)]
+pub struct IoPoint {
+    /// File size.
+    pub size: usize,
+    /// Raw legacy (reads, writes) for write+read of one file.
+    pub raw: (u64, u64),
+    /// VPFS (reads, writes) for the same.
+    pub vpfs: (u64, u64),
+}
+
+/// Tamper-detection outcome.
+#[derive(Clone, Debug)]
+pub struct TamperPoint {
+    /// Attack name.
+    pub attack: &'static str,
+    /// Detected by raw legacy reads?
+    pub raw_detected: bool,
+    /// Detected by VPFS?
+    pub vpfs_detected: bool,
+}
+
+fn key() -> [u8; 32] {
+    [0x5A; 32]
+}
+
+/// Measures the I/O overhead table.
+pub fn run_io() -> Vec<IoPoint> {
+    SIZES
+        .iter()
+        .map(|&size| {
+            let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            // Raw legacy.
+            let mut raw_fs = LegacyFs::format(MemBlockDevice::new(512)).expect("format");
+            let base = (
+                raw_fs.device_ref().reads(),
+                raw_fs.device_ref().writes(),
+            );
+            raw_fs.write("file", &data).expect("write");
+            let _ = raw_fs.read("file").expect("read");
+            let raw = (
+                raw_fs.device_ref().reads() - base.0,
+                raw_fs.device_ref().writes() - base.1,
+            );
+            // VPFS.
+            let legacy = LegacyFs::format(MemBlockDevice::new(512)).expect("format");
+            let mut vpfs = Vpfs::format(legacy, &key()).expect("vpfs");
+            let base = (
+                vpfs.legacy().device_ref().reads(),
+                vpfs.legacy().device_ref().writes(),
+            );
+            vpfs.write("file", &data).expect("write");
+            let _ = vpfs.read("file").expect("read");
+            let v = (
+                vpfs.legacy().device_ref().reads() - base.0,
+                vpfs.legacy().device_ref().writes() - base.1,
+            );
+            IoPoint {
+                size,
+                raw,
+                vpfs: v,
+            }
+        })
+        .collect()
+}
+
+/// Runs the tamper-detection suite.
+pub fn run_tamper() -> Vec<TamperPoint> {
+    let mut out = Vec::new();
+    let payload = b"balance: 100 EUR; keys: 0xDEADBEEF";
+
+    // --- data corruption ---------------------------------------------------
+    {
+        // Raw.
+        let mut raw_fs = LegacyFs::format(MemBlockDevice::new(256)).expect("format");
+        raw_fs.write("file", payload).expect("write");
+        let blocks = raw_fs.file_blocks("file").expect("blocks");
+        raw_fs.device().corrupt(blocks[0], 3, 0xFF).expect("corrupt");
+        // The raw stack happily returns (wrong) data: no detection.
+        let raw_detected = raw_fs.read("file").is_err();
+        // VPFS.
+        let legacy = LegacyFs::format(MemBlockDevice::new(256)).expect("format");
+        let mut vpfs = Vpfs::format(legacy, &key()).expect("vpfs");
+        vpfs.write("file", payload).expect("write");
+        let obj = vpfs
+            .legacy()
+            .list()
+            .expect("list")
+            .into_iter()
+            .find(|n| n.starts_with("obj_"))
+            .expect("object file");
+        let blocks = vpfs.legacy().file_blocks(&obj).expect("blocks");
+        vpfs.legacy().device().corrupt(blocks[0], 3, 0xFF).expect("corrupt");
+        let vpfs_detected = matches!(vpfs.read("file"), Err(FsError::IntegrityViolation(_)));
+        out.push(TamperPoint {
+            attack: "data bit-flip",
+            raw_detected,
+            vpfs_detected,
+        });
+    }
+
+    // --- object deletion ----------------------------------------------------
+    {
+        let mut raw_fs = LegacyFs::format(MemBlockDevice::new(256)).expect("format");
+        raw_fs.write("file", payload).expect("write");
+        raw_fs.remove("file").expect("attacker deletes");
+        // Deletion IS noticed by raw (NotFound) — but cannot be told apart
+        // from "never existed"; we count honest detection.
+        let raw_detected = raw_fs.read("file").is_err();
+        let legacy = LegacyFs::format(MemBlockDevice::new(256)).expect("format");
+        let mut vpfs = Vpfs::format(legacy, &key()).expect("vpfs");
+        vpfs.write("file", payload).expect("write");
+        let obj = vpfs
+            .legacy()
+            .list()
+            .expect("list")
+            .into_iter()
+            .find(|n| n.starts_with("obj_"))
+            .expect("object");
+        vpfs.legacy().remove(&obj).expect("attacker deletes");
+        let vpfs_detected = matches!(vpfs.read("file"), Err(FsError::IntegrityViolation(_)));
+        out.push(TamperPoint {
+            attack: "object deletion",
+            raw_detected,
+            vpfs_detected,
+        });
+    }
+
+    // --- whole-device rollback ----------------------------------------------
+    {
+        // Raw: roll back to an older balance — no way to notice.
+        let mut raw_fs = LegacyFs::format(MemBlockDevice::new(256)).expect("format");
+        raw_fs.write("file", b"balance: 100 EUR").expect("write");
+        let snap = raw_fs.device().snapshot();
+        raw_fs.write("file", b"balance: 5 EUR").expect("write");
+        raw_fs.device().rollback(&snap);
+        let raw_detected = match raw_fs.read("file") {
+            Ok(data) => data != b"balance: 100 EUR", // accepted stale data
+            Err(_) => true,
+        };
+        // VPFS with sealed freshness root.
+        let legacy = LegacyFs::format(MemBlockDevice::new(256)).expect("format");
+        let mut vpfs = Vpfs::format(legacy, &key()).expect("vpfs");
+        vpfs.write("file", b"balance: 100 EUR").expect("write");
+        let snap = vpfs.legacy().device().snapshot();
+        vpfs.write("file", b"balance: 5 EUR").expect("write");
+        let fresh_root = vpfs.root();
+        let mut device = vpfs.legacy().device().clone();
+        device.rollback(&snap);
+        let legacy = LegacyFs::mount(device).expect("mount");
+        let vpfs_detected = matches!(
+            Vpfs::mount(legacy, &key(), Some(fresh_root)),
+            Err(FsError::StaleRoot)
+        );
+        out.push(TamperPoint {
+            attack: "whole-device rollback",
+            raw_detected,
+            vpfs_detected,
+        });
+    }
+
+    out
+}
+
+/// Renders the report.
+pub fn report() -> String {
+    let io = run_io();
+    let mut rows = vec![row![
+        "file size",
+        "raw I/O (r+w)",
+        "VPFS I/O (r+w)",
+        "overhead"
+    ]];
+    for p in &io {
+        let raw_total = p.raw.0 + p.raw.1;
+        let vpfs_total = p.vpfs.0 + p.vpfs.1;
+        rows.push(row![
+            format!("{} B", p.size),
+            raw_total,
+            vpfs_total,
+            format!("{:.1}x", vpfs_total as f64 / raw_total.max(1) as f64)
+        ]);
+    }
+    let tampers = run_tamper();
+    let mut trows = vec![row!["attack", "raw legacy fs", "VPFS"]];
+    for t in &tampers {
+        trows.push(row![
+            t.attack,
+            if t.raw_detected { "detected" } else { "UNDETECTED" },
+            if t.vpfs_detected { "detected" } else { "UNDETECTED" }
+        ]);
+    }
+    let vpfs_rate = tampers.iter().filter(|t| t.vpfs_detected).count();
+    format!(
+        "E5 — VPFS trusted wrapper (§III-D)\n\nI/O overhead:\n{}\n\
+         tamper detection:\n{}\nVPFS detected {}/{} attacks\n",
+        render(&rows),
+        render(&trows),
+        vpfs_rate,
+        tampers.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpfs_overhead_is_bounded_constant_factor() {
+        for p in run_io() {
+            let raw = (p.raw.0 + p.raw.1).max(1);
+            let v = p.vpfs.0 + p.vpfs.1;
+            assert!(v >= raw, "VPFS cannot be cheaper ({v} < {raw})");
+            assert!(
+                v <= raw * 20,
+                "size {}: overhead blew up ({v} vs {raw})",
+                p.size
+            );
+        }
+    }
+
+    #[test]
+    fn vpfs_detects_all_tampering() {
+        for t in run_tamper() {
+            assert!(t.vpfs_detected, "VPFS missed: {}", t.attack);
+        }
+    }
+
+    #[test]
+    fn raw_misses_silent_attacks() {
+        let tampers = run_tamper();
+        let bitflip = tampers.iter().find(|t| t.attack == "data bit-flip").unwrap();
+        assert!(!bitflip.raw_detected, "raw fs should not detect bit flips");
+        let rollback = tampers
+            .iter()
+            .find(|t| t.attack == "whole-device rollback")
+            .unwrap();
+        assert!(!rollback.raw_detected);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert!(r.contains("3/3"));
+    }
+}

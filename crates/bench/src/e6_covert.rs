@@ -1,0 +1,254 @@
+//! E6 — the cache covert channel vs. temporal isolation (§II-C).
+//!
+//! A sender domain transmits a secret bitstring to a receiver domain
+//! through cache contention (prime+probe over one cache set), one bit
+//! per scheduling slot. Policies compared:
+//!
+//! * round-robin (no mitigation) — the paper's "hardware is leaky" case;
+//! * time partitioning *without* cache flush (ablation);
+//! * time partitioning *with* cache flush — the microkernel mitigation
+//!   the paper credits with "strong temporal isolation".
+//!
+//! Expected shape: ~100 % decoding accuracy unmitigated, 100 % again in
+//! the ablation (partitioning alone does nothing), and chance-level
+//! (all-probes-miss ⇒ zero extractable information) with flushing.
+
+use lateral_crypto::rng::Drbg;
+use lateral_hw::machine::MachineBuilder;
+use lateral_microkernel::{Microkernel, SchedPolicy};
+use lateral_substrate::substrate::{DomainSpec, Substrate};
+use lateral_substrate::testkit::Echo;
+
+use crate::row;
+use crate::table::render;
+
+/// Bits transmitted per trial.
+pub const MESSAGE_BITS: usize = 64;
+
+/// Result of one policy's trial.
+#[derive(Clone, Debug)]
+pub struct ChannelTrial {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Correctly decoded bits.
+    pub correct_bits: usize,
+    /// Total bits sent.
+    pub total_bits: usize,
+    /// Mutual-information style capacity estimate in bits per slot pair
+    /// (1.0 = perfect channel, 0.0 = useless).
+    pub capacity: f64,
+    /// Logical cycles consumed (mitigation cost shows up here).
+    pub cycles: u64,
+}
+
+fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+    }
+}
+
+/// Transmits a pseudo-random bitstring under `policy`; returns the trial.
+pub fn transmit(policy: SchedPolicy, name: &'static str) -> ChannelTrial {
+    let machine = MachineBuilder::new().name("e6").frames(64).build();
+    let mut kernel = Microkernel::new(machine, "e6");
+    kernel.set_sched_policy(policy);
+    let sender = kernel
+        .spawn(DomainSpec::named("sender"), Box::new(Echo))
+        .expect("spawn");
+    let receiver = kernel
+        .spawn(DomainSpec::named("receiver"), Box::new(Echo))
+        .expect("spawn");
+
+    let mut rng = Drbg::from_seed(b"e6 message");
+    let message: Vec<bool> = (0..MESSAGE_BITS).map(|_| rng.gen_bool(1, 2)).collect();
+    let target = 0x8000u64;
+    let eviction_set = kernel.machine_ref().cache.eviction_set(target);
+
+    let t0 = kernel.machine_ref().clock.now();
+    let mut decoded = Vec::with_capacity(MESSAGE_BITS);
+    for &bit in &message {
+        // Receiver primes.
+        kernel.schedule(receiver).expect("schedule");
+        kernel.cache_touch(receiver, target).expect("touch");
+        // Sender transmits by (not) evicting.
+        kernel.schedule(sender).expect("schedule");
+        if bit {
+            for &a in &eviction_set {
+                kernel.cache_touch(sender, a).expect("touch");
+            }
+        }
+        // Receiver probes: miss ⇒ 1.
+        kernel.schedule(receiver).expect("schedule");
+        let probe = kernel.cache_touch(receiver, target).expect("touch");
+        decoded.push(!probe.hit);
+    }
+    let cycles = kernel.machine_ref().clock.now() - t0;
+
+    let correct = message
+        .iter()
+        .zip(&decoded)
+        .filter(|(a, b)| a == b)
+        .count();
+    // Estimate capacity from the error rate of a binary symmetric channel.
+    // A decoder that outputs a *constant* (all misses under flushing)
+    // matches ~half the random bits but carries zero information; detect
+    // that case via the decoded distribution.
+    let ones = decoded.iter().filter(|b| **b).count();
+    let constant_output = ones == 0 || ones == decoded.len();
+    let p_err = 1.0 - correct as f64 / message.len() as f64;
+    let capacity = if constant_output {
+        0.0
+    } else {
+        (1.0 - binary_entropy(p_err)).max(0.0)
+    };
+    ChannelTrial {
+        policy: name,
+        correct_bits: correct,
+        total_bits: message.len(),
+        capacity,
+        cycles,
+    }
+}
+
+/// Transmits the same message between two SGX enclaves co-located on one
+/// CPU: no scheduler mitigation exists at all, the §II-C "hardware is
+/// leaky" case.
+pub fn transmit_sgx_colocated() -> ChannelTrial {
+    use lateral_sgx::Sgx;
+    let machine = MachineBuilder::new().name("e6-sgx").frames(64).build();
+    let mut sgx = Sgx::new(machine, "e6");
+    let sender = sgx
+        .spawn(DomainSpec::named("sender-enclave"), Box::new(Echo))
+        .expect("spawn");
+    let receiver = sgx
+        .spawn(DomainSpec::named("receiver-enclave"), Box::new(Echo))
+        .expect("spawn");
+
+    let mut rng = Drbg::from_seed(b"e6 message");
+    let message: Vec<bool> = (0..MESSAGE_BITS).map(|_| rng.gen_bool(1, 2)).collect();
+    let target = 0x8000u64;
+    let eviction_set = sgx.machine_ref().cache.eviction_set(target);
+
+    let t0 = sgx.machine_ref().clock.now();
+    let mut decoded = Vec::with_capacity(MESSAGE_BITS);
+    for &bit in &message {
+        sgx.cache_touch(receiver, target).expect("touch");
+        if bit {
+            for &a in &eviction_set {
+                sgx.cache_touch(sender, a).expect("touch");
+            }
+        }
+        let probe = sgx.cache_touch(receiver, target).expect("touch");
+        decoded.push(!probe.hit);
+    }
+    let cycles = sgx.machine_ref().clock.now() - t0;
+    let correct = message
+        .iter()
+        .zip(&decoded)
+        .filter(|(a, b)| a == b)
+        .count();
+    let ones = decoded.iter().filter(|b| **b).count();
+    let constant_output = ones == 0 || ones == decoded.len();
+    let p_err = 1.0 - correct as f64 / message.len() as f64;
+    ChannelTrial {
+        policy: "SGX enclaves co-located (no mitigation exists)",
+        correct_bits: correct,
+        total_bits: message.len(),
+        capacity: if constant_output {
+            0.0
+        } else {
+            (1.0 - binary_entropy(p_err)).max(0.0)
+        },
+        cycles,
+    }
+}
+
+/// Runs all policies.
+pub fn run() -> Vec<ChannelTrial> {
+    vec![
+        transmit(SchedPolicy::RoundRobin, "round-robin (no mitigation)"),
+        transmit(
+            SchedPolicy::TimePartitioned { flush_cache: false },
+            "time partitioning, no flush (ablation)",
+        ),
+        transmit(
+            SchedPolicy::TimePartitioned { flush_cache: true },
+            "time partitioning + cache flush",
+        ),
+        transmit_sgx_colocated(),
+    ]
+}
+
+/// Renders the report.
+pub fn report() -> String {
+    let trials = run();
+    let mut rows = vec![row![
+        "policy",
+        "decoded correctly",
+        "capacity (bits/slot)",
+        "cycles"
+    ]];
+    for t in &trials {
+        rows.push(row![
+            t.policy,
+            format!("{}/{}", t.correct_bits, t.total_bits),
+            format!("{:.2}", t.capacity),
+            t.cycles
+        ]);
+    }
+    format!(
+        "E6 — cache covert channel vs. temporal isolation (§II-C)\n\n{}\n\
+         mitigation closes the channel (capacity → 0) at a measurable\n\
+         flush cost in cycles\n",
+        render(&rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmitigated_channel_is_nearly_perfect() {
+        let t = transmit(SchedPolicy::RoundRobin, "rr");
+        assert!(
+            t.correct_bits as f64 / t.total_bits as f64 > 0.95,
+            "{}/{}",
+            t.correct_bits,
+            t.total_bits
+        );
+        assert!(t.capacity > 0.7);
+    }
+
+    #[test]
+    fn partitioning_without_flush_does_not_help() {
+        let t = transmit(SchedPolicy::TimePartitioned { flush_cache: false }, "tp");
+        assert!(t.capacity > 0.7, "ablation capacity {}", t.capacity);
+    }
+
+    #[test]
+    fn flushing_destroys_the_channel() {
+        let t = transmit(SchedPolicy::TimePartitioned { flush_cache: true }, "tpf");
+        assert_eq!(t.capacity, 0.0, "capacity must vanish");
+    }
+
+    #[test]
+    fn sgx_colocation_leaks_like_round_robin() {
+        let t = transmit_sgx_colocated();
+        assert!(t.capacity > 0.7, "SGX colocated capacity {}", t.capacity);
+    }
+
+    #[test]
+    fn mitigation_costs_cycles() {
+        let open = transmit(SchedPolicy::RoundRobin, "rr");
+        let closed = transmit(SchedPolicy::TimePartitioned { flush_cache: true }, "tpf");
+        assert!(closed.cycles > open.cycles, "flushing is not free");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(report().contains("cache flush"));
+    }
+}

@@ -1,0 +1,162 @@
+//! E7 — per-asset TCB accounting (§I, §III-B).
+//!
+//! For every asset of the email client: how many lines of code must be
+//! correct for the asset to stay safe? Horizontally that is the asset's
+//! exposure set (components that can reach its holder) plus the
+//! substrate; vertically it is the whole monolith plus its OS. A second
+//! table compares the substrate TCBs themselves (§II-C's seL4-vs-SGX
+//! discussion).
+
+use lateral_apps::email::{horizontal_manifest, vertical_manifest};
+use lateral_core::analysis;
+
+use crate::e2_conformance::all_substrates;
+use crate::row;
+use crate::table::render;
+
+/// Substrate TCB assumed under the horizontal client (microkernel).
+pub const MICROKERNEL_TCB: u64 = 10_000;
+/// TCB under the vertical client (a commodity monolithic kernel).
+pub const MONOLITHIC_OS_TCB: u64 = 20_000_000;
+
+/// One asset row.
+#[derive(Clone, Debug)]
+pub struct AssetTcb {
+    /// Asset name.
+    pub asset: String,
+    /// Exposure-set size (components) horizontally.
+    pub h_components: usize,
+    /// Horizontal TCB in LoC (app share only, excluding substrate).
+    pub h_app_loc: u64,
+    /// Vertical TCB in LoC (app share only).
+    pub v_app_loc: u64,
+}
+
+/// All assets of the email client.
+pub const ASSETS: [&str; 6] = [
+    "tls-keys",
+    "account-password",
+    "mail-archive",
+    "contacts",
+    "user-dictionary",
+    "display-trust",
+];
+
+/// Runs the accounting.
+pub fn run() -> Vec<AssetTcb> {
+    let h = horizontal_manifest();
+    let v = vertical_manifest();
+    ASSETS
+        .iter()
+        .map(|asset| {
+            let exposure = analysis::asset_exposure(&h, asset).expect("asset exists");
+            let h_loc = analysis::asset_tcb_loc(&h, asset, 0).expect("asset exists");
+            let v_loc = analysis::asset_tcb_loc(&v, asset, 0).expect("asset exists");
+            AssetTcb {
+                asset: asset.to_string(),
+                h_components: exposure.len(),
+                h_app_loc: h_loc,
+                v_app_loc: v_loc,
+            }
+        })
+        .collect()
+}
+
+/// Renders the report.
+pub fn report() -> String {
+    let rows_data = run();
+    let mut rows = vec![row![
+        "asset",
+        "horiz. exposure (components)",
+        "horiz. TCB (app LoC + kernel)",
+        "vert. TCB (app LoC + OS)",
+        "reduction"
+    ]];
+    for r in &rows_data {
+        let h_total = r.h_app_loc + MICROKERNEL_TCB;
+        let v_total = r.v_app_loc + MONOLITHIC_OS_TCB;
+        rows.push(row![
+            r.asset,
+            r.h_components,
+            format!("{} + {}", r.h_app_loc, MICROKERNEL_TCB),
+            format!("{} + {}", r.v_app_loc, MONOLITHIC_OS_TCB),
+            format!("{:.0}x", v_total as f64 / h_total as f64)
+        ]);
+    }
+
+    // Substrate TCB comparison from the live profiles.
+    let mut srows = vec![row![
+        "substrate",
+        "TCB (LoC)",
+        "defends",
+        "temporal isolation"
+    ]];
+    for sub in all_substrates() {
+        let p = sub.profile().clone();
+        let defends: Vec<String> = p.defends.iter().map(|m| m.to_string()).collect();
+        srows.push(row![
+            p.name,
+            p.tcb_loc,
+            defends.join(","),
+            if p.features.temporal_isolation {
+                "yes"
+            } else {
+                "no"
+            }
+        ]);
+    }
+
+    format!(
+        "E7 — per-asset TCB (§I, §III-B)\n\n{}\n\
+         substrate profiles:\n{}\n",
+        render(&rows),
+        render(&srows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_asset_has_smaller_horizontal_tcb() {
+        for r in run() {
+            assert!(
+                r.h_app_loc < r.v_app_loc,
+                "{}: {} !< {}",
+                r.asset,
+                r.h_app_loc,
+                r.v_app_loc
+            );
+        }
+    }
+
+    #[test]
+    fn renderer_is_outside_every_asset_tcb() {
+        // 30 kLoC of HTML parsing never guards any asset.
+        let h = horizontal_manifest();
+        for asset in ASSETS {
+            let exposure = analysis::asset_exposure(&h, asset).unwrap();
+            assert!(
+                !exposure.contains("html-renderer"),
+                "renderer in TCB of {asset}"
+            );
+        }
+    }
+
+    #[test]
+    fn reductions_are_at_least_an_order_of_magnitude() {
+        for r in run() {
+            let h_total = r.h_app_loc + MICROKERNEL_TCB;
+            let v_total = r.v_app_loc + MONOLITHIC_OS_TCB;
+            assert!(v_total / h_total >= 10, "{}", r.asset);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let rep = report();
+        assert!(rep.contains("tls-keys"));
+        assert!(rep.contains("sgx"));
+    }
+}

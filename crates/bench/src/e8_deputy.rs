@@ -1,0 +1,173 @@
+//! E8 — the confused deputy, with and without capability badges
+//! (§III-C).
+//!
+//! A multi-client mail store serves Alice and an adversary (Mallory) who
+//! runs many sessions, each claiming an identity of her choosing inside
+//! the message. In `KernelBadge` mode the store demultiplexes by the
+//! substrate-delivered badge; in `MessageField` mode it believes the
+//! claim. We count how many of Mallory's theft attempts land, and also
+//! run the static detector over a manifest with colliding badges.
+//! Expected shape: 0 % success with badges, ~100 % without; the static
+//! tool flags the collision.
+
+use lateral_components::mailstore::{ClientIdSource, MailStore};
+use lateral_core::analysis::{confused_deputy_candidates, DeputyRisk};
+use lateral_core::manifest::{AppManifest, ComponentManifest, Sensitivity};
+use lateral_crypto::rng::Drbg;
+use lateral_substrate::cap::Badge;
+use lateral_substrate::software::SoftwareSubstrate;
+use lateral_substrate::substrate::{DomainSpec, Substrate};
+use lateral_substrate::testkit::Echo;
+
+use crate::row;
+use crate::table::render;
+
+/// Adversarial sessions per mode.
+pub const SESSIONS: usize = 1_000;
+
+/// Result of one mode's trial.
+#[derive(Clone, Debug)]
+pub struct DeputyTrial {
+    /// Identification mode.
+    pub mode: &'static str,
+    /// Sessions in which Mallory extracted Alice's mail.
+    pub thefts: usize,
+    /// Total adversarial sessions.
+    pub sessions: usize,
+}
+
+fn trial(mode: ClientIdSource, name: &'static str) -> DeputyTrial {
+    let mut sub = SoftwareSubstrate::new("e8");
+    let store = sub
+        .spawn(
+            DomainSpec::named("mail-store"),
+            Box::new(MailStore::new(mode, &[(1, "alice"), (2, "mallory")])),
+        )
+        .expect("spawn");
+    let alice = sub
+        .spawn(DomainSpec::named("alice"), Box::new(Echo))
+        .expect("spawn");
+    let mallory = sub
+        .spawn(DomainSpec::named("mallory"), Box::new(Echo))
+        .expect("spawn");
+    let alice_cap = sub.grant_channel(alice, store, Badge(1)).expect("grant");
+    let mallory_cap = sub.grant_channel(mallory, store, Badge(2)).expect("grant");
+
+    // Alice stores her private mail.
+    sub.invoke(alice, &alice_cap, b"put:user=alice;the private letter")
+        .expect("put");
+
+    let mut rng = Drbg::from_seed(b"e8 adversary");
+    let mut thefts = 0;
+    for _ in 0..SESSIONS {
+        // Mallory varies her lie a little each session.
+        let claimed = if rng.gen_bool(9, 10) { "alice" } else { "alice " };
+        let req = format!("get:user={claimed};0");
+        if let Ok(data) = sub.invoke(mallory, &mallory_cap, req.as_bytes()) {
+            if data == b"the private letter" {
+                thefts += 1;
+            }
+        }
+    }
+    DeputyTrial {
+        mode: name,
+        thefts,
+        sessions: SESSIONS,
+    }
+}
+
+/// Runs both modes.
+pub fn run() -> Vec<DeputyTrial> {
+    vec![
+        trial(ClientIdSource::KernelBadge, "kernel badge (capability)"),
+        trial(ClientIdSource::MessageField, "message field (vulnerable)"),
+    ]
+}
+
+/// A manifest the static detector should flag (two clients, one badge).
+pub fn colliding_manifest() -> AppManifest {
+    AppManifest::new(
+        "deputy-demo",
+        vec![
+            ComponentManifest::new("alice-ui").channel("mail", "mail-store", 7),
+            ComponentManifest::new("mallory-app").legacy().channel("mail", "mail-store", 7),
+            ComponentManifest::new("mail-store").asset("mailboxes", Sensitivity::Personal),
+        ],
+    )
+}
+
+/// Renders the report.
+pub fn report() -> String {
+    let trials = run();
+    let mut rows = vec![row!["client identification", "thefts", "sessions", "rate"]];
+    for t in &trials {
+        rows.push(row![
+            t.mode,
+            t.thefts,
+            t.sessions,
+            format!("{:.1}%", 100.0 * t.thefts as f64 / t.sessions as f64)
+        ]);
+    }
+    let warnings = confused_deputy_candidates(&colliding_manifest());
+    let mut wrows = vec![row!["component", "finding"]];
+    for w in &warnings {
+        let finding = match &w.risk {
+            DeputyRisk::CollidingBadges { badge, clients } => {
+                format!("badge {badge} shared by {}", clients.join(", "))
+            }
+            DeputyRisk::MixedTrustClients { trusted, legacy } => format!(
+                "serves trusted [{}] and legacy [{}]",
+                trusted.join(","),
+                legacy.join(",")
+            ),
+        };
+        wrows.push(row![w.component, finding]);
+    }
+    format!(
+        "E8 — confused deputy (§III-C)\n\nruntime attack:\n{}\n\
+         static detector on a badge-colliding manifest:\n{}\n",
+        render(&rows),
+        render(&wrows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn badges_stop_every_theft() {
+        let trials = run();
+        let badge = trials.iter().find(|t| t.mode.contains("badge")).unwrap();
+        assert_eq!(badge.thefts, 0);
+    }
+
+    #[test]
+    fn message_identity_leaks_massively() {
+        let trials = run();
+        let field = trials.iter().find(|t| t.mode.contains("message")).unwrap();
+        // ~90 % of sessions claim exactly "alice" and all of those land.
+        assert!(
+            field.thefts as f64 / field.sessions as f64 > 0.8,
+            "{}/{}",
+            field.thefts,
+            field.sessions
+        );
+    }
+
+    #[test]
+    fn static_detector_flags_the_collision() {
+        let warnings = confused_deputy_candidates(&colliding_manifest());
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w.risk, DeputyRisk::CollidingBadges { badge: 7, .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w.risk, DeputyRisk::MixedTrustClients { .. })));
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(report().contains("confused deputy"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The reproduction harness: every experiment from `DESIGN.md` §5.
+//!
+//! The paper ("Lateral Thinking for Trustworthy Apps", ICDCS 2017) is a
+//! vision paper without data tables; its three figures are architecture
+//! diagrams. This crate regenerates those figures as *executable*
+//! artifacts and quantifies the paper's qualitative claims:
+//!
+//! | id | reproduces | module |
+//! |----|-----------|--------|
+//! | E1 | Fig. 1 — containment under compromise | [`e1_containment`] |
+//! | E2 | Fig. 2 — one component suite on every substrate | [`e2_conformance`] |
+//! | E3 | Fig. 3 — smart meter ↔ utility with mutual attestation | [`e3_smart_meter`] |
+//! | E4 | §III-E — the cost of decomposition | [`e4_invocation`] |
+//! | E5 | §III-D — VPFS overhead and tamper detection | [`e5_vpfs`] |
+//! | E6 | §II-C — cache covert channel vs. time partitioning | [`e6_covert`] |
+//! | E7 | §I/III-B — per-asset TCB accounting | [`e7_tcb`] |
+//! | E8 | §III-C — confused deputy with/without badges | [`e8_deputy`] |
+//! | E9 | §II-D — attack × substrate matrix | [`e9_matrix`] |
+//!
+//! Every experiment is deterministic (seeded DRBGs, logical clocks);
+//! `cargo run -p lateral-bench --bin repro -- all` prints the full set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e1_containment;
+pub mod e2_conformance;
+pub mod e3_smart_meter;
+pub mod e4_invocation;
+pub mod e5_vpfs;
+pub mod e6_covert;
+pub mod e7_tcb;
+pub mod e8_deputy;
+pub mod e9_matrix;
+pub mod table;
+
+/// All experiment ids, in order.
+pub const EXPERIMENTS: [&str; 9] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+];
+
+/// Runs one experiment by id, returning its printed report.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids.
+pub fn run(id: &str) -> Result<String, String> {
+    match id {
+        "e1" => Ok(e1_containment::report()),
+        "e2" => Ok(e2_conformance::report()),
+        "e3" => Ok(e3_smart_meter::report()),
+        "e4" => Ok(e4_invocation::report()),
+        "e5" => Ok(e5_vpfs::report()),
+        "e6" => Ok(e6_covert::report()),
+        "e7" => Ok(e7_tcb::report()),
+        "e8" => Ok(e8_deputy::report()),
+        "e9" => Ok(e9_matrix::report()),
+        other => Err(format!(
+            "unknown experiment '{other}' (available: {})",
+            EXPERIMENTS.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unknown_experiment_is_reported() {
+        assert!(super::run("e99").is_err());
+    }
+}

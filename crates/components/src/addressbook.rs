@@ -1,0 +1,132 @@
+//! The address book: a personal-data asset component.
+//!
+//! Contacts live only inside this domain; the mail UI asks it to resolve
+//! recipients over a declared channel. In the vertical baseline the same
+//! data sits in the monolith's heap, one HTML-parser bug away from
+//! exfiltration.
+
+use std::collections::BTreeMap;
+
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+use crate::{split_cmd, utf8};
+
+/// Contact storage. Protocol:
+///
+/// * `add:<name>=<email>` — stores a contact.
+/// * `lookup:<name>` — returns the email address.
+/// * `complete:<prefix>` — returns comma-separated matching names.
+/// * `count:` — number of contacts.
+#[derive(Debug, Default)]
+pub struct AddressBook {
+    contacts: BTreeMap<String, String>,
+}
+
+impl AddressBook {
+    /// Creates an empty address book.
+    pub fn new() -> AddressBook {
+        AddressBook::default()
+    }
+
+    /// Creates an address book preloaded with `entries`.
+    pub fn with_contacts(entries: &[(&str, &str)]) -> AddressBook {
+        AddressBook {
+            contacts: entries
+                .iter()
+                .map(|(n, e)| (n.to_string(), e.to_string()))
+                .collect(),
+        }
+    }
+}
+
+impl Component for AddressBook {
+    fn label(&self) -> &str {
+        "address-book"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        match cmd {
+            "add" => {
+                let text = utf8(payload)?;
+                let (name, email) = text
+                    .split_once('=')
+                    .ok_or_else(|| ComponentError::new("expected name=email"))?;
+                self.contacts.insert(name.to_string(), email.to_string());
+                Ok(b"ok".to_vec())
+            }
+            "lookup" => {
+                let name = utf8(payload)?;
+                self.contacts
+                    .get(name)
+                    .map(|e| e.as_bytes().to_vec())
+                    .ok_or_else(|| ComponentError::new(format!("no contact '{name}'")))
+            }
+            "complete" => {
+                let prefix = utf8(payload)?;
+                let matches: Vec<&str> = self
+                    .contacts
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .map(|k| k.as_str())
+                    .collect();
+                Ok(matches.join(",").into_bytes())
+            }
+            "count" => Ok(self.contacts.len().to_string().into_bytes()),
+            other => Err(ComponentError::new(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_substrate::cap::Badge;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::substrate::{DomainSpec, Substrate};
+    use lateral_substrate::testkit::Echo;
+
+    fn setup() -> (SoftwareSubstrate, lateral_substrate::cap::ChannelCap) {
+        let mut s = SoftwareSubstrate::new("ab");
+        let book = s
+            .spawn(
+                DomainSpec::named("address-book"),
+                Box::new(AddressBook::with_contacts(&[("alice", "alice@example.org")])),
+            )
+            .unwrap();
+        let ui = s.spawn(DomainSpec::named("ui"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(ui, book, Badge(1)).unwrap();
+        (s, cap)
+    }
+
+    #[test]
+    fn add_lookup_complete() {
+        let (mut s, cap) = setup();
+        let ui = cap.owner;
+        s.invoke(ui, &cap, b"add:bob=bob@example.org").unwrap();
+        assert_eq!(
+            s.invoke(ui, &cap, b"lookup:bob").unwrap(),
+            b"bob@example.org"
+        );
+        assert_eq!(s.invoke(ui, &cap, b"complete:a").unwrap(), b"alice");
+        assert_eq!(s.invoke(ui, &cap, b"count:").unwrap(), b"2");
+    }
+
+    #[test]
+    fn missing_contact_is_clean_error() {
+        let (mut s, cap) = setup();
+        assert!(s.invoke(cap.owner, &cap, b"lookup:nobody").is_err());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        let (mut s, cap) = setup();
+        assert!(s.invoke(cap.owner, &cap, b"add:no-equals").is_err());
+        assert!(s.invoke(cap.owner, &cap, b"garbage").is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! The utility-side anonymizer of the smart-meter scenario (Figure 3).
+//!
+//! §III-C: *"the smart meter component wants to ensure the server will
+//! only use the data for billing purposes and afterwards stores only
+//! anonymized aggregates for long-term analysis … the utility provider
+//! could open the source code of the anonymizer for third-party auditing.
+//! The smart meter would then check for the signature of the known-good
+//! anonymizer and refuse to talk to a manipulated instance."*
+//!
+//! Two images exist: the audited [`Anonymizer`] aggregates without
+//! retaining meter identities; the [`ManipulatedAnonymizer`] secretly
+//! logs identified readings. Their *code images differ*, so attestation
+//! distinguishes them — which is the entire point of E3's attack case.
+
+use std::collections::BTreeMap;
+
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+use crate::{split_cmd, utf8};
+
+/// Canonical code image of the audited anonymizer build (what the meter's
+/// trust policy expects).
+pub const AUDITED_IMAGE: &[u8] = b"anonymizer v1.0 (audited build 2017-02)";
+
+/// Code image of the manipulated build.
+pub const MANIPULATED_IMAGE: &[u8] = b"anonymizer v1.0 (with identified-retention patch)";
+
+fn parse_reading(payload: &[u8]) -> Result<(String, u64, u64), ComponentError> {
+    // reading format: <meter_id>,<period>,<watt_hours>
+    let text = utf8(payload)?;
+    let mut parts = text.split(',');
+    let meter = parts
+        .next()
+        .ok_or_else(|| ComponentError::new("missing meter id"))?
+        .to_string();
+    let period: u64 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ComponentError::new("bad period"))?;
+    let wh: u64 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ComponentError::new("bad reading"))?;
+    Ok((meter, period, wh))
+}
+
+/// The audited anonymizer. Protocol:
+///
+/// * `reading:<meter_id>,<period>,<watt_hours>` — ingests a reading;
+///   returns `billed:<meter_id>:<amount>` for the billing pipeline and
+///   immediately discards the identity.
+/// * `aggregate:<period>` — total consumption for a period, no identities.
+/// * `retained:` — diagnostic: how many *identified* records are stored
+///   (always `0` for the audited build).
+#[derive(Debug, Default)]
+pub struct Anonymizer {
+    per_period_totals: BTreeMap<u64, u64>,
+    per_period_count: BTreeMap<u64, u64>,
+}
+
+impl Anonymizer {
+    /// Creates the audited anonymizer.
+    pub fn new() -> Anonymizer {
+        Anonymizer::default()
+    }
+}
+
+impl Component for Anonymizer {
+    fn label(&self) -> &str {
+        "anonymizer"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        match cmd {
+            "reading" => {
+                let (meter, period, wh) = parse_reading(payload)?;
+                *self.per_period_totals.entry(period).or_insert(0) += wh;
+                *self.per_period_count.entry(period).or_insert(0) += 1;
+                // Billing happens synchronously; the identity is not kept.
+                let price_milli_cents = wh * 30;
+                Ok(format!("billed:{meter}:{price_milli_cents}").into_bytes())
+            }
+            "aggregate" => {
+                let period: u64 = utf8(payload)?
+                    .parse()
+                    .map_err(|_| ComponentError::new("bad period"))?;
+                let total = self.per_period_totals.get(&period).copied().unwrap_or(0);
+                let count = self.per_period_count.get(&period).copied().unwrap_or(0);
+                Ok(format!("total={total};meters={count}").into_bytes())
+            }
+            "retained" => Ok(b"0".to_vec()),
+            other => Err(ComponentError::new(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+/// The manipulated build: same interface, but identified readings are
+/// secretly retained (`retained:` exposes the stash for the experiment's
+/// ground truth).
+#[derive(Debug, Default)]
+pub struct ManipulatedAnonymizer {
+    inner: Anonymizer,
+    stash: Vec<(String, u64, u64)>,
+}
+
+impl ManipulatedAnonymizer {
+    /// Creates the manipulated anonymizer.
+    pub fn new() -> ManipulatedAnonymizer {
+        ManipulatedAnonymizer::default()
+    }
+}
+
+impl Component for ManipulatedAnonymizer {
+    fn label(&self) -> &str {
+        "anonymizer" // it *claims* to be the anonymizer…
+    }
+
+    fn on_call(
+        &mut self,
+        ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        if let Ok(("reading", payload)) = split_cmd(inv.data) {
+            if let Ok(r) = parse_reading(payload) {
+                self.stash.push(r); // privacy violation
+            }
+        }
+        if let Ok(("retained", _)) = split_cmd(inv.data) {
+            return Ok(self.stash.len().to_string().into_bytes());
+        }
+        self.inner.on_call(ctx, inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_substrate::cap::Badge;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::substrate::{DomainSpec, Substrate};
+    use lateral_substrate::testkit::Echo;
+
+    fn drive(component: Box<dyn Component>) -> (SoftwareSubstrate, lateral_substrate::cap::ChannelCap) {
+        let mut s = SoftwareSubstrate::new("anon");
+        let anon = s
+            .spawn(DomainSpec::named("anonymizer"), component)
+            .unwrap();
+        let meter = s.spawn(DomainSpec::named("meter"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(meter, anon, Badge(1)).unwrap();
+        (s, cap)
+    }
+
+    #[test]
+    fn billing_and_aggregation() {
+        let (mut s, cap) = drive(Box::new(Anonymizer::new()));
+        let m = cap.owner;
+        let r = s.invoke(m, &cap, b"reading:meter-7,202607,1500").unwrap();
+        assert_eq!(r, b"billed:meter-7:45000");
+        s.invoke(m, &cap, b"reading:meter-8,202607,500").unwrap();
+        s.invoke(m, &cap, b"reading:meter-7,202608,100").unwrap();
+        assert_eq!(
+            s.invoke(m, &cap, b"aggregate:202607").unwrap(),
+            b"total=2000;meters=2"
+        );
+    }
+
+    #[test]
+    fn audited_build_retains_nothing() {
+        let (mut s, cap) = drive(Box::new(Anonymizer::new()));
+        let m = cap.owner;
+        s.invoke(m, &cap, b"reading:meter-7,202607,1500").unwrap();
+        assert_eq!(s.invoke(m, &cap, b"retained:").unwrap(), b"0");
+    }
+
+    #[test]
+    fn manipulated_build_retains_identities() {
+        let (mut s, cap) = drive(Box::new(ManipulatedAnonymizer::new()));
+        let m = cap.owner;
+        s.invoke(m, &cap, b"reading:meter-7,202607,1500").unwrap();
+        s.invoke(m, &cap, b"reading:meter-8,202607,700").unwrap();
+        assert_eq!(s.invoke(m, &cap, b"retained:").unwrap(), b"2");
+        // Interface-identical otherwise: an observer cannot tell.
+        assert_eq!(
+            s.invoke(m, &cap, b"aggregate:202607").unwrap(),
+            b"total=2200;meters=2"
+        );
+    }
+
+    #[test]
+    fn images_differ_so_attestation_can_distinguish() {
+        assert_ne!(AUDITED_IMAGE, MANIPULATED_IMAGE);
+        use lateral_substrate::substrate::DomainSpec;
+        let audited = DomainSpec::named("anonymizer")
+            .with_image(AUDITED_IMAGE)
+            .measurement();
+        let manipulated = DomainSpec::named("anonymizer")
+            .with_image(MANIPULATED_IMAGE)
+            .measurement();
+        assert_ne!(audited, manipulated);
+    }
+
+    #[test]
+    fn malformed_readings_rejected() {
+        let (mut s, cap) = drive(Box::new(Anonymizer::new()));
+        assert!(s.invoke(cap.owner, &cap, b"reading:no-commas").is_err());
+        assert!(s.invoke(cap.owner, &cap, b"reading:m,x,y").is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! The attachment decoder: yet another hostile-input parser.
+//!
+//! §III-B: *"Messages can contain images, videos, and other complex
+//! attachments, which the email client must be able to decode and
+//! present to the user."* Attachment decoders are historically among the
+//! most exploited codebases; in the horizontal design this one is a
+//! dead-end component with no outbound channels, so E1 treats it exactly
+//! like the HTML renderer.
+//!
+//! The toy format: `IMG1` magic, little-endian u16 width and height, a
+//! length-prefixed metadata string, then `width * height` pixel bytes.
+
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+/// Metadata string that "exploits" the decoder.
+pub const ATTACHMENT_EXPLOIT: &str = "COMMENT-OVERFLOW";
+
+/// A decoded image summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedImage {
+    /// Width in pixels.
+    pub width: u16,
+    /// Height in pixels.
+    pub height: u16,
+    /// Metadata/comment string.
+    pub metadata: String,
+    /// Average pixel intensity (the "thumbnail").
+    pub mean_intensity: u8,
+}
+
+/// Decodes the toy image format.
+///
+/// # Errors
+///
+/// Returns a [`ComponentError`] on bad magic, truncation, oversized
+/// dimensions — and a distinguished "exploit" error when the metadata
+/// carries [`ATTACHMENT_EXPLOIT`] (a comment-handling memory bug).
+pub fn decode_image(data: &[u8]) -> Result<DecodedImage, ComponentError> {
+    if data.len() < 10 || &data[..4] != b"IMG1" {
+        return Err(ComponentError::new("bad magic"));
+    }
+    let width = u16::from_le_bytes([data[4], data[5]]);
+    let height = u16::from_le_bytes([data[6], data[7]]);
+    if width == 0 || height == 0 || (width as u32) * (height as u32) > 1 << 20 {
+        return Err(ComponentError::new("unreasonable dimensions"));
+    }
+    let meta_len = u16::from_le_bytes([data[8], data[9]]) as usize;
+    let rest = &data[10..];
+    if rest.len() < meta_len {
+        return Err(ComponentError::new("truncated metadata"));
+    }
+    let metadata = std::str::from_utf8(&rest[..meta_len])
+        .map_err(|_| ComponentError::new("metadata not UTF-8"))?
+        .to_string();
+    if metadata.contains(ATTACHMENT_EXPLOIT) {
+        return Err(ComponentError::new("exploit triggered in comment handler"));
+    }
+    let pixels = &rest[meta_len..];
+    let expected = width as usize * height as usize;
+    if pixels.len() < expected {
+        return Err(ComponentError::new("truncated pixel data"));
+    }
+    let sum: u64 = pixels[..expected].iter().map(|p| *p as u64).sum();
+    Ok(DecodedImage {
+        width,
+        height,
+        metadata,
+        mean_intensity: (sum / expected as u64) as u8,
+    })
+}
+
+/// Encodes an image in the toy format (test and workload helper).
+pub fn encode_image(width: u16, height: u16, metadata: &str, fill: u8) -> Vec<u8> {
+    let mut out = b"IMG1".to_vec();
+    out.extend_from_slice(&width.to_le_bytes());
+    out.extend_from_slice(&height.to_le_bytes());
+    out.extend_from_slice(&(metadata.len() as u16).to_le_bytes());
+    out.extend_from_slice(metadata.as_bytes());
+    out.extend(std::iter::repeat_n(fill, width as usize * height as usize));
+    out
+}
+
+/// The attachment decoder component. The raw request is the attachment;
+/// the reply is `image <w>x<h> meta='<metadata>' mean=<intensity>`.
+#[derive(Debug, Default)]
+pub struct AttachmentDecoder {
+    compromised: bool,
+}
+
+impl AttachmentDecoder {
+    /// Creates a fresh decoder.
+    pub fn new() -> AttachmentDecoder {
+        AttachmentDecoder::default()
+    }
+}
+
+impl Component for AttachmentDecoder {
+    fn label(&self) -> &str {
+        "attachment-decoder"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        if self.compromised {
+            return Ok(b"<attacker controlled thumbnail>".to_vec());
+        }
+        match decode_image(inv.data) {
+            Ok(img) => Ok(format!(
+                "image {}x{} meta='{}' mean={}",
+                img.width, img.height, img.metadata, img.mean_intensity
+            )
+            .into_bytes()),
+            Err(e) if e.0.contains("exploit") => {
+                self.compromised = true;
+                Ok(b"image 0x0 meta='' mean=0".to_vec())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_roundtrip() {
+        let data = encode_image(4, 2, "holiday.jpg", 100);
+        let img = decode_image(&data).unwrap();
+        assert_eq!((img.width, img.height), (4, 2));
+        assert_eq!(img.metadata, "holiday.jpg");
+        assert_eq!(img.mean_intensity, 100);
+    }
+
+    #[test]
+    fn malformed_attachments_rejected() {
+        assert!(decode_image(b"PNG0").is_err());
+        assert!(decode_image(&encode_image(4, 2, "x", 0)[..8]).is_err());
+        // Oversized dimensions.
+        let mut huge = b"IMG1".to_vec();
+        huge.extend_from_slice(&u16::MAX.to_le_bytes());
+        huge.extend_from_slice(&u16::MAX.to_le_bytes());
+        huge.extend_from_slice(&0u16.to_le_bytes());
+        assert!(decode_image(&huge).is_err());
+        // Truncated pixels.
+        let mut short = encode_image(10, 10, "m", 1);
+        short.truncate(short.len() - 50);
+        assert!(decode_image(&short).is_err());
+    }
+
+    #[test]
+    fn exploit_in_metadata_compromises() {
+        use lateral_substrate::cap::Badge;
+        use lateral_substrate::software::SoftwareSubstrate;
+        use lateral_substrate::substrate::{DomainSpec, Substrate};
+        use lateral_substrate::testkit::Echo;
+        let mut s = SoftwareSubstrate::new("attach");
+        let dec = s
+            .spawn(DomainSpec::named("decoder"), Box::new(AttachmentDecoder::new()))
+            .unwrap();
+        let ui = s.spawn(DomainSpec::named("ui"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(ui, dec, Badge(1)).unwrap();
+        let benign = encode_image(2, 2, "cat.png", 7);
+        assert!(s.invoke(ui, &cap, &benign).unwrap().starts_with(b"image 2x2"));
+        let evil = encode_image(2, 2, ATTACHMENT_EXPLOIT, 7);
+        s.invoke(ui, &cap, &evil).unwrap();
+        // Subsequent output is attacker-controlled.
+        assert_eq!(
+            s.invoke(ui, &cap, &benign).unwrap(),
+            b"<attacker controlled thumbnail>"
+        );
+    }
+
+    #[test]
+    fn decoder_never_panics_on_fuzzed_input() {
+        // A quick deterministic sweep (full proptest coverage lives in
+        // the workspace fuzz_robustness suite).
+        let mut data = encode_image(3, 3, "meta", 5);
+        for i in 0..data.len() {
+            let mut mutated = data.clone();
+            mutated[i] ^= 0xFF;
+            let _ = decode_image(&mutated);
+        }
+        data.truncate(5);
+        let _ = decode_image(&data);
+    }
+}

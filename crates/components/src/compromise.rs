@@ -1,0 +1,342 @@
+//! The subversion harness: what a compromised component actually tries.
+//!
+//! §I claims that under POLA-confined horizontal design "a subversion of
+//! one component can often be contained and does not infect other
+//! components." To *measure* that (experiment E1), any component can be
+//! wrapped in [`Subverted`]: when an input containing the exploit marker
+//! arrives, the wrapper flips into attacker mode and, on every subsequent
+//! invocation, systematically attempts the escalations available to
+//! arbitrary code inside the domain:
+//!
+//! 1. read outside its own memory (must fault at the MMU/bounds check);
+//! 2. *use* every capability it legitimately holds (these succeed — POLA
+//!    determines how much that is worth);
+//! 3. *forge* capabilities — guessed slots/nonces and capabilities owned
+//!    by other domains (all must be rejected by the substrate);
+//! 4. abuse sealed storage (works only for its own identity, so nothing
+//!    foreign leaks).
+//!
+//! The recorded [`AttackReport`] is the blast radius in mechanism terms;
+//! `lateral-core`'s flow analysis translates reachable channels into
+//! reachable *assets*.
+
+use lateral_substrate::cap::ChannelCap;
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+use lateral_substrate::{DomainId, SubstrateError};
+
+/// Query returning the attack report from a subverted component.
+pub const REPORT_QUERY: &[u8] = b"__attack_report__:";
+
+/// What the attacker inside the domain managed to do.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttackReport {
+    /// Whether the component has been exploited at all.
+    pub active: bool,
+    /// Out-of-bounds memory reads attempted / succeeded.
+    pub oob_reads_attempted: u32,
+    /// Out-of-bounds reads that the substrate wrongly allowed.
+    pub oob_reads_succeeded: u32,
+    /// Channels the component legitimately holds (abusable by POLA).
+    pub granted_channels: u32,
+    /// Granted channels over which an exfiltration message was accepted.
+    pub exfil_successes: u32,
+    /// Forged capability uses attempted.
+    pub forged_attempted: u32,
+    /// Forged capability uses the substrate wrongly honored.
+    pub forged_succeeded: u32,
+}
+
+impl AttackReport {
+    /// Serializes the report for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "active={};oob={}/{};granted={};exfil={};forged={}/{}",
+            self.active,
+            self.oob_reads_succeeded,
+            self.oob_reads_attempted,
+            self.granted_channels,
+            self.exfil_successes,
+            self.forged_succeeded,
+            self.forged_attempted,
+        )
+        .into_bytes()
+    }
+
+    /// Parses a report produced by [`AttackReport::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ComponentError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<AttackReport, ComponentError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| ComponentError::new("report not UTF-8"))?;
+        let mut report = AttackReport::default();
+        for part in text.split(';') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| ComponentError::new("malformed report field"))?;
+            let parse_pair = |v: &str| -> Result<(u32, u32), ComponentError> {
+                let (a, b) = v
+                    .split_once('/')
+                    .ok_or_else(|| ComponentError::new("malformed ratio"))?;
+                Ok((
+                    a.parse().map_err(|_| ComponentError::new("bad number"))?,
+                    b.parse().map_err(|_| ComponentError::new("bad number"))?,
+                ))
+            };
+            match key {
+                "active" => report.active = value == "true",
+                "oob" => {
+                    let (s, a) = parse_pair(value)?;
+                    report.oob_reads_succeeded = s;
+                    report.oob_reads_attempted = a;
+                }
+                "granted" => {
+                    report.granted_channels =
+                        value.parse().map_err(|_| ComponentError::new("bad number"))?
+                }
+                "exfil" => {
+                    report.exfil_successes =
+                        value.parse().map_err(|_| ComponentError::new("bad number"))?
+                }
+                "forged" => {
+                    let (s, a) = parse_pair(value)?;
+                    report.forged_succeeded = s;
+                    report.forged_attempted = a;
+                }
+                _ => return Err(ComponentError::new(format!("unknown field '{key}'"))),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Whether the substrate contained the attacker perfectly: nothing
+    /// succeeded that was not explicitly granted.
+    pub fn contained(&self) -> bool {
+        self.oob_reads_succeeded == 0 && self.forged_succeeded == 0
+    }
+}
+
+/// Wraps a component so it can be exploited and then audited.
+pub struct Subverted<C> {
+    inner: C,
+    markers: Vec<Vec<u8>>,
+    report: AttackReport,
+}
+
+impl<C: Component> std::fmt::Debug for Subverted<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Subverted({}, active={})",
+            self.inner.label(),
+            self.report.active
+        )
+    }
+}
+
+impl<C: Component> Subverted<C> {
+    /// Wraps `inner`; any request containing `marker` exploits it.
+    pub fn new(inner: C, marker: &[u8]) -> Subverted<C> {
+        Subverted {
+            inner,
+            markers: vec![marker.to_vec()],
+            report: AttackReport::default(),
+        }
+    }
+
+    /// Wraps `inner` with several exploit markers (components that parse
+    /// multiple hostile formats have multiple bug classes).
+    pub fn with_markers(inner: C, markers: &[&[u8]]) -> Subverted<C> {
+        Subverted {
+            inner,
+            markers: markers.iter().map(|m| m.to_vec()).collect(),
+            report: AttackReport::default(),
+        }
+    }
+
+    /// Wraps with the standard markers of every hostile-input parser in
+    /// the toolbox (HTML, IMAP, attachment).
+    pub fn with_default_marker(inner: C) -> Subverted<C> {
+        Self::with_markers(
+            inner,
+            &[
+                crate::html::EXPLOIT_MARKER.as_bytes(),
+                crate::imap::IMAP_EXPLOIT.as_bytes(),
+                crate::attachments::ATTACHMENT_EXPLOIT.as_bytes(),
+            ],
+        )
+    }
+
+    fn contains_marker(&self, data: &[u8]) -> bool {
+        self.markers.iter().any(|marker| {
+            !marker.is_empty() && data.windows(marker.len()).any(|w| w == marker.as_slice())
+        })
+    }
+
+    /// Runs the escalation attempts against the substrate.
+    fn rampage(&mut self, ctx: &mut dyn DomainContext) {
+        // 1. Out-of-bounds memory reads at escalating offsets.
+        for offset in [1 << 20, 1 << 24, usize::MAX - 4096] {
+            self.report.oob_reads_attempted += 1;
+            if ctx.mem_read(offset, 16).is_ok() {
+                self.report.oob_reads_succeeded += 1;
+            }
+        }
+        // 2. Abuse every granted channel for exfiltration.
+        let caps = ctx.caps().unwrap_or_default();
+        self.report.granted_channels = caps.len() as u32;
+        self.report.exfil_successes = 0;
+        for cap in &caps {
+            if ctx.call(cap, b"EXFIL:stolen-data").is_ok() {
+                self.report.exfil_successes += 1;
+            }
+        }
+        // 3. Forge capabilities: other owners, guessed slots and nonces.
+        let me = ctx.self_id();
+        for owner in 0..8u32 {
+            for slot in 0..4u32 {
+                let forged = ChannelCap {
+                    owner: DomainId(owner),
+                    slot,
+                    nonce: 1,
+                };
+                // Skip caps we legitimately hold.
+                if caps.iter().any(|c| c == &forged) {
+                    continue;
+                }
+                self.report.forged_attempted += 1;
+                match ctx.call(&forged, b"EXFIL:forged") {
+                    Ok(_) => self.report.forged_succeeded += 1,
+                    Err(SubstrateError::ComponentFailure(_)) => {
+                        // The call went through and the target merely
+                        // disliked the payload: the forgery *worked*.
+                        self.report.forged_succeeded += 1;
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        let _ = me;
+    }
+}
+
+impl<C: Component> Component for Subverted<C> {
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn on_start(&mut self, ctx: &mut dyn DomainContext) -> Result<(), ComponentError> {
+        self.inner.on_start(ctx)
+    }
+
+    fn on_call(
+        &mut self,
+        ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        if inv.data.starts_with(REPORT_QUERY) {
+            return Ok(self.report.encode());
+        }
+        if !self.report.active && self.contains_marker(inv.data) {
+            self.report.active = true;
+        }
+        if self.report.active {
+            self.rampage(ctx);
+            // Keep up appearances: still answer like the inner component
+            // would, so the compromise stays stealthy.
+            return self
+                .inner
+                .on_call(ctx, inv)
+                .or_else(|_| Ok(b"<attacker controlled output>".to_vec()));
+        }
+        self.inner.on_call(ctx, inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_substrate::cap::Badge;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::substrate::{DomainSpec, Substrate};
+    use lateral_substrate::testkit::Echo;
+
+    #[test]
+    fn report_roundtrip() {
+        let r = AttackReport {
+            active: true,
+            oob_reads_attempted: 3,
+            oob_reads_succeeded: 0,
+            granted_channels: 2,
+            exfil_successes: 2,
+            forged_attempted: 30,
+            forged_succeeded: 0,
+        };
+        assert_eq!(AttackReport::decode(&r.encode()).unwrap(), r);
+        assert!(r.contained());
+    }
+
+    #[test]
+    fn benign_traffic_passes_through() {
+        let mut s = SoftwareSubstrate::new("sv1");
+        let victim = s
+            .spawn(
+                DomainSpec::named("victim"),
+                Box::new(Subverted::new(Echo, b"MARKER")),
+            )
+            .unwrap();
+        let driver = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(driver, victim, Badge(0)).unwrap();
+        assert_eq!(s.invoke(driver, &cap, b"benign").unwrap(), b"benign");
+        let report =
+            AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
+        assert!(!report.active);
+    }
+
+    #[test]
+    fn exploit_activates_and_substrate_contains() {
+        let mut s = SoftwareSubstrate::new("sv2");
+        let victim = s
+            .spawn(
+                DomainSpec::named("victim"),
+                Box::new(Subverted::new(Echo, b"MARKER")),
+            )
+            .unwrap();
+        // Give the victim one legitimate outbound channel.
+        let sink = s.spawn(DomainSpec::named("sink"), Box::new(Echo)).unwrap();
+        s.grant_channel(victim, sink, Badge(7)).unwrap();
+        let driver = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(driver, victim, Badge(0)).unwrap();
+        s.invoke(driver, &cap, b"payload with MARKER inside").unwrap();
+        let report =
+            AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
+        assert!(report.active);
+        assert_eq!(report.oob_reads_succeeded, 0, "memory isolation held");
+        assert_eq!(report.forged_succeeded, 0, "capability forgery failed");
+        assert_eq!(report.granted_channels, 1);
+        assert_eq!(report.exfil_successes, 1, "POLA channel remains usable");
+        assert!(report.contained());
+    }
+
+    #[test]
+    fn zero_channel_component_has_zero_exfil_paths() {
+        // The renderer configuration of E1: no outbound channels at all.
+        let mut s = SoftwareSubstrate::new("sv3");
+        let victim = s
+            .spawn(
+                DomainSpec::named("renderer"),
+                Box::new(Subverted::new(Echo, b"MARKER")),
+            )
+            .unwrap();
+        let driver = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(driver, victim, Badge(0)).unwrap();
+        s.invoke(driver, &cap, b"MARKER").unwrap();
+        let report =
+            AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
+        assert_eq!(report.granted_channels, 0);
+        assert_eq!(report.exfil_successes, 0);
+        assert!(report.contained());
+    }
+}

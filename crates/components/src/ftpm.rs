@@ -1,0 +1,259 @@
+//! fTPM: a TPM implemented as a trusted component.
+//!
+//! §II-C ("What Is Hardware?"): *"isolation technologies are partially
+//! interchangeable: Microsoft Surface tablets implement TPM functionality
+//! not using dedicated TPM security chips, but as software running within
+//! TrustZone."* This component wraps the [`lateral_tpm::Tpm`] model
+//! behind the unified component interface; hosted in a TrustZone secure
+//! world (or an SGX enclave, or anywhere else), it provides the same
+//! extend / read / quote / seal / unseal services a discrete chip would —
+//! and the verifier flow is byte-for-byte identical.
+
+use lateral_net::wire::{put_field, Reader};
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+use lateral_tpm::{Quote, SealedBlob, Tpm};
+
+use crate::split_cmd;
+
+/// Serializes a quote for the wire.
+pub fn encode_quote(q: &Quote) -> Vec<u8> {
+    let mut out = Vec::new();
+    let sel: Vec<u8> = q.selection.iter().flat_map(|i| (*i as u32).to_le_bytes()).collect();
+    put_field(&mut out, &sel);
+    put_field(&mut out, q.composite.as_bytes());
+    put_field(&mut out, &q.nonce);
+    put_field(&mut out, &q.signature);
+    out
+}
+
+/// Parses a quote from the wire.
+///
+/// # Errors
+///
+/// Returns a [`ComponentError`] on malformed input.
+pub fn decode_quote(bytes: &[u8]) -> Result<Quote, ComponentError> {
+    let mut r = Reader::new(bytes);
+    let mut read = |what: &str| {
+        r.field()
+            .map(|f| f.to_vec())
+            .map_err(|e| ComponentError::new(format!("{what}: {e}")))
+    };
+    let sel_raw = read("selection")?;
+    if sel_raw.len() % 4 != 0 {
+        return Err(ComponentError::new("selection not word-aligned"));
+    }
+    let selection = sel_raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")) as usize)
+        .collect();
+    let composite_raw = read("composite")?;
+    let composite = lateral_crypto::Digest(
+        composite_raw
+            .as_slice()
+            .try_into()
+            .map_err(|_| ComponentError::new("composite must be 32 bytes"))?,
+    );
+    let nonce = read("nonce")?;
+    let signature: [u8; 64] = read("signature")?
+        .as_slice()
+        .try_into()
+        .map_err(|_| ComponentError::new("signature must be 64 bytes"))?;
+    Ok(Quote {
+        selection,
+        composite,
+        nonce,
+        signature,
+    })
+}
+
+/// The fTPM component. Protocol:
+///
+/// * `extend:<pcr>,<data>` — extends a PCR.
+/// * `read:<pcr>` — hex PCR value.
+/// * `quote:<pcr>,<nonce bytes>` — serialized signed quote.
+/// * `seal:<pcr>;<data>` — sealed blob (policy = that PCR's value now).
+/// * `unseal:<pcr>;<blob>` — plaintext, if the PCR still matches.
+/// * `aik:` — the attestation public key (32 bytes).
+pub struct FTpm {
+    tpm: Tpm,
+}
+
+impl std::fmt::Debug for FTpm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FTpm({:?})", self.tpm)
+    }
+}
+
+impl FTpm {
+    /// Creates an fTPM whose identity derives from `seed` (on a real
+    /// Surface this would be the TrustZone fused key).
+    pub fn new(seed: &[u8]) -> FTpm {
+        FTpm {
+            tpm: Tpm::new(&[b"ftpm.", seed].concat()),
+        }
+    }
+
+    fn parse_pcr_prefix(
+        payload: &[u8],
+        sep: u8,
+    ) -> Result<(usize, &[u8]), ComponentError> {
+        let pos = payload
+            .iter()
+            .position(|b| *b == sep)
+            .ok_or_else(|| ComponentError::new("expected <pcr><sep><payload>"))?;
+        let pcr: usize = std::str::from_utf8(&payload[..pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ComponentError::new("bad PCR index"))?;
+        Ok((pcr, &payload[pos + 1..]))
+    }
+}
+
+impl Component for FTpm {
+    fn label(&self) -> &str {
+        "ftpm"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        match cmd {
+            "extend" => {
+                let (pcr, data) = Self::parse_pcr_prefix(payload, b',')?;
+                if pcr >= lateral_tpm::PCR_COUNT {
+                    return Err(ComponentError::new("PCR index out of range"));
+                }
+                self.tpm.extend(pcr, data);
+                Ok(b"ok".to_vec())
+            }
+            "read" => {
+                let pcr: usize = crate::utf8(payload)?
+                    .parse()
+                    .map_err(|_| ComponentError::new("bad PCR index"))?;
+                let value = self
+                    .tpm
+                    .read_pcr(pcr)
+                    .map_err(|e| ComponentError::new(e.to_string()))?;
+                Ok(value.to_hex().into_bytes())
+            }
+            "quote" => {
+                let (pcr, nonce) = Self::parse_pcr_prefix(payload, b',')?;
+                Ok(encode_quote(&self.tpm.quote(&[pcr], nonce)))
+            }
+            "seal" => {
+                let (pcr, data) = Self::parse_pcr_prefix(payload, b';')?;
+                let blob = self.tpm.seal(&[pcr], data);
+                Ok(blob.ciphertext)
+            }
+            "unseal" => {
+                let (pcr, ciphertext) = Self::parse_pcr_prefix(payload, b';')?;
+                let blob = SealedBlob {
+                    selection: vec![pcr],
+                    ciphertext: ciphertext.to_vec(),
+                };
+                self.tpm
+                    .unseal(&blob)
+                    .map_err(|e| ComponentError::new(e.to_string()))
+            }
+            "aik" => Ok(self.tpm.attestation_key().to_bytes().to_vec()),
+            other => Err(ComponentError::new(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_crypto::sign::VerifyingKey;
+    use lateral_substrate::cap::Badge;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::substrate::{DomainSpec, Substrate};
+    use lateral_substrate::testkit::Echo;
+
+    fn setup() -> (SoftwareSubstrate, lateral_substrate::cap::ChannelCap) {
+        let mut s = SoftwareSubstrate::new("ftpm");
+        let ftpm = s
+            .spawn(DomainSpec::named("ftpm"), Box::new(FTpm::new(b"surface-1")))
+            .unwrap();
+        let os = s.spawn(DomainSpec::named("os"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(os, ftpm, Badge(1)).unwrap();
+        (s, cap)
+    }
+
+    #[test]
+    fn extend_and_read() {
+        let (mut s, cap) = setup();
+        let os = cap.owner;
+        let zero = s.invoke(os, &cap, b"read:0").unwrap();
+        s.invoke(os, &cap, b"extend:0,bootloader").unwrap();
+        let after = s.invoke(os, &cap, b"read:0").unwrap();
+        assert_ne!(zero, after);
+        assert_eq!(after.len(), 64); // hex digest
+    }
+
+    #[test]
+    fn quote_verifies_with_the_standard_tpm_verifier() {
+        // The whole point of §II-C: the verifier cannot tell (and need
+        // not care) that the TPM is software.
+        let (mut s, cap) = setup();
+        let os = cap.owner;
+        s.invoke(os, &cap, b"extend:0,kernel v1").unwrap();
+        let quote_bytes = s.invoke(os, &cap, b"quote:0,fresh-nonce").unwrap();
+        let quote = decode_quote(&quote_bytes).unwrap();
+        let aik_bytes = s.invoke(os, &cap, b"aik:").unwrap();
+        let aik = VerifyingKey::from_bytes(&aik_bytes.try_into().unwrap()).unwrap();
+        assert!(quote.verify(&aik, b"fresh-nonce").is_ok());
+        assert!(quote.verify(&aik, b"stale-nonce").is_err());
+    }
+
+    #[test]
+    fn seal_respects_pcr_policy() {
+        let (mut s, cap) = setup();
+        let os = cap.owner;
+        s.invoke(os, &cap, b"extend:1,good state").unwrap();
+        let blob = s.invoke(os, &cap, b"seal:1;disk key").unwrap();
+        let mut req = b"unseal:1;".to_vec();
+        req.extend_from_slice(&blob);
+        assert_eq!(s.invoke(os, &cap, &req).unwrap(), b"disk key");
+        // Change the platform state: the key stays locked.
+        s.invoke(os, &cap, b"extend:1,rootkit").unwrap();
+        assert!(s.invoke(os, &cap, &req).is_err());
+    }
+
+    // The "runs inside TrustZone like on a Surface" integration lives in
+    // the workspace-level test `tests/ftpm_in_trustzone.rs` (the
+    // components crate does not depend on substrate backends).
+
+    #[test]
+    fn distinct_devices_have_distinct_identities() {
+        let a = FTpm::new(b"device-a");
+        let b = FTpm::new(b"device-b");
+        // Peek via direct TPM construction equality of attestation keys.
+        assert_ne!(
+            Tpm::new(b"ftpm.device-a").attestation_key(),
+            Tpm::new(b"ftpm.device-b").attestation_key()
+        );
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn quote_wire_roundtrip() {
+        let tpm = Tpm::new(b"wire");
+        let q = tpm.quote(&[0, 5], b"n");
+        let decoded = decode_quote(&encode_quote(&q)).unwrap();
+        assert_eq!(decoded, q);
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        let (mut s, cap) = setup();
+        let os = cap.owner;
+        assert!(s.invoke(os, &cap, b"extend:99,data").is_err());
+        assert!(s.invoke(os, &cap, b"read:notanumber").is_err());
+        assert!(s.invoke(os, &cap, b"quote:no-comma").is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! A nitpicker-style secure GUI server with a trusted indicator.
+//!
+//! §III-D "Secure Path to the User": *"When multiple components in the
+//! system can interact with the user, it can be important to securely
+//! indicate which one is currently active. Otherwise, it is the user who
+//! falls victim to a confused deputy attack by the system … Very obvious
+//! indication of a secure mode, like a simple traffic-light display may
+//! be advisable."*
+//!
+//! Clients are identified by their kernel badge — the label shown in the
+//! trusted indicator is registered by the *composer*, never taken from
+//! client-supplied content, so a phishing page can draw whatever it wants
+//! without changing what the indicator says.
+
+use std::collections::BTreeMap;
+
+use lateral_substrate::cap::Badge;
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+use crate::{split_cmd, utf8};
+
+/// Badge reserved for the trusted input driver (focus switching).
+pub const DRIVER_BADGE: Badge = Badge(0xD21F);
+
+#[derive(Debug, Default, Clone)]
+struct Window {
+    label: String,
+    content: String,
+    security_class: SecurityClass,
+    input_buffer: String,
+}
+
+/// Trust level shown on the indicator (the "traffic light").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SecurityClass {
+    /// Untrusted content (red).
+    #[default]
+    Untrusted,
+    /// Ordinary application (yellow).
+    Application,
+    /// Trusted component (green).
+    Trusted,
+}
+
+impl SecurityClass {
+    fn light(self) -> &'static str {
+        match self {
+            SecurityClass::Untrusted => "red",
+            SecurityClass::Application => "yellow",
+            SecurityClass::Trusted => "green",
+        }
+    }
+
+    fn parse(s: &str) -> Result<SecurityClass, ComponentError> {
+        match s {
+            "untrusted" => Ok(SecurityClass::Untrusted),
+            "application" => Ok(SecurityClass::Application),
+            "trusted" => Ok(SecurityClass::Trusted),
+            other => Err(ComponentError::new(format!("unknown class '{other}'"))),
+        }
+    }
+}
+
+/// The GUI server. Protocol (clients, demuxed by badge):
+///
+/// * `draw:<content>` — updates the caller's window content.
+///
+/// * `readinput:` — returns and clears the caller's input buffer (a
+///   window only ever sees keystrokes routed to it while focused).
+///
+/// Protocol (trusted driver, badge [`DRIVER_BADGE`] only):
+///
+/// * `register:<badge>=<label>=<class>` — binds a badge to a trusted
+///   label and security class (composer-provided, not client-chosen).
+/// * `focus:<badge>` — switches focus.
+/// * `keys:<text>` — keystrokes from the trusted input driver, routed
+///   to the *focused* window only — the "secure path to the user" in the
+///   input direction: no other window can sniff them.
+/// * `indicator:` — what the user sees: `label [light]` of the focused
+///   window — the truth, regardless of window contents.
+/// * `screen:` — focused window's content (what an app painted).
+#[derive(Debug, Default)]
+pub struct SecureGui {
+    windows: BTreeMap<u64, Window>,
+    focused: Option<u64>,
+}
+
+impl SecureGui {
+    /// Creates an empty GUI server.
+    pub fn new() -> SecureGui {
+        SecureGui::default()
+    }
+
+    fn require_driver(badge: Badge) -> Result<(), ComponentError> {
+        if badge == DRIVER_BADGE {
+            Ok(())
+        } else {
+            Err(ComponentError::new(
+                "only the trusted input driver may perform this operation",
+            ))
+        }
+    }
+}
+
+impl Component for SecureGui {
+    fn label(&self) -> &str {
+        "secure-gui"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        match cmd {
+            "draw" => {
+                let content = utf8(payload)?.to_string();
+                let window = self.windows.entry(inv.badge.0).or_default();
+                window.content = content;
+                Ok(b"ok".to_vec())
+            }
+            "readinput" => {
+                let window = self.windows.entry(inv.badge.0).or_default();
+                Ok(std::mem::take(&mut window.input_buffer).into_bytes())
+            }
+            "register" => {
+                Self::require_driver(inv.badge)?;
+                let text = utf8(payload)?;
+                let mut parts = text.splitn(3, '=');
+                let badge: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ComponentError::new("expected badge=label=class"))?;
+                let label = parts
+                    .next()
+                    .ok_or_else(|| ComponentError::new("expected badge=label=class"))?
+                    .to_string();
+                let class = SecurityClass::parse(
+                    parts
+                        .next()
+                        .ok_or_else(|| ComponentError::new("expected badge=label=class"))?,
+                )?;
+                let window = self.windows.entry(badge).or_default();
+                window.label = label;
+                window.security_class = class;
+                Ok(b"ok".to_vec())
+            }
+            "focus" => {
+                Self::require_driver(inv.badge)?;
+                let badge: u64 = utf8(payload)?
+                    .parse()
+                    .map_err(|_| ComponentError::new("bad badge"))?;
+                if !self.windows.contains_key(&badge) {
+                    return Err(ComponentError::new("no window for that badge"));
+                }
+                self.focused = Some(badge);
+                Ok(b"ok".to_vec())
+            }
+            "keys" => {
+                Self::require_driver(inv.badge)?;
+                let text = utf8(payload)?;
+                match self.focused.and_then(|b| self.windows.get_mut(&b)) {
+                    Some(w) => {
+                        w.input_buffer.push_str(text);
+                        Ok(b"ok".to_vec())
+                    }
+                    None => Err(ComponentError::new("no focused window for input")),
+                }
+            }
+            "indicator" => {
+                Self::require_driver(inv.badge)?;
+                match self.focused.and_then(|b| self.windows.get(&b)) {
+                    Some(w) => {
+                        Ok(format!("{} [{}]", w.label, w.security_class.light()).into_bytes())
+                    }
+                    None => Ok(b"<no focus>".to_vec()),
+                }
+            }
+            "screen" => {
+                Self::require_driver(inv.badge)?;
+                match self.focused.and_then(|b| self.windows.get(&b)) {
+                    Some(w) => Ok(w.content.clone().into_bytes()),
+                    None => Ok(Vec::new()),
+                }
+            }
+            other => Err(ComponentError::new(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::substrate::{DomainSpec, Substrate};
+    use lateral_substrate::testkit::Echo;
+
+    struct Setup {
+        sub: SoftwareSubstrate,
+        driver_cap: lateral_substrate::cap::ChannelCap,
+        bank_cap: lateral_substrate::cap::ChannelCap,
+        phish_cap: lateral_substrate::cap::ChannelCap,
+    }
+
+    fn setup() -> Setup {
+        let mut sub = SoftwareSubstrate::new("gui");
+        let gui = sub
+            .spawn(DomainSpec::named("gui"), Box::new(SecureGui::new()))
+            .unwrap();
+        let driver = sub.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let bank = sub.spawn(DomainSpec::named("bank"), Box::new(Echo)).unwrap();
+        let phish = sub.spawn(DomainSpec::named("phish"), Box::new(Echo)).unwrap();
+        let driver_cap = sub.grant_channel(driver, gui, DRIVER_BADGE).unwrap();
+        let bank_cap = sub.grant_channel(bank, gui, Badge(10)).unwrap();
+        let phish_cap = sub.grant_channel(phish, gui, Badge(20)).unwrap();
+        let mut s = Setup {
+            sub,
+            driver_cap,
+            bank_cap,
+            phish_cap,
+        };
+        s.sub
+            .invoke(driver, &s.driver_cap, b"register:10=Bank of Examples=trusted")
+            .unwrap();
+        s.sub
+            .invoke(driver, &s.driver_cap, b"register:20=Downloaded Game=untrusted")
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn indicator_shows_composer_label_not_window_content() {
+        let mut s = setup();
+        let driver = s.driver_cap.owner;
+        // The phishing app paints a fake bank login page.
+        s.sub
+            .invoke(
+                s.phish_cap.owner,
+                &s.phish_cap,
+                b"draw:== Bank of Examples secure login ==",
+            )
+            .unwrap();
+        s.sub.invoke(driver, &s.driver_cap, b"focus:20").unwrap();
+        let indicator = s.sub.invoke(driver, &s.driver_cap, b"indicator:").unwrap();
+        // The trusted indicator is not fooled.
+        assert_eq!(indicator, b"Downloaded Game [red]");
+        let screen = s.sub.invoke(driver, &s.driver_cap, b"screen:").unwrap();
+        assert_eq!(screen, b"== Bank of Examples secure login ==");
+    }
+
+    #[test]
+    fn focus_switch_updates_indicator() {
+        let mut s = setup();
+        let driver = s.driver_cap.owner;
+        s.sub
+            .invoke(s.bank_cap.owner, &s.bank_cap, b"draw:balance: 100")
+            .unwrap();
+        s.sub.invoke(driver, &s.driver_cap, b"focus:10").unwrap();
+        assert_eq!(
+            s.sub.invoke(driver, &s.driver_cap, b"indicator:").unwrap(),
+            b"Bank of Examples [green]"
+        );
+    }
+
+    #[test]
+    fn clients_cannot_register_focus_or_read_indicator() {
+        let mut s = setup();
+        let phish = s.phish_cap.owner;
+        for req in [
+            b"register:20=Bank of Examples=trusted".as_slice(),
+            b"focus:20",
+            b"indicator:",
+            b"screen:",
+        ] {
+            assert!(
+                s.sub.invoke(phish, &s.phish_cap, req).is_err(),
+                "client performed a driver-only operation: {}",
+                String::from_utf8_lossy(req)
+            );
+        }
+    }
+
+    #[test]
+    fn keystrokes_reach_only_the_focused_window() {
+        let mut s = setup();
+        let driver = s.driver_cap.owner;
+        // Focus the bank; the user types a password.
+        s.sub.invoke(driver, &s.driver_cap, b"focus:10").unwrap();
+        s.sub
+            .invoke(driver, &s.driver_cap, b"keys:hunter2")
+            .unwrap();
+        // The phishing window reads its buffer: empty.
+        let sniffed = s
+            .sub
+            .invoke(s.phish_cap.owner, &s.phish_cap, b"readinput:")
+            .unwrap();
+        assert!(sniffed.is_empty(), "phish window sniffed input!");
+        // The bank receives the keystrokes exactly once.
+        let got = s
+            .sub
+            .invoke(s.bank_cap.owner, &s.bank_cap, b"readinput:")
+            .unwrap();
+        assert_eq!(got, b"hunter2");
+        let again = s
+            .sub
+            .invoke(s.bank_cap.owner, &s.bank_cap, b"readinput:")
+            .unwrap();
+        assert!(again.is_empty(), "buffer is consumed on read");
+    }
+
+    #[test]
+    fn clients_cannot_inject_keystrokes() {
+        let mut s = setup();
+        let driver = s.driver_cap.owner;
+        s.sub.invoke(driver, &s.driver_cap, b"focus:10").unwrap();
+        // The phishing app tries to type into the focused bank window.
+        assert!(s
+            .sub
+            .invoke(s.phish_cap.owner, &s.phish_cap, b"keys:approve transfer")
+            .is_err());
+    }
+
+    #[test]
+    fn draws_are_demuxed_by_badge() {
+        let mut s = setup();
+        let driver = s.driver_cap.owner;
+        s.sub
+            .invoke(s.bank_cap.owner, &s.bank_cap, b"draw:bank content")
+            .unwrap();
+        s.sub
+            .invoke(s.phish_cap.owner, &s.phish_cap, b"draw:phish content")
+            .unwrap();
+        s.sub.invoke(driver, &s.driver_cap, b"focus:10").unwrap();
+        assert_eq!(
+            s.sub.invoke(driver, &s.driver_cap, b"screen:").unwrap(),
+            b"bank content"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The HTML renderer: the component that chews on hostile input.
+//!
+//! §I: "An application that reads from the network and parses HTML can be
+//! subverted and its wide-ranging access privileges can compromise the
+//! system." In the horizontal design the renderer is isolated and holds
+//! *no* capabilities beyond its reply channel, so subverting it yields
+//! nothing — experiment E1 measures exactly that.
+//!
+//! The renderer parses a toy HTML subset. A `<script>` tag whose body
+//! contains the exploit marker models a memory-corruption bug: the
+//! component flips into attacker-controlled mode (see
+//! [`crate::compromise`] for what it then attempts).
+
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+/// The input that "exploits" the renderer, for attack experiments.
+pub const EXPLOIT_MARKER: &str = "PWN-2017";
+
+/// Result of rendering one document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rendered {
+    /// Extracted visible text.
+    pub text: String,
+    /// Number of images referenced.
+    pub images: usize,
+    /// Number of links.
+    pub links: usize,
+}
+
+/// Parses the toy HTML subset: text, `<b>`, `<i>`, `<p>`, `<img src=…>`,
+/// `<a href=…>`, `<script>…</script>`.
+///
+/// # Errors
+///
+/// Returns a [`ComponentError`] on unbalanced angle brackets — and, for
+/// a `<script>` body carrying [`EXPLOIT_MARKER`], reports the exploit
+/// (the caller — the [`HtmlRenderer`] — then enters compromised mode).
+pub fn parse_html(input: &str) -> Result<Rendered, ComponentError> {
+    let mut text = String::new();
+    let mut images = 0;
+    let mut links = 0;
+    let mut rest = input;
+    let mut in_script = false;
+    while let Some(open) = rest.find('<') {
+        let before = &rest[..open];
+        if !in_script {
+            text.push_str(before);
+        } else if before.contains(EXPLOIT_MARKER) {
+            return Err(ComponentError::new("exploit triggered in script handler"));
+        }
+        let after = &rest[open + 1..];
+        let close = after
+            .find('>')
+            .ok_or_else(|| ComponentError::new("unbalanced '<'"))?;
+        let tag = &after[..close];
+        let tag_name = tag
+            .trim_start_matches('/')
+            .split_whitespace()
+            .next()
+            .unwrap_or("");
+        match tag_name {
+            "img" => images += 1,
+            "a" if !tag.starts_with('/') => links += 1,
+            "a" => {}
+            "script" => in_script = !tag.starts_with('/'),
+            _ => {}
+        }
+        rest = &after[close + 1..];
+    }
+    if in_script {
+        return Err(ComponentError::new("unterminated <script>"));
+    }
+    text.push_str(rest);
+    Ok(Rendered {
+        text: text.split_whitespace().collect::<Vec<_>>().join(" "),
+        images,
+        links,
+    })
+}
+
+/// The renderer component. Protocol: the raw request *is* the HTML;
+/// the reply is `text=<text>;images=<n>;links=<n>`.
+///
+/// After an exploit, every subsequent reply is attacker-controlled
+/// garbage and [`HtmlRenderer::compromised`] turns true (queried by the
+/// experiment harness through [`crate::compromise::Subverted`] when
+/// wrapped, or directly in unit tests).
+#[derive(Debug, Default)]
+pub struct HtmlRenderer {
+    compromised: bool,
+    rendered_count: u64,
+}
+
+impl HtmlRenderer {
+    /// Creates a fresh renderer.
+    pub fn new() -> HtmlRenderer {
+        HtmlRenderer::default()
+    }
+
+    /// Whether the renderer has been subverted.
+    pub fn compromised(&self) -> bool {
+        self.compromised
+    }
+}
+
+impl Component for HtmlRenderer {
+    fn label(&self) -> &str {
+        "html-renderer"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let html = std::str::from_utf8(inv.data)
+            .map_err(|_| ComponentError::new("document not UTF-8"))?;
+        if self.compromised {
+            return Ok(b"<attacker controlled output>".to_vec());
+        }
+        match parse_html(html) {
+            Ok(r) => {
+                self.rendered_count += 1;
+                Ok(format!("text={};images={};links={}", r.text, r.images, r.links)
+                    .into_bytes())
+            }
+            Err(e) if e.0.contains("exploit") => {
+                self.compromised = true;
+                // The exploited parser "returns" as if nothing happened —
+                // the stealthy compromise the paper worries about.
+                Ok(b"text=;images=0;links=0".to_vec())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_passthrough() {
+        let r = parse_html("hello world").unwrap();
+        assert_eq!(r.text, "hello world");
+        assert_eq!((r.images, r.links), (0, 0));
+    }
+
+    #[test]
+    fn tags_stripped_and_counted() {
+        let r = parse_html(
+            "<p>Dear <b>user</b>,</p> see <a href=\"http://x\">this</a> \
+             <img src=\"cat.png\"> <img src=\"dog.png\">",
+        )
+        .unwrap();
+        assert_eq!(r.text, "Dear user, see this");
+        assert_eq!(r.images, 2);
+        assert_eq!(r.links, 1);
+    }
+
+    #[test]
+    fn script_content_not_rendered() {
+        let r = parse_html("before<script>var x = 1;</script>after").unwrap();
+        assert_eq!(r.text, "beforeafter");
+    }
+
+    #[test]
+    fn unbalanced_markup_rejected() {
+        assert!(parse_html("broken < tag").is_err());
+        assert!(parse_html("<script>never closed").is_err());
+    }
+
+    #[test]
+    fn exploit_marker_compromises() {
+        let mut renderer = HtmlRenderer::new();
+        assert!(!renderer.compromised());
+        // Drive through the component interface on a software substrate.
+        use lateral_substrate::component::Invocation;
+        use lateral_substrate::software::SoftwareSubstrate;
+        use lateral_substrate::substrate::{CallCtx, Substrate};
+        let mut sub = SoftwareSubstrate::new("html");
+        let dummy = sub
+            .spawn(
+                lateral_substrate::substrate::DomainSpec::named("d"),
+                Box::new(lateral_substrate::testkit::Echo),
+            )
+            .unwrap();
+        let m = sub.measurement(dummy).unwrap();
+        let mut ctx = CallCtx::new(&mut sub, dummy, m);
+        let evil = format!("<script>{EXPLOIT_MARKER}</script>");
+        renderer
+            .on_call(
+                &mut ctx,
+                Invocation {
+                    badge: lateral_substrate::cap::Badge(0),
+                    data: evil.as_bytes(),
+                },
+            )
+            .unwrap();
+        assert!(renderer.compromised());
+        // Subsequent output is attacker-controlled.
+        let out = renderer
+            .on_call(
+                &mut ctx,
+                Invocation {
+                    badge: lateral_substrate::cap::Badge(0),
+                    data: b"<p>benign</p>",
+                },
+            )
+            .unwrap();
+        assert_eq!(out, b"<attacker controlled output>");
+    }
+
+    #[test]
+    fn benign_script_does_not_compromise() {
+        let mut renderer = HtmlRenderer::new();
+        let _ = parse_html("<script>alert(1)</script>").unwrap();
+        assert!(!renderer.compromised());
+        let _ = &mut renderer;
+    }
+}

@@ -1,0 +1,185 @@
+//! The application-protocol engine: IMAP-flavored response parsing.
+//!
+//! §III-C separates the email client's networking into "a component
+//! handling application-level protocols such as IMAP or SMTP" and a TLS
+//! component. The IMAP engine parses *server-controlled* input (another
+//! hostile-input surface), so it is compromisable like the renderer —
+//! but, isolated with only its reply channel, a malicious server gains
+//! nothing beyond lying about mail.
+
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+use crate::{split_cmd, utf8};
+
+/// Exploit marker for the IMAP parser (server-side attacker).
+pub const IMAP_EXPLOIT: &str = "LITERAL{OVERFLOW}";
+
+/// One parsed message summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Sequence number.
+    pub seq: u32,
+    /// From header.
+    pub from: String,
+    /// Subject header.
+    pub subject: String,
+}
+
+/// Parses a toy IMAP FETCH response: lines of
+/// `* <seq> FETCH (FROM "<from>" SUBJECT "<subject>")`.
+///
+/// # Errors
+///
+/// Returns a [`ComponentError`] on malformed lines, and a distinguished
+/// "exploit" error when [`IMAP_EXPLOIT`] appears (modelling a parser
+/// memory-safety bug).
+pub fn parse_fetch(response: &str) -> Result<Vec<Summary>, ComponentError> {
+    if response.contains(IMAP_EXPLOIT) {
+        return Err(ComponentError::new("exploit triggered in literal parser"));
+    }
+    let mut out = Vec::new();
+    for line in response.lines().filter(|l| !l.trim().is_empty()) {
+        let rest = line
+            .strip_prefix("* ")
+            .ok_or_else(|| ComponentError::new("line must start with '* '"))?;
+        let (seq_text, rest) = rest
+            .split_once(" FETCH (")
+            .ok_or_else(|| ComponentError::new("missing FETCH"))?;
+        let seq: u32 = seq_text
+            .trim()
+            .parse()
+            .map_err(|_| ComponentError::new("bad sequence number"))?;
+        let rest = rest
+            .strip_suffix(')')
+            .ok_or_else(|| ComponentError::new("missing ')'"))?;
+        let quoted = |key: &str, hay: &str| -> Result<String, ComponentError> {
+            let start = hay
+                .find(&format!("{key} \""))
+                .ok_or_else(|| ComponentError::new(format!("missing {key}")))?
+                + key.len()
+                + 2;
+            let end = hay[start..]
+                .find('"')
+                .ok_or_else(|| ComponentError::new("unterminated quote"))?;
+            Ok(hay[start..start + end].to_string())
+        };
+        out.push(Summary {
+            seq,
+            from: quoted("FROM", rest)?,
+            subject: quoted("SUBJECT", rest)?,
+        });
+    }
+    Ok(out)
+}
+
+/// The IMAP engine component. Protocol:
+///
+/// * `parse:<raw server response>` — returns one `seq|from|subject` line
+///   per message.
+/// * `status:` — `ok` or `compromised`.
+#[derive(Debug, Default)]
+pub struct ImapEngine {
+    compromised: bool,
+}
+
+impl ImapEngine {
+    /// Creates a fresh engine.
+    pub fn new() -> ImapEngine {
+        ImapEngine::default()
+    }
+}
+
+impl Component for ImapEngine {
+    fn label(&self) -> &str {
+        "imap-engine"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        match cmd {
+            "parse" => {
+                if self.compromised {
+                    return Ok(b"* 1 FETCH forged inbox".to_vec());
+                }
+                match parse_fetch(utf8(payload)?) {
+                    Ok(summaries) => Ok(summaries
+                        .iter()
+                        .map(|s| format!("{}|{}|{}", s.seq, s.from, s.subject))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                        .into_bytes()),
+                    Err(e) if e.0.contains("exploit") => {
+                        self.compromised = true;
+                        Ok(Vec::new())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            "status" => Ok(if self.compromised {
+                b"compromised".to_vec()
+            } else {
+                b"ok".to_vec()
+            }),
+            other => Err(ComponentError::new(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_fetch() {
+        let resp = "* 1 FETCH (FROM \"alice@example.org\" SUBJECT \"Hi\")\n\
+                    * 2 FETCH (FROM \"bob@example.org\" SUBJECT \"Re: Hi\")";
+        let s = parse_fetch(resp).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].seq, 1);
+        assert_eq!(s[0].from, "alice@example.org");
+        assert_eq!(s[1].subject, "Re: Hi");
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_fetch("garbage").is_err());
+        assert!(parse_fetch("* x FETCH (FROM \"a\" SUBJECT \"b\")").is_err());
+        assert!(parse_fetch("* 1 FETCH (FROM \"a\" SUBJECT \"b\"").is_err());
+        assert!(parse_fetch("* 1 FETCH (SUBJECT \"b\")").is_err());
+    }
+
+    #[test]
+    fn exploit_marker_detected() {
+        let err = parse_fetch(&format!("* 1 FETCH (FROM \"{IMAP_EXPLOIT}\" SUBJECT \"x\")"))
+            .unwrap_err();
+        assert!(err.0.contains("exploit"));
+    }
+
+    #[test]
+    fn engine_flips_to_compromised() {
+        use lateral_substrate::cap::Badge;
+        use lateral_substrate::software::SoftwareSubstrate;
+        use lateral_substrate::substrate::{DomainSpec, Substrate};
+        use lateral_substrate::testkit::Echo;
+        let mut s = SoftwareSubstrate::new("imap");
+        let engine = s
+            .spawn(DomainSpec::named("imap"), Box::new(ImapEngine::new()))
+            .unwrap();
+        let ui = s.spawn(DomainSpec::named("ui"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(ui, engine, Badge(1)).unwrap();
+        assert_eq!(s.invoke(ui, &cap, b"status:").unwrap(), b"ok");
+        let evil = format!("parse:* 1 FETCH (FROM \"{IMAP_EXPLOIT}\" SUBJECT \"x\")");
+        s.invoke(ui, &cap, evil.as_bytes()).unwrap();
+        assert_eq!(s.invoke(ui, &cap, b"status:").unwrap(), b"compromised");
+        // Post-compromise, parsed output is attacker-controlled.
+        let out = s
+            .invoke(ui, &cap, b"parse:* 1 FETCH (FROM \"a\" SUBJECT \"b\")")
+            .unwrap();
+        assert_eq!(out, b"* 1 FETCH forged inbox");
+    }
+}

@@ -1,0 +1,184 @@
+//! The input method: owner of highly personal language data.
+//!
+//! §III-B: input methods "can greatly benefit from highly personal data
+//! such as user dictionaries for spell checking, training datasets for
+//! voice recognition, or auto correction based on phrases and names
+//! previously used. Access to such data should be restricted to the input
+//! method code only." The component exposes *suggestions*, never the
+//! dictionary itself.
+
+use std::collections::BTreeMap;
+
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+use crate::{split_cmd, utf8};
+
+/// Input method with a frequency-weighted user dictionary. Protocol:
+///
+/// * `learn:<word>` — records a word use.
+/// * `suggest:<prefix>` — top-3 completions, comma separated.
+/// * `correct:<word>` — returns the dictionary word at edit distance ≤ 1
+///   with the highest frequency, or the input unchanged.
+#[derive(Debug, Default)]
+pub struct InputMethod {
+    dictionary: BTreeMap<String, u64>,
+}
+
+impl InputMethod {
+    /// Creates an empty input method.
+    pub fn new() -> InputMethod {
+        InputMethod::default()
+    }
+
+    /// Preloads dictionary words.
+    pub fn with_words(words: &[&str]) -> InputMethod {
+        InputMethod {
+            dictionary: words.iter().map(|w| (w.to_string(), 1)).collect(),
+        }
+    }
+
+    fn edit_distance_le1(a: &str, b: &str) -> bool {
+        let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+        let (la, lb) = (a.len(), b.len());
+        if la.abs_diff(lb) > 1 {
+            return false;
+        }
+        if la == lb {
+            return a.iter().zip(&b).filter(|(x, y)| x != y).count() <= 1;
+        }
+        // One insertion/deletion: let `long` be the longer.
+        let (short, long) = if la < lb { (&a, &b) } else { (&b, &a) };
+        let mut skipped = false;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < short.len() && j < long.len() {
+            if short[i] == long[j] {
+                i += 1;
+                j += 1;
+            } else if skipped {
+                return false;
+            } else {
+                skipped = true;
+                j += 1;
+            }
+        }
+        true
+    }
+}
+
+impl Component for InputMethod {
+    fn label(&self) -> &str {
+        "input-method"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        match cmd {
+            "learn" => {
+                let word = utf8(payload)?.trim().to_string();
+                if word.is_empty() {
+                    return Err(ComponentError::new("cannot learn an empty word"));
+                }
+                *self.dictionary.entry(word).or_insert(0) += 1;
+                Ok(b"ok".to_vec())
+            }
+            "suggest" => {
+                let prefix = utf8(payload)?;
+                let mut matches: Vec<(&String, &u64)> = self
+                    .dictionary
+                    .iter()
+                    .filter(|(w, _)| w.starts_with(prefix))
+                    .collect();
+                matches.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+                let top: Vec<&str> = matches.iter().take(3).map(|(w, _)| w.as_str()).collect();
+                Ok(top.join(",").into_bytes())
+            }
+            "correct" => {
+                let word = utf8(payload)?;
+                let best = self
+                    .dictionary
+                    .iter()
+                    .filter(|(w, _)| Self::edit_distance_le1(word, w))
+                    .max_by_key(|(_, freq)| **freq)
+                    .map(|(w, _)| w.clone())
+                    .unwrap_or_else(|| word.to_string());
+                Ok(best.into_bytes())
+            }
+            other => Err(ComponentError::new(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_cases() {
+        assert!(InputMethod::edit_distance_le1("cat", "cat"));
+        assert!(InputMethod::edit_distance_le1("cat", "cut"));
+        assert!(InputMethod::edit_distance_le1("cat", "cart"));
+        assert!(InputMethod::edit_distance_le1("cart", "cat"));
+        assert!(!InputMethod::edit_distance_le1("cat", "dog"));
+        assert!(!InputMethod::edit_distance_le1("cat", "carts"));
+    }
+
+    mod component {
+        use super::super::*;
+        use lateral_substrate::cap::Badge;
+        use lateral_substrate::software::SoftwareSubstrate;
+        use lateral_substrate::substrate::{DomainSpec, Substrate};
+        use lateral_substrate::testkit::Echo;
+
+        fn setup() -> (SoftwareSubstrate, lateral_substrate::cap::ChannelCap) {
+            let mut s = SoftwareSubstrate::new("im");
+            let im = s
+                .spawn(
+                    DomainSpec::named("input-method"),
+                    Box::new(InputMethod::with_words(&["hello", "help", "meeting"])),
+                )
+                .unwrap();
+            let ui = s.spawn(DomainSpec::named("ui"), Box::new(Echo)).unwrap();
+            let cap = s.grant_channel(ui, im, Badge(1)).unwrap();
+            (s, cap)
+        }
+
+        #[test]
+        fn suggestions_ranked_by_frequency() {
+            let (mut s, cap) = setup();
+            let ui = cap.owner;
+            for _ in 0..3 {
+                s.invoke(ui, &cap, b"learn:help").unwrap();
+            }
+            let out = s.invoke(ui, &cap, b"suggest:hel").unwrap();
+            assert_eq!(out, b"help,hello");
+        }
+
+        #[test]
+        fn autocorrect_uses_personal_data() {
+            let (mut s, cap) = setup();
+            let ui = cap.owner;
+            assert_eq!(s.invoke(ui, &cap, b"correct:meetin").unwrap(), b"meeting");
+            assert_eq!(s.invoke(ui, &cap, b"correct:xyzzy").unwrap(), b"xyzzy");
+        }
+
+        #[test]
+        fn no_dictionary_dump_interface_exists() {
+            // The API surface is suggestions only; asking for the raw
+            // dictionary is not a recognized command.
+            let (mut s, cap) = setup();
+            assert!(s.invoke(cap.owner, &cap, b"dump:").is_err());
+            assert!(s.invoke(cap.owner, &cap, b"export:all").is_err());
+        }
+
+        #[test]
+        fn learning_empty_word_rejected() {
+            let (mut s, cap) = setup();
+            assert!(s.invoke(cap.owner, &cap, b"learn:   ").is_err());
+        }
+    }
+}

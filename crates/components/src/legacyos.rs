@@ -1,0 +1,208 @@
+//! The legacy codebase: the vertical baseline of Figure 1.
+//!
+//! §II-A: *"Code following a traditional monolithic design combines
+//! different subsystems into one protection domain … Any security
+//! vulnerability within any subsystem can lead to a complete takeover of
+//! the entire legacy application."* [`LegacyOs`] bundles named subsystems
+//! and named assets in ONE domain: an exploit delivered to *any*
+//! subsystem flips the whole thing, after which every asset is loot.
+//! Experiment E1 compares this against the horizontal decomposition.
+
+use std::collections::BTreeMap;
+
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+use crate::{split_cmd, utf8};
+
+/// Generic exploit marker accepted by every legacy subsystem.
+pub const LEGACY_EXPLOIT: &str = "EXPLOIT!";
+
+/// The monolith. Protocol:
+///
+/// * `deliver:<subsystem>:<input>` — feeds input to a subsystem (an
+///   email body to `html`, a server response to `imap`, …). Input
+///   containing [`LEGACY_EXPLOIT`] compromises the entire process.
+/// * `asset:<name>` — legitimate internal asset use (returns a
+///   fixed-format receipt, not the secret).
+/// * `loot:` — what the attacker extracts post-compromise: *every*
+///   asset, in plaintext. Fails before compromise.
+/// * `status:` — `ok` or `compromised`.
+/// * `subsystems:` — comma-separated subsystem list.
+#[derive(Debug)]
+pub struct LegacyOs {
+    name: String,
+    subsystems: Vec<String>,
+    assets: BTreeMap<String, String>,
+    compromised: bool,
+}
+
+impl LegacyOs {
+    /// Creates a monolith named `name` with the given subsystems and
+    /// assets (asset = name → secret value).
+    pub fn new(name: &str, subsystems: &[&str], assets: &[(&str, &str)]) -> LegacyOs {
+        LegacyOs {
+            name: name.to_string(),
+            subsystems: subsystems.iter().map(|s| s.to_string()).collect(),
+            assets: assets
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            compromised: false,
+        }
+    }
+
+    /// Whether the monolith has been taken over.
+    pub fn compromised(&self) -> bool {
+        self.compromised
+    }
+}
+
+impl Component for LegacyOs {
+    fn label(&self) -> &str {
+        &self.name
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        match cmd {
+            "deliver" => {
+                let text = utf8(payload)?;
+                let (subsystem, input) = text
+                    .split_once(':')
+                    .ok_or_else(|| ComponentError::new("expected subsystem:input"))?;
+                if !self.subsystems.iter().any(|s| s == subsystem) {
+                    return Err(ComponentError::new(format!(
+                        "no subsystem '{subsystem}'"
+                    )));
+                }
+                // No isolation between subsystems: a bug anywhere owns
+                // the whole address space.
+                if input.contains(LEGACY_EXPLOIT) {
+                    self.compromised = true;
+                }
+                Ok(format!("{subsystem} processed {} bytes", input.len()).into_bytes())
+            }
+            "asset" => {
+                let name = utf8(payload)?;
+                if self.assets.contains_key(name) {
+                    Ok(format!("used asset '{name}'").into_bytes())
+                } else {
+                    Err(ComponentError::new(format!("no asset '{name}'")))
+                }
+            }
+            "loot" => {
+                if !self.compromised {
+                    return Err(ComponentError::new(
+                        "assets are internal (not compromised yet)",
+                    ));
+                }
+                let dump: Vec<String> = self
+                    .assets
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                Ok(dump.join(";").into_bytes())
+            }
+            "status" => Ok(if self.compromised {
+                b"compromised".to_vec()
+            } else {
+                b"ok".to_vec()
+            }),
+            "subsystems" => Ok(self.subsystems.join(",").into_bytes()),
+            other => Err(ComponentError::new(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_substrate::cap::Badge;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::substrate::{DomainSpec, Substrate};
+    use lateral_substrate::testkit::Echo;
+
+    fn monolith() -> LegacyOs {
+        LegacyOs::new(
+            "mail-monolith",
+            &["imap", "tls", "html", "addressbook", "storage"],
+            &[
+                ("tls-keys", "-----PRIVATE KEY-----"),
+                ("password", "hunter2"),
+                ("addressbook", "alice,bob,carol"),
+            ],
+        )
+    }
+
+    fn setup() -> (SoftwareSubstrate, lateral_substrate::cap::ChannelCap) {
+        let mut s = SoftwareSubstrate::new("legacy");
+        let os = s
+            .spawn(DomainSpec::named("monolith"), Box::new(monolith()))
+            .unwrap();
+        let net = s.spawn(DomainSpec::named("net"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(net, os, Badge(1)).unwrap();
+        (s, cap)
+    }
+
+    #[test]
+    fn benign_traffic_is_processed() {
+        let (mut s, cap) = setup();
+        let r = s
+            .invoke(cap.owner, &cap, b"deliver:html:<p>hello</p>")
+            .unwrap();
+        assert_eq!(r, b"html processed 12 bytes");
+        assert_eq!(s.invoke(cap.owner, &cap, b"status:").unwrap(), b"ok");
+        assert!(s.invoke(cap.owner, &cap, b"loot:").is_err());
+    }
+
+    #[test]
+    fn any_subsystem_exploit_owns_everything() {
+        // The Figure 1 claim, vertical side: one HTML bug leaks the TLS
+        // keys, the password, and the address book.
+        let (mut s, cap) = setup();
+        s.invoke(
+            cap.owner,
+            &cap,
+            format!("deliver:html:<script>{LEGACY_EXPLOIT}</script>").as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(
+            s.invoke(cap.owner, &cap, b"status:").unwrap(),
+            b"compromised"
+        );
+        let loot = s.invoke(cap.owner, &cap, b"loot:").unwrap();
+        let loot = String::from_utf8(loot).unwrap();
+        assert!(loot.contains("tls-keys=-----PRIVATE KEY-----"));
+        assert!(loot.contains("password=hunter2"));
+        assert!(loot.contains("addressbook=alice,bob,carol"));
+    }
+
+    #[test]
+    fn every_subsystem_is_an_equivalent_entry_point() {
+        for subsystem in ["imap", "tls", "html", "addressbook", "storage"] {
+            let (mut s, cap) = setup();
+            s.invoke(
+                cap.owner,
+                &cap,
+                format!("deliver:{subsystem}:{LEGACY_EXPLOIT}").as_bytes(),
+            )
+            .unwrap();
+            assert_eq!(
+                s.invoke(cap.owner, &cap, b"status:").unwrap(),
+                b"compromised",
+                "subsystem {subsystem} did not take the monolith down"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_subsystem_rejected() {
+        let (mut s, cap) = setup();
+        assert!(s.invoke(cap.owner, &cap, b"deliver:gpu:data").is_err());
+    }
+}

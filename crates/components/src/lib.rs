@@ -1,0 +1,120 @@
+//! The reusable trusted component toolbox.
+//!
+//! §III-D: *"these use cases … will likely appear in many applications
+//! and should be provided as reusable components. Once a unified
+//! interface for composition across substrates is in place, these
+//! components must only be implemented once and can be aggregated by
+//! configuring communication relationships between them."* Every
+//! component here is written against `lateral-substrate` only and runs on
+//! any backend.
+//!
+//! * [`tls`] — the TLS component: holds identity keys and account
+//!   credentials; the only component that speaks the secure-channel
+//!   protocol (§III-C: "cryptographic keys and the user's account
+//!   passwords are shielded from all other components").
+//! * [`gui`] — a nitpicker-style secure GUI with a trusted indicator
+//!   (§III-D "Secure Path to the User").
+//! * [`input`] — an input method owning the user dictionary (§III-B:
+//!   "access to such data should be restricted to the input method code
+//!   only").
+//! * [`html`] — the HTML renderer: the component that parses hostile
+//!   input and gets compromised in experiment E1.
+//! * [`imap`] — the application-protocol engine (IMAP-flavored parsing,
+//!   also exposed to hostile input).
+//! * [`attachments`] — the attachment decoder ("images, videos, and
+//!   other complex attachments", §III-B), a second hostile-input parser.
+//! * [`addressbook`] — contact storage (a personal-data asset).
+//! * [`mailstore`] — per-client mail storage over VPFS, demultiplexing
+//!   clients by kernel badge — or, for experiment E8, by a client-claimed
+//!   name (the confused-deputy bug).
+//! * [`anonymizer`] — the utility-side aggregator of the smart-meter
+//!   scenario (plus a "manipulated" variant whose different measurement
+//!   attestation catches).
+//! * [`gateway`] — the network gateway enforcing domain whitelists and
+//!   egress budgets ("prevent the smart meter appliance from
+//!   participating in distributed denial-of-service attacks").
+//! * [`ftpm`] — a software TPM as a trusted component (§II-C: "Microsoft
+//!   Surface tablets implement TPM functionality not using dedicated TPM
+//!   security chips, but as software running within TrustZone"), the
+//!   paper's evidence that hardware and software isolation are
+//!   interchangeable.
+//! * [`legacyos`] — the monolithic legacy codebase: one domain containing
+//!   many subsystems and all their assets, the *vertical* baseline of
+//!   Figure 1.
+//! * [`compromise`] — the subversion harness: wraps any component so an
+//!   exploit input flips it into attacker mode, after which it
+//!   systematically attempts every escalation the substrate should block.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addressbook;
+pub mod attachments;
+pub mod anonymizer;
+pub mod compromise;
+pub mod ftpm;
+pub mod gateway;
+pub mod gui;
+pub mod html;
+pub mod imap;
+pub mod input;
+pub mod legacyos;
+pub mod mailstore;
+pub mod tls;
+
+use lateral_substrate::component::ComponentError;
+
+/// Splits a `cmd:payload` request at the first colon.
+///
+/// # Errors
+///
+/// Returns a [`ComponentError`] when the request has no colon separator.
+pub fn split_cmd(data: &[u8]) -> Result<(&str, &[u8]), ComponentError> {
+    let pos = data
+        .iter()
+        .position(|b| *b == b':')
+        .ok_or_else(|| ComponentError::new("malformed request: expected cmd:payload"))?;
+    let cmd = std::str::from_utf8(&data[..pos])
+        .map_err(|_| ComponentError::new("malformed request: command not UTF-8"))?;
+    Ok((cmd, &data[pos + 1..]))
+}
+
+/// Renders a payload as UTF-8 or fails cleanly.
+///
+/// # Errors
+///
+/// Returns a [`ComponentError`] on invalid UTF-8.
+pub fn utf8(payload: &[u8]) -> Result<&str, ComponentError> {
+    std::str::from_utf8(payload).map_err(|_| ComponentError::new("payload not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_cmd_basic() {
+        let (cmd, rest) = split_cmd(b"put:hello world").unwrap();
+        assert_eq!(cmd, "put");
+        assert_eq!(rest, b"hello world");
+    }
+
+    #[test]
+    fn split_cmd_empty_payload() {
+        let (cmd, rest) = split_cmd(b"list:").unwrap();
+        assert_eq!(cmd, "list");
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn split_cmd_requires_colon() {
+        assert!(split_cmd(b"no separator").is_err());
+    }
+
+    #[test]
+    fn payload_may_contain_colons() {
+        let (cmd, rest) = split_cmd(b"send:host:port:data").unwrap();
+        assert_eq!(cmd, "send");
+        assert_eq!(rest, b"host:port:data");
+    }
+}

@@ -1,0 +1,228 @@
+//! The mail store: multi-client storage and the confused-deputy testbed.
+//!
+//! §III-C: *"The confused deputy problem occurs when the same trusted
+//! component instance may serve multiple clients and thereby handle
+//! multiple trust domains within itself. If the code of the component is
+//! not carefully written, it may inadvertently confuse one client for
+//! another."* The store runs in one of two modes:
+//!
+//! * [`ClientIdSource::KernelBadge`] — the correct design: mailbox
+//!   selection uses the unforgeable badge the substrate delivers.
+//! * [`ClientIdSource::MessageField`] — the bug: mailbox selection
+//!   parses a client-claimed `user` field out of the request, so any
+//!   client can name any mailbox. Experiment E8 measures the attack
+//!   success rate in both modes.
+//!
+//! Messages are persisted through [`lateral_vpfs::Vpfs`] — the mail store
+//! *is* the paper's trusted-wrapper consumer: it never hands plaintext to
+//! the legacy storage stack.
+
+use std::collections::BTreeMap;
+
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+use lateral_vpfs::{LegacyFs, MemBlockDevice, Vpfs};
+
+use crate::{split_cmd, utf8};
+
+/// How the store identifies its clients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientIdSource {
+    /// Use the kernel-delivered badge (confused-deputy safe).
+    KernelBadge,
+    /// Trust a `user=<name>;` prefix inside the message (vulnerable).
+    MessageField,
+}
+
+/// The mail store component. Protocol:
+///
+/// * `put:user=<name>;<message>` — appends a message.
+/// * `list:user=<name>;` — returns the number of messages.
+/// * `get:user=<name>;<index>` — returns one message.
+///
+/// Under [`ClientIdSource::KernelBadge`] the `user=` field is ignored for
+/// authorization: the badge picks the mailbox.
+pub struct MailStore {
+    id_source: ClientIdSource,
+    vpfs: Vpfs,
+    /// badge → mailbox name, provisioned by the composer.
+    badge_directory: BTreeMap<u64, String>,
+    counts: BTreeMap<String, u64>,
+}
+
+impl std::fmt::Debug for MailStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MailStore({:?})", self.id_source)
+    }
+}
+
+impl MailStore {
+    /// Creates a store; `badges` maps kernel badges to mailbox names.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the in-memory VPFS cannot be formatted, which
+    /// indicates a programming error in the fixed geometry.
+    pub fn new(id_source: ClientIdSource, badges: &[(u64, &str)]) -> MailStore {
+        let legacy = LegacyFs::format(MemBlockDevice::new(1024)).expect("fixed geometry");
+        let vpfs = Vpfs::format(legacy, &[0x4D; 32]).expect("fresh vpfs");
+        MailStore {
+            id_source,
+            vpfs,
+            badge_directory: badges
+                .iter()
+                .map(|(b, n)| (*b, n.to_string()))
+                .collect(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    fn mailbox_for(
+        &self,
+        badge: u64,
+        claimed_user: &str,
+    ) -> Result<String, ComponentError> {
+        match self.id_source {
+            ClientIdSource::KernelBadge => self
+                .badge_directory
+                .get(&badge)
+                .cloned()
+                .ok_or_else(|| ComponentError::new("unknown client badge")),
+            ClientIdSource::MessageField => Ok(claimed_user.to_string()),
+        }
+    }
+
+    fn parse_user(payload: &str) -> Result<(&str, &str), ComponentError> {
+        let rest = payload
+            .strip_prefix("user=")
+            .ok_or_else(|| ComponentError::new("expected user=<name>;"))?;
+        rest.split_once(';')
+            .ok_or_else(|| ComponentError::new("expected ';' after user"))
+    }
+}
+
+impl Component for MailStore {
+    fn label(&self) -> &str {
+        "mail-store"
+    }
+
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        let text = utf8(payload)?;
+        let (claimed_user, body) = Self::parse_user(text)?;
+        let mailbox = self.mailbox_for(inv.badge.0, claimed_user)?;
+        match cmd {
+            "put" => {
+                let n = self.counts.entry(mailbox.clone()).or_insert(0);
+                let name = format!("{mailbox}/{n}");
+                self.vpfs
+                    .write(&name, body.as_bytes())
+                    .map_err(|e| ComponentError::new(format!("store: {e}")))?;
+                *n += 1;
+                Ok(format!("stored #{}", *n - 1).into_bytes())
+            }
+            "list" => {
+                let n = self.counts.get(&mailbox).copied().unwrap_or(0);
+                Ok(n.to_string().into_bytes())
+            }
+            "get" => {
+                let index: u64 = body
+                    .parse()
+                    .map_err(|_| ComponentError::new("bad index"))?;
+                self.vpfs
+                    .read(&format!("{mailbox}/{index}"))
+                    .map_err(|e| ComponentError::new(format!("fetch: {e}")))
+            }
+            other => Err(ComponentError::new(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_substrate::cap::Badge;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::substrate::{DomainSpec, Substrate};
+    use lateral_substrate::testkit::Echo;
+
+    fn setup(
+        mode: ClientIdSource,
+    ) -> (
+        SoftwareSubstrate,
+        lateral_substrate::cap::ChannelCap, // alice's channel
+        lateral_substrate::cap::ChannelCap, // mallory's channel
+    ) {
+        let mut s = SoftwareSubstrate::new("ms");
+        let store = s
+            .spawn(
+                DomainSpec::named("mail-store"),
+                Box::new(MailStore::new(mode, &[(1, "alice"), (2, "mallory")])),
+            )
+            .unwrap();
+        let alice = s.spawn(DomainSpec::named("alice"), Box::new(Echo)).unwrap();
+        let mallory = s
+            .spawn(DomainSpec::named("mallory"), Box::new(Echo))
+            .unwrap();
+        let a = s.grant_channel(alice, store, Badge(1)).unwrap();
+        let m = s.grant_channel(mallory, store, Badge(2)).unwrap();
+        (s, a, m)
+    }
+
+    #[test]
+    fn basic_put_list_get() {
+        let (mut s, a, _) = setup(ClientIdSource::KernelBadge);
+        s.invoke(a.owner, &a, b"put:user=alice;Hello Alice").unwrap();
+        s.invoke(a.owner, &a, b"put:user=alice;Second mail").unwrap();
+        assert_eq!(s.invoke(a.owner, &a, b"list:user=alice;").unwrap(), b"2");
+        assert_eq!(
+            s.invoke(a.owner, &a, b"get:user=alice;0").unwrap(),
+            b"Hello Alice"
+        );
+    }
+
+    #[test]
+    fn badge_mode_defeats_identity_lie() {
+        let (mut s, a, m) = setup(ClientIdSource::KernelBadge);
+        s.invoke(a.owner, &a, b"put:user=alice;private mail").unwrap();
+        // Mallory claims to be alice in the message — the badge says
+        // otherwise, so she only reads her own (empty) mailbox.
+        let r = s.invoke(m.owner, &m, b"get:user=alice;0");
+        assert!(r.is_err(), "deputy refused or served mallory's own box");
+        assert_eq!(s.invoke(m.owner, &m, b"list:user=alice;").unwrap(), b"0");
+    }
+
+    #[test]
+    fn message_field_mode_is_a_confused_deputy() {
+        let (mut s, a, m) = setup(ClientIdSource::MessageField);
+        s.invoke(a.owner, &a, b"put:user=alice;private mail").unwrap();
+        // The vulnerable mode believes the claimed identity.
+        assert_eq!(
+            s.invoke(m.owner, &m, b"get:user=alice;0").unwrap(),
+            b"private mail"
+        );
+    }
+
+    #[test]
+    fn unknown_badge_rejected_in_badge_mode() {
+        let (mut s, _, _) = setup(ClientIdSource::KernelBadge);
+        // A third client with an unprovisioned badge.
+        let store_id = lateral_substrate::DomainId(0);
+        let stranger = s
+            .spawn(DomainSpec::named("stranger"), Box::new(Echo))
+            .unwrap();
+        let cap = s.grant_channel(stranger, store_id, Badge(99)).unwrap();
+        assert!(s.invoke(stranger, &cap, b"list:user=alice;").is_err());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        let (mut s, a, _) = setup(ClientIdSource::KernelBadge);
+        assert!(s.invoke(a.owner, &a, b"put:no-user-field").is_err());
+        assert!(s.invoke(a.owner, &a, b"get:user=alice;notanumber").is_err());
+    }
+}

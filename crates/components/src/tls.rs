@@ -1,0 +1,402 @@
+//! The TLS component: sole keeper of channel keys and account secrets.
+//!
+//! §III-C: *"another component for transport-layer security (TLS) and
+//! login. If only the TLS component can access the device driver of the
+//! network card, the isolation substrate enforces mandatory encryption
+//! and integrity protection. Cryptographic keys and the user's account
+//! passwords are shielded from all other components."*
+//!
+//! The component wraps the handshake state machine of
+//! [`lateral_net::channel`] behind the component interface. Neither the
+//! identity key, nor the session keys, nor the account password ever
+//! appear in any reply — the `login:` command seals the credentials
+//! *directly into the channel*, so even the component that drives the
+//! connection never sees them.
+
+use lateral_crypto::rng::Drbg;
+use lateral_crypto::sign::SigningKey;
+use lateral_net::channel::{
+    ChannelPolicy, ClientHandshake, SecureChannel, ServerAwaitFinish, ServerHandshake,
+};
+use lateral_substrate::component::{Component, ComponentError, Invocation};
+use lateral_substrate::substrate::DomainContext;
+
+use crate::split_cmd;
+
+/// Which side of the handshake this instance plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsRole {
+    /// Connect-side.
+    Client,
+    /// Accept-side.
+    Server,
+}
+
+enum State {
+    Idle,
+    ClientAwaitingServerHello(ClientHandshake),
+    ServerAwaitingFinish(ServerAwaitFinish),
+    Established(Box<SecureChannel>),
+}
+
+impl std::fmt::Debug for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            State::Idle => "idle",
+            State::ClientAwaitingServerHello(_) => "await-server-hello",
+            State::ServerAwaitingFinish(_) => "await-finish",
+            State::Established(_) => "established",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The TLS component. Protocol (binary payload after the colon):
+///
+/// Client role:
+/// * `hello:` — starts the handshake, returns ClientHello bytes.
+/// * `complete:<server_hello>` — verifies, returns ClientFinish bytes.
+///
+/// Server role:
+/// * `accept:<client_hello>` — returns ServerHello bytes (with
+///   attestation evidence when `attest_self` is on).
+/// * `finish:<client_finish>` — completes the handshake, returns `ok`.
+///
+/// Both, once established:
+/// * `send:<plaintext>` — returns the sealed record.
+/// * `recv:<record>` — returns the plaintext.
+/// * `login:` — client only: seals `LOGIN <account> <password>` into the
+///   channel, returning the record (the password never leaves otherwise).
+/// * `peer:` — hex peer key, plus `;attested=<measurement hex>` when the
+///   policy demanded attestation.
+pub struct TlsComponent {
+    role: TlsRole,
+    identity: SigningKey,
+    policy: ChannelPolicy,
+    attest_self: bool,
+    account: Option<(String, String)>,
+    state: State,
+    peer: Option<lateral_net::channel::PeerInfo>,
+    rng: Option<Drbg>,
+}
+
+impl std::fmt::Debug for TlsComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TlsComponent({:?}, {:?})", self.role, self.state)
+    }
+}
+
+impl TlsComponent {
+    /// Creates a TLS component.
+    ///
+    /// * `identity` — this party's signing key.
+    /// * `policy` — requirements on the peer (pinning / attestation).
+    /// * `attest_self` — attach substrate attestation evidence bound to
+    ///   the handshake (server role; client role attaches it in Finish).
+    /// * `account` — optional `(user, password)` for `login:`.
+    pub fn new(
+        role: TlsRole,
+        identity: SigningKey,
+        policy: ChannelPolicy,
+        attest_self: bool,
+        account: Option<(&str, &str)>,
+    ) -> TlsComponent {
+        TlsComponent {
+            role,
+            identity,
+            policy,
+            attest_self,
+            account: account.map(|(u, p)| (u.to_string(), p.to_string())),
+            state: State::Idle,
+            peer: None,
+            rng: None,
+        }
+    }
+
+    fn rng(&mut self, ctx: &mut dyn DomainContext) -> &mut Drbg {
+        if self.rng.is_none() {
+            let mut seed = Vec::new();
+            for _ in 0..4 {
+                seed.extend_from_slice(&ctx.rng_u64().to_le_bytes());
+            }
+            self.rng = Some(Drbg::from_seed(&seed));
+        }
+        self.rng.as_mut().expect("just initialized")
+    }
+
+    fn channel(&mut self) -> Result<&mut SecureChannel, ComponentError> {
+        match &mut self.state {
+            State::Established(c) => Ok(c),
+            other => Err(ComponentError::new(format!(
+                "channel not established (state: {other:?})"
+            ))),
+        }
+    }
+}
+
+impl Component for TlsComponent {
+    fn label(&self) -> &str {
+        "tls"
+    }
+
+    fn on_call(
+        &mut self,
+        ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let (cmd, payload) = split_cmd(inv.data)?;
+        match (cmd, self.role) {
+            ("hello", TlsRole::Client) => {
+                let identity = self.identity.clone();
+                let (state, hello) = ClientHandshake::start(identity, self.rng(ctx));
+                self.state = State::ClientAwaitingServerHello(state);
+                Ok(hello)
+            }
+            ("complete", TlsRole::Client) => {
+                let state = match std::mem::replace(&mut self.state, State::Idle) {
+                    State::ClientAwaitingServerHello(s) => s,
+                    other => {
+                        self.state = other;
+                        return Err(ComponentError::new("no handshake in progress"));
+                    }
+                };
+                let attest_self = self.attest_self;
+                let (channel, finish, peer) = state
+                    .finish(payload, &self.policy, |transcript| {
+                        if attest_self {
+                            ctx.attest(transcript.as_bytes()).ok()
+                        } else {
+                            None
+                        }
+                    })
+                    .map_err(|e| ComponentError::new(format!("handshake: {e}")))?;
+                self.state = State::Established(Box::new(channel));
+                self.peer = Some(peer);
+                Ok(finish)
+            }
+            ("accept", TlsRole::Server) => {
+                let identity = self.identity.clone();
+                let pending = {
+                    let rng = self.rng(ctx);
+                    ServerHandshake::accept(&identity, rng, payload)
+                        .map_err(|e| ComponentError::new(format!("handshake: {e}")))?
+                };
+                let evidence = if self.attest_self {
+                    ctx.attest(pending.transcript().as_bytes()).ok()
+                } else {
+                    None
+                };
+                let (awaiting, server_hello) = pending.respond(evidence, payload);
+                self.state = State::ServerAwaitingFinish(awaiting);
+                Ok(server_hello)
+            }
+            ("finish", TlsRole::Server) => {
+                let state = match std::mem::replace(&mut self.state, State::Idle) {
+                    State::ServerAwaitingFinish(s) => s,
+                    other => {
+                        self.state = other;
+                        return Err(ComponentError::new("no handshake in progress"));
+                    }
+                };
+                let (channel, peer) = state
+                    .complete(payload, &self.policy)
+                    .map_err(|e| ComponentError::new(format!("handshake: {e}")))?;
+                self.state = State::Established(Box::new(channel));
+                self.peer = Some(peer);
+                Ok(b"ok".to_vec())
+            }
+            ("send", _) => Ok(self.channel()?.seal(payload)),
+            ("recv", _) => self
+                .channel()?
+                .open(payload)
+                .map_err(|e| ComponentError::new(format!("record: {e}"))),
+            ("login", TlsRole::Client) => {
+                let (user, password) = self
+                    .account
+                    .clone()
+                    .ok_or_else(|| ComponentError::new("no account provisioned"))?;
+                let msg = format!("LOGIN {user} {password}");
+                Ok(self.channel()?.seal(msg.as_bytes()))
+            }
+            ("peer", _) => {
+                let peer = self
+                    .peer
+                    .as_ref()
+                    .ok_or_else(|| ComponentError::new("no peer yet"))?;
+                let mut out: String =
+                    peer.key.iter().map(|b| format!("{b:02x}")).collect();
+                if let Some(att) = &peer.attested {
+                    out.push_str(";attested=");
+                    out.push_str(&att.measurement.to_hex());
+                }
+                Ok(out.into_bytes())
+            }
+            (other, role) => Err(ComponentError::new(format!(
+                "command '{other}' invalid for {role:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_substrate::cap::Badge;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::substrate::{DomainSpec, Substrate};
+    use lateral_substrate::testkit::Echo;
+
+    /// Wires a client TLS component and a server TLS component on one
+    /// substrate and relays handshake bytes between them.
+    fn establish(
+        client_policy: ChannelPolicy,
+        server_policy: ChannelPolicy,
+    ) -> (
+        SoftwareSubstrate,
+        lateral_substrate::cap::ChannelCap, // driver → client tls
+        lateral_substrate::cap::ChannelCap, // driver → server tls
+    ) {
+        let mut s = SoftwareSubstrate::new("tls comp");
+        let client = s
+            .spawn(
+                DomainSpec::named("tls-client"),
+                Box::new(TlsComponent::new(
+                    TlsRole::Client,
+                    SigningKey::from_seed(b"client id"),
+                    client_policy,
+                    false,
+                    Some(("alice", "hunter2")),
+                )),
+            )
+            .unwrap();
+        let server = s
+            .spawn(
+                DomainSpec::named("tls-server"),
+                Box::new(TlsComponent::new(
+                    TlsRole::Server,
+                    SigningKey::from_seed(b"server id"),
+                    server_policy,
+                    false,
+                    None,
+                )),
+            )
+            .unwrap();
+        let driver = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let c_cap = s.grant_channel(driver, client, Badge(1)).unwrap();
+        let s_cap = s.grant_channel(driver, server, Badge(2)).unwrap();
+
+        let hello = s.invoke(driver, &c_cap, b"hello:").unwrap();
+        let mut req = b"accept:".to_vec();
+        req.extend_from_slice(&hello);
+        let server_hello = s.invoke(driver, &s_cap, &req).unwrap();
+        let mut req = b"complete:".to_vec();
+        req.extend_from_slice(&server_hello);
+        let finish = s.invoke(driver, &c_cap, &req).unwrap();
+        let mut req = b"finish:".to_vec();
+        req.extend_from_slice(&finish);
+        assert_eq!(s.invoke(driver, &s_cap, &req).unwrap(), b"ok");
+        (s, c_cap, s_cap)
+    }
+
+    #[test]
+    fn end_to_end_records_through_components() {
+        let (mut s, c_cap, s_cap) = establish(ChannelPolicy::open(), ChannelPolicy::open());
+        let driver = c_cap.owner;
+        let mut req = b"send:".to_vec();
+        req.extend_from_slice(b"SELECT INBOX");
+        let record = s.invoke(driver, &c_cap, &req).unwrap();
+        assert!(!record.windows(12).any(|w| w == b"SELECT INBOX"));
+        let mut req = b"recv:".to_vec();
+        req.extend_from_slice(&record);
+        assert_eq!(s.invoke(driver, &s_cap, &req).unwrap(), b"SELECT INBOX");
+    }
+
+    #[test]
+    fn login_seals_password_without_exposing_it() {
+        let (mut s, c_cap, s_cap) = establish(ChannelPolicy::open(), ChannelPolicy::open());
+        let driver = c_cap.owner;
+        let record = s.invoke(driver, &c_cap, b"login:").unwrap();
+        // The driver relaying the record cannot see the password.
+        assert!(!record.windows(7).any(|w| w == b"hunter2"));
+        let mut req = b"recv:".to_vec();
+        req.extend_from_slice(&record);
+        assert_eq!(
+            s.invoke(driver, &s_cap, &req).unwrap(),
+            b"LOGIN alice hunter2"
+        );
+    }
+
+    #[test]
+    fn pinned_policy_rejects_wrong_server() {
+        let pinned = ChannelPolicy::pin(SigningKey::from_seed(b"someone else").verifying_key());
+        let mut sub = SoftwareSubstrate::new("tls pin");
+        let client = sub
+            .spawn(
+                DomainSpec::named("tls-client"),
+                Box::new(TlsComponent::new(
+                    TlsRole::Client,
+                    SigningKey::from_seed(b"client id"),
+                    pinned,
+                    false,
+                    None,
+                )),
+            )
+            .unwrap();
+        let server = sub
+            .spawn(
+                DomainSpec::named("tls-server"),
+                Box::new(TlsComponent::new(
+                    TlsRole::Server,
+                    SigningKey::from_seed(b"server id"),
+                    ChannelPolicy::open(),
+                    false,
+                    None,
+                )),
+            )
+            .unwrap();
+        let driver = sub.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let c_cap = sub.grant_channel(driver, client, Badge(1)).unwrap();
+        let s_cap = sub.grant_channel(driver, server, Badge(2)).unwrap();
+        let hello = sub.invoke(driver, &c_cap, b"hello:").unwrap();
+        let mut req = b"accept:".to_vec();
+        req.extend_from_slice(&hello);
+        let server_hello = sub.invoke(driver, &s_cap, &req).unwrap();
+        let mut req = b"complete:".to_vec();
+        req.extend_from_slice(&server_hello);
+        assert!(sub.invoke(driver, &c_cap, &req).is_err());
+    }
+
+    #[test]
+    fn records_before_handshake_rejected() {
+        let mut sub = SoftwareSubstrate::new("tls early");
+        let client = sub
+            .spawn(
+                DomainSpec::named("tls-client"),
+                Box::new(TlsComponent::new(
+                    TlsRole::Client,
+                    SigningKey::from_seed(b"c"),
+                    ChannelPolicy::open(),
+                    false,
+                    None,
+                )),
+            )
+            .unwrap();
+        let driver = sub.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = sub.grant_channel(driver, client, Badge(1)).unwrap();
+        assert!(sub.invoke(driver, &cap, b"send:data").is_err());
+        assert!(sub.invoke(driver, &cap, b"login:").is_err());
+    }
+
+    #[test]
+    fn peer_query_reports_identity() {
+        let (mut s, c_cap, _) = establish(ChannelPolicy::open(), ChannelPolicy::open());
+        let peer = s.invoke(c_cap.owner, &c_cap, b"peer:").unwrap();
+        let expected: String = SigningKey::from_seed(b"server id")
+            .verifying_key()
+            .to_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assert_eq!(String::from_utf8(peer).unwrap(), expected);
+    }
+}

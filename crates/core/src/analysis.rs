@@ -1,0 +1,573 @@
+//! Security analysis over the channel graph — the tooling §IV calls for.
+//!
+//! *"Better tooling is needed to analyze security properties when
+//! applications consist of many independently communicating services.
+//! Especially, tools to uncover confused deputy problems are crucial."*
+//!
+//! Three analyses, all static over the [`AppManifest`]:
+//!
+//! * [`blast_radius`] — which components and assets an attacker reaches
+//!   after compromising a given component (forward closure over declared
+//!   channels plus everything co-located in the same domain). This is
+//!   the number experiment E1 compares between the vertical and the
+//!   horizontal design.
+//! * [`asset_exposure`] / [`asset_tcb_loc`] — for each asset, the set of
+//!   components whose compromise reaches it and the lines of code that
+//!   must therefore be correct (the asset's TCB, experiment E7).
+//! * [`confused_deputy_candidates`] — servers handling multiple clients
+//!   whose badges do not distinguish them, or that hold assets while
+//!   serving mixed trust classes.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::manifest::{AppManifest, Sensitivity, TrustClass};
+
+/// The result of compromising one component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlastRadius {
+    /// The compromised component.
+    pub start: String,
+    /// Every component the attacker can invoke, transitively.
+    pub reachable_components: BTreeSet<String>,
+    /// Every asset in a reachable (or the compromised) component.
+    pub reachable_assets: BTreeSet<String>,
+    /// Reachable assets with `Secret` sensitivity.
+    pub secret_assets: BTreeSet<String>,
+}
+
+impl BlastRadius {
+    /// Fraction of the app's assets the attacker reaches (0.0–1.0).
+    pub fn asset_fraction(&self, app: &AppManifest) -> f64 {
+        let total: usize = app.components.iter().map(|c| c.assets.len()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.reachable_assets.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Computes the forward closure from `compromised` over declared
+/// channels: everything it can invoke (and therefore feed attacker
+/// input), plus the assets those components hold.
+///
+/// # Panics
+///
+/// Panics if `compromised` is not in the manifest (programming error in
+/// the experiment harness).
+pub fn blast_radius(app: &AppManifest, compromised: &str) -> BlastRadius {
+    assert!(
+        app.component(compromised).is_some(),
+        "unknown component '{compromised}'"
+    );
+    let mut reachable = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(compromised.to_string());
+    while let Some(current) = queue.pop_front() {
+        if !reachable.insert(current.clone()) {
+            continue;
+        }
+        if let Some(cm) = app.component(&current) {
+            for ch in &cm.channels {
+                if !reachable.contains(&ch.to) {
+                    queue.push_back(ch.to.clone());
+                }
+            }
+        }
+    }
+    let mut assets = BTreeSet::new();
+    let mut secrets = BTreeSet::new();
+    for name in &reachable {
+        if let Some(cm) = app.component(name) {
+            for a in &cm.assets {
+                assets.insert(a.name.clone());
+                if a.sensitivity == Sensitivity::Secret {
+                    secrets.insert(a.name.clone());
+                }
+            }
+        }
+    }
+    BlastRadius {
+        start: compromised.to_string(),
+        reachable_components: reachable,
+        reachable_assets: assets,
+        secret_assets: secrets,
+    }
+}
+
+/// The exposure set of an asset: every component whose compromise
+/// reaches the asset's holder (reverse reachability), including the
+/// holder itself. Returns `None` for unknown assets.
+pub fn asset_exposure(app: &AppManifest, asset: &str) -> Option<BTreeSet<String>> {
+    let holder = app
+        .components
+        .iter()
+        .find(|c| c.assets.iter().any(|a| a.name == asset))?
+        .name
+        .clone();
+    let exposure: BTreeSet<String> = app
+        .components
+        .iter()
+        .filter(|c| blast_radius(app, &c.name).reachable_components.contains(&holder))
+        .map(|c| c.name.clone())
+        .collect();
+    Some(exposure)
+}
+
+/// Lines of code that must be correct for `asset` to stay safe: the LoC
+/// of every component in the exposure set plus `substrate_tcb_loc` (the
+/// isolation substrate underneath, which is always trusted). Returns
+/// `None` for unknown assets.
+pub fn asset_tcb_loc(app: &AppManifest, asset: &str, substrate_tcb_loc: u64) -> Option<u64> {
+    let exposure = asset_exposure(app, asset)?;
+    let app_loc: u64 = app
+        .components
+        .iter()
+        .filter(|c| exposure.contains(&c.name))
+        .map(|c| c.loc)
+        .sum();
+    Some(app_loc + substrate_tcb_loc)
+}
+
+/// Why a component was flagged as a confused-deputy candidate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeputyRisk {
+    /// Two inbound channels carry the *same badge*: the server cannot
+    /// tell those clients apart — a definite bug.
+    CollidingBadges {
+        /// The badge value shared by multiple clients.
+        badge: u64,
+        /// The clients that share it.
+        clients: Vec<String>,
+    },
+    /// The server holds assets and serves clients of mixed trust
+    /// classes; it must demultiplex carefully (warning).
+    MixedTrustClients {
+        /// Trusted callers.
+        trusted: Vec<String>,
+        /// Legacy callers.
+        legacy: Vec<String>,
+    },
+}
+
+/// A flagged component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeputyWarning {
+    /// The server at risk.
+    pub component: String,
+    /// The specific risk found.
+    pub risk: DeputyRisk,
+}
+
+/// Scans the manifest for confused-deputy candidates.
+pub fn confused_deputy_candidates(app: &AppManifest) -> Vec<DeputyWarning> {
+    let mut warnings = Vec::new();
+    let inbound = app.inbound();
+    for cm in &app.components {
+        let Some(callers) = inbound.get(cm.name.as_str()) else {
+            continue;
+        };
+        if callers.len() < 2 {
+            continue;
+        }
+        // Badge collisions.
+        let mut by_badge: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+        for (caller, badge) in callers {
+            by_badge.entry(*badge).or_default().push(caller.to_string());
+        }
+        for (badge, clients) in by_badge {
+            if clients.len() > 1 {
+                warnings.push(DeputyWarning {
+                    component: cm.name.clone(),
+                    risk: DeputyRisk::CollidingBadges { badge, clients },
+                });
+            }
+        }
+        // Mixed trust with assets.
+        if !cm.assets.is_empty() {
+            let (mut trusted, mut legacy) = (Vec::new(), Vec::new());
+            for (caller, _) in callers {
+                match app.component(caller).map(|c| c.trust) {
+                    Some(TrustClass::Legacy) => legacy.push(caller.to_string()),
+                    Some(TrustClass::Trusted) => trusted.push(caller.to_string()),
+                    None => {}
+                }
+            }
+            if !trusted.is_empty() && !legacy.is_empty() {
+                warnings.push(DeputyWarning {
+                    component: cm.name.clone(),
+                    risk: DeputyRisk::MixedTrustClients { trusted, legacy },
+                });
+            }
+        }
+    }
+    warnings
+}
+
+/// A cross-machine link: a component on one app/machine invoking an
+/// exported component of another (what [`crate::remote`] implements at
+/// runtime).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteLink {
+    /// `(app name, component)` on the calling side.
+    pub from: (String, String),
+    /// `(app name, component)` on the serving side.
+    pub to: (String, String),
+}
+
+impl RemoteLink {
+    /// Creates a link.
+    pub fn new(from_app: &str, from: &str, to_app: &str, to: &str) -> RemoteLink {
+        RemoteLink {
+            from: (from_app.to_string(), from.to_string()),
+            to: (to_app.to_string(), to.to_string()),
+        }
+    }
+}
+
+/// Blast radius across a *distributed* system — the paper's
+/// "distributed confidence domains across machine boundaries" (§III-C).
+/// Components are qualified as `app/component`; remote links are extra
+/// directed edges in the combined graph.
+///
+/// # Panics
+///
+/// Panics when `compromised` does not name a component of any app.
+pub fn distributed_blast_radius(
+    apps: &[&AppManifest],
+    links: &[RemoteLink],
+    compromised_app: &str,
+    compromised: &str,
+) -> BTreeSet<String> {
+    let qualified = |app: &str, comp: &str| format!("{app}/{comp}");
+    // Build the combined edge map.
+    let mut edges: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut known = BTreeSet::new();
+    for app in apps {
+        for c in &app.components {
+            let me = qualified(&app.name, &c.name);
+            known.insert(me.clone());
+            for ch in &c.channels {
+                edges
+                    .entry(me.clone())
+                    .or_default()
+                    .push(qualified(&app.name, &ch.to));
+            }
+        }
+    }
+    for link in links {
+        edges
+            .entry(qualified(&link.from.0, &link.from.1))
+            .or_default()
+            .push(qualified(&link.to.0, &link.to.1));
+    }
+    let start = qualified(compromised_app, compromised);
+    assert!(known.contains(&start), "unknown component '{start}'");
+    let mut reachable = BTreeSet::new();
+    let mut queue = VecDeque::from([start]);
+    while let Some(cur) = queue.pop_front() {
+        if !reachable.insert(cur.clone()) {
+            continue;
+        }
+        for next in edges.get(&cur).into_iter().flatten() {
+            if !reachable.contains(next) {
+                queue.push_back(next.clone());
+            }
+        }
+    }
+    reachable
+}
+
+/// Renders the application's trust topology as Graphviz DOT — the
+/// "map of communication relationships" of §III-A, for human review.
+/// Legacy components are drawn as red boxes, trusted ones as green
+/// ellipses; edges carry channel labels and badges; assets appear as
+/// annotations on their holder.
+pub fn to_dot(app: &AppManifest) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", app.name));
+    out.push_str("  rankdir=LR;\n");
+    for c in &app.components {
+        let (shape, color) = match c.trust {
+            TrustClass::Trusted => ("ellipse", "darkgreen"),
+            TrustClass::Legacy => ("box", "red"),
+        };
+        let assets: Vec<String> = c
+            .assets
+            .iter()
+            .map(|a| format!("{} ({:?})", a.name, a.sensitivity))
+            .collect();
+        let label = if assets.is_empty() {
+            format!("{}\\n{} LoC", c.name, c.loc)
+        } else {
+            format!("{}\\n{} LoC\\n[{}]", c.name, c.loc, assets.join(", "))
+        };
+        out.push_str(&format!(
+            "  \"{}\" [shape={shape}, color={color}, label=\"{label}\"];\n",
+            c.name
+        ));
+    }
+    for c in &app.components {
+        for ch in &c.channels {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{} (badge {})\"];\n",
+                c.name, ch.to, ch.label, ch.badge
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Summary table row for the E1/E7 reports: one row per compromised
+/// component.
+#[derive(Clone, Debug)]
+pub struct ContainmentRow {
+    /// The compromised component.
+    pub compromised: String,
+    /// Components reached.
+    pub components_reached: usize,
+    /// Assets reached.
+    pub assets_reached: usize,
+    /// Secret assets reached.
+    pub secrets_reached: usize,
+    /// Fraction of all assets reached.
+    pub asset_fraction: f64,
+}
+
+/// Computes the containment table: the blast radius of compromising each
+/// component in turn.
+pub fn containment_table(app: &AppManifest) -> Vec<ContainmentRow> {
+    app.components
+        .iter()
+        .map(|c| {
+            let br = blast_radius(app, &c.name);
+            ContainmentRow {
+                compromised: c.name.clone(),
+                components_reached: br.reachable_components.len(),
+                assets_reached: br.reachable_assets.len(),
+                secrets_reached: br.secret_assets.len(),
+                asset_fraction: br.asset_fraction(app),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ComponentManifest;
+
+    /// ui → {renderer, store}; store holds the archive; tls holds keys
+    /// and is reached only from ui.
+    fn horizontal() -> AppManifest {
+        AppManifest::new(
+            "mail-horizontal",
+            vec![
+                ComponentManifest::new("ui")
+                    .channel("render", "renderer", 1)
+                    .channel("store", "store", 2)
+                    .channel("net", "tls", 3),
+                ComponentManifest::new("renderer").loc(30_000),
+                ComponentManifest::new("store")
+                    .asset("mail-archive", Sensitivity::Personal),
+                ComponentManifest::new("tls").asset("tls-keys", Sensitivity::Secret),
+            ],
+        )
+    }
+
+    fn vertical() -> AppManifest {
+        AppManifest::new(
+            "mail-vertical",
+            vec![ComponentManifest::new("monolith")
+                .loc(100_000)
+                .legacy()
+                .asset("mail-archive", Sensitivity::Personal)
+                .asset("tls-keys", Sensitivity::Secret)],
+        )
+    }
+
+    #[test]
+    fn renderer_compromise_reaches_nothing() {
+        let app = horizontal();
+        let br = blast_radius(&app, "renderer");
+        assert_eq!(br.reachable_components.len(), 1); // itself
+        assert!(br.reachable_assets.is_empty());
+        assert_eq!(br.asset_fraction(&app), 0.0);
+    }
+
+    #[test]
+    fn ui_compromise_reaches_everything_it_may_call() {
+        let app = horizontal();
+        let br = blast_radius(&app, "ui");
+        assert_eq!(br.reachable_components.len(), 4);
+        assert_eq!(br.reachable_assets.len(), 2);
+        assert_eq!(br.secret_assets.len(), 1);
+    }
+
+    #[test]
+    fn vertical_compromise_reaches_all_assets() {
+        let app = vertical();
+        let br = blast_radius(&app, "monolith");
+        assert_eq!(br.asset_fraction(&app), 1.0);
+        assert!(br.secret_assets.contains("tls-keys"));
+    }
+
+    #[test]
+    fn asset_exposure_follows_reverse_reachability() {
+        let app = horizontal();
+        let exposure = asset_exposure(&app, "tls-keys").unwrap();
+        // tls itself and ui (which can call tls); renderer/store cannot.
+        assert!(exposure.contains("tls"));
+        assert!(exposure.contains("ui"));
+        assert!(!exposure.contains("renderer"));
+        assert!(!exposure.contains("store"));
+    }
+
+    #[test]
+    fn asset_tcb_excludes_unreachable_code() {
+        let app = horizontal();
+        // tls-keys TCB: ui (1000) + tls (1000) + substrate — the 30k
+        // renderer is NOT in the TCB.
+        assert_eq!(asset_tcb_loc(&app, "tls-keys", 10_000), Some(12_000));
+        // Vertical: everything is in the TCB.
+        let v = vertical();
+        assert_eq!(asset_tcb_loc(&v, "tls-keys", 10_000), Some(110_000));
+    }
+
+    #[test]
+    fn unknown_asset_is_none() {
+        assert!(asset_exposure(&horizontal(), "ghost").is_none());
+        assert!(asset_tcb_loc(&horizontal(), "ghost", 0).is_none());
+    }
+
+    #[test]
+    fn colliding_badges_flagged() {
+        let app = AppManifest::new(
+            "d",
+            vec![
+                ComponentManifest::new("a").channel("s", "server", 7),
+                ComponentManifest::new("b").channel("s", "server", 7),
+                ComponentManifest::new("server"),
+            ],
+        );
+        let warnings = confused_deputy_candidates(&app);
+        assert_eq!(warnings.len(), 1);
+        assert!(matches!(
+            &warnings[0].risk,
+            DeputyRisk::CollidingBadges { badge: 7, clients } if clients.len() == 2
+        ));
+    }
+
+    #[test]
+    fn distinct_badges_not_flagged() {
+        let app = AppManifest::new(
+            "d",
+            vec![
+                ComponentManifest::new("a").channel("s", "server", 1),
+                ComponentManifest::new("b").channel("s", "server", 2),
+                ComponentManifest::new("server"),
+            ],
+        );
+        assert!(confused_deputy_candidates(&app).is_empty());
+    }
+
+    #[test]
+    fn mixed_trust_with_assets_flagged() {
+        let app = AppManifest::new(
+            "d",
+            vec![
+                ComponentManifest::new("trusted-ui").channel("s", "store", 1),
+                ComponentManifest::new("android").legacy().channel("s", "store", 2),
+                ComponentManifest::new("store").asset("db", Sensitivity::Personal),
+            ],
+        );
+        let warnings = confused_deputy_candidates(&app);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(&w.risk, DeputyRisk::MixedTrustClients { .. })));
+    }
+
+    #[test]
+    fn containment_table_covers_all_components() {
+        let app = horizontal();
+        let table = containment_table(&app);
+        assert_eq!(table.len(), 4);
+        let renderer = table.iter().find(|r| r.compromised == "renderer").unwrap();
+        assert_eq!(renderer.assets_reached, 0);
+        let ui = table.iter().find(|r| r.compromised == "ui").unwrap();
+        assert_eq!(ui.assets_reached, 2);
+    }
+
+    #[test]
+    fn distributed_blast_radius_crosses_machines_only_over_links() {
+        // Meter appliance: android → gateway; meter-agent → (remote).
+        let appliance = AppManifest::new(
+            "appliance",
+            vec![
+                ComponentManifest::new("android").legacy().channel("net", "gateway", 1),
+                ComponentManifest::new("gateway"),
+                ComponentManifest::new("meter-agent"),
+            ],
+        );
+        // Utility: frontend → db.
+        let utility = AppManifest::new(
+            "utility",
+            vec![
+                ComponentManifest::new("frontend").channel("store", "db", 1),
+                ComponentManifest::new("db").asset("billing-db", Sensitivity::Personal),
+            ],
+        );
+        let links = [RemoteLink::new("appliance", "meter-agent", "utility", "frontend")];
+
+        // The meter agent reaches the utility frontend and its db.
+        let r = distributed_blast_radius(
+            &[&appliance, &utility],
+            &links,
+            "appliance",
+            "meter-agent",
+        );
+        assert!(r.contains("utility/frontend"));
+        assert!(r.contains("utility/db"));
+
+        // The compromised Android does NOT: its only channel is the
+        // gateway — no remote link, no path. Confidence stays domained.
+        let r = distributed_blast_radius(&[&appliance, &utility], &links, "appliance", "android");
+        assert_eq!(
+            r,
+            ["appliance/android", "appliance/gateway"]
+                .into_iter()
+                .map(String::from)
+                .collect()
+        );
+    }
+
+    #[test]
+    fn dot_export_names_all_nodes_and_edges() {
+        let app = horizontal();
+        let dot = to_dot(&app);
+        assert!(dot.starts_with("digraph"));
+        for c in &app.components {
+            assert!(dot.contains(&format!("\"{}\"", c.name)), "{}", c.name);
+        }
+        assert!(dot.contains("\"ui\" -> \"tls\""));
+        assert!(dot.contains("badge 3"));
+        assert!(dot.contains("tls-keys (Secret)"));
+        // The legacy baseline renders red boxes.
+        let vdot = to_dot(&vertical());
+        assert!(vdot.contains("shape=box, color=red"));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let app = AppManifest::new(
+            "cyclic",
+            vec![
+                ComponentManifest::new("a").channel("next", "b", 1),
+                ComponentManifest::new("b").channel("next", "a", 1),
+            ],
+        );
+        let br = blast_radius(&app, "a");
+        assert_eq!(br.reachable_components.len(), 2);
+    }
+}

@@ -1,0 +1,530 @@
+//! The composer: from manifest to running, POLA-wired assembly.
+//!
+//! The composer is deliberately part of the TCB — it is the software
+//! embodiment of the paper's "development workflow" where separation "is
+//! built right into" application construction. It:
+//!
+//! 1. places every component on a substrate whose profile defends the
+//!    component's required attacker models (preferring the candidate
+//!    with the smallest TCB — the *deliberate* choice §III-A asks for,
+//!    instead of "fashionability of a new hardware feature");
+//! 2. establishes exactly the channels the manifest declares; nothing
+//!    else can ever communicate;
+//! 3. bridges channels whose endpoints landed on different substrates
+//!    (the smart-meter appliance mixes a microkernel and TrustZone);
+//! 4. offers the experiment harness *environment* entry points to drive
+//!    components, tracked separately from declared channels.
+
+use std::collections::BTreeMap;
+
+use lateral_crypto::Digest;
+use lateral_substrate::attest::AttestationEvidence;
+use lateral_substrate::cap::{Badge, ChannelCap};
+use lateral_substrate::component::Component;
+use lateral_substrate::substrate::{DomainSpec, Substrate};
+use lateral_substrate::{DomainId, SubstrateError};
+
+use crate::manifest::{AppManifest, ComponentManifest};
+use crate::CoreError;
+
+/// Produces component instances for the composer.
+pub trait ComponentFactory {
+    /// Builds the component named by `manifest`, or `None` when unknown.
+    fn build(&mut self, manifest: &ComponentManifest) -> Option<Box<dyn Component>>;
+}
+
+impl<F> ComponentFactory for F
+where
+    F: FnMut(&ComponentManifest) -> Option<Box<dyn Component>>,
+{
+    fn build(&mut self, manifest: &ComponentManifest) -> Option<Box<dyn Component>> {
+        self(manifest)
+    }
+}
+
+/// One placed component.
+#[derive(Clone, Copy, Debug)]
+pub struct Placement {
+    /// Index into the assembly's substrate pool.
+    pub substrate: usize,
+    /// Domain on that substrate.
+    pub domain: DomainId,
+}
+
+enum ChannelRef {
+    /// Caller and target share a substrate: the caller's own capability.
+    Local { substrate: usize, cap: ChannelCap },
+    /// Endpoints on different substrates: the composer relays through an
+    /// environment domain on the target substrate that owns a capability
+    /// with the declared badge.
+    Bridged { substrate: usize, cap: ChannelCap },
+}
+
+/// A running application.
+pub struct Assembly {
+    substrates: Vec<Box<dyn Substrate>>,
+    placements: BTreeMap<String, Placement>,
+    channels: BTreeMap<(String, String), ChannelRef>,
+    env_domains: Vec<Option<DomainId>>,
+    env_caps: BTreeMap<(String, u64), (usize, ChannelCap)>,
+}
+
+impl std::fmt::Debug for Assembly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Assembly({} components over {} substrates)",
+            self.placements.len(),
+            self.substrates.len()
+        )
+    }
+}
+
+/// Badge used for environment (harness) invocations by default.
+pub const ENV_BADGE: Badge = Badge(0xE4F);
+
+/// Composes `app` over `substrates` using `factory`.
+///
+/// ```
+/// use lateral_core::composer::compose;
+/// use lateral_core::manifest::{AppManifest, ComponentManifest};
+/// use lateral_substrate::software::SoftwareSubstrate;
+/// use lateral_substrate::substrate::Substrate;
+/// use lateral_substrate::testkit::Echo;
+///
+/// # fn main() -> Result<(), lateral_core::CoreError> {
+/// let app = AppManifest::new(
+///     "demo",
+///     vec![
+///         ComponentManifest::new("ui").channel("ask", "service", 1),
+///         ComponentManifest::new("service"),
+///     ],
+/// );
+/// let pool: Vec<Box<dyn Substrate>> = vec![Box::new(SoftwareSubstrate::new("doc"))];
+/// let mut factory = |_m: &ComponentManifest| {
+///     Some(Box::new(Echo) as Box<dyn lateral_substrate::component::Component>)
+/// };
+/// let mut assembly = compose(&app, pool, &mut factory)?;
+/// assert_eq!(assembly.call_channel("ui", "ask", b"ping")?, b"ping");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidManifest`] — the manifest fails validation or
+///   the factory does not know a component.
+/// * [`CoreError::NoSuitableSubstrate`] — a component's required attacker
+///   models are not covered by any pool member.
+/// * [`CoreError::Substrate`] — spawn or grant failures.
+pub fn compose(
+    app: &AppManifest,
+    substrates: Vec<Box<dyn Substrate>>,
+    factory: &mut dyn ComponentFactory,
+) -> Result<Assembly, CoreError> {
+    app.validate()?;
+    let mut assembly = Assembly {
+        env_domains: substrates.iter().map(|_| None).collect(),
+        substrates,
+        placements: BTreeMap::new(),
+        channels: BTreeMap::new(),
+        env_caps: BTreeMap::new(),
+    };
+
+    // Phase 1: placement + spawn.
+    for cm in &app.components {
+        let mut candidates: Vec<(usize, u64)> = assembly
+            .substrates
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.profile().satisfies(&cm.required_defense))
+            .map(|(i, s)| (i, s.profile().tcb_loc))
+            .collect();
+        candidates.sort_by_key(|(_, tcb)| *tcb);
+        let (idx, _) = candidates.first().copied().ok_or_else(|| {
+            let required: Vec<String> =
+                cm.required_defense.iter().map(|m| m.to_string()).collect();
+            CoreError::NoSuitableSubstrate {
+                component: cm.name.clone(),
+                reason: format!("no pool substrate defends against [{}]", required.join(", ")),
+            }
+        })?;
+        let component = factory.build(cm).ok_or_else(|| {
+            CoreError::InvalidManifest(format!("factory cannot build '{}'", cm.name))
+        })?;
+        let spec = DomainSpec::named(&cm.name)
+            .with_image(&cm.image)
+            .with_mem_pages(cm.mem_pages)
+            .with_loc(cm.loc);
+        let domain = assembly.substrates[idx].spawn(spec, component)?;
+        assembly.placements.insert(
+            cm.name.clone(),
+            Placement {
+                substrate: idx,
+                domain,
+            },
+        );
+    }
+
+    // Phase 2: channels (declaration order — components may rely on it
+    // when enumerating their capability space).
+    for cm in &app.components {
+        let from = assembly.placements[&cm.name];
+        for ch in &cm.channels {
+            let to = assembly.placements[&ch.to];
+            let key = (cm.name.clone(), ch.label.clone());
+            if from.substrate == to.substrate {
+                let cap = assembly.substrates[from.substrate].grant_channel(
+                    from.domain,
+                    to.domain,
+                    Badge(ch.badge),
+                )?;
+                assembly.channels.insert(
+                    key,
+                    ChannelRef::Local {
+                        substrate: from.substrate,
+                        cap,
+                    },
+                );
+            } else {
+                let env = assembly.env_domain(to.substrate)?;
+                let cap = assembly.substrates[to.substrate].grant_channel(
+                    env,
+                    to.domain,
+                    Badge(ch.badge),
+                )?;
+                assembly.channels.insert(
+                    key,
+                    ChannelRef::Bridged {
+                        substrate: to.substrate,
+                        cap,
+                    },
+                );
+            }
+        }
+    }
+    Ok(assembly)
+}
+
+impl Assembly {
+    fn env_domain(&mut self, substrate: usize) -> Result<DomainId, SubstrateError> {
+        if let Some(d) = self.env_domains[substrate] {
+            return Ok(d);
+        }
+        let d = self.substrates[substrate].spawn(
+            DomainSpec::named("__env__").with_mem_pages(1),
+            Box::new(lateral_substrate::testkit::Echo),
+        )?;
+        self.env_domains[substrate] = Some(d);
+        Ok(d)
+    }
+
+    /// The placement of a component.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`].
+    pub fn placement(&self, name: &str) -> Result<Placement, CoreError> {
+        self.placements
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::NotFound(format!("component '{name}'")))
+    }
+
+    /// The name of the substrate a component landed on.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`].
+    pub fn substrate_of(&self, name: &str) -> Result<String, CoreError> {
+        let p = self.placement(name)?;
+        Ok(self.substrates[p.substrate].profile().name.clone())
+    }
+
+    /// Mutable access to a pool substrate (attack injection in
+    /// experiments).
+    pub fn substrate_mut(&mut self, index: usize) -> &mut dyn Substrate {
+        self.substrates[index].as_mut()
+    }
+
+    /// Number of substrates in the pool.
+    pub fn substrate_count(&self) -> usize {
+        self.substrates.len()
+    }
+
+    /// Invokes a *declared* channel on behalf of its owning component.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown channels, otherwise the
+    /// substrate invocation errors.
+    pub fn call_channel(
+        &mut self,
+        from: &str,
+        label: &str,
+        data: &[u8],
+    ) -> Result<Vec<u8>, CoreError> {
+        let key = (from.to_string(), label.to_string());
+        let chref = self
+            .channels
+            .get(&key)
+            .ok_or_else(|| CoreError::NotFound(format!("channel '{from}'.'{label}'")))?;
+        match chref {
+            ChannelRef::Local { substrate, cap } => {
+                let (sub, cap) = (*substrate, *cap);
+                let caller = self.placements[from].domain;
+                Ok(self.substrates[sub].invoke(caller, &cap, data)?)
+            }
+            ChannelRef::Bridged { substrate, cap } => {
+                let (sub, cap) = (*substrate, *cap);
+                let env = self.env_domains[sub].expect("bridge env exists");
+                Ok(self.substrates[sub].invoke(env, &cap, data)?)
+            }
+        }
+    }
+
+    /// Environment invocation of a component with [`ENV_BADGE`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown components, otherwise
+    /// substrate errors.
+    pub fn call_component(&mut self, name: &str, data: &[u8]) -> Result<Vec<u8>, CoreError> {
+        self.call_component_badged(name, ENV_BADGE, data)
+    }
+
+    /// Environment invocation with an explicit badge (for components
+    /// that demultiplex clients by badge).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Assembly::call_component`].
+    pub fn call_component_badged(
+        &mut self,
+        name: &str,
+        badge: Badge,
+        data: &[u8],
+    ) -> Result<Vec<u8>, CoreError> {
+        let placement = self.placement(name)?;
+        let key = (name.to_string(), badge.0);
+        if !self.env_caps.contains_key(&key) {
+            let env = self.env_domain(placement.substrate)?;
+            let cap = self.substrates[placement.substrate].grant_channel(
+                env,
+                placement.domain,
+                badge,
+            )?;
+            self.env_caps.insert(key.clone(), (placement.substrate, cap));
+        }
+        let (sub, cap) = self.env_caps[&key];
+        let env = self.env_domains[sub].expect("env exists");
+        Ok(self.substrates[sub].invoke(env, &cap, data)?)
+    }
+
+    /// The measurement of a placed component.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] / substrate errors.
+    pub fn measurement(&self, name: &str) -> Result<Digest, CoreError> {
+        let p = self.placement(name)?;
+        Ok(self.substrates[p.substrate].measurement(p.domain)?)
+    }
+
+    /// Attestation evidence for a placed component.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] / substrate errors (including
+    /// `Unsupported` when the substrate cannot attest).
+    pub fn attest(
+        &mut self,
+        name: &str,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, CoreError> {
+        let p = self.placement(name)?;
+        Ok(self.substrates[p.substrate].attest(p.domain, report_data)?)
+    }
+
+    /// Component names in placement order.
+    pub fn component_names(&self) -> Vec<String> {
+        self.placements.keys().cloned().collect()
+    }
+
+    /// Tears down a component: its domain is destroyed (memory scrubbed,
+    /// inbound capabilities revoked by the substrate) and every declared
+    /// channel from or to it stops existing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown components; substrate errors
+    /// from the destroy itself.
+    pub fn destroy_component(&mut self, name: &str) -> Result<(), CoreError> {
+        let placement = self.placement(name)?;
+        self.substrates[placement.substrate].destroy(placement.domain)?;
+        self.placements.remove(name);
+        self.channels
+            .retain(|(from, _), _| from != name);
+        self.env_caps.retain(|(target, _), _| target != name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ComponentManifest;
+    use lateral_substrate::attacker::AttackerModel;
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::testkit::{BadgeReporter, Counter, Echo};
+
+    fn echo_factory(cm: &ComponentManifest) -> Option<Box<dyn Component>> {
+        match cm.name.as_str() {
+            "badge-reporter" => Some(Box::new(BadgeReporter)),
+            "counter" => Some(Box::new(Counter::default())),
+            _ => Some(Box::new(Echo)),
+        }
+    }
+
+    fn pool() -> Vec<Box<dyn Substrate>> {
+        vec![Box::new(SoftwareSubstrate::new("pool-0"))]
+    }
+
+    #[test]
+    fn composes_and_calls_declared_channels() {
+        let app = AppManifest::new(
+            "demo",
+            vec![
+                ComponentManifest::new("ui").channel("count", "counter", 5),
+                ComponentManifest::new("counter"),
+            ],
+        );
+        let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
+        let r = asm.call_channel("ui", "count", b"").unwrap();
+        assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn undeclared_channel_does_not_exist() {
+        let app = AppManifest::new(
+            "demo",
+            vec![
+                ComponentManifest::new("ui"),
+                ComponentManifest::new("counter"),
+            ],
+        );
+        let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
+        assert!(matches!(
+            asm.call_channel("ui", "count", b""),
+            Err(CoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn declared_badges_are_delivered() {
+        let app = AppManifest::new(
+            "demo",
+            vec![
+                ComponentManifest::new("client").channel("ask", "badge-reporter", 0xBEEF),
+                ComponentManifest::new("badge-reporter"),
+            ],
+        );
+        let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
+        let r = asm.call_channel("client", "ask", b"").unwrap();
+        assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), 0xBEEF);
+    }
+
+    #[test]
+    fn unplaceable_component_is_reported() {
+        let app = AppManifest::new(
+            "demo",
+            vec![ComponentManifest::new("hsm").requires(&[AttackerModel::PhysicalBus])],
+        );
+        // The software substrate defends only remote-software.
+        let err = compose(&app, pool(), &mut echo_factory).unwrap_err();
+        assert!(matches!(err, CoreError::NoSuitableSubstrate { .. }));
+    }
+
+    #[test]
+    fn placement_prefers_smallest_satisfying_tcb() {
+        // Two software substrates; fake a big one by constructing a pool
+        // where ordering matters. Both satisfy, first has bigger TCB.
+        let big: Box<dyn Substrate> = Box::new(SoftwareSubstrate::new("big"));
+        let small: Box<dyn Substrate> = Box::new(SoftwareSubstrate::new("small"));
+        // Identical profiles → stable: picks index 0 (same tcb). This
+        // test just pins the tie-break behavior.
+        let app = AppManifest::new("demo", vec![ComponentManifest::new("c")]);
+        let asm = compose(&app, vec![big, small], &mut echo_factory).unwrap();
+        assert_eq!(asm.placement("c").unwrap().substrate, 0);
+    }
+
+    #[test]
+    fn environment_calls_work_and_are_badged() {
+        let app = AppManifest::new(
+            "demo",
+            vec![ComponentManifest::new("badge-reporter")],
+        );
+        let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
+        let r = asm
+            .call_component_badged("badge-reporter", Badge(42), b"")
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn unknown_factory_component_rejected() {
+        struct NoneFactory;
+        impl ComponentFactory for NoneFactory {
+            fn build(&mut self, _: &ComponentManifest) -> Option<Box<dyn Component>> {
+                None
+            }
+        }
+        let app = AppManifest::new("demo", vec![ComponentManifest::new("mystery")]);
+        assert!(matches!(
+            compose(&app, pool(), &mut NoneFactory),
+            Err(CoreError::InvalidManifest(_))
+        ));
+    }
+
+    #[test]
+    fn destroy_component_kills_channels_in_both_directions() {
+        let app = AppManifest::new(
+            "teardown",
+            vec![
+                ComponentManifest::new("ui").channel("count", "counter", 5),
+                ComponentManifest::new("counter"),
+            ],
+        );
+        let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
+        asm.call_channel("ui", "count", b"").unwrap();
+        asm.call_component("counter", b"").unwrap();
+        asm.destroy_component("counter").unwrap();
+        // Name gone, channel gone, env path gone.
+        assert!(asm.placement("counter").is_err());
+        assert!(asm.call_channel("ui", "count", b"").is_err());
+        assert!(asm.call_component("counter", b"").is_err());
+        // The survivor keeps working.
+        assert_eq!(asm.call_component("ui", b"still here").unwrap(), b"still here");
+    }
+
+    #[test]
+    fn cross_substrate_channels_are_bridged() {
+        let app = AppManifest::new(
+            "demo",
+            vec![
+                // Force them apart: second requires an attacker model
+                // only the second substrate has... with two identical
+                // software substrates we cannot force placement, so use
+                // the pool order tie-break plus a custom-requirement
+                // trick is unavailable; instead verify bridging by
+                // placing on one pool of two and checking the call path
+                // still works when we *manually* compose a bridged
+                // channel via distinct pools in the integration tests.
+                ComponentManifest::new("a").channel("go", "b", 9),
+                ComponentManifest::new("b"),
+            ],
+        );
+        let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
+        assert_eq!(asm.call_channel("a", "go", b"x").unwrap(), b"x");
+    }
+}

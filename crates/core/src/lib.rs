@@ -1,0 +1,76 @@
+//! The trusted component ecosystem runtime.
+//!
+//! This crate is the integration layer of the paper's vision (§III):
+//!
+//! * [`manifest`] — applications are *described*, not hard-wired: a
+//!   [`manifest::AppManifest`] names every component, its assets, its
+//!   required attacker model, and **every communication channel it is
+//!   allowed to have**. "Such a manifest enables the isolation substrate
+//!   to establish just the needed channels and block all other
+//!   communication, thereby promoting a POLA design mentality for the
+//!   entire system" (§III-A).
+//! * [`composer`] — instantiates a manifest over a pool of substrates,
+//!   choosing for each component a backend whose
+//!   [`SubstrateProfile`](lateral_substrate::attacker::SubstrateProfile)
+//!   defends against the component's required attacker model ("a unified
+//!   interface also allows developers to hand-pick an isolation
+//!   mechanism … based on the required attacker model").
+//! * [`analysis`] — the tooling §IV calls for: per-asset TCB accounting,
+//!   information-flow reachability over the channel graph (the blast
+//!   radius of experiment E1), confused-deputy candidate detection, and
+//!   a Graphviz exporter for human review.
+//! * [`remote`] — cross-machine composition: assembly components exported
+//!   over the adversarial network behind attested secure channels
+//!   ("our envisioned architecture also extends across the network",
+//!   §III-C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod composer;
+pub mod manifest;
+pub mod remote;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from manifest validation and composition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The manifest is internally inconsistent.
+    InvalidManifest(String),
+    /// No substrate in the pool satisfies a component's requirements.
+    NoSuitableSubstrate {
+        /// The component that could not be placed.
+        component: String,
+        /// Why each candidate was rejected.
+        reason: String,
+    },
+    /// A runtime substrate operation failed during composition.
+    Substrate(String),
+    /// A name lookup failed (component or channel label).
+    NotFound(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidManifest(r) => write!(f, "invalid manifest: {r}"),
+            CoreError::NoSuitableSubstrate { component, reason } => {
+                write!(f, "no suitable substrate for '{component}': {reason}")
+            }
+            CoreError::Substrate(r) => write!(f, "substrate error: {r}"),
+            CoreError::NotFound(r) => write!(f, "not found: {r}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<lateral_substrate::SubstrateError> for CoreError {
+    fn from(e: lateral_substrate::SubstrateError) -> Self {
+        CoreError::Substrate(e.to_string())
+    }
+}

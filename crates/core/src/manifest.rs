@@ -1,0 +1,331 @@
+//! Application manifests: declared components, assets, and channels.
+//!
+//! A manifest is the paper's "map of communication relationships": the
+//! composer establishes exactly the declared channels, and the analysis
+//! tools reason about trust and information flow over the same map.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lateral_substrate::attacker::AttackerModel;
+
+use crate::CoreError;
+
+/// How sensitive an asset is (used in reports; any compromise of a
+/// `Secret` asset counts as a security failure).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Sensitivity {
+    /// Public data; disclosure is harmless.
+    Public,
+    /// Personal data; disclosure is a privacy incident.
+    Personal,
+    /// Credentials / key material; disclosure is a security failure.
+    Secret,
+}
+
+/// A named asset held inside one component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Asset {
+    /// Asset name (unique within the app).
+    pub name: String,
+    /// Sensitivity class.
+    pub sensitivity: Sensitivity,
+}
+
+/// A declared communication channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelDecl {
+    /// Label the owning component uses to refer to the channel.
+    pub label: String,
+    /// Name of the target component.
+    pub to: String,
+    /// Badge delivered to the target (client identity).
+    pub badge: u64,
+}
+
+/// Whether a component is trusted or legacy (assumed compromised).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrustClass {
+    /// Designed per POLA / small enough to audit — trusted.
+    Trusted,
+    /// Monolithic legacy code — assumed compromised (§II-A).
+    Legacy,
+}
+
+/// One component in the application.
+#[derive(Clone, Debug)]
+pub struct ComponentManifest {
+    /// Unique component name.
+    pub name: String,
+    /// Code image (its digest is the attestable measurement).
+    pub image: Vec<u8>,
+    /// Implementation size in lines of code (TCB accounting).
+    pub loc: u64,
+    /// Private memory in pages.
+    pub mem_pages: usize,
+    /// Trusted or legacy.
+    pub trust: TrustClass,
+    /// The weakest attacker this component must still withstand.
+    pub required_defense: BTreeSet<AttackerModel>,
+    /// Assets held inside the component.
+    pub assets: Vec<Asset>,
+    /// Channels this component may use (POLA: nothing else exists).
+    pub channels: Vec<ChannelDecl>,
+}
+
+impl ComponentManifest {
+    /// Starts a builder-flavored manifest with defaults (trusted, 1000
+    /// LoC, 4 pages, image = name, defends remote-software).
+    pub fn new(name: &str) -> ComponentManifest {
+        ComponentManifest {
+            name: name.to_string(),
+            image: name.as_bytes().to_vec(),
+            loc: 1_000,
+            mem_pages: 4,
+            trust: TrustClass::Trusted,
+            required_defense: [AttackerModel::RemoteSoftware].into_iter().collect(),
+            assets: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// Sets the code image.
+    #[must_use]
+    pub fn image(mut self, image: &[u8]) -> ComponentManifest {
+        self.image = image.to_vec();
+        self
+    }
+
+    /// Sets the line count.
+    #[must_use]
+    pub fn loc(mut self, loc: u64) -> ComponentManifest {
+        self.loc = loc;
+        self
+    }
+
+    /// Marks the component legacy (assumed compromised).
+    #[must_use]
+    pub fn legacy(mut self) -> ComponentManifest {
+        self.trust = TrustClass::Legacy;
+        self
+    }
+
+    /// Requires defense against the given attacker models.
+    #[must_use]
+    pub fn requires(mut self, models: &[AttackerModel]) -> ComponentManifest {
+        self.required_defense = models.iter().copied().collect();
+        self
+    }
+
+    /// Declares an asset.
+    #[must_use]
+    pub fn asset(mut self, name: &str, sensitivity: Sensitivity) -> ComponentManifest {
+        self.assets.push(Asset {
+            name: name.to_string(),
+            sensitivity,
+        });
+        self
+    }
+
+    /// Declares a channel `label → to` with `badge`.
+    #[must_use]
+    pub fn channel(mut self, label: &str, to: &str, badge: u64) -> ComponentManifest {
+        self.channels.push(ChannelDecl {
+            label: label.to_string(),
+            to: to.to_string(),
+            badge,
+        });
+        self
+    }
+}
+
+/// A whole application: a set of components and their channel graph.
+#[derive(Clone, Debug)]
+pub struct AppManifest {
+    /// Application name.
+    pub name: String,
+    /// The components.
+    pub components: Vec<ComponentManifest>,
+}
+
+impl AppManifest {
+    /// Creates an application manifest from components.
+    pub fn new(name: &str, components: Vec<ComponentManifest>) -> AppManifest {
+        AppManifest {
+            name: name.to_string(),
+            components,
+        }
+    }
+
+    /// Looks up a component by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentManifest> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidManifest`] for duplicate component names,
+    /// channels to unknown targets, duplicate channel labels within one
+    /// component, duplicate asset names across the app, or self-channels.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let mut names = BTreeSet::new();
+        for c in &self.components {
+            if !names.insert(&c.name) {
+                return Err(CoreError::InvalidManifest(format!(
+                    "duplicate component name '{}'",
+                    c.name
+                )));
+            }
+        }
+        let mut assets = BTreeSet::new();
+        for c in &self.components {
+            for a in &c.assets {
+                if !assets.insert(&a.name) {
+                    return Err(CoreError::InvalidManifest(format!(
+                        "duplicate asset name '{}'",
+                        a.name
+                    )));
+                }
+            }
+            let mut labels = BTreeSet::new();
+            for ch in &c.channels {
+                if !labels.insert(&ch.label) {
+                    return Err(CoreError::InvalidManifest(format!(
+                        "duplicate channel label '{}' in '{}'",
+                        ch.label, c.name
+                    )));
+                }
+                if ch.to == c.name {
+                    return Err(CoreError::InvalidManifest(format!(
+                        "component '{}' declares a channel to itself",
+                        c.name
+                    )));
+                }
+                if !names.contains(&ch.to) {
+                    return Err(CoreError::InvalidManifest(format!(
+                        "channel '{}' in '{}' targets unknown component '{}'",
+                        ch.label, c.name, ch.to
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The inverse channel map: for each component, who may call it
+    /// (caller name, badge).
+    pub fn inbound(&self) -> BTreeMap<&str, Vec<(&str, u64)>> {
+        let mut map: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+        for c in &self.components {
+            map.entry(c.name.as_str()).or_default();
+            for ch in &c.channels {
+                map.entry(ch.to.as_str())
+                    .or_default()
+                    .push((c.name.as_str(), ch.badge));
+            }
+        }
+        map
+    }
+
+    /// Total declared lines of application code.
+    pub fn total_loc(&self) -> u64 {
+        self.components.iter().map(|c| c.loc).sum()
+    }
+
+    /// Total number of declared channels.
+    pub fn channel_count(&self) -> usize {
+        self.components.iter().map(|c| c.channels.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AppManifest {
+        AppManifest::new(
+            "mail",
+            vec![
+                ComponentManifest::new("ui")
+                    .channel("render", "renderer", 1)
+                    .channel("store", "mail-store", 2),
+                ComponentManifest::new("renderer").loc(30_000),
+                ComponentManifest::new("mail-store")
+                    .asset("mail-archive", Sensitivity::Personal),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_manifest_passes() {
+        sample().validate().unwrap();
+        assert_eq!(sample().channel_count(), 2);
+        assert_eq!(sample().total_loc(), 32_000);
+    }
+
+    #[test]
+    fn duplicate_component_rejected() {
+        let app = AppManifest::new(
+            "x",
+            vec![
+                ComponentManifest::new("a"),
+                ComponentManifest::new("a"),
+            ],
+        );
+        assert!(matches!(app.validate(), Err(CoreError::InvalidManifest(_))));
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let app = AppManifest::new(
+            "x",
+            vec![ComponentManifest::new("a").channel("c", "ghost", 1)],
+        );
+        assert!(app.validate().is_err());
+    }
+
+    #[test]
+    fn self_channel_rejected() {
+        let app = AppManifest::new(
+            "x",
+            vec![ComponentManifest::new("a").channel("self", "a", 1)],
+        );
+        assert!(app.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let app = AppManifest::new(
+            "x",
+            vec![
+                ComponentManifest::new("a")
+                    .channel("c", "b", 1)
+                    .channel("c", "b", 2),
+                ComponentManifest::new("b"),
+            ],
+        );
+        assert!(app.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_asset_rejected() {
+        let app = AppManifest::new(
+            "x",
+            vec![
+                ComponentManifest::new("a").asset("k", Sensitivity::Secret),
+                ComponentManifest::new("b").asset("k", Sensitivity::Secret),
+            ],
+        );
+        assert!(app.validate().is_err());
+    }
+
+    #[test]
+    fn inbound_map_inverts_channels() {
+        let app = sample();
+        let inbound = app.inbound();
+        assert_eq!(inbound["renderer"], vec![("ui", 1)]);
+        assert_eq!(inbound["mail-store"], vec![("ui", 2)]);
+        assert!(inbound["ui"].is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1) and HKDF (RFC 5869).
+//!
+//! HMAC is the integrity workhorse of the simulation: VPFS uses it for file
+//! authentication, the secure channel uses it for record tags, and the TPM /
+//! SGX models use HKDF to derive sealing and report keys from hardware root
+//! secrets.
+
+use crate::sha256::Sha256;
+use crate::{ct_eq, CryptoError};
+
+const BLOCK: usize = 64;
+
+/// Incremental HMAC-SHA256.
+///
+/// ```
+/// use lateral_crypto::hmac::HmacSha256;
+///
+/// let tag = HmacSha256::mac(b"key", b"message");
+/// assert!(HmacSha256::verify(b"key", b"message", &tag).is_ok());
+/// assert!(HmacSha256::verify(b"key", b"tampered", &tag).is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> HmacSha256 {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            k[..32].copy_from_slice(&crate::sha256::sha256(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `data` under `key`.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; 32] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verifies that `tag` authenticates `data` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] if the tag does not match.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> Result<(), CryptoError> {
+        if ct_eq(&Self::mac(key, data), tag) {
+            Ok(())
+        } else {
+            Err(CryptoError::VerificationFailed)
+        }
+    }
+}
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: derives `out.len()` bytes from `prk` bound to `info`.
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` output bytes are requested, per RFC 5869.
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * 32, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut written = 0;
+    while written < out.len() {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        let block = h.finalize();
+        let take = (out.len() - written).min(32);
+        out[written..written + take].copy_from_slice(&block[..take]);
+        written += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Convenience: full HKDF (extract + expand) producing a 32-byte key.
+///
+/// ```
+/// let k1 = lateral_crypto::hmac::hkdf(b"salt", b"secret", b"channel key");
+/// let k2 = lateral_crypto::hmac::hkdf(b"salt", b"secret", b"record key");
+/// assert_ne!(k1, k2);
+/// ```
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let prk = hkdf_extract(salt, ikm);
+    let mut out = [0u8; 32];
+    hkdf_expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case1() {
+        // RFC 4231 test case 1: key = 0x0b * 20, data = "Hi There".
+        let key = [0x0bu8; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        // key = "Jefe", data = "what do ya want for nothing?".
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        let key = vec![0xaau8; 100];
+        // Must equal HMAC with the hashed key.
+        let hashed = crate::sha256::sha256(&key);
+        assert_eq!(
+            HmacSha256::mac(&key, b"data"),
+            HmacSha256::mac(&hashed, b"data")
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = HmacSha256::new(b"k");
+        h.update(b"part one ");
+        h.update(b"part two");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"k", b"part one part two"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let tag = HmacSha256::mac(b"key a", b"msg");
+        assert_eq!(
+            HmacSha256::verify(b"key b", b"msg", &tag),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn hkdf_output_is_domain_separated() {
+        let a = hkdf(b"s", b"ikm", b"a");
+        let b = hkdf(b"s", b"ikm", b"b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hkdf_expand_long_output_is_prefix_consistent() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let mut long = [0u8; 100];
+        hkdf_expand(&prk, b"info", &mut long);
+        let mut short = [0u8; 32];
+        hkdf_expand(&prk, b"info", &mut short);
+        assert_eq!(&long[..32], &short[..]);
+    }
+}

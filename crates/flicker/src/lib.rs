@@ -1,0 +1,441 @@
+//! A Flicker-style late-launch isolation substrate.
+//!
+//! §II-B: *"The Flicker project has demonstrated that late launch can be
+//! used as an isolation mechanism to execute trusted components from
+//! within legacy code. Flicker even allows multiple trusted components
+//! that are mutually isolated by way of the TPM assigning them different
+//! cryptographic identities, but they cannot run concurrently."*
+//!
+//! This backend implements the unified interface on top of
+//! [`lateral_tpm`]'s dynamic root of trust:
+//!
+//! * every invocation of a domain **is** a late-launch session: the
+//!   dynamic PCR is reset, the component image is measured, the handler
+//!   runs with the machine to itself, and the PCR is capped on exit;
+//! * **no concurrency**: a component that tries to call another domain
+//!   mid-session hits the single-session limit of the TPM and receives
+//!   [`SubstrateError::Reentrancy`] — Flicker PALs cannot nest;
+//! * sealing and unsealing bind to the dynamic-PCR identity of the
+//!   launched image, so state persists between sessions only through the
+//!   TPM, exactly as in Flicker;
+//! * attestation evidence is signed by the TPM's attestation identity
+//!   and carries the payload measurement from the dynamic PCR.
+//!
+//! Each invocation pays the late-launch overhead (the paper's implicit
+//! cost of this design: DRTM entry is *expensive*), which makes Flicker
+//! the natural ablation point between "TPM only" and "SGX" in the E4
+//! cost ladder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lateral_crypto::rng::Drbg;
+use lateral_crypto::sign::VerifyingKey;
+use lateral_crypto::Digest;
+use lateral_substrate::attacker::{models, AttackerModel, Features, SubstrateProfile};
+use lateral_substrate::attest::AttestationEvidence;
+use lateral_substrate::cap::{Badge, CapTable, ChannelCap};
+use lateral_substrate::component::Component;
+use lateral_substrate::substrate::{
+    dispatch_call, CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate,
+};
+use lateral_substrate::{DomainId, SubstrateError};
+use lateral_tpm::Tpm;
+
+/// Cycles one DRTM entry/exit pair costs (SKINIT/SENTER-class overhead —
+/// orders of magnitude above an enclave transition).
+pub const LATE_LAUNCH_COST: u64 = 60_000;
+
+/// The Flicker substrate.
+pub struct Flicker {
+    tpm: Tpm,
+    table: DomainTable,
+    memories: Vec<Vec<u8>>,
+    session_active: bool,
+    clock: u64,
+    rng: Drbg,
+    profile: SubstrateProfile,
+}
+
+impl std::fmt::Debug for Flicker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Flicker({} PALs)", self.table.len())
+    }
+}
+
+const PAGE: usize = 4096;
+
+impl Flicker {
+    /// Initializes the substrate on a board identified by `seed` (the
+    /// TPM identity derives from it).
+    pub fn new(seed: &str) -> Flicker {
+        Flicker {
+            tpm: Tpm::new(seed.as_bytes()),
+            table: DomainTable::new(),
+            memories: Vec::new(),
+            session_active: false,
+            clock: 0,
+            rng: Drbg::from_seed(&[b"lateral.flicker.", seed.as_bytes()].concat()),
+            profile: SubstrateProfile {
+                name: "flicker".to_string(),
+                defends: models(&[
+                    AttackerModel::RemoteSoftware,
+                    // The kernel is *stopped* during a session.
+                    AttackerModel::CompromisedOs,
+                    // DRTM engages DMA protection over the PAL region.
+                    AttackerModel::MaliciousDevice,
+                    // The launch instruction is the trust anchor.
+                    AttackerModel::PhysicalBoot,
+                ]),
+                features: Features {
+                    spatial_isolation: true,
+                    // Everything else is stopped — trivially interference
+                    // free *during* a session; the flag is still false
+                    // because between sessions the legacy OS owns the
+                    // machine and all caches.
+                    temporal_isolation: false,
+                    memory_encryption: false,
+                    trust_anchor: true,
+                    attestation: true,
+                    sealed_storage: true,
+                    // One PAL at a time.
+                    max_trusted_domains: Some(1),
+                    hosts_legacy_os: true,
+                },
+                // The Flicker kernel module + PAL shim are tiny.
+                tcb_loc: 5_000,
+            },
+        }
+    }
+
+    /// Access to the underlying TPM (verifiers fetch the AIK, tests
+    /// inspect the event log).
+    pub fn tpm(&self) -> &Tpm {
+        &self.tpm
+    }
+}
+
+impl Substrate for Flicker {
+    fn profile(&self) -> &SubstrateProfile {
+        &self.profile
+    }
+
+    fn spawn(
+        &mut self,
+        spec: DomainSpec,
+        component: Box<dyn Component>,
+    ) -> Result<DomainId, SubstrateError> {
+        let measurement = spec.measurement();
+        let mem = vec![0u8; spec.mem_pages.max(1) * PAGE];
+        let id = self.table.insert(DomainRecord {
+            spec,
+            measurement,
+            caps: CapTable::new(),
+            component: Some(component),
+        });
+        debug_assert_eq!(id.0 as usize, self.memories.len());
+        self.memories.push(mem);
+        // Registering a PAL costs nothing until it is launched; run
+        // on_start inside its first session.
+        let mut comp = self.table.take_component(id)?;
+        let image = self.table.get(id)?.spec.image.clone();
+        let session = self
+            .tpm
+            .late_launch(&image)
+            .map_err(|e| SubstrateError::Platform(e.to_string()))?;
+        drop(session);
+        self.session_active = false;
+        self.clock += LATE_LAUNCH_COST;
+        let result = {
+            let mut ctx = CallCtx::new(self as &mut dyn Substrate, id, measurement);
+            comp.on_start(&mut ctx)
+        };
+        self.table.put_component(id, comp);
+        match result {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                self.table.remove(id)?;
+                Err(SubstrateError::ComponentFailure(e.0))
+            }
+        }
+    }
+
+    fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
+        self.table.remove(domain)?;
+        if let Some(mem) = self.memories.get_mut(domain.0 as usize) {
+            mem.fill(0);
+        }
+        Ok(())
+    }
+
+    fn grant_channel(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        badge: Badge,
+    ) -> Result<ChannelCap, SubstrateError> {
+        self.table.get(to)?;
+        let rec = self.table.get_mut(from)?;
+        Ok(rec.caps.install(from, to, badge))
+    }
+
+    fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
+        let rec = self.table.get_mut(cap.owner)?;
+        rec.caps.revoke(cap.slot);
+        Ok(())
+    }
+
+    fn invoke(
+        &mut self,
+        caller: DomainId,
+        cap: &ChannelCap,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        // One session at a time: a PAL calling another PAL would need a
+        // second concurrent late launch — Flicker cannot do that.
+        let target = {
+            let rec = self.table.get(caller)?;
+            rec.caps.lookup(caller, cap)?.target
+        };
+        if self.session_active {
+            return Err(SubstrateError::Reentrancy(target));
+        }
+        let image = self.table.get(target)?.spec.image.clone();
+        // Enter the session: reset + measure + run.
+        {
+            let session = self
+                .tpm
+                .late_launch(&image)
+                .map_err(|_| SubstrateError::Reentrancy(target))?;
+            drop(session); // identity recorded; handler runs "inside"
+        }
+        self.session_active = true;
+        self.clock += LATE_LAUNCH_COST + data.len() as u64 / 8;
+        let result = dispatch_call(self, |s| &mut s.table, caller, cap, data);
+        self.session_active = false;
+        result
+    }
+
+    fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
+        Ok(self.table.get(domain)?.measurement)
+    }
+
+    fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
+        Ok(self.table.get(domain)?.spec.name.clone())
+    }
+
+    fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+        // Seal under the domain's dynamic-PCR identity: launch, seal, cap.
+        let image = self.table.get(domain)?.spec.image.clone();
+        let was_active = std::mem::replace(&mut self.session_active, false);
+        let session = self
+            .tpm
+            .late_launch(&image)
+            .map_err(|e| SubstrateError::Platform(e.to_string()))?;
+        let blob = session.seal(data);
+        drop(session);
+        self.session_active = was_active;
+        self.clock += LATE_LAUNCH_COST;
+        // Serialize: selection is implicit (dynamic PCR); ship ciphertext.
+        Ok(blob.ciphertext)
+    }
+
+    fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+        let image = self.table.get(domain)?.spec.image.clone();
+        let was_active = std::mem::replace(&mut self.session_active, false);
+        let session = self
+            .tpm
+            .late_launch(&image)
+            .map_err(|e| SubstrateError::Platform(e.to_string()))?;
+        let blob = lateral_tpm::SealedBlob {
+            selection: vec![lateral_tpm::PCR_DYNAMIC],
+            ciphertext: sealed.to_vec(),
+        };
+        let out = session
+            .unseal(&blob)
+            .map_err(|_| SubstrateError::CryptoFailure("unseal failed: wrong PAL identity".into()));
+        drop(session);
+        self.session_active = was_active;
+        self.clock += LATE_LAUNCH_COST;
+        out
+    }
+
+    fn attest(
+        &mut self,
+        domain: DomainId,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError> {
+        let measurement = self.table.get(domain)?.measurement;
+        Ok(AttestationEvidence::sign(
+            "flicker",
+            self.tpm.platform_signing_key(),
+            measurement,
+            Digest::ZERO,
+            report_data,
+        ))
+    }
+
+    fn platform_verifying_key(&self) -> Result<VerifyingKey, SubstrateError> {
+        Ok(self.tpm.attestation_key())
+    }
+
+    fn mem_read(
+        &mut self,
+        domain: DomainId,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, SubstrateError> {
+        self.table.get(domain)?;
+        let mem = &self.memories[domain.0 as usize];
+        let end = offset
+            .checked_add(len)
+            .filter(|e| *e <= mem.len())
+            .ok_or_else(|| SubstrateError::AccessDenied("PAL memory out of range".into()))?;
+        Ok(mem[offset..end].to_vec())
+    }
+
+    fn mem_write(
+        &mut self,
+        domain: DomainId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), SubstrateError> {
+        self.table.get(domain)?;
+        let mem = &mut self.memories[domain.0 as usize];
+        let end = offset
+            .checked_add(data.len())
+            .filter(|e| *e <= mem.len())
+            .ok_or_else(|| SubstrateError::AccessDenied("PAL memory out of range".into()))?;
+        mem[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn rng_u64(&mut self, domain: DomainId) -> u64 {
+        let mut child = self.rng.fork(&format!("pal-{}", domain.0));
+        child.next_u64()
+    }
+
+    fn now(&self) -> u64 {
+        self.clock
+    }
+
+    fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
+        let rec = self.table.get(domain)?;
+        Ok(rec
+            .caps
+            .iter()
+            .map(|(slot, e)| ChannelCap {
+                owner: domain,
+                slot,
+                nonce: e.nonce,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_substrate::attest::TrustPolicy;
+    use lateral_substrate::conformance;
+    use lateral_substrate::testkit::{Echo, Forwarder};
+
+    #[test]
+    fn conformance_suite_passes() {
+        let mut f = Flicker::new("conf");
+        let report = conformance::run(&mut f);
+        for c in &report.checks {
+            assert!(
+                c.outcome.acceptable(),
+                "feature {} failed: {}",
+                c.feature,
+                c.outcome
+            );
+        }
+        assert_eq!(
+            report.outcome("attestation"),
+            Some(&conformance::Outcome::Pass)
+        );
+    }
+
+    #[test]
+    fn pals_cannot_nest() {
+        // A→B works on every other substrate (microkernel test proves
+        // it); on Flicker the nested session is refused.
+        let mut f = Flicker::new("nest");
+        let b = f.spawn(DomainSpec::named("pal-b"), Box::new(Echo)).unwrap();
+        let a = f
+            .spawn(DomainSpec::named("pal-a"), Box::new(Forwarder))
+            .unwrap();
+        f.grant_channel(a, b, Badge(1)).unwrap();
+        let driver = f.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = f.grant_channel(driver, a, Badge(2)).unwrap();
+        let err = f.invoke(driver, &cap, b"chain").unwrap_err();
+        assert!(
+            matches!(err, SubstrateError::ComponentFailure(ref m) if m.contains("forward")),
+            "nested PAL call must fail: {err}"
+        );
+    }
+
+    #[test]
+    fn sealed_state_survives_reboot_same_pal_only() {
+        let blob = {
+            let mut f = Flicker::new("board-9");
+            let pal = f
+                .spawn(DomainSpec::named("pw-checker").with_image(b"pal v1"), Box::new(Echo))
+                .unwrap();
+            f.seal(pal, b"password digest").unwrap()
+        };
+        // "Reboot": a fresh Flicker on the same board/TPM.
+        let mut f = Flicker::new("board-9");
+        let same = f
+            .spawn(DomainSpec::named("pw-checker").with_image(b"pal v1"), Box::new(Echo))
+            .unwrap();
+        assert_eq!(f.unseal(same, &blob).unwrap(), b"password digest");
+        let other = f
+            .spawn(DomainSpec::named("evil").with_image(b"pal v2"), Box::new(Echo))
+            .unwrap();
+        assert!(f.unseal(other, &blob).is_err());
+    }
+
+    #[test]
+    fn attestation_verifies_through_standard_policy() {
+        let mut f = Flicker::new("attest");
+        let pal = f
+            .spawn(DomainSpec::named("pal").with_image(b"pal v1"), Box::new(Echo))
+            .unwrap();
+        let ev = f.attest(pal, b"bind").unwrap();
+        let mut policy = TrustPolicy::new();
+        policy.trust_platform(f.platform_verifying_key().unwrap());
+        policy.expect_measurement(f.measurement(pal).unwrap());
+        assert!(policy.verify(&ev).is_ok());
+        assert_eq!(ev.substrate, "flicker");
+    }
+
+    #[test]
+    fn every_invoke_pays_the_drtm_price() {
+        let mut f = Flicker::new("cost");
+        let pal = f.spawn(DomainSpec::named("pal"), Box::new(Echo)).unwrap();
+        let driver = f.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = f.grant_channel(driver, pal, Badge(1)).unwrap();
+        let t0 = f.now();
+        f.invoke(driver, &cap, b"x").unwrap();
+        assert!(f.now() - t0 >= LATE_LAUNCH_COST);
+    }
+
+    #[test]
+    fn tpm_event_log_records_every_launch() {
+        let mut f = Flicker::new("log");
+        let pal = f.spawn(DomainSpec::named("pal"), Box::new(Echo)).unwrap();
+        let driver = f.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = f.grant_channel(driver, pal, Badge(1)).unwrap();
+        let before = f.tpm().event_log().len();
+        f.invoke(driver, &cap, b"x").unwrap();
+        assert!(f.tpm().event_log().len() > before);
+        assert!(f
+            .tpm()
+            .event_log()
+            .iter()
+            .any(|e| e.event == "late-launch"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The memory bus: the single point where every access is checked.
+//!
+//! Real isolation hardware works precisely this way — TrustZone conveys an
+//! NS bit with each bus request, SGX's memory encryption engine sits
+//! between cache and DRAM, the IOMMU filters device traffic. The
+//! [`policy`] function is the access-control matrix of the whole machine:
+//! given *who* ([`Initiator`]) touches *what* ([`FrameOwner`]), it decides
+//! deny, allow-plaintext, or allow-ciphertext.
+//!
+//! The paper's §II-D argument ("different solutions address different
+//! attacker models") is directly encoded here: a physical [`Initiator::
+//! Probe`] sees TrustZone secure memory in plaintext but EPC/SEP memory
+//! only as ciphertext.
+
+use crate::mem::FrameOwner;
+use crate::{HwError, Initiator, PhysAddr, World};
+
+/// Direction of a bus access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+/// What the initiator gets to see / do, when the access is allowed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Visibility {
+    /// The access proceeds on plaintext data.
+    Plain,
+    /// The access proceeds, but the initiator only observes ciphertext
+    /// (reads), or its writes corrupt protected memory and will be
+    /// detected by the owner's integrity check (writes).
+    Ciphertext,
+}
+
+/// A record of a *denied* access, kept for the experiment reports.
+#[derive(Clone, Debug)]
+pub struct DeniedAccess {
+    /// Who attempted the access.
+    pub initiator: Initiator,
+    /// Target address.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The rule that fired.
+    pub reason: String,
+}
+
+/// Result of consulting the bus policy: how the access may proceed.
+///
+/// `iommu_allows` reports whether the IOMMU (when configured) maps the
+/// target frame for the requesting device; it is ignored for non-device
+/// initiators.
+///
+/// # Errors
+///
+/// Returns [`HwError::AccessDenied`] when the access-control matrix
+/// forbids the access outright.
+pub fn policy(
+    initiator: Initiator,
+    owner: FrameOwner,
+    // The matrix is currently direction-symmetric; the parameter keeps the
+    // signature honest for models where it is not.
+    _kind: AccessKind,
+    addr: PhysAddr,
+    iommu_allows: bool,
+) -> Result<Visibility, HwError> {
+    let deny = |reason: &str| {
+        Err(HwError::AccessDenied {
+            initiator,
+            addr,
+            reason: reason.to_string(),
+        })
+    };
+    match owner {
+        // Free frames behave like ordinary DRAM (they are zeroed anyway).
+        FrameOwner::Free | FrameOwner::Normal => match initiator {
+            Initiator::Cpu { .. } | Initiator::Sep => Ok(Visibility::Plain),
+            Initiator::Device(_) => {
+                if iommu_allows {
+                    Ok(Visibility::Plain)
+                } else {
+                    deny("IOMMU blocks device access to unmapped frame")
+                }
+            }
+            // DRAM on the open bus: the probe sees everything.
+            Initiator::Probe => Ok(Visibility::Plain),
+        },
+        FrameOwner::Secure => match initiator {
+            Initiator::Cpu {
+                world: World::Secure,
+                enclave: None,
+            } => Ok(Visibility::Plain),
+            Initiator::Cpu { .. } => deny("TrustZone: normal world cannot access secure frame"),
+            Initiator::Sep => deny("TrustZone: coprocessor port blocked from secure frame"),
+            Initiator::Device(_) => deny("TZASC blocks device DMA to secure frame"),
+            // TrustZone does NOT encrypt DRAM: a physical attacker reads
+            // and corrupts secure-world memory. This is the decisive
+            // difference from SGX/SEP in experiment E9.
+            Initiator::Probe => Ok(Visibility::Plain),
+        },
+        FrameOwner::Epc(owner_id) => match initiator {
+            Initiator::Cpu {
+                enclave: Some(e), ..
+            } if e == owner_id => Ok(Visibility::Plain),
+            Initiator::Cpu { .. } => deny("SGX: EPC frame belongs to another execution context"),
+            Initiator::Sep => deny("SGX: EPC not accessible to coprocessor"),
+            Initiator::Device(_) => deny("SGX: EPC not DMA-able"),
+            // The memory encryption engine: the probe sees ciphertext and
+            // its writes are detected by the integrity MAC.
+            Initiator::Probe => Ok(Visibility::Ciphertext),
+        },
+        FrameOwner::SepPrivate => match initiator {
+            Initiator::Sep => Ok(Visibility::Plain),
+            Initiator::Probe => Ok(Visibility::Ciphertext),
+            _ => deny("SEP private memory is reserved for the coprocessor"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnclaveId;
+
+    const A: PhysAddr = PhysAddr(0x1000);
+
+    fn allowed(i: Initiator, o: FrameOwner, k: AccessKind) -> Option<Visibility> {
+        policy(i, o, k, A, true).ok()
+    }
+
+    #[test]
+    fn normal_world_cannot_touch_secure() {
+        assert!(allowed(
+            Initiator::cpu(World::Normal),
+            FrameOwner::Secure,
+            AccessKind::Read
+        )
+        .is_none());
+        assert_eq!(
+            allowed(
+                Initiator::cpu(World::Secure),
+                FrameOwner::Secure,
+                AccessKind::Read
+            ),
+            Some(Visibility::Plain)
+        );
+    }
+
+    #[test]
+    fn enclave_cannot_cross_into_other_enclave() {
+        let e1 = Initiator::enclave(EnclaveId(1));
+        let owner2 = FrameOwner::Epc(EnclaveId(2));
+        assert!(allowed(e1, owner2, AccessKind::Read).is_none());
+        assert_eq!(
+            allowed(e1, FrameOwner::Epc(EnclaveId(1)), AccessKind::Write),
+            Some(Visibility::Plain)
+        );
+    }
+
+    #[test]
+    fn os_cannot_read_enclave_memory() {
+        // The operating system (plain CPU, no enclave) cannot see EPC — the
+        // paper's data-center use case: the cloud operator has no
+        // visibility into the customer enclave.
+        assert!(allowed(
+            Initiator::cpu(World::Normal),
+            FrameOwner::Epc(EnclaveId(7)),
+            AccessKind::Read
+        )
+        .is_none());
+        assert!(allowed(
+            Initiator::cpu(World::Secure),
+            FrameOwner::Epc(EnclaveId(7)),
+            AccessKind::Read
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn probe_sees_plaintext_dram_but_ciphertext_epc() {
+        assert_eq!(
+            allowed(Initiator::Probe, FrameOwner::Normal, AccessKind::Read),
+            Some(Visibility::Plain)
+        );
+        assert_eq!(
+            allowed(Initiator::Probe, FrameOwner::Secure, AccessKind::Read),
+            Some(Visibility::Plain),
+            "TrustZone does not encrypt DRAM"
+        );
+        assert_eq!(
+            allowed(
+                Initiator::Probe,
+                FrameOwner::Epc(EnclaveId(1)),
+                AccessKind::Read
+            ),
+            Some(Visibility::Ciphertext)
+        );
+        assert_eq!(
+            allowed(Initiator::Probe, FrameOwner::SepPrivate, AccessKind::Read),
+            Some(Visibility::Ciphertext)
+        );
+    }
+
+    #[test]
+    fn device_dma_gated_by_iommu() {
+        let dev = Initiator::Device(crate::DeviceId(0));
+        assert!(policy(dev, FrameOwner::Normal, AccessKind::Write, A, false).is_err());
+        assert!(policy(dev, FrameOwner::Normal, AccessKind::Write, A, true).is_ok());
+        // Even with an IOMMU mapping, secure and EPC frames stay closed.
+        assert!(policy(dev, FrameOwner::Secure, AccessKind::Read, A, true).is_err());
+        assert!(
+            policy(dev, FrameOwner::Epc(EnclaveId(1)), AccessKind::Read, A, true).is_err()
+        );
+    }
+
+    #[test]
+    fn sep_private_is_exclusive() {
+        assert_eq!(
+            allowed(Initiator::Sep, FrameOwner::SepPrivate, AccessKind::Read),
+            Some(Visibility::Plain)
+        );
+        assert!(allowed(
+            Initiator::cpu(World::Secure),
+            FrameOwner::SepPrivate,
+            AccessKind::Read
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! DMA-capable peripheral devices.
+//!
+//! Devices matter to the paper's argument because "DMA transfers …
+//! indirectly allow the driver software controlling those devices to
+//! manipulate arbitrary DRAM content, including page tables, even if this
+//! device driver was not privileged to program the MMU directly" (§II-D).
+//! The device registry here gives every peripheral a bus identity that the
+//! IOMMU can filter on; the malicious-DMA attack of experiment E9 drives a
+//! registered device at a page-table frame.
+
+use crate::DeviceId;
+
+/// Classes of peripheral the simulation models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceKind {
+    /// Network interface card.
+    Nic,
+    /// Block storage controller.
+    Storage,
+    /// Human input device (keyboard, touch).
+    Input,
+    /// Electricity meter sensor (smart-meter scenario).
+    MeterSensor,
+    /// Display controller.
+    Display,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceKind::Nic => "nic",
+            DeviceKind::Storage => "storage",
+            DeviceKind::Input => "input",
+            DeviceKind::MeterSensor => "meter-sensor",
+            DeviceKind::Display => "display",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A registered device.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Bus identity (what the IOMMU filters on).
+    pub id: DeviceId,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// The device registry of one machine.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceRegistry {
+    devices: Vec<Device>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> DeviceRegistry {
+        DeviceRegistry::default()
+    }
+
+    /// Registers a device, returning its bus identity.
+    pub fn register(&mut self, kind: DeviceKind, name: &str) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(Device {
+            id,
+            kind,
+            name: name.to_string(),
+        });
+        id
+    }
+
+    /// Looks up a device by id.
+    pub fn get(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(id.0 as usize)
+    }
+
+    /// Finds the first device of `kind`.
+    pub fn find_by_kind(&self, kind: DeviceKind) -> Option<&Device> {
+        self.devices.iter().find(|d| d.kind == kind)
+    }
+
+    /// Iterates over all devices.
+    pub fn iter(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter()
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_sequential_ids() {
+        let mut r = DeviceRegistry::new();
+        let a = r.register(DeviceKind::Nic, "eth0");
+        let b = r.register(DeviceKind::Storage, "disk0");
+        assert_eq!(a, DeviceId(0));
+        assert_eq!(b, DeviceId(1));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a).unwrap().name, "eth0");
+    }
+
+    #[test]
+    fn find_by_kind() {
+        let mut r = DeviceRegistry::new();
+        r.register(DeviceKind::Nic, "eth0");
+        r.register(DeviceKind::MeterSensor, "meter0");
+        assert_eq!(
+            r.find_by_kind(DeviceKind::MeterSensor).unwrap().name,
+            "meter0"
+        );
+        assert!(r.find_by_kind(DeviceKind::Display).is_none());
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        let r = DeviceRegistry::new();
+        assert!(r.get(DeviceId(9)).is_none());
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! eFuses: per-device secrets burned in at manufacturing.
+//!
+//! The smart-meter scenario (§III-C) depends on this: "A per-device AES
+//! key is fused into the chip by the manufacturer and is only accessible
+//! to the secure world, allowing the attestation component to prove its
+//! identity to the utility." §II-D generalizes it: attestation requires a
+//! *tamper-resistant secret with restricted access*.
+
+use crate::{HwError, Initiator, World};
+
+/// Who may read a fuse.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FuseAccess {
+    /// Only the TrustZone secure world.
+    SecureWorldOnly,
+    /// Only the SEP coprocessor.
+    SepOnly,
+    /// Only the SGX-style hardware itself (exposed to enclaves indirectly
+    /// through key-derivation instructions, never raw).
+    SgxHardwareOnly,
+}
+
+/// One fused secret.
+#[derive(Clone)]
+struct Fuse {
+    name: String,
+    value: [u8; 32],
+    access: FuseAccess,
+}
+
+/// The fuse bank of one machine.
+#[derive(Clone, Default)]
+pub struct FuseBank {
+    fuses: Vec<Fuse>,
+    locked: bool,
+}
+
+impl std::fmt::Debug for FuseBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FuseBank({} fuses, locked={})",
+            self.fuses.len(),
+            self.locked
+        )
+    }
+}
+
+impl FuseBank {
+    /// Creates an empty, unlocked fuse bank (the manufacturing state).
+    pub fn new() -> FuseBank {
+        FuseBank::default()
+    }
+
+    /// Burns a new fuse. Only possible before [`FuseBank::lock`] — i.e. in
+    /// the factory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::FuseDenied`] after the bank is locked.
+    pub fn burn(
+        &mut self,
+        name: &str,
+        value: [u8; 32],
+        access: FuseAccess,
+    ) -> Result<(), HwError> {
+        if self.locked {
+            return Err(HwError::FuseDenied(
+                "fuse bank is locked (device left the factory)".into(),
+            ));
+        }
+        self.fuses.push(Fuse {
+            name: name.to_string(),
+            value,
+            access,
+        });
+        Ok(())
+    }
+
+    /// Locks the bank: no further burning. Models the device shipping.
+    pub fn lock(&mut self) {
+        self.locked = true;
+    }
+
+    /// Whether the bank is locked.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Reads a fuse, enforcing the access policy against the initiator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::FuseDenied`] when the fuse does not exist or
+    /// the initiator is not permitted by the fuse's [`FuseAccess`].
+    pub fn read(&self, initiator: Initiator, name: &str) -> Result<[u8; 32], HwError> {
+        let fuse = self
+            .fuses
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| HwError::FuseDenied(format!("no fuse named '{name}'")))?;
+        let ok = match fuse.access {
+            FuseAccess::SecureWorldOnly => matches!(
+                initiator,
+                Initiator::Cpu {
+                    world: World::Secure,
+                    enclave: None,
+                }
+            ),
+            FuseAccess::SepOnly => matches!(initiator, Initiator::Sep),
+            // Raw reads are never allowed; the SGX model derives keys from
+            // the fuse internally.
+            FuseAccess::SgxHardwareOnly => false,
+        };
+        if ok {
+            Ok(fuse.value)
+        } else {
+            Err(HwError::FuseDenied(format!(
+                "fuse '{name}' not readable by {initiator}"
+            )))
+        }
+    }
+
+    /// Internal key derivation for hardware models (SGX EGETKEY, SEP key
+    /// vault): derives a key from the named fuse without exposing it.
+    /// Available to hardware model code regardless of [`FuseAccess`]; the
+    /// crates modeling the hardware keep this out of software reach.
+    pub fn derive(&self, name: &str, context: &[u8]) -> Result<[u8; 32], HwError> {
+        let fuse = self
+            .fuses
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| HwError::FuseDenied(format!("no fuse named '{name}'")))?;
+        Ok(lateral_crypto::hmac::hkdf(
+            b"lateral.fuse.derive",
+            &fuse.value,
+            context,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> FuseBank {
+        let mut b = FuseBank::new();
+        b.burn("device-key", [7u8; 32], FuseAccess::SecureWorldOnly)
+            .unwrap();
+        b.burn("sep-key", [8u8; 32], FuseAccess::SepOnly).unwrap();
+        b.burn("sgx-root", [9u8; 32], FuseAccess::SgxHardwareOnly)
+            .unwrap();
+        b.lock();
+        b
+    }
+
+    #[test]
+    fn secure_world_reads_its_fuse() {
+        let b = bank();
+        assert_eq!(
+            b.read(Initiator::cpu(World::Secure), "device-key").unwrap(),
+            [7u8; 32]
+        );
+    }
+
+    #[test]
+    fn normal_world_cannot_read_fuses() {
+        let b = bank();
+        assert!(b.read(Initiator::cpu(World::Normal), "device-key").is_err());
+        assert!(b.read(Initiator::cpu(World::Normal), "sep-key").is_err());
+    }
+
+    #[test]
+    fn sep_fuse_is_sep_exclusive() {
+        let b = bank();
+        assert!(b.read(Initiator::Sep, "sep-key").is_ok());
+        assert!(b.read(Initiator::cpu(World::Secure), "sep-key").is_err());
+    }
+
+    #[test]
+    fn sgx_root_never_raw_readable() {
+        let b = bank();
+        for init in [
+            Initiator::cpu(World::Secure),
+            Initiator::cpu(World::Normal),
+            Initiator::Sep,
+            Initiator::Probe,
+        ] {
+            assert!(b.read(init, "sgx-root").is_err());
+        }
+        // But derivation works for the hardware model.
+        let k1 = b.derive("sgx-root", b"enclave 1 seal").unwrap();
+        let k2 = b.derive("sgx-root", b"enclave 2 seal").unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn burning_after_lock_fails() {
+        let mut b = bank();
+        assert!(b
+            .burn("late", [0u8; 32], FuseAccess::SecureWorldOnly)
+            .is_err());
+    }
+
+    #[test]
+    fn missing_fuse_is_an_error() {
+        let b = bank();
+        assert!(b.read(Initiator::cpu(World::Secure), "nope").is_err());
+        assert!(b.derive("nope", b"ctx").is_err());
+    }
+
+    #[test]
+    fn probe_cannot_read_fuses() {
+        // Fuses are on-die; the DRAM probe never sees them.
+        let b = bank();
+        assert!(b.read(Initiator::Probe, "device-key").is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! The MMU: per-address-space page tables with access rights.
+//!
+//! The MMU is deliberately *policy-free* hardware — it enforces whatever
+//! mappings privileged software installs. The paper's point (§II-D "Basic
+//! Access Control"): the software that programs the MMU is part of the
+//! isolation substrate and therefore of every component's TCB. In this
+//! workspace that software is the `lateral-microkernel` crate.
+
+use std::collections::BTreeMap;
+
+use crate::mem::Frame;
+use crate::{HwError, PhysAddr, VirtAddr, PAGE_SIZE};
+
+/// Access rights of a mapping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rights {
+    /// Mapping permits reads.
+    pub read: bool,
+    /// Mapping permits writes.
+    pub write: bool,
+    /// Mapping permits instruction fetch.
+    pub execute: bool,
+}
+
+impl Rights {
+    /// Read-only data.
+    pub const R: Rights = Rights {
+        read: true,
+        write: false,
+        execute: false,
+    };
+    /// Read-write data.
+    pub const RW: Rights = Rights {
+        read: true,
+        write: true,
+        execute: false,
+    };
+    /// Read-execute (code).
+    pub const RX: Rights = Rights {
+        read: true,
+        write: false,
+        execute: true,
+    };
+
+    /// Whether these rights permit `kind`-style access.
+    pub fn permits(&self, kind: crate::bus::AccessKind) -> bool {
+        match kind {
+            crate::bus::AccessKind::Read => self.read,
+            crate::bus::AccessKind::Write => self.write,
+        }
+    }
+}
+
+impl std::fmt::Display for Rights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { "r" } else { "-" },
+            if self.write { "w" } else { "-" },
+            if self.execute { "x" } else { "-" }
+        )
+    }
+}
+
+/// One page-table entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Mapping {
+    /// Backing physical frame.
+    pub frame: Frame,
+    /// Access rights.
+    pub rights: Rights,
+}
+
+/// A page table: one virtual address space.
+///
+/// ```
+/// use lateral_hw::mmu::{AddressSpace, Rights};
+/// use lateral_hw::mem::Frame;
+/// use lateral_hw::VirtAddr;
+///
+/// let mut aspace = AddressSpace::new();
+/// aspace.map(VirtAddr(0x1000), Frame(7), Rights::RW);
+/// let (pa, _) = aspace.translate(VirtAddr(0x1004), lateral_hw::bus::AccessKind::Read).unwrap();
+/// assert_eq!(pa.frame(), 7);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AddressSpace {
+    pages: BTreeMap<u64, Mapping>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace::default()
+    }
+
+    /// Installs (or replaces) a mapping for the page containing `va`.
+    pub fn map(&mut self, va: VirtAddr, frame: Frame, rights: Rights) {
+        self.pages.insert(va.page(), Mapping { frame, rights });
+    }
+
+    /// Removes the mapping for the page containing `va`, returning it.
+    pub fn unmap(&mut self, va: VirtAddr) -> Option<Mapping> {
+        self.pages.remove(&va.page())
+    }
+
+    /// Looks up the mapping for the page containing `va`.
+    pub fn mapping(&self, va: VirtAddr) -> Option<&Mapping> {
+        self.pages.get(&va.page())
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterates over `(virtual page number, mapping)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Mapping)> {
+        self.pages.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Translates `va` for a `kind` access, checking rights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::PageFault`] when the page is unmapped or the
+    /// rights do not permit the access.
+    pub fn translate(
+        &self,
+        va: VirtAddr,
+        kind: crate::bus::AccessKind,
+    ) -> Result<(PhysAddr, Rights), HwError> {
+        let mapping = self.pages.get(&va.page()).ok_or_else(|| HwError::PageFault {
+            addr: va,
+            reason: "unmapped page".into(),
+        })?;
+        if !mapping.rights.permits(kind) {
+            return Err(HwError::PageFault {
+                addr: va,
+                reason: format!("rights {} do not permit {:?}", mapping.rights, kind),
+            });
+        }
+        Ok((
+            mapping.frame.base().add(va.offset() as u64),
+            mapping.rights,
+        ))
+    }
+
+    /// Translates a byte range, yielding per-page physical spans.
+    ///
+    /// Accesses may cross page boundaries; each returned span lies within
+    /// one page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::PageFault`] on the first page lacking a suitable
+    /// mapping.
+    pub fn translate_range(
+        &self,
+        va: VirtAddr,
+        len: usize,
+        kind: crate::bus::AccessKind,
+    ) -> Result<Vec<(PhysAddr, usize)>, HwError> {
+        let mut spans = Vec::new();
+        let mut cur = va;
+        let mut remaining = len;
+        while remaining > 0 {
+            let (pa, _) = self.translate(cur, kind)?;
+            let in_page = PAGE_SIZE - cur.offset();
+            let take = remaining.min(in_page);
+            spans.push((pa, take));
+            cur = cur.add(take as u64);
+            remaining -= take;
+        }
+        Ok(spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::AccessKind;
+
+    #[test]
+    fn unmapped_page_faults() {
+        let aspace = AddressSpace::new();
+        let err = aspace.translate(VirtAddr(0), AccessKind::Read).unwrap_err();
+        assert!(matches!(err, HwError::PageFault { .. }));
+    }
+
+    #[test]
+    fn rights_are_enforced() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(VirtAddr(0), Frame(1), Rights::R);
+        assert!(aspace.translate(VirtAddr(0), AccessKind::Read).is_ok());
+        assert!(aspace.translate(VirtAddr(0), AccessKind::Write).is_err());
+    }
+
+    #[test]
+    fn translation_preserves_offset() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(VirtAddr(2 * PAGE_SIZE as u64), Frame(5), Rights::RW);
+        let (pa, _) = aspace
+            .translate(VirtAddr(2 * PAGE_SIZE as u64 + 123), AccessKind::Write)
+            .unwrap();
+        assert_eq!(pa, PhysAddr(5 * PAGE_SIZE as u64 + 123));
+    }
+
+    #[test]
+    fn range_crossing_pages() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(VirtAddr(0), Frame(1), Rights::RW);
+        aspace.map(VirtAddr(PAGE_SIZE as u64), Frame(9), Rights::RW);
+        let spans = aspace
+            .translate_range(VirtAddr(PAGE_SIZE as u64 - 10), 20, AccessKind::Read)
+            .unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].1, 10);
+        assert_eq!(spans[1].0, PhysAddr(9 * PAGE_SIZE as u64));
+        assert_eq!(spans[1].1, 10);
+    }
+
+    #[test]
+    fn range_fails_on_hole() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(VirtAddr(0), Frame(1), Rights::RW);
+        // Page 1 is unmapped.
+        assert!(aspace
+            .translate_range(VirtAddr(PAGE_SIZE as u64 - 10), 20, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn unmap_removes_access() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(VirtAddr(0), Frame(1), Rights::RW);
+        assert!(aspace.unmap(VirtAddr(0)).is_some());
+        assert!(aspace.translate(VirtAddr(0), AccessKind::Read).is_err());
+        assert!(aspace.unmap(VirtAddr(0)).is_none());
+    }
+
+    #[test]
+    fn remap_replaces() {
+        let mut aspace = AddressSpace::new();
+        aspace.map(VirtAddr(0), Frame(1), Rights::RW);
+        aspace.map(VirtAddr(0), Frame(2), Rights::R);
+        let (pa, r) = aspace.translate(VirtAddr(0), AccessKind::Read).unwrap();
+        assert_eq!(pa.frame(), 2);
+        assert!(!r.write);
+        assert_eq!(aspace.mapped_pages(), 1);
+    }
+}

@@ -1,0 +1,740 @@
+//! The secure channel: a TLS-like handshake plus an AEAD record layer,
+//! with optional attestation binding (RA-TLS style).
+//!
+//! §III-C's email client isolates "a component for transport-layer
+//! security (TLS) and login"; §III-C's smart meter goes further and
+//! *attests* the peer before trusting it: "the smart meter would verify
+//! the code identity of the data anonymizer component before sending it
+//! any readings." Both are built here:
+//!
+//! * **Handshake** — ephemeral Diffie–Hellman shares and nonces from both
+//!   sides; each authenticating party signs the transcript hash, so a
+//!   man-in-the-middle cannot splice itself in without failing the
+//!   signature or the key-pinning check.
+//! * **Attestation binding** — a party may attach
+//!   [`AttestationEvidence`] whose `report_data` *is* the transcript
+//!   hash: the evidence cannot be relayed onto a different channel
+//!   (§II-D's emulation/proxy argument).
+//! * **Records** — sequence-numbered AEAD boxes; replayed, reordered, or
+//!   corrupted records are rejected.
+
+use lateral_crypto::aead::Aead;
+use lateral_crypto::dh::{EphemeralSecret, PublicShare};
+use lateral_crypto::hmac::hkdf;
+use lateral_crypto::rng::Drbg;
+use lateral_crypto::sign::{Signature, SigningKey, VerifyingKey};
+use lateral_crypto::Digest;
+use lateral_substrate::attest::{AttestationEvidence, TrustPolicy, VerifiedIdentity};
+
+use crate::wire::{put_field, Reader};
+use crate::NetError;
+
+/// Serializes attestation evidence for the wire.
+pub fn encode_evidence(ev: &AttestationEvidence) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_field(&mut out, ev.substrate.as_bytes());
+    put_field(&mut out, &ev.platform_key);
+    put_field(&mut out, ev.measurement.as_bytes());
+    put_field(&mut out, ev.platform_state.as_bytes());
+    put_field(&mut out, &ev.report_data);
+    put_field(&mut out, &ev.signature);
+    out
+}
+
+/// Parses attestation evidence from the wire.
+///
+/// # Errors
+///
+/// [`NetError::Decode`] on malformed input.
+pub fn decode_evidence(bytes: &[u8]) -> Result<AttestationEvidence, NetError> {
+    let mut r = Reader::new(bytes);
+    let substrate = String::from_utf8(r.field()?.to_vec())
+        .map_err(|_| NetError::Decode("substrate not UTF-8".into()))?;
+    let platform_key: [u8; 32] = r.array()?;
+    let measurement = Digest(r.array()?);
+    let platform_state = Digest(r.array()?);
+    let report_data = r.field()?.to_vec();
+    let signature: [u8; 64] = r.array()?;
+    r.finish()?;
+    Ok(AttestationEvidence {
+        substrate,
+        platform_key,
+        measurement,
+        platform_state,
+        report_data,
+        signature,
+    })
+}
+
+/// What a party requires of its peer.
+#[derive(Default)]
+pub struct ChannelPolicy {
+    /// Pinned peer signing keys; when set, the peer's identity key must
+    /// be in this set.
+    pub pinned_keys: Option<Vec<[u8; 32]>>,
+    /// Attestation requirements; when set, the peer MUST present valid
+    /// evidence bound to this channel.
+    pub attestation: Option<TrustPolicy>,
+}
+
+impl std::fmt::Debug for ChannelPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChannelPolicy(pinned={}, attestation={})",
+            self.pinned_keys.is_some(),
+            self.attestation.is_some()
+        )
+    }
+}
+
+impl ChannelPolicy {
+    /// Accepts any authenticated peer (no pinning, no attestation).
+    pub fn open() -> ChannelPolicy {
+        ChannelPolicy::default()
+    }
+
+    /// Pins the peer to one exact identity key.
+    pub fn pin(key: VerifyingKey) -> ChannelPolicy {
+        ChannelPolicy {
+            pinned_keys: Some(vec![key.to_bytes()]),
+            attestation: None,
+        }
+    }
+
+    /// Additionally requires channel-bound attestation.
+    #[must_use]
+    pub fn with_attestation(mut self, policy: TrustPolicy) -> ChannelPolicy {
+        self.attestation = Some(policy);
+        self
+    }
+
+    fn check_peer(
+        &self,
+        peer_key: &[u8; 32],
+        evidence: Option<&AttestationEvidence>,
+        transcript: &Digest,
+    ) -> Result<Option<VerifiedIdentity>, NetError> {
+        if let Some(pinned) = &self.pinned_keys {
+            if !pinned.contains(peer_key) {
+                return Err(NetError::HandshakeFailed(
+                    "peer identity key is not pinned".into(),
+                ));
+            }
+        }
+        match (&self.attestation, evidence) {
+            (None, _) => Ok(None),
+            (Some(_), None) => Err(NetError::AttestationRejected(
+                "peer presented no attestation evidence".into(),
+            )),
+            (Some(policy), Some(ev)) => {
+                let id = policy
+                    .verify(ev)
+                    .map_err(|e| NetError::AttestationRejected(e.to_string()))?;
+                if id.report_data != transcript.as_bytes() {
+                    return Err(NetError::AttestationRejected(
+                        "evidence not bound to this channel (relay attack?)".into(),
+                    ));
+                }
+                Ok(Some(id))
+            }
+        }
+    }
+}
+
+/// What a party learns about its peer after the handshake.
+#[derive(Clone, Debug)]
+pub struct PeerInfo {
+    /// The peer's authenticated identity key.
+    pub key: [u8; 32],
+    /// Verified attestation identity, when the policy demanded one.
+    pub attested: Option<VerifiedIdentity>,
+}
+
+/// An established channel: AEAD record layer with replay protection.
+pub struct SecureChannel {
+    send: Aead,
+    recv: Aead,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+impl std::fmt::Debug for SecureChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SecureChannel(sent={}, received={})",
+            self.send_seq, self.recv_seq
+        )
+    }
+}
+
+impl SecureChannel {
+    /// Seals the next outgoing record.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let boxed = self.send.seal(self.send_seq, b"channel.record", plaintext);
+        self.send_seq += 1;
+        boxed
+    }
+
+    /// Opens the next incoming record, enforcing order (anti-replay).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RecordRejected`] for corrupted, replayed, reordered, or
+    /// foreign records.
+    pub fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, NetError> {
+        let plain = self
+            .recv
+            .open(self.recv_seq, b"channel.record", record)
+            .map_err(|_| {
+                NetError::RecordRejected(
+                    "authentication failed (corrupt, replayed, or out of order)".into(),
+                )
+            })?;
+        self.recv_seq += 1;
+        Ok(plain)
+    }
+}
+
+fn transcript_digest(client_hello: &[u8], server_core: &[u8]) -> Digest {
+    Digest::of_parts(&[b"lateral.channel.transcript", client_hello, server_core])
+}
+
+fn derive_channel(shared: &[u8; 32], client_side: bool) -> SecureChannel {
+    let c2s = hkdf(b"lateral.channel", shared, b"c2s");
+    let s2c = hkdf(b"lateral.channel", shared, b"s2c");
+    if client_side {
+        SecureChannel {
+            send: Aead::new(&c2s),
+            recv: Aead::new(&s2c),
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    } else {
+        SecureChannel {
+            send: Aead::new(&s2c),
+            recv: Aead::new(&c2s),
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+/// Client-side handshake state after sending the hello.
+///
+/// ```
+/// use lateral_crypto::{rng::Drbg, sign::SigningKey};
+/// use lateral_net::channel::{ChannelPolicy, ClientHandshake, ServerHandshake};
+///
+/// # fn main() -> Result<(), lateral_net::NetError> {
+/// let (mut crng, mut srng) = (Drbg::from_seed(b"c"), Drbg::from_seed(b"s"));
+/// let (client, hello) = ClientHandshake::start(SigningKey::from_seed(b"client"), &mut crng);
+/// let pending = ServerHandshake::accept(&SigningKey::from_seed(b"server"), &mut srng, &hello)?;
+/// let (awaiting, server_hello) = pending.respond(None, &hello);
+/// let (mut c, finish, _peer) = client.finish(&server_hello, &ChannelPolicy::open(), |_| None)?;
+/// let (mut s, _info) = awaiting.complete(&finish, &ChannelPolicy::open())?;
+/// let record = c.seal(b"hello over hostile wires");
+/// assert_eq!(s.open(&record)?, b"hello over hostile wires");
+/// # Ok(())
+/// # }
+/// ```
+pub struct ClientHandshake {
+    eph: EphemeralSecret,
+    hello_bytes: Vec<u8>,
+    identity: SigningKey,
+}
+
+impl std::fmt::Debug for ClientHandshake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ClientHandshake(..)")
+    }
+}
+
+impl ClientHandshake {
+    /// Starts a handshake; returns the state and the ClientHello bytes to
+    /// send.
+    pub fn start(identity: SigningKey, rng: &mut Drbg) -> (ClientHandshake, Vec<u8>) {
+        let eph = EphemeralSecret::generate(rng);
+        let mut nonce = [0u8; 32];
+        rng.fill_bytes(&mut nonce);
+        let mut hello = Vec::new();
+        put_field(&mut hello, &eph.public_share().0);
+        put_field(&mut hello, &nonce);
+        (
+            ClientHandshake {
+                eph,
+                hello_bytes: hello.clone(),
+                identity,
+            },
+            hello,
+        )
+    }
+
+    /// Processes the ServerHello; on success returns the channel, the
+    /// ClientFinish bytes to send, and the server's verified info.
+    ///
+    /// `client_evidence` is attached when the *client* must attest (the
+    /// smart meter proving itself to the utility); it must be produced by
+    /// calling the substrate with `report_data = transcript` — pass a
+    /// producer closure so the binding is exact.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::HandshakeFailed`] / [`NetError::AttestationRejected`]
+    /// on any verification failure.
+    pub fn finish(
+        self,
+        server_hello: &[u8],
+        policy: &ChannelPolicy,
+        client_evidence: impl FnOnce(&Digest) -> Option<AttestationEvidence>,
+    ) -> Result<(SecureChannel, Vec<u8>, PeerInfo), NetError> {
+        let mut r = Reader::new(server_hello);
+        let server_share: [u8; 32] = r.array()?;
+        let server_nonce: [u8; 32] = r.array()?;
+        let server_key: [u8; 32] = r.array()?;
+        let signature: [u8; 64] = r.array()?;
+        let evidence_bytes = r.field()?.to_vec();
+        r.finish()?;
+
+        let mut server_core = Vec::new();
+        put_field(&mut server_core, &server_share);
+        put_field(&mut server_core, &server_nonce);
+        put_field(&mut server_core, &server_key);
+        let transcript = transcript_digest(&self.hello_bytes, &server_core);
+
+        // Verify the server's transcript signature.
+        let vk = VerifyingKey::from_bytes(&server_key)
+            .map_err(|e| NetError::HandshakeFailed(format!("bad server key: {e}")))?;
+        let sig = Signature::from_bytes(&signature)
+            .map_err(|e| NetError::HandshakeFailed(format!("bad signature: {e}")))?;
+        vk.verify(transcript.as_bytes(), &sig)
+            .map_err(|_| NetError::HandshakeFailed("server signature invalid".into()))?;
+
+        // Policy checks: pinning + attestation.
+        let evidence = if evidence_bytes.is_empty() {
+            None
+        } else {
+            Some(decode_evidence(&evidence_bytes)?)
+        };
+        let attested = policy.check_peer(&server_key, evidence.as_ref(), &transcript)?;
+
+        // Key agreement bound to the transcript.
+        let shared = self
+            .eph
+            .agree(&PublicShare(server_share), transcript.as_bytes())
+            .map_err(|e| NetError::HandshakeFailed(format!("bad server share: {e}")))?;
+        let channel = derive_channel(&shared, true);
+
+        // ClientFinish: our identity, transcript signature, and optional
+        // channel-bound evidence.
+        let finish_transcript = Digest::of_parts(&[
+            b"lateral.channel.client-finish",
+            transcript.as_bytes(),
+        ]);
+        let my_key = self.identity.verifying_key().to_bytes();
+        let my_sig = self.identity.sign(finish_transcript.as_bytes()).to_bytes();
+        let my_evidence = client_evidence(&transcript);
+        let mut finish = Vec::new();
+        put_field(&mut finish, &my_key);
+        put_field(&mut finish, &my_sig);
+        put_field(
+            &mut finish,
+            &my_evidence.as_ref().map(encode_evidence).unwrap_or_default(),
+        );
+
+        Ok((
+            channel,
+            finish,
+            PeerInfo {
+                key: server_key,
+                attested,
+            },
+        ))
+    }
+}
+
+// ---------------------------------------------------------------- server
+
+/// Server-side state after reading the ClientHello; exposes the
+/// transcript so the caller can produce channel-bound evidence.
+pub struct ServerHandshake {
+    eph: EphemeralSecret,
+    transcript: Digest,
+    server_core: Vec<u8>,
+    signature: [u8; 64],
+}
+
+impl std::fmt::Debug for ServerHandshake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerHandshake({})", self.transcript.short_hex())
+    }
+}
+
+impl ServerHandshake {
+    /// Processes a ClientHello. Returns the pending state; call
+    /// [`ServerHandshake::transcript`] to bind evidence, then
+    /// [`ServerHandshake::respond`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Decode`] on malformed hello.
+    pub fn accept(
+        identity: &SigningKey,
+        rng: &mut Drbg,
+        client_hello: &[u8],
+    ) -> Result<ServerHandshake, NetError> {
+        let mut r = Reader::new(client_hello);
+        let _client_share: [u8; 32] = r.array()?;
+        let _client_nonce: [u8; 32] = r.array()?;
+        r.finish()?;
+
+        let eph = EphemeralSecret::generate(rng);
+        let mut server_nonce = [0u8; 32];
+        rng.fill_bytes(&mut server_nonce);
+        let mut server_core = Vec::new();
+        put_field(&mut server_core, &eph.public_share().0);
+        put_field(&mut server_core, &server_nonce);
+        put_field(&mut server_core, &identity.verifying_key().to_bytes());
+        let transcript = transcript_digest(client_hello, &server_core);
+        let signature = identity.sign(transcript.as_bytes()).to_bytes();
+        Ok(ServerHandshake {
+            eph,
+            transcript,
+            server_core,
+            signature,
+        })
+    }
+
+    /// The transcript digest — produce attestation evidence with this as
+    /// `report_data` to bind it to the channel.
+    pub fn transcript(&self) -> Digest {
+        self.transcript
+    }
+
+    /// Emits the ServerHello (optionally carrying evidence) and the state
+    /// awaiting the ClientFinish.
+    pub fn respond(
+        self,
+        evidence: Option<AttestationEvidence>,
+        client_hello: &[u8],
+    ) -> (ServerAwaitFinish, Vec<u8>) {
+        let mut hello = self.server_core.clone();
+        put_field(&mut hello, &self.signature);
+        put_field(
+            &mut hello,
+            &evidence.as_ref().map(encode_evidence).unwrap_or_default(),
+        );
+        let client_share = {
+            // Already validated in accept().
+            let mut r = Reader::new(client_hello);
+            let share: [u8; 32] = r.array().expect("validated in accept");
+            share
+        };
+        (
+            ServerAwaitFinish {
+                eph: self.eph,
+                transcript: self.transcript,
+                client_share,
+            },
+            hello,
+        )
+    }
+}
+
+/// Server state awaiting the ClientFinish.
+pub struct ServerAwaitFinish {
+    eph: EphemeralSecret,
+    transcript: Digest,
+    client_share: [u8; 32],
+}
+
+impl std::fmt::Debug for ServerAwaitFinish {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerAwaitFinish({})", self.transcript.short_hex())
+    }
+}
+
+impl ServerAwaitFinish {
+    /// Verifies the ClientFinish and completes the channel.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::HandshakeFailed`] / [`NetError::AttestationRejected`].
+    pub fn complete(
+        self,
+        finish: &[u8],
+        policy: &ChannelPolicy,
+    ) -> Result<(SecureChannel, PeerInfo), NetError> {
+        let mut r = Reader::new(finish);
+        let client_key: [u8; 32] = r.array()?;
+        let client_sig: [u8; 64] = r.array()?;
+        let evidence_bytes = r.field()?.to_vec();
+        r.finish()?;
+
+        let finish_transcript = Digest::of_parts(&[
+            b"lateral.channel.client-finish",
+            self.transcript.as_bytes(),
+        ]);
+        let vk = VerifyingKey::from_bytes(&client_key)
+            .map_err(|e| NetError::HandshakeFailed(format!("bad client key: {e}")))?;
+        let sig = Signature::from_bytes(&client_sig)
+            .map_err(|e| NetError::HandshakeFailed(format!("bad signature: {e}")))?;
+        vk.verify(finish_transcript.as_bytes(), &sig)
+            .map_err(|_| NetError::HandshakeFailed("client signature invalid".into()))?;
+
+        let evidence = if evidence_bytes.is_empty() {
+            None
+        } else {
+            Some(decode_evidence(&evidence_bytes)?)
+        };
+        let attested = policy.check_peer(&client_key, evidence.as_ref(), &self.transcript)?;
+
+        let shared = self
+            .eph
+            .agree(&PublicShare(self.client_share), self.transcript.as_bytes())
+            .map_err(|e| NetError::HandshakeFailed(format!("bad client share: {e}")))?;
+        Ok((
+            derive_channel(&shared, false),
+            PeerInfo {
+                key: client_key,
+                attested,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(label: &str) -> Drbg {
+        Drbg::from_seed(label.as_bytes())
+    }
+
+    fn handshake(
+        client_policy: &ChannelPolicy,
+        server_policy: &ChannelPolicy,
+        server_evidence: impl FnOnce(&Digest) -> Option<AttestationEvidence>,
+    ) -> Result<(SecureChannel, SecureChannel, PeerInfo, PeerInfo), NetError> {
+        let client_id = SigningKey::from_seed(b"client");
+        let server_id = SigningKey::from_seed(b"server");
+        let mut crng = rng("client rng");
+        let mut srng = rng("server rng");
+        let (cstate, hello) = ClientHandshake::start(client_id, &mut crng);
+        let pending = ServerHandshake::accept(&server_id, &mut srng, &hello)?;
+        let ev = server_evidence(&pending.transcript());
+        let (awaiting, server_hello) = pending.respond(ev, &hello);
+        let (cchan, finish, server_info) = cstate.finish(&server_hello, client_policy, |_| None)?;
+        let (schan, client_info) = awaiting.complete(&finish, server_policy)?;
+        Ok((cchan, schan, server_info, client_info))
+    }
+
+    #[test]
+    fn full_handshake_and_records() {
+        let (mut c, mut s, server_info, client_info) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        assert_eq!(
+            server_info.key,
+            SigningKey::from_seed(b"server").verifying_key().to_bytes()
+        );
+        assert_eq!(
+            client_info.key,
+            SigningKey::from_seed(b"client").verifying_key().to_bytes()
+        );
+        let rec = c.seal(b"GET INBOX");
+        assert_eq!(s.open(&rec).unwrap(), b"GET INBOX");
+        let reply = s.seal(b"42 messages");
+        assert_eq!(c.open(&reply).unwrap(), b"42 messages");
+    }
+
+    #[test]
+    fn replayed_record_rejected() {
+        let (mut c, mut s, _, _) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        let rec = c.seal(b"only once");
+        s.open(&rec).unwrap();
+        assert!(matches!(s.open(&rec), Err(NetError::RecordRejected(_))));
+    }
+
+    #[test]
+    fn corrupted_record_rejected() {
+        let (mut c, mut s, _, _) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        let mut rec = c.seal(b"payload");
+        rec[3] ^= 1;
+        assert!(s.open(&rec).is_err());
+    }
+
+    #[test]
+    fn reordered_records_rejected() {
+        let (mut c, mut s, _, _) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        let r1 = c.seal(b"first");
+        let r2 = c.seal(b"second");
+        assert!(s.open(&r2).is_err());
+        let _ = r1;
+    }
+
+    #[test]
+    fn key_pinning_detects_mitm() {
+        // Mallory answers in the server's place with her own key.
+        let client_id = SigningKey::from_seed(b"client");
+        let mallory = SigningKey::from_seed(b"mallory");
+        let real_server = SigningKey::from_seed(b"server");
+        let mut crng = rng("c");
+        let mut mrng = rng("m");
+        let (cstate, hello) = ClientHandshake::start(client_id, &mut crng);
+        let pending = ServerHandshake::accept(&mallory, &mut mrng, &hello).unwrap();
+        let (_await, server_hello) = pending.respond(None, &hello);
+        let policy = ChannelPolicy::pin(real_server.verifying_key());
+        assert!(matches!(
+            cstate.finish(&server_hello, &policy, |_| None),
+            Err(NetError::HandshakeFailed(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_server_hello_fails_signature() {
+        let client_id = SigningKey::from_seed(b"client");
+        let server_id = SigningKey::from_seed(b"server");
+        let mut crng = rng("c");
+        let mut srng = rng("s");
+        let (cstate, hello) = ClientHandshake::start(client_id, &mut crng);
+        let pending = ServerHandshake::accept(&server_id, &mut srng, &hello).unwrap();
+        let (_await, mut server_hello) = pending.respond(None, &hello);
+        server_hello[5] ^= 0x40; // tamper with the DH share
+        assert!(cstate
+            .finish(&server_hello, &ChannelPolicy::open(), |_| None)
+            .is_err());
+    }
+
+    #[test]
+    fn attested_channel_accepts_good_evidence() {
+        let platform = SigningKey::from_seed(b"sgx platform");
+        let good = Digest::of(b"anonymizer v1");
+        let mut trust = TrustPolicy::new();
+        trust.trust_platform(platform.verifying_key());
+        trust.expect_measurement(good);
+        let client_policy = ChannelPolicy::open().with_attestation(trust);
+        let (mut c, mut s, server_info, _) =
+            handshake(&client_policy, &ChannelPolicy::open(), |transcript| {
+                Some(AttestationEvidence::sign(
+                    "sgx",
+                    &platform,
+                    good,
+                    Digest::ZERO,
+                    transcript.as_bytes(),
+                ))
+            })
+            .unwrap();
+        let attested = server_info.attested.unwrap();
+        assert_eq!(attested.measurement, good);
+        let rec = c.seal(b"reading: 42 kWh");
+        assert_eq!(s.open(&rec).unwrap(), b"reading: 42 kWh");
+    }
+
+    #[test]
+    fn attested_channel_rejects_wrong_measurement() {
+        let platform = SigningKey::from_seed(b"sgx platform");
+        let mut trust = TrustPolicy::new();
+        trust.trust_platform(platform.verifying_key());
+        trust.expect_measurement(Digest::of(b"anonymizer v1"));
+        let client_policy = ChannelPolicy::open().with_attestation(trust);
+        let result = handshake(&client_policy, &ChannelPolicy::open(), |transcript| {
+            Some(AttestationEvidence::sign(
+                "sgx",
+                &platform,
+                Digest::of(b"manipulated anonymizer"),
+                Digest::ZERO,
+                transcript.as_bytes(),
+            ))
+        });
+        assert!(matches!(result, Err(NetError::AttestationRejected(_))));
+    }
+
+    #[test]
+    fn attested_channel_rejects_missing_evidence() {
+        let platform = SigningKey::from_seed(b"sgx platform");
+        let mut trust = TrustPolicy::new();
+        trust.trust_platform(platform.verifying_key());
+        trust.expect_measurement(Digest::of(b"anonymizer v1"));
+        let client_policy = ChannelPolicy::open().with_attestation(trust);
+        assert!(matches!(
+            handshake(&client_policy, &ChannelPolicy::open(), |_| None),
+            Err(NetError::AttestationRejected(_))
+        ));
+    }
+
+    #[test]
+    fn relayed_evidence_from_other_channel_rejected() {
+        // Evidence bound to a *different* transcript must not be accepted
+        // — the emulation/proxy defense of §II-D.
+        let platform = SigningKey::from_seed(b"sgx platform");
+        let good = Digest::of(b"anonymizer v1");
+        let mut trust = TrustPolicy::new();
+        trust.trust_platform(platform.verifying_key());
+        trust.expect_measurement(good);
+        let client_policy = ChannelPolicy::open().with_attestation(trust);
+        let stale = AttestationEvidence::sign(
+            "sgx",
+            &platform,
+            good,
+            Digest::ZERO,
+            Digest::of(b"some other channel").as_bytes(),
+        );
+        let result = handshake(&client_policy, &ChannelPolicy::open(), move |_| {
+            Some(stale.clone())
+        });
+        assert!(matches!(result, Err(NetError::AttestationRejected(_))));
+    }
+
+    #[test]
+    fn evidence_encoding_roundtrip() {
+        let platform = SigningKey::from_seed(b"p");
+        let ev = AttestationEvidence::sign(
+            "trustzone",
+            &platform,
+            Digest::of(b"m"),
+            Digest::of(b"s"),
+            b"bind",
+        );
+        let decoded = decode_evidence(&encode_evidence(&ev)).unwrap();
+        assert_eq!(decoded, ev);
+        assert!(decoded.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn mutual_attestation_client_side() {
+        // The smart-meter direction: the *client* attests to the server.
+        let meter_platform = SigningKey::from_seed(b"tz meter");
+        let meter_code = Digest::of(b"meter fw v1");
+        let mut trust = TrustPolicy::new();
+        trust.trust_platform(meter_platform.verifying_key());
+        trust.expect_measurement(meter_code);
+        let server_policy = ChannelPolicy::open().with_attestation(trust);
+
+        let client_id = SigningKey::from_seed(b"client");
+        let server_id = SigningKey::from_seed(b"server");
+        let mut crng = rng("c");
+        let mut srng = rng("s");
+        let (cstate, hello) = ClientHandshake::start(client_id, &mut crng);
+        let pending = ServerHandshake::accept(&server_id, &mut srng, &hello).unwrap();
+        let (awaiting, server_hello) = pending.respond(None, &hello);
+        let (_cchan, finish, _info) = cstate
+            .finish(&server_hello, &ChannelPolicy::open(), |transcript| {
+                Some(AttestationEvidence::sign(
+                    "trustzone",
+                    &meter_platform,
+                    meter_code,
+                    Digest::ZERO,
+                    transcript.as_bytes(),
+                ))
+            })
+            .unwrap();
+        let (_schan, client_info) = awaiting.complete(&finish, &server_policy).unwrap();
+        assert_eq!(client_info.attested.unwrap().measurement, meter_code);
+    }
+}

@@ -1,0 +1,304 @@
+//! The simulated network and its in-path adversary.
+//!
+//! The attacker model is Dolev–Yao-flavored: every packet passes through
+//! the adversary, who may record, drop, corrupt, replay, or inject —
+//! but cannot break the cryptography. The secure-channel tests and the
+//! smart-meter experiment configure concrete [`AttackMode`]s.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use lateral_crypto::rng::Drbg;
+
+use crate::{Addr, NetError};
+
+/// One in-flight packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Claimed sender (spoofable — authenticity comes from the channel
+    /// layer, never from this field).
+    pub from: Addr,
+    /// Destination.
+    pub to: Addr,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// What the in-path adversary does to traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttackMode {
+    /// Forward everything untouched (but still record it).
+    Passive,
+    /// Drop every packet (availability attack).
+    DropAll,
+    /// Flip a byte in every payload.
+    CorruptAll,
+    /// Deliver each packet, then deliver a copy a second time.
+    ReplayAll,
+    /// Redirect packets destined to the given address to the attacker's
+    /// own inbox instead (impersonation / man-in-the-middle setup).
+    Redirect {
+        /// Victim destination whose traffic is stolen.
+        victim: Addr,
+        /// Attacker inbox receiving it.
+        attacker: Addr,
+    },
+}
+
+/// The network: inboxes plus the adversary in the path.
+pub struct Network {
+    inboxes: BTreeMap<Addr, VecDeque<Packet>>,
+    mode: AttackMode,
+    recorded: Vec<Packet>,
+    delivered: u64,
+    dropped: u64,
+    rng: Drbg,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Network({} endpoints, {:?}, {} delivered, {} dropped)",
+            self.inboxes.len(),
+            self.mode,
+            self.delivered,
+            self.dropped
+        )
+    }
+}
+
+impl Network {
+    /// Creates a benign network (passive adversary).
+    pub fn new(seed: &str) -> Network {
+        Network {
+            inboxes: BTreeMap::new(),
+            mode: AttackMode::Passive,
+            recorded: Vec::new(),
+            delivered: 0,
+            dropped: 0,
+            rng: Drbg::from_seed(&[b"lateral.net.", seed.as_bytes()].concat()),
+        }
+    }
+
+    /// Registers an endpoint.
+    pub fn register(&mut self, addr: Addr) {
+        self.inboxes.entry(addr).or_default();
+    }
+
+    /// Sets the adversary's behavior.
+    pub fn set_attack(&mut self, mode: AttackMode) {
+        self.mode = mode;
+    }
+
+    /// All traffic the adversary has recorded (it sees everything).
+    pub fn recorded(&self) -> &[Packet] {
+        &self.recorded
+    }
+
+    /// Count of packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Count of packets dropped by the adversary.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn deliver(&mut self, packet: Packet) -> Result<(), NetError> {
+        let inbox = self
+            .inboxes
+            .get_mut(&packet.to)
+            .ok_or_else(|| NetError::UnknownAddr(packet.to.clone()))?;
+        inbox.push_back(packet);
+        self.delivered += 1;
+        Ok(())
+    }
+
+    /// Sends a packet through the adversary.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownAddr`] when the (possibly redirected)
+    /// destination is not registered. A dropped packet is *not* an error —
+    /// the sender cannot tell.
+    pub fn send(&mut self, from: &Addr, to: &Addr, payload: &[u8]) -> Result<(), NetError> {
+        let packet = Packet {
+            from: from.clone(),
+            to: to.clone(),
+            payload: payload.to_vec(),
+        };
+        self.recorded.push(packet.clone());
+        match self.mode.clone() {
+            AttackMode::Passive => self.deliver(packet),
+            AttackMode::DropAll => {
+                self.dropped += 1;
+                Ok(())
+            }
+            AttackMode::CorruptAll => {
+                let mut p = packet;
+                if !p.payload.is_empty() {
+                    let idx = self.rng.gen_range(p.payload.len() as u64) as usize;
+                    p.payload[idx] ^= 0x80;
+                }
+                self.deliver(p)
+            }
+            AttackMode::ReplayAll => {
+                self.deliver(packet.clone())?;
+                self.deliver(packet)
+            }
+            AttackMode::Redirect { victim, attacker } => {
+                if packet.to == victim {
+                    let mut p = packet;
+                    p.to = attacker;
+                    self.deliver(p)
+                } else {
+                    self.deliver(packet)
+                }
+            }
+        }
+    }
+
+    /// ATTACK: injects a packet with an arbitrary claimed sender.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownAddr`].
+    pub fn inject(&mut self, forged_from: &Addr, to: &Addr, payload: &[u8]) -> Result<(), NetError> {
+        self.deliver(Packet {
+            from: forged_from.clone(),
+            to: to.clone(),
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// ATTACK: replays a previously recorded packet by index.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Decode`] for a bad index, [`NetError::UnknownAddr`] for
+    /// a missing destination.
+    pub fn replay_recorded(&mut self, index: usize) -> Result<(), NetError> {
+        let p = self
+            .recorded
+            .get(index)
+            .cloned()
+            .ok_or_else(|| NetError::Decode(format!("no recorded packet {index}")))?;
+        self.deliver(p)
+    }
+
+    /// Receives the next packet for `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownAddr`] for unregistered endpoints; `Ok(None)`
+    /// when the inbox is empty.
+    pub fn recv(&mut self, addr: &Addr) -> Result<Option<Packet>, NetError> {
+        let inbox = self
+            .inboxes
+            .get_mut(addr)
+            .ok_or_else(|| NetError::UnknownAddr(addr.clone()))?;
+        Ok(inbox.pop_front())
+    }
+
+    /// Number of packets waiting for `addr`.
+    pub fn pending(&self, addr: &Addr) -> usize {
+        self.inboxes.get(addr).map(|q| q.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> (Network, Addr, Addr) {
+        let mut n = Network::new("t");
+        let a = Addr::new("a");
+        let b = Addr::new("b");
+        n.register(a.clone());
+        n.register(b.clone());
+        (n, a, b)
+    }
+
+    #[test]
+    fn basic_delivery_in_order() {
+        let (mut n, a, b) = net();
+        n.send(&a, &b, b"one").unwrap();
+        n.send(&a, &b, b"two").unwrap();
+        assert_eq!(n.recv(&b).unwrap().unwrap().payload, b"one");
+        assert_eq!(n.recv(&b).unwrap().unwrap().payload, b"two");
+        assert!(n.recv(&b).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_destination_is_error() {
+        let (mut n, a, _) = net();
+        assert!(matches!(
+            n.send(&a, &Addr::new("ghost"), b"x"),
+            Err(NetError::UnknownAddr(_))
+        ));
+    }
+
+    #[test]
+    fn adversary_records_everything() {
+        let (mut n, a, b) = net();
+        n.send(&a, &b, b"secret-in-the-clear").unwrap();
+        assert_eq!(n.recorded().len(), 1);
+        assert_eq!(n.recorded()[0].payload, b"secret-in-the-clear");
+    }
+
+    #[test]
+    fn drop_all_silently_discards() {
+        let (mut n, a, b) = net();
+        n.set_attack(AttackMode::DropAll);
+        n.send(&a, &b, b"x").unwrap();
+        assert_eq!(n.pending(&b), 0);
+        assert_eq!(n.dropped(), 1);
+    }
+
+    #[test]
+    fn corrupt_all_flips_bytes() {
+        let (mut n, a, b) = net();
+        n.set_attack(AttackMode::CorruptAll);
+        n.send(&a, &b, b"payload").unwrap();
+        let p = n.recv(&b).unwrap().unwrap();
+        assert_ne!(p.payload, b"payload");
+        assert_eq!(p.payload.len(), 7);
+    }
+
+    #[test]
+    fn replay_all_duplicates() {
+        let (mut n, a, b) = net();
+        n.set_attack(AttackMode::ReplayAll);
+        n.send(&a, &b, b"x").unwrap();
+        assert_eq!(n.pending(&b), 2);
+    }
+
+    #[test]
+    fn redirect_steals_traffic() {
+        let (mut n, a, b) = net();
+        let mallory = Addr::new("mallory");
+        n.register(mallory.clone());
+        n.set_attack(AttackMode::Redirect {
+            victim: b.clone(),
+            attacker: mallory.clone(),
+        });
+        n.send(&a, &b, b"for b").unwrap();
+        assert_eq!(n.pending(&b), 0);
+        assert_eq!(n.recv(&mallory).unwrap().unwrap().payload, b"for b");
+    }
+
+    #[test]
+    fn injection_and_targeted_replay() {
+        let (mut n, a, b) = net();
+        n.send(&a, &b, b"original").unwrap();
+        n.inject(&a, &b, b"forged").unwrap();
+        n.replay_recorded(0).unwrap();
+        assert_eq!(n.pending(&b), 3);
+        let payloads: Vec<Vec<u8>> = (0..3)
+            .map(|_| n.recv(&b).unwrap().unwrap().payload)
+            .collect();
+        assert_eq!(payloads[1], b"forged");
+        assert_eq!(payloads[2], b"original");
+    }
+}

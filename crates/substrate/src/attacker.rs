@@ -1,0 +1,178 @@
+//! Attacker models and substrate profiles.
+//!
+//! §II-D: *"different solutions address different attacker models. The
+//! assumed capacity to execute attacks ranges from remotely exploiting
+//! software vulnerabilities to physical manipulation of the hardware."*
+//! The section derives four incremental hardware requirements — basic
+//! access control, memory placement/encryption, a trust anchor, and a
+//! restricted secret. [`AttackerModel`] enumerates the attacker ladder and
+//! [`SubstrateProfile`] records which rungs a given substrate defends
+//! against, enabling the deliberate, requirement-driven substrate choice
+//! the paper calls for (and the E9 matrix experiment).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The ladder of assumed attacker capabilities.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum AttackerModel {
+    /// Remote attacker exploiting software vulnerabilities in *other*
+    /// components of the same system (the baseline every isolation
+    /// substrate must handle — requires basic access control).
+    RemoteSoftware,
+    /// A fully compromised legacy OS / privileged software on the same
+    /// machine (the SGX data-center scenario: distrust the host OS).
+    CompromisedOs,
+    /// A malicious DMA-capable device or the driver commanding it.
+    MaliciousDevice,
+    /// Physical access to the memory bus: probing and tampering DRAM
+    /// (requires memory placement control and encryption).
+    PhysicalBus,
+    /// Physical manipulation of the boot process / code at rest (requires
+    /// an unchangeable trust anchor enforcing a launch policy).
+    PhysicalBoot,
+}
+
+impl AttackerModel {
+    /// All models, weakest to strongest.
+    pub const ALL: [AttackerModel; 5] = [
+        AttackerModel::RemoteSoftware,
+        AttackerModel::CompromisedOs,
+        AttackerModel::MaliciousDevice,
+        AttackerModel::PhysicalBus,
+        AttackerModel::PhysicalBoot,
+    ];
+}
+
+impl fmt::Display for AttackerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackerModel::RemoteSoftware => "remote-software",
+            AttackerModel::CompromisedOs => "compromised-os",
+            AttackerModel::MaliciousDevice => "malicious-device",
+            AttackerModel::PhysicalBus => "physical-bus",
+            AttackerModel::PhysicalBoot => "physical-boot",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Feature set a substrate implements (§II-D's incremental requirements
+/// plus the practical capabilities the composer needs to know about).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Features {
+    /// Spatial isolation between domains (memory access control).
+    pub spatial_isolation: bool,
+    /// Temporal isolation with covert-channel mitigation (time
+    /// partitioning + cache flush) — the microkernel's distinguishing
+    /// strength in §II-C.
+    pub temporal_isolation: bool,
+    /// Memory encryption against bus-level physical attackers.
+    pub memory_encryption: bool,
+    /// An unchangeable trust anchor in the launch path.
+    pub trust_anchor: bool,
+    /// A restricted hardware secret enabling attestation.
+    pub attestation: bool,
+    /// Sealed storage bound to code identity.
+    pub sealed_storage: bool,
+    /// Maximum number of concurrently isolated trusted domains
+    /// (`None` = effectively unbounded). TrustZone has exactly one secure
+    /// world; SEP is a single fixed environment.
+    pub max_trusted_domains: Option<usize>,
+    /// Whether an entire unmodified/paravirtualized legacy OS can be
+    /// hosted as one domain.
+    pub hosts_legacy_os: bool,
+}
+
+/// The self-description every substrate publishes.
+#[derive(Clone, Debug)]
+pub struct SubstrateProfile {
+    /// Substrate name ("microkernel", "trustzone", "sgx", "sep",
+    /// "software").
+    pub name: String,
+    /// Attacker models this substrate defends trusted components against.
+    pub defends: BTreeSet<AttackerModel>,
+    /// Implemented features.
+    pub features: Features,
+    /// Approximate lines of code in the substrate's TCB — used by the E7
+    /// TCB accounting. (Values for real systems: seL4 ≈ 10 kLoC; an
+    /// SGX-class CPU adds "likely many thousands of lines" of microcode,
+    /// §II-C.)
+    pub tcb_loc: u64,
+}
+
+impl SubstrateProfile {
+    /// Whether this substrate defends against `model`.
+    pub fn defends_against(&self, model: AttackerModel) -> bool {
+        self.defends.contains(&model)
+    }
+
+    /// Whether this substrate defends against *all* of `required`.
+    pub fn satisfies(&self, required: &BTreeSet<AttackerModel>) -> bool {
+        required.iter().all(|m| self.defends.contains(m))
+    }
+}
+
+/// Builds an attacker-model set from a slice (convenience for manifests).
+pub fn models(list: &[AttackerModel]) -> BTreeSet<AttackerModel> {
+    list.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(defends: &[AttackerModel]) -> SubstrateProfile {
+        SubstrateProfile {
+            name: "test".into(),
+            defends: models(defends),
+            features: Features {
+                spatial_isolation: true,
+                temporal_isolation: false,
+                memory_encryption: false,
+                trust_anchor: false,
+                attestation: false,
+                sealed_storage: false,
+                max_trusted_domains: None,
+                hosts_legacy_os: false,
+            },
+            tcb_loc: 10_000,
+        }
+    }
+
+    #[test]
+    fn defends_against_is_exact() {
+        let p = profile(&[AttackerModel::RemoteSoftware, AttackerModel::CompromisedOs]);
+        assert!(p.defends_against(AttackerModel::RemoteSoftware));
+        assert!(!p.defends_against(AttackerModel::PhysicalBus));
+    }
+
+    #[test]
+    fn satisfies_requires_superset() {
+        let p = profile(&[
+            AttackerModel::RemoteSoftware,
+            AttackerModel::CompromisedOs,
+            AttackerModel::PhysicalBus,
+        ]);
+        assert!(p.satisfies(&models(&[AttackerModel::RemoteSoftware])));
+        assert!(p.satisfies(&models(&[
+            AttackerModel::RemoteSoftware,
+            AttackerModel::PhysicalBus
+        ])));
+        assert!(!p.satisfies(&models(&[AttackerModel::PhysicalBoot])));
+        assert!(p.satisfies(&BTreeSet::new()), "empty requirement");
+    }
+
+    #[test]
+    fn ladder_is_ordered() {
+        let all = AttackerModel::ALL;
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn display_names_are_kebab_case() {
+        assert_eq!(AttackerModel::PhysicalBus.to_string(), "physical-bus");
+    }
+}

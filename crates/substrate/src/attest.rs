@@ -1,0 +1,322 @@
+//! Substrate-independent attestation evidence.
+//!
+//! §II-D "Software Attestation": proving a software identity to a remote
+//! party requires a *tamper-resistant secret with restricted access*; the
+//! party verifies a signature chain rooted in a key it already trusts.
+//! Every backend (TPM quote, SGX quoting enclave, TrustZone fused key)
+//! produces the same [`AttestationEvidence`] shape, so verifiers — like
+//! the smart-meter ↔ utility exchange of Figure 3 — are written once
+//! against a [`TrustPolicy`].
+
+use std::collections::BTreeSet;
+
+use lateral_crypto::sign::{Signature, SigningKey, VerifyingKey};
+use lateral_crypto::Digest;
+
+use crate::SubstrateError;
+
+/// Evidence that a specific code identity runs on a specific platform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttestationEvidence {
+    /// Which substrate produced the evidence ("sgx", "trustzone", "tpm",
+    /// "sep", "microkernel", "software").
+    pub substrate: String,
+    /// Serialized verifying key of the platform's attestation identity.
+    pub platform_key: [u8; 32],
+    /// Code identity (measurement) of the attested domain.
+    pub measurement: Digest,
+    /// Identity of the platform software stack underneath the domain
+    /// (boot-chain aggregate; [`Digest::ZERO`] when not applicable).
+    pub platform_state: Digest,
+    /// Caller-chosen data bound into the evidence — typically a hash of a
+    /// channel key, preventing relay/emulation attacks (§II-D: without a
+    /// bound secret, "a complete software emulation is possible").
+    pub report_data: Vec<u8>,
+    /// Signature by the platform key over all of the above.
+    pub signature: [u8; 64],
+}
+
+fn signing_payload(
+    substrate: &str,
+    platform_key: &[u8; 32],
+    measurement: &Digest,
+    platform_state: &Digest,
+    report_data: &[u8],
+) -> Digest {
+    Digest::of_parts(&[
+        b"lateral.attestation.v1",
+        substrate.as_bytes(),
+        platform_key,
+        measurement.as_bytes(),
+        platform_state.as_bytes(),
+        report_data,
+    ])
+}
+
+impl AttestationEvidence {
+    /// Produces evidence signed with the platform's attestation key.
+    /// Backends call this from inside their trust boundary.
+    pub fn sign(
+        substrate: &str,
+        platform_signing_key: &SigningKey,
+        measurement: Digest,
+        platform_state: Digest,
+        report_data: &[u8],
+    ) -> AttestationEvidence {
+        let platform_key = platform_signing_key.verifying_key().to_bytes();
+        let payload = signing_payload(
+            substrate,
+            &platform_key,
+            &measurement,
+            &platform_state,
+            report_data,
+        );
+        let signature = platform_signing_key.sign(payload.as_bytes()).to_bytes();
+        AttestationEvidence {
+            substrate: substrate.to_string(),
+            platform_key,
+            measurement,
+            platform_state,
+            report_data: report_data.to_vec(),
+            signature,
+        }
+    }
+
+    /// Checks the evidence's own signature (not yet its trustworthiness —
+    /// that is [`TrustPolicy::verify`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubstrateError::CryptoFailure`] on malformed keys or
+    /// signature mismatch.
+    pub fn verify_signature(&self) -> Result<(), SubstrateError> {
+        let vk = VerifyingKey::from_bytes(&self.platform_key)
+            .map_err(|e| SubstrateError::CryptoFailure(format!("bad platform key: {e}")))?;
+        let sig = Signature::from_bytes(&self.signature)
+            .map_err(|e| SubstrateError::CryptoFailure(format!("bad signature: {e}")))?;
+        let payload = signing_payload(
+            &self.substrate,
+            &self.platform_key,
+            &self.measurement,
+            &self.platform_state,
+            &self.report_data,
+        );
+        vk.verify(payload.as_bytes(), &sig)
+            .map_err(|_| SubstrateError::CryptoFailure("evidence signature invalid".into()))
+    }
+}
+
+/// The identity a verifier accepts after checking evidence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifiedIdentity {
+    /// Substrate that produced the evidence.
+    pub substrate: String,
+    /// The accepted measurement.
+    pub measurement: Digest,
+    /// The bound report data, for the caller to cross-check (e.g. against
+    /// a channel key hash).
+    pub report_data: Vec<u8>,
+}
+
+/// A verifier's trust configuration.
+///
+/// ```
+/// use lateral_substrate::attest::{AttestationEvidence, TrustPolicy};
+/// use lateral_crypto::{sign::SigningKey, Digest};
+///
+/// let platform = SigningKey::from_seed(b"device 42");
+/// let good = Digest::of(b"anonymizer v1");
+/// let evidence =
+///     AttestationEvidence::sign("sgx", &platform, good, Digest::ZERO, b"chan");
+///
+/// let mut policy = TrustPolicy::new();
+/// policy.trust_platform(platform.verifying_key());
+/// policy.expect_measurement(good);
+/// assert!(policy.verify(&evidence).is_ok());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TrustPolicy {
+    trusted_platforms: BTreeSet<[u8; 32]>,
+    expected_measurements: BTreeSet<Digest>,
+    expected_platform_states: BTreeSet<Digest>,
+}
+
+impl TrustPolicy {
+    /// Creates an empty policy (accepts nothing).
+    pub fn new() -> TrustPolicy {
+        TrustPolicy::default()
+    }
+
+    /// Adds a trusted platform attestation key (e.g. from the
+    /// manufacturer's endorsement list).
+    pub fn trust_platform(&mut self, key: VerifyingKey) -> &mut Self {
+        self.trusted_platforms.insert(key.to_bytes());
+        self
+    }
+
+    /// Adds an acceptable code identity (e.g. the audited, published
+    /// anonymizer build from the smart-meter example).
+    pub fn expect_measurement(&mut self, m: Digest) -> &mut Self {
+        self.expected_measurements.insert(m);
+        self
+    }
+
+    /// Adds an acceptable platform software stack identity. When none are
+    /// registered, any platform state is accepted.
+    pub fn expect_platform_state(&mut self, s: Digest) -> &mut Self {
+        self.expected_platform_states.insert(s);
+        self
+    }
+
+    /// Fully verifies evidence: signature, platform trust, measurement,
+    /// and (if configured) platform state.
+    ///
+    /// # Errors
+    ///
+    /// * [`SubstrateError::CryptoFailure`] — invalid signature/encoding.
+    /// * [`SubstrateError::AccessDenied`] — untrusted platform, unknown
+    ///   measurement, or unexpected platform state.
+    pub fn verify(
+        &self,
+        evidence: &AttestationEvidence,
+    ) -> Result<VerifiedIdentity, SubstrateError> {
+        evidence.verify_signature()?;
+        if !self.trusted_platforms.contains(&evidence.platform_key) {
+            return Err(SubstrateError::AccessDenied(
+                "evidence signed by untrusted platform key".into(),
+            ));
+        }
+        if !self.expected_measurements.contains(&evidence.measurement) {
+            return Err(SubstrateError::AccessDenied(format!(
+                "measurement {} not in the expected set",
+                evidence.measurement.short_hex()
+            )));
+        }
+        if !self.expected_platform_states.is_empty()
+            && !self.expected_platform_states.contains(&evidence.platform_state)
+        {
+            return Err(SubstrateError::AccessDenied(
+                "platform software stack not in the expected set".into(),
+            ));
+        }
+        Ok(VerifiedIdentity {
+            substrate: evidence.substrate.clone(),
+            measurement: evidence.measurement,
+            report_data: evidence.report_data.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> SigningKey {
+        SigningKey::from_seed(b"attest tests platform")
+    }
+
+    fn good_measurement() -> Digest {
+        Digest::of(b"component v1")
+    }
+
+    fn policy() -> TrustPolicy {
+        let mut p = TrustPolicy::new();
+        p.trust_platform(platform().verifying_key());
+        p.expect_measurement(good_measurement());
+        p
+    }
+
+    fn evidence() -> AttestationEvidence {
+        AttestationEvidence::sign(
+            "sgx",
+            &platform(),
+            good_measurement(),
+            Digest::ZERO,
+            b"bind",
+        )
+    }
+
+    #[test]
+    fn valid_evidence_verifies() {
+        let id = policy().verify(&evidence()).unwrap();
+        assert_eq!(id.substrate, "sgx");
+        assert_eq!(id.measurement, good_measurement());
+        assert_eq!(id.report_data, b"bind");
+    }
+
+    #[test]
+    fn tampered_measurement_fails_signature() {
+        let mut ev = evidence();
+        ev.measurement = Digest::of(b"trojaned component");
+        assert!(matches!(
+            policy().verify(&ev),
+            Err(SubstrateError::CryptoFailure(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_report_data_fails_signature() {
+        let mut ev = evidence();
+        ev.report_data = b"other".to_vec();
+        assert!(ev.verify_signature().is_err());
+    }
+
+    #[test]
+    fn emulator_with_own_key_is_rejected() {
+        // §II-D: "a complete software emulation … can say one thing when
+        // asked what software it runs" — but it cannot sign with a trusted
+        // platform key.
+        let emulator = SigningKey::from_seed(b"emulator");
+        let ev = AttestationEvidence::sign(
+            "sgx",
+            &emulator,
+            good_measurement(),
+            Digest::ZERO,
+            b"bind",
+        );
+        assert!(matches!(
+            policy().verify(&ev),
+            Err(SubstrateError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_measurement_is_rejected() {
+        let ev = AttestationEvidence::sign(
+            "sgx",
+            &platform(),
+            Digest::of(b"manipulated anonymizer"),
+            Digest::ZERO,
+            b"bind",
+        );
+        assert!(policy().verify(&ev).is_err());
+    }
+
+    #[test]
+    fn platform_state_gate() {
+        let good_state = Digest::of(b"booted stack");
+        let ev = AttestationEvidence::sign(
+            "tpm",
+            &platform(),
+            good_measurement(),
+            good_state,
+            b"",
+        );
+        let mut p = policy();
+        // Without a state expectation: accepted.
+        assert!(p.verify(&ev).is_ok());
+        // With a different expectation: rejected.
+        p.expect_platform_state(Digest::of(b"other stack"));
+        assert!(p.verify(&ev).is_err());
+        // Expecting the right one: accepted.
+        p.expect_platform_state(good_state);
+        assert!(p.verify(&ev).is_ok());
+    }
+
+    #[test]
+    fn substrate_field_is_bound() {
+        let mut ev = evidence();
+        ev.substrate = "trustzone".into();
+        assert!(ev.verify_signature().is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! The executable structural template of Figure 2 (experiment E2).
+//!
+//! The paper claims all isolation technologies instantiate one common
+//! pattern — isolation substrate, trusted components, legacy code,
+//! controlled communication — and proposes a unified interface over them.
+//! This module *tests* that claim: it runs an identical component suite
+//! against any [`Substrate`] and reports, per feature, whether the backend
+//! passes, fails, or honestly reports the feature unsupported (e.g. pure
+//! software isolation cannot attest). The reproduction harness prints the
+//! resulting matrix for all five backends.
+
+use crate::attest::TrustPolicy;
+use crate::cap::{Badge, ChannelCap};
+use crate::substrate::{DomainSpec, Substrate};
+use crate::testkit::{Attester, BadgeReporter, Counter, Echo, MemoryScribe, Sealer};
+use crate::SubstrateError;
+
+/// Result of one conformance check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The feature works as specified.
+    Pass,
+    /// The feature misbehaved; the string says how.
+    Fail(String),
+    /// The backend reports the feature as unsupported (a legitimate
+    /// profile difference, e.g. no attestation without hardware).
+    Unsupported,
+}
+
+impl Outcome {
+    /// Whether the check did not fail (pass or honestly unsupported).
+    pub fn acceptable(&self) -> bool {
+        !matches!(self, Outcome::Fail(_))
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Pass => write!(f, "pass"),
+            Outcome::Fail(r) => write!(f, "FAIL: {r}"),
+            Outcome::Unsupported => write!(f, "unsupported"),
+        }
+    }
+}
+
+/// One named check result.
+#[derive(Clone, Debug)]
+pub struct CheckResult {
+    /// Feature under test.
+    pub feature: String,
+    /// The outcome.
+    pub outcome: Outcome,
+}
+
+/// Report of a full conformance run against one substrate.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// The substrate's profile name.
+    pub substrate: String,
+    /// Per-feature outcomes, in suite order.
+    pub checks: Vec<CheckResult>,
+}
+
+impl ConformanceReport {
+    /// Whether every check passed or was honestly unsupported.
+    pub fn conforms(&self) -> bool {
+        self.checks.iter().all(|c| c.outcome.acceptable())
+    }
+
+    /// The outcome for a named feature, if present.
+    pub fn outcome(&self, feature: &str) -> Option<&Outcome> {
+        self.checks
+            .iter()
+            .find(|c| c.feature == feature)
+            .map(|c| &c.outcome)
+    }
+}
+
+fn check<F>(checks: &mut Vec<CheckResult>, feature: &str, f: F)
+where
+    F: FnOnce() -> Result<(), Outcome>,
+{
+    let outcome = match f() {
+        Ok(()) => Outcome::Pass,
+        Err(o) => o,
+    };
+    checks.push(CheckResult {
+        feature: feature.to_string(),
+        outcome,
+    });
+}
+
+fn fail(msg: impl Into<String>) -> Outcome {
+    Outcome::Fail(msg.into())
+}
+
+/// Runs the conformance suite against `sub`.
+///
+/// The suite spawns its own domains; run it on a fresh substrate
+/// instance. Domains are destroyed afterwards on a best-effort basis.
+pub fn run(sub: &mut dyn Substrate) -> ConformanceReport {
+    let name = sub.profile().name.clone();
+    let mut checks = Vec::new();
+    let mut spawned = Vec::new();
+
+    // --- spawn + invoke ---------------------------------------------------
+    let mut client = None;
+    let mut server = None;
+    check(&mut checks, "spawn", || {
+        let c = sub
+            .spawn(DomainSpec::named("conf-client"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn client: {e}")))?;
+        let s = sub
+            .spawn(DomainSpec::named("conf-server"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn server: {e}")))?;
+        client = Some(c);
+        server = Some(s);
+        Ok(())
+    });
+    if let (Some(c), Some(s)) = (client, server) {
+        spawned.push(c);
+        spawned.push(s);
+
+        check(&mut checks, "channel-invoke", || {
+            let cap = sub
+                .grant_channel(c, s, Badge(1))
+                .map_err(|e| fail(format!("grant: {e}")))?;
+            let reply = sub
+                .invoke(c, &cap, b"conformance ping")
+                .map_err(|e| fail(format!("invoke: {e}")))?;
+            if reply == b"conformance ping" {
+                Ok(())
+            } else {
+                Err(fail("echo reply mismatch"))
+            }
+        });
+
+        // --- POLA: communication only exists when granted -----------------
+        check(&mut checks, "pola-deny-undeclared", || {
+            let forged = ChannelCap {
+                owner: s,
+                slot: 0,
+                nonce: 424_242,
+            };
+            match sub.invoke(s, &forged, b"sneak") {
+                Err(SubstrateError::InvalidCapability(_)) => Ok(()),
+                Err(e) => Err(fail(format!("wrong error class: {e}"))),
+                Ok(_) => Err(fail("undeclared channel was allowed")),
+            }
+        });
+
+        // --- capability theft ---------------------------------------------
+        check(&mut checks, "cap-unforgeable", || {
+            let cap = sub
+                .grant_channel(c, s, Badge(2))
+                .map_err(|e| fail(format!("grant: {e}")))?;
+            // The server "steals" the client's capability bits.
+            match sub.invoke(s, &cap, b"steal") {
+                Err(SubstrateError::InvalidCapability(_)) => Ok(()),
+                Err(e) => Err(fail(format!("wrong error class: {e}"))),
+                Ok(_) => Err(fail("stolen capability was honored")),
+            }
+        });
+    }
+
+    // --- badges identify clients ------------------------------------------
+    check(&mut checks, "badge-identity", || {
+        let reporter = sub
+            .spawn(DomainSpec::named("conf-badge"), Box::new(BadgeReporter))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(reporter);
+        let c1 = sub
+            .spawn(DomainSpec::named("conf-c1"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        let c2 = sub
+            .spawn(DomainSpec::named("conf-c2"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(c1);
+        spawned.push(c2);
+        let cap1 = sub
+            .grant_channel(c1, reporter, Badge(0xA1))
+            .map_err(|e| fail(format!("grant: {e}")))?;
+        let cap2 = sub
+            .grant_channel(c2, reporter, Badge(0xB2))
+            .map_err(|e| fail(format!("grant: {e}")))?;
+        let b1 = sub
+            .invoke(c1, &cap1, b"")
+            .map_err(|e| fail(format!("invoke: {e}")))?;
+        let b2 = sub
+            .invoke(c2, &cap2, b"")
+            .map_err(|e| fail(format!("invoke: {e}")))?;
+        if b1 == 0xA1u64.to_le_bytes() && b2 == 0xB2u64.to_le_bytes() {
+            Ok(())
+        } else {
+            Err(fail("badges not delivered faithfully"))
+        }
+    });
+
+    // --- component state survives across calls -----------------------------
+    check(&mut checks, "stateful-domains", || {
+        let counter = sub
+            .spawn(DomainSpec::named("conf-counter"), Box::new(Counter::default()))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(counter);
+        let d = sub
+            .spawn(DomainSpec::named("conf-driver"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(d);
+        let cap = sub
+            .grant_channel(d, counter, Badge(0))
+            .map_err(|e| fail(format!("grant: {e}")))?;
+        sub.invoke(d, &cap, b"").map_err(|e| fail(e.to_string()))?;
+        let second = sub.invoke(d, &cap, b"").map_err(|e| fail(e.to_string()))?;
+        if second == 2u64.to_le_bytes() {
+            Ok(())
+        } else {
+            Err(fail("state did not persist"))
+        }
+    });
+
+    // --- private memory -----------------------------------------------------
+    check(&mut checks, "private-memory", || {
+        let a = sub
+            .spawn(DomainSpec::named("conf-mem-a"), Box::new(MemoryScribe))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        let b = sub
+            .spawn(DomainSpec::named("conf-mem-b"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(a);
+        spawned.push(b);
+        let d = sub
+            .spawn(DomainSpec::named("conf-mem-driver"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(d);
+        let cap = sub
+            .grant_channel(d, a, Badge(0))
+            .map_err(|e| fail(format!("grant: {e}")))?;
+        let reply = sub
+            .invoke(d, &cap, b"memory payload")
+            .map_err(|e| fail(e.to_string()))?;
+        if reply != b"memory payload" {
+            return Err(fail("scribe did not read back its own write"));
+        }
+        // b's memory at the same offset must not contain a's data.
+        let other = sub
+            .mem_read(b, 0, 14)
+            .map_err(|e| fail(format!("mem_read: {e}")))?;
+        if other == b"memory payload" {
+            Err(fail("memory leaked across domains"))
+        } else {
+            Ok(())
+        }
+    });
+
+    // --- sealed storage ------------------------------------------------------
+    check(&mut checks, "sealed-storage", || {
+        let sealer = match sub.spawn(DomainSpec::named("conf-sealer"), Box::new(Sealer)) {
+            Ok(s) => s,
+            Err(e) => return Err(fail(format!("spawn: {e}"))),
+        };
+        spawned.push(sealer);
+        let d = sub
+            .spawn(DomainSpec::named("conf-seal-driver"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(d);
+        let cap = sub
+            .grant_channel(d, sealer, Badge(0))
+            .map_err(|e| fail(format!("grant: {e}")))?;
+        let sealed = match sub.invoke(d, &cap, b"s:sealed secret") {
+            Ok(s) => s,
+            Err(SubstrateError::ComponentFailure(msg)) if msg.contains("unsupported") => {
+                return Err(Outcome::Unsupported)
+            }
+            Err(e) => return Err(fail(format!("seal: {e}"))),
+        };
+        let mut req = b"u:".to_vec();
+        req.extend_from_slice(&sealed);
+        let plain = sub.invoke(d, &cap, &req).map_err(|e| fail(e.to_string()))?;
+        if plain != b"sealed secret" {
+            return Err(fail("unseal returned wrong plaintext"));
+        }
+        // A different identity must not unseal.
+        match sub.unseal(d, &sealed) {
+            Err(_) => Ok(()),
+            Ok(_) => Err(fail("foreign domain unsealed the blob")),
+        }
+    });
+
+    // --- attestation -----------------------------------------------------------
+    check(&mut checks, "attestation", || {
+        let attester = sub
+            .spawn(DomainSpec::named("conf-attester"), Box::new(Attester))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(attester);
+        match sub.attest(attester, b"conformance-binding") {
+            Ok(evidence) => {
+                let platform = sub
+                    .platform_verifying_key()
+                    .map_err(|e| fail(format!("platform key: {e}")))?;
+                let expected = sub
+                    .measurement(attester)
+                    .map_err(|e| fail(e.to_string()))?;
+                let mut policy = TrustPolicy::new();
+                policy.trust_platform(platform);
+                policy.expect_measurement(expected);
+                let id = policy
+                    .verify(&evidence)
+                    .map_err(|e| fail(format!("verify: {e}")))?;
+                if id.report_data == b"conformance-binding" {
+                    Ok(())
+                } else {
+                    Err(fail("report data not bound"))
+                }
+            }
+            Err(SubstrateError::Unsupported(_)) => Err(Outcome::Unsupported),
+            Err(e) => Err(fail(format!("attest: {e}"))),
+        }
+    });
+
+    // --- reentrancy safety -------------------------------------------------------
+    check(&mut checks, "reentrancy-safe", || {
+        let a = sub
+            .spawn(DomainSpec::named("conf-reent"), Box::new(crate::testkit::Forwarder))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(a);
+        // Give the forwarder a channel to itself: calling it must produce a
+        // clean error, not a hang or crash.
+        sub.grant_channel(a, a, Badge(1))
+            .map_err(|e| fail(format!("grant: {e}")))?;
+        let d = sub
+            .spawn(DomainSpec::named("conf-reent-driver"), Box::new(Echo))
+            .map_err(|e| fail(format!("spawn: {e}")))?;
+        spawned.push(d);
+        let cap = sub
+            .grant_channel(d, a, Badge(2))
+            .map_err(|e| fail(format!("grant: {e}")))?;
+        match sub.invoke(d, &cap, b"loop") {
+            Err(_) => Ok(()),
+            Ok(_) => Err(fail("self-call unexpectedly succeeded")),
+        }
+    });
+
+    // Best-effort teardown.
+    for d in spawned {
+        let _ = sub.destroy(d);
+    }
+
+    ConformanceReport {
+        substrate: name,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::software::SoftwareSubstrate;
+
+    #[test]
+    fn software_substrate_conforms() {
+        let mut s = SoftwareSubstrate::new("conformance");
+        let report = run(&mut s);
+        for c in &report.checks {
+            assert!(
+                c.outcome.acceptable(),
+                "feature {} failed: {}",
+                c.feature,
+                c.outcome
+            );
+        }
+        assert!(report.conforms());
+        // Software isolation honestly reports no attestation.
+        assert_eq!(report.outcome("attestation"), Some(&Outcome::Unsupported));
+        assert_eq!(report.outcome("channel-invoke"), Some(&Outcome::Pass));
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Pass.to_string(), "pass");
+        assert!(Outcome::Fail("x".into()).to_string().contains("FAIL"));
+    }
+}

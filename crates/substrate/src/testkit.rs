@@ -1,0 +1,247 @@
+//! Standard components used by the conformance suite (E2) and by backend
+//! tests throughout the workspace.
+//!
+//! Each component is deliberately tiny and substrate-agnostic — the same
+//! boxed instances run on the microkernel, TrustZone, SGX, SEP, and the
+//! software substrate, demonstrating §III-A's write-once claim.
+
+use crate::component::{Component, ComponentError, Invocation};
+use crate::substrate::DomainContext;
+
+/// Replies with the request payload.
+#[derive(Debug, Default)]
+pub struct Echo;
+
+impl Component for Echo {
+    fn label(&self) -> &str {
+        "echo"
+    }
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        Ok(inv.data.to_vec())
+    }
+}
+
+/// Replies with the kernel-delivered badge (little-endian u64) — used to
+/// check that client identity comes from the substrate, not the message.
+#[derive(Debug, Default)]
+pub struct BadgeReporter;
+
+impl Component for BadgeReporter {
+    fn label(&self) -> &str {
+        "badge-reporter"
+    }
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        Ok(inv.badge.0.to_le_bytes().to_vec())
+    }
+}
+
+/// A stateful counter: increments per call, replying with the new value.
+/// Exercises component state retention across invocations.
+#[derive(Debug, Default)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Component for Counter {
+    fn label(&self) -> &str {
+        "counter"
+    }
+    fn on_call(
+        &mut self,
+        _ctx: &mut dyn DomainContext,
+        _inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        self.count += 1;
+        Ok(self.count.to_le_bytes().to_vec())
+    }
+}
+
+/// Seals / unseals through the substrate: request `s:<data>` seals,
+/// `u:<blob>` unseals. Exercises sealed storage.
+#[derive(Debug, Default)]
+pub struct Sealer;
+
+impl Component for Sealer {
+    fn label(&self) -> &str {
+        "sealer"
+    }
+    fn on_call(
+        &mut self,
+        ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        match inv.data.split_first() {
+            Some((b's', rest)) => ctx
+                .seal(&rest[1..])
+                .map_err(|e| ComponentError::new(format!("seal: {e}"))),
+            Some((b'u', rest)) => ctx
+                .unseal(&rest[1..])
+                .map_err(|e| ComponentError::new(format!("unseal: {e}"))),
+            _ => Err(ComponentError::new("expected s:<data> or u:<blob>")),
+        }
+    }
+}
+
+/// Writes the request into private memory, reads it back, and replies
+/// with what it read — exercises the domain-private memory path.
+#[derive(Debug, Default)]
+pub struct MemoryScribe;
+
+impl Component for MemoryScribe {
+    fn label(&self) -> &str {
+        "memory-scribe"
+    }
+    fn on_call(
+        &mut self,
+        ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        ctx.mem_write(0, inv.data)
+            .map_err(|e| ComponentError::new(format!("write: {e}")))?;
+        ctx.mem_read(0, inv.data.len())
+            .map_err(|e| ComponentError::new(format!("read: {e}")))
+    }
+}
+
+/// Produces attestation evidence bound to the request payload, replying
+/// with the serialized evidence (measurement ‖ platform_key ‖ signature).
+#[derive(Debug, Default)]
+pub struct Attester;
+
+impl Component for Attester {
+    fn label(&self) -> &str {
+        "attester"
+    }
+    fn on_call(
+        &mut self,
+        ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let ev = ctx
+            .attest(inv.data)
+            .map_err(|e| ComponentError::new(format!("attest: {e}")))?;
+        let mut out = Vec::new();
+        out.extend_from_slice(ev.measurement.as_bytes());
+        out.extend_from_slice(&ev.platform_key);
+        out.extend_from_slice(&ev.signature);
+        Ok(out)
+    }
+}
+
+/// Forwards every request over its first granted capability — the minimal
+/// "proxy" shape used in chains (A → proxy → B). The capability is
+/// discovered at call time via the cap-space enumeration, so the composer
+/// can wire the chain after all domains exist.
+#[derive(Debug, Default)]
+pub struct Forwarder;
+
+impl Component for Forwarder {
+    fn label(&self) -> &str {
+        "forwarder"
+    }
+    fn on_call(
+        &mut self,
+        ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        let caps = ctx
+            .caps()
+            .map_err(|e| ComponentError::new(format!("caps: {e}")))?;
+        let cap = caps
+            .first()
+            .ok_or_else(|| ComponentError::new("forwarder has no outbound channel"))?;
+        ctx.call(cap, inv.data)
+            .map_err(|e| ComponentError::new(format!("forward: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cap::Badge;
+    use crate::software::SoftwareSubstrate;
+    use crate::substrate::{DomainSpec, Substrate};
+
+    #[test]
+    fn counter_accumulates_across_calls() {
+        let mut s = SoftwareSubstrate::new("tk counter");
+        let c = s
+            .spawn(DomainSpec::named("counter"), Box::new(Counter::default()))
+            .unwrap();
+        let d = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
+        let cap = s.grant_channel(d, c, Badge(0)).unwrap();
+        for expected in 1u64..=3 {
+            let r = s.invoke(d, &cap, b"").unwrap();
+            assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), expected);
+        }
+    }
+
+    #[test]
+    fn sealer_roundtrip_on_software_substrate() {
+        let mut s = SoftwareSubstrate::new("tk sealer");
+        let sealer = s
+            .spawn(DomainSpec::named("sealer"), Box::new(Sealer))
+            .unwrap();
+        let d = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(d, sealer, Badge(0)).unwrap();
+        let sealed = s.invoke(d, &cap, b"s:top secret").unwrap();
+        let mut req = b"u:".to_vec();
+        req.extend_from_slice(&sealed);
+        assert_eq!(s.invoke(d, &cap, &req).unwrap(), b"top secret");
+    }
+
+    #[test]
+    fn memory_scribe_roundtrips() {
+        let mut s = SoftwareSubstrate::new("tk scribe");
+        let m = s
+            .spawn(DomainSpec::named("scribe"), Box::new(MemoryScribe))
+            .unwrap();
+        let d = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let cap = s.grant_channel(d, m, Badge(0)).unwrap();
+        assert_eq!(s.invoke(d, &cap, b"hello memory").unwrap(), b"hello memory");
+    }
+
+    #[test]
+    fn forwarder_relays_through_discovered_cap() {
+        let mut s = SoftwareSubstrate::new("tk fwd");
+        let dest = s.spawn(DomainSpec::named("dest"), Box::new(Echo)).unwrap();
+        let proxy = s
+            .spawn(DomainSpec::named("proxy"), Box::new(Forwarder))
+            .unwrap();
+        s.grant_channel(proxy, dest, Badge(5)).unwrap();
+        let driver = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
+        let drive_cap = s.grant_channel(driver, proxy, Badge(1)).unwrap();
+        assert_eq!(
+            s.invoke(driver, &drive_cap, b"two hops").unwrap(),
+            b"two hops"
+        );
+    }
+
+    #[test]
+    fn forwarder_without_channel_reports_cleanly() {
+        let mut s = SoftwareSubstrate::new("tk fwd2");
+        let proxy = s
+            .spawn(DomainSpec::named("proxy"), Box::new(Forwarder))
+            .unwrap();
+        let driver = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
+        let cap = s.grant_channel(driver, proxy, Badge(1)).unwrap();
+        assert!(matches!(
+            s.invoke(driver, &cap, b"x"),
+            Err(crate::SubstrateError::ComponentFailure(_))
+        ));
+    }
+}

@@ -1,0 +1,171 @@
+//! Late launch: the dynamic root of trust (Flicker, §II-B).
+//!
+//! "This instruction causes all currently running software including the
+//! kernel to be stopped, before a small piece of code is given full
+//! control over the machine" — and the TPM records its identity in the
+//! dynamic PCR, so it can be attested *without* trusting BIOS, boot
+//! loader, or legacy kernel. Flicker additionally showed that multiple
+//! trusted components are mutually isolated via distinct cryptographic
+//! identities, but "they cannot run concurrently" — which the session
+//! guard enforces here.
+
+use lateral_crypto::Digest;
+
+use crate::pcr::PCR_DYNAMIC;
+use crate::{Quote, SealedBlob, Tpm, TpmError};
+
+/// An active late-launch session: the measured payload has exclusive
+/// control until [`LateLaunchSession::end`].
+pub struct LateLaunchSession<'a> {
+    tpm: &'a mut Tpm,
+    payload_measurement: Digest,
+    ended: bool,
+}
+
+impl std::fmt::Debug for LateLaunchSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LateLaunchSession({})",
+            self.payload_measurement.short_hex()
+        )
+    }
+}
+
+impl<'a> LateLaunchSession<'a> {
+    pub(crate) fn start(
+        tpm: &'a mut Tpm,
+        payload_image: &[u8],
+    ) -> Result<LateLaunchSession<'a>, TpmError> {
+        if *tpm.late_launch_flag() {
+            return Err(TpmError::LateLaunchBusy);
+        }
+        *tpm.late_launch_flag() = true;
+        // The CPU resets the dynamic PCR and reports the payload hash —
+        // untampered by any software that ran before.
+        tpm.pcrs_mut().reset_dynamic();
+        let measurement = Digest::of(payload_image);
+        tpm.extend_digest(PCR_DYNAMIC, "late-launch", measurement);
+        Ok(LateLaunchSession {
+            tpm,
+            payload_measurement: measurement,
+            ended: false,
+        })
+    }
+
+    /// The measured identity of the launched payload.
+    pub fn payload_measurement(&self) -> Digest {
+        self.payload_measurement
+    }
+
+    /// Quotes the dynamic PCR, attesting the payload without the boot
+    /// chain.
+    pub fn quote(&self, nonce: &[u8]) -> Quote {
+        self.tpm.quote(&[PCR_DYNAMIC], nonce)
+    }
+
+    /// Seals data so only this payload identity (re-launched later) can
+    /// unseal it.
+    pub fn seal(&self, data: &[u8]) -> SealedBlob {
+        self.tpm.seal(&[PCR_DYNAMIC], data)
+    }
+
+    /// Unseals data sealed by a previous launch of the same payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::UnsealDenied`] when the blob belongs to a different
+    /// payload identity.
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, TpmError> {
+        self.tpm.unseal(blob)
+    }
+
+    /// Ends the session: the dynamic PCR is capped (extended with a
+    /// terminator) so nothing after the session can impersonate it.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if !self.ended {
+            self.tpm
+                .extend_digest(PCR_DYNAMIC, "late-launch-end", Digest::of(b"cap"));
+            *self.tpm.late_launch_flag() = false;
+            self.ended = true;
+        }
+    }
+}
+
+impl Drop for LateLaunchSession<'_> {
+    fn drop(&mut self) {
+        // Never leave the machine in "late launch active" state; Drop is
+        // infallible by design (C-DTOR-FAIL).
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_identity_is_in_dynamic_pcr() {
+        let mut tpm = Tpm::new(b"ll");
+        // Dirty boot chain doesn't matter:
+        tpm.extend(0, b"sketchy bios");
+        let session = tpm.late_launch(b"piece of trusted code").unwrap();
+        let m = session.payload_measurement();
+        let q = session.quote(b"nonce");
+        session.end();
+        assert_eq!(m, Digest::of(b"piece of trusted code"));
+        assert!(q.verify(&tpm.attestation_key(), b"nonce").is_ok());
+    }
+
+    #[test]
+    fn sessions_cannot_run_concurrently() {
+        let mut tpm = Tpm::new(b"ll2");
+        let _s = tpm.late_launch(b"payload a");
+        // Borrow rules already prevent a second call while `_s` lives;
+        // end the first and observe the flag-based guard with an
+        // explicitly leaked session state instead: start, drop, restart.
+        drop(_s);
+        assert!(tpm.late_launch(b"payload b").is_ok());
+    }
+
+    #[test]
+    fn seal_to_payload_identity_survives_relaunch() {
+        let mut tpm = Tpm::new(b"ll3");
+        let blob = {
+            let s = tpm.late_launch(b"flicker piece").unwrap();
+            s.seal(b"session secret")
+        };
+        // Relaunch the same payload: same dynamic PCR → unseals.
+        let s2 = tpm.late_launch(b"flicker piece").unwrap();
+        assert_eq!(s2.unseal(&blob).unwrap(), b"session secret");
+        s2.end();
+    }
+
+    #[test]
+    fn different_payload_cannot_steal_sealed_state() {
+        let mut tpm = Tpm::new(b"ll4");
+        let blob = {
+            let s = tpm.late_launch(b"honest payload").unwrap();
+            s.seal(b"secret")
+        };
+        let evil = tpm.late_launch(b"evil payload").unwrap();
+        assert!(evil.unseal(&blob).is_err());
+    }
+
+    #[test]
+    fn capped_pcr_prevents_post_session_impersonation() {
+        let mut tpm = Tpm::new(b"ll5");
+        let during = {
+            let s = tpm.late_launch(b"payload").unwrap();
+            s.quote(b"n").composite
+        };
+        // After end(), the dynamic PCR no longer matches the in-session
+        // composite, so legacy code cannot produce an equivalent quote.
+        let after = tpm.quote(&[PCR_DYNAMIC], b"n").composite;
+        assert_ne!(during, after);
+    }
+}

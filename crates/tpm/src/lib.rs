@@ -1,0 +1,286 @@
+//! A Trusted Platform Module (TPM) model.
+//!
+//! §II-B of the paper describes the TPM's three purposes — hardware key
+//! storage, key release gated on the measured software stack, and signed
+//! attestation of that stack — plus the *late launch* extension
+//! demonstrated by Flicker. This crate models all of them:
+//!
+//! * [`pcr`] — the Platform Configuration Register bank and event log;
+//!   the [`Tpm`] implements [`lateral_hw::bootrom::Measurer`], so a boot
+//!   ROM configured for authenticated boot acts as the CRTM.
+//! * [`quote`] — signed attestation of selected PCRs with a verifier
+//!   nonce.
+//! * [`seal`] — data sealed to a PCR policy ("BitLocker releases the
+//!   full-disk-encryption key … only to a correct version of Windows").
+//! * [`late_launch`] — the Flicker-style dynamic root of trust: stop
+//!   everything, reset the dynamic PCR, measure a small payload, run it
+//!   isolated; mutually isolated sessions cannot run concurrently.
+//!
+//! # Example
+//!
+//! ```
+//! use lateral_tpm::Tpm;
+//!
+//! let mut tpm = Tpm::new(b"device 7");
+//! tpm.extend(0, b"bootloader v1");
+//! tpm.extend(0, b"kernel v1");
+//! let quote = tpm.quote(&[0], b"verifier nonce");
+//! assert!(quote.verify(&tpm.attestation_key(), b"verifier nonce").is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod late_launch;
+pub mod pcr;
+pub mod quote;
+pub mod seal;
+
+use lateral_crypto::rng::Drbg;
+use lateral_crypto::sign::{SigningKey, VerifyingKey};
+use lateral_crypto::Digest;
+use lateral_hw::bootrom::Measurer;
+
+use std::error::Error;
+use std::fmt;
+
+pub use pcr::{EventLogEntry, PcrBank, PCR_COUNT, PCR_DYNAMIC};
+pub use quote::Quote;
+pub use seal::SealedBlob;
+
+/// Errors raised by TPM operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum TpmError {
+    /// PCR index out of range.
+    BadPcrIndex(usize),
+    /// Unsealing failed: PCR policy not satisfied or blob tampered.
+    UnsealDenied(String),
+    /// A late-launch session is already active (they cannot run
+    /// concurrently, as in Flicker).
+    LateLaunchBusy,
+    /// Quote verification failed.
+    BadQuote(String),
+}
+
+impl fmt::Display for TpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpmError::BadPcrIndex(i) => write!(f, "PCR index {i} out of range"),
+            TpmError::UnsealDenied(r) => write!(f, "unseal denied: {r}"),
+            TpmError::LateLaunchBusy => write!(f, "a late-launch session is already active"),
+            TpmError::BadQuote(r) => write!(f, "bad quote: {r}"),
+        }
+    }
+}
+
+impl Error for TpmError {}
+
+/// The TPM chip: PCR bank, event log, keys, seal/unseal, quote.
+pub struct Tpm {
+    pcrs: PcrBank,
+    event_log: Vec<EventLogEntry>,
+    /// Attestation identity key; its public half is endorsed (signed) by
+    /// the manufacturer in real deployments. We expose it directly.
+    aik: SigningKey,
+    /// Storage root secret for sealing.
+    srk: [u8; 32],
+    late_launch_active: bool,
+}
+
+impl fmt::Debug for Tpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tpm(events={})", self.event_log.len())
+    }
+}
+
+impl Tpm {
+    /// Manufactures a TPM with identity derived from `seed` (the same
+    /// seed always yields the same chip, modeling fused identity).
+    pub fn new(seed: &[u8]) -> Tpm {
+        let mut rng = Drbg::from_seed(&[b"lateral.tpm.", seed].concat());
+        Tpm {
+            pcrs: PcrBank::new(),
+            event_log: Vec::new(),
+            aik: SigningKey::generate(&mut rng),
+            srk: rng.gen_key(),
+            late_launch_active: false,
+        }
+    }
+
+    /// The public attestation key (what the manufacturer endorses).
+    pub fn attestation_key(&self) -> VerifyingKey {
+        self.aik.verifying_key()
+    }
+
+    /// Model-internal: the attestation identity key itself, exposed so
+    /// platform-model crates (e.g. the Flicker substrate) can translate
+    /// TPM-rooted identity into unified attestation evidence. A real TPM
+    /// never exports this key; do not use it outside platform models.
+    #[doc(hidden)]
+    pub fn platform_signing_key(&self) -> &SigningKey {
+        &self.aik
+    }
+
+    /// Extends PCR `index` with the digest of `data` and logs the event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (program error; runtime paths use
+    /// checked variants).
+    pub fn extend(&mut self, index: usize, data: &[u8]) {
+        let digest = Digest::of(data);
+        self.extend_digest(index, "extend", digest);
+    }
+
+    /// Extends PCR `index` with a precomputed digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn extend_digest(&mut self, index: usize, event: &str, digest: Digest) {
+        self.pcrs.extend(index, digest).expect("PCR index in range");
+        self.event_log.push(EventLogEntry {
+            pcr: index,
+            event: event.to_string(),
+            digest,
+        });
+    }
+
+    /// Reads PCR `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpmError::BadPcrIndex`] when out of range.
+    pub fn read_pcr(&self, index: usize) -> Result<Digest, TpmError> {
+        self.pcrs.read(index).ok_or(TpmError::BadPcrIndex(index))
+    }
+
+    /// The event log recorded so far (the "cryptographic boot log").
+    pub fn event_log(&self) -> &[EventLogEntry] {
+        &self.event_log
+    }
+
+    /// The composite digest over a PCR selection (what quotes sign and
+    /// seals bind to).
+    pub fn composite(&self, selection: &[usize]) -> Digest {
+        self.pcrs.composite(selection)
+    }
+
+    /// Produces a signed quote over `selection`, bound to `nonce`.
+    pub fn quote(&self, selection: &[usize], nonce: &[u8]) -> Quote {
+        Quote::sign(&self.aik, &self.pcrs, selection, nonce)
+    }
+
+    /// Seals `data` so it can only be unsealed while the selected PCRs
+    /// hold their current values.
+    pub fn seal(&self, selection: &[usize], data: &[u8]) -> SealedBlob {
+        SealedBlob::seal(&self.srk, &self.pcrs, selection, data)
+    }
+
+    /// Unseals a blob if the current PCR values satisfy its policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpmError::UnsealDenied`] if the platform state changed or
+    /// the blob was tampered with.
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, TpmError> {
+        blob.unseal(&self.srk, &self.pcrs)
+    }
+
+    /// Starts a late-launch session (see [`late_launch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpmError::LateLaunchBusy`] if a session is active.
+    pub fn late_launch(
+        &mut self,
+        payload_image: &[u8],
+    ) -> Result<late_launch::LateLaunchSession<'_>, TpmError> {
+        late_launch::LateLaunchSession::start(self, payload_image)
+    }
+
+    pub(crate) fn pcrs_mut(&mut self) -> &mut PcrBank {
+        &mut self.pcrs
+    }
+
+    pub(crate) fn late_launch_flag(&mut self) -> &mut bool {
+        &mut self.late_launch_active
+    }
+}
+
+impl Measurer for Tpm {
+    /// The CRTM path: authenticated boot extends PCR 0 with every stage.
+    fn measure(&mut self, name: &str, digest: Digest) {
+        self.pcrs.extend(0, digest).expect("PCR 0 exists");
+        self.event_log.push(EventLogEntry {
+            pcr: 0,
+            event: format!("boot:{name}"),
+            digest,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_hw::bootrom::{BootRom, BootStage, LaunchPolicy};
+
+    #[test]
+    fn same_seed_same_identity() {
+        let a = Tpm::new(b"chip 1");
+        let b = Tpm::new(b"chip 1");
+        let c = Tpm::new(b"chip 2");
+        assert_eq!(a.attestation_key(), b.attestation_key());
+        assert_ne!(a.attestation_key(), c.attestation_key());
+    }
+
+    #[test]
+    fn authenticated_boot_fills_pcr0_and_log() {
+        let mut tpm = Tpm::new(b"boot test");
+        let rom = BootRom::new(LaunchPolicy::authenticated_boot());
+        let chain = vec![
+            BootStage::new("bootloader", b"bl"),
+            BootStage::new("kernel", b"k"),
+        ];
+        rom.boot(&chain, &mut tpm).unwrap();
+        assert_ne!(tpm.read_pcr(0).unwrap(), Digest::ZERO);
+        assert_eq!(tpm.event_log().len(), 2);
+        assert!(tpm.event_log()[0].event.starts_with("boot:"));
+    }
+
+    #[test]
+    fn boot_log_can_be_replayed_to_verify_pcr() {
+        // A verifier replays the event log and checks it matches PCR 0 —
+        // the standard TPM verification flow.
+        let mut tpm = Tpm::new(b"replay");
+        tpm.extend(0, b"stage a");
+        tpm.extend(0, b"stage b");
+        let mut replay = Digest::ZERO;
+        for e in tpm.event_log() {
+            assert_eq!(e.pcr, 0);
+            replay = replay.extend(e.digest.as_bytes());
+        }
+        assert_eq!(replay, tpm.read_pcr(0).unwrap());
+    }
+
+    #[test]
+    fn different_boot_orders_differ() {
+        let mut t1 = Tpm::new(b"x");
+        let mut t2 = Tpm::new(b"x");
+        t1.extend(0, b"a");
+        t1.extend(0, b"b");
+        t2.extend(0, b"b");
+        t2.extend(0, b"a");
+        assert_ne!(t1.read_pcr(0).unwrap(), t2.read_pcr(0).unwrap());
+    }
+
+    #[test]
+    fn bad_pcr_index_is_reported() {
+        let tpm = Tpm::new(b"range");
+        assert_eq!(
+            tpm.read_pcr(PCR_COUNT),
+            Err(TpmError::BadPcrIndex(PCR_COUNT))
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Platform Configuration Registers.
+//!
+//! A PCR can only be *extended* — `new = H(old ‖ measurement)` — never
+//! written, so the register value commits to the entire ordered history of
+//! measurements. Static PCRs reset only at power-on; the dynamic PCR
+//! ([`PCR_DYNAMIC`]) additionally resets when a late launch begins.
+
+use lateral_crypto::Digest;
+
+/// Number of PCRs in the bank (TPM 1.2 ships 24).
+pub const PCR_COUNT: usize = 24;
+
+/// The dynamic PCR reset by late launch (PCR 17 on real hardware).
+pub const PCR_DYNAMIC: usize = 17;
+
+/// One entry of the measurement event log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventLogEntry {
+    /// PCR the event extended.
+    pub pcr: usize,
+    /// Event description ("boot:kernel", "extend", "late-launch").
+    pub event: String,
+    /// The measurement extended into the PCR.
+    pub digest: Digest,
+}
+
+/// The PCR bank.
+#[derive(Clone, Debug)]
+pub struct PcrBank {
+    pcrs: [Digest; PCR_COUNT],
+}
+
+impl Default for PcrBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcrBank {
+    /// All PCRs zeroed (power-on state).
+    pub fn new() -> PcrBank {
+        PcrBank {
+            pcrs: [Digest::ZERO; PCR_COUNT],
+        }
+    }
+
+    /// Extends `index` with `measurement`. Returns `None` when the index
+    /// is out of range.
+    pub fn extend(&mut self, index: usize, measurement: Digest) -> Option<()> {
+        let pcr = self.pcrs.get_mut(index)?;
+        *pcr = pcr.extend(measurement.as_bytes());
+        Some(())
+    }
+
+    /// Reads `index`. Returns `None` when out of range.
+    pub fn read(&self, index: usize) -> Option<Digest> {
+        self.pcrs.get(index).copied()
+    }
+
+    /// Resets the dynamic PCR (late-launch entry).
+    pub fn reset_dynamic(&mut self) {
+        self.pcrs[PCR_DYNAMIC] = Digest::ZERO;
+    }
+
+    /// Composite digest over a PCR selection: the value quotes sign and
+    /// seals bind to. Includes the indices so different selections with
+    /// equal values remain distinguishable.
+    pub fn composite(&self, selection: &[usize]) -> Digest {
+        let mut acc = Digest::of(b"lateral.tpm.composite");
+        for &i in selection {
+            let v = self.read(i).unwrap_or(Digest::ZERO);
+            acc = acc.extend(&(i as u64).to_le_bytes());
+            acc = acc.extend(v.as_bytes());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_changes_value_irreversibly() {
+        let mut b = PcrBank::new();
+        let before = b.read(3).unwrap();
+        b.extend(3, Digest::of(b"m1")).unwrap();
+        let after = b.read(3).unwrap();
+        assert_ne!(before, after);
+        // Extending with the same measurement again changes it further
+        // (no way back to a previous value).
+        b.extend(3, Digest::of(b"m1")).unwrap();
+        assert_ne!(b.read(3).unwrap(), after);
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let mut b = PcrBank::new();
+        assert!(b.extend(PCR_COUNT, Digest::ZERO).is_none());
+        assert!(b.read(PCR_COUNT).is_none());
+    }
+
+    #[test]
+    fn composite_covers_selection_and_indices() {
+        let mut b = PcrBank::new();
+        b.extend(1, Digest::of(b"x")).unwrap();
+        let c_01 = b.composite(&[0, 1]);
+        let c_10 = b.composite(&[1, 0]);
+        let c_0 = b.composite(&[0]);
+        assert_ne!(c_01, c_10, "selection order matters");
+        assert_ne!(c_01, c_0, "selection size matters");
+    }
+
+    #[test]
+    fn reset_dynamic_only_touches_pcr17() {
+        let mut b = PcrBank::new();
+        b.extend(0, Digest::of(b"boot")).unwrap();
+        b.extend(PCR_DYNAMIC, Digest::of(b"old session")).unwrap();
+        b.reset_dynamic();
+        assert_eq!(b.read(PCR_DYNAMIC).unwrap(), Digest::ZERO);
+        assert_ne!(b.read(0).unwrap(), Digest::ZERO);
+    }
+}

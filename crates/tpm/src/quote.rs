@@ -1,0 +1,162 @@
+//! TPM quotes: signed attestation of PCR state.
+//!
+//! "The TPM registers … form a cryptographic boot log that can later be
+//! verified to reliably know what software is running" (§II-B). A quote
+//! binds the composite PCR digest to a verifier-chosen nonce (freshness)
+//! under the attestation identity key.
+
+use lateral_crypto::sign::{Signature, SigningKey, VerifyingKey};
+use lateral_crypto::Digest;
+
+use crate::pcr::PcrBank;
+use crate::TpmError;
+
+/// A signed statement about PCR contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Quote {
+    /// The PCR indices covered.
+    pub selection: Vec<usize>,
+    /// Composite digest over the selection at signing time.
+    pub composite: Digest,
+    /// The verifier's anti-replay nonce.
+    pub nonce: Vec<u8>,
+    /// AIK signature over (selection, composite, nonce).
+    pub signature: [u8; 64],
+}
+
+fn payload(selection: &[usize], composite: &Digest, nonce: &[u8]) -> Digest {
+    let sel_bytes: Vec<u8> = selection
+        .iter()
+        .flat_map(|i| (*i as u64).to_le_bytes())
+        .collect();
+    Digest::of_parts(&[b"lateral.tpm.quote", &sel_bytes, composite.as_bytes(), nonce])
+}
+
+impl Quote {
+    /// Signs a quote over `selection` with `aik`.
+    pub(crate) fn sign(
+        aik: &SigningKey,
+        pcrs: &PcrBank,
+        selection: &[usize],
+        nonce: &[u8],
+    ) -> Quote {
+        let composite = pcrs.composite(selection);
+        let p = payload(selection, &composite, nonce);
+        Quote {
+            selection: selection.to_vec(),
+            composite,
+            nonce: nonce.to_vec(),
+            signature: aik.sign(p.as_bytes()).to_bytes(),
+        }
+    }
+
+    /// Verifies the quote against a trusted AIK and the expected nonce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpmError::BadQuote`] on any mismatch: wrong key, replayed
+    /// nonce, or tampered fields.
+    pub fn verify(&self, aik: &VerifyingKey, expected_nonce: &[u8]) -> Result<(), TpmError> {
+        if self.nonce != expected_nonce {
+            return Err(TpmError::BadQuote("nonce mismatch (replay?)".into()));
+        }
+        let p = payload(&self.selection, &self.composite, &self.nonce);
+        let sig = Signature::from_bytes(&self.signature)
+            .map_err(|e| TpmError::BadQuote(format!("malformed signature: {e}")))?;
+        aik.verify(p.as_bytes(), &sig)
+            .map_err(|_| TpmError::BadQuote("signature invalid".into()))
+    }
+
+    /// Convenience: verify and additionally require the composite to
+    /// equal `expected` (the verifier's known-good platform state).
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::BadQuote`] when verification fails or the state is not
+    /// the expected one.
+    pub fn verify_state(
+        &self,
+        aik: &VerifyingKey,
+        expected_nonce: &[u8],
+        expected: &Digest,
+    ) -> Result<(), TpmError> {
+        self.verify(aik, expected_nonce)?;
+        if &self.composite != expected {
+            return Err(TpmError::BadQuote(
+                "platform state differs from the expected composite".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tpm;
+
+    fn tpm() -> Tpm {
+        let mut t = Tpm::new(b"quote tests");
+        t.extend(0, b"bootloader");
+        t.extend(0, b"kernel");
+        t
+    }
+
+    #[test]
+    fn quote_verifies_with_right_nonce() {
+        let t = tpm();
+        let q = t.quote(&[0], b"nonce-1");
+        assert!(q.verify(&t.attestation_key(), b"nonce-1").is_ok());
+    }
+
+    #[test]
+    fn replayed_nonce_rejected() {
+        let t = tpm();
+        let q = t.quote(&[0], b"nonce-1");
+        assert!(q.verify(&t.attestation_key(), b"nonce-2").is_err());
+    }
+
+    #[test]
+    fn emulated_tpm_cannot_quote() {
+        // §II-D: emulation fails for lack of the restricted secret.
+        let t = tpm();
+        let fake = Tpm::new(b"emulator");
+        let q = fake.quote(&[0], b"nonce");
+        assert!(q.verify(&t.attestation_key(), b"nonce").is_err());
+    }
+
+    #[test]
+    fn tampered_composite_rejected() {
+        let t = tpm();
+        let mut q = t.quote(&[0], b"n");
+        q.composite = Digest::of(b"pretend clean state");
+        assert!(q.verify(&t.attestation_key(), b"n").is_err());
+    }
+
+    #[test]
+    fn verify_state_pins_expected_platform() {
+        let t = tpm();
+        let good = t.composite(&[0]);
+        let q = t.quote(&[0], b"n");
+        assert!(q
+            .verify_state(&t.attestation_key(), b"n", &good)
+            .is_ok());
+        // A platform that booted something else produces a different
+        // composite and is caught.
+        let mut other = Tpm::new(b"quote tests");
+        other.extend(0, b"bootloader");
+        other.extend(0, b"rootkit kernel");
+        let q2 = other.quote(&[0], b"n");
+        assert!(q2
+            .verify_state(&other.attestation_key(), b"n", &good)
+            .is_err());
+    }
+
+    #[test]
+    fn selection_is_bound() {
+        let t = tpm();
+        let mut q = t.quote(&[0], b"n");
+        q.selection = vec![1];
+        assert!(q.verify(&t.attestation_key(), b"n").is_err());
+    }
+}

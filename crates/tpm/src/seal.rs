@@ -1,0 +1,116 @@
+//! Sealing: data bound to a PCR policy.
+//!
+//! "The TPM provides means to restrict access to these keys to specific
+//! software stacks, namely those whose overall code base match a
+//! predetermined cryptographic checksum" (§II-B). A sealed blob can be
+//! unsealed only while the selected PCRs hold the values they had at seal
+//! time — Microsoft BitLocker's disk-key release is the canonical use.
+
+use lateral_crypto::aead::Aead;
+use lateral_crypto::hmac::hkdf;
+
+use crate::pcr::PcrBank;
+use crate::TpmError;
+
+/// A blob sealed to a PCR policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// PCR indices the policy covers.
+    pub selection: Vec<usize>,
+    /// AEAD ciphertext + tag.
+    pub ciphertext: Vec<u8>,
+}
+
+fn policy_key(srk: &[u8; 32], pcrs: &PcrBank, selection: &[usize]) -> [u8; 32] {
+    let composite = pcrs.composite(selection);
+    hkdf(b"lateral.tpm.seal", srk, composite.as_bytes())
+}
+
+impl SealedBlob {
+    /// Seals `data` under the current values of `selection`.
+    pub(crate) fn seal(
+        srk: &[u8; 32],
+        pcrs: &PcrBank,
+        selection: &[usize],
+        data: &[u8],
+    ) -> SealedBlob {
+        let key = policy_key(srk, pcrs, selection);
+        SealedBlob {
+            selection: selection.to_vec(),
+            ciphertext: Aead::new(&key).seal(0, b"tpm.seal", data),
+        }
+    }
+
+    /// Unseals if the current PCR values match the seal-time policy.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::UnsealDenied`] when the platform state changed, the
+    /// blob was tampered with, or a different TPM is asked.
+    pub(crate) fn unseal(&self, srk: &[u8; 32], pcrs: &PcrBank) -> Result<Vec<u8>, TpmError> {
+        let key = policy_key(srk, pcrs, &self.selection);
+        Aead::new(&key)
+            .open(0, b"tpm.seal", &self.ciphertext)
+            .map_err(|_| {
+                TpmError::UnsealDenied(
+                    "PCR policy not satisfied, foreign TPM, or tampered blob".into(),
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tpm;
+
+    #[test]
+    fn seal_unseal_roundtrip_on_same_state() {
+        let mut tpm = Tpm::new(b"seal");
+        tpm.extend(0, b"good kernel");
+        let blob = tpm.seal(&[0], b"disk encryption key");
+        assert_eq!(tpm.unseal(&blob).unwrap(), b"disk encryption key");
+        // Unsealing twice works as long as state is unchanged.
+        assert!(tpm.unseal(&blob).is_ok());
+    }
+
+    #[test]
+    fn unseal_fails_after_state_change() {
+        // The BitLocker property: boot something else → the key stays
+        // locked.
+        let mut tpm = Tpm::new(b"seal2");
+        tpm.extend(0, b"good kernel");
+        let blob = tpm.seal(&[0], b"disk key");
+        tpm.extend(0, b"rootkit module");
+        assert!(tpm.unseal(&blob).is_err());
+    }
+
+    #[test]
+    fn unseal_fails_on_other_tpm() {
+        let mut a = Tpm::new(b"chip a");
+        let mut b = Tpm::new(b"chip b");
+        a.extend(0, b"same kernel");
+        b.extend(0, b"same kernel");
+        let blob = a.seal(&[0], b"secret");
+        // Same software stack, different chip → different SRK → denied.
+        assert!(b.unseal(&blob).is_err());
+    }
+
+    #[test]
+    fn tampered_blob_rejected() {
+        let mut tpm = Tpm::new(b"seal3");
+        tpm.extend(0, b"k");
+        let mut blob = tpm.seal(&[0], b"secret");
+        blob.ciphertext[0] ^= 1;
+        assert!(tpm.unseal(&blob).is_err());
+    }
+
+    #[test]
+    fn policy_over_unrelated_pcr_is_unaffected() {
+        let mut tpm = Tpm::new(b"seal4");
+        tpm.extend(0, b"k");
+        let blob = tpm.seal(&[0], b"secret");
+        // Extending a PCR outside the policy does not lock the blob.
+        tpm.extend(5, b"app event");
+        assert!(tpm.unseal(&blob).is_ok());
+    }
+}

@@ -1,0 +1,622 @@
+//! ARM TrustZone as an isolation substrate.
+//!
+//! §II-B: TrustZone provides *two* execution contexts — a secure world
+//! that "completely controls the software running in the normal world" —
+//! with the hardware conveying an NS bit on every bus access. This
+//! backend models:
+//!
+//! * **Two worlds, asymmetric**: trusted components spawn into the secure
+//!   world (backed by [`FrameOwner::Secure`] frames the normal world
+//!   cannot touch); exactly one legacy domain occupies the normal world,
+//!   because "TrustZone itself does not support multiplexing" —
+//!   [`TrustZone::spawn_normal`] enforces the limit.
+//! * **Secondary isolation**: multiple secure-world components rely on
+//!   the secure-world OS (this crate) to keep them apart — exactly the
+//!   caveat the paper notes.
+//! * **Secure monitor calls**: normal↔secure invocations cost an SMC
+//!   world switch; secure-internal calls cost ordinary IPC.
+//! * **Fused device key**: the per-device key of the smart-meter example,
+//!   burned into [`lateral_hw::fuse::FuseBank`] with
+//!   `SecureWorldOnly` access; attestation and sealing derive from it.
+//! * **No memory encryption**: a physical bus probe reads secure-world
+//!   DRAM in plaintext — the decisive difference from SGX/SEP in the E9
+//!   attack matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use lateral_crypto::aead::Aead;
+use lateral_crypto::rng::Drbg;
+use lateral_crypto::sign::{SigningKey, VerifyingKey};
+use lateral_crypto::Digest;
+use lateral_hw::bus::AccessKind;
+use lateral_hw::fuse::FuseAccess;
+use lateral_hw::machine::Machine;
+use lateral_hw::mem::{Frame, FrameOwner};
+use lateral_hw::mmu::{AddressSpace, Rights};
+use lateral_hw::{Initiator, VirtAddr, World, PAGE_SIZE};
+use lateral_substrate::attacker::{models, AttackerModel, Features, SubstrateProfile};
+use lateral_substrate::attest::AttestationEvidence;
+use lateral_substrate::cap::{Badge, CapTable, ChannelCap};
+use lateral_substrate::component::Component;
+use lateral_substrate::substrate::{
+    dispatch_call, CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate,
+};
+use lateral_substrate::{DomainId, SubstrateError};
+
+/// Name of the fused per-device key (smart-meter example, §III-C).
+pub const DEVICE_KEY_FUSE: &str = "tz-device-key";
+
+struct TzDomain {
+    aspace: AddressSpace,
+    frames: Vec<Frame>,
+    world: World,
+}
+
+/// The TrustZone substrate: secure-world OS + secure monitor.
+pub struct TrustZone {
+    machine: Machine,
+    table: DomainTable,
+    kstate: BTreeMap<DomainId, TzDomain>,
+    normal_domain: Option<DomainId>,
+    attest_key: SigningKey,
+    seal_root: [u8; 32],
+    platform_state: Digest,
+    rng: Drbg,
+    profile: SubstrateProfile,
+}
+
+impl std::fmt::Debug for TrustZone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TrustZone({} domains on '{}')",
+            self.table.len(),
+            self.machine.name
+        )
+    }
+}
+
+impl TrustZone {
+    /// Initializes TrustZone on `machine`. If the device-key fuse is not
+    /// yet burned (fresh machine), it is burned from `seed` and the bank
+    /// locked — the factory step of the smart-meter scenario.
+    pub fn new(mut machine: Machine, seed: &str) -> TrustZone {
+        let mut rng = Drbg::from_seed(&[b"lateral.trustzone.", seed.as_bytes()].concat());
+        if !machine.fuses.is_locked() {
+            let key = rng.gen_key();
+            machine
+                .fuses
+                .burn(DEVICE_KEY_FUSE, key, FuseAccess::SecureWorldOnly)
+                .expect("burning on an unlocked bank succeeds");
+            machine.fuses.lock();
+        }
+        // The secure world reads the fused key at boot and derives its
+        // identities — the boot-ROM attestation component of Figure 3.
+        let device_key = machine
+            .fuses
+            .read(Initiator::cpu(World::Secure), DEVICE_KEY_FUSE)
+            .expect("secure world reads its fuse");
+        let attest_key = SigningKey::from_seed(
+            &[b"tz-attest".as_slice(), device_key.as_slice()].concat(),
+        );
+        let seal_root =
+            lateral_crypto::hmac::hkdf(b"lateral.trustzone.sealroot", &device_key, b"");
+        TrustZone {
+            machine,
+            table: DomainTable::new(),
+            kstate: BTreeMap::new(),
+            normal_domain: None,
+            attest_key,
+            seal_root,
+            platform_state: Digest::ZERO,
+            rng,
+            profile: SubstrateProfile {
+                name: "trustzone".to_string(),
+                defends: models(&[
+                    AttackerModel::RemoteSoftware,
+                    AttackerModel::CompromisedOs,
+                    AttackerModel::MaliciousDevice,
+                    AttackerModel::PhysicalBoot,
+                ]),
+                features: Features {
+                    spatial_isolation: true,
+                    temporal_isolation: false,
+                    memory_encryption: false,
+                    trust_anchor: true,
+                    attestation: true,
+                    sealed_storage: true,
+                    // One secure world; components inside share it under
+                    // secondary isolation. We report the architectural
+                    // limit of one *hardware* trusted domain.
+                    max_trusted_domains: Some(1),
+                    hosts_legacy_os: true,
+                },
+                // Monitor + secure-world OS; QSEE-class systems are small.
+                tcb_loc: 25_000,
+            },
+        }
+    }
+
+    /// Records the measured identity of the booted software stack,
+    /// included in attestation evidence.
+    #[must_use]
+    pub fn with_platform_state(mut self, state: Digest) -> TrustZone {
+        self.platform_state = state;
+        self
+    }
+
+    /// Access to the underlying machine (experiments inject
+    /// hardware-level attacks here).
+    pub fn machine(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Immutable machine access.
+    pub fn machine_ref(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Spawns the single normal-world legacy domain.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::OutOfResources`] when a normal-world domain
+    /// already exists — "TrustZone itself does not support multiplexing"
+    /// (§II-B). Combine with a hypervisor (the microkernel substrate) to
+    /// host several.
+    pub fn spawn_normal(
+        &mut self,
+        spec: DomainSpec,
+        component: Box<dyn Component>,
+    ) -> Result<DomainId, SubstrateError> {
+        if self.normal_domain.is_some() {
+            return Err(SubstrateError::OutOfResources(
+                "the normal world already hosts a legacy codebase (no multiplexing)".into(),
+            ));
+        }
+        let id = self.spawn_in_world(spec, component, World::Normal)?;
+        self.normal_domain = Some(id);
+        Ok(id)
+    }
+
+    /// The world a domain executes in.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::NoSuchDomain`].
+    pub fn world_of(&self, domain: DomainId) -> Result<World, SubstrateError> {
+        Ok(self.kdomain(domain)?.world)
+    }
+
+    /// Physical frames backing a domain — used by the attack experiments
+    /// to aim bus probes.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::NoSuchDomain`].
+    pub fn domain_frames(&self, domain: DomainId) -> Result<Vec<Frame>, SubstrateError> {
+        Ok(self.kdomain(domain)?.frames.clone())
+    }
+
+    const MEM_BASE: u64 = 0x10_0000;
+
+    fn kdomain(&self, id: DomainId) -> Result<&TzDomain, SubstrateError> {
+        self.kstate.get(&id).ok_or(SubstrateError::NoSuchDomain(id))
+    }
+
+    fn seal_key(&self, measurement: &Digest) -> [u8; 32] {
+        lateral_crypto::hmac::hkdf(
+            b"lateral.trustzone.seal",
+            &self.seal_root,
+            measurement.as_bytes(),
+        )
+    }
+
+    fn spawn_in_world(
+        &mut self,
+        spec: DomainSpec,
+        component: Box<dyn Component>,
+        world: World,
+    ) -> Result<DomainId, SubstrateError> {
+        let owner = match world {
+            World::Secure => FrameOwner::Secure,
+            World::Normal => FrameOwner::Normal,
+        };
+        let pages = spec.mem_pages.max(1);
+        let frames = self
+            .machine
+            .mem
+            .alloc_n(owner, pages)
+            .map_err(|e| SubstrateError::OutOfResources(e.to_string()))?;
+        let mut aspace = AddressSpace::new();
+        for (i, frame) in frames.iter().enumerate() {
+            aspace.map(
+                VirtAddr(Self::MEM_BASE + (i * PAGE_SIZE) as u64),
+                *frame,
+                Rights::RW,
+            );
+        }
+        let measurement = spec.measurement();
+        let id = self.table.insert(DomainRecord {
+            spec,
+            measurement,
+            caps: CapTable::new(),
+            component: Some(component),
+        });
+        self.kstate.insert(
+            id,
+            TzDomain {
+                aspace,
+                frames,
+                world,
+            },
+        );
+        let mut comp = self.table.take_component(id)?;
+        let result = {
+            let mut ctx = CallCtx::new(self as &mut dyn Substrate, id, measurement);
+            comp.on_start(&mut ctx)
+        };
+        self.table.put_component(id, comp);
+        match result {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                self.destroy(id)?;
+                Err(SubstrateError::ComponentFailure(e.0))
+            }
+        }
+    }
+}
+
+impl Substrate for TrustZone {
+    fn profile(&self) -> &SubstrateProfile {
+        &self.profile
+    }
+
+    /// Spawns a *trusted component into the secure world*. Use
+    /// [`TrustZone::spawn_normal`] for the legacy codebase.
+    fn spawn(
+        &mut self,
+        spec: DomainSpec,
+        component: Box<dyn Component>,
+    ) -> Result<DomainId, SubstrateError> {
+        self.spawn_in_world(spec, component, World::Secure)
+    }
+
+    fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
+        self.table.remove(domain)?;
+        if let Some(k) = self.kstate.remove(&domain) {
+            for frame in k.frames {
+                self.machine.mem.free(frame);
+            }
+        }
+        if self.normal_domain == Some(domain) {
+            self.normal_domain = None;
+        }
+        Ok(())
+    }
+
+    fn grant_channel(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        badge: Badge,
+    ) -> Result<ChannelCap, SubstrateError> {
+        self.table.get(to)?;
+        let rec = self.table.get_mut(from)?;
+        Ok(rec.caps.install(from, to, badge))
+    }
+
+    fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
+        let rec = self.table.get_mut(cap.owner)?;
+        rec.caps.revoke(cap.slot);
+        Ok(())
+    }
+
+    fn invoke(
+        &mut self,
+        caller: DomainId,
+        cap: &ChannelCap,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        // World crossings go through the secure monitor (SMC), costing a
+        // full world switch each way; secure-internal calls are normal
+        // IPC under the secure-world OS.
+        let caller_world = self.kdomain(caller)?.world;
+        let target_world = {
+            let entry = self.table.get(caller)?.caps.lookup(caller, cap)?;
+            self.kdomain(entry.target)?.world
+        };
+        let base = if caller_world == target_world {
+            self.machine.costs.ipc_round_trip
+        } else {
+            2 * self.machine.costs.smc
+        };
+        let cost = base + self.machine.costs.copy_cost(data.len());
+        self.machine.clock.advance(cost);
+        dispatch_call(self, |s| &mut s.table, caller, cap, data)
+    }
+
+    fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
+        Ok(self.table.get(domain)?.measurement)
+    }
+
+    fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
+        Ok(self.table.get(domain)?.spec.name.clone())
+    }
+
+    fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+        // Sealing is a secure-world service rooted in the fused key.
+        let m = self.table.get(domain)?.measurement;
+        Ok(Aead::new(&self.seal_key(&m)).seal(0, b"trustzone.seal", data))
+    }
+
+    fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+        let m = self.table.get(domain)?.measurement;
+        Aead::new(&self.seal_key(&m))
+            .open(0, b"trustzone.seal", sealed)
+            .map_err(|_| {
+                SubstrateError::CryptoFailure(
+                    "unseal failed: wrong identity or tampered blob".into(),
+                )
+            })
+    }
+
+    fn attest(
+        &mut self,
+        domain: DomainId,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError> {
+        // Only secure-world components can be attested: the attestation
+        // component has no basis for statements about normal-world state.
+        let k = self.kdomain(domain)?;
+        if k.world != World::Secure {
+            return Err(SubstrateError::Unsupported(
+                "TrustZone attests secure-world components only".into(),
+            ));
+        }
+        let measurement = self.table.get(domain)?.measurement;
+        Ok(AttestationEvidence::sign(
+            "trustzone",
+            &self.attest_key,
+            measurement,
+            self.platform_state,
+            report_data,
+        ))
+    }
+
+    fn platform_verifying_key(&self) -> Result<VerifyingKey, SubstrateError> {
+        Ok(self.attest_key.verifying_key())
+    }
+
+    fn mem_read(
+        &mut self,
+        domain: DomainId,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, SubstrateError> {
+        let (spans, world) = {
+            let k = self.kdomain(domain)?;
+            let spans = k
+                .aspace
+                .translate_range(
+                    VirtAddr(Self::MEM_BASE.saturating_add(offset as u64)),
+                    len,
+                    AccessKind::Read,
+                )
+                .map_err(|e| SubstrateError::AccessDenied(format!("MMU: {e}")))?;
+            (spans, k.world)
+        };
+        let mut out = Vec::with_capacity(len);
+        for (pa, span_len) in spans {
+            let bytes = self
+                .machine
+                .bus_read(Initiator::cpu(world), pa, span_len)
+                .map_err(|e| SubstrateError::AccessDenied(e.to_string()))?;
+            out.extend_from_slice(&bytes);
+        }
+        Ok(out)
+    }
+
+    fn mem_write(
+        &mut self,
+        domain: DomainId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), SubstrateError> {
+        let (spans, world) = {
+            let k = self.kdomain(domain)?;
+            let spans = k
+                .aspace
+                .translate_range(
+                    VirtAddr(Self::MEM_BASE.saturating_add(offset as u64)),
+                    data.len(),
+                    AccessKind::Write,
+                )
+                .map_err(|e| SubstrateError::AccessDenied(format!("MMU: {e}")))?;
+            (spans, k.world)
+        };
+        let mut cursor = 0usize;
+        for (pa, span_len) in spans {
+            self.machine
+                .bus_write(Initiator::cpu(world), pa, &data[cursor..cursor + span_len])
+                .map_err(|e| SubstrateError::AccessDenied(e.to_string()))?;
+            cursor += span_len;
+        }
+        Ok(())
+    }
+
+    fn rng_u64(&mut self, domain: DomainId) -> u64 {
+        let mut child = self.rng.fork(&format!("domain-{}", domain.0));
+        child.next_u64()
+    }
+
+    fn now(&self) -> u64 {
+        self.machine.clock.now()
+    }
+
+    fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
+        let rec = self.table.get(domain)?;
+        Ok(rec
+            .caps
+            .iter()
+            .map(|(slot, e)| ChannelCap {
+                owner: domain,
+                slot,
+                nonce: e.nonce,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_hw::machine::MachineBuilder;
+    use lateral_substrate::attest::TrustPolicy;
+    use lateral_substrate::conformance;
+    use lateral_substrate::testkit::Echo;
+
+    fn tz() -> TrustZone {
+        let machine = MachineBuilder::new().name("tz-test").frames(128).build();
+        TrustZone::new(machine, "test")
+    }
+
+    #[test]
+    fn conformance_suite_passes() {
+        let mut t = tz();
+        let report = conformance::run(&mut t);
+        for c in &report.checks {
+            assert!(
+                c.outcome.acceptable(),
+                "feature {} failed: {}",
+                c.feature,
+                c.outcome
+            );
+        }
+        assert_eq!(
+            report.outcome("attestation"),
+            Some(&conformance::Outcome::Pass)
+        );
+    }
+
+    #[test]
+    fn only_one_normal_world_domain() {
+        let mut t = tz();
+        t.spawn_normal(DomainSpec::named("android"), Box::new(Echo))
+            .unwrap();
+        assert!(matches!(
+            t.spawn_normal(DomainSpec::named("second-os"), Box::new(Echo)),
+            Err(SubstrateError::OutOfResources(_))
+        ));
+    }
+
+    #[test]
+    fn normal_world_cpu_cannot_read_secure_component_memory() {
+        let mut t = tz();
+        let tc = t.spawn(DomainSpec::named("keystore"), Box::new(Echo)).unwrap();
+        t.mem_write(tc, 0, b"DRM keys").unwrap();
+        let frame = t.domain_frames(tc).unwrap()[0];
+        // The compromised normal-world OS issues a raw read at the secure
+        // frame — blocked by the NS-bit check.
+        let err = t
+            .machine()
+            .bus_read(Initiator::cpu(World::Normal), frame.base(), 8)
+            .unwrap_err();
+        assert!(err.to_string().contains("normal world"));
+    }
+
+    #[test]
+    fn physical_probe_reads_secure_world_plaintext() {
+        // TrustZone does not encrypt DRAM: the bus probe leaks secrets —
+        // why the profile excludes AttackerModel::PhysicalBus.
+        let mut t = tz();
+        let tc = t.spawn(DomainSpec::named("keystore"), Box::new(Echo)).unwrap();
+        t.mem_write(tc, 0, b"DRM keys").unwrap();
+        let frame = t.domain_frames(tc).unwrap()[0];
+        let leaked = t
+            .machine()
+            .bus_read(Initiator::Probe, frame.base(), 8)
+            .unwrap();
+        assert_eq!(leaked, b"DRM keys");
+        assert!(!t
+            .profile()
+            .defends_against(AttackerModel::PhysicalBus));
+    }
+
+    #[test]
+    fn smc_costs_more_than_secure_internal_ipc() {
+        let mut t = tz();
+        let s1 = t.spawn(DomainSpec::named("s1"), Box::new(Echo)).unwrap();
+        let s2 = t.spawn(DomainSpec::named("s2"), Box::new(Echo)).unwrap();
+        let legacy = t
+            .spawn_normal(DomainSpec::named("android"), Box::new(Echo))
+            .unwrap();
+        let cap_internal = t.grant_channel(s1, s2, Badge(0)).unwrap();
+        let cap_smc = t.grant_channel(legacy, s1, Badge(0)).unwrap();
+        let t0 = t.now();
+        t.invoke(s1, &cap_internal, b"x").unwrap();
+        let internal = t.now() - t0;
+        let t1 = t.now();
+        t.invoke(legacy, &cap_smc, b"x").unwrap();
+        let crossing = t.now() - t1;
+        assert!(crossing > internal, "{crossing} vs {internal}");
+    }
+
+    #[test]
+    fn attestation_verifies_and_binds_device_identity() {
+        let mut t = tz().with_platform_state(Digest::of(b"meter stack v1"));
+        let meter = t
+            .spawn(DomainSpec::named("meter").with_image(b"meter v1"), Box::new(Echo))
+            .unwrap();
+        let ev = t.attest(meter, b"reading batch 7").unwrap();
+        let mut policy = TrustPolicy::new();
+        policy.trust_platform(t.platform_verifying_key().unwrap());
+        policy.expect_measurement(DomainSpec::named("meter").with_image(b"meter v1").measurement());
+        policy.expect_platform_state(Digest::of(b"meter stack v1"));
+        assert!(policy.verify(&ev).is_ok());
+    }
+
+    #[test]
+    fn normal_world_cannot_be_attested() {
+        let mut t = tz();
+        let legacy = t
+            .spawn_normal(DomainSpec::named("android"), Box::new(Echo))
+            .unwrap();
+        assert!(matches!(
+            t.attest(legacy, b""),
+            Err(SubstrateError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn same_device_same_identity_key() {
+        // The fused key makes device identity stable across reboots.
+        let m1 = MachineBuilder::new().name("meter-1").frames(64).build();
+        let t1 = TrustZone::new(m1, "device-seed");
+        let k1 = t1.platform_verifying_key().unwrap();
+        // "Reboot": new TrustZone over a machine with the same fuse.
+        let mut m2 = MachineBuilder::new().name("meter-1").frames(64).build();
+        let mut rng = Drbg::from_seed(&[b"lateral.trustzone.", b"device-seed".as_slice()].concat());
+        m2.fuses
+            .burn(DEVICE_KEY_FUSE, rng.gen_key(), FuseAccess::SecureWorldOnly)
+            .unwrap();
+        m2.fuses.lock();
+        let t2 = TrustZone::new(m2, "ignored-after-lock");
+        assert_eq!(k1.to_bytes(), t2.platform_verifying_key().unwrap().to_bytes());
+    }
+
+    #[test]
+    fn normal_domain_slot_frees_on_destroy() {
+        let mut t = tz();
+        let legacy = t
+            .spawn_normal(DomainSpec::named("android"), Box::new(Echo))
+            .unwrap();
+        t.destroy(legacy).unwrap();
+        assert!(t
+            .spawn_normal(DomainSpec::named("android2"), Box::new(Echo))
+            .is_ok());
+    }
+}

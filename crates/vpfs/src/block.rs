@@ -1,0 +1,207 @@
+//! The block device under the legacy file system.
+//!
+//! Besides ordinary reads and writes it exposes the *attacker interface*
+//! experiment E5 drives: flip bits in a block, roll a block back to an
+//! earlier state, or roll the whole device back to a snapshot — the
+//! attacks an untrusted storage stack (or a physically accessed disk) can
+//! mount against data at rest.
+
+use crate::FsError;
+
+/// Size of one block in bytes.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// A fixed-geometry block device.
+pub trait BlockDevice {
+    /// Number of blocks.
+    fn block_count(&self) -> usize;
+    /// Reads block `index` into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadBlock`] when out of range.
+    fn read_block(&self, index: usize) -> Result<[u8; BLOCK_SIZE], FsError>;
+    /// Writes block `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadBlock`] when out of range.
+    fn write_block(&mut self, index: usize, data: &[u8; BLOCK_SIZE]) -> Result<(), FsError>;
+}
+
+/// An in-memory block device with tamper hooks.
+#[derive(Clone)]
+pub struct MemBlockDevice {
+    blocks: Vec<[u8; BLOCK_SIZE]>,
+    reads: u64,
+    writes: u64,
+}
+
+impl std::fmt::Debug for MemBlockDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MemBlockDevice({} blocks, {} reads, {} writes)",
+            self.blocks.len(),
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+impl MemBlockDevice {
+    /// Creates a zeroed device with `blocks` blocks.
+    pub fn new(blocks: usize) -> MemBlockDevice {
+        MemBlockDevice {
+            blocks: vec![[0u8; BLOCK_SIZE]; blocks],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Total reads served (I/O accounting for E5).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes served.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// ATTACK: XORs `mask` into byte `offset` of block `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadBlock`] when out of range.
+    pub fn corrupt(&mut self, index: usize, offset: usize, mask: u8) -> Result<(), FsError> {
+        let block = self
+            .blocks
+            .get_mut(index)
+            .ok_or(FsError::BadBlock(index))?;
+        block[offset % BLOCK_SIZE] ^= mask;
+        Ok(())
+    }
+
+    /// Snapshot of the entire device (attacker keeping an old copy).
+    pub fn snapshot(&self) -> Vec<[u8; BLOCK_SIZE]> {
+        self.blocks.clone()
+    }
+
+    /// ATTACK: rolls the whole device back to `snapshot`.
+    pub fn rollback(&mut self, snapshot: &[[u8; BLOCK_SIZE]]) {
+        let n = self.blocks.len().min(snapshot.len());
+        self.blocks[..n].copy_from_slice(&snapshot[..n]);
+    }
+
+    /// ATTACK: rolls a single block back to its value in `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadBlock`] when out of range.
+    pub fn rollback_block(
+        &mut self,
+        index: usize,
+        snapshot: &[[u8; BLOCK_SIZE]],
+    ) -> Result<(), FsError> {
+        let old = snapshot.get(index).ok_or(FsError::BadBlock(index))?;
+        let cur = self
+            .blocks
+            .get_mut(index)
+            .ok_or(FsError::BadBlock(index))?;
+        *cur = *old;
+        Ok(())
+    }
+}
+
+impl BlockDevice for MemBlockDevice {
+    fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn read_block(&self, index: usize) -> Result<[u8; BLOCK_SIZE], FsError> {
+        self.blocks
+            .get(index)
+            .copied()
+            .ok_or(FsError::BadBlock(index))
+    }
+
+    fn write_block(&mut self, index: usize, data: &[u8; BLOCK_SIZE]) -> Result<(), FsError> {
+        let block = self
+            .blocks
+            .get_mut(index)
+            .ok_or(FsError::BadBlock(index))?;
+        *block = *data;
+        Ok(())
+    }
+}
+
+// Counting needs &mut; do it via interior bookkeeping in a wrapper method
+// instead: the trait takes &self for reads, so counts live in the wrapper.
+impl MemBlockDevice {
+    /// Reads a block and counts the access (used by the legacy fs).
+    pub(crate) fn read_counted(&mut self, index: usize) -> Result<[u8; BLOCK_SIZE], FsError> {
+        self.reads += 1;
+        self.read_block(index)
+    }
+
+    /// Writes a block and counts the access.
+    pub(crate) fn write_counted(
+        &mut self,
+        index: usize,
+        data: &[u8; BLOCK_SIZE],
+    ) -> Result<(), FsError> {
+        self.writes += 1;
+        self.write_block(index, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut d = MemBlockDevice::new(4);
+        let mut data = [0u8; BLOCK_SIZE];
+        data[0] = 0xAA;
+        data[BLOCK_SIZE - 1] = 0x55;
+        d.write_block(2, &data).unwrap();
+        assert_eq!(d.read_block(2).unwrap(), data);
+        assert_eq!(d.read_block(1).unwrap(), [0u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = MemBlockDevice::new(2);
+        assert_eq!(d.read_block(2), Err(FsError::BadBlock(2)));
+        assert_eq!(
+            d.write_block(5, &[0u8; BLOCK_SIZE]),
+            Err(FsError::BadBlock(5))
+        );
+    }
+
+    #[test]
+    fn corrupt_flips_one_byte() {
+        let mut d = MemBlockDevice::new(2);
+        d.corrupt(1, 10, 0xFF).unwrap();
+        let b = d.read_block(1).unwrap();
+        assert_eq!(b[10], 0xFF);
+        assert_eq!(b[9], 0);
+    }
+
+    #[test]
+    fn rollback_restores_snapshot() {
+        let mut d = MemBlockDevice::new(2);
+        let snap = d.snapshot();
+        let mut data = [7u8; BLOCK_SIZE];
+        d.write_block(0, &data).unwrap();
+        data[0] = 8;
+        d.write_block(1, &data).unwrap();
+        d.rollback_block(0, &snap).unwrap();
+        assert_eq!(d.read_block(0).unwrap(), [0u8; BLOCK_SIZE]);
+        assert_ne!(d.read_block(1).unwrap(), [0u8; BLOCK_SIZE]);
+        d.rollback(&snap);
+        assert_eq!(d.read_block(1).unwrap(), [0u8; BLOCK_SIZE]);
+    }
+}

@@ -1,0 +1,429 @@
+//! The untrusted legacy file system.
+//!
+//! A deliberately conventional design — superblock, inode table,
+//! allocation bitmap, direct block pointers — standing in for the "tens
+//! of thousands of lines" of real file system stacks the paper says are
+//! "likely to contain exploitable weaknesses" (§III-D). VPFS treats this
+//! whole layer as adversary-controlled: everything stored here is
+//! ciphertext, and every byte read back is verified.
+
+use crate::block::{BlockDevice, MemBlockDevice, BLOCK_SIZE};
+use crate::FsError;
+
+const MAGIC: &[u8; 4] = b"LFS1";
+const INODE_BLOCKS: usize = 16;
+const INODE_SIZE: usize = 128;
+const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_SIZE;
+const MAX_INODES: usize = INODE_BLOCKS * INODES_PER_BLOCK;
+const BITMAP_BLOCK: usize = 1 + INODE_BLOCKS;
+const DATA_START: usize = BITMAP_BLOCK + 1;
+const MAX_NAME: usize = 64;
+const DIRECT_PTRS: usize = 12;
+
+/// Largest file the legacy layout supports.
+pub const MAX_FILE_SIZE: usize = DIRECT_PTRS * BLOCK_SIZE;
+
+#[derive(Clone, Debug, Default)]
+struct Inode {
+    used: bool,
+    name: String,
+    size: u32,
+    blocks: [u32; DIRECT_PTRS],
+}
+
+impl Inode {
+    fn encode(&self) -> [u8; INODE_SIZE] {
+        let mut out = [0u8; INODE_SIZE];
+        out[0] = self.used as u8;
+        let name = self.name.as_bytes();
+        out[1] = name.len() as u8;
+        out[2..2 + name.len()].copy_from_slice(name);
+        out[66..70].copy_from_slice(&self.size.to_le_bytes());
+        for (i, b) in self.blocks.iter().enumerate() {
+            out[70 + i * 4..74 + i * 4].copy_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(raw: &[u8]) -> Result<Inode, FsError> {
+        if raw.len() < INODE_SIZE {
+            return Err(FsError::Corrupt("short inode".into()));
+        }
+        let used = raw[0] != 0;
+        let name_len = raw[1] as usize;
+        if name_len > MAX_NAME {
+            return Err(FsError::Corrupt("inode name length out of range".into()));
+        }
+        let name = String::from_utf8(raw[2..2 + name_len].to_vec())
+            .map_err(|_| FsError::Corrupt("inode name not UTF-8".into()))?;
+        let size = u32::from_le_bytes(raw[66..70].try_into().expect("4 bytes"));
+        let mut blocks = [0u32; DIRECT_PTRS];
+        for (i, b) in blocks.iter_mut().enumerate() {
+            *b = u32::from_le_bytes(raw[70 + i * 4..74 + i * 4].try_into().expect("4 bytes"));
+        }
+        Ok(Inode {
+            used,
+            name,
+            size,
+            blocks,
+        })
+    }
+}
+
+/// The legacy file system over an in-memory block device.
+pub struct LegacyFs {
+    device: MemBlockDevice,
+}
+
+impl std::fmt::Debug for LegacyFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LegacyFs({:?})", self.device)
+    }
+}
+
+impl LegacyFs {
+    /// Formats `device` with an empty file system.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSpace`] when the device is too small for the layout.
+    pub fn format(mut device: MemBlockDevice) -> Result<LegacyFs, FsError> {
+        if device.block_count() <= DATA_START {
+            return Err(FsError::NoSpace(format!(
+                "device needs more than {DATA_START} blocks"
+            )));
+        }
+        let mut sb = [0u8; BLOCK_SIZE];
+        sb[..4].copy_from_slice(MAGIC);
+        sb[4..8].copy_from_slice(&(device.block_count() as u32).to_le_bytes());
+        device.write_counted(0, &sb)?;
+        let zero = [0u8; BLOCK_SIZE];
+        for b in 1..DATA_START {
+            device.write_counted(b, &zero)?;
+        }
+        Ok(LegacyFs { device })
+    }
+
+    /// Mounts an already formatted device.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupt`] when the superblock magic is wrong.
+    pub fn mount(mut device: MemBlockDevice) -> Result<LegacyFs, FsError> {
+        let sb = device.read_counted(0)?;
+        if &sb[..4] != MAGIC {
+            return Err(FsError::Corrupt("bad superblock magic".into()));
+        }
+        Ok(LegacyFs { device })
+    }
+
+    /// The underlying device — the attack surface for E5.
+    pub fn device(&mut self) -> &mut MemBlockDevice {
+        &mut self.device
+    }
+
+    /// Immutable device access.
+    pub fn device_ref(&self) -> &MemBlockDevice {
+        &self.device
+    }
+
+    fn load_inode(&mut self, idx: usize) -> Result<Inode, FsError> {
+        let block = 1 + idx / INODES_PER_BLOCK;
+        let off = (idx % INODES_PER_BLOCK) * INODE_SIZE;
+        let raw = self.device.read_counted(block)?;
+        Inode::decode(&raw[off..off + INODE_SIZE])
+    }
+
+    fn store_inode(&mut self, idx: usize, inode: &Inode) -> Result<(), FsError> {
+        let block = 1 + idx / INODES_PER_BLOCK;
+        let off = (idx % INODES_PER_BLOCK) * INODE_SIZE;
+        let mut raw = self.device.read_counted(block)?;
+        raw[off..off + INODE_SIZE].copy_from_slice(&inode.encode());
+        self.device.write_counted(block, &raw)
+    }
+
+    fn find(&mut self, name: &str) -> Result<Option<(usize, Inode)>, FsError> {
+        for idx in 0..MAX_INODES {
+            let inode = self.load_inode(idx)?;
+            if inode.used && inode.name == name {
+                return Ok(Some((idx, inode)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn alloc_data_block(&mut self) -> Result<u32, FsError> {
+        let mut bitmap = self.device.read_counted(BITMAP_BLOCK)?;
+        let total = self.device.block_count();
+        for b in DATA_START..total {
+            let byte = b / 8;
+            let bit = b % 8;
+            if bitmap[byte] & (1 << bit) == 0 {
+                bitmap[byte] |= 1 << bit;
+                self.device.write_counted(BITMAP_BLOCK, &bitmap)?;
+                return Ok(b as u32);
+            }
+        }
+        Err(FsError::NoSpace("no free data blocks".into()))
+    }
+
+    fn free_data_block(&mut self, b: u32) -> Result<(), FsError> {
+        let mut bitmap = self.device.read_counted(BITMAP_BLOCK)?;
+        let byte = b as usize / 8;
+        let bit = b as usize % 8;
+        bitmap[byte] &= !(1 << bit);
+        self.device.write_counted(BITMAP_BLOCK, &bitmap)
+    }
+
+    fn validate_name(name: &str) -> Result<(), FsError> {
+        if name.is_empty() || name.len() > MAX_NAME {
+            return Err(FsError::BadName(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Writes (creates or replaces) `name` with `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadName`] for invalid names, [`FsError::NoSpace`] when
+    /// the file is too large or the disk/namespace is full.
+    pub fn write(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        Self::validate_name(name)?;
+        if data.len() > MAX_FILE_SIZE {
+            return Err(FsError::NoSpace(format!(
+                "file exceeds {MAX_FILE_SIZE} bytes"
+            )));
+        }
+        // Replace semantics: remove then recreate.
+        if self.find(name)?.is_some() {
+            self.remove(name)?;
+        }
+        let idx = (0..MAX_INODES)
+            .find_map(|i| match self.load_inode(i) {
+                Ok(inode) if !inode.used => Some(Ok(i)),
+                Ok(_) => None,
+                Err(e) => Some(Err(e)),
+            })
+            .transpose()?
+            .ok_or_else(|| FsError::NoSpace("inode table full".into()))?;
+        let mut inode = Inode {
+            used: true,
+            name: name.to_string(),
+            size: data.len() as u32,
+            blocks: [0u32; DIRECT_PTRS],
+        };
+        for (chunk_no, chunk) in data.chunks(BLOCK_SIZE).enumerate() {
+            let b = self.alloc_data_block()?;
+            let mut raw = [0u8; BLOCK_SIZE];
+            raw[..chunk.len()].copy_from_slice(chunk);
+            self.device.write_counted(b as usize, &raw)?;
+            inode.blocks[chunk_no] = b;
+        }
+        self.store_inode(idx, &inode)
+    }
+
+    /// Reads the contents of `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], or [`FsError::Corrupt`] if the on-disk
+    /// structures are malformed.
+    pub fn read(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
+        let (_, inode) = self
+            .find(name)?
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let mut out = Vec::with_capacity(inode.size as usize);
+        let mut remaining = inode.size as usize;
+        for &b in inode.blocks.iter() {
+            if remaining == 0 {
+                break;
+            }
+            if (b as usize) < DATA_START || (b as usize) >= self.device.block_count() {
+                return Err(FsError::Corrupt(format!("inode points at block {b}")));
+            }
+            let raw = self.device.read_counted(b as usize)?;
+            let take = remaining.min(BLOCK_SIZE);
+            out.extend_from_slice(&raw[..take]);
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Deletes `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    pub fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        let (idx, inode) = self
+            .find(name)?
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let block_count = inode.size as usize % BLOCK_SIZE;
+        let used_blocks = inode.size as usize / BLOCK_SIZE + usize::from(block_count != 0);
+        for &b in inode.blocks.iter().take(used_blocks) {
+            self.free_data_block(b)?;
+        }
+        self.store_inode(idx, &Inode::default())
+    }
+
+    /// Whether `name` exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::Corrupt`] from malformed structures.
+    pub fn exists(&mut self, name: &str) -> Result<bool, FsError> {
+        Ok(self.find(name)?.is_some())
+    }
+
+    /// Lists all file names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::Corrupt`].
+    pub fn list(&mut self) -> Result<Vec<String>, FsError> {
+        let mut out = Vec::new();
+        for idx in 0..MAX_INODES {
+            let inode = self.load_inode(idx)?;
+            if inode.used {
+                out.push(inode.name);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The data blocks a file occupies (used by targeted-attack tests).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    pub fn file_blocks(&mut self, name: &str) -> Result<Vec<usize>, FsError> {
+        let (_, inode) = self
+            .find(name)?
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let rem = inode.size as usize % BLOCK_SIZE;
+        let used = inode.size as usize / BLOCK_SIZE + usize::from(rem != 0);
+        Ok(inode.blocks.iter().take(used).map(|b| *b as usize).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> LegacyFs {
+        LegacyFs::format(MemBlockDevice::new(256)).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut f = fs();
+        f.write("hello.txt", b"hello world").unwrap();
+        assert_eq!(f.read("hello.txt").unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn multi_block_files() {
+        let mut f = fs();
+        let data: Vec<u8> = (0..3 * BLOCK_SIZE + 100).map(|i| i as u8).collect();
+        f.write("big.bin", &data).unwrap();
+        assert_eq!(f.read("big.bin").unwrap(), data);
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut f = fs();
+        f.write("a", b"version 1").unwrap();
+        f.write("a", b"v2").unwrap();
+        assert_eq!(f.read("a").unwrap(), b"v2");
+        assert_eq!(f.list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut f = fs();
+        let data = vec![1u8; 2 * BLOCK_SIZE];
+        f.write("a", &data).unwrap();
+        f.remove("a").unwrap();
+        assert!(matches!(f.read("a"), Err(FsError::NotFound(_))));
+        // Space is reusable: fill the disk after removal.
+        for i in 0..20 {
+            f.write(&format!("f{i}"), &data).unwrap();
+        }
+    }
+
+    #[test]
+    fn list_and_exists() {
+        let mut f = fs();
+        f.write("x", b"1").unwrap();
+        f.write("y", b"2").unwrap();
+        let mut names = f.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["x".to_string(), "y".to_string()]);
+        assert!(f.exists("x").unwrap());
+        assert!(!f.exists("z").unwrap());
+    }
+
+    #[test]
+    fn too_large_file_rejected() {
+        let mut f = fs();
+        assert!(matches!(
+            f.write("huge", &vec![0u8; MAX_FILE_SIZE + 1]),
+            Err(FsError::NoSpace(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut f = fs();
+        assert!(matches!(f.write("", b"x"), Err(FsError::BadName(_))));
+        let long = "n".repeat(65);
+        assert!(matches!(f.write(&long, b"x"), Err(FsError::BadName(_))));
+    }
+
+    #[test]
+    fn mount_rejects_unformatted_device() {
+        assert!(matches!(
+            LegacyFs::mount(MemBlockDevice::new(64)),
+            Err(FsError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn mount_preserves_contents() {
+        let mut f = fs();
+        f.write("persist", b"across mounts").unwrap();
+        let device = f.device().clone();
+        let mut f2 = LegacyFs::mount(device).unwrap();
+        assert_eq!(f2.read("persist").unwrap(), b"across mounts");
+    }
+
+    #[test]
+    fn disk_exhaustion_reported() {
+        // 256 blocks total, ~237 data blocks.
+        let mut f = fs();
+        let data = vec![0u8; BLOCK_SIZE];
+        let mut wrote = 0;
+        for i in 0..300 {
+            match f.write(&format!("f{i}"), &data) {
+                Ok(()) => wrote += 1,
+                Err(FsError::NoSpace(_)) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(wrote > 200 && wrote < 250, "wrote {wrote}");
+    }
+
+    #[test]
+    fn legacy_fs_is_naive_about_tampering() {
+        // The legacy layer happily returns corrupted data — the gap VPFS
+        // closes.
+        let mut f = fs();
+        f.write("victim", b"important data").unwrap();
+        let blocks = f.file_blocks("victim").unwrap();
+        f.device().corrupt(blocks[0], 0, 0xFF).unwrap();
+        let data = f.read("victim").unwrap();
+        assert_ne!(data, b"important data");
+        // No error raised: silent corruption.
+    }
+}

@@ -1,0 +1,79 @@
+//! VPFS — the Virtual Private File System trusted wrapper.
+//!
+//! §III-D "Trusted Reuse": *"trusted components should not rely on file
+//! system code to maintain data integrity or confidentiality. The Virtual
+//! Private File System (VPFS) is a trusted wrapper allowing secure reuse
+//! of a legacy file system stack. The legacy stack takes care of actually
+//! storing file contents and managing the storage medium, but it never
+//! handles plaintext data. Instead, the VPFS wrapper guarantees
+//! confidentiality and integrity of all file system data and metadata by
+//! means of encryption and message authentication codes."*
+//!
+//! The crate builds the whole stack:
+//!
+//! * [`block`] — a block device with the attack hooks experiments need
+//!   (bit corruption, block rollback, whole-device snapshots).
+//! * [`legacy`] — an untrusted legacy file system (superblock, inode
+//!   table, allocation bitmap, direct blocks): tens of thousands of lines
+//!   in real stacks, "likely to contain exploitable weaknesses", here the
+//!   *adversary-controlled* layer.
+//! * [`vpfs`] — the trusted wrapper itself: per-chunk authenticated
+//!   encryption, an encrypted directory, version binding against
+//!   selective rollback, and a *freshness root* the owning component
+//!   seals to its identity, defeating whole-filesystem rollback (the
+//!   jVPFS theme of robustness against untrusted local storage).
+//!
+//! Experiment E5 measures the wrapper's overhead against the raw legacy
+//! stack and verifies that every injected tampering is detected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod legacy;
+pub mod vpfs;
+
+pub use block::{BlockDevice, MemBlockDevice, BLOCK_SIZE};
+pub use legacy::LegacyFs;
+pub use vpfs::{RootDigest, Vpfs};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from any layer of the storage stack.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum FsError {
+    /// Block index out of range.
+    BadBlock(usize),
+    /// No such file.
+    NotFound(String),
+    /// Namespace or disk full.
+    NoSpace(String),
+    /// File name too long / invalid.
+    BadName(String),
+    /// The legacy file system's structures are malformed (corruption the
+    /// legacy layer itself notices).
+    Corrupt(String),
+    /// The VPFS integrity check failed — tampering detected.
+    IntegrityViolation(String),
+    /// The supplied freshness root does not match the stored state
+    /// (whole-filesystem rollback detected).
+    StaleRoot,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::BadBlock(i) => write!(f, "block {i} out of range"),
+            FsError::NotFound(n) => write!(f, "file not found: {n}"),
+            FsError::NoSpace(r) => write!(f, "no space: {r}"),
+            FsError::BadName(n) => write!(f, "bad file name: {n}"),
+            FsError::Corrupt(r) => write!(f, "legacy filesystem corrupt: {r}"),
+            FsError::IntegrityViolation(r) => write!(f, "integrity violation: {r}"),
+            FsError::StaleRoot => write!(f, "stale freshness root (rollback detected)"),
+        }
+    }
+}
+
+impl Error for FsError {}

@@ -1,0 +1,625 @@
+//! The VPFS trusted wrapper proper.
+//!
+//! Everything stored through the legacy layer is ciphertext with
+//! authenticated bindings:
+//!
+//! * file contents are chunked; every chunk is AEAD-sealed with
+//!   associated data binding `(file id, version, chunk index, chunk
+//!   count)` — corruption, chunk swapping, and cross-file splicing all
+//!   fail authentication;
+//! * chunk objects are stored under versioned legacy names
+//!   (`obj_<id>_<version>_<chunk>`), and a new version is written
+//!   *before* the directory root commits — the jVPFS-style journaling
+//!   discipline that keeps a crash from ever leaving the current version
+//!   unreadable;
+//! * the encrypted directory (`vpfs_root`) maps names to `(id, version,
+//!   size, chunks)`; its own version is bound into its AEAD nonce;
+//! * a [`RootDigest`] summarizing `(root version, root hash)` is returned
+//!   after every mutation for the owner to keep in *sealed storage* —
+//!   presenting it at [`Vpfs::mount`] detects whole-filesystem rollback,
+//!   which no amount of on-disk cryptography can catch by itself.
+
+use std::collections::BTreeMap;
+
+use lateral_crypto::aead::Aead;
+use lateral_crypto::hmac::hkdf;
+use lateral_crypto::Digest;
+
+use crate::legacy::LegacyFs;
+use crate::FsError;
+
+/// Plaintext bytes per chunk (the sealed chunk must fit a legacy file).
+const CHUNK_SIZE: usize = 32 * 1024;
+
+/// The freshness root: what the owning component seals to its identity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RootDigest {
+    /// Monotonic directory version.
+    pub version: u64,
+    /// Digest of the serialized directory at that version.
+    pub digest: Digest,
+}
+
+impl RootDigest {
+    /// Serializes to 40 bytes (for sealing).
+    pub fn to_bytes(&self) -> [u8; 40] {
+        let mut out = [0u8; 40];
+        out[..8].copy_from_slice(&self.version.to_le_bytes());
+        out[8..].copy_from_slice(self.digest.as_bytes());
+        out
+    }
+
+    /// Parses the 40-byte form.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupt`] when the slice has the wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RootDigest, FsError> {
+        if bytes.len() != 40 {
+            return Err(FsError::Corrupt("root digest must be 40 bytes".into()));
+        }
+        let version = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let mut d = [0u8; 32];
+        d.copy_from_slice(&bytes[8..]);
+        Ok(RootDigest {
+            version,
+            digest: Digest(d),
+        })
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FileEntry {
+    file_id: u64,
+    version: u64,
+    size: u64,
+    chunks: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Directory {
+    next_file_id: u64,
+    entries: BTreeMap<String, FileEntry>,
+}
+
+impl Directory {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.next_file_id.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (name, e) in &self.entries {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&e.file_id.to_le_bytes());
+            out.extend_from_slice(&e.version.to_le_bytes());
+            out.extend_from_slice(&e.size.to_le_bytes());
+            out.extend_from_slice(&e.chunks.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(mut raw: &[u8]) -> Result<Directory, FsError> {
+        fn take<'a>(raw: &mut &'a [u8], n: usize) -> Result<&'a [u8], FsError> {
+            if raw.len() < n {
+                return Err(FsError::Corrupt("truncated directory".into()));
+            }
+            let (head, tail) = raw.split_at(n);
+            *raw = tail;
+            Ok(head)
+        }
+        let next_file_id = u64::from_le_bytes(take(&mut raw, 8)?.try_into().expect("8"));
+        let count = u32::from_le_bytes(take(&mut raw, 4)?.try_into().expect("4"));
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(take(&mut raw, 2)?.try_into().expect("2")) as usize;
+            let name = String::from_utf8(take(&mut raw, name_len)?.to_vec())
+                .map_err(|_| FsError::Corrupt("directory name not UTF-8".into()))?;
+            let file_id = u64::from_le_bytes(take(&mut raw, 8)?.try_into().expect("8"));
+            let version = u64::from_le_bytes(take(&mut raw, 8)?.try_into().expect("8"));
+            let size = u64::from_le_bytes(take(&mut raw, 8)?.try_into().expect("8"));
+            let chunks = u32::from_le_bytes(take(&mut raw, 4)?.try_into().expect("4"));
+            entries.insert(
+                name,
+                FileEntry {
+                    file_id,
+                    version,
+                    size,
+                    chunks,
+                },
+            );
+        }
+        Ok(Directory {
+            next_file_id,
+            entries,
+        })
+    }
+}
+
+/// The virtual private file system.
+///
+/// ```
+/// use lateral_vpfs::{LegacyFs, MemBlockDevice, Vpfs};
+///
+/// # fn main() -> Result<(), lateral_vpfs::FsError> {
+/// let legacy = LegacyFs::format(MemBlockDevice::new(128))?;
+/// let mut vpfs = Vpfs::format(legacy, &[7u8; 32])?;
+/// vpfs.write("inbox/1", b"private mail")?;
+/// assert_eq!(vpfs.read("inbox/1")?, b"private mail");
+/// // Keep the freshness root in sealed storage; present it on mount to
+/// // detect whole-filesystem rollback.
+/// let root = vpfs.root();
+/// # let _ = root;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Vpfs {
+    legacy: LegacyFs,
+    file_master: [u8; 32],
+    dir_aead: Aead,
+    dir: Directory,
+    dir_version: u64,
+}
+
+impl std::fmt::Debug for Vpfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Vpfs({} files, root v{})",
+            self.dir.entries.len(),
+            self.dir_version
+        )
+    }
+}
+
+const ROOT_NAME: &str = "vpfs_root";
+
+fn obj_name(file_id: u64, version: u64, chunk: u32) -> String {
+    format!("obj_{file_id:x}_{version:x}_{chunk:x}")
+}
+
+impl Vpfs {
+    fn derive_keys(master: &[u8; 32]) -> ([u8; 32], Aead) {
+        let file_master = hkdf(b"lateral.vpfs", master, b"files");
+        let dir_key = hkdf(b"lateral.vpfs", master, b"directory");
+        (file_master, Aead::new(&dir_key))
+    }
+
+    fn file_aead(&self, file_id: u64) -> Aead {
+        let key = hkdf(b"lateral.vpfs.file", &self.file_master, &file_id.to_le_bytes());
+        Aead::new(&key)
+    }
+
+    /// Creates a fresh VPFS over `legacy`, keyed by `master`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates legacy-layer failures from writing the initial root.
+    pub fn format(legacy: LegacyFs, master: &[u8; 32]) -> Result<Vpfs, FsError> {
+        let (file_master, dir_aead) = Self::derive_keys(master);
+        let mut vpfs = Vpfs {
+            legacy,
+            file_master,
+            dir_aead,
+            dir: Directory::default(),
+            dir_version: 0,
+        };
+        vpfs.commit_root()?;
+        Ok(vpfs)
+    }
+
+    /// Mounts an existing VPFS. When `trusted_root` is supplied (from the
+    /// owner's sealed storage), the stored state must match it exactly —
+    /// detecting whole-filesystem rollback.
+    ///
+    /// # Errors
+    ///
+    /// * [`FsError::IntegrityViolation`] — the root fails authentication
+    ///   (wrong key or tampered bytes).
+    /// * [`FsError::StaleRoot`] — a valid but *old* state was presented.
+    pub fn mount(
+        mut legacy: LegacyFs,
+        master: &[u8; 32],
+        trusted_root: Option<RootDigest>,
+    ) -> Result<Vpfs, FsError> {
+        let (file_master, dir_aead) = Self::derive_keys(master);
+        let raw = legacy
+            .read(ROOT_NAME)
+            .map_err(|_| FsError::IntegrityViolation("vpfs root missing".into()))?;
+        if raw.len() < 8 {
+            return Err(FsError::IntegrityViolation("vpfs root truncated".into()));
+        }
+        let version = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
+        let plain = dir_aead
+            .open(version, b"vpfs.dir", &raw[8..])
+            .map_err(|_| FsError::IntegrityViolation("vpfs root failed authentication".into()))?;
+        if let Some(expected) = trusted_root {
+            let digest = Digest::of(&plain);
+            if version != expected.version || digest != expected.digest {
+                return Err(FsError::StaleRoot);
+            }
+        }
+        let dir = Directory::decode(&plain)?;
+        Ok(Vpfs {
+            legacy,
+            file_master,
+            dir_aead,
+            dir,
+            dir_version: version,
+        })
+    }
+
+    /// The current freshness root. Persist this in sealed storage after
+    /// every mutation and present it at the next [`Vpfs::mount`].
+    pub fn root(&self) -> RootDigest {
+        RootDigest {
+            version: self.dir_version,
+            digest: Digest::of(&self.dir.encode()),
+        }
+    }
+
+    /// The legacy layer underneath (the attack surface).
+    pub fn legacy(&mut self) -> &mut LegacyFs {
+        &mut self.legacy
+    }
+
+    fn commit_root(&mut self) -> Result<(), FsError> {
+        self.dir_version += 1;
+        let plain = self.dir.encode();
+        let sealed = self.dir_aead.seal(self.dir_version, b"vpfs.dir", &plain);
+        let mut raw = self.dir_version.to_le_bytes().to_vec();
+        raw.extend_from_slice(&sealed);
+        self.legacy.write(ROOT_NAME, &raw)
+    }
+
+    /// Writes (creates or replaces) `name` with `data`.
+    ///
+    /// Journaling discipline: the new version's chunk objects are written
+    /// first, the directory root commits second, and only then are the
+    /// previous version's objects garbage-collected — a crash at any
+    /// point leaves a fully readable filesystem.
+    ///
+    /// # Errors
+    ///
+    /// Legacy-layer space and name errors.
+    pub fn write(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        let old = self.dir.entries.get(name).cloned();
+        let (file_id, version) = match &old {
+            Some(e) => (e.file_id, e.version + 1),
+            None => {
+                let id = self.dir.next_file_id;
+                self.dir.next_file_id += 1;
+                (id, 1)
+            }
+        };
+        let chunks = data.chunks(CHUNK_SIZE).collect::<Vec<_>>();
+        let chunk_count = chunks.len().max(1) as u32;
+        let aead = self.file_aead(file_id);
+        // Phase 1: write the new version's objects.
+        for (i, chunk) in chunks.iter().enumerate() {
+            let aad = format!("vpfs.file:{file_id}:{version}:{i}:{chunk_count}");
+            let sealed = aead.seal(version ^ ((i as u64) << 32), aad.as_bytes(), chunk);
+            self.legacy.write(&obj_name(file_id, version, i as u32), &sealed)?;
+        }
+        if chunks.is_empty() {
+            let aad = format!("vpfs.file:{file_id}:{version}:0:{chunk_count}");
+            let sealed = aead.seal(version, aad.as_bytes(), b"");
+            self.legacy.write(&obj_name(file_id, version, 0), &sealed)?;
+        }
+        // Phase 2: commit the root.
+        self.dir.entries.insert(
+            name.to_string(),
+            FileEntry {
+                file_id,
+                version,
+                size: data.len() as u64,
+                chunks: chunk_count,
+            },
+        );
+        self.commit_root()?;
+        // Phase 3: garbage-collect the previous version.
+        if let Some(e) = old {
+            for i in 0..e.chunks {
+                let _ = self.legacy.remove(&obj_name(e.file_id, e.version, i));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and verifies `name`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FsError::NotFound`] — no such file in the trusted directory.
+    /// * [`FsError::IntegrityViolation`] — any chunk is missing, corrupt,
+    ///   swapped, or from a different version.
+    pub fn read(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
+        let entry = self
+            .dir
+            .entries
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let aead = self.file_aead(entry.file_id);
+        let mut out = Vec::with_capacity(entry.size as usize);
+        for i in 0..entry.chunks {
+            let obj = obj_name(entry.file_id, entry.version, i);
+            let sealed = self.legacy.read(&obj).map_err(|_| {
+                FsError::IntegrityViolation(format!("object {obj} missing (tampered namespace)"))
+            })?;
+            let aad = format!(
+                "vpfs.file:{}:{}:{}:{}",
+                entry.file_id, entry.version, i, entry.chunks
+            );
+            let nonce = entry.version ^ ((i as u64) << 32);
+            let plain = aead.open(nonce, aad.as_bytes(), &sealed).map_err(|_| {
+                FsError::IntegrityViolation(format!("object {obj} failed authentication"))
+            })?;
+            out.extend_from_slice(&plain);
+        }
+        if out.len() as u64 != entry.size {
+            return Err(FsError::IntegrityViolation(
+                "reassembled size mismatch".into(),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Deletes `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    pub fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        let entry = self
+            .dir
+            .entries
+            .remove(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        self.commit_root()?;
+        for i in 0..entry.chunks {
+            let _ = self.legacy.remove(&obj_name(entry.file_id, entry.version, i));
+        }
+        Ok(())
+    }
+
+    /// Lists file names (from the trusted directory, not the legacy
+    /// namespace).
+    pub fn list(&self) -> Vec<String> {
+        self.dir.entries.keys().cloned().collect()
+    }
+
+    /// Whether `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.dir.entries.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemBlockDevice;
+
+    const KEY: [u8; 32] = [0x11; 32];
+
+    fn vpfs() -> Vpfs {
+        let legacy = LegacyFs::format(MemBlockDevice::new(512)).unwrap();
+        Vpfs::format(legacy, &KEY).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut v = vpfs();
+        v.write("secrets/keys.txt", b"imap password").unwrap();
+        assert_eq!(v.read("secrets/keys.txt").unwrap(), b"imap password");
+    }
+
+    #[test]
+    fn empty_and_multi_chunk_files() {
+        let mut v = vpfs();
+        v.write("empty", b"").unwrap();
+        assert_eq!(v.read("empty").unwrap(), b"");
+        let big: Vec<u8> = (0..80_000).map(|i| (i % 251) as u8).collect();
+        v.write("big", &big).unwrap();
+        assert_eq!(v.read("big").unwrap(), big);
+    }
+
+    #[test]
+    fn plaintext_never_reaches_legacy_layer() {
+        let mut v = vpfs();
+        v.write("mail", b"SECRET_MARKER_1234").unwrap();
+        // Scan every legacy file for the plaintext marker.
+        let names = v.legacy().list().unwrap();
+        for n in names {
+            let raw = v.legacy().read(&n).unwrap();
+            assert!(
+                !raw.windows(18).any(|w| w == b"SECRET_MARKER_1234"),
+                "plaintext leaked into legacy file {n}"
+            );
+        }
+        // Even the file *names* are opaque object ids.
+        assert!(v.legacy().list().unwrap().iter().all(|n| !n.contains("mail")));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut v = vpfs();
+        v.write("a", b"important data").unwrap();
+        // Find the object file and flip a bit in its data block.
+        let obj = v
+            .legacy()
+            .list()
+            .unwrap()
+            .into_iter()
+            .find(|n| n.starts_with("obj_"))
+            .unwrap();
+        let blocks = v.legacy().file_blocks(&obj).unwrap();
+        v.legacy().device().corrupt(blocks[0], 5, 0x01).unwrap();
+        assert!(matches!(
+            v.read("a"),
+            Err(FsError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn chunk_swap_is_detected() {
+        let mut v = vpfs();
+        let big: Vec<u8> = (0..70_000).map(|i| (i % 13) as u8).collect();
+        v.write("swap", &big).unwrap();
+        // Swap the two chunk objects' contents at the legacy level.
+        let names: Vec<String> = v
+            .legacy()
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.starts_with("obj_"))
+            .collect();
+        assert_eq!(names.len(), 3); // 2 chunks for "swap" + 1? no: 3 = 2 chunks + root? root isn't obj_
+        let a = v.legacy().read(&names[0]).unwrap();
+        let b = v.legacy().read(&names[1]).unwrap();
+        v.legacy().write(&names[0], &b).unwrap();
+        v.legacy().write(&names[1], &a).unwrap();
+        assert!(matches!(v.read("swap"), Err(FsError::IntegrityViolation(_))));
+    }
+
+    #[test]
+    fn deleting_object_is_detected() {
+        let mut v = vpfs();
+        v.write("a", b"data").unwrap();
+        let obj = v
+            .legacy()
+            .list()
+            .unwrap()
+            .into_iter()
+            .find(|n| n.starts_with("obj_"))
+            .unwrap();
+        v.legacy().remove(&obj).unwrap();
+        assert!(matches!(v.read("a"), Err(FsError::IntegrityViolation(_))));
+    }
+
+    #[test]
+    fn remount_with_fresh_root_succeeds() {
+        let mut v = vpfs();
+        v.write("persist", b"across remounts").unwrap();
+        let root = v.root();
+        let device = v.legacy().device().clone();
+        let legacy = LegacyFs::mount(device).unwrap();
+        let mut v2 = Vpfs::mount(legacy, &KEY, Some(root)).unwrap();
+        assert_eq!(v2.read("persist").unwrap(), b"across remounts");
+    }
+
+    #[test]
+    fn whole_fs_rollback_is_detected_via_sealed_root() {
+        let mut v = vpfs();
+        v.write("balance", b"100 EUR").unwrap();
+        let snapshot = v.legacy().device().snapshot();
+        v.write("balance", b"5 EUR").unwrap();
+        let fresh_root = v.root();
+        // Attacker rolls the disk back to when the balance was higher.
+        let mut device = v.legacy().device().clone();
+        device.rollback(&snapshot);
+        let legacy = LegacyFs::mount(device).unwrap();
+        assert!(matches!(
+            Vpfs::mount(legacy, &KEY, Some(fresh_root)),
+            Err(FsError::StaleRoot)
+        ));
+    }
+
+    #[test]
+    fn rollback_without_sealed_root_goes_unnoticed() {
+        // The ablation: without the freshness root, a consistent rollback
+        // is accepted — exactly why the root must live in sealed storage.
+        let mut v = vpfs();
+        v.write("balance", b"100 EUR").unwrap();
+        let snapshot = v.legacy().device().snapshot();
+        v.write("balance", b"5 EUR").unwrap();
+        let mut device = v.legacy().device().clone();
+        device.rollback(&snapshot);
+        let legacy = LegacyFs::mount(device).unwrap();
+        let mut v2 = Vpfs::mount(legacy, &KEY, None).unwrap();
+        assert_eq!(v2.read("balance").unwrap(), b"100 EUR");
+    }
+
+    #[test]
+    fn wrong_key_cannot_mount() {
+        let mut v = vpfs();
+        v.write("a", b"data").unwrap();
+        let device = v.legacy().device().clone();
+        let legacy = LegacyFs::mount(device).unwrap();
+        assert!(matches!(
+            Vpfs::mount(legacy, &[0x22; 32], None),
+            Err(FsError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn overwrite_bumps_version_and_old_version_cannot_be_spliced() {
+        let mut v = vpfs();
+        v.write("cfg", b"v1 contents").unwrap();
+        // Keep a copy of the v1 object.
+        let obj_v1 = v
+            .legacy()
+            .list()
+            .unwrap()
+            .into_iter()
+            .find(|n| n.starts_with("obj_"))
+            .unwrap();
+        let old_bytes = v.legacy().read(&obj_v1).unwrap();
+        v.write("cfg", b"v2 contents").unwrap();
+        // Splice the old object under the new version's name.
+        let obj_v2 = v
+            .legacy()
+            .list()
+            .unwrap()
+            .into_iter()
+            .find(|n| n.starts_with("obj_"))
+            .unwrap();
+        v.legacy().write(&obj_v2, &old_bytes).unwrap();
+        assert!(matches!(v.read("cfg"), Err(FsError::IntegrityViolation(_))));
+    }
+
+    #[test]
+    fn remove_then_read_fails_cleanly() {
+        let mut v = vpfs();
+        v.write("gone", b"x").unwrap();
+        v.remove("gone").unwrap();
+        assert!(matches!(v.read("gone"), Err(FsError::NotFound(_))));
+        assert!(!v.exists("gone"));
+    }
+
+    #[test]
+    fn list_reflects_trusted_directory() {
+        let mut v = vpfs();
+        v.write("a", b"1").unwrap();
+        v.write("b", b"2").unwrap();
+        assert_eq!(v.list(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn crash_between_phases_leaves_old_version_readable() {
+        // Simulate a crash after phase 1 (new objects written) but before
+        // phase 2 (root commit): remount sees the old, consistent state.
+        let mut v = vpfs();
+        v.write("doc", b"version 1").unwrap();
+        let root = v.root();
+        let pre_crash_device = v.legacy().device().clone();
+        // "Crash": abandon v mid-write by only writing phase-1 artifacts.
+        // We emulate by writing a new object manually (attacker-visible
+        // garbage is fine) and NOT committing the root.
+        let mut device = pre_crash_device;
+        let mut legacy = LegacyFs::mount(device.clone()).unwrap();
+        legacy.write("obj_0_2_0", b"half-written new version").unwrap();
+        device = legacy.device().clone();
+        let legacy2 = LegacyFs::mount(device).unwrap();
+        let mut v2 = Vpfs::mount(legacy2, &KEY, Some(root)).unwrap();
+        assert_eq!(v2.read("doc").unwrap(), b"version 1");
+    }
+
+    #[test]
+    fn root_digest_serialization_roundtrip() {
+        let v = vpfs();
+        let root = v.root();
+        let restored = RootDigest::from_bytes(&root.to_bytes()).unwrap();
+        assert_eq!(restored, root);
+        assert!(RootDigest::from_bytes(&[0u8; 10]).is_err());
+    }
+}

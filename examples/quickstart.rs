@@ -1,0 +1,104 @@
+//! Quickstart: write a trusted component once, run it on two different
+//! isolation substrates, seal data to its identity, and attest it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lateral::crypto::sign::SigningKey;
+use lateral::crypto::Digest;
+use lateral::hw::machine::MachineBuilder;
+use lateral::microkernel::Microkernel;
+use lateral::substrate::attest::TrustPolicy;
+use lateral::substrate::cap::Badge;
+use lateral::substrate::component::{Component, ComponentError, Invocation};
+use lateral::substrate::software::SoftwareSubstrate;
+use lateral::substrate::substrate::{DomainContext, DomainSpec, Substrate};
+
+/// A tiny trusted component: a counter that seals its state on demand.
+/// Note that it is written purely against the unified interface — it has
+/// no idea which substrate it runs on.
+struct TrustedCounter {
+    count: u64,
+}
+
+impl Component for TrustedCounter {
+    fn label(&self) -> &str {
+        "trusted-counter"
+    }
+
+    fn on_call(
+        &mut self,
+        ctx: &mut dyn DomainContext,
+        inv: Invocation<'_>,
+    ) -> Result<Vec<u8>, ComponentError> {
+        match inv.data {
+            b"bump" => {
+                self.count += 1;
+                Ok(self.count.to_le_bytes().to_vec())
+            }
+            b"seal" => ctx
+                .seal(&self.count.to_le_bytes())
+                .map_err(|e| ComponentError::new(e.to_string())),
+            _ => Err(ComponentError::new("unknown request")),
+        }
+    }
+}
+
+fn drive(substrate: &mut dyn Substrate) -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- running on the '{}' substrate ---", substrate.profile().name);
+
+    // Spawn the component in its own protection domain.
+    let counter = substrate.spawn(
+        DomainSpec::named("counter").with_image(b"trusted-counter v1"),
+        Box::new(TrustedCounter { count: 0 }),
+    )?;
+    let client = substrate.spawn(
+        DomainSpec::named("client"),
+        Box::new(lateral::substrate::testkit::Echo),
+    )?;
+
+    // POLA: communication exists only because we grant it.
+    let cap = substrate.grant_channel(client, counter, Badge(1))?;
+    for _ in 0..3 {
+        substrate.invoke(client, &cap, b"bump")?;
+    }
+    let reply = substrate.invoke(client, &cap, b"bump")?;
+    println!("counter value: {}", u64::from_le_bytes(reply.as_slice().try_into()?));
+
+    // Sealed storage: bound to the component's code identity.
+    let sealed = substrate.invoke(client, &cap, b"seal")?;
+    println!("sealed state: {} bytes (opaque to everyone else)", sealed.len());
+
+    // Attestation, where the substrate has a hardware secret.
+    match substrate.attest(counter, b"quickstart-binding") {
+        Ok(evidence) => {
+            let mut policy = TrustPolicy::new();
+            policy.trust_platform(substrate.platform_verifying_key()?);
+            policy.expect_measurement(substrate.measurement(counter)?);
+            policy.verify(&evidence)?;
+            println!("attestation: verified ({})", evidence.substrate);
+        }
+        Err(e) => println!("attestation: {e}"),
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pure software isolation (the Rust type system as substrate).
+    let mut software = SoftwareSubstrate::new("quickstart");
+    drive(&mut software)?;
+
+    // 2. The same component, unmodified, on a simulated microkernel with
+    //    a measured-boot attestation identity.
+    let machine = MachineBuilder::new().name("quickstart-board").frames(64).build();
+    let mut kernel = Microkernel::new(machine, "quickstart").with_attestation(
+        SigningKey::from_seed(b"quickstart platform"),
+        Digest::of(b"measured boot stack"),
+    );
+    drive(&mut kernel)?;
+
+    println!("same component, two substrates — the paper's §III-A in action");
+    Ok(())
+}

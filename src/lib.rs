@@ -1,0 +1,51 @@
+//! # lateral — a trusted component ecosystem
+//!
+//! Umbrella crate for the `lateral` workspace, a full-system reproduction of
+//! *"Lateral Thinking for Trustworthy Apps"* (Härtig, Roitzsch, Weinhold,
+//! Lackorzyński — ICDCS 2017). The paper's vision: applications should be
+//! **horizontal aggregates of mutually isolated components** rather than
+//! vertical stacks of libraries, written once against a **unified isolation
+//! interface** and deployable on any isolation substrate (microkernel
+//! address spaces, ARM TrustZone, Intel SGX enclaves, Apple SEP-style
+//! coprocessors), with trust extended across machines via attestation.
+//!
+//! This crate re-exports every subsystem:
+//!
+//! * [`crypto`] — simulation-grade primitives (SHA-256, HMAC, ChaCha20,
+//!   Schnorr, DH, deterministic RNG).
+//! * [`hw`] — the simulated hardware platform (physical memory, MMU, IOMMU,
+//!   cache, bus with physical-attacker taps, fuses, boot ROM).
+//! * [`tpm`] — TPM model: PCRs, quote, seal, CRTM, authenticated/secure
+//!   boot, late launch.
+//! * [`substrate`] — the paper's "POSIX for isolation": the unified
+//!   substrate interface, attacker models, capabilities with badges.
+//! * [`microkernel`], [`trustzone`], [`sgx`], [`sep`], [`flicker`] —
+//!   isolation substrate backends.
+//! * [`vpfs`] — the Virtual Private File System trusted wrapper over an
+//!   untrusted legacy file system.
+//! * [`net`] — simulated network, Dolev–Yao adversary, secure channels and
+//!   attested channels.
+//! * [`components`] — the reusable trusted component toolbox (TLS, secure
+//!   GUI, input method, anonymizer, gateway, mail engine, …).
+//! * [`core`] — the ecosystem runtime: manifests, composer, POLA
+//!   enforcement, TCB / information-flow / confused-deputy analysis.
+//! * [`apps`] — the paper's worked scenarios: decomposed email client and
+//!   the smart-meter / utility-server distributed system.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the complete system
+//! inventory and experiment index.
+
+pub use lateral_apps as apps;
+pub use lateral_components as components;
+pub use lateral_core as core;
+pub use lateral_crypto as crypto;
+pub use lateral_flicker as flicker;
+pub use lateral_hw as hw;
+pub use lateral_microkernel as microkernel;
+pub use lateral_net as net;
+pub use lateral_sep as sep;
+pub use lateral_sgx as sgx;
+pub use lateral_substrate as substrate;
+pub use lateral_tpm as tpm;
+pub use lateral_trustzone as trustzone;
+pub use lateral_vpfs as vpfs;

@@ -1,0 +1,120 @@
+//! Integration: the full launch-and-attest chain (§II-D).
+//!
+//! Boot ROM → TPM (CRTM / authenticated boot) → microkernel with a
+//! provisioned attestation identity → component evidence verified by a
+//! remote policy — plus the secure-boot and late-launch variants.
+
+use lateral::crypto::sign::SigningKey;
+use lateral::hw::bootrom::{BootRom, BootStage, LaunchPolicy};
+use lateral::hw::machine::MachineBuilder;
+use lateral::microkernel::Microkernel;
+use lateral::substrate::attest::TrustPolicy;
+use lateral::substrate::substrate::{DomainSpec, Substrate};
+use lateral::substrate::testkit::Echo;
+use lateral::tpm::Tpm;
+
+fn boot_chain() -> Vec<BootStage> {
+    vec![
+        BootStage::new("bootloader", b"u-boot 2017.01"),
+        BootStage::new("kernel", b"lateral-microkernel v1"),
+        BootStage::new("init", b"root task v1"),
+    ]
+}
+
+#[test]
+fn measured_boot_to_verified_component_evidence() {
+    // 1. Authenticated boot measures the chain into the TPM.
+    let mut tpm = Tpm::new(b"board-42");
+    let rom = BootRom::new(LaunchPolicy::authenticated_boot());
+    let report = rom.boot(&boot_chain(), &mut tpm).unwrap();
+    let platform_state = report.stack_identity();
+
+    // 2. The booted kernel derives its attestation identity from the TPM
+    //    (modeled by a key provisioned at boot) and records the measured
+    //    platform state.
+    let machine = MachineBuilder::new().name("board-42").frames(64).build();
+    let mut kernel = Microkernel::new(machine, "boot-test")
+        .with_attestation(SigningKey::from_seed(b"board-42 aik"), platform_state);
+
+    // 3. A component attests; a remote verifier demands BOTH the right
+    //    component measurement and the right platform stack.
+    let svc = kernel
+        .spawn(DomainSpec::named("svc").with_image(b"svc v1"), Box::new(Echo))
+        .unwrap();
+    let evidence = kernel.attest(svc, b"nonce-1").unwrap();
+
+    let mut policy = TrustPolicy::new();
+    policy.trust_platform(kernel.platform_verifying_key().unwrap());
+    policy.expect_measurement(kernel.measurement(svc).unwrap());
+    policy.expect_platform_state(platform_state);
+    assert!(policy.verify(&evidence).is_ok());
+
+    // 4. A platform that booted a tampered kernel has a different stack
+    //    identity and fails the same policy.
+    let mut bad_tpm = Tpm::new(b"board-43");
+    let mut bad_chain = boot_chain();
+    bad_chain[1] = BootStage::new("kernel", b"lateral-microkernel v1 + rootkit");
+    let bad_report = rom.boot(&bad_chain, &mut bad_tpm).unwrap();
+    let machine = MachineBuilder::new().name("board-43").frames(64).build();
+    let mut bad_kernel = Microkernel::new(machine, "boot-test")
+        .with_attestation(SigningKey::from_seed(b"board-42 aik"), bad_report.stack_identity());
+    let bad_svc = bad_kernel
+        .spawn(DomainSpec::named("svc").with_image(b"svc v1"), Box::new(Echo))
+        .unwrap();
+    let bad_evidence = bad_kernel.attest(bad_svc, b"nonce-2").unwrap();
+    assert!(policy.verify(&bad_evidence).is_err());
+}
+
+#[test]
+fn tpm_quote_survives_the_full_verifier_flow() {
+    let mut tpm = Tpm::new(b"verifier-flow");
+    let rom = BootRom::new(LaunchPolicy::authenticated_boot());
+    rom.boot(&boot_chain(), &mut tpm).unwrap();
+    // The verifier replays the event log to compute the expected PCR and
+    // then checks a fresh quote against it — the classic TPM protocol.
+    let mut replayed = lateral::crypto::Digest::ZERO;
+    for e in tpm.event_log() {
+        replayed = replayed.extend(e.digest.as_bytes());
+    }
+    assert_eq!(replayed, tpm.read_pcr(0).unwrap());
+    let expected = tpm.composite(&[0]);
+    let quote = tpm.quote(&[0], b"fresh-nonce");
+    assert!(quote
+        .verify_state(&tpm.attestation_key(), b"fresh-nonce", &expected)
+        .is_ok());
+}
+
+#[test]
+fn secure_boot_halts_on_tampered_stage_before_it_runs() {
+    let vendor = SigningKey::from_seed(b"oem");
+    let rom = BootRom::new(LaunchPolicy::secure_boot(vendor.verifying_key()));
+    let mut chain: Vec<BootStage> = boot_chain()
+        .iter()
+        .map(|s| BootStage::signed(&s.name, &s.image, &vendor))
+        .collect();
+    let mut log = lateral::hw::bootrom::BootLog::default();
+    assert!(rom.boot(&chain, &mut log).is_ok());
+    // Tamper the kernel image but keep the old signature.
+    chain[1].image = b"evil kernel".to_vec();
+    assert!(rom.boot(&chain, &mut log).is_err());
+}
+
+#[test]
+fn late_launch_attests_a_piece_without_trusting_the_boot_chain() {
+    let mut tpm = Tpm::new(b"flicker-board");
+    // A filthy boot chain (nothing measured, nothing verified).
+    tpm.extend(0, b"who knows what booted here");
+    // Late launch gives the payload a clean, attestable identity anyway.
+    let payload = b"flicker piece: password checker";
+    let (quote, sealed) = {
+        let session = tpm.late_launch(payload).unwrap();
+        (session.quote(b"ll-nonce"), session.seal(b"check state"))
+    };
+    assert!(quote.verify(&tpm.attestation_key(), b"ll-nonce").is_ok());
+    // Only a relaunch of the SAME payload recovers the sealed state.
+    let again = tpm.late_launch(payload).unwrap();
+    assert_eq!(again.unseal(&sealed).unwrap(), b"check state");
+    drop(again);
+    let other = tpm.late_launch(b"different piece").unwrap();
+    assert!(other.unseal(&sealed).is_err());
+}

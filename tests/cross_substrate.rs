@@ -1,0 +1,173 @@
+//! Integration: the composer over a heterogeneous substrate pool.
+//!
+//! The smart-meter appliance of Figure 3 mixes substrates on one device;
+//! these tests verify the composer places components by required
+//! attacker model, bridges channels across substrates, and keeps POLA
+//! intact end to end.
+
+use lateral::core::composer::{compose, ComponentFactory};
+use lateral::core::manifest::{AppManifest, ComponentManifest, Sensitivity};
+use lateral::core::CoreError;
+use lateral::crypto::sign::SigningKey;
+use lateral::crypto::Digest;
+use lateral::hw::machine::MachineBuilder;
+use lateral::microkernel::Microkernel;
+use lateral::sgx::Sgx;
+use lateral::substrate::attacker::AttackerModel;
+use lateral::substrate::component::Component;
+use lateral::substrate::software::SoftwareSubstrate;
+use lateral::substrate::substrate::Substrate;
+use lateral::substrate::testkit::{BadgeReporter, Counter, Echo};
+use lateral::trustzone::TrustZone;
+
+struct TestFactory;
+
+impl ComponentFactory for TestFactory {
+    fn build(&mut self, cm: &ComponentManifest) -> Option<Box<dyn Component>> {
+        Some(match cm.name.as_str() {
+            "badge-reporter" => Box::new(BadgeReporter),
+            "counter" => Box::new(Counter::default()),
+            _ => Box::new(Echo),
+        })
+    }
+}
+
+fn mixed_pool() -> Vec<Box<dyn Substrate>> {
+    let mk = Microkernel::new(
+        MachineBuilder::new().name("pool-mk").frames(256).build(),
+        "pool",
+    )
+    .with_attestation(SigningKey::from_seed(b"pool mk"), Digest::ZERO);
+    vec![
+        Box::new(SoftwareSubstrate::new("pool-sw")),
+        Box::new(mk),
+        Box::new(TrustZone::new(
+            MachineBuilder::new().name("pool-tz").frames(256).build(),
+            "pool",
+        )),
+        Box::new(Sgx::new(
+            MachineBuilder::new().name("pool-sgx").frames(256).build(),
+            "pool",
+        )),
+    ]
+}
+
+#[test]
+fn placement_follows_required_attacker_models() {
+    let app = AppManifest::new(
+        "placement",
+        vec![
+            // Needs nothing special → smallest TCB that satisfies
+            // remote-software (the microkernel at 10k beats software's
+            // compiler-sized TCB).
+            ComponentManifest::new("plain"),
+            // Needs physical-bus defense → only SGX qualifies in this pool.
+            ComponentManifest::new("hsm-like").requires(&[
+                AttackerModel::RemoteSoftware,
+                AttackerModel::PhysicalBus,
+            ]),
+            // Needs a boot trust anchor but no memory encryption →
+            // TrustZone (25k) beats SGX (100k).
+            ComponentManifest::new("device-identity").requires(&[
+                AttackerModel::RemoteSoftware,
+                AttackerModel::PhysicalBoot,
+            ]),
+        ],
+    );
+    let asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();
+    assert_eq!(asm.substrate_of("plain").unwrap(), "microkernel");
+    assert_eq!(asm.substrate_of("hsm-like").unwrap(), "sgx");
+    assert_eq!(asm.substrate_of("device-identity").unwrap(), "trustzone");
+}
+
+#[test]
+fn bridged_channels_work_across_substrates() {
+    let app = AppManifest::new(
+        "bridge",
+        vec![
+            ComponentManifest::new("frontend").channel("ask", "vault", 0xB1),
+            ComponentManifest::new("vault").requires(&[
+                AttackerModel::RemoteSoftware,
+                AttackerModel::PhysicalBus,
+            ]),
+        ],
+    );
+    let mut asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();
+    assert_ne!(
+        asm.substrate_of("frontend").unwrap(),
+        asm.substrate_of("vault").unwrap()
+    );
+    // The declared channel works even though the endpoints live on
+    // different substrates.
+    assert_eq!(asm.call_channel("frontend", "ask", b"ping").unwrap(), b"ping");
+}
+
+#[test]
+fn bridged_badges_are_preserved() {
+    let app = AppManifest::new(
+        "badge-bridge",
+        vec![
+            ComponentManifest::new("client").channel("ask", "badge-reporter", 0xCAFE),
+            ComponentManifest::new("badge-reporter").requires(&[
+                AttackerModel::RemoteSoftware,
+                AttackerModel::PhysicalBus,
+            ]),
+        ],
+    );
+    let mut asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();
+    let reply = asm.call_channel("client", "ask", b"").unwrap();
+    assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 0xCAFE);
+}
+
+#[test]
+fn impossible_requirements_fail_with_diagnosis() {
+    // A pool of only software isolation cannot host a physically hardened
+    // component.
+    let pool: Vec<Box<dyn Substrate>> = vec![Box::new(SoftwareSubstrate::new("only-sw"))];
+    let app = AppManifest::new(
+        "impossible",
+        vec![ComponentManifest::new("hsm").requires(&[AttackerModel::PhysicalBus])],
+    );
+    match compose(&app, pool, &mut TestFactory) {
+        Err(CoreError::NoSuitableSubstrate { component, reason }) => {
+            assert_eq!(component, "hsm");
+            assert!(reason.contains("physical-bus"));
+        }
+        other => panic!("expected placement failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn attestation_flows_through_the_assembly() {
+    let app = AppManifest::new(
+        "attest",
+        vec![ComponentManifest::new("svc")
+            .image(b"svc v1")
+            .requires(&[AttackerModel::RemoteSoftware, AttackerModel::PhysicalBus])
+            .asset("svc-state", Sensitivity::Secret)],
+    );
+    let mut asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();
+    let evidence = asm.attest("svc", b"assembly-binding").unwrap();
+    assert_eq!(evidence.substrate, "sgx");
+    assert_eq!(evidence.measurement, asm.measurement("svc").unwrap());
+    assert!(evidence.verify_signature().is_ok());
+}
+
+#[test]
+fn stateful_components_survive_many_bridged_calls() {
+    let app = AppManifest::new(
+        "state",
+        vec![
+            ComponentManifest::new("driver").channel("count", "counter", 1),
+            ComponentManifest::new("counter").requires(&[
+                AttackerModel::RemoteSoftware,
+                AttackerModel::PhysicalBus,
+            ]),
+        ],
+    );
+    let mut asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();
+    for expected in 1u64..=20 {
+        let r = asm.call_channel("driver", "count", b"").unwrap();
+        assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), expected);
+    }
+}

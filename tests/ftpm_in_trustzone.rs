@@ -1,0 +1,103 @@
+//! Integration: the fTPM hosted in a TrustZone secure world — the
+//! Microsoft-Surface construction of §II-C, showing that "isolation
+//! technologies are partially interchangeable".
+
+use lateral::components::ftpm::{decode_quote, FTpm};
+use lateral::crypto::sign::VerifyingKey;
+use lateral::hw::machine::MachineBuilder;
+use lateral::substrate::cap::Badge;
+use lateral::substrate::substrate::{DomainSpec, Substrate};
+use lateral::substrate::testkit::Echo;
+use lateral::trustzone::TrustZone;
+
+fn surface() -> (TrustZone, lateral::substrate::cap::ChannelCap) {
+    let machine = MachineBuilder::new().name("surface").frames(128).build();
+    let mut tz = TrustZone::new(machine, "surface-tablet");
+    // The fTPM is a trusted component in the secure world…
+    let ftpm = tz
+        .spawn(
+            DomainSpec::named("ftpm").with_image(b"ftpm v1"),
+            Box::new(FTpm::new(b"surface-tablet")),
+        )
+        .unwrap();
+    // …serving the (single) normal-world Windows.
+    let windows = tz
+        .spawn_normal(DomainSpec::named("windows"), Box::new(Echo))
+        .unwrap();
+    let cap = tz.grant_channel(windows, ftpm, Badge(1)).unwrap();
+    (tz, cap)
+}
+
+#[test]
+fn windows_measures_boot_into_the_ftpm_and_quotes() {
+    let (mut tz, cap) = surface();
+    let windows = cap.owner;
+    // The boot chain extends PCR 0 through ordinary TPM commands — every
+    // call here is an SMC into the secure world.
+    tz.invoke(windows, &cap, b"extend:0,bootmgr").unwrap();
+    tz.invoke(windows, &cap, b"extend:0,winload").unwrap();
+    tz.invoke(windows, &cap, b"extend:0,ntoskrnl").unwrap();
+    let quote_bytes = tz.invoke(windows, &cap, b"quote:0,verifier-nonce").unwrap();
+    let quote = decode_quote(&quote_bytes).unwrap();
+    let aik_bytes = tz.invoke(windows, &cap, b"aik:").unwrap();
+    let aik = VerifyingKey::from_bytes(&aik_bytes.try_into().unwrap()).unwrap();
+    assert!(quote.verify(&aik, b"verifier-nonce").is_ok());
+}
+
+#[test]
+fn bitlocker_style_key_release() {
+    let (mut tz, cap) = surface();
+    let windows = cap.owner;
+    tz.invoke(windows, &cap, b"extend:7,correct windows").unwrap();
+    let blob = tz.invoke(windows, &cap, b"seal:7;volume master key").unwrap();
+    let mut req = b"unseal:7;".to_vec();
+    req.extend_from_slice(&blob);
+    assert_eq!(tz.invoke(windows, &cap, &req).unwrap(), b"volume master key");
+    // A tampered boot cannot release the key.
+    tz.invoke(windows, &cap, b"extend:7,evil maid").unwrap();
+    assert!(tz.invoke(windows, &cap, &req).is_err());
+}
+
+#[test]
+fn ftpm_state_is_out_of_normal_world_reach() {
+    // The compromised Windows cannot bypass the component interface: the
+    // fTPM's memory lives in secure frames.
+    let (mut tz, cap) = surface();
+    let windows = cap.owner;
+    tz.invoke(windows, &cap, b"extend:0,boot").unwrap();
+    // Find the fTPM's frames (domain 0 = first spawn) and probe them
+    // from the normal world.
+    let ftpm_domain = lateral::substrate::DomainId(0);
+    let frames = tz.domain_frames(ftpm_domain).unwrap();
+    let err = tz
+        .machine()
+        .bus_read(
+            lateral::hw::Initiator::cpu(lateral::hw::World::Normal),
+            frames[0].base(),
+            16,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("normal world"));
+}
+
+#[test]
+fn discrete_and_firmware_tpm_verifiers_are_identical() {
+    // Verify a quote from a *discrete* TPM and from the fTPM with the
+    // same code path — interchangeability in practice.
+    let mut discrete = lateral::tpm::Tpm::new(b"discrete chip");
+    discrete.extend(0, b"stage");
+    let q1 = discrete.quote(&[0], b"n");
+    assert!(q1.verify(&discrete.attestation_key(), b"n").is_ok());
+
+    let (mut tz, cap) = surface();
+    let windows = cap.owner;
+    tz.invoke(windows, &cap, b"extend:0,stage").unwrap();
+    let q2 = decode_quote(&tz.invoke(windows, &cap, b"quote:0,n").unwrap()).unwrap();
+    let aik_bytes = tz.invoke(windows, &cap, b"aik:").unwrap();
+    let aik = VerifyingKey::from_bytes(&aik_bytes.try_into().unwrap()).unwrap();
+    assert!(q2.verify(&aik, b"n").is_ok());
+    // Same measurement semantics: both PCRs committed to the same digest
+    // chain (values differ only through the device identity, not the
+    // algorithm).
+    assert_eq!(q1.selection, q2.selection);
+}

@@ -1,0 +1,110 @@
+//! Integration: the decomposed email client end to end, including the
+//! VPFS-backed mail store and the TLS component, under benign and
+//! hostile traffic.
+
+use lateral::apps::email::{HorizontalEmail, EXPLOIT_MARKER};
+use lateral::substrate::cap::Badge;
+use lateral::substrate::software::SoftwareSubstrate;
+use lateral::substrate::substrate::Substrate;
+
+fn pool() -> Vec<Box<dyn Substrate>> {
+    vec![Box::new(SoftwareSubstrate::new("fullstack"))]
+}
+
+#[test]
+fn benign_mail_workflow() {
+    let mut app = HorizontalEmail::build(pool()).unwrap();
+    // Store two mails (VPFS underneath), list, fetch back.
+    app.assembly
+        .call_component_badged("mail-store", Badge(0xE4F), b"put:user=env;mail one")
+        .unwrap();
+    app.assembly
+        .call_component_badged("mail-store", Badge(0xE4F), b"put:user=env;mail two")
+        .unwrap();
+    let count = app
+        .assembly
+        .call_component_badged("mail-store", Badge(0xE4F), b"list:user=env;")
+        .unwrap();
+    assert_eq!(count, b"2");
+    let first = app
+        .assembly
+        .call_component_badged("mail-store", Badge(0xE4F), b"get:user=env;0")
+        .unwrap();
+    assert_eq!(first, b"mail one");
+
+    // Address book and input method respond over their channels.
+    app.assembly
+        .call_component("address-book", b"add:bob=bob@example.org")
+        .unwrap();
+    assert_eq!(
+        app.assembly
+            .call_component("address-book", b"lookup:bob")
+            .unwrap(),
+        b"bob@example.org"
+    );
+    app.assembly
+        .call_component("input-method", b"learn:lateral")
+        .unwrap();
+    assert_eq!(
+        app.assembly
+            .call_component("input-method", b"suggest:lat")
+            .unwrap(),
+        b"lateral"
+    );
+
+    // Rendering a benign mail works.
+    let rendered = app
+        .assembly
+        .call_component("html-renderer", b"<p>benign <b>mail</b></p>")
+        .unwrap();
+    assert_eq!(rendered, b"text=benign mail;images=0;links=0");
+}
+
+#[test]
+fn renderer_compromise_cannot_touch_the_mail_store() {
+    let mut app = HorizontalEmail::build(pool()).unwrap();
+    app.assembly
+        .call_component_badged("mail-store", Badge(0xE4F), b"put:user=env;secret letter")
+        .unwrap();
+
+    // Exploit the renderer.
+    let evil = format!("<script>{EXPLOIT_MARKER}</script>");
+    app.deliver_hostile("html-renderer", evil.as_bytes()).unwrap();
+    let report = app.attack_report("html-renderer").unwrap();
+    assert!(report.active);
+    assert!(report.contained());
+
+    // The mail is exactly where it was, unreadable to the renderer.
+    let mail = app
+        .assembly
+        .call_component_badged("mail-store", Badge(0xE4F), b"get:user=env;0")
+        .unwrap();
+    assert_eq!(mail, b"secret letter");
+}
+
+#[test]
+fn every_subsystem_compromise_is_audited_and_contained() {
+    for subsystem in ["html-renderer", "imap-engine", "address-book", "input-method"] {
+        let mut app = HorizontalEmail::build(pool()).unwrap();
+        app.deliver_hostile(subsystem, EXPLOIT_MARKER.as_bytes())
+            .unwrap();
+        let report = app.attack_report(subsystem).unwrap();
+        assert!(report.active, "{subsystem} not exploited");
+        assert!(report.contained(), "{subsystem} escaped: {report:?}");
+    }
+}
+
+#[test]
+fn compromised_imap_can_lie_about_mail_but_not_steal_credentials() {
+    let mut app = HorizontalEmail::build(pool()).unwrap();
+    // Exploit the IMAP engine (server-side attacker).
+    app.deliver_hostile("imap-engine", EXPLOIT_MARKER.as_bytes())
+        .unwrap();
+    let report = app.attack_report("imap-engine").unwrap();
+    assert!(report.active);
+    // It holds exactly one channel (to tls) and could not escalate
+    // beyond it.
+    assert_eq!(report.granted_channels, 1);
+    assert_eq!(report.forged_succeeded, 0);
+    assert_eq!(report.oob_reads_succeeded, 0);
+}

@@ -1,0 +1,143 @@
+//! Model-based property tests: the storage stack vs. an in-memory model.
+//!
+//! Random sequences of create/overwrite/read/remove are applied both to
+//! the real implementation (legacy FS, and VPFS over it) and to a plain
+//! `BTreeMap` model; observable behavior must match exactly. This is the
+//! strongest correctness net we have over the §III-D storage stack.
+
+use lateral::vpfs::{FsError, LegacyFs, MemBlockDevice, Vpfs};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write(String, Vec<u8>),
+    Read(String),
+    Remove(String),
+    List,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let name = prop::sample::select(vec!["a", "b", "c", "d", "e"]);
+    let data = prop::collection::vec(any::<u8>(), 0..2048);
+    prop_oneof![
+        (name.clone(), data).prop_map(|(n, d)| Op::Write(n.to_string(), d)),
+        name.clone().prop_map(|n| Op::Read(n.to_string())),
+        name.prop_map(|n| Op::Remove(n.to_string())),
+        Just(Op::List),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn legacy_fs_matches_map_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut fs = LegacyFs::format(MemBlockDevice::new(512)).unwrap();
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Write(name, data) => {
+                    fs.write(&name, &data).unwrap();
+                    model.insert(name, data);
+                }
+                Op::Read(name) => match (fs.read(&name), model.get(&name)) {
+                    (Ok(real), Some(expected)) => prop_assert_eq!(&real, expected),
+                    (Err(FsError::NotFound(_)), None) => {}
+                    (real, expected) => {
+                        prop_assert!(false, "divergence on read {name}: {real:?} vs {expected:?}")
+                    }
+                },
+                Op::Remove(name) => match (fs.remove(&name), model.remove(&name)) {
+                    (Ok(()), Some(_)) => {}
+                    (Err(FsError::NotFound(_)), None) => {}
+                    (real, expected) => {
+                        prop_assert!(false, "divergence on remove {name}: {real:?} vs {expected:?}")
+                    }
+                },
+                Op::List => {
+                    let mut real = fs.list().unwrap();
+                    real.sort();
+                    let expected: Vec<String> = model.keys().cloned().collect();
+                    prop_assert_eq!(real, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vpfs_matches_map_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let legacy = LegacyFs::format(MemBlockDevice::new(1024)).unwrap();
+        let mut vpfs = Vpfs::format(legacy, &[7u8; 32]).unwrap();
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Write(name, data) => {
+                    vpfs.write(&name, &data).unwrap();
+                    model.insert(name, data);
+                }
+                Op::Read(name) => match (vpfs.read(&name), model.get(&name)) {
+                    (Ok(real), Some(expected)) => prop_assert_eq!(&real, expected),
+                    (Err(FsError::NotFound(_)), None) => {}
+                    (real, expected) => {
+                        prop_assert!(false, "divergence on read {name}: {real:?} vs {expected:?}")
+                    }
+                },
+                Op::Remove(name) => match (vpfs.remove(&name), model.remove(&name)) {
+                    (Ok(()), Some(_)) => {}
+                    (Err(FsError::NotFound(_)), None) => {}
+                    (real, expected) => {
+                        prop_assert!(false, "divergence on remove {name}: {real:?} vs {expected:?}")
+                    }
+                },
+                Op::List => {
+                    let real = vpfs.list();
+                    let expected: Vec<String> = model.keys().cloned().collect();
+                    prop_assert_eq!(real, expected);
+                }
+            }
+        }
+        // Epilogue: a remount with the fresh root sees the same state.
+        let root = vpfs.root();
+        let device = vpfs.legacy().device().clone();
+        let legacy = LegacyFs::mount(device).unwrap();
+        let mut remounted = Vpfs::mount(legacy, &[7u8; 32], Some(root)).unwrap();
+        for (name, data) in &model {
+            prop_assert_eq!(&remounted.read(name).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn vpfs_state_survives_arbitrary_remount_points(
+        ops in prop::collection::vec(op_strategy(), 1..20),
+        remount_every in 1usize..5,
+    ) {
+        let legacy = LegacyFs::format(MemBlockDevice::new(1024)).unwrap();
+        let mut vpfs = Vpfs::format(legacy, &[9u8; 32]).unwrap();
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            if i % remount_every == 0 && i > 0 {
+                let root = vpfs.root();
+                let device = vpfs.legacy().device().clone();
+                let legacy = LegacyFs::mount(device).unwrap();
+                vpfs = Vpfs::mount(legacy, &[9u8; 32], Some(root)).unwrap();
+            }
+            match op {
+                Op::Write(name, data) => {
+                    vpfs.write(&name, &data).unwrap();
+                    model.insert(name, data);
+                }
+                Op::Remove(name) => {
+                    let _ = vpfs.remove(&name);
+                    model.remove(&name);
+                }
+                Op::Read(name) => {
+                    if let Some(expected) = model.get(&name) {
+                        prop_assert_eq!(&vpfs.read(&name).unwrap(), expected);
+                    }
+                }
+                Op::List => {}
+            }
+        }
+    }
+}
