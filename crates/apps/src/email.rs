@@ -113,9 +113,7 @@ fn horizontal_factory(cm: &ComponentManifest) -> Option<Box<dyn Component>> {
     let c: Box<dyn Component> = match cm.name.as_str() {
         "mail-ui" => Box::new(lateral_substrate::testkit::Forwarder),
         "html-renderer" => Box::new(Subverted::with_default_marker(HtmlRenderer::new())),
-        "attachment-decoder" => {
-            Box::new(Subverted::with_default_marker(AttachmentDecoder::new()))
-        }
+        "attachment-decoder" => Box::new(Subverted::with_default_marker(AttachmentDecoder::new())),
         "imap-engine" => Box::new(Subverted::with_default_marker(ImapEngine::new())),
         "tls" => Box::new(Subverted::with_default_marker(
             lateral_components::tls::TlsComponent::new(
@@ -130,9 +128,9 @@ fn horizontal_factory(cm: &ComponentManifest) -> Option<Box<dyn Component>> {
             ClientIdSource::KernelBadge,
             &[(3, "user"), (0xE4F, "env")],
         ))),
-        "address-book" => Box::new(Subverted::with_default_marker(
-            AddressBook::with_contacts(&[("alice", "alice@example.org")]),
-        )),
+        "address-book" => Box::new(Subverted::with_default_marker(AddressBook::with_contacts(
+            &[("alice", "alice@example.org")],
+        ))),
         "input-method" => Box::new(Subverted::with_default_marker(InputMethod::with_words(&[
             "meeting", "hello",
         ]))),
@@ -293,7 +291,8 @@ mod tests {
     fn horizontal_renderer_compromise_is_contained() {
         let mut app = HorizontalEmail::build(pool()).unwrap();
         let evil = format!("<script>{EXPLOIT_MARKER}</script>");
-        app.deliver_hostile("html-renderer", evil.as_bytes()).unwrap();
+        app.deliver_hostile("html-renderer", evil.as_bytes())
+            .unwrap();
         let report = app.attack_report("html-renderer").unwrap();
         assert!(report.active, "renderer was exploited");
         assert!(report.contained(), "substrate contained it: {report:?}");

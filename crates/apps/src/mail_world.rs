@@ -275,16 +275,15 @@ impl MailWorld {
     /// contained and visible via the attack reports instead.
     pub fn fetch_inbox(&mut self) -> Result<Vec<RenderedMail>, CoreError> {
         let fetch_response = self.request("FETCH")?;
-        let parsed = self
-            .app
-            .assembly
-            .call_component("imap-engine", &[b"parse:".as_slice(), fetch_response.as_bytes()].concat())?;
+        let parsed = self.app.assembly.call_component(
+            "imap-engine",
+            &[b"parse:".as_slice(), fetch_response.as_bytes()].concat(),
+        )?;
         let parsed = String::from_utf8_lossy(&parsed).into_owned();
         let mut out = Vec::new();
         for line in parsed.lines().filter(|l| !l.trim().is_empty()) {
             let mut parts = line.splitn(3, '|');
-            let (Some(seq), Some(from), Some(subject)) =
-                (parts.next(), parts.next(), parts.next())
+            let (Some(seq), Some(from), Some(subject)) = (parts.next(), parts.next(), parts.next())
             else {
                 continue; // compromised engine output — skip, don't trust
             };

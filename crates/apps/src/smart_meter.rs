@@ -339,7 +339,10 @@ impl SmartMeterWorld {
     /// errors, not scenario outcomes).
     pub fn new(config: WorldConfig) -> SmartMeterWorld {
         // --- utility server ------------------------------------------------
-        let utility_machine = MachineBuilder::new().name("utility-server").frames(256).build();
+        let utility_machine = MachineBuilder::new()
+            .name("utility-server")
+            .frames(256)
+            .build();
         let mut utility = Sgx::new(utility_machine, "utility");
         let frontend_image = if config.manipulated_anonymizer {
             MANIPULATED_IMAGE
@@ -351,7 +354,10 @@ impl SmartMeterWorld {
         // (platform key filled in below once the meter side exists)
 
         // --- appliance -----------------------------------------------------
-        let kernel_machine = MachineBuilder::new().name("meter-appliance").frames(256).build();
+        let kernel_machine = MachineBuilder::new()
+            .name("meter-appliance")
+            .frames(256)
+            .build();
         let mut kernel = Microkernel::new(kernel_machine, "appliance");
         let (trustzone, meter_platform_key) = if config.fake_meter {
             (None, None)
@@ -366,7 +372,9 @@ impl SmartMeterWorld {
             meter_trust.trust_platform(k);
         }
         meter_trust.expect_measurement(
-            DomainSpec::named("meter-agent").with_image(METER_IMAGE).measurement(),
+            DomainSpec::named("meter-agent")
+                .with_image(METER_IMAGE)
+                .measurement(),
         );
         let utility_policy = ChannelPolicy::open().with_attestation(meter_trust);
 
@@ -584,8 +592,7 @@ impl SmartMeterWorld {
             return BillingOutcome::NoService("hello lost".into());
         };
         // 2. Utility: accept, produce ServerHello (+ SGX evidence).
-        let server_hello = match self.utility_call(&[b"accept:".as_slice(), &hello_wire].concat())
-        {
+        let server_hello = match self.utility_call(&[b"accept:".as_slice(), &hello_wire].concat()) {
             Ok(sh) => sh,
             Err(e) => return BillingOutcome::Refused(format!("utility: {e}")),
         };
@@ -612,11 +619,10 @@ impl SmartMeterWorld {
         let Some(record_wire) = self.ship_to_utility(&record) else {
             return BillingOutcome::NoService("reading lost".into());
         };
-        let ack_record =
-            match self.utility_call(&[b"process:".as_slice(), &record_wire].concat()) {
-                Ok(a) => a,
-                Err(e) => return BillingOutcome::Refused(format!("utility: {e}")),
-            };
+        let ack_record = match self.utility_call(&[b"process:".as_slice(), &record_wire].concat()) {
+            Ok(a) => a,
+            Err(e) => return BillingOutcome::Refused(format!("utility: {e}")),
+        };
         let Some(ack_wire) = self.ship_to_meter(&ack_record) else {
             return BillingOutcome::NoService("ack lost".into());
         };
@@ -660,8 +666,14 @@ impl SmartMeterWorld {
         self.kernel
             .invoke(env, &driver, b"focus:10")
             .expect("focus");
-        let indicator = self.kernel.invoke(env, &driver, b"indicator:").expect("indicator");
-        let screen = self.kernel.invoke(env, &driver, b"screen:").expect("screen");
+        let indicator = self
+            .kernel
+            .invoke(env, &driver, b"indicator:")
+            .expect("indicator");
+        let screen = self
+            .kernel
+            .invoke(env, &driver, b"screen:")
+            .expect("screen");
         (
             String::from_utf8_lossy(&indicator).into_owned(),
             String::from_utf8_lossy(&screen).into_owned(),
@@ -697,10 +709,7 @@ mod tests {
         }
         assert_eq!(world.retained_identified_records(), 0);
         // Subsequent rounds reuse… a new handshake each round also works.
-        assert!(matches!(
-            world.billing_round(),
-            BillingOutcome::Billed(_)
-        ));
+        assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
     }
 
     #[test]
@@ -711,7 +720,10 @@ mod tests {
         });
         match world.billing_round() {
             BillingOutcome::Refused(reason) => {
-                assert!(reason.contains("meter:"), "refusal came from the meter: {reason}");
+                assert!(
+                    reason.contains("meter:"),
+                    "refusal came from the meter: {reason}"
+                );
             }
             other => panic!("expected refusal, got {other:?}"),
         }

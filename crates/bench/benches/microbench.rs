@@ -1,0 +1,73 @@
+//! Self-contained microbenchmarks (`cargo bench -p lateral-bench`).
+//!
+//! A dependency-free harness: each case is warmed up, then timed over a
+//! fixed iteration count with `std::time::Instant`. Numbers are
+//! wall-clock ns/op on the simulator — useful for spotting regressions
+//! in the hot invoke path, not as absolute hardware costs (the logical
+//! crossing-cost model lives in E4).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lateral_crypto::Digest;
+use lateral_hw::machine::MachineBuilder;
+use lateral_microkernel::Microkernel;
+use lateral_sgx::Sgx;
+use lateral_substrate::software::SoftwareSubstrate;
+use lateral_substrate::substrate::{DomainSpec, Substrate};
+use lateral_substrate::testkit::Echo;
+
+const ITERS: u32 = 2_000;
+const WARMUP: u32 = 200;
+
+fn time<F: FnMut()>(name: &str, mut f: F) {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() / u128::from(ITERS);
+    println!("{name:<40} {ns:>10} ns/op");
+}
+
+fn invoke_pair(sub: &mut dyn Substrate) -> impl FnMut() + '_ {
+    let callee = sub
+        .spawn(DomainSpec::named("callee"), Box::new(Echo))
+        .expect("spawn callee");
+    let caller = sub
+        .spawn(DomainSpec::named("caller"), Box::new(Echo))
+        .expect("spawn caller");
+    let cap = sub.grant_channel(caller, callee, 7).expect("grant");
+    move || {
+        let reply = sub.invoke(caller, &cap, b"ping").expect("invoke");
+        black_box(reply);
+    }
+}
+
+fn main() {
+    println!("lateral microbench — {ITERS} iters per case\n");
+
+    let mut sw = SoftwareSubstrate::new("bench");
+    time("software invoke (4B echo)", invoke_pair(&mut sw));
+
+    let mut mk = Microkernel::new(
+        MachineBuilder::new().name("bench-mk").frames(256).build(),
+        "bench",
+    );
+    time("microkernel invoke (4B echo)", invoke_pair(&mut mk));
+
+    let mut sgx = Sgx::new(
+        MachineBuilder::new().name("bench-sgx").frames(256).build(),
+        "bench",
+    );
+    time("sgx invoke (4B echo)", invoke_pair(&mut sgx));
+
+    time("digest of 1 KiB", {
+        let buf = vec![0xa5u8; 1024];
+        move || {
+            black_box(Digest::of(&buf));
+        }
+    });
+}

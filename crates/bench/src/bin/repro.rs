@@ -24,16 +24,15 @@ fn main() -> ExitCode {
     // Experiments are independent and deterministic: run them in
     // parallel, print in order.
     let mut results: Vec<Option<Result<String, String>>> = ids.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for id in &ids {
-            handles.push(scope.spawn(move |_| lateral_bench::run(id)));
+            handles.push(scope.spawn(move || lateral_bench::run(id)));
         }
         for (slot, handle) in results.iter_mut().zip(handles) {
             *slot = Some(handle.join().expect("experiment thread panicked"));
         }
-    })
-    .expect("scope");
+    });
     for result in results.into_iter().flatten() {
         match result {
             Ok(report) => {

@@ -10,8 +10,8 @@
 //! common-template claim.
 
 use lateral_crypto::sign::SigningKey;
-use lateral_flicker::Flicker;
 use lateral_crypto::Digest;
+use lateral_flicker::Flicker;
 use lateral_hw::machine::MachineBuilder;
 use lateral_microkernel::Microkernel;
 use lateral_sep::Sep;
@@ -101,7 +101,12 @@ mod tests {
     #[test]
     fn every_substrate_conforms() {
         for rep in run() {
-            assert!(rep.conforms(), "{} does not conform: {:?}", rep.substrate, rep.checks);
+            assert!(
+                rep.conforms(),
+                "{} does not conform: {:?}",
+                rep.substrate,
+                rep.checks
+            );
         }
     }
 

@@ -17,10 +17,11 @@ use lateral_hw::machine::MachineBuilder;
 use lateral_microkernel::Microkernel;
 use lateral_sep::Sep;
 use lateral_sgx::Sgx;
-use lateral_substrate::cap::Badge;
+use lateral_substrate::cap::{Badge, ChannelCap};
 use lateral_substrate::software::SoftwareSubstrate;
 use lateral_substrate::substrate::{DomainSpec, Substrate};
 use lateral_substrate::testkit::Echo;
+use lateral_substrate::DomainId;
 use lateral_trustzone::TrustZone;
 
 use crate::table::render;
@@ -37,6 +38,50 @@ pub struct Mechanism {
     pub cycles: Vec<u64>,
 }
 
+/// One row of fabric counters for a measured mechanism: what the engine
+/// itself accounted while the ladder ran — crossing counts and bytes
+/// moved, per crossing kind.
+#[derive(Clone, Debug)]
+pub struct CrossingFacts {
+    /// Mechanism name (matches [`Mechanism::name`]).
+    pub mechanism: String,
+    /// Crossing kind name as the engine classified it.
+    pub crossing: String,
+    /// Invocations charged with this crossing kind.
+    pub count: u64,
+    /// Payload bytes moved across this crossing kind.
+    pub bytes: u64,
+}
+
+/// Reads the charged cost of the invocation from the fabric trace —
+/// the engine records what it charged, so E4 no longer differences the
+/// clock around the call.
+fn charged_cost(sub: &mut dyn Substrate, caller: DomainId, cap: &ChannelCap, size: usize) -> u64 {
+    let payload = vec![0xAAu8; size];
+    let t0 = sub.now();
+    sub.invoke(caller, cap, &payload).expect("invoke");
+    sub.fabric_ref()
+        .and_then(|f| f.trace().last().map(|ev| ev.cost))
+        .unwrap_or_else(|| sub.now() - t0)
+}
+
+/// Harvests the engine's crossing counters accumulated on `sub`.
+fn crossing_facts(sub: &dyn Substrate, mechanism: &str) -> Vec<CrossingFacts> {
+    let Some(fabric) = sub.fabric_ref() else {
+        return Vec::new();
+    };
+    fabric
+        .stats()
+        .crossings()
+        .map(|(kind, c)| CrossingFacts {
+            mechanism: mechanism.to_string(),
+            crossing: kind.name().to_string(),
+            count: c.count,
+            bytes: c.bytes,
+        })
+        .collect()
+}
+
 fn measure(sub: &mut dyn Substrate) -> Vec<u64> {
     // Caller and callee are both plain domains; substrates whose
     // interesting crossing involves a host/legacy side are measured by
@@ -50,19 +95,21 @@ fn measure(sub: &mut dyn Substrate) -> Vec<u64> {
     let cap = sub.grant_channel(caller, callee, Badge(0)).expect("grant");
     SIZES
         .iter()
-        .map(|size| {
-            let payload = vec![0xAAu8; *size];
-            let t0 = sub.now();
-            sub.invoke(caller, &cap, &payload).expect("invoke");
-            sub.now() - t0
-        })
+        .map(|size| charged_cost(sub, caller, &cap, *size))
         .collect()
 }
 
 /// Runs all mechanisms.
 pub fn run() -> Vec<Mechanism> {
+    run_with_facts().0
+}
+
+/// Runs all mechanisms and additionally returns the fabric counters each
+/// substrate's engine accumulated during the measurement.
+pub fn run_with_facts() -> (Vec<Mechanism>, Vec<CrossingFacts>) {
     let costs = CostModel::default();
     let mut out = Vec::new();
+    let mut facts = Vec::new();
 
     // Baseline: a plain function call inside one component.
     out.push(Mechanism {
@@ -75,6 +122,7 @@ pub fn run() -> Vec<Mechanism> {
         name: "software substrate dispatch".into(),
         cycles: measure(&mut sw),
     });
+    facts.extend(crossing_facts(&sw, "software substrate dispatch"));
 
     let mut mk = Microkernel::new(
         MachineBuilder::new().name("e4-mk").frames(256).build(),
@@ -85,6 +133,7 @@ pub fn run() -> Vec<Mechanism> {
         name: "microkernel sync IPC".into(),
         cycles: measure(&mut mk),
     });
+    facts.extend(crossing_facts(&mk, "microkernel sync IPC"));
 
     // TrustZone: legacy normal world calling into the secure world (SMC).
     let mut tz = TrustZone::new(
@@ -101,18 +150,14 @@ pub fn run() -> Vec<Mechanism> {
         let cap = tz.grant_channel(caller, callee, Badge(0)).expect("grant");
         let cycles = SIZES
             .iter()
-            .map(|size| {
-                let payload = vec![0u8; *size];
-                let t0 = tz.now();
-                tz.invoke(caller, &cap, &payload).expect("invoke");
-                tz.now() - t0
-            })
+            .map(|size| charged_cost(&mut tz, caller, &cap, *size))
             .collect();
         out.push(Mechanism {
             name: "TrustZone SMC (world switch)".into(),
             cycles,
         });
     }
+    facts.extend(crossing_facts(&tz, "TrustZone SMC (world switch)"));
 
     // SGX: host calling into an enclave (EENTER/EEXIT pair).
     let mut sgx = Sgx::new(
@@ -129,18 +174,14 @@ pub fn run() -> Vec<Mechanism> {
         let cap = sgx.grant_channel(caller, callee, Badge(0)).expect("grant");
         let cycles = SIZES
             .iter()
-            .map(|size| {
-                let payload = vec![0u8; *size];
-                let t0 = sgx.now();
-                sgx.invoke(caller, &cap, &payload).expect("invoke");
-                sgx.now() - t0
-            })
+            .map(|size| charged_cost(&mut sgx, caller, &cap, *size))
             .collect();
         out.push(Mechanism {
             name: "SGX enclave transition".into(),
             cycles,
         });
     }
+    facts.extend(crossing_facts(&sgx, "SGX enclave transition"));
 
     // SEP: application CPU calling the coprocessor (mailbox).
     let mut sep = Sep::new(
@@ -157,18 +198,14 @@ pub fn run() -> Vec<Mechanism> {
         let cap = sep.grant_channel(caller, callee, Badge(0)).expect("grant");
         let cycles = SIZES
             .iter()
-            .map(|size| {
-                let payload = vec![0u8; *size];
-                let t0 = sep.now();
-                sep.invoke(caller, &cap, &payload).expect("invoke");
-                sep.now() - t0
-            })
+            .map(|size| charged_cost(&mut sep, caller, &cap, *size))
             .collect();
         out.push(Mechanism {
             name: "SEP mailbox round trip".into(),
             cycles,
         });
     }
+    facts.extend(crossing_facts(&sep, "SEP mailbox round trip"));
 
     // Flicker: every call is a DRTM late-launch session.
     let mut flicker = Flicker::new("e4");
@@ -176,6 +213,7 @@ pub fn run() -> Vec<Mechanism> {
         name: "Flicker late launch per call".into(),
         cycles: measure(&mut flicker),
     });
+    facts.extend(crossing_facts(&flicker, "Flicker late launch per call"));
 
     // Network round trip (per the cost model: two packets + copies).
     out.push(Mechanism {
@@ -186,12 +224,12 @@ pub fn run() -> Vec<Mechanism> {
             .collect(),
     });
 
-    out
+    (out, facts)
 }
 
 /// Renders the report.
 pub fn report() -> String {
-    let mechanisms = run();
+    let (mechanisms, facts) = run_with_facts();
     let mut header = vec!["mechanism".to_string()];
     header.extend(SIZES.iter().map(|s| format!("{s} B")));
     let mut rows = vec![header];
@@ -200,10 +238,26 @@ pub fn report() -> String {
         r.extend(m.cycles.iter().map(|c| format!("{c}")));
         rows.push(r);
     }
+    let mut fact_rows = vec![vec![
+        "mechanism".to_string(),
+        "crossing".to_string(),
+        "crossings".to_string(),
+        "bytes moved".to_string(),
+    ]];
+    for f in &facts {
+        fact_rows.push(vec![
+            f.mechanism.clone(),
+            f.crossing.clone(),
+            f.count.to_string(),
+            f.bytes.to_string(),
+        ]);
+    }
     format!(
         "E4 — invocation cost ladder (logical cycles per request/reply)\n\n{}\n\
-         shape check: function < IPC < SMC ≈ enclave < mailbox < late-launch < network\n",
-        render(&rows)
+         shape check: function < IPC < SMC ≈ enclave < mailbox < late-launch < network\n\n\
+         fabric counters (engine-accounted crossings during the run)\n\n{}\n",
+        render(&rows),
+        render(&fact_rows)
     )
 }
 
@@ -231,7 +285,10 @@ mod tests {
         let net = cycles_at_16(&m, "cross-machine");
         assert!(func < ipc, "{func} < {ipc}");
         assert!(ipc < smc, "{ipc} < {smc}");
-        assert!(smc <= enclave + enclave / 2, "SMC ≈ enclave: {smc} vs {enclave}");
+        assert!(
+            smc <= enclave + enclave / 2,
+            "SMC ≈ enclave: {smc} vs {enclave}"
+        );
         assert!(enclave < mailbox, "{enclave} < {mailbox}");
         assert!(mailbox < drtm, "{mailbox} < {drtm}");
         assert!(drtm < net, "{drtm} < {net}");
@@ -243,17 +300,58 @@ mod tests {
             if m.name.contains("function") {
                 continue; // flat baseline
             }
-            assert!(
-                m.cycles[3] > m.cycles[0],
-                "{}: {:?}",
-                m.name,
-                m.cycles
-            );
+            assert!(m.cycles[3] > m.cycles[0], "{}: {:?}", m.name, m.cycles);
         }
     }
 
     #[test]
     fn report_renders() {
-        assert!(report().contains("16384 B"));
+        let r = report();
+        assert!(r.contains("16384 B"));
+        assert!(r.contains("fabric counters"));
+        assert!(r.contains("bytes moved"));
+    }
+
+    #[test]
+    fn fabric_counters_account_every_measured_byte() {
+        let (_, facts) = run_with_facts();
+        let total: u64 = SIZES.iter().map(|s| *s as u64).sum();
+        for mech in [
+            "software substrate dispatch",
+            "microkernel sync IPC",
+            "TrustZone SMC (world switch)",
+            "SGX enclave transition",
+            "SEP mailbox round trip",
+            "Flicker late launch per call",
+        ] {
+            let rows: Vec<_> = facts.iter().filter(|f| f.mechanism == mech).collect();
+            assert_eq!(
+                rows.iter().map(|f| f.count).sum::<u64>(),
+                SIZES.len() as u64,
+                "{mech}: one crossing per measured size"
+            );
+            assert_eq!(
+                rows.iter().map(|f| f.bytes).sum::<u64>(),
+                total,
+                "{mech}: engine accounted all payload bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_mechanisms_report_their_crossing_kind() {
+        let (_, facts) = run_with_facts();
+        let kind_of = |mech: &str| {
+            facts
+                .iter()
+                .filter(|f| f.mechanism == mech)
+                .max_by_key(|f| f.count)
+                .map(|f| f.crossing.clone())
+                .unwrap_or_else(|| panic!("no facts for {mech}"))
+        };
+        assert_eq!(kind_of("TrustZone SMC (world switch)"), "smc");
+        assert_eq!(kind_of("SGX enclave transition"), "enclave");
+        assert_eq!(kind_of("SEP mailbox round trip"), "mailbox");
+        assert_eq!(kind_of("Flicker late launch per call"), "late-launch");
     }
 }

@@ -49,10 +49,7 @@ pub fn run_io() -> Vec<IoPoint> {
             let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
             // Raw legacy.
             let mut raw_fs = LegacyFs::format(MemBlockDevice::new(512)).expect("format");
-            let base = (
-                raw_fs.device_ref().reads(),
-                raw_fs.device_ref().writes(),
-            );
+            let base = (raw_fs.device_ref().reads(), raw_fs.device_ref().writes());
             raw_fs.write("file", &data).expect("write");
             let _ = raw_fs.read("file").expect("read");
             let raw = (
@@ -72,11 +69,7 @@ pub fn run_io() -> Vec<IoPoint> {
                 vpfs.legacy().device_ref().reads() - base.0,
                 vpfs.legacy().device_ref().writes() - base.1,
             );
-            IoPoint {
-                size,
-                raw,
-                vpfs: v,
-            }
+            IoPoint { size, raw, vpfs: v }
         })
         .collect()
 }
@@ -92,7 +85,10 @@ pub fn run_tamper() -> Vec<TamperPoint> {
         let mut raw_fs = LegacyFs::format(MemBlockDevice::new(256)).expect("format");
         raw_fs.write("file", payload).expect("write");
         let blocks = raw_fs.file_blocks("file").expect("blocks");
-        raw_fs.device().corrupt(blocks[0], 3, 0xFF).expect("corrupt");
+        raw_fs
+            .device()
+            .corrupt(blocks[0], 3, 0xFF)
+            .expect("corrupt");
         // The raw stack happily returns (wrong) data: no detection.
         let raw_detected = raw_fs.read("file").is_err();
         // VPFS.
@@ -107,7 +103,10 @@ pub fn run_tamper() -> Vec<TamperPoint> {
             .find(|n| n.starts_with("obj_"))
             .expect("object file");
         let blocks = vpfs.legacy().file_blocks(&obj).expect("blocks");
-        vpfs.legacy().device().corrupt(blocks[0], 3, 0xFF).expect("corrupt");
+        vpfs.legacy()
+            .device()
+            .corrupt(blocks[0], 3, 0xFF)
+            .expect("corrupt");
         let vpfs_detected = matches!(vpfs.read("file"), Err(FsError::IntegrityViolation(_)));
         out.push(TamperPoint {
             attack: "data bit-flip",
@@ -203,8 +202,16 @@ pub fn report() -> String {
     for t in &tampers {
         trows.push(row![
             t.attack,
-            if t.raw_detected { "detected" } else { "UNDETECTED" },
-            if t.vpfs_detected { "detected" } else { "UNDETECTED" }
+            if t.raw_detected {
+                "detected"
+            } else {
+                "UNDETECTED"
+            },
+            if t.vpfs_detected {
+                "detected"
+            } else {
+                "UNDETECTED"
+            }
         ]);
     }
     let vpfs_rate = tampers.iter().filter(|t| t.vpfs_detected).count();
@@ -246,7 +253,10 @@ mod tests {
     #[test]
     fn raw_misses_silent_attacks() {
         let tampers = run_tamper();
-        let bitflip = tampers.iter().find(|t| t.attack == "data bit-flip").unwrap();
+        let bitflip = tampers
+            .iter()
+            .find(|t| t.attack == "data bit-flip")
+            .unwrap();
         assert!(!bitflip.raw_detected, "raw fs should not detect bit flips");
         let rollback = tampers
             .iter()

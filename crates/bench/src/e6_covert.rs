@@ -86,11 +86,7 @@ pub fn transmit(policy: SchedPolicy, name: &'static str) -> ChannelTrial {
     }
     let cycles = kernel.machine_ref().clock.now() - t0;
 
-    let correct = message
-        .iter()
-        .zip(&decoded)
-        .filter(|(a, b)| a == b)
-        .count();
+    let correct = message.iter().zip(&decoded).filter(|(a, b)| a == b).count();
     // Estimate capacity from the error rate of a binary symmetric channel.
     // A decoder that outputs a *constant* (all misses under flushing)
     // matches ~half the random bits but carries zero information; detect
@@ -144,11 +140,7 @@ pub fn transmit_sgx_colocated() -> ChannelTrial {
         decoded.push(!probe.hit);
     }
     let cycles = sgx.machine_ref().clock.now() - t0;
-    let correct = message
-        .iter()
-        .zip(&decoded)
-        .filter(|(a, b)| a == b)
-        .count();
+    let correct = message.iter().zip(&decoded).filter(|(a, b)| a == b).count();
     let ones = decoded.iter().filter(|b| **b).count();
     let constant_output = ones == 0 || ones == decoded.len();
     let p_err = 1.0 - correct as f64 / message.len() as f64;

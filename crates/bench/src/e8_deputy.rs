@@ -61,7 +61,11 @@ fn trial(mode: ClientIdSource, name: &'static str) -> DeputyTrial {
     let mut thefts = 0;
     for _ in 0..SESSIONS {
         // Mallory varies her lie a little each session.
-        let claimed = if rng.gen_bool(9, 10) { "alice" } else { "alice " };
+        let claimed = if rng.gen_bool(9, 10) {
+            "alice"
+        } else {
+            "alice "
+        };
         let req = format!("get:user={claimed};0");
         if let Ok(data) = sub.invoke(mallory, &mallory_cap, req.as_bytes()) {
             if data == b"the private letter" {
@@ -90,7 +94,9 @@ pub fn colliding_manifest() -> AppManifest {
         "deputy-demo",
         vec![
             ComponentManifest::new("alice-ui").channel("mail", "mail-store", 7),
-            ComponentManifest::new("mallory-app").legacy().channel("mail", "mail-store", 7),
+            ComponentManifest::new("mallory-app")
+                .legacy()
+                .channel("mail", "mail-store", 7),
             ComponentManifest::new("mail-store").asset("mailboxes", Sensitivity::Personal),
         ],
     )

@@ -93,7 +93,9 @@ fn peer_exploit(sub: &mut dyn Substrate) -> Verdict {
     let driver = sub
         .spawn(DomainSpec::named("driver"), Box::new(Echo))
         .expect("spawn");
-    let cap = sub.grant_channel(driver, attacker, Badge(0)).expect("grant");
+    let cap = sub
+        .grant_channel(driver, attacker, Badge(0))
+        .expect("grant");
     sub.invoke(driver, &cap, b"GO").expect("exploit");
     let report = AttackReport::decode(&sub.invoke(driver, &cap, REPORT_QUERY).expect("report"))
         .expect("decode");
@@ -145,7 +147,11 @@ pub fn microkernel_row() -> MatrixRow {
     };
 
     // Physical probe.
-    let read = probe_read_verdict(mk.machine().bus_read(Initiator::Probe, frame.base(), SECRET.len()));
+    let read = probe_read_verdict(mk.machine().bus_read(
+        Initiator::Probe,
+        frame.base(),
+        SECRET.len(),
+    ));
     mk.machine()
         .bus_write(Initiator::Probe, frame.base(), b"corrupted!")
         .expect("probe write");
@@ -179,19 +185,24 @@ pub fn trustzone_row() -> MatrixRow {
     tz.mem_write(victim, 0, SECRET).expect("write");
     let frame = tz.domain_frames(victim).expect("frames")[0];
 
-    let os_read = match tz
-        .machine()
-        .bus_read(Initiator::cpu(World::Normal), frame.base(), SECRET.len())
-    {
-        Err(_) => Verdict::Blocked,
-        Ok(_) => Verdict::Vulnerable,
-    };
+    let os_read =
+        match tz
+            .machine()
+            .bus_read(Initiator::cpu(World::Normal), frame.base(), SECRET.len())
+        {
+            Err(_) => Verdict::Blocked,
+            Ok(_) => Verdict::Vulnerable,
+        };
     let dev = tz.machine().register_device(DeviceKind::Nic, "rogue");
     let dma = match tz.machine().dma_write(dev, frame.base(), b"overwrite") {
         Err(_) => Verdict::Blocked,
         Ok(()) => Verdict::Vulnerable,
     };
-    let read = probe_read_verdict(tz.machine().bus_read(Initiator::Probe, frame.base(), SECRET.len()));
+    let read = probe_read_verdict(tz.machine().bus_read(
+        Initiator::Probe,
+        frame.base(),
+        SECRET.len(),
+    ));
     tz.machine()
         .bus_write(Initiator::Probe, frame.base(), b"corrupted!")
         .expect("probe write");
@@ -241,7 +252,11 @@ pub fn sgx_row() -> MatrixRow {
         Err(_) => Verdict::Blocked,
         Ok(()) => Verdict::Vulnerable,
     };
-    let read = probe_read_verdict(sgx.machine().bus_read(Initiator::Probe, frame.base(), SECRET.len()));
+    let read = probe_read_verdict(sgx.machine().bus_read(
+        Initiator::Probe,
+        frame.base(),
+        SECRET.len(),
+    ));
     sgx.machine()
         .bus_write(Initiator::Probe, frame.base(), b"corrupted!")
         .expect("probe write");
@@ -255,7 +270,11 @@ pub fn sgx_row() -> MatrixRow {
     // measurement; a verifier expecting the genuine build rejects it.
     let mut policy = TrustPolicy::new();
     policy.trust_platform(sgx.platform_verifying_key().expect("qk"));
-    policy.expect_measurement(DomainSpec::named("svc").with_image(b"genuine").measurement());
+    policy.expect_measurement(
+        DomainSpec::named("svc")
+            .with_image(b"genuine")
+            .measurement(),
+    );
     let tampered = sgx
         .spawn(
             DomainSpec::named("svc").with_image(b"trojaned"),
@@ -288,19 +307,24 @@ pub fn sep_row() -> MatrixRow {
     sep.mem_write(victim, 0, SECRET).expect("write");
     let frame = sep.domain_frames(victim).expect("frames")[0];
 
-    let os_read = match sep
-        .machine()
-        .bus_read(Initiator::cpu(World::Normal), frame.base(), SECRET.len())
-    {
-        Err(_) => Verdict::Blocked,
-        Ok(_) => Verdict::Vulnerable,
-    };
+    let os_read =
+        match sep
+            .machine()
+            .bus_read(Initiator::cpu(World::Normal), frame.base(), SECRET.len())
+        {
+            Err(_) => Verdict::Blocked,
+            Ok(_) => Verdict::Vulnerable,
+        };
     let dev = sep.machine().register_device(DeviceKind::Nic, "rogue");
     let dma = match sep.machine().dma_write(dev, frame.base(), b"overwrite") {
         Err(_) => Verdict::Blocked,
         Ok(()) => Verdict::Vulnerable,
     };
-    let read = probe_read_verdict(sep.machine().bus_read(Initiator::Probe, frame.base(), SECRET.len()));
+    let read = probe_read_verdict(sep.machine().bus_read(
+        Initiator::Probe,
+        frame.base(),
+        SECRET.len(),
+    ));
     sep.machine()
         .bus_write(Initiator::Probe, frame.base(), b"corrupted!")
         .expect("probe write");
@@ -337,7 +361,7 @@ pub fn software_row() -> MatrixRow {
         substrate: "software",
         verdicts: vec![
             peer,
-            Verdict::Blocked,    // other-domain reads are unrepresentable (type system)
+            Verdict::Blocked, // other-domain reads are unrepresentable (type system)
             Verdict::Vulnerable, // no IOMMU defense
             Verdict::Vulnerable, // no memory encryption
             Verdict::Vulnerable, // no integrity protection

@@ -35,9 +35,7 @@ pub mod e9_matrix;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 9] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-];
+pub const EXPERIMENTS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
 
 /// Runs one experiment by id, returning its printed report.
 ///

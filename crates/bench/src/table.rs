@@ -47,11 +47,7 @@ mod tests {
 
     #[test]
     fn renders_aligned() {
-        let t = render(&[
-            row!["name", "value"],
-            row!["alpha", 1],
-            row!["b", 22222],
-        ]);
+        let t = render(&[row!["name", "value"], row!["alpha", 1], row!["b", 22222]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("name"));

@@ -96,7 +96,10 @@ mod tests {
         let book = s
             .spawn(
                 DomainSpec::named("address-book"),
-                Box::new(AddressBook::with_contacts(&[("alice", "alice@example.org")])),
+                Box::new(AddressBook::with_contacts(&[(
+                    "alice",
+                    "alice@example.org",
+                )])),
             )
             .unwrap();
         let ui = s.spawn(DomainSpec::named("ui"), Box::new(Echo)).unwrap();

@@ -146,11 +146,11 @@ mod tests {
     use lateral_substrate::substrate::{DomainSpec, Substrate};
     use lateral_substrate::testkit::Echo;
 
-    fn drive(component: Box<dyn Component>) -> (SoftwareSubstrate, lateral_substrate::cap::ChannelCap) {
+    fn drive(
+        component: Box<dyn Component>,
+    ) -> (SoftwareSubstrate, lateral_substrate::cap::ChannelCap) {
         let mut s = SoftwareSubstrate::new("anon");
-        let anon = s
-            .spawn(DomainSpec::named("anonymizer"), component)
-            .unwrap();
+        let anon = s.spawn(DomainSpec::named("anonymizer"), component).unwrap();
         let meter = s.spawn(DomainSpec::named("meter"), Box::new(Echo)).unwrap();
         let cap = s.grant_channel(meter, anon, Badge(1)).unwrap();
         (s, cap)

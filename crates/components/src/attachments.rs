@@ -160,12 +160,18 @@ mod tests {
         use lateral_substrate::testkit::Echo;
         let mut s = SoftwareSubstrate::new("attach");
         let dec = s
-            .spawn(DomainSpec::named("decoder"), Box::new(AttachmentDecoder::new()))
+            .spawn(
+                DomainSpec::named("decoder"),
+                Box::new(AttachmentDecoder::new()),
+            )
             .unwrap();
         let ui = s.spawn(DomainSpec::named("ui"), Box::new(Echo)).unwrap();
         let cap = s.grant_channel(ui, dec, Badge(1)).unwrap();
         let benign = encode_image(2, 2, "cat.png", 7);
-        assert!(s.invoke(ui, &cap, &benign).unwrap().starts_with(b"image 2x2"));
+        assert!(s
+            .invoke(ui, &cap, &benign)
+            .unwrap()
+            .starts_with(b"image 2x2"));
         let evil = encode_image(2, 2, ATTACHMENT_EXPLOIT, 7);
         s.invoke(ui, &cap, &evil).unwrap();
         // Subsequent output is attacker-controlled.

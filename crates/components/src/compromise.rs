@@ -69,8 +69,8 @@ impl AttackReport {
     ///
     /// Returns a [`ComponentError`] on malformed input.
     pub fn decode(bytes: &[u8]) -> Result<AttackReport, ComponentError> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|_| ComponentError::new("report not UTF-8"))?;
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| ComponentError::new("report not UTF-8"))?;
         let mut report = AttackReport::default();
         for part in text.split(';') {
             let (key, value) = part
@@ -93,12 +93,14 @@ impl AttackReport {
                     report.oob_reads_attempted = a;
                 }
                 "granted" => {
-                    report.granted_channels =
-                        value.parse().map_err(|_| ComponentError::new("bad number"))?
+                    report.granted_channels = value
+                        .parse()
+                        .map_err(|_| ComponentError::new("bad number"))?
                 }
                 "exfil" => {
-                    report.exfil_successes =
-                        value.parse().map_err(|_| ComponentError::new("bad number"))?
+                    report.exfil_successes = value
+                        .parse()
+                        .map_err(|_| ComponentError::new("bad number"))?
                 }
                 "forged" => {
                     let (s, a) = parse_pair(value)?;
@@ -287,11 +289,12 @@ mod tests {
                 Box::new(Subverted::new(Echo, b"MARKER")),
             )
             .unwrap();
-        let driver = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = s.grant_channel(driver, victim, Badge(0)).unwrap();
         assert_eq!(s.invoke(driver, &cap, b"benign").unwrap(), b"benign");
-        let report =
-            AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
+        let report = AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
         assert!(!report.active);
     }
 
@@ -307,11 +310,13 @@ mod tests {
         // Give the victim one legitimate outbound channel.
         let sink = s.spawn(DomainSpec::named("sink"), Box::new(Echo)).unwrap();
         s.grant_channel(victim, sink, Badge(7)).unwrap();
-        let driver = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = s.grant_channel(driver, victim, Badge(0)).unwrap();
-        s.invoke(driver, &cap, b"payload with MARKER inside").unwrap();
-        let report =
-            AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
+        s.invoke(driver, &cap, b"payload with MARKER inside")
+            .unwrap();
+        let report = AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
         assert!(report.active);
         assert_eq!(report.oob_reads_succeeded, 0, "memory isolation held");
         assert_eq!(report.forged_succeeded, 0, "capability forgery failed");
@@ -330,11 +335,12 @@ mod tests {
                 Box::new(Subverted::new(Echo, b"MARKER")),
             )
             .unwrap();
-        let driver = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = s.grant_channel(driver, victim, Badge(0)).unwrap();
         s.invoke(driver, &cap, b"MARKER").unwrap();
-        let report =
-            AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
+        let report = AttackReport::decode(&s.invoke(driver, &cap, REPORT_QUERY).unwrap()).unwrap();
         assert_eq!(report.granted_channels, 0);
         assert_eq!(report.exfil_successes, 0);
         assert!(report.contained());

@@ -19,7 +19,11 @@ use crate::split_cmd;
 /// Serializes a quote for the wire.
 pub fn encode_quote(q: &Quote) -> Vec<u8> {
     let mut out = Vec::new();
-    let sel: Vec<u8> = q.selection.iter().flat_map(|i| (*i as u32).to_le_bytes()).collect();
+    let sel: Vec<u8> = q
+        .selection
+        .iter()
+        .flat_map(|i| (*i as u32).to_le_bytes())
+        .collect();
     put_field(&mut out, &sel);
     put_field(&mut out, q.composite.as_bytes());
     put_field(&mut out, &q.nonce);
@@ -94,10 +98,7 @@ impl FTpm {
         }
     }
 
-    fn parse_pcr_prefix(
-        payload: &[u8],
-        sep: u8,
-    ) -> Result<(usize, &[u8]), ComponentError> {
+    fn parse_pcr_prefix(payload: &[u8], sep: u8) -> Result<(usize, &[u8]), ComponentError> {
         let pos = payload
             .iter()
             .position(|b| *b == sep)

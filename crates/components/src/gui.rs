@@ -209,9 +209,15 @@ mod tests {
         let gui = sub
             .spawn(DomainSpec::named("gui"), Box::new(SecureGui::new()))
             .unwrap();
-        let driver = sub.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
-        let bank = sub.spawn(DomainSpec::named("bank"), Box::new(Echo)).unwrap();
-        let phish = sub.spawn(DomainSpec::named("phish"), Box::new(Echo)).unwrap();
+        let driver = sub
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
+        let bank = sub
+            .spawn(DomainSpec::named("bank"), Box::new(Echo))
+            .unwrap();
+        let phish = sub
+            .spawn(DomainSpec::named("phish"), Box::new(Echo))
+            .unwrap();
         let driver_cap = sub.grant_channel(driver, gui, DRIVER_BADGE).unwrap();
         let bank_cap = sub.grant_channel(bank, gui, Badge(10)).unwrap();
         let phish_cap = sub.grant_channel(phish, gui, Badge(20)).unwrap();
@@ -222,10 +228,18 @@ mod tests {
             phish_cap,
         };
         s.sub
-            .invoke(driver, &s.driver_cap, b"register:10=Bank of Examples=trusted")
+            .invoke(
+                driver,
+                &s.driver_cap,
+                b"register:10=Bank of Examples=trusted",
+            )
             .unwrap();
         s.sub
-            .invoke(driver, &s.driver_cap, b"register:20=Downloaded Game=untrusted")
+            .invoke(
+                driver,
+                &s.driver_cap,
+                b"register:20=Downloaded Game=untrusted",
+            )
             .unwrap();
         s
     }

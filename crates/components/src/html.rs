@@ -114,16 +114,15 @@ impl Component for HtmlRenderer {
         _ctx: &mut dyn DomainContext,
         inv: Invocation<'_>,
     ) -> Result<Vec<u8>, ComponentError> {
-        let html = std::str::from_utf8(inv.data)
-            .map_err(|_| ComponentError::new("document not UTF-8"))?;
+        let html =
+            std::str::from_utf8(inv.data).map_err(|_| ComponentError::new("document not UTF-8"))?;
         if self.compromised {
             return Ok(b"<attacker controlled output>".to_vec());
         }
         match parse_html(html) {
             Ok(r) => {
                 self.rendered_count += 1;
-                Ok(format!("text={};images={};links={}", r.text, r.images, r.links)
-                    .into_bytes())
+                Ok(format!("text={};images={};links={}", r.text, r.images, r.links).into_bytes())
             }
             Err(e) if e.0.contains("exploit") => {
                 self.compromised = true;

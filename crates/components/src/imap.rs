@@ -155,8 +155,10 @@ mod tests {
 
     #[test]
     fn exploit_marker_detected() {
-        let err = parse_fetch(&format!("* 1 FETCH (FROM \"{IMAP_EXPLOIT}\" SUBJECT \"x\")"))
-            .unwrap_err();
+        let err = parse_fetch(&format!(
+            "* 1 FETCH (FROM \"{IMAP_EXPLOIT}\" SUBJECT \"x\")"
+        ))
+        .unwrap_err();
         assert!(err.0.contains("exploit"));
     }
 

@@ -76,9 +76,7 @@ impl Component for LegacyOs {
                     .split_once(':')
                     .ok_or_else(|| ComponentError::new("expected subsystem:input"))?;
                 if !self.subsystems.iter().any(|s| s == subsystem) {
-                    return Err(ComponentError::new(format!(
-                        "no subsystem '{subsystem}'"
-                    )));
+                    return Err(ComponentError::new(format!("no subsystem '{subsystem}'")));
                 }
                 // No isolation between subsystems: a bug anywhere owns
                 // the whole address space.

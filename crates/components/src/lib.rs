@@ -49,8 +49,8 @@
 #![warn(missing_docs)]
 
 pub mod addressbook;
-pub mod attachments;
 pub mod anonymizer;
+pub mod attachments;
 pub mod compromise;
 pub mod ftpm;
 pub mod gateway;

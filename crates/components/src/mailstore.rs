@@ -69,19 +69,12 @@ impl MailStore {
         MailStore {
             id_source,
             vpfs,
-            badge_directory: badges
-                .iter()
-                .map(|(b, n)| (*b, n.to_string()))
-                .collect(),
+            badge_directory: badges.iter().map(|(b, n)| (*b, n.to_string())).collect(),
             counts: BTreeMap::new(),
         }
     }
 
-    fn mailbox_for(
-        &self,
-        badge: u64,
-        claimed_user: &str,
-    ) -> Result<String, ComponentError> {
+    fn mailbox_for(&self, badge: u64, claimed_user: &str) -> Result<String, ComponentError> {
         match self.id_source {
             ClientIdSource::KernelBadge => self
                 .badge_directory
@@ -130,9 +123,7 @@ impl Component for MailStore {
                 Ok(n.to_string().into_bytes())
             }
             "get" => {
-                let index: u64 = body
-                    .parse()
-                    .map_err(|_| ComponentError::new("bad index"))?;
+                let index: u64 = body.parse().map_err(|_| ComponentError::new("bad index"))?;
                 self.vpfs
                     .read(&format!("{mailbox}/{index}"))
                     .map_err(|e| ComponentError::new(format!("fetch: {e}")))
@@ -176,8 +167,10 @@ mod tests {
     #[test]
     fn basic_put_list_get() {
         let (mut s, a, _) = setup(ClientIdSource::KernelBadge);
-        s.invoke(a.owner, &a, b"put:user=alice;Hello Alice").unwrap();
-        s.invoke(a.owner, &a, b"put:user=alice;Second mail").unwrap();
+        s.invoke(a.owner, &a, b"put:user=alice;Hello Alice")
+            .unwrap();
+        s.invoke(a.owner, &a, b"put:user=alice;Second mail")
+            .unwrap();
         assert_eq!(s.invoke(a.owner, &a, b"list:user=alice;").unwrap(), b"2");
         assert_eq!(
             s.invoke(a.owner, &a, b"get:user=alice;0").unwrap(),
@@ -188,7 +181,8 @@ mod tests {
     #[test]
     fn badge_mode_defeats_identity_lie() {
         let (mut s, a, m) = setup(ClientIdSource::KernelBadge);
-        s.invoke(a.owner, &a, b"put:user=alice;private mail").unwrap();
+        s.invoke(a.owner, &a, b"put:user=alice;private mail")
+            .unwrap();
         // Mallory claims to be alice in the message — the badge says
         // otherwise, so she only reads her own (empty) mailbox.
         let r = s.invoke(m.owner, &m, b"get:user=alice;0");
@@ -199,7 +193,8 @@ mod tests {
     #[test]
     fn message_field_mode_is_a_confused_deputy() {
         let (mut s, a, m) = setup(ClientIdSource::MessageField);
-        s.invoke(a.owner, &a, b"put:user=alice;private mail").unwrap();
+        s.invoke(a.owner, &a, b"put:user=alice;private mail")
+            .unwrap();
         // The vulnerable mode believes the claimed identity.
         assert_eq!(
             s.invoke(m.owner, &m, b"get:user=alice;0").unwrap(),

@@ -223,8 +223,7 @@ impl Component for TlsComponent {
                     .peer
                     .as_ref()
                     .ok_or_else(|| ComponentError::new("no peer yet"))?;
-                let mut out: String =
-                    peer.key.iter().map(|b| format!("{b:02x}")).collect();
+                let mut out: String = peer.key.iter().map(|b| format!("{b:02x}")).collect();
                 if let Some(att) = &peer.attested {
                     out.push_str(";attested=");
                     out.push_str(&att.measurement.to_hex());
@@ -281,7 +280,9 @@ mod tests {
                 )),
             )
             .unwrap();
-        let driver = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let c_cap = s.grant_channel(driver, client, Badge(1)).unwrap();
         let s_cap = s.grant_channel(driver, server, Badge(2)).unwrap();
 
@@ -354,7 +355,9 @@ mod tests {
                 )),
             )
             .unwrap();
-        let driver = sub.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = sub
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let c_cap = sub.grant_channel(driver, client, Badge(1)).unwrap();
         let s_cap = sub.grant_channel(driver, server, Badge(2)).unwrap();
         let hello = sub.invoke(driver, &c_cap, b"hello:").unwrap();
@@ -381,7 +384,9 @@ mod tests {
                 )),
             )
             .unwrap();
-        let driver = sub.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = sub
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = sub.grant_channel(driver, client, Badge(1)).unwrap();
         assert!(sub.invoke(driver, &cap, b"send:data").is_err());
         assert!(sub.invoke(driver, &cap, b"login:").is_err());

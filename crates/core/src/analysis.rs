@@ -108,7 +108,11 @@ pub fn asset_exposure(app: &AppManifest, asset: &str) -> Option<BTreeSet<String>
     let exposure: BTreeSet<String> = app
         .components
         .iter()
-        .filter(|c| blast_radius(app, &c.name).reachable_components.contains(&holder))
+        .filter(|c| {
+            blast_radius(app, &c.name)
+                .reachable_components
+                .contains(&holder)
+        })
         .map(|c| c.name.clone())
         .collect();
     Some(exposure)
@@ -369,8 +373,7 @@ mod tests {
                     .channel("store", "store", 2)
                     .channel("net", "tls", 3),
                 ComponentManifest::new("renderer").loc(30_000),
-                ComponentManifest::new("store")
-                    .asset("mail-archive", Sensitivity::Personal),
+                ComponentManifest::new("store").asset("mail-archive", Sensitivity::Personal),
                 ComponentManifest::new("tls").asset("tls-keys", Sensitivity::Secret),
             ],
         )
@@ -478,7 +481,9 @@ mod tests {
             "d",
             vec![
                 ComponentManifest::new("trusted-ui").channel("s", "store", 1),
-                ComponentManifest::new("android").legacy().channel("s", "store", 2),
+                ComponentManifest::new("android")
+                    .legacy()
+                    .channel("s", "store", 2),
                 ComponentManifest::new("store").asset("db", Sensitivity::Personal),
             ],
         );
@@ -505,7 +510,9 @@ mod tests {
         let appliance = AppManifest::new(
             "appliance",
             vec![
-                ComponentManifest::new("android").legacy().channel("net", "gateway", 1),
+                ComponentManifest::new("android")
+                    .legacy()
+                    .channel("net", "gateway", 1),
                 ComponentManifest::new("gateway"),
                 ComponentManifest::new("meter-agent"),
             ],
@@ -518,15 +525,16 @@ mod tests {
                 ComponentManifest::new("db").asset("billing-db", Sensitivity::Personal),
             ],
         );
-        let links = [RemoteLink::new("appliance", "meter-agent", "utility", "frontend")];
-
-        // The meter agent reaches the utility frontend and its db.
-        let r = distributed_blast_radius(
-            &[&appliance, &utility],
-            &links,
+        let links = [RemoteLink::new(
             "appliance",
             "meter-agent",
-        );
+            "utility",
+            "frontend",
+        )];
+
+        // The meter agent reaches the utility frontend and its db.
+        let r =
+            distributed_blast_radius(&[&appliance, &utility], &links, "appliance", "meter-agent");
         assert!(r.contains("utility/frontend"));
         assert!(r.contains("utility/db"));
 

@@ -42,6 +42,25 @@ where
     }
 }
 
+/// One substrate's aggregated fabric counters, as seen by the composer.
+///
+/// Every backend now routes lifecycle and invocation through the shared
+/// `substrate::fabric` engine, so the assembly can report uniform
+/// observability regardless of which mechanisms back the pool.
+#[derive(Clone, Debug)]
+pub struct TrafficRow {
+    /// Substrate profile name (e.g. `"microkernel"`).
+    pub substrate: String,
+    /// Invocations the engine dispatched on this substrate.
+    pub invocations: u64,
+    /// Payload + reply bytes moved across domain boundaries.
+    pub bytes: u64,
+    /// Invocations refused at the capability check.
+    pub denials: u64,
+    /// Synchronous re-entries refused by the engine.
+    pub reentrancy_faults: u64,
+}
+
 /// One placed component.
 #[derive(Clone, Copy, Debug)]
 pub struct Placement {
@@ -142,11 +161,13 @@ pub fn compose(
             .collect();
         candidates.sort_by_key(|(_, tcb)| *tcb);
         let (idx, _) = candidates.first().copied().ok_or_else(|| {
-            let required: Vec<String> =
-                cm.required_defense.iter().map(|m| m.to_string()).collect();
+            let required: Vec<String> = cm.required_defense.iter().map(|m| m.to_string()).collect();
             CoreError::NoSuitableSubstrate {
                 component: cm.name.clone(),
-                reason: format!("no pool substrate defends against [{}]", required.join(", ")),
+                reason: format!(
+                    "no pool substrate defends against [{}]",
+                    required.join(", ")
+                ),
             }
         })?;
         let component = factory.build(cm).ok_or_else(|| {
@@ -309,12 +330,10 @@ impl Assembly {
         let key = (name.to_string(), badge.0);
         if !self.env_caps.contains_key(&key) {
             let env = self.env_domain(placement.substrate)?;
-            let cap = self.substrates[placement.substrate].grant_channel(
-                env,
-                placement.domain,
-                badge,
-            )?;
-            self.env_caps.insert(key.clone(), (placement.substrate, cap));
+            let cap =
+                self.substrates[placement.substrate].grant_channel(env, placement.domain, badge)?;
+            self.env_caps
+                .insert(key.clone(), (placement.substrate, cap));
         }
         let (sub, cap) = self.env_caps[&key];
         let env = self.env_domains[sub].expect("env exists");
@@ -351,6 +370,26 @@ impl Assembly {
         self.placements.keys().cloned().collect()
     }
 
+    /// Fabric traffic counters for every pool substrate, in pool order.
+    ///
+    /// Substrates predating the fabric engine (none in-tree) would
+    /// simply be absent from the result.
+    pub fn traffic(&self) -> Vec<TrafficRow> {
+        self.substrates
+            .iter()
+            .filter_map(|s| {
+                let stats = s.fabric_ref()?.stats();
+                Some(TrafficRow {
+                    substrate: s.profile().name.clone(),
+                    invocations: stats.total_invocations(),
+                    bytes: stats.total_bytes(),
+                    denials: stats.total_denials(),
+                    reentrancy_faults: stats.total_reentrancy_faults(),
+                })
+            })
+            .collect()
+    }
+
     /// Tears down a component: its domain is destroyed (memory scrubbed,
     /// inbound capabilities revoked by the substrate) and every declared
     /// channel from or to it stops existing.
@@ -363,8 +402,7 @@ impl Assembly {
         let placement = self.placement(name)?;
         self.substrates[placement.substrate].destroy(placement.domain)?;
         self.placements.remove(name);
-        self.channels
-            .retain(|(from, _), _| from != name);
+        self.channels.retain(|(from, _), _| from != name);
         self.env_caps.retain(|(target, _), _| target != name);
         Ok(())
     }
@@ -460,10 +498,7 @@ mod tests {
 
     #[test]
     fn environment_calls_work_and_are_badged() {
-        let app = AppManifest::new(
-            "demo",
-            vec![ComponentManifest::new("badge-reporter")],
-        );
+        let app = AppManifest::new("demo", vec![ComponentManifest::new("badge-reporter")]);
         let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
         let r = asm
             .call_component_badged("badge-reporter", Badge(42), b"")
@@ -504,7 +539,33 @@ mod tests {
         assert!(asm.call_channel("ui", "count", b"").is_err());
         assert!(asm.call_component("counter", b"").is_err());
         // The survivor keeps working.
-        assert_eq!(asm.call_component("ui", b"still here").unwrap(), b"still here");
+        assert_eq!(
+            asm.call_component("ui", b"still here").unwrap(),
+            b"still here"
+        );
+    }
+
+    #[test]
+    fn traffic_reports_fabric_counters_across_the_pool() {
+        let app = AppManifest::new(
+            "traffic",
+            vec![
+                ComponentManifest::new("ui").channel("count", "counter", 5),
+                ComponentManifest::new("counter"),
+            ],
+        );
+        let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
+        asm.call_channel("ui", "count", b"12345678").unwrap();
+        asm.call_channel("ui", "count", b"12345678").unwrap();
+        let rows = asm.traffic();
+        assert_eq!(rows.len(), 1, "one pool substrate");
+        let row = &rows[0];
+        assert_eq!(row.substrate, "software");
+        assert_eq!(row.invocations, 2);
+        // Payload (8) + little-endian u64 reply (8) per call.
+        assert_eq!(row.bytes, 2 * (8 + 8));
+        assert_eq!(row.denials, 0);
+        assert_eq!(row.reentrancy_faults, 0);
     }
 
     #[test]

@@ -251,8 +251,7 @@ mod tests {
                     .channel("render", "renderer", 1)
                     .channel("store", "mail-store", 2),
                 ComponentManifest::new("renderer").loc(30_000),
-                ComponentManifest::new("mail-store")
-                    .asset("mail-archive", Sensitivity::Personal),
+                ComponentManifest::new("mail-store").asset("mail-archive", Sensitivity::Personal),
             ],
         )
     }
@@ -268,10 +267,7 @@ mod tests {
     fn duplicate_component_rejected() {
         let app = AppManifest::new(
             "x",
-            vec![
-                ComponentManifest::new("a"),
-                ComponentManifest::new("a"),
-            ],
+            vec![ComponentManifest::new("a"), ComponentManifest::new("a")],
         );
         assert!(matches!(app.validate(), Err(CoreError::InvalidManifest(_))));
     }

@@ -170,10 +170,7 @@ impl RemoteServer {
                 let pending = ServerHandshake::accept(&self.export.identity, &mut self.rng, body)
                     .map_err(|e| CoreError::Substrate(format!("accept: {e}")))?;
                 let evidence = if self.export.attest {
-                    Some(
-                        assembly
-                            .attest(&self.export.component, pending.transcript().as_bytes())?,
-                    )
+                    Some(assembly.attest(&self.export.component, pending.transcript().as_bytes())?)
                 } else {
                     None
                 };
@@ -209,10 +206,8 @@ impl RemoteServer {
                     .open(body)
                     .map_err(|e| CoreError::Substrate(format!("record: {e}")))?;
                 let reply = assembly.call_component_badged(&component, badge, &request)?;
-                let ServerSession::Established(channel, _) = self
-                    .sessions
-                    .get_mut(from)
-                    .expect("session checked above")
+                let ServerSession::Established(channel, _) =
+                    self.sessions.get_mut(from).expect("session checked above")
                 else {
                     unreachable!("session type checked above");
                 };
@@ -293,8 +288,12 @@ impl RemoteClient {
     pub fn start(&mut self, net: &mut Network) -> Result<(), CoreError> {
         let (state, hello) = ClientHandshake::start(self.identity.clone(), &mut self.rng);
         self.state = ClientSession::HelloSent(state);
-        net.send(&self.addr.clone(), &self.server.clone(), &frame(MSG_HELLO, &hello))
-            .map_err(|e| CoreError::Substrate(e.to_string()))
+        net.send(
+            &self.addr.clone(),
+            &self.server.clone(),
+            &frame(MSG_HELLO, &hello),
+        )
+        .map_err(|e| CoreError::Substrate(e.to_string()))
     }
 
     /// Processes one pending inbound packet (ServerHello or connect
@@ -319,7 +318,10 @@ impl RemoteClient {
             return Ok(false);
         };
         let (kind, body) = unframe(&packet.payload)?;
-        match (kind, std::mem::replace(&mut self.state, ClientSession::Idle)) {
+        match (
+            kind,
+            std::mem::replace(&mut self.state, ClientSession::Idle),
+        ) {
             (MSG_SERVER_HELLO, ClientSession::HelloSent(state)) => {
                 let policy = std::mem::take(&mut self.policy);
                 let result = state.finish(body, &policy, |transcript| {
@@ -508,8 +510,7 @@ mod tests {
     fn exported_badge_identifies_remote_clients() {
         let mut net = Network::new("remote-badge");
         let mut server_asm = assembly(vec![ComponentManifest::new("badge-reporter")]);
-        let mut server =
-            RemoteServer::bind(&mut net, Addr::new("svc"), export("badge-reporter"));
+        let mut server = RemoteServer::bind(&mut net, Addr::new("svc"), export("badge-reporter"));
         let mut client = RemoteClient::new(
             &mut net,
             Addr::new("client"),
@@ -541,8 +542,7 @@ mod tests {
             ChannelPolicy::pin(SigningKey::from_seed(b"server identity").verifying_key()),
             None,
         );
-        let err = establish(&mut net, &mut client, None, &mut server, &mut server_asm)
-            .unwrap_err();
+        let err = establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap_err();
         assert!(err.to_string().contains("handshake"));
     }
 
@@ -561,8 +561,12 @@ mod tests {
         );
         assert!(client.send_request(&mut net, b"x").is_err());
         // Raw injected request without a handshake gets an error frame.
-        net.inject(&Addr::new("client"), &Addr::new("svc"), &frame(MSG_REQUEST, b"junk"))
-            .unwrap();
+        net.inject(
+            &Addr::new("client"),
+            &Addr::new("svc"),
+            &frame(MSG_REQUEST, b"junk"),
+        )
+        .unwrap();
         server.pump(&mut net, &mut server_asm).unwrap();
         assert!(client.poll_reply(&mut net).is_err());
     }
@@ -594,8 +598,8 @@ mod tests {
         // The server answered with an error frame; the counter must not
         // have advanced twice: a fresh legitimate call returns 2.
         let _ = client.poll_reply(&mut net); // drain the error
-        // Session was torn down server-side; reconnect and observe the
-        // counter only advanced once for the replay attempt.
+                                             // Session was torn down server-side; reconnect and observe the
+                                             // counter only advanced once for the replay attempt.
         let mut client2 = RemoteClient::new(
             &mut net,
             Addr::new("client2"),
@@ -631,8 +635,7 @@ mod tests {
             },
             None,
         );
-        let err = establish(&mut net, &mut client, None, &mut server, &mut server_asm)
-            .unwrap_err();
+        let err = establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap_err();
         assert!(err.to_string().contains("server error"), "{err}");
     }
 }

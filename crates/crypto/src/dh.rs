@@ -109,10 +109,7 @@ mod tests {
         let mut rng = Drbg::from_seed(b"dh degenerate");
         let alice = EphemeralSecret::generate(&mut rng);
         let zero = PublicShare([0u8; 32]);
-        assert_eq!(
-            alice.agree(&zero, b"t"),
-            Err(CryptoError::InvalidEncoding)
-        );
+        assert_eq!(alice.agree(&zero, b"t"), Err(CryptoError::InvalidEncoding));
     }
 
     #[test]

@@ -81,7 +81,11 @@ pub struct VerifyingKey(GroupElement);
 impl std::fmt::Debug for VerifyingKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let b = self.0.to_bytes();
-        write!(f, "VerifyingKey({:02x}{:02x}{:02x}{:02x}…)", b[0], b[1], b[2], b[3])
+        write!(
+            f,
+            "VerifyingKey({:02x}{:02x}{:02x}{:02x}…)",
+            b[0], b[1], b[2], b[3]
+        )
     }
 }
 
@@ -164,10 +168,7 @@ impl SigningKey {
 
     /// Signs `message` with a deterministic nonce.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        let k = hash_to_scalar(
-            b"lateral.schnorr.nonce",
-            &[&self.x.to_bytes(), message],
-        );
+        let k = hash_to_scalar(b"lateral.schnorr.nonce", &[&self.x.to_bytes(), message]);
         let k = if k.is_zero() { Scalar::ONE } else { k };
         let r = GroupElement::generator_exp(&k);
         let e = hash_to_scalar(
@@ -192,7 +193,10 @@ mod tests {
     fn sign_verify_roundtrip() {
         let sk = key();
         let sig = sk.sign(b"measured boot log");
-        assert!(sk.verifying_key().verify(b"measured boot log", &sig).is_ok());
+        assert!(sk
+            .verifying_key()
+            .verify(b"measured boot log", &sig)
+            .is_ok());
     }
 
     #[test]
@@ -220,7 +224,10 @@ mod tests {
         let sig = sk.sign(b"serialize me");
         let restored = Signature::from_bytes(&sig.to_bytes()).unwrap();
         assert_eq!(restored, sig);
-        assert!(sk.verifying_key().verify(b"serialize me", &restored).is_ok());
+        assert!(sk
+            .verifying_key()
+            .verify(b"serialize me", &restored)
+            .is_ok());
     }
 
     #[test]
@@ -253,7 +260,7 @@ mod tests {
         let sig = sk.sign(b"msg");
         let mut bytes = sig.to_bytes();
         bytes[40] ^= 0x01; // perturb s
-        // An out-of-range encoding is also a valid rejection.
+                           // An out-of-range encoding is also a valid rejection.
         if let Ok(tampered) = Signature::from_bytes(&bytes) {
             assert!(sk.verifying_key().verify(b"msg", &tampered).is_err());
         }

@@ -34,11 +34,10 @@ use lateral_crypto::sign::VerifyingKey;
 use lateral_crypto::Digest;
 use lateral_substrate::attacker::{models, AttackerModel, Features, SubstrateProfile};
 use lateral_substrate::attest::AttestationEvidence;
-use lateral_substrate::cap::{Badge, CapTable, ChannelCap};
+use lateral_substrate::cap::{Badge, ChannelCap};
 use lateral_substrate::component::Component;
-use lateral_substrate::substrate::{
-    dispatch_call, CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate,
-};
+use lateral_substrate::fabric::{self, BackendPolicy, CrossingKind, DomainKind, Fabric};
+use lateral_substrate::substrate::{DomainSpec, Substrate};
 use lateral_substrate::{DomainId, SubstrateError};
 use lateral_tpm::Tpm;
 
@@ -49,7 +48,7 @@ pub const LATE_LAUNCH_COST: u64 = 60_000;
 /// The Flicker substrate.
 pub struct Flicker {
     tpm: Tpm,
-    table: DomainTable,
+    fabric: Fabric,
     memories: Vec<Vec<u8>>,
     session_active: bool,
     clock: u64,
@@ -59,7 +58,7 @@ pub struct Flicker {
 
 impl std::fmt::Debug for Flicker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Flicker({} PALs)", self.table.len())
+        write!(f, "Flicker({} PALs)", self.fabric.table().len())
     }
 }
 
@@ -71,7 +70,7 @@ impl Flicker {
     pub fn new(seed: &str) -> Flicker {
         Flicker {
             tpm: Tpm::new(seed.as_bytes()),
-            table: DomainTable::new(),
+            fabric: Fabric::new(),
             memories: Vec::new(),
             session_active: false,
             clock: 0,
@@ -115,30 +114,32 @@ impl Flicker {
     }
 }
 
-impl Substrate for Flicker {
-    fn profile(&self) -> &SubstrateProfile {
-        &self.profile
+impl BackendPolicy for Flicker {
+    fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
-    fn spawn(
-        &mut self,
-        spec: DomainSpec,
-        component: Box<dyn Component>,
-    ) -> Result<DomainId, SubstrateError> {
-        let measurement = spec.measurement();
-        let mem = vec![0u8; spec.mem_pages.max(1) * PAGE];
-        let id = self.table.insert(DomainRecord {
-            spec,
-            measurement,
-            caps: CapTable::new(),
-            component: Some(component),
-        });
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    fn place(&mut self, id: DomainId, _kind: DomainKind) -> Result<(), SubstrateError> {
+        let pages = self.fabric.table().get(id)?.spec.mem_pages.max(1);
         debug_assert_eq!(id.0 as usize, self.memories.len());
-        self.memories.push(mem);
-        // Registering a PAL costs nothing until it is launched; run
-        // on_start inside its first session.
-        let mut comp = self.table.take_component(id)?;
-        let image = self.table.get(id)?.spec.image.clone();
+        self.memories.push(vec![0u8; pages * PAGE]);
+        Ok(())
+    }
+
+    fn unplace(&mut self, id: DomainId) {
+        if let Some(mem) = self.memories.get_mut(id.0 as usize) {
+            mem.fill(0);
+        }
+    }
+
+    fn charge_spawn(&mut self, id: DomainId) -> Result<(), SubstrateError> {
+        // Registering a PAL costs one identity-recording launch; the
+        // session is over before on_start runs.
+        let image = self.fabric.table().get(id)?.spec.image.clone();
         let session = self
             .tpm
             .late_launch(&image)
@@ -146,61 +147,16 @@ impl Substrate for Flicker {
         drop(session);
         self.session_active = false;
         self.clock += LATE_LAUNCH_COST;
-        let result = {
-            let mut ctx = CallCtx::new(self as &mut dyn Substrate, id, measurement);
-            comp.on_start(&mut ctx)
-        };
-        self.table.put_component(id, comp);
-        match result {
-            Ok(()) => Ok(id),
-            Err(e) => {
-                self.table.remove(id)?;
-                Err(SubstrateError::ComponentFailure(e.0))
-            }
-        }
-    }
-
-    fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
-        self.table.remove(domain)?;
-        if let Some(mem) = self.memories.get_mut(domain.0 as usize) {
-            mem.fill(0);
-        }
         Ok(())
     }
 
-    fn grant_channel(
-        &mut self,
-        from: DomainId,
-        to: DomainId,
-        badge: Badge,
-    ) -> Result<ChannelCap, SubstrateError> {
-        self.table.get(to)?;
-        let rec = self.table.get_mut(from)?;
-        Ok(rec.caps.install(from, to, badge))
-    }
-
-    fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
-        let rec = self.table.get_mut(cap.owner)?;
-        rec.caps.revoke(cap.slot);
-        Ok(())
-    }
-
-    fn invoke(
-        &mut self,
-        caller: DomainId,
-        cap: &ChannelCap,
-        data: &[u8],
-    ) -> Result<Vec<u8>, SubstrateError> {
+    fn begin_invoke(&mut self, _caller: DomainId, target: DomainId) -> Result<(), SubstrateError> {
         // One session at a time: a PAL calling another PAL would need a
         // second concurrent late launch — Flicker cannot do that.
-        let target = {
-            let rec = self.table.get(caller)?;
-            rec.caps.lookup(caller, cap)?.target
-        };
         if self.session_active {
             return Err(SubstrateError::Reentrancy(target));
         }
-        let image = self.table.get(target)?.spec.image.clone();
+        let image = self.fabric.table().get(target)?.spec.image.clone();
         // Enter the session: reset + measure + run.
         {
             let session = self
@@ -210,23 +166,38 @@ impl Substrate for Flicker {
             drop(session); // identity recorded; handler runs "inside"
         }
         self.session_active = true;
-        self.clock += LATE_LAUNCH_COST + data.len() as u64 / 8;
-        let result = dispatch_call(self, |s| &mut s.table, caller, cap, data);
+        Ok(())
+    }
+
+    fn end_invoke(&mut self, _caller: DomainId, _target: DomainId) {
         self.session_active = false;
-        result
     }
 
-    fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
-        Ok(self.table.get(domain)?.measurement)
+    fn crossing(
+        &self,
+        _caller: DomainId,
+        _target: DomainId,
+    ) -> Result<CrossingKind, SubstrateError> {
+        // Every invocation is a DRTM entry/exit pair.
+        Ok(CrossingKind::LateLaunch)
     }
 
-    fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
-        Ok(self.table.get(domain)?.spec.name.clone())
+    fn crossing_cost(&self, _kind: CrossingKind, bytes: usize) -> u64 {
+        LATE_LAUNCH_COST + bytes as u64 / 8
     }
 
-    fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+    fn advance_clock(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    fn seal_blob(
+        &mut self,
+        domain: DomainId,
+        _measurement: &Digest,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
         // Seal under the domain's dynamic-PCR identity: launch, seal, cap.
-        let image = self.table.get(domain)?.spec.image.clone();
+        let image = self.fabric.table().get(domain)?.spec.image.clone();
         let was_active = std::mem::replace(&mut self.session_active, false);
         let session = self
             .tpm
@@ -240,8 +211,13 @@ impl Substrate for Flicker {
         Ok(blob.ciphertext)
     }
 
-    fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let image = self.table.get(domain)?.spec.image.clone();
+    fn unseal_blob(
+        &mut self,
+        domain: DomainId,
+        _measurement: &Digest,
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        let image = self.fabric.table().get(domain)?.spec.image.clone();
         let was_active = std::mem::replace(&mut self.session_active, false);
         let session = self
             .tpm
@@ -260,12 +236,12 @@ impl Substrate for Flicker {
         out
     }
 
-    fn attest(
+    fn attest_evidence(
         &mut self,
-        domain: DomainId,
+        _domain: DomainId,
+        measurement: Digest,
         report_data: &[u8],
     ) -> Result<AttestationEvidence, SubstrateError> {
-        let measurement = self.table.get(domain)?.measurement;
         Ok(AttestationEvidence::sign(
             "flicker",
             self.tpm.platform_signing_key(),
@@ -273,6 +249,70 @@ impl Substrate for Flicker {
             Digest::ZERO,
             report_data,
         ))
+    }
+}
+
+impl Substrate for Flicker {
+    fn profile(&self) -> &SubstrateProfile {
+        &self.profile
+    }
+
+    fn spawn(
+        &mut self,
+        spec: DomainSpec,
+        component: Box<dyn Component>,
+    ) -> Result<DomainId, SubstrateError> {
+        fabric::spawn(self, spec, component, DomainKind::Trusted)
+    }
+
+    fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
+        fabric::destroy(self, domain)
+    }
+
+    fn grant_channel(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        badge: Badge,
+    ) -> Result<ChannelCap, SubstrateError> {
+        fabric::grant_channel(self, from, to, badge)
+    }
+
+    fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
+        fabric::revoke_channel(self, cap)
+    }
+
+    fn invoke(
+        &mut self,
+        caller: DomainId,
+        cap: &ChannelCap,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        fabric::invoke(self, caller, cap, data)
+    }
+
+    fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
+        fabric::measurement(self, domain)
+    }
+
+    fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
+        fabric::domain_name(self, domain)
+    }
+
+    fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+        fabric::seal(self, domain, data)
+    }
+
+    fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+        fabric::unseal(self, domain, sealed)
+    }
+
+    fn attest(
+        &mut self,
+        domain: DomainId,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError> {
+        fabric::attest(self, domain, report_data)
     }
 
     fn platform_verifying_key(&self) -> Result<VerifyingKey, SubstrateError> {
@@ -285,7 +325,7 @@ impl Substrate for Flicker {
         offset: usize,
         len: usize,
     ) -> Result<Vec<u8>, SubstrateError> {
-        self.table.get(domain)?;
+        self.fabric.table().get(domain)?;
         let mem = &self.memories[domain.0 as usize];
         let end = offset
             .checked_add(len)
@@ -300,7 +340,7 @@ impl Substrate for Flicker {
         offset: usize,
         data: &[u8],
     ) -> Result<(), SubstrateError> {
-        self.table.get(domain)?;
+        self.fabric.table().get(domain)?;
         let mem = &mut self.memories[domain.0 as usize];
         let end = offset
             .checked_add(data.len())
@@ -320,16 +360,11 @@ impl Substrate for Flicker {
     }
 
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
-        let rec = self.table.get(domain)?;
-        Ok(rec
-            .caps
-            .iter()
-            .map(|(slot, e)| ChannelCap {
-                owner: domain,
-                slot,
-                nonce: e.nonce,
-            })
-            .collect())
+        fabric::list_caps(self, domain)
+    }
+
+    fn fabric_ref(&self) -> Option<&Fabric> {
+        Some(&self.fabric)
     }
 }
 
@@ -368,7 +403,9 @@ mod tests {
             .spawn(DomainSpec::named("pal-a"), Box::new(Forwarder))
             .unwrap();
         f.grant_channel(a, b, Badge(1)).unwrap();
-        let driver = f.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = f
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = f.grant_channel(driver, a, Badge(2)).unwrap();
         let err = f.invoke(driver, &cap, b"chain").unwrap_err();
         assert!(
@@ -382,18 +419,27 @@ mod tests {
         let blob = {
             let mut f = Flicker::new("board-9");
             let pal = f
-                .spawn(DomainSpec::named("pw-checker").with_image(b"pal v1"), Box::new(Echo))
+                .spawn(
+                    DomainSpec::named("pw-checker").with_image(b"pal v1"),
+                    Box::new(Echo),
+                )
                 .unwrap();
             f.seal(pal, b"password digest").unwrap()
         };
         // "Reboot": a fresh Flicker on the same board/TPM.
         let mut f = Flicker::new("board-9");
         let same = f
-            .spawn(DomainSpec::named("pw-checker").with_image(b"pal v1"), Box::new(Echo))
+            .spawn(
+                DomainSpec::named("pw-checker").with_image(b"pal v1"),
+                Box::new(Echo),
+            )
             .unwrap();
         assert_eq!(f.unseal(same, &blob).unwrap(), b"password digest");
         let other = f
-            .spawn(DomainSpec::named("evil").with_image(b"pal v2"), Box::new(Echo))
+            .spawn(
+                DomainSpec::named("evil").with_image(b"pal v2"),
+                Box::new(Echo),
+            )
             .unwrap();
         assert!(f.unseal(other, &blob).is_err());
     }
@@ -402,7 +448,10 @@ mod tests {
     fn attestation_verifies_through_standard_policy() {
         let mut f = Flicker::new("attest");
         let pal = f
-            .spawn(DomainSpec::named("pal").with_image(b"pal v1"), Box::new(Echo))
+            .spawn(
+                DomainSpec::named("pal").with_image(b"pal v1"),
+                Box::new(Echo),
+            )
             .unwrap();
         let ev = f.attest(pal, b"bind").unwrap();
         let mut policy = TrustPolicy::new();
@@ -416,7 +465,9 @@ mod tests {
     fn every_invoke_pays_the_drtm_price() {
         let mut f = Flicker::new("cost");
         let pal = f.spawn(DomainSpec::named("pal"), Box::new(Echo)).unwrap();
-        let driver = f.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = f
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = f.grant_channel(driver, pal, Badge(1)).unwrap();
         let t0 = f.now();
         f.invoke(driver, &cap, b"x").unwrap();
@@ -427,15 +478,13 @@ mod tests {
     fn tpm_event_log_records_every_launch() {
         let mut f = Flicker::new("log");
         let pal = f.spawn(DomainSpec::named("pal"), Box::new(Echo)).unwrap();
-        let driver = f.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = f
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = f.grant_channel(driver, pal, Badge(1)).unwrap();
         let before = f.tpm().event_log().len();
         f.invoke(driver, &cap, b"x").unwrap();
         assert!(f.tpm().event_log().len() > before);
-        assert!(f
-            .tpm()
-            .event_log()
-            .iter()
-            .any(|e| e.event == "late-launch"));
+        assert!(f.tpm().event_log().iter().any(|e| e.event == "late-launch"));
     }
 }

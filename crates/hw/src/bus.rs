@@ -211,9 +211,14 @@ mod tests {
         assert!(policy(dev, FrameOwner::Normal, AccessKind::Write, A, true).is_ok());
         // Even with an IOMMU mapping, secure and EPC frames stay closed.
         assert!(policy(dev, FrameOwner::Secure, AccessKind::Read, A, true).is_err());
-        assert!(
-            policy(dev, FrameOwner::Epc(EnclaveId(1)), AccessKind::Read, A, true).is_err()
-        );
+        assert!(policy(
+            dev,
+            FrameOwner::Epc(EnclaveId(1)),
+            AccessKind::Read,
+            A,
+            true
+        )
+        .is_err());
     }
 
     #[test]

@@ -58,12 +58,7 @@ impl FuseBank {
     /// # Errors
     ///
     /// Returns [`HwError::FuseDenied`] after the bank is locked.
-    pub fn burn(
-        &mut self,
-        name: &str,
-        value: [u8; 32],
-        access: FuseAccess,
-    ) -> Result<(), HwError> {
+    pub fn burn(&mut self, name: &str, value: [u8; 32], access: FuseAccess) -> Result<(), HwError> {
         if self.locked {
             return Err(HwError::FuseDenied(
                 "fuse bank is locked (device left the factory)".into(),

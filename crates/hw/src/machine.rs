@@ -389,7 +389,10 @@ mod tests {
         m.bus_write(Initiator::enclave(EnclaveId(1)), epc.base(), b"sgx-key")
             .unwrap();
         // Physical probe: TrustZone leaks, SGX does not.
-        assert_eq!(m.bus_read(Initiator::Probe, tz.base(), 6).unwrap(), b"tz-key");
+        assert_eq!(
+            m.bus_read(Initiator::Probe, tz.base(), 6).unwrap(),
+            b"tz-key"
+        );
         let leaked = m.bus_read(Initiator::Probe, epc.base(), 7).unwrap();
         assert_ne!(leaked, b"sgx-key");
     }
@@ -400,7 +403,8 @@ mod tests {
         let epc = m.mem.alloc(FrameOwner::Epc(EnclaveId(2))).unwrap();
         let owner = Initiator::enclave(EnclaveId(2));
         m.bus_write(owner, epc.base(), b"enclave state").unwrap();
-        m.bus_write(Initiator::Probe, epc.base(), b"corruption").unwrap();
+        m.bus_write(Initiator::Probe, epc.base(), b"corruption")
+            .unwrap();
         assert!(matches!(
             m.bus_read(owner, epc.base(), 13),
             Err(HwError::IntegrityViolation(_))
@@ -414,7 +418,8 @@ mod tests {
         let tz = m.mem.alloc(FrameOwner::Secure).unwrap();
         let secure = Initiator::cpu(World::Secure);
         m.bus_write(secure, tz.base(), b"original").unwrap();
-        m.bus_write(Initiator::Probe, tz.base(), b"tampered").unwrap();
+        m.bus_write(Initiator::Probe, tz.base(), b"tampered")
+            .unwrap();
         assert_eq!(m.bus_read(secure, tz.base(), 8).unwrap(), b"tampered");
     }
 

@@ -236,9 +236,7 @@ mod tests {
     fn raw_access_bounds_checked() {
         let mut m = PhysMem::new(1);
         assert!(m.raw_read(PhysAddr(PAGE_SIZE as u64), 1).is_err());
-        assert!(m
-            .raw_write(PhysAddr(PAGE_SIZE as u64 - 2), b"abc")
-            .is_err());
+        assert!(m.raw_write(PhysAddr(PAGE_SIZE as u64 - 2), b"abc").is_err());
         assert!(m.raw_write(PhysAddr(PAGE_SIZE as u64 - 3), b"abc").is_ok());
     }
 

@@ -131,20 +131,20 @@ impl AddressSpace {
         va: VirtAddr,
         kind: crate::bus::AccessKind,
     ) -> Result<(PhysAddr, Rights), HwError> {
-        let mapping = self.pages.get(&va.page()).ok_or_else(|| HwError::PageFault {
-            addr: va,
-            reason: "unmapped page".into(),
-        })?;
+        let mapping = self
+            .pages
+            .get(&va.page())
+            .ok_or_else(|| HwError::PageFault {
+                addr: va,
+                reason: "unmapped page".into(),
+            })?;
         if !mapping.rights.permits(kind) {
             return Err(HwError::PageFault {
                 addr: va,
                 reason: format!("rights {} do not permit {:?}", mapping.rights, kind),
             });
         }
-        Ok((
-            mapping.frame.base().add(va.offset() as u64),
-            mapping.rights,
-        ))
+        Ok((mapping.frame.base().add(va.offset() as u64), mapping.rights))
     }
 
     /// Translates a byte range, yielding per-page physical spans.

@@ -144,7 +144,9 @@ mod tests {
     fn probe_and_devices_have_no_port() {
         let sp = Scratchpad::new(64);
         assert!(sp.read(Initiator::Probe, 0, 1).is_err());
-        assert!(sp.read(Initiator::Device(crate::DeviceId(0)), 0, 1).is_err());
+        assert!(sp
+            .read(Initiator::Device(crate::DeviceId(0)), 0, 1)
+            .is_err());
     }
 
     #[test]

@@ -42,11 +42,10 @@ use lateral_hw::mmu::{AddressSpace, Rights};
 use lateral_hw::{DeviceId, Initiator, VirtAddr, World, PAGE_SIZE};
 use lateral_substrate::attacker::{models, AttackerModel, Features, SubstrateProfile};
 use lateral_substrate::attest::AttestationEvidence;
-use lateral_substrate::cap::{Badge, CapTable, ChannelCap};
+use lateral_substrate::cap::{Badge, ChannelCap};
 use lateral_substrate::component::Component;
-use lateral_substrate::substrate::{
-    dispatch_call, CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate,
-};
+use lateral_substrate::fabric::{self, BackendPolicy, CrossingKind, DomainKind, Fabric};
+use lateral_substrate::substrate::{DomainSpec, Substrate};
 use lateral_substrate::{DomainId, SubstrateError};
 
 pub use sched::{PartitionPlan, SchedPolicy, Scheduler};
@@ -62,7 +61,7 @@ struct KDomain {
 /// The microkernel substrate.
 pub struct Microkernel {
     machine: Machine,
-    table: DomainTable,
+    fabric: Fabric,
     kstate: BTreeMap<DomainId, KDomain>,
     sched: Scheduler,
     seal_secret: [u8; 32],
@@ -77,7 +76,7 @@ impl std::fmt::Debug for Microkernel {
         write!(
             f,
             "Microkernel({} domains on '{}')",
-            self.table.len(),
+            self.fabric.table().len(),
             self.machine.name
         )
     }
@@ -93,7 +92,7 @@ impl Microkernel {
         let seal_secret = rng.gen_key();
         Microkernel {
             machine,
-            table: DomainTable::new(),
+            fabric: Fabric::new(),
             kstate: BTreeMap::new(),
             sched: Scheduler::new(SchedPolicy::RoundRobin),
             seal_secret,
@@ -173,7 +172,11 @@ impl Microkernel {
     /// # Errors
     ///
     /// [`SubstrateError::NoSuchDomain`].
-    pub fn cache_touch(&mut self, domain: DomainId, addr: u64) -> Result<CacheOutcome, SubstrateError> {
+    pub fn cache_touch(
+        &mut self,
+        domain: DomainId,
+        addr: u64,
+    ) -> Result<CacheOutcome, SubstrateError> {
         let cd = self.kdomain(domain)?.cache_domain;
         Ok(self.machine.cache_access(cd, addr))
     }
@@ -184,7 +187,11 @@ impl Microkernel {
     /// # Errors
     ///
     /// [`SubstrateError::NoSuchDomain`].
-    pub fn assign_device(&mut self, domain: DomainId, device: DeviceId) -> Result<(), SubstrateError> {
+    pub fn assign_device(
+        &mut self,
+        domain: DomainId,
+        device: DeviceId,
+    ) -> Result<(), SubstrateError> {
         let frames = self.kdomain(domain)?.frames.clone();
         for frame in frames {
             self.machine.iommu.grant(device, frame);
@@ -277,17 +284,17 @@ impl Microkernel {
     }
 }
 
-impl Substrate for Microkernel {
-    fn profile(&self) -> &SubstrateProfile {
-        &self.profile
+impl BackendPolicy for Microkernel {
+    fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
-    fn spawn(
-        &mut self,
-        spec: DomainSpec,
-        component: Box<dyn Component>,
-    ) -> Result<DomainId, SubstrateError> {
-        let pages = spec.mem_pages.max(1);
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    fn place(&mut self, id: DomainId, _kind: DomainKind) -> Result<(), SubstrateError> {
+        let pages = self.fabric.table().get(id)?.spec.mem_pages.max(1);
         let frames = self
             .machine
             .mem
@@ -301,13 +308,6 @@ impl Substrate for Microkernel {
                 Rights::RW,
             );
         }
-        let measurement = spec.measurement();
-        let id = self.table.insert(DomainRecord {
-            spec,
-            measurement,
-            caps: CapTable::new(),
-            component: Some(component),
-        });
         let cache_domain = CacheDomain(self.next_cache_domain);
         self.next_cache_domain += 1;
         self.kstate.insert(
@@ -319,27 +319,11 @@ impl Substrate for Microkernel {
                 devices: Vec::new(),
             },
         );
-        // Creating an address space costs kernel work.
-        self.machine.clock.advance(self.machine.costs.context_switch);
-
-        let mut comp = self.table.take_component(id)?;
-        let result = {
-            let mut ctx = CallCtx::new(self as &mut dyn Substrate, id, measurement);
-            comp.on_start(&mut ctx)
-        };
-        self.table.put_component(id, comp);
-        match result {
-            Ok(()) => Ok(id),
-            Err(e) => {
-                self.destroy(id)?;
-                Err(SubstrateError::ComponentFailure(e.0))
-            }
-        }
+        Ok(())
     }
 
-    fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
-        self.table.remove(domain)?;
-        if let Some(k) = self.kstate.remove(&domain) {
+    fn unplace(&mut self, id: DomainId) {
+        if let Some(k) = self.kstate.remove(&id) {
             for dev in &k.devices {
                 self.machine.iommu.revoke_all(*dev);
             }
@@ -348,54 +332,49 @@ impl Substrate for Microkernel {
             }
             self.machine.cache.flush_domain(k.cache_domain);
         }
+    }
+
+    fn charge_spawn(&mut self, _id: DomainId) -> Result<(), SubstrateError> {
+        // Creating an address space costs kernel work.
+        self.machine
+            .clock
+            .advance(self.machine.costs.context_switch);
         Ok(())
     }
 
-    fn grant_channel(
-        &mut self,
-        from: DomainId,
-        to: DomainId,
-        badge: Badge,
-    ) -> Result<ChannelCap, SubstrateError> {
-        self.table.get(to)?;
-        let rec = self.table.get_mut(from)?;
-        Ok(rec.caps.install(from, to, badge))
+    fn crossing(
+        &self,
+        _caller: DomainId,
+        _target: DomainId,
+    ) -> Result<CrossingKind, SubstrateError> {
+        // Synchronous IPC: two context switches plus payload copy.
+        Ok(CrossingKind::Ipc)
     }
 
-    fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
-        let rec = self.table.get_mut(cap.owner)?;
-        rec.caps.revoke(cap.slot);
-        Ok(())
+    fn crossing_cost(&self, _kind: CrossingKind, bytes: usize) -> u64 {
+        self.machine.costs.ipc_round_trip + self.machine.costs.copy_cost(bytes)
     }
 
-    fn invoke(
+    fn advance_clock(&mut self, cycles: u64) {
+        self.machine.clock.advance(cycles);
+    }
+
+    fn seal_blob(
         &mut self,
-        caller: DomainId,
-        cap: &ChannelCap,
+        _domain: DomainId,
+        measurement: &Digest,
         data: &[u8],
     ) -> Result<Vec<u8>, SubstrateError> {
-        // Synchronous IPC: two context switches plus payload copy.
-        let cost = self.machine.costs.ipc_round_trip + self.machine.costs.copy_cost(data.len());
-        self.machine.clock.advance(cost);
-        dispatch_call(self, |s| &mut s.table, caller, cap, data)
+        Ok(Aead::new(&self.seal_key(measurement)).seal(0, b"microkernel.seal", data))
     }
 
-    fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
-        Ok(self.table.get(domain)?.measurement)
-    }
-
-    fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
-        Ok(self.table.get(domain)?.spec.name.clone())
-    }
-
-    fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let m = self.table.get(domain)?.measurement;
-        Ok(Aead::new(&self.seal_key(&m)).seal(0, b"microkernel.seal", data))
-    }
-
-    fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let m = self.table.get(domain)?.measurement;
-        Aead::new(&self.seal_key(&m))
+    fn unseal_blob(
+        &mut self,
+        _domain: DomainId,
+        measurement: &Digest,
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        Aead::new(&self.seal_key(measurement))
             .open(0, b"microkernel.seal", sealed)
             .map_err(|_| {
                 SubstrateError::CryptoFailure(
@@ -404,12 +383,12 @@ impl Substrate for Microkernel {
             })
     }
 
-    fn attest(
+    fn attest_evidence(
         &mut self,
-        domain: DomainId,
+        _domain: DomainId,
+        measurement: Digest,
         report_data: &[u8],
     ) -> Result<AttestationEvidence, SubstrateError> {
-        let measurement = self.table.get(domain)?.measurement;
         match &self.attestation {
             Some((key, platform_state)) => Ok(AttestationEvidence::sign(
                 "microkernel",
@@ -422,6 +401,70 @@ impl Substrate for Microkernel {
                 "platform has no attestation identity (boot without trust anchor)".into(),
             )),
         }
+    }
+}
+
+impl Substrate for Microkernel {
+    fn profile(&self) -> &SubstrateProfile {
+        &self.profile
+    }
+
+    fn spawn(
+        &mut self,
+        spec: DomainSpec,
+        component: Box<dyn Component>,
+    ) -> Result<DomainId, SubstrateError> {
+        fabric::spawn(self, spec, component, DomainKind::Trusted)
+    }
+
+    fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
+        fabric::destroy(self, domain)
+    }
+
+    fn grant_channel(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        badge: Badge,
+    ) -> Result<ChannelCap, SubstrateError> {
+        fabric::grant_channel(self, from, to, badge)
+    }
+
+    fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
+        fabric::revoke_channel(self, cap)
+    }
+
+    fn invoke(
+        &mut self,
+        caller: DomainId,
+        cap: &ChannelCap,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        fabric::invoke(self, caller, cap, data)
+    }
+
+    fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
+        fabric::measurement(self, domain)
+    }
+
+    fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
+        fabric::domain_name(self, domain)
+    }
+
+    fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+        fabric::seal(self, domain, data)
+    }
+
+    fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
+        fabric::unseal(self, domain, sealed)
+    }
+
+    fn attest(
+        &mut self,
+        domain: DomainId,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError> {
+        fabric::attest(self, domain, report_data)
     }
 
     fn platform_verifying_key(&self) -> Result<VerifyingKey, SubstrateError> {
@@ -482,16 +525,11 @@ impl Substrate for Microkernel {
     }
 
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
-        let rec = self.table.get(domain)?;
-        Ok(rec
-            .caps
-            .iter()
-            .map(|(slot, e)| ChannelCap {
-                owner: domain,
-                slot,
-                nonce: e.nonce,
-            })
-            .collect())
+        fabric::list_caps(self, domain)
+    }
+
+    fn fabric_ref(&self) -> Option<&Fabric> {
+        Some(&self.fabric)
     }
 }
 
@@ -574,7 +612,9 @@ mod tests {
     #[test]
     fn device_dma_requires_assignment() {
         let mut k = kernel();
-        let driver = k.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let driver = k
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let nic = k.machine().register_device(DeviceKind::Nic, "eth0");
         // Unassigned: the IOMMU blocks the DMA.
         assert!(k.device_dma(nic, driver, 0, b"packet").is_err());
@@ -587,8 +627,12 @@ mod tests {
     #[test]
     fn malicious_device_cannot_reach_other_domains() {
         let mut k = kernel();
-        let driver = k.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
-        let victim = k.spawn(DomainSpec::named("victim"), Box::new(Echo)).unwrap();
+        let driver = k
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
+        let victim = k
+            .spawn(DomainSpec::named("victim"), Box::new(Echo))
+            .unwrap();
         let nic = k.machine().register_device(DeviceKind::Nic, "eth0");
         k.assign_device(driver, nic).unwrap();
         // DMA aimed at the victim's memory is blocked by the IOMMU.
@@ -623,7 +667,9 @@ mod tests {
         let run = |policy: SchedPolicy, send_bit: bool| -> bool {
             let mut k = kernel();
             k.set_sched_policy(policy);
-            let sender = k.spawn(DomainSpec::named("sender"), Box::new(Echo)).unwrap();
+            let sender = k
+                .spawn(DomainSpec::named("sender"), Box::new(Echo))
+                .unwrap();
             let receiver = k
                 .spawn(DomainSpec::named("receiver"), Box::new(Echo))
                 .unwrap();

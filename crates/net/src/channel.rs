@@ -25,9 +25,31 @@ use lateral_crypto::rng::Drbg;
 use lateral_crypto::sign::{Signature, SigningKey, VerifyingKey};
 use lateral_crypto::Digest;
 use lateral_substrate::attest::{AttestationEvidence, TrustPolicy, VerifiedIdentity};
+use lateral_substrate::substrate::Substrate;
+use lateral_substrate::DomainId;
 
 use crate::wire::{put_field, Reader};
 use crate::NetError;
+
+/// Produces channel-bound attestation evidence for `domain` by asking
+/// its substrate to attest with the handshake transcript as report data
+/// — the glue between the fabric engine's evidence assembly and the
+/// RA-TLS-style binding below. Pass the result to
+/// [`ServerHandshake::respond`] or the `client_evidence` closure of
+/// [`ClientHandshake::finish`].
+///
+/// # Errors
+///
+/// [`NetError::AttestationRejected`] when the substrate cannot attest
+/// the domain (pure software isolation, host-side domains, …).
+pub fn substrate_evidence(
+    sub: &mut dyn Substrate,
+    domain: DomainId,
+    transcript: &Digest,
+) -> Result<AttestationEvidence, NetError> {
+    sub.attest(domain, transcript.as_bytes())
+        .map_err(|e| NetError::AttestationRejected(format!("substrate refused to attest: {e}")))
+}
 
 /// Serializes attestation evidence for the wire.
 pub fn encode_evidence(ev: &AttestationEvidence) -> Vec<u8> {
@@ -330,10 +352,8 @@ impl ClientHandshake {
 
         // ClientFinish: our identity, transcript signature, and optional
         // channel-bound evidence.
-        let finish_transcript = Digest::of_parts(&[
-            b"lateral.channel.client-finish",
-            transcript.as_bytes(),
-        ]);
+        let finish_transcript =
+            Digest::of_parts(&[b"lateral.channel.client-finish", transcript.as_bytes()]);
         let my_key = self.identity.verifying_key().to_bytes();
         let my_sig = self.identity.sign(finish_transcript.as_bytes()).to_bytes();
         let my_evidence = client_evidence(&transcript);
@@ -342,7 +362,10 @@ impl ClientHandshake {
         put_field(&mut finish, &my_sig);
         put_field(
             &mut finish,
-            &my_evidence.as_ref().map(encode_evidence).unwrap_or_default(),
+            &my_evidence
+                .as_ref()
+                .map(encode_evidence)
+                .unwrap_or_default(),
         );
 
         Ok((
@@ -474,10 +497,8 @@ impl ServerAwaitFinish {
         let evidence_bytes = r.field()?.to_vec();
         r.finish()?;
 
-        let finish_transcript = Digest::of_parts(&[
-            b"lateral.channel.client-finish",
-            self.transcript.as_bytes(),
-        ]);
+        let finish_transcript =
+            Digest::of_parts(&[b"lateral.channel.client-finish", self.transcript.as_bytes()]);
         let vk = VerifyingKey::from_bytes(&client_key)
             .map_err(|e| NetError::HandshakeFailed(format!("bad client key: {e}")))?;
         let sig = Signature::from_bytes(&client_sig)
@@ -704,6 +725,22 @@ mod tests {
         let decoded = decode_evidence(&encode_evidence(&ev)).unwrap();
         assert_eq!(decoded, ev);
         assert!(decoded.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn substrate_evidence_propagates_unsupported_as_rejection() {
+        use lateral_substrate::software::SoftwareSubstrate;
+        use lateral_substrate::substrate::DomainSpec;
+        use lateral_substrate::testkit::Echo;
+
+        let mut sub = SoftwareSubstrate::new("net-evidence");
+        let d = sub.spawn(DomainSpec::named("svc"), Box::new(Echo)).unwrap();
+        // Pure software isolation has no trust anchor — the bridge must
+        // surface that as an attestation rejection, not a panic.
+        assert!(matches!(
+            substrate_evidence(&mut sub, d, &Digest::of(b"transcript")),
+            Err(NetError::AttestationRejected(_))
+        ));
     }
 
     #[test]

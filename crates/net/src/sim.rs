@@ -164,7 +164,12 @@ impl Network {
     /// # Errors
     ///
     /// [`NetError::UnknownAddr`].
-    pub fn inject(&mut self, forged_from: &Addr, to: &Addr, payload: &[u8]) -> Result<(), NetError> {
+    pub fn inject(
+        &mut self,
+        forged_from: &Addr,
+        to: &Addr,
+        payload: &[u8],
+    ) -> Result<(), NetError> {
         self.deliver(Packet {
             from: forged_from.clone(),
             to: to.clone(),

@@ -38,11 +38,10 @@ use lateral_hw::mmu::{AddressSpace, Rights};
 use lateral_hw::{Initiator, VirtAddr, World, PAGE_SIZE};
 use lateral_substrate::attacker::{models, AttackerModel, Features, SubstrateProfile};
 use lateral_substrate::attest::AttestationEvidence;
-use lateral_substrate::cap::{Badge, CapTable, ChannelCap};
+use lateral_substrate::cap::{Badge, ChannelCap};
 use lateral_substrate::component::Component;
-use lateral_substrate::substrate::{
-    dispatch_call, CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate,
-};
+use lateral_substrate::fabric::{self, BackendPolicy, CrossingKind, DomainKind, Fabric};
+use lateral_substrate::substrate::{DomainSpec, Substrate};
 use lateral_substrate::{DomainId, SubstrateError};
 
 /// Name of the fused SEP root key (the UID fused at manufacture).
@@ -58,7 +57,7 @@ struct SepDomain {
 /// The SEP substrate: coprocessor services + application-CPU hosts.
 pub struct Sep {
     machine: Machine,
-    table: DomainTable,
+    fabric: Fabric,
     kstate: BTreeMap<DomainId, SepDomain>,
     attest_key: SigningKey,
     rng: Drbg,
@@ -70,7 +69,7 @@ impl std::fmt::Debug for Sep {
         write!(
             f,
             "Sep({} domains on '{}')",
-            self.table.len(),
+            self.fabric.table().len(),
             self.machine.name
         )
     }
@@ -97,7 +96,7 @@ impl Sep {
             SigningKey::from_seed(&[b"sep-attest".as_slice(), uid.as_slice()].concat());
         Sep {
             machine,
-            table: DomainTable::new(),
+            fabric: Fabric::new(),
             kstate: BTreeMap::new(),
             attest_key,
             rng,
@@ -148,7 +147,7 @@ impl Sep {
         spec: DomainSpec,
         component: Box<dyn Component>,
     ) -> Result<DomainId, SubstrateError> {
-        self.spawn_inner(spec, component, false)
+        fabric::spawn(self, spec, component, DomainKind::Untrusted)
     }
 
     /// Whether a domain runs on the coprocessor.
@@ -192,19 +191,25 @@ impl Sep {
             )
             .expect("UID fuse present")
     }
+}
 
-    fn spawn_inner(
-        &mut self,
-        spec: DomainSpec,
-        component: Box<dyn Component>,
-        on_sep: bool,
-    ) -> Result<DomainId, SubstrateError> {
+impl BackendPolicy for Sep {
+    fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    fn place(&mut self, id: DomainId, kind: DomainKind) -> Result<(), SubstrateError> {
+        let on_sep = matches!(kind, DomainKind::Trusted);
         let owner = if on_sep {
             FrameOwner::SepPrivate
         } else {
             FrameOwner::Normal
         };
-        let pages = spec.mem_pages.max(1);
+        let pages = self.fabric.table().get(id)?.spec.mem_pages.max(1);
         let frames = self
             .machine
             .mem
@@ -218,13 +223,6 @@ impl Sep {
                 Rights::RW,
             );
         }
-        let measurement = spec.measurement();
-        let id = self.table.insert(DomainRecord {
-            spec,
-            measurement,
-            caps: CapTable::new(),
-            component: Some(component),
-        });
         self.kstate.insert(
             id,
             SepDomain {
@@ -233,19 +231,91 @@ impl Sep {
                 on_sep,
             },
         );
-        let mut comp = self.table.take_component(id)?;
-        let result = {
-            let mut ctx = CallCtx::new(self as &mut dyn Substrate, id, measurement);
-            comp.on_start(&mut ctx)
-        };
-        self.table.put_component(id, comp);
-        match result {
-            Ok(()) => Ok(id),
-            Err(e) => {
-                self.destroy(id)?;
-                Err(SubstrateError::ComponentFailure(e.0))
+        Ok(())
+    }
+
+    fn unplace(&mut self, id: DomainId) {
+        if let Some(k) = self.kstate.remove(&id) {
+            for frame in k.frames {
+                self.machine.mem.free(frame);
             }
         }
+    }
+
+    fn crossing(&self, caller: DomainId, target: DomainId) -> Result<CrossingKind, SubstrateError> {
+        // Crossing the processor boundary costs a mailbox round trip;
+        // same-side calls are ordinary IPC.
+        if self.kdomain(caller)?.on_sep == self.kdomain(target)?.on_sep {
+            Ok(CrossingKind::Ipc)
+        } else {
+            Ok(CrossingKind::Mailbox)
+        }
+    }
+
+    fn crossing_cost(&self, kind: CrossingKind, bytes: usize) -> u64 {
+        let base = match kind {
+            CrossingKind::Mailbox => 2 * self.machine.costs.sep_mailbox,
+            _ => self.machine.costs.ipc_round_trip,
+        };
+        base + self.machine.costs.copy_cost(bytes)
+    }
+
+    fn advance_clock(&mut self, cycles: u64) {
+        self.machine.clock.advance(cycles);
+    }
+
+    fn seal_blob(
+        &mut self,
+        domain: DomainId,
+        measurement: &Digest,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        if !self.kdomain(domain)?.on_sep {
+            return Err(SubstrateError::Unsupported(
+                "sealing is a coprocessor service".into(),
+            ));
+        }
+        Ok(Aead::new(&self.seal_key(measurement)).seal(0, b"sep.seal", data))
+    }
+
+    fn unseal_blob(
+        &mut self,
+        domain: DomainId,
+        measurement: &Digest,
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        if !self.kdomain(domain)?.on_sep {
+            return Err(SubstrateError::Unsupported(
+                "unsealing is a coprocessor service".into(),
+            ));
+        }
+        Aead::new(&self.seal_key(measurement))
+            .open(0, b"sep.seal", sealed)
+            .map_err(|_| {
+                SubstrateError::CryptoFailure(
+                    "unseal failed: wrong identity or tampered blob".into(),
+                )
+            })
+    }
+
+    fn attest_evidence(
+        &mut self,
+        domain: DomainId,
+        measurement: Digest,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError> {
+        if !self.kdomain(domain)?.on_sep {
+            return Err(SubstrateError::Unsupported(
+                "only coprocessor components can be attested".into(),
+            ));
+        }
+        Ok(AttestationEvidence::sign(
+            "sep",
+            &self.attest_key,
+            measurement,
+            Digest::ZERO,
+            report_data,
+        ))
     }
 }
 
@@ -260,17 +330,11 @@ impl Substrate for Sep {
         spec: DomainSpec,
         component: Box<dyn Component>,
     ) -> Result<DomainId, SubstrateError> {
-        self.spawn_inner(spec, component, true)
+        fabric::spawn(self, spec, component, DomainKind::Trusted)
     }
 
     fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
-        self.table.remove(domain)?;
-        if let Some(k) = self.kstate.remove(&domain) {
-            for frame in k.frames {
-                self.machine.mem.free(frame);
-            }
-        }
-        Ok(())
+        fabric::destroy(self, domain)
     }
 
     fn grant_channel(
@@ -279,15 +343,11 @@ impl Substrate for Sep {
         to: DomainId,
         badge: Badge,
     ) -> Result<ChannelCap, SubstrateError> {
-        self.table.get(to)?;
-        let rec = self.table.get_mut(from)?;
-        Ok(rec.caps.install(from, to, badge))
+        fabric::grant_channel(self, from, to, badge)
     }
 
     fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
-        let rec = self.table.get_mut(cap.owner)?;
-        rec.caps.revoke(cap.slot);
-        Ok(())
+        fabric::revoke_channel(self, cap)
     }
 
     fn invoke(
@@ -296,58 +356,23 @@ impl Substrate for Sep {
         cap: &ChannelCap,
         data: &[u8],
     ) -> Result<Vec<u8>, SubstrateError> {
-        // Crossing the processor boundary costs a mailbox round trip;
-        // same-side calls are ordinary IPC.
-        let caller_side = self.kdomain(caller)?.on_sep;
-        let target_side = {
-            let entry = self.table.get(caller)?.caps.lookup(caller, cap)?;
-            self.kdomain(entry.target)?.on_sep
-        };
-        let base = if caller_side == target_side {
-            self.machine.costs.ipc_round_trip
-        } else {
-            2 * self.machine.costs.sep_mailbox
-        };
-        self.machine
-            .clock
-            .advance(base + self.machine.costs.copy_cost(data.len()));
-        dispatch_call(self, |s| &mut s.table, caller, cap, data)
+        fabric::invoke(self, caller, cap, data)
     }
 
     fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
-        Ok(self.table.get(domain)?.measurement)
+        fabric::measurement(self, domain)
     }
 
     fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
-        Ok(self.table.get(domain)?.spec.name.clone())
+        fabric::domain_name(self, domain)
     }
 
     fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let k = self.kdomain(domain)?;
-        if !k.on_sep {
-            return Err(SubstrateError::Unsupported(
-                "sealing is a coprocessor service".into(),
-            ));
-        }
-        let m = self.table.get(domain)?.measurement;
-        Ok(Aead::new(&self.seal_key(&m)).seal(0, b"sep.seal", data))
+        fabric::seal(self, domain, data)
     }
 
     fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let k = self.kdomain(domain)?;
-        if !k.on_sep {
-            return Err(SubstrateError::Unsupported(
-                "unsealing is a coprocessor service".into(),
-            ));
-        }
-        let m = self.table.get(domain)?.measurement;
-        Aead::new(&self.seal_key(&m))
-            .open(0, b"sep.seal", sealed)
-            .map_err(|_| {
-                SubstrateError::CryptoFailure(
-                    "unseal failed: wrong identity or tampered blob".into(),
-                )
-            })
+        fabric::unseal(self, domain, sealed)
     }
 
     fn attest(
@@ -355,20 +380,7 @@ impl Substrate for Sep {
         domain: DomainId,
         report_data: &[u8],
     ) -> Result<AttestationEvidence, SubstrateError> {
-        let k = self.kdomain(domain)?;
-        if !k.on_sep {
-            return Err(SubstrateError::Unsupported(
-                "only coprocessor components can be attested".into(),
-            ));
-        }
-        let measurement = self.table.get(domain)?.measurement;
-        Ok(AttestationEvidence::sign(
-            "sep",
-            &self.attest_key,
-            measurement,
-            Digest::ZERO,
-            report_data,
-        ))
+        fabric::attest(self, domain, report_data)
     }
 
     fn platform_verifying_key(&self) -> Result<VerifyingKey, SubstrateError> {
@@ -438,16 +450,11 @@ impl Substrate for Sep {
     }
 
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
-        let rec = self.table.get(domain)?;
-        Ok(rec
-            .caps
-            .iter()
-            .map(|(slot, e)| ChannelCap {
-                owner: domain,
-                slot,
-                nonce: e.nonce,
-            })
-            .collect())
+        fabric::list_caps(self, domain)
+    }
+
+    fn fabric_ref(&self) -> Option<&Fabric> {
+        Some(&self.fabric)
     }
 }
 
@@ -549,6 +556,9 @@ mod tests {
         let k1 = a.platform_verifying_key().unwrap();
         let machine = MachineBuilder::new().name("sep-test").frames(128).build();
         let b = Sep::new(machine, "test");
-        assert_eq!(k1.to_bytes(), b.platform_verifying_key().unwrap().to_bytes());
+        assert_eq!(
+            k1.to_bytes(),
+            b.platform_verifying_key().unwrap().to_bytes()
+        );
     }
 }

@@ -39,11 +39,10 @@ use lateral_hw::mmu::{AddressSpace, Rights};
 use lateral_hw::{EnclaveId, Initiator, VirtAddr, World, PAGE_SIZE};
 use lateral_substrate::attacker::{models, AttackerModel, Features, SubstrateProfile};
 use lateral_substrate::attest::AttestationEvidence;
-use lateral_substrate::cap::{Badge, CapTable, ChannelCap};
+use lateral_substrate::cap::{Badge, ChannelCap};
 use lateral_substrate::component::Component;
-use lateral_substrate::substrate::{
-    dispatch_call, CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate,
-};
+use lateral_substrate::fabric::{self, BackendPolicy, CrossingKind, DomainKind, Fabric};
+use lateral_substrate::substrate::{DomainSpec, Substrate};
 use lateral_substrate::{DomainId, SubstrateError};
 
 /// Name of the fused SGX root secret.
@@ -59,7 +58,7 @@ struct SgxDomain {
 /// The SGX-style substrate.
 pub struct Sgx {
     machine: Machine,
-    table: DomainTable,
+    fabric: Fabric,
     kstate: BTreeMap<DomainId, SgxDomain>,
     next_enclave: u32,
     quoting_key: SigningKey,
@@ -72,7 +71,7 @@ impl std::fmt::Debug for Sgx {
         write!(
             f,
             "Sgx({} domains on '{}')",
-            self.table.len(),
+            self.fabric.table().len(),
             self.machine.name
         )
     }
@@ -100,7 +99,7 @@ impl Sgx {
         let quoting_key = SigningKey::from_seed(&qk_seed);
         Sgx {
             machine,
-            table: DomainTable::new(),
+            fabric: Fabric::new(),
             kstate: BTreeMap::new(),
             next_enclave: 1,
             quoting_key,
@@ -153,7 +152,7 @@ impl Sgx {
         spec: DomainSpec,
         component: Box<dyn Component>,
     ) -> Result<DomainId, SubstrateError> {
-        self.spawn_inner(spec, component, false)
+        fabric::spawn(self, spec, component, DomainKind::Untrusted)
     }
 
     /// The enclave id of a domain, if it is an enclave.
@@ -187,7 +186,7 @@ impl Sgx {
         domain: DomainId,
         addr: u64,
     ) -> Result<lateral_hw::cache::CacheOutcome, SubstrateError> {
-        self.table.get(domain)?;
+        self.fabric.table().get(domain)?;
         // Every domain has a distinct cache identity, but they all
         // contend in the one shared cache.
         let cd = lateral_hw::cache::CacheDomain(domain.0);
@@ -234,25 +233,31 @@ impl Sgx {
             )
             .expect("root fuse present")
     }
+}
 
-    fn spawn_inner(
-        &mut self,
-        spec: DomainSpec,
-        component: Box<dyn Component>,
-        enclave: bool,
-    ) -> Result<DomainId, SubstrateError> {
-        let enclave_id = if enclave {
-            let id = EnclaveId(self.next_enclave);
-            self.next_enclave += 1;
-            Some(id)
-        } else {
-            None
+impl BackendPolicy for Sgx {
+    fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    fn place(&mut self, id: DomainId, kind: DomainKind) -> Result<(), SubstrateError> {
+        let enclave_id = match kind {
+            DomainKind::Trusted => {
+                let e = EnclaveId(self.next_enclave);
+                self.next_enclave += 1;
+                Some(e)
+            }
+            DomainKind::Untrusted => None,
         };
         let owner = match enclave_id {
             Some(e) => FrameOwner::Epc(e),
             None => FrameOwner::Normal,
         };
-        let pages = spec.mem_pages.max(1);
+        let pages = self.fabric.table().get(id)?.spec.mem_pages.max(1);
         let frames = self
             .machine
             .mem
@@ -266,13 +271,6 @@ impl Sgx {
                 Rights::RW,
             );
         }
-        let measurement = spec.measurement();
-        let id = self.table.insert(DomainRecord {
-            spec,
-            measurement,
-            caps: CapTable::new(),
-            component: Some(component),
-        });
         self.kstate.insert(
             id,
             SgxDomain {
@@ -281,23 +279,107 @@ impl Sgx {
                 enclave: enclave_id,
             },
         );
+        Ok(())
+    }
+
+    fn unplace(&mut self, id: DomainId) {
+        if let Some(k) = self.kstate.remove(&id) {
+            for frame in k.frames {
+                self.machine.mem.free(frame);
+            }
+        }
+    }
+
+    fn charge_spawn(&mut self, _id: DomainId) -> Result<(), SubstrateError> {
         // ECREATE/EINIT work: measuring the image costs time.
         self.machine
             .clock
             .advance(self.machine.costs.enclave_transition);
-        let mut comp = self.table.take_component(id)?;
-        let result = {
-            let mut ctx = CallCtx::new(self as &mut dyn Substrate, id, measurement);
-            comp.on_start(&mut ctx)
-        };
-        self.table.put_component(id, comp);
-        match result {
-            Ok(()) => Ok(id),
-            Err(e) => {
-                self.destroy(id)?;
-                Err(SubstrateError::ComponentFailure(e.0))
-            }
+        Ok(())
+    }
+
+    fn crossing(&self, caller: DomainId, target: DomainId) -> Result<CrossingKind, SubstrateError> {
+        // Crossing an enclave boundary (either direction) costs an
+        // EENTER+EEXIT pair; host→host is an ordinary call.
+        let caller_enclave = self.kdomain(caller)?.enclave.is_some();
+        let target_enclave = self.kdomain(target)?.enclave.is_some();
+        if caller_enclave || target_enclave {
+            Ok(CrossingKind::EnclaveTransition)
+        } else {
+            Ok(CrossingKind::Local)
         }
+    }
+
+    fn crossing_cost(&self, kind: CrossingKind, bytes: usize) -> u64 {
+        let base = match kind {
+            CrossingKind::EnclaveTransition => 2 * self.machine.costs.enclave_transition,
+            _ => self.machine.costs.function_call,
+        };
+        base + self.machine.costs.copy_cost(bytes)
+    }
+
+    fn advance_clock(&mut self, cycles: u64) {
+        self.machine.clock.advance(cycles);
+    }
+
+    fn seal_blob(
+        &mut self,
+        domain: DomainId,
+        measurement: &Digest,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        // Sealing is enclave-exclusive: host domains have no EGETKEY.
+        if self.kdomain(domain)?.enclave.is_none() {
+            return Err(SubstrateError::Unsupported(
+                "sealing requires an enclave (EGETKEY)".into(),
+            ));
+        }
+        Ok(Aead::new(&self.seal_key(measurement)).seal(0, b"sgx.seal", data))
+    }
+
+    fn unseal_blob(
+        &mut self,
+        domain: DomainId,
+        measurement: &Digest,
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        if self.kdomain(domain)?.enclave.is_none() {
+            return Err(SubstrateError::Unsupported(
+                "unsealing requires an enclave (EGETKEY)".into(),
+            ));
+        }
+        Aead::new(&self.seal_key(measurement))
+            .open(0, b"sgx.seal", sealed)
+            .map_err(|_| {
+                SubstrateError::CryptoFailure(
+                    "unseal failed: wrong enclave identity or tampered blob".into(),
+                )
+            })
+    }
+
+    fn attest_evidence(
+        &mut self,
+        domain: DomainId,
+        measurement: Digest,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError> {
+        if self.kdomain(domain)?.enclave.is_none() {
+            return Err(SubstrateError::Unsupported(
+                "only enclaves can be attested (EREPORT)".into(),
+            ));
+        }
+        // The quoting enclave converts the local report into a signed
+        // quote; one extra enclave round trip.
+        self.machine
+            .clock
+            .advance(2 * self.machine.costs.enclave_transition);
+        Ok(AttestationEvidence::sign(
+            "sgx",
+            &self.quoting_key,
+            measurement,
+            Digest::ZERO,
+            report_data,
+        ))
     }
 }
 
@@ -312,17 +394,11 @@ impl Substrate for Sgx {
         spec: DomainSpec,
         component: Box<dyn Component>,
     ) -> Result<DomainId, SubstrateError> {
-        self.spawn_inner(spec, component, true)
+        fabric::spawn(self, spec, component, DomainKind::Trusted)
     }
 
     fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
-        self.table.remove(domain)?;
-        if let Some(k) = self.kstate.remove(&domain) {
-            for frame in k.frames {
-                self.machine.mem.free(frame);
-            }
-        }
-        Ok(())
+        fabric::destroy(self, domain)
     }
 
     fn grant_channel(
@@ -331,15 +407,11 @@ impl Substrate for Sgx {
         to: DomainId,
         badge: Badge,
     ) -> Result<ChannelCap, SubstrateError> {
-        self.table.get(to)?;
-        let rec = self.table.get_mut(from)?;
-        Ok(rec.caps.install(from, to, badge))
+        fabric::grant_channel(self, from, to, badge)
     }
 
     fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
-        let rec = self.table.get_mut(cap.owner)?;
-        rec.caps.revoke(cap.slot);
-        Ok(())
+        fabric::revoke_channel(self, cap)
     }
 
     fn invoke(
@@ -348,59 +420,23 @@ impl Substrate for Sgx {
         cap: &ChannelCap,
         data: &[u8],
     ) -> Result<Vec<u8>, SubstrateError> {
-        // Crossing an enclave boundary (either direction) costs an
-        // EENTER+EEXIT pair; host→host is an ordinary call.
-        let caller_enclave = self.kdomain(caller)?.enclave.is_some();
-        let target_enclave = {
-            let entry = self.table.get(caller)?.caps.lookup(caller, cap)?;
-            self.kdomain(entry.target)?.enclave.is_some()
-        };
-        let base = if caller_enclave || target_enclave {
-            2 * self.machine.costs.enclave_transition
-        } else {
-            self.machine.costs.function_call
-        };
-        self.machine
-            .clock
-            .advance(base + self.machine.costs.copy_cost(data.len()));
-        dispatch_call(self, |s| &mut s.table, caller, cap, data)
+        fabric::invoke(self, caller, cap, data)
     }
 
     fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
-        Ok(self.table.get(domain)?.measurement)
+        fabric::measurement(self, domain)
     }
 
     fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
-        Ok(self.table.get(domain)?.spec.name.clone())
+        fabric::domain_name(self, domain)
     }
 
     fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        // Sealing is enclave-exclusive: host domains have no EGETKEY.
-        let k = self.kdomain(domain)?;
-        if k.enclave.is_none() {
-            return Err(SubstrateError::Unsupported(
-                "sealing requires an enclave (EGETKEY)".into(),
-            ));
-        }
-        let m = self.table.get(domain)?.measurement;
-        Ok(Aead::new(&self.seal_key(&m)).seal(0, b"sgx.seal", data))
+        fabric::seal(self, domain, data)
     }
 
     fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let k = self.kdomain(domain)?;
-        if k.enclave.is_none() {
-            return Err(SubstrateError::Unsupported(
-                "unsealing requires an enclave (EGETKEY)".into(),
-            ));
-        }
-        let m = self.table.get(domain)?.measurement;
-        Aead::new(&self.seal_key(&m))
-            .open(0, b"sgx.seal", sealed)
-            .map_err(|_| {
-                SubstrateError::CryptoFailure(
-                    "unseal failed: wrong enclave identity or tampered blob".into(),
-                )
-            })
+        fabric::unseal(self, domain, sealed)
     }
 
     fn attest(
@@ -408,25 +444,7 @@ impl Substrate for Sgx {
         domain: DomainId,
         report_data: &[u8],
     ) -> Result<AttestationEvidence, SubstrateError> {
-        let k = self.kdomain(domain)?;
-        if k.enclave.is_none() {
-            return Err(SubstrateError::Unsupported(
-                "only enclaves can be attested (EREPORT)".into(),
-            ));
-        }
-        let measurement = self.table.get(domain)?.measurement;
-        // The quoting enclave converts the local report into a signed
-        // quote; one extra enclave round trip.
-        self.machine
-            .clock
-            .advance(2 * self.machine.costs.enclave_transition);
-        Ok(AttestationEvidence::sign(
-            "sgx",
-            &self.quoting_key,
-            measurement,
-            Digest::ZERO,
-            report_data,
-        ))
+        fabric::attest(self, domain, report_data)
     }
 
     fn platform_verifying_key(&self) -> Result<VerifyingKey, SubstrateError> {
@@ -496,16 +514,11 @@ impl Substrate for Sgx {
     }
 
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
-        let rec = self.table.get(domain)?;
-        Ok(rec
-            .caps
-            .iter()
-            .map(|(slot, e)| ChannelCap {
-                owner: domain,
-                slot,
-                nonce: e.nonce,
-            })
-            .collect())
+        fabric::list_caps(self, domain)
+    }
+
+    fn fabric_ref(&self) -> Option<&Fabric> {
+        Some(&self.fabric)
     }
 }
 
@@ -649,8 +662,12 @@ mod tests {
     #[test]
     fn enclave_transitions_cost_more_than_host_calls() {
         let mut s = sgx();
-        let h1 = s.spawn_host(DomainSpec::named("h1"), Box::new(Echo)).unwrap();
-        let h2 = s.spawn_host(DomainSpec::named("h2"), Box::new(Echo)).unwrap();
+        let h1 = s
+            .spawn_host(DomainSpec::named("h1"), Box::new(Echo))
+            .unwrap();
+        let h2 = s
+            .spawn_host(DomainSpec::named("h2"), Box::new(Echo))
+            .unwrap();
         let e = s.spawn(DomainSpec::named("e"), Box::new(Echo)).unwrap();
         let host_cap = s.grant_channel(h1, h2, Badge(0)).unwrap();
         let enclave_cap = s.grant_channel(h1, e, Badge(0)).unwrap();
@@ -667,13 +684,19 @@ mod tests {
     fn sealed_data_survives_enclave_restart() {
         let mut s = sgx();
         let e1 = s
-            .spawn(DomainSpec::named("svc").with_image(b"svc v1"), Box::new(Echo))
+            .spawn(
+                DomainSpec::named("svc").with_image(b"svc v1"),
+                Box::new(Echo),
+            )
             .unwrap();
         let sealed = s.seal(e1, b"state").unwrap();
         s.destroy(e1).unwrap();
         // Relaunch the same image → same measurement → unseals.
         let e2 = s
-            .spawn(DomainSpec::named("svc").with_image(b"svc v1"), Box::new(Echo))
+            .spawn(
+                DomainSpec::named("svc").with_image(b"svc v1"),
+                Box::new(Echo),
+            )
             .unwrap();
         assert_eq!(s.unseal(e2, &sealed).unwrap(), b"state");
     }

@@ -193,7 +193,9 @@ impl TrustPolicy {
             )));
         }
         if !self.expected_platform_states.is_empty()
-            && !self.expected_platform_states.contains(&evidence.platform_state)
+            && !self
+                .expected_platform_states
+                .contains(&evidence.platform_state)
         {
             return Err(SubstrateError::AccessDenied(
                 "platform software stack not in the expected set".into(),
@@ -267,13 +269,8 @@ mod tests {
         // asked what software it runs" — but it cannot sign with a trusted
         // platform key.
         let emulator = SigningKey::from_seed(b"emulator");
-        let ev = AttestationEvidence::sign(
-            "sgx",
-            &emulator,
-            good_measurement(),
-            Digest::ZERO,
-            b"bind",
-        );
+        let ev =
+            AttestationEvidence::sign("sgx", &emulator, good_measurement(), Digest::ZERO, b"bind");
         assert!(matches!(
             policy().verify(&ev),
             Err(SubstrateError::AccessDenied(_))
@@ -295,13 +292,7 @@ mod tests {
     #[test]
     fn platform_state_gate() {
         let good_state = Digest::of(b"booted stack");
-        let ev = AttestationEvidence::sign(
-            "tpm",
-            &platform(),
-            good_measurement(),
-            good_state,
-            b"",
-        );
+        let ev = AttestationEvidence::sign("tpm", &platform(), good_measurement(), good_state, b"");
         let mut p = policy();
         // Without a state expectation: accepted.
         assert!(p.verify(&ev).is_ok());

@@ -110,9 +110,7 @@ impl CapTable {
             .entries
             .get(cap.slot as usize)
             .and_then(|e| e.as_ref())
-            .ok_or_else(|| {
-                SubstrateError::InvalidCapability(format!("empty slot {}", cap.slot))
-            })?;
+            .ok_or_else(|| SubstrateError::InvalidCapability(format!("empty slot {}", cap.slot)))?;
         if entry.nonce != cap.nonce {
             return Err(SubstrateError::InvalidCapability(
                 "stale capability (revoked slot)".into(),
@@ -197,10 +195,7 @@ mod tests {
     fn forged_slot_and_nonce_fail() {
         let mut t = CapTable::new();
         let cap = t.install(OWNER, SERVER, Badge(1));
-        let forged_slot = ChannelCap {
-            slot: 99,
-            ..cap
-        };
+        let forged_slot = ChannelCap { slot: 99, ..cap };
         assert!(t.lookup(OWNER, &forged_slot).is_err());
         let forged_nonce = ChannelCap {
             nonce: cap.nonce + 1,

@@ -200,7 +200,10 @@ pub fn run(sub: &mut dyn Substrate) -> ConformanceReport {
     // --- component state survives across calls -----------------------------
     check(&mut checks, "stateful-domains", || {
         let counter = sub
-            .spawn(DomainSpec::named("conf-counter"), Box::new(Counter::default()))
+            .spawn(
+                DomainSpec::named("conf-counter"),
+                Box::new(Counter::default()),
+            )
             .map_err(|e| fail(format!("spawn: {e}")))?;
         spawned.push(counter);
         let d = sub
@@ -298,9 +301,7 @@ pub fn run(sub: &mut dyn Substrate) -> ConformanceReport {
                 let platform = sub
                     .platform_verifying_key()
                     .map_err(|e| fail(format!("platform key: {e}")))?;
-                let expected = sub
-                    .measurement(attester)
-                    .map_err(|e| fail(e.to_string()))?;
+                let expected = sub.measurement(attester).map_err(|e| fail(e.to_string()))?;
                 let mut policy = TrustPolicy::new();
                 policy.trust_platform(platform);
                 policy.expect_measurement(expected);
@@ -321,7 +322,10 @@ pub fn run(sub: &mut dyn Substrate) -> ConformanceReport {
     // --- reentrancy safety -------------------------------------------------------
     check(&mut checks, "reentrancy-safe", || {
         let a = sub
-            .spawn(DomainSpec::named("conf-reent"), Box::new(crate::testkit::Forwarder))
+            .spawn(
+                DomainSpec::named("conf-reent"),
+                Box::new(crate::testkit::Forwarder),
+            )
             .map_err(|e| fail(format!("spawn: {e}")))?;
         spawned.push(a);
         // Give the forwarder a channel to itself: calling it must produce a

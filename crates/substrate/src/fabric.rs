@@ -1,0 +1,873 @@
+//! The substrate **fabric**: one engine owning the mechanics every
+//! backend used to duplicate — domain lifecycle, capability/badge
+//! checks, reentrancy guards, channel grant/revoke, sealing dispatch,
+//! and attestation-evidence assembly — parameterized by the small
+//! [`BackendPolicy`] hook trait through which a backend contributes
+//! only *policy*: memory placement, world/transition rules, its
+//! crossing-cost model, and key derivation.
+//!
+//! The paper's §III-A demand is a *single* unified isolation interface;
+//! before this module each of the six backends re-implemented the same
+//! spawn/channel/invoke/seal/attest template around a copied
+//! [`DomainTable`], so the E2 conformance matrix partly measured
+//! implementation accidents. With the fabric, the mechanism exists
+//! once: a backend that type-checks against [`BackendPolicy`] is
+//! uniform by construction.
+//!
+//! The engine also threads a deterministic observability layer through
+//! every invocation: a [`TraceEvent`] on the logical clock (caller,
+//! callee, badge, payload size, crossing kind, cost, outcome) lands in
+//! a bounded ring buffer, and per-domain / per-channel / per-crossing
+//! counters are exposed through [`FabricStats`]. Because the simulator
+//! is fully deterministic, two identical runs produce byte-identical
+//! trace buffers ([`Fabric::trace_bytes`]) — the uniform measurement
+//! layer the E4 cost ladder and the repro tables read from.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use lateral_crypto::Digest;
+
+use crate::attest::AttestationEvidence;
+use crate::cap::{Badge, CapTable, ChannelCap};
+use crate::component::{Component, ComponentError, Invocation};
+use crate::substrate::{CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate};
+use crate::{DomainId, SubstrateError};
+
+/// Default number of trace events retained in the ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// Where a domain is placed: inside the backend's trusted environment
+/// (secure world, enclave, coprocessor, PAL) or alongside the untrusted
+/// legacy software (normal world, host process).
+///
+/// Backends without a trusted/untrusted split ignore the distinction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DomainKind {
+    /// The backend's protected environment (the default for
+    /// [`Substrate::spawn`]).
+    Trusted,
+    /// The untrusted side — normal world, host process, legacy OS.
+    Untrusted,
+}
+
+/// How an invocation crosses (or does not cross) an isolation boundary.
+/// Classified by the backend's [`BackendPolicy::crossing`] hook; the
+/// engine uses it for cost charging and the trace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum CrossingKind {
+    /// Same protection context — a (dynamic) function call.
+    Local,
+    /// Kernel-mediated synchronous IPC round trip.
+    Ipc,
+    /// Secure-monitor world switch (TrustZone SMC pair).
+    WorldSwitch,
+    /// Enclave boundary (EENTER/EEXIT pair).
+    EnclaveTransition,
+    /// Coprocessor mailbox round trip (SEP).
+    Mailbox,
+    /// DRTM late-launch session entry/exit (Flicker).
+    LateLaunch,
+}
+
+impl CrossingKind {
+    /// Stable short name (table rendering, serialization).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossingKind::Local => "local",
+            CrossingKind::Ipc => "ipc",
+            CrossingKind::WorldSwitch => "smc",
+            CrossingKind::EnclaveTransition => "enclave",
+            CrossingKind::Mailbox => "mailbox",
+            CrossingKind::LateLaunch => "late-launch",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            CrossingKind::Local => 0,
+            CrossingKind::Ipc => 1,
+            CrossingKind::WorldSwitch => 2,
+            CrossingKind::EnclaveTransition => 3,
+            CrossingKind::Mailbox => 4,
+            CrossingKind::LateLaunch => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CrossingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of a traced invocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceOutcome {
+    /// The component handled the call and replied.
+    Ok,
+    /// The target was already executing (synchronous re-entry).
+    Reentrancy,
+    /// The component (or the dispatch below it) failed.
+    Failed,
+}
+
+impl TraceOutcome {
+    fn code(self) -> u8 {
+        match self {
+            TraceOutcome::Ok => 0,
+            TraceOutcome::Reentrancy => 1,
+            TraceOutcome::Failed => 2,
+        }
+    }
+}
+
+/// One invocation as observed by the engine. Events are recorded when
+/// the dispatch completes, so nested calls appear before their parent
+/// (completion order) — deterministically so.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (never wraps with the ring).
+    pub seq: u64,
+    /// Logical clock reading right after the crossing cost was charged.
+    pub at: u64,
+    /// Invoking domain.
+    pub caller: DomainId,
+    /// Target domain the capability designated.
+    pub callee: DomainId,
+    /// Badge delivered with the invocation.
+    pub badge: Badge,
+    /// Request payload size in bytes.
+    pub bytes: u64,
+    /// How the invocation crossed (or didn't cross) an isolation
+    /// boundary.
+    pub crossing: CrossingKind,
+    /// Cycles charged for the crossing (payload copy included).
+    pub cost: u64,
+    /// What happened.
+    pub outcome: TraceOutcome,
+}
+
+impl TraceEvent {
+    /// Appends the canonical little-endian encoding of this event to
+    /// `out` — the unit of [`Fabric::trace_bytes`] determinism checks.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.at.to_le_bytes());
+        out.extend_from_slice(&self.caller.0.to_le_bytes());
+        out.extend_from_slice(&self.callee.0.to_le_bytes());
+        out.extend_from_slice(&self.badge.0.to_le_bytes());
+        out.extend_from_slice(&self.bytes.to_le_bytes());
+        out.extend_from_slice(&self.cost.to_le_bytes());
+        out.push(self.crossing.code());
+        out.push(self.outcome.code());
+    }
+}
+
+/// Counters kept per live-or-destroyed domain (attributed to the
+/// *caller* side of invocations).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct DomainCounters {
+    /// Invocations this domain initiated that reached dispatch.
+    pub invocations: u64,
+    /// Payload + reply bytes moved by those invocations.
+    pub bytes: u64,
+    /// Capability presentations the engine rejected (forged, foreign,
+    /// revoked, or stale caps).
+    pub denials: u64,
+    /// Synchronous re-entry attempts that faulted.
+    pub reentrancy_faults: u64,
+}
+
+/// Counters kept per granted channel, keyed by `(owner, slot)`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ChannelCounters {
+    /// Successful dispatches through the channel.
+    pub invocations: u64,
+    /// Payload + reply bytes moved through the channel.
+    pub bytes: u64,
+}
+
+/// Count and byte volume per [`CrossingKind`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CrossingCounters {
+    /// Crossings observed.
+    pub count: u64,
+    /// Request payload bytes moved across.
+    pub bytes: u64,
+}
+
+/// The engine's aggregate counters — the uniform measurement layer
+/// experiments read instead of instrumenting each backend separately.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct FabricStats {
+    domains: BTreeMap<DomainId, DomainCounters>,
+    channels: BTreeMap<(DomainId, u32), ChannelCounters>,
+    crossings: BTreeMap<CrossingKind, CrossingCounters>,
+}
+
+impl FabricStats {
+    /// Counters for one domain (`None` if it never existed).
+    pub fn domain(&self, id: DomainId) -> Option<&DomainCounters> {
+        self.domains.get(&id)
+    }
+
+    /// Counters for one channel, keyed by owner and capability slot.
+    pub fn channel(&self, owner: DomainId, slot: u32) -> Option<&ChannelCounters> {
+        self.channels.get(&(owner, slot))
+    }
+
+    /// Counters for one crossing kind.
+    pub fn crossing(&self, kind: CrossingKind) -> Option<&CrossingCounters> {
+        self.crossings.get(&kind)
+    }
+
+    /// Iterates all per-domain counters in domain order.
+    pub fn domains(&self) -> impl Iterator<Item = (DomainId, &DomainCounters)> {
+        self.domains.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// Iterates all per-channel counters in `(owner, slot)` order.
+    pub fn channels(&self) -> impl Iterator<Item = ((DomainId, u32), &ChannelCounters)> {
+        self.channels.iter().map(|(k, c)| (*k, c))
+    }
+
+    /// Iterates all per-crossing counters in kind order.
+    pub fn crossings(&self) -> impl Iterator<Item = (CrossingKind, &CrossingCounters)> {
+        self.crossings.iter().map(|(k, c)| (*k, c))
+    }
+
+    /// Total dispatched invocations across all domains.
+    pub fn total_invocations(&self) -> u64 {
+        self.domains.values().map(|c| c.invocations).sum()
+    }
+
+    /// Total payload + reply bytes moved across all domains.
+    pub fn total_bytes(&self) -> u64 {
+        self.domains.values().map(|c| c.bytes).sum()
+    }
+
+    /// Total denied capability presentations.
+    pub fn total_denials(&self) -> u64 {
+        self.domains.values().map(|c| c.denials).sum()
+    }
+
+    /// Total reentrancy faults.
+    pub fn total_reentrancy_faults(&self) -> u64 {
+        self.domains.values().map(|c| c.reentrancy_faults).sum()
+    }
+}
+
+/// The per-substrate fabric state: the domain table (the single copy),
+/// the trace ring buffer, and the aggregate counters. Each backend owns
+/// exactly one `Fabric` instead of its own `DomainTable`.
+pub struct Fabric {
+    table: DomainTable,
+    trace: VecDeque<TraceEvent>,
+    trace_capacity: usize,
+    next_seq: u64,
+    stats: FabricStats,
+}
+
+impl Default for Fabric {
+    fn default() -> Fabric {
+        Fabric::new()
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Fabric({} domains, {} traced events)",
+            self.table.len(),
+            self.next_seq
+        )
+    }
+}
+
+impl Fabric {
+    /// An empty fabric with the default trace capacity.
+    pub fn new() -> Fabric {
+        Fabric::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty fabric retaining up to `capacity` trace events.
+    pub fn with_trace_capacity(capacity: usize) -> Fabric {
+        Fabric {
+            table: DomainTable::new(),
+            trace: VecDeque::with_capacity(capacity.min(DEFAULT_TRACE_CAPACITY)),
+            trace_capacity: capacity.max(1),
+            next_seq: 0,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The domain table (read side).
+    pub fn table(&self) -> &DomainTable {
+        &self.table
+    }
+
+    /// The domain table (write side) — for backend placement hooks and
+    /// tests; normal operation goes through the engine functions.
+    pub fn table_mut(&mut self) -> &mut DomainTable {
+        &mut self.table
+    }
+
+    /// The aggregate counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// The retained trace events, oldest first.
+    pub fn trace(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.trace.iter()
+    }
+
+    /// Number of events currently retained (≤ capacity).
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Total events ever recorded (monotonic, unaffected by the ring).
+    pub fn events_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Canonical byte serialization of the retained trace — two
+    /// identical runs must produce identical output (the determinism
+    /// acceptance check).
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.trace.len() * 50);
+        for ev in &self.trace {
+            ev.encode_into(&mut out);
+        }
+        out
+    }
+
+    fn ensure_domain(&mut self, id: DomainId) {
+        self.stats.domains.entry(id).or_default();
+    }
+
+    fn forget_domain(&mut self, id: DomainId) {
+        // Counters survive destruction (they are history), but a domain
+        // that never dispatched anything leaves no row behind.
+        if let Some(c) = self.stats.domains.get(&id) {
+            if *c == DomainCounters::default() {
+                self.stats.domains.remove(&id);
+            }
+        }
+    }
+
+    fn note_denial(&mut self, caller: DomainId) {
+        self.stats.domains.entry(caller).or_default().denials += 1;
+    }
+
+    fn note_reentrancy(&mut self, caller: DomainId) {
+        self.stats
+            .domains
+            .entry(caller)
+            .or_default()
+            .reentrancy_faults += 1;
+    }
+
+    fn record(&mut self, event: TraceEvent, slot: u32, reply_bytes: u64) {
+        let moved = event.bytes + reply_bytes;
+        {
+            let d = self.stats.domains.entry(event.caller).or_default();
+            d.invocations += 1;
+            d.bytes += moved;
+        }
+        {
+            let ch = self.stats.channels.entry((event.caller, slot)).or_default();
+            ch.invocations += 1;
+            ch.bytes += moved;
+        }
+        {
+            let cr = self.stats.crossings.entry(event.crossing).or_default();
+            cr.count += 1;
+            cr.bytes += event.bytes;
+        }
+        if self.trace.len() == self.trace_capacity {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(event);
+        self.next_seq += 1;
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// The policy hooks a backend implements instead of the full mechanics.
+/// Everything else — lifecycle, capability checks, reentrancy, channel
+/// management, tracing — is supplied by the engine functions in this
+/// module, which backends delegate their [`Substrate`] methods to.
+pub trait BackendPolicy: Substrate {
+    /// The backend's fabric (domain table + trace + stats).
+    fn fabric(&self) -> &Fabric;
+
+    /// Mutable access to the backend's fabric.
+    fn fabric_mut(&mut self) -> &mut Fabric;
+
+    /// Allocates backend resources (memory, address space, world or
+    /// enclave assignment) for the freshly inserted domain `id`. The
+    /// domain's [`DomainSpec`] is already in the table:
+    /// `self.fabric().table().get(id)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::OutOfResources`] and friends; the engine rolls
+    /// the table insertion back.
+    fn place(&mut self, id: DomainId, kind: DomainKind) -> Result<(), SubstrateError>;
+
+    /// Releases everything [`BackendPolicy::place`] allocated (and
+    /// scrubs memory). Called with `id` already removed from the table.
+    fn unplace(&mut self, id: DomainId);
+
+    /// Charges the backend's domain-creation cost and performs any
+    /// post-placement work (e.g. Flicker's registration launch). Runs
+    /// after [`BackendPolicy::place`], before the component's
+    /// `on_start`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; the engine rolls the spawn back.
+    fn charge_spawn(&mut self, id: DomainId) -> Result<(), SubstrateError> {
+        let _ = id;
+        Ok(())
+    }
+
+    /// Gate executed after capability validation, before the crossing is
+    /// charged — world/transition rules live here (e.g. Flicker's
+    /// single-session limit, which also *enters* the session).
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::Reentrancy`] (counted as a fault) or any veto.
+    fn begin_invoke(&mut self, caller: DomainId, target: DomainId) -> Result<(), SubstrateError> {
+        let _ = (caller, target);
+        Ok(())
+    }
+
+    /// Teardown mirroring [`BackendPolicy::begin_invoke`]; runs whether
+    /// or not the dispatch succeeded.
+    fn end_invoke(&mut self, caller: DomainId, target: DomainId) {
+        let _ = (caller, target);
+    }
+
+    /// Classifies the isolation crossing `caller → target`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::NoSuchDomain`] if placement state is missing.
+    fn crossing(&self, caller: DomainId, target: DomainId) -> Result<CrossingKind, SubstrateError>;
+
+    /// Cycles a `kind` crossing costs with a `bytes`-sized payload —
+    /// the backend's cost model, read by E4 through the trace.
+    fn crossing_cost(&self, kind: CrossingKind, bytes: usize) -> u64;
+
+    /// Advances the backend's logical clock by `cycles`.
+    fn advance_clock(&mut self, cycles: u64);
+
+    /// Seals `data` to `measurement` for `domain` — key derivation is
+    /// the backend's (EGETKEY, fused root, TPM session, …).
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::Unsupported`] where the domain cannot seal.
+    fn seal_blob(
+        &mut self,
+        domain: DomainId,
+        measurement: &Digest,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError>;
+
+    /// Reverses [`BackendPolicy::seal_blob`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::CryptoFailure`] on identity mismatch or
+    /// tampering; [`SubstrateError::Unsupported`] where sealing is.
+    fn unseal_blob(
+        &mut self,
+        domain: DomainId,
+        measurement: &Digest,
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError>;
+
+    /// Assembles signed attestation evidence for `domain`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubstrateError::Unsupported`] without a hardware secret or for
+    /// unattestable domains.
+    fn attest_evidence(
+        &mut self,
+        domain: DomainId,
+        measurement: Digest,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError>;
+}
+
+/// Engine: creates a domain — inserts the record, places it via the
+/// backend, charges the spawn cost, and runs `on_start` through the
+/// normal dispatch machinery (rolling everything back on failure).
+///
+/// # Errors
+///
+/// See [`Substrate::spawn`].
+pub fn spawn<B: BackendPolicy>(
+    backend: &mut B,
+    spec: DomainSpec,
+    component: Box<dyn Component>,
+    kind: DomainKind,
+) -> Result<DomainId, SubstrateError> {
+    let measurement = spec.measurement();
+    let id = backend.fabric_mut().table_mut().insert(DomainRecord {
+        spec,
+        measurement,
+        caps: CapTable::new(),
+        component: Some(component),
+    });
+    backend.fabric_mut().ensure_domain(id);
+    if let Err(e) = backend.place(id, kind) {
+        let _ = backend.fabric_mut().table_mut().remove(id);
+        backend.fabric_mut().forget_domain(id);
+        return Err(e);
+    }
+    if let Err(e) = backend.charge_spawn(id) {
+        let _ = backend.fabric_mut().table_mut().remove(id);
+        backend.unplace(id);
+        backend.fabric_mut().forget_domain(id);
+        return Err(e);
+    }
+    let mut comp = backend.fabric_mut().table_mut().take_component(id)?;
+    let result = {
+        let mut ctx = CallCtx::new(backend as &mut dyn Substrate, id, measurement);
+        comp.on_start(&mut ctx)
+    };
+    backend.fabric_mut().table_mut().put_component(id, comp);
+    match result {
+        Ok(()) => Ok(id),
+        Err(e) => {
+            destroy(backend, id)?;
+            Err(SubstrateError::ComponentFailure(e.0))
+        }
+    }
+}
+
+/// Engine: destroys a domain. The table removal revokes every
+/// capability *targeting* the domain in all other domains — identical
+/// semantics on every backend (a respawned successor gets a fresh id
+/// and fresh nonces, so stale caps stay dead) — then the backend frees
+/// placement resources.
+///
+/// # Errors
+///
+/// [`SubstrateError::NoSuchDomain`].
+pub fn destroy<B: BackendPolicy>(backend: &mut B, id: DomainId) -> Result<(), SubstrateError> {
+    backend.fabric_mut().table_mut().remove(id)?;
+    backend.unplace(id);
+    backend.fabric_mut().forget_domain(id);
+    Ok(())
+}
+
+/// Engine: grants a channel `from → to` carrying `badge`.
+///
+/// # Errors
+///
+/// [`SubstrateError::NoSuchDomain`] for missing endpoints.
+pub fn grant_channel<B: BackendPolicy>(
+    backend: &mut B,
+    from: DomainId,
+    to: DomainId,
+    badge: Badge,
+) -> Result<ChannelCap, SubstrateError> {
+    let table = backend.fabric_mut().table_mut();
+    table.get(to)?;
+    let rec = table.get_mut(from)?;
+    Ok(rec.caps.install(from, to, badge))
+}
+
+/// Engine: revokes a channel.
+///
+/// # Errors
+///
+/// [`SubstrateError::NoSuchDomain`] if the owner is gone.
+pub fn revoke_channel<B: BackendPolicy>(
+    backend: &mut B,
+    cap: &ChannelCap,
+) -> Result<(), SubstrateError> {
+    let rec = backend.fabric_mut().table_mut().get_mut(cap.owner)?;
+    rec.caps.revoke(cap.slot);
+    Ok(())
+}
+
+/// Engine: the invocation path. Validates the capability (recording
+/// denials), runs the backend gate (recording reentrancy faults),
+/// classifies and charges the crossing, dispatches take-out/put-back,
+/// and records the trace event + counters.
+///
+/// # Errors
+///
+/// See [`Substrate::invoke`].
+pub fn invoke<B: BackendPolicy>(
+    backend: &mut B,
+    caller: DomainId,
+    cap: &ChannelCap,
+    data: &[u8],
+) -> Result<Vec<u8>, SubstrateError> {
+    let entry = {
+        let table = backend.fabric().table();
+        let caller_rec = table.get(caller)?;
+        match caller_rec.caps.lookup(caller, cap) {
+            Ok(e) => e,
+            Err(e) => {
+                backend.fabric_mut().note_denial(caller);
+                return Err(e);
+            }
+        }
+    };
+    let target = entry.target;
+    if let Err(e) = backend.begin_invoke(caller, target) {
+        if matches!(e, SubstrateError::Reentrancy(_)) {
+            backend.fabric_mut().note_reentrancy(caller);
+        }
+        return Err(e);
+    }
+    let crossing = match backend.crossing(caller, target) {
+        Ok(kind) => kind,
+        Err(e) => {
+            backend.end_invoke(caller, target);
+            return Err(e);
+        }
+    };
+    let cost = backend.crossing_cost(crossing, data.len());
+    backend.advance_clock(cost);
+    let at = backend.now();
+    let result = run_component(backend, target, entry.badge, data);
+    backend.end_invoke(caller, target);
+    let (outcome, reply_bytes) = match &result {
+        Ok(reply) => (TraceOutcome::Ok, reply.len() as u64),
+        Err(SubstrateError::Reentrancy(_)) => {
+            backend.fabric_mut().note_reentrancy(caller);
+            (TraceOutcome::Reentrancy, 0)
+        }
+        Err(_) => (TraceOutcome::Failed, 0),
+    };
+    let fabric = backend.fabric_mut();
+    let event = TraceEvent {
+        seq: fabric.next_seq(),
+        at,
+        caller,
+        callee: target,
+        badge: entry.badge,
+        bytes: data.len() as u64,
+        crossing,
+        cost,
+        outcome,
+    };
+    fabric.record(event, cap.slot, reply_bytes);
+    result
+}
+
+/// Take-out/put-back dispatch of the target component (re-entry shows
+/// up as the component being absent and becomes a clean
+/// [`SubstrateError::Reentrancy`]).
+fn run_component<B: BackendPolicy>(
+    backend: &mut B,
+    target: DomainId,
+    badge: Badge,
+    data: &[u8],
+) -> Result<Vec<u8>, SubstrateError> {
+    let (mut component, measurement) = {
+        let table = backend.fabric_mut().table_mut();
+        let m = table.get(target)?.measurement;
+        (table.take_component(target)?, m)
+    };
+    let result = {
+        let mut ctx = CallCtx::new(backend as &mut dyn Substrate, target, measurement);
+        component.on_call(&mut ctx, Invocation { badge, data })
+    };
+    backend
+        .fabric_mut()
+        .table_mut()
+        .put_component(target, component);
+    result.map_err(|ComponentError(msg)| SubstrateError::ComponentFailure(msg))
+}
+
+/// Engine: a domain's code identity.
+///
+/// # Errors
+///
+/// [`SubstrateError::NoSuchDomain`].
+pub fn measurement<B: BackendPolicy>(
+    backend: &B,
+    domain: DomainId,
+) -> Result<Digest, SubstrateError> {
+    Ok(backend.fabric().table().get(domain)?.measurement)
+}
+
+/// Engine: a domain's diagnostic name.
+///
+/// # Errors
+///
+/// [`SubstrateError::NoSuchDomain`].
+pub fn domain_name<B: BackendPolicy>(
+    backend: &B,
+    domain: DomainId,
+) -> Result<String, SubstrateError> {
+    Ok(backend.fabric().table().get(domain)?.spec.name.clone())
+}
+
+/// Engine: seals `data` to `domain`'s identity via the backend's key
+/// derivation.
+///
+/// # Errors
+///
+/// See [`Substrate::seal`].
+pub fn seal<B: BackendPolicy>(
+    backend: &mut B,
+    domain: DomainId,
+    data: &[u8],
+) -> Result<Vec<u8>, SubstrateError> {
+    let m = backend.fabric().table().get(domain)?.measurement;
+    backend.seal_blob(domain, &m, data)
+}
+
+/// Engine: reverses [`seal`].
+///
+/// # Errors
+///
+/// See [`Substrate::unseal`].
+pub fn unseal<B: BackendPolicy>(
+    backend: &mut B,
+    domain: DomainId,
+    sealed: &[u8],
+) -> Result<Vec<u8>, SubstrateError> {
+    let m = backend.fabric().table().get(domain)?.measurement;
+    backend.unseal_blob(domain, &m, sealed)
+}
+
+/// Engine: assembles attestation evidence for `domain`.
+///
+/// # Errors
+///
+/// See [`Substrate::attest`].
+pub fn attest<B: BackendPolicy>(
+    backend: &mut B,
+    domain: DomainId,
+    report_data: &[u8],
+) -> Result<AttestationEvidence, SubstrateError> {
+    let m = backend.fabric().table().get(domain)?.measurement;
+    backend.attest_evidence(domain, m, report_data)
+}
+
+/// Engine: enumerates `domain`'s live capabilities.
+///
+/// # Errors
+///
+/// [`SubstrateError::NoSuchDomain`].
+pub fn list_caps<B: BackendPolicy>(
+    backend: &B,
+    domain: DomainId,
+) -> Result<Vec<ChannelCap>, SubstrateError> {
+    let rec = backend.fabric().table().get(domain)?;
+    Ok(rec
+        .caps
+        .iter()
+        .map(|(slot, e)| ChannelCap {
+            owner: domain,
+            slot,
+            nonce: e.nonce,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_event_encoding_is_stable() {
+        let ev = TraceEvent {
+            seq: 1,
+            at: 2,
+            caller: DomainId(3),
+            callee: DomainId(4),
+            badge: Badge(5),
+            bytes: 6,
+            crossing: CrossingKind::Ipc,
+            cost: 7,
+            outcome: TraceOutcome::Ok,
+        };
+        let mut a = Vec::new();
+        ev.encode_into(&mut a);
+        let mut b = Vec::new();
+        ev.encode_into(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn ring_buffer_caps_retention_but_not_seq() {
+        let mut f = Fabric::with_trace_capacity(2);
+        for i in 0..5u64 {
+            let seq = f.next_seq();
+            f.record(
+                TraceEvent {
+                    seq,
+                    at: i,
+                    caller: DomainId(0),
+                    callee: DomainId(1),
+                    badge: Badge(0),
+                    bytes: 0,
+                    crossing: CrossingKind::Local,
+                    cost: 0,
+                    outcome: TraceOutcome::Ok,
+                },
+                0,
+                0,
+            );
+        }
+        assert_eq!(f.trace_len(), 2);
+        assert_eq!(f.events_recorded(), 5);
+        let seqs: Vec<u64> = f.trace().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn stats_accumulate_per_domain_channel_and_crossing() {
+        let mut f = Fabric::new();
+        let seq = f.next_seq();
+        f.record(
+            TraceEvent {
+                seq,
+                at: 10,
+                caller: DomainId(1),
+                callee: DomainId(2),
+                badge: Badge(9),
+                bytes: 100,
+                crossing: CrossingKind::Mailbox,
+                cost: 500,
+                outcome: TraceOutcome::Ok,
+            },
+            3,
+            20,
+        );
+        f.note_denial(DomainId(1));
+        f.note_reentrancy(DomainId(2));
+        let d1 = f.stats().domain(DomainId(1)).unwrap();
+        assert_eq!(d1.invocations, 1);
+        assert_eq!(d1.bytes, 120);
+        assert_eq!(d1.denials, 1);
+        let ch = f.stats().channel(DomainId(1), 3).unwrap();
+        assert_eq!(ch.invocations, 1);
+        assert_eq!(ch.bytes, 120);
+        let cr = f.stats().crossing(CrossingKind::Mailbox).unwrap();
+        assert_eq!(cr.count, 1);
+        assert_eq!(cr.bytes, 100);
+        assert_eq!(f.stats().total_reentrancy_faults(), 1);
+    }
+}

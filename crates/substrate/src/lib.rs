@@ -21,6 +21,9 @@
 //! * [`component`] — the trusted-component programming model.
 //! * [`substrate`] — the [`substrate::Substrate`] trait itself plus the
 //!   [`substrate::DomainContext`] services components see.
+//! * [`fabric`] — the shared engine behind every backend: domain
+//!   lifecycle, capability checks, reentrancy, tracing, and stats are
+//!   implemented once; backends plug in via [`fabric::BackendPolicy`].
 //! * [`attest`] — substrate-independent attestation evidence and the
 //!   verifier's trust policy.
 //! * [`software`] — a reference backend isolating purely by the Rust type
@@ -67,6 +70,7 @@ pub mod attest;
 pub mod cap;
 pub mod component;
 pub mod conformance;
+pub mod fabric;
 pub mod software;
 pub mod substrate;
 pub mod testkit;

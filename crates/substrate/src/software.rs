@@ -11,7 +11,10 @@
 //! anyway" — it reports attestation as unsupported.
 //!
 //! Besides being paper-faithful, this substrate is the fast reference
-//! implementation used by unit tests throughout the workspace.
+//! implementation used by unit tests throughout the workspace, and the
+//! reference [`BackendPolicy`] implementation: all mechanism lives in
+//! [`crate::fabric`]; this file contributes only placement, the trivial
+//! cost model, and HKDF-based sealing.
 //!
 //! [`AttackerModel::RemoteSoftware`]: crate::attacker::AttackerModel::RemoteSoftware
 
@@ -22,11 +25,10 @@ use lateral_crypto::Digest;
 
 use crate::attacker::{models, AttackerModel, Features, SubstrateProfile};
 use crate::attest::AttestationEvidence;
-use crate::cap::{Badge, CapTable, ChannelCap};
+use crate::cap::{Badge, ChannelCap};
 use crate::component::Component;
-use crate::substrate::{
-    dispatch_call, CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate,
-};
+use crate::fabric::{self, BackendPolicy, CrossingKind, DomainKind, Fabric};
+use crate::substrate::{DomainSpec, Substrate};
 use crate::{DomainId, SubstrateError};
 
 const PAGE: usize = 4096;
@@ -34,7 +36,7 @@ const PAGE: usize = 4096;
 /// The pure-software substrate.
 pub struct SoftwareSubstrate {
     profile: SubstrateProfile,
-    table: DomainTable,
+    fabric: Fabric,
     memories: Vec<Vec<u8>>,
     seal_secret: [u8; 32],
     rng: Drbg,
@@ -43,7 +45,11 @@ pub struct SoftwareSubstrate {
 
 impl std::fmt::Debug for SoftwareSubstrate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SoftwareSubstrate({} domains)", self.table.len())
+        write!(
+            f,
+            "SoftwareSubstrate({} domains)",
+            self.fabric.table().len()
+        )
     }
 }
 
@@ -70,7 +76,7 @@ impl SoftwareSubstrate {
                 // millions of lines.
                 tcb_loc: 1_500_000,
             },
-            table: DomainTable::new(),
+            fabric: Fabric::new(),
             memories: Vec::new(),
             seal_secret,
             rng,
@@ -87,6 +93,88 @@ impl SoftwareSubstrate {
     }
 }
 
+impl BackendPolicy for SoftwareSubstrate {
+    fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    fn place(&mut self, id: DomainId, _kind: DomainKind) -> Result<(), SubstrateError> {
+        let pages = self.fabric.table().get(id)?.spec.mem_pages;
+        // Memory slots parallel the domain table; ids are never reused.
+        debug_assert_eq!(id.0 as usize, self.memories.len());
+        self.memories.push(vec![0u8; pages * PAGE]);
+        Ok(())
+    }
+
+    fn unplace(&mut self, id: DomainId) {
+        if let Some(mem) = self.memories.get_mut(id.0 as usize) {
+            mem.fill(0); // scrub
+        }
+    }
+
+    fn charge_spawn(&mut self, _id: DomainId) -> Result<(), SubstrateError> {
+        self.clock += 50; // a spawn is cheap here: an allocation
+        Ok(())
+    }
+
+    fn crossing(
+        &self,
+        _caller: DomainId,
+        _target: DomainId,
+    ) -> Result<CrossingKind, SubstrateError> {
+        // Software isolation: an invocation is just a dynamic dispatch.
+        Ok(CrossingKind::Local)
+    }
+
+    fn crossing_cost(&self, _kind: CrossingKind, bytes: usize) -> u64 {
+        5 + bytes as u64 / 64
+    }
+
+    fn advance_clock(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    fn seal_blob(
+        &mut self,
+        _domain: DomainId,
+        measurement: &Digest,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        Ok(Aead::new(&self.seal_key(measurement)).seal(0, b"software.seal", data))
+    }
+
+    fn unseal_blob(
+        &mut self,
+        _domain: DomainId,
+        measurement: &Digest,
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        Aead::new(&self.seal_key(measurement))
+            .open(0, b"software.seal", sealed)
+            .map_err(|_| {
+                SubstrateError::CryptoFailure(
+                    "unseal failed: wrong identity or tampered blob".into(),
+                )
+            })
+    }
+
+    fn attest_evidence(
+        &mut self,
+        _domain: DomainId,
+        _measurement: Digest,
+        _report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError> {
+        Err(SubstrateError::Unsupported(
+            "software isolation has no hardware secret; attestation requires hardware (§II-B)"
+                .into(),
+        ))
+    }
+}
+
 impl Substrate for SoftwareSubstrate {
     fn profile(&self) -> &SubstrateProfile {
         &self.profile
@@ -97,39 +185,11 @@ impl Substrate for SoftwareSubstrate {
         spec: DomainSpec,
         component: Box<dyn Component>,
     ) -> Result<DomainId, SubstrateError> {
-        let measurement = spec.measurement();
-        let mem = vec![0u8; spec.mem_pages * PAGE];
-        let id = self.table.insert(DomainRecord {
-            spec,
-            measurement,
-            caps: CapTable::new(),
-            component: Some(component),
-        });
-        debug_assert_eq!(id.0 as usize, self.memories.len());
-        self.memories.push(mem);
-        self.clock += 50; // a spawn is cheap here: an allocation
-                          // Run on_start through the normal dispatch machinery.
-        let mut component = self.table.take_component(id)?;
-        let result = {
-            let mut ctx = CallCtx::new(self as &mut dyn Substrate, id, measurement);
-            component.on_start(&mut ctx)
-        };
-        self.table.put_component(id, component);
-        match result {
-            Ok(()) => Ok(id),
-            Err(e) => {
-                self.table.remove(id)?;
-                Err(SubstrateError::ComponentFailure(e.0))
-            }
-        }
+        fabric::spawn(self, spec, component, DomainKind::Trusted)
     }
 
     fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
-        self.table.remove(domain)?;
-        if let Some(mem) = self.memories.get_mut(domain.0 as usize) {
-            mem.fill(0); // scrub
-        }
-        Ok(())
+        fabric::destroy(self, domain)
     }
 
     fn grant_channel(
@@ -138,15 +198,11 @@ impl Substrate for SoftwareSubstrate {
         to: DomainId,
         badge: Badge,
     ) -> Result<ChannelCap, SubstrateError> {
-        self.table.get(to)?; // target must exist
-        let rec = self.table.get_mut(from)?;
-        Ok(rec.caps.install(from, to, badge))
+        fabric::grant_channel(self, from, to, badge)
     }
 
     fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
-        let rec = self.table.get_mut(cap.owner)?;
-        rec.caps.revoke(cap.slot);
-        Ok(())
+        fabric::revoke_channel(self, cap)
     }
 
     fn invoke(
@@ -155,44 +211,31 @@ impl Substrate for SoftwareSubstrate {
         cap: &ChannelCap,
         data: &[u8],
     ) -> Result<Vec<u8>, SubstrateError> {
-        // Software isolation: an invocation is just a dynamic dispatch.
-        self.clock += 5 + data.len() as u64 / 64;
-        dispatch_call(self, |s| &mut s.table, caller, cap, data)
+        fabric::invoke(self, caller, cap, data)
     }
 
     fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
-        Ok(self.table.get(domain)?.measurement)
+        fabric::measurement(self, domain)
     }
 
     fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
-        Ok(self.table.get(domain)?.spec.name.clone())
+        fabric::domain_name(self, domain)
     }
 
     fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let m = self.table.get(domain)?.measurement;
-        Ok(Aead::new(&self.seal_key(&m)).seal(0, b"software.seal", data))
+        fabric::seal(self, domain, data)
     }
 
     fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let m = self.table.get(domain)?.measurement;
-        Aead::new(&self.seal_key(&m))
-            .open(0, b"software.seal", sealed)
-            .map_err(|_| {
-                SubstrateError::CryptoFailure(
-                    "unseal failed: wrong identity or tampered blob".into(),
-                )
-            })
+        fabric::unseal(self, domain, sealed)
     }
 
     fn attest(
         &mut self,
-        _domain: DomainId,
-        _report_data: &[u8],
+        domain: DomainId,
+        report_data: &[u8],
     ) -> Result<AttestationEvidence, SubstrateError> {
-        Err(SubstrateError::Unsupported(
-            "software isolation has no hardware secret; attestation requires hardware (§II-B)"
-                .into(),
-        ))
+        fabric::attest(self, domain, report_data)
     }
 
     fn platform_verifying_key(&self) -> Result<VerifyingKey, SubstrateError> {
@@ -207,7 +250,7 @@ impl Substrate for SoftwareSubstrate {
         offset: usize,
         len: usize,
     ) -> Result<Vec<u8>, SubstrateError> {
-        self.table.get(domain)?;
+        self.fabric.table().get(domain)?;
         let mem = &self.memories[domain.0 as usize];
         let end = offset
             .checked_add(len)
@@ -223,7 +266,7 @@ impl Substrate for SoftwareSubstrate {
         offset: usize,
         data: &[u8],
     ) -> Result<(), SubstrateError> {
-        self.table.get(domain)?;
+        self.fabric.table().get(domain)?;
         let mem = &mut self.memories[domain.0 as usize];
         let end = offset
             .checked_add(data.len())
@@ -244,16 +287,11 @@ impl Substrate for SoftwareSubstrate {
     }
 
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
-        let rec = self.table.get(domain)?;
-        Ok(rec
-            .caps
-            .iter()
-            .map(|(slot, e)| ChannelCap {
-                owner: domain,
-                slot,
-                nonce: e.nonce,
-            })
-            .collect())
+        fabric::list_caps(self, domain)
+    }
+
+    fn fabric_ref(&self) -> Option<&Fabric> {
+        Some(&self.fabric)
     }
 }
 
@@ -416,14 +454,20 @@ mod tests {
         let driver = s.spawn(DomainSpec::named("driver"), echo()).unwrap();
         let driver_cap = s.grant_channel(driver, a, Badge(2)).unwrap();
         {
-            let rec = s.table.get_mut(a).unwrap();
-            if let Some(c) = rec.component.as_mut() {
-                // downcast-free injection via a fresh component
-                let _ = c;
-            }
+            let rec = s.fabric.table_mut().get_mut(a).unwrap();
             rec.component = Some(Box::new(SelfCaller { cap: Some(cap) }));
         }
         assert_eq!(s.invoke(driver, &driver_cap, b"go").unwrap(), b"blocked");
+        // The failed self-call was counted as a reentrancy fault against a.
+        assert_eq!(
+            s.fabric_ref()
+                .unwrap()
+                .stats()
+                .domain(a)
+                .unwrap()
+                .reentrancy_faults,
+            1
+        );
     }
 
     #[test]
@@ -445,10 +489,7 @@ mod tests {
             fn label(&self) -> &str {
                 "bad"
             }
-            fn on_start(
-                &mut self,
-                _ctx: &mut dyn DomainContext,
-            ) -> Result<(), ComponentError> {
+            fn on_start(&mut self, _ctx: &mut dyn DomainContext) -> Result<(), ComponentError> {
                 Err(ComponentError::new("init failed"))
             }
             fn on_call(
@@ -460,5 +501,42 @@ mod tests {
             }
         }
         assert!(s.spawn(DomainSpec::named("bad"), Box::new(Bad)).is_err());
+    }
+
+    #[test]
+    fn trace_and_stats_observe_invocations() {
+        let mut s = SoftwareSubstrate::new("t11");
+        let a = s.spawn(DomainSpec::named("a"), echo()).unwrap();
+        let b = s.spawn(DomainSpec::named("b"), echo()).unwrap();
+        let cap = s.grant_channel(a, b, Badge(4)).unwrap();
+        s.invoke(a, &cap, b"ping").unwrap();
+        s.invoke(a, &cap, b"pong!").unwrap();
+        let fab = s.fabric_ref().unwrap();
+        assert_eq!(fab.events_recorded(), 2);
+        let events: Vec<_> = fab.trace().collect();
+        assert_eq!(events[0].caller, a);
+        assert_eq!(events[0].callee, b);
+        assert_eq!(events[0].badge, Badge(4));
+        assert_eq!(events[0].bytes, 4);
+        assert_eq!(events[0].crossing, CrossingKind::Local);
+        let d = fab.stats().domain(a).unwrap();
+        assert_eq!(d.invocations, 2);
+        assert_eq!(d.bytes, (4 + 4) + (5 + 5));
+        assert_eq!(fab.stats().channel(a, cap.slot).unwrap().invocations, 2);
+    }
+
+    #[test]
+    fn identical_runs_yield_identical_trace_bytes() {
+        let run = || {
+            let mut s = SoftwareSubstrate::new("trace det");
+            let a = s.spawn(DomainSpec::named("a"), echo()).unwrap();
+            let b = s.spawn(DomainSpec::named("b"), echo()).unwrap();
+            let cap = s.grant_channel(a, b, Badge(1)).unwrap();
+            for i in 0..10u8 {
+                s.invoke(a, &cap, &vec![i; i as usize]).unwrap();
+            }
+            s.fabric_ref().unwrap().trace_bytes()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -232,6 +232,15 @@ pub trait Substrate {
     ///
     /// [`SubstrateError::NoSuchDomain`].
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError>;
+
+    /// The backend's [`crate::fabric::Fabric`] — trace buffer and
+    /// [`crate::fabric::FabricStats`] counters — when the backend routes
+    /// through the fabric engine (all in-tree backends do). Experiments
+    /// read crossing counts and byte volumes through this without
+    /// giving up object safety.
+    fn fabric_ref(&self) -> Option<&crate::fabric::Fabric> {
+        None
+    }
 }
 
 /// The services a component sees while executing. A thin, POLA-scoped

@@ -163,6 +163,185 @@ impl Component for Forwarder {
     }
 }
 
+/// Fabric-parity assertions: one battery of semantic scenarios that must
+/// hold identically on every backend now that lifecycle, capability, and
+/// reentrancy logic live in [`crate::fabric`]. Each assertion names the
+/// backend (via its profile) on failure so a cross-backend sweep pins the
+/// offender immediately.
+pub mod parity {
+    use super::{BadgeReporter, Echo, Forwarder};
+    use crate::cap::Badge;
+    use crate::substrate::{DomainSpec, Substrate};
+    use crate::SubstrateError;
+
+    /// Runs the full parity battery: reentrancy, revoke-then-invoke,
+    /// badge demultiplexing, and seal-to-identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the backend name) on the first scenario whose
+    /// behaviour deviates from the fabric contract.
+    pub fn assert_parity(sub: &mut dyn Substrate) {
+        assert_reentrancy_refused(sub);
+        assert_revoke_then_invoke_fails(sub);
+        assert_badge_demultiplexing(sub);
+        assert_seal_to_identity(sub);
+    }
+
+    /// A component that calls back into its own domain mid-handler must
+    /// be refused with [`SubstrateError::Reentrancy`] — surfaced to the
+    /// driver as a `ComponentFailure` from the forwarding proxy.
+    pub fn assert_reentrancy_refused(sub: &mut dyn Substrate) {
+        let name = sub.profile().name.clone();
+        let selfish = sub
+            .spawn(DomainSpec::named("parity-selfish"), Box::new(Forwarder))
+            .unwrap_or_else(|e| panic!("[{name}] spawn: {e}"));
+        sub.grant_channel(selfish, selfish, Badge(1))
+            .unwrap_or_else(|e| panic!("[{name}] self-grant: {e}"));
+        let driver = sub
+            .spawn(DomainSpec::named("parity-driver"), Box::new(Echo))
+            .unwrap_or_else(|e| panic!("[{name}] spawn driver: {e}"));
+        let cap = sub
+            .grant_channel(driver, selfish, Badge(2))
+            .unwrap_or_else(|e| panic!("[{name}] grant: {e}"));
+        let err = sub
+            .invoke(driver, &cap, b"loop")
+            .expect_err("self-call must not succeed");
+        assert!(
+            matches!(err, SubstrateError::ComponentFailure(ref m) if m.contains("forward")),
+            "[{name}] expected forwarded reentrancy failure, got: {err}"
+        );
+        sub.destroy(selfish).unwrap();
+        sub.destroy(driver).unwrap();
+    }
+
+    /// A capability stops working the moment it is revoked.
+    pub fn assert_revoke_then_invoke_fails(sub: &mut dyn Substrate) {
+        let name = sub.profile().name.clone();
+        let svc = sub
+            .spawn(DomainSpec::named("parity-svc"), Box::new(Echo))
+            .unwrap();
+        let client = sub
+            .spawn(DomainSpec::named("parity-client"), Box::new(Echo))
+            .unwrap();
+        let cap = sub.grant_channel(client, svc, Badge(3)).unwrap();
+        assert_eq!(
+            sub.invoke(client, &cap, b"live").unwrap(),
+            b"live",
+            "[{name}] live cap must invoke"
+        );
+        sub.revoke_channel(&cap).unwrap();
+        assert!(
+            sub.invoke(client, &cap, b"dead").is_err(),
+            "[{name}] revoked cap must be refused"
+        );
+        sub.destroy(svc).unwrap();
+        sub.destroy(client).unwrap();
+    }
+
+    /// The badge a service sees is the one fixed at grant time by the
+    /// substrate — two clients sharing one service are told apart by the
+    /// kernel, not by anything in the message (§III-C).
+    pub fn assert_badge_demultiplexing(sub: &mut dyn Substrate) {
+        let name = sub.profile().name.clone();
+        let svc = sub
+            .spawn(DomainSpec::named("parity-badged"), Box::new(BadgeReporter))
+            .unwrap();
+        let alice = sub
+            .spawn(DomainSpec::named("parity-alice"), Box::new(Echo))
+            .unwrap();
+        let bob = sub
+            .spawn(DomainSpec::named("parity-bob"), Box::new(Echo))
+            .unwrap();
+        let cap_a = sub.grant_channel(alice, svc, Badge(0xA11CE)).unwrap();
+        let cap_b = sub.grant_channel(bob, svc, Badge(0xB0B)).unwrap();
+        let seen_a = sub.invoke(alice, &cap_a, b"ignored payload").unwrap();
+        let seen_b = sub.invoke(bob, &cap_b, b"ignored payload").unwrap();
+        assert_eq!(
+            u64::from_le_bytes(seen_a.try_into().unwrap()),
+            0xA11CE,
+            "[{name}] alice's badge"
+        );
+        assert_eq!(
+            u64::from_le_bytes(seen_b.try_into().unwrap()),
+            0xB0B,
+            "[{name}] bob's badge"
+        );
+        sub.destroy(svc).unwrap();
+        sub.destroy(alice).unwrap();
+        sub.destroy(bob).unwrap();
+    }
+
+    /// Sealing binds to the sealer's identity: the same domain unseals
+    /// its own blob; a domain with a different image cannot.
+    pub fn assert_seal_to_identity(sub: &mut dyn Substrate) {
+        let name = sub.profile().name.clone();
+        let a = sub
+            .spawn(
+                DomainSpec::named("parity-seal-a").with_image(b"parity image a"),
+                Box::new(Echo),
+            )
+            .unwrap();
+        let b = sub
+            .spawn(
+                DomainSpec::named("parity-seal-b").with_image(b"parity image b"),
+                Box::new(Echo),
+            )
+            .unwrap();
+        let blob = sub
+            .seal(a, b"parity secret")
+            .unwrap_or_else(|e| panic!("[{name}] trusted domain must seal: {e}"));
+        assert_eq!(
+            sub.unseal(a, &blob).unwrap(),
+            b"parity secret",
+            "[{name}] sealer unseals its own blob"
+        );
+        assert!(
+            sub.unseal(b, &blob).is_err(),
+            "[{name}] a different identity must not unseal the blob"
+        );
+        sub.destroy(a).unwrap();
+        sub.destroy(b).unwrap();
+    }
+
+    /// Regression for the destroy/respawn hole: a capability granted
+    /// into a domain that is destroyed and then respawned (same name,
+    /// same image) must stay dead — domain ids are never reused and
+    /// `destroy` revokes every capability targeting the victim.
+    pub fn assert_stale_cap_rejected(sub: &mut dyn Substrate) {
+        let name = sub.profile().name.clone();
+        let spec = || DomainSpec::named("parity-respawn").with_image(b"respawn image");
+        let client = sub
+            .spawn(DomainSpec::named("parity-holder"), Box::new(Echo))
+            .unwrap();
+        let victim = sub.spawn(spec(), Box::new(Echo)).unwrap();
+        let stale = sub.grant_channel(client, victim, Badge(9)).unwrap();
+        assert_eq!(sub.invoke(client, &stale, b"pre").unwrap(), b"pre");
+        sub.destroy(victim).unwrap();
+        assert!(
+            sub.invoke(client, &stale, b"gone").is_err(),
+            "[{name}] cap into destroyed domain must fail"
+        );
+        let respawned = sub.spawn(spec(), Box::new(Echo)).unwrap();
+        assert_ne!(
+            respawned, victim,
+            "[{name}] domain ids must never be reused"
+        );
+        assert!(
+            sub.invoke(client, &stale, b"still gone").is_err(),
+            "[{name}] stale cap must not reach the respawned domain"
+        );
+        let fresh = sub.grant_channel(client, respawned, Badge(9)).unwrap();
+        assert_eq!(
+            sub.invoke(client, &fresh, b"fresh").unwrap(),
+            b"fresh",
+            "[{name}] a freshly granted cap works"
+        );
+        sub.destroy(client).unwrap();
+        sub.destroy(respawned).unwrap();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,7 +371,9 @@ mod tests {
         let sealer = s
             .spawn(DomainSpec::named("sealer"), Box::new(Sealer))
             .unwrap();
-        let d = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let d = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = s.grant_channel(d, sealer, Badge(0)).unwrap();
         let sealed = s.invoke(d, &cap, b"s:top secret").unwrap();
         let mut req = b"u:".to_vec();
@@ -206,7 +387,9 @@ mod tests {
         let m = s
             .spawn(DomainSpec::named("scribe"), Box::new(MemoryScribe))
             .unwrap();
-        let d = s.spawn(DomainSpec::named("driver"), Box::new(Echo)).unwrap();
+        let d = s
+            .spawn(DomainSpec::named("driver"), Box::new(Echo))
+            .unwrap();
         let cap = s.grant_channel(d, m, Badge(0)).unwrap();
         assert_eq!(s.invoke(d, &cap, b"hello memory").unwrap(), b"hello memory");
     }

@@ -29,7 +29,12 @@ fn payload(selection: &[usize], composite: &Digest, nonce: &[u8]) -> Digest {
         .iter()
         .flat_map(|i| (*i as u64).to_le_bytes())
         .collect();
-    Digest::of_parts(&[b"lateral.tpm.quote", &sel_bytes, composite.as_bytes(), nonce])
+    Digest::of_parts(&[
+        b"lateral.tpm.quote",
+        &sel_bytes,
+        composite.as_bytes(),
+        nonce,
+    ])
 }
 
 impl Quote {
@@ -138,9 +143,7 @@ mod tests {
         let t = tpm();
         let good = t.composite(&[0]);
         let q = t.quote(&[0], b"n");
-        assert!(q
-            .verify_state(&t.attestation_key(), b"n", &good)
-            .is_ok());
+        assert!(q.verify_state(&t.attestation_key(), b"n", &good).is_ok());
         // A platform that booted something else produces a different
         // composite and is caught.
         let mut other = Tpm::new(b"quote tests");

@@ -39,11 +39,10 @@ use lateral_hw::mmu::{AddressSpace, Rights};
 use lateral_hw::{Initiator, VirtAddr, World, PAGE_SIZE};
 use lateral_substrate::attacker::{models, AttackerModel, Features, SubstrateProfile};
 use lateral_substrate::attest::AttestationEvidence;
-use lateral_substrate::cap::{Badge, CapTable, ChannelCap};
+use lateral_substrate::cap::{Badge, ChannelCap};
 use lateral_substrate::component::Component;
-use lateral_substrate::substrate::{
-    dispatch_call, CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate,
-};
+use lateral_substrate::fabric::{self, BackendPolicy, CrossingKind, DomainKind, Fabric};
+use lateral_substrate::substrate::{DomainSpec, Substrate};
 use lateral_substrate::{DomainId, SubstrateError};
 
 /// Name of the fused per-device key (smart-meter example, §III-C).
@@ -58,7 +57,7 @@ struct TzDomain {
 /// The TrustZone substrate: secure-world OS + secure monitor.
 pub struct TrustZone {
     machine: Machine,
-    table: DomainTable,
+    fabric: Fabric,
     kstate: BTreeMap<DomainId, TzDomain>,
     normal_domain: Option<DomainId>,
     attest_key: SigningKey,
@@ -73,7 +72,7 @@ impl std::fmt::Debug for TrustZone {
         write!(
             f,
             "TrustZone({} domains on '{}')",
-            self.table.len(),
+            self.fabric.table().len(),
             self.machine.name
         )
     }
@@ -99,14 +98,12 @@ impl TrustZone {
             .fuses
             .read(Initiator::cpu(World::Secure), DEVICE_KEY_FUSE)
             .expect("secure world reads its fuse");
-        let attest_key = SigningKey::from_seed(
-            &[b"tz-attest".as_slice(), device_key.as_slice()].concat(),
-        );
-        let seal_root =
-            lateral_crypto::hmac::hkdf(b"lateral.trustzone.sealroot", &device_key, b"");
+        let attest_key =
+            SigningKey::from_seed(&[b"tz-attest".as_slice(), device_key.as_slice()].concat());
+        let seal_root = lateral_crypto::hmac::hkdf(b"lateral.trustzone.sealroot", &device_key, b"");
         TrustZone {
             machine,
-            table: DomainTable::new(),
+            fabric: Fabric::new(),
             kstate: BTreeMap::new(),
             normal_domain: None,
             attest_key,
@@ -177,7 +174,7 @@ impl TrustZone {
                 "the normal world already hosts a legacy codebase (no multiplexing)".into(),
             ));
         }
-        let id = self.spawn_in_world(spec, component, World::Normal)?;
+        let id = fabric::spawn(self, spec, component, DomainKind::Untrusted)?;
         self.normal_domain = Some(id);
         Ok(id)
     }
@@ -214,18 +211,27 @@ impl TrustZone {
             measurement.as_bytes(),
         )
     }
+}
 
-    fn spawn_in_world(
-        &mut self,
-        spec: DomainSpec,
-        component: Box<dyn Component>,
-        world: World,
-    ) -> Result<DomainId, SubstrateError> {
+impl BackendPolicy for TrustZone {
+    fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    fn place(&mut self, id: DomainId, kind: DomainKind) -> Result<(), SubstrateError> {
+        let world = match kind {
+            DomainKind::Trusted => World::Secure,
+            DomainKind::Untrusted => World::Normal,
+        };
         let owner = match world {
             World::Secure => FrameOwner::Secure,
             World::Normal => FrameOwner::Normal,
         };
-        let pages = spec.mem_pages.max(1);
+        let pages = self.fabric.table().get(id)?.spec.mem_pages.max(1);
         let frames = self
             .machine
             .mem
@@ -239,13 +245,6 @@ impl TrustZone {
                 Rights::RW,
             );
         }
-        let measurement = spec.measurement();
-        let id = self.table.insert(DomainRecord {
-            spec,
-            measurement,
-            caps: CapTable::new(),
-            component: Some(component),
-        });
         self.kstate.insert(
             id,
             TzDomain {
@@ -254,19 +253,88 @@ impl TrustZone {
                 world,
             },
         );
-        let mut comp = self.table.take_component(id)?;
-        let result = {
-            let mut ctx = CallCtx::new(self as &mut dyn Substrate, id, measurement);
-            comp.on_start(&mut ctx)
-        };
-        self.table.put_component(id, comp);
-        match result {
-            Ok(()) => Ok(id),
-            Err(e) => {
-                self.destroy(id)?;
-                Err(SubstrateError::ComponentFailure(e.0))
+        Ok(())
+    }
+
+    fn unplace(&mut self, id: DomainId) {
+        if let Some(k) = self.kstate.remove(&id) {
+            for frame in k.frames {
+                self.machine.mem.free(frame);
             }
         }
+        if self.normal_domain == Some(id) {
+            self.normal_domain = None;
+        }
+    }
+
+    fn crossing(&self, caller: DomainId, target: DomainId) -> Result<CrossingKind, SubstrateError> {
+        // World crossings go through the secure monitor (SMC), costing a
+        // full world switch each way; secure-internal calls are normal
+        // IPC under the secure-world OS.
+        if self.kdomain(caller)?.world == self.kdomain(target)?.world {
+            Ok(CrossingKind::Ipc)
+        } else {
+            Ok(CrossingKind::WorldSwitch)
+        }
+    }
+
+    fn crossing_cost(&self, kind: CrossingKind, bytes: usize) -> u64 {
+        let base = match kind {
+            CrossingKind::WorldSwitch => 2 * self.machine.costs.smc,
+            _ => self.machine.costs.ipc_round_trip,
+        };
+        base + self.machine.costs.copy_cost(bytes)
+    }
+
+    fn advance_clock(&mut self, cycles: u64) {
+        self.machine.clock.advance(cycles);
+    }
+
+    fn seal_blob(
+        &mut self,
+        _domain: DomainId,
+        measurement: &Digest,
+        data: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        // Sealing is a secure-world service rooted in the fused key.
+        Ok(Aead::new(&self.seal_key(measurement)).seal(0, b"trustzone.seal", data))
+    }
+
+    fn unseal_blob(
+        &mut self,
+        _domain: DomainId,
+        measurement: &Digest,
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, SubstrateError> {
+        Aead::new(&self.seal_key(measurement))
+            .open(0, b"trustzone.seal", sealed)
+            .map_err(|_| {
+                SubstrateError::CryptoFailure(
+                    "unseal failed: wrong identity or tampered blob".into(),
+                )
+            })
+    }
+
+    fn attest_evidence(
+        &mut self,
+        domain: DomainId,
+        measurement: Digest,
+        report_data: &[u8],
+    ) -> Result<AttestationEvidence, SubstrateError> {
+        // Only secure-world components can be attested: the attestation
+        // component has no basis for statements about normal-world state.
+        if self.kdomain(domain)?.world != World::Secure {
+            return Err(SubstrateError::Unsupported(
+                "TrustZone attests secure-world components only".into(),
+            ));
+        }
+        Ok(AttestationEvidence::sign(
+            "trustzone",
+            &self.attest_key,
+            measurement,
+            self.platform_state,
+            report_data,
+        ))
     }
 }
 
@@ -282,20 +350,11 @@ impl Substrate for TrustZone {
         spec: DomainSpec,
         component: Box<dyn Component>,
     ) -> Result<DomainId, SubstrateError> {
-        self.spawn_in_world(spec, component, World::Secure)
+        fabric::spawn(self, spec, component, DomainKind::Trusted)
     }
 
     fn destroy(&mut self, domain: DomainId) -> Result<(), SubstrateError> {
-        self.table.remove(domain)?;
-        if let Some(k) = self.kstate.remove(&domain) {
-            for frame in k.frames {
-                self.machine.mem.free(frame);
-            }
-        }
-        if self.normal_domain == Some(domain) {
-            self.normal_domain = None;
-        }
-        Ok(())
+        fabric::destroy(self, domain)
     }
 
     fn grant_channel(
@@ -304,15 +363,11 @@ impl Substrate for TrustZone {
         to: DomainId,
         badge: Badge,
     ) -> Result<ChannelCap, SubstrateError> {
-        self.table.get(to)?;
-        let rec = self.table.get_mut(from)?;
-        Ok(rec.caps.install(from, to, badge))
+        fabric::grant_channel(self, from, to, badge)
     }
 
     fn revoke_channel(&mut self, cap: &ChannelCap) -> Result<(), SubstrateError> {
-        let rec = self.table.get_mut(cap.owner)?;
-        rec.caps.revoke(cap.slot);
-        Ok(())
+        fabric::revoke_channel(self, cap)
     }
 
     fn invoke(
@@ -321,47 +376,23 @@ impl Substrate for TrustZone {
         cap: &ChannelCap,
         data: &[u8],
     ) -> Result<Vec<u8>, SubstrateError> {
-        // World crossings go through the secure monitor (SMC), costing a
-        // full world switch each way; secure-internal calls are normal
-        // IPC under the secure-world OS.
-        let caller_world = self.kdomain(caller)?.world;
-        let target_world = {
-            let entry = self.table.get(caller)?.caps.lookup(caller, cap)?;
-            self.kdomain(entry.target)?.world
-        };
-        let base = if caller_world == target_world {
-            self.machine.costs.ipc_round_trip
-        } else {
-            2 * self.machine.costs.smc
-        };
-        let cost = base + self.machine.costs.copy_cost(data.len());
-        self.machine.clock.advance(cost);
-        dispatch_call(self, |s| &mut s.table, caller, cap, data)
+        fabric::invoke(self, caller, cap, data)
     }
 
     fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
-        Ok(self.table.get(domain)?.measurement)
+        fabric::measurement(self, domain)
     }
 
     fn domain_name(&self, domain: DomainId) -> Result<String, SubstrateError> {
-        Ok(self.table.get(domain)?.spec.name.clone())
+        fabric::domain_name(self, domain)
     }
 
     fn seal(&mut self, domain: DomainId, data: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        // Sealing is a secure-world service rooted in the fused key.
-        let m = self.table.get(domain)?.measurement;
-        Ok(Aead::new(&self.seal_key(&m)).seal(0, b"trustzone.seal", data))
+        fabric::seal(self, domain, data)
     }
 
     fn unseal(&mut self, domain: DomainId, sealed: &[u8]) -> Result<Vec<u8>, SubstrateError> {
-        let m = self.table.get(domain)?.measurement;
-        Aead::new(&self.seal_key(&m))
-            .open(0, b"trustzone.seal", sealed)
-            .map_err(|_| {
-                SubstrateError::CryptoFailure(
-                    "unseal failed: wrong identity or tampered blob".into(),
-                )
-            })
+        fabric::unseal(self, domain, sealed)
     }
 
     fn attest(
@@ -369,22 +400,7 @@ impl Substrate for TrustZone {
         domain: DomainId,
         report_data: &[u8],
     ) -> Result<AttestationEvidence, SubstrateError> {
-        // Only secure-world components can be attested: the attestation
-        // component has no basis for statements about normal-world state.
-        let k = self.kdomain(domain)?;
-        if k.world != World::Secure {
-            return Err(SubstrateError::Unsupported(
-                "TrustZone attests secure-world components only".into(),
-            ));
-        }
-        let measurement = self.table.get(domain)?.measurement;
-        Ok(AttestationEvidence::sign(
-            "trustzone",
-            &self.attest_key,
-            measurement,
-            self.platform_state,
-            report_data,
-        ))
+        fabric::attest(self, domain, report_data)
     }
 
     fn platform_verifying_key(&self) -> Result<VerifyingKey, SubstrateError> {
@@ -458,16 +474,11 @@ impl Substrate for TrustZone {
     }
 
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
-        let rec = self.table.get(domain)?;
-        Ok(rec
-            .caps
-            .iter()
-            .map(|(slot, e)| ChannelCap {
-                owner: domain,
-                slot,
-                nonce: e.nonce,
-            })
-            .collect())
+        fabric::list_caps(self, domain)
+    }
+
+    fn fabric_ref(&self) -> Option<&Fabric> {
+        Some(&self.fabric)
     }
 }
 
@@ -516,7 +527,9 @@ mod tests {
     #[test]
     fn normal_world_cpu_cannot_read_secure_component_memory() {
         let mut t = tz();
-        let tc = t.spawn(DomainSpec::named("keystore"), Box::new(Echo)).unwrap();
+        let tc = t
+            .spawn(DomainSpec::named("keystore"), Box::new(Echo))
+            .unwrap();
         t.mem_write(tc, 0, b"DRM keys").unwrap();
         let frame = t.domain_frames(tc).unwrap()[0];
         // The compromised normal-world OS issues a raw read at the secure
@@ -533,7 +546,9 @@ mod tests {
         // TrustZone does not encrypt DRAM: the bus probe leaks secrets —
         // why the profile excludes AttackerModel::PhysicalBus.
         let mut t = tz();
-        let tc = t.spawn(DomainSpec::named("keystore"), Box::new(Echo)).unwrap();
+        let tc = t
+            .spawn(DomainSpec::named("keystore"), Box::new(Echo))
+            .unwrap();
         t.mem_write(tc, 0, b"DRM keys").unwrap();
         let frame = t.domain_frames(tc).unwrap()[0];
         let leaked = t
@@ -541,9 +556,7 @@ mod tests {
             .bus_read(Initiator::Probe, frame.base(), 8)
             .unwrap();
         assert_eq!(leaked, b"DRM keys");
-        assert!(!t
-            .profile()
-            .defends_against(AttackerModel::PhysicalBus));
+        assert!(!t.profile().defends_against(AttackerModel::PhysicalBus));
     }
 
     #[test]
@@ -569,12 +582,19 @@ mod tests {
     fn attestation_verifies_and_binds_device_identity() {
         let mut t = tz().with_platform_state(Digest::of(b"meter stack v1"));
         let meter = t
-            .spawn(DomainSpec::named("meter").with_image(b"meter v1"), Box::new(Echo))
+            .spawn(
+                DomainSpec::named("meter").with_image(b"meter v1"),
+                Box::new(Echo),
+            )
             .unwrap();
         let ev = t.attest(meter, b"reading batch 7").unwrap();
         let mut policy = TrustPolicy::new();
         policy.trust_platform(t.platform_verifying_key().unwrap());
-        policy.expect_measurement(DomainSpec::named("meter").with_image(b"meter v1").measurement());
+        policy.expect_measurement(
+            DomainSpec::named("meter")
+                .with_image(b"meter v1")
+                .measurement(),
+        );
         policy.expect_platform_state(Digest::of(b"meter stack v1"));
         assert!(policy.verify(&ev).is_ok());
     }
@@ -605,7 +625,10 @@ mod tests {
             .unwrap();
         m2.fuses.lock();
         let t2 = TrustZone::new(m2, "ignored-after-lock");
-        assert_eq!(k1.to_bytes(), t2.platform_verifying_key().unwrap().to_bytes());
+        assert_eq!(
+            k1.to_bytes(),
+            t2.platform_verifying_key().unwrap().to_bytes()
+        );
     }
 
     #[test]

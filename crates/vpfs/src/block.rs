@@ -75,10 +75,7 @@ impl MemBlockDevice {
     ///
     /// [`FsError::BadBlock`] when out of range.
     pub fn corrupt(&mut self, index: usize, offset: usize, mask: u8) -> Result<(), FsError> {
-        let block = self
-            .blocks
-            .get_mut(index)
-            .ok_or(FsError::BadBlock(index))?;
+        let block = self.blocks.get_mut(index).ok_or(FsError::BadBlock(index))?;
         block[offset % BLOCK_SIZE] ^= mask;
         Ok(())
     }
@@ -105,10 +102,7 @@ impl MemBlockDevice {
         snapshot: &[[u8; BLOCK_SIZE]],
     ) -> Result<(), FsError> {
         let old = snapshot.get(index).ok_or(FsError::BadBlock(index))?;
-        let cur = self
-            .blocks
-            .get_mut(index)
-            .ok_or(FsError::BadBlock(index))?;
+        let cur = self.blocks.get_mut(index).ok_or(FsError::BadBlock(index))?;
         *cur = *old;
         Ok(())
     }
@@ -127,10 +121,7 @@ impl BlockDevice for MemBlockDevice {
     }
 
     fn write_block(&mut self, index: usize, data: &[u8; BLOCK_SIZE]) -> Result<(), FsError> {
-        let block = self
-            .blocks
-            .get_mut(index)
-            .ok_or(FsError::BadBlock(index))?;
+        let block = self.blocks.get_mut(index).ok_or(FsError::BadBlock(index))?;
         *block = *data;
         Ok(())
     }

@@ -303,7 +303,12 @@ impl LegacyFs {
             .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         let rem = inode.size as usize % BLOCK_SIZE;
         let used = inode.size as usize / BLOCK_SIZE + usize::from(rem != 0);
-        Ok(inode.blocks.iter().take(used).map(|b| *b as usize).collect())
+        Ok(inode
+            .blocks
+            .iter()
+            .take(used)
+            .map(|b| *b as usize)
+            .collect())
     }
 }
 

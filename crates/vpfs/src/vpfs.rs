@@ -185,7 +185,11 @@ impl Vpfs {
     }
 
     fn file_aead(&self, file_id: u64) -> Aead {
-        let key = hkdf(b"lateral.vpfs.file", &self.file_master, &file_id.to_le_bytes());
+        let key = hkdf(
+            b"lateral.vpfs.file",
+            &self.file_master,
+            &file_id.to_le_bytes(),
+        );
         Aead::new(&key)
     }
 
@@ -298,7 +302,8 @@ impl Vpfs {
         for (i, chunk) in chunks.iter().enumerate() {
             let aad = format!("vpfs.file:{file_id}:{version}:{i}:{chunk_count}");
             let sealed = aead.seal(version ^ ((i as u64) << 32), aad.as_bytes(), chunk);
-            self.legacy.write(&obj_name(file_id, version, i as u32), &sealed)?;
+            self.legacy
+                .write(&obj_name(file_id, version, i as u32), &sealed)?;
         }
         if chunks.is_empty() {
             let aad = format!("vpfs.file:{file_id}:{version}:0:{chunk_count}");
@@ -377,7 +382,9 @@ impl Vpfs {
             .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         self.commit_root()?;
         for i in 0..entry.chunks {
-            let _ = self.legacy.remove(&obj_name(entry.file_id, entry.version, i));
+            let _ = self
+                .legacy
+                .remove(&obj_name(entry.file_id, entry.version, i));
         }
         Ok(())
     }
@@ -437,7 +444,12 @@ mod tests {
             );
         }
         // Even the file *names* are opaque object ids.
-        assert!(v.legacy().list().unwrap().iter().all(|n| !n.contains("mail")));
+        assert!(v
+            .legacy()
+            .list()
+            .unwrap()
+            .iter()
+            .all(|n| !n.contains("mail")));
     }
 
     #[test]
@@ -454,10 +466,7 @@ mod tests {
             .unwrap();
         let blocks = v.legacy().file_blocks(&obj).unwrap();
         v.legacy().device().corrupt(blocks[0], 5, 0x01).unwrap();
-        assert!(matches!(
-            v.read("a"),
-            Err(FsError::IntegrityViolation(_))
-        ));
+        assert!(matches!(v.read("a"), Err(FsError::IntegrityViolation(_))));
     }
 
     #[test]
@@ -478,7 +487,10 @@ mod tests {
         let b = v.legacy().read(&names[1]).unwrap();
         v.legacy().write(&names[0], &b).unwrap();
         v.legacy().write(&names[1], &a).unwrap();
-        assert!(matches!(v.read("swap"), Err(FsError::IntegrityViolation(_))));
+        assert!(matches!(
+            v.read("swap"),
+            Err(FsError::IntegrityViolation(_))
+        ));
     }
 
     #[test]
@@ -607,7 +619,9 @@ mod tests {
         // garbage is fine) and NOT committing the root.
         let mut device = pre_crash_device;
         let mut legacy = LegacyFs::mount(device.clone()).unwrap();
-        legacy.write("obj_0_2_0", b"half-written new version").unwrap();
+        legacy
+            .write("obj_0_2_0", b"half-written new version")
+            .unwrap();
         device = legacy.device().clone();
         let legacy2 = LegacyFs::mount(device).unwrap();
         let mut v2 = Vpfs::mount(legacy2, &KEY, Some(root)).unwrap();

@@ -43,9 +43,7 @@ fn main() {
     );
     let (awaiting, server_hello) = pending.respond(Some(evidence), &hello);
     let (mut chan, finish, info) = cstate.finish(&server_hello, &policy, |_| None).unwrap();
-    let (mut schan, _) = awaiting
-        .complete(&finish, &ChannelPolicy::open())
-        .unwrap();
+    let (mut schan, _) = awaiting.complete(&finish, &ChannelPolicy::open()).unwrap();
     println!(
         "attested handshake succeeded; peer measurement: {}",
         info.attested.unwrap().measurement.short_hex()

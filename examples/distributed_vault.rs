@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut net = Network::new("vault-demo");
 
     // --- cloud side: compose the vault; it lands in an SGX enclave ------
-    let sgx = Sgx::new(MachineBuilder::new().name("cloud").frames(256).build(), "cloud");
+    let sgx = Sgx::new(
+        MachineBuilder::new().name("cloud").frames(256).build(),
+        "cloud",
+    );
     let quoting_key = sgx.platform_verifying_key()?;
     let pool: Vec<Box<dyn Substrate>> = vec![Box::new(sgx)];
     let app = AppManifest::new(
@@ -78,7 +81,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Seal a secret remotely; only this vault identity can ever unseal it.
-    let sealed = call(&mut net, &mut client, &mut server, &mut cloud, b"s:the launch codes")?;
+    let sealed = call(
+        &mut net,
+        &mut client,
+        &mut server,
+        &mut cloud,
+        b"s:the launch codes",
+    )?;
     println!("sealed remotely: {} bytes", sealed.len());
     let mut req = b"u:".to_vec();
     req.extend_from_slice(&sealed);

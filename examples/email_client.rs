@@ -9,9 +9,7 @@
 //! cargo run --example email_client
 //! ```
 
-use lateral::apps::email::{
-    horizontal_manifest, HorizontalEmail, VerticalEmail, EXPLOIT_MARKER,
-};
+use lateral::apps::email::{horizontal_manifest, HorizontalEmail, VerticalEmail, EXPLOIT_MARKER};
 use lateral::components::legacyos::LEGACY_EXPLOIT;
 use lateral::core::analysis;
 use lateral::substrate::software::SoftwareSubstrate;
@@ -32,15 +30,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Normal workflow: store mail, ask the address book, render a mail.
-    app.assembly
-        .call_component_badged(
-            "mail-store",
-            lateral::substrate::cap::Badge(0xE4F),
-            b"put:user=env;Subject: lunch?",
-        )?;
-    let rendered = app
-        .assembly
-        .call_component("html-renderer", b"<p>Dear <b>user</b>, lunch at <i>noon</i>?</p>")?;
+    app.assembly.call_component_badged(
+        "mail-store",
+        lateral::substrate::cap::Badge(0xE4F),
+        b"put:user=env;Subject: lunch?",
+    )?;
+    let rendered = app.assembly.call_component(
+        "html-renderer",
+        b"<p>Dear <b>user</b>, lunch at <i>noon</i>?</p>",
+    )?;
     println!("\nrendered mail: {}", String::from_utf8_lossy(&rendered));
 
     // ---- the attack -------------------------------------------------------
@@ -67,9 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut monolith = VerticalEmail::build(pool())?;
     monolith.deliver_hostile("html-renderer", LEGACY_EXPLOIT.as_bytes())?;
     match monolith.loot()? {
-        Some(loot) => println!(
-            "\nvertical monolith after ONE renderer bug — attacker loots:\n  {loot}"
-        ),
+        Some(loot) => {
+            println!("\nvertical monolith after ONE renderer bug — attacker loots:\n  {loot}")
+        }
         None => println!("\nvertical monolith survived (unexpected)"),
     }
 

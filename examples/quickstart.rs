@@ -46,7 +46,10 @@ impl Component for TrustedCounter {
 }
 
 fn drive(substrate: &mut dyn Substrate) -> Result<(), Box<dyn std::error::Error>> {
-    println!("--- running on the '{}' substrate ---", substrate.profile().name);
+    println!(
+        "--- running on the '{}' substrate ---",
+        substrate.profile().name
+    );
 
     // Spawn the component in its own protection domain.
     let counter = substrate.spawn(
@@ -64,11 +67,17 @@ fn drive(substrate: &mut dyn Substrate) -> Result<(), Box<dyn std::error::Error>
         substrate.invoke(client, &cap, b"bump")?;
     }
     let reply = substrate.invoke(client, &cap, b"bump")?;
-    println!("counter value: {}", u64::from_le_bytes(reply.as_slice().try_into()?));
+    println!(
+        "counter value: {}",
+        u64::from_le_bytes(reply.as_slice().try_into()?)
+    );
 
     // Sealed storage: bound to the component's code identity.
     let sealed = substrate.invoke(client, &cap, b"seal")?;
-    println!("sealed state: {} bytes (opaque to everyone else)", sealed.len());
+    println!(
+        "sealed state: {} bytes (opaque to everyone else)",
+        sealed.len()
+    );
 
     // Attestation, where the substrate has a hardware secret.
     match substrate.attest(counter, b"quickstart-binding") {
@@ -92,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The same component, unmodified, on a simulated microkernel with
     //    a measured-boot attestation identity.
-    let machine = MachineBuilder::new().name("quickstart-board").frames(64).build();
+    let machine = MachineBuilder::new()
+        .name("quickstart-board")
+        .frames(64)
+        .build();
     let mut kernel = Microkernel::new(machine, "quickstart").with_attestation(
         SigningKey::from_seed(b"quickstart platform"),
         Digest::of(b"measured boot stack"),

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full local gate: everything CI would run, in the order that fails
+# fastest. Run from the repository root:
+#
+#   sh scripts/check.sh
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> all checks passed"

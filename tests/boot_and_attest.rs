@@ -39,7 +39,10 @@ fn measured_boot_to_verified_component_evidence() {
     // 3. A component attests; a remote verifier demands BOTH the right
     //    component measurement and the right platform stack.
     let svc = kernel
-        .spawn(DomainSpec::named("svc").with_image(b"svc v1"), Box::new(Echo))
+        .spawn(
+            DomainSpec::named("svc").with_image(b"svc v1"),
+            Box::new(Echo),
+        )
         .unwrap();
     let evidence = kernel.attest(svc, b"nonce-1").unwrap();
 
@@ -56,10 +59,15 @@ fn measured_boot_to_verified_component_evidence() {
     bad_chain[1] = BootStage::new("kernel", b"lateral-microkernel v1 + rootkit");
     let bad_report = rom.boot(&bad_chain, &mut bad_tpm).unwrap();
     let machine = MachineBuilder::new().name("board-43").frames(64).build();
-    let mut bad_kernel = Microkernel::new(machine, "boot-test")
-        .with_attestation(SigningKey::from_seed(b"board-42 aik"), bad_report.stack_identity());
+    let mut bad_kernel = Microkernel::new(machine, "boot-test").with_attestation(
+        SigningKey::from_seed(b"board-42 aik"),
+        bad_report.stack_identity(),
+    );
     let bad_svc = bad_kernel
-        .spawn(DomainSpec::named("svc").with_image(b"svc v1"), Box::new(Echo))
+        .spawn(
+            DomainSpec::named("svc").with_image(b"svc v1"),
+            Box::new(Echo),
+        )
         .unwrap();
     let bad_evidence = bad_kernel.attest(bad_svc, b"nonce-2").unwrap();
     assert!(policy.verify(&bad_evidence).is_err());

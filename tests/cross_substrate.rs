@@ -62,16 +62,12 @@ fn placement_follows_required_attacker_models() {
             // compiler-sized TCB).
             ComponentManifest::new("plain"),
             // Needs physical-bus defense → only SGX qualifies in this pool.
-            ComponentManifest::new("hsm-like").requires(&[
-                AttackerModel::RemoteSoftware,
-                AttackerModel::PhysicalBus,
-            ]),
+            ComponentManifest::new("hsm-like")
+                .requires(&[AttackerModel::RemoteSoftware, AttackerModel::PhysicalBus]),
             // Needs a boot trust anchor but no memory encryption →
             // TrustZone (25k) beats SGX (100k).
-            ComponentManifest::new("device-identity").requires(&[
-                AttackerModel::RemoteSoftware,
-                AttackerModel::PhysicalBoot,
-            ]),
+            ComponentManifest::new("device-identity")
+                .requires(&[AttackerModel::RemoteSoftware, AttackerModel::PhysicalBoot]),
         ],
     );
     let asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();
@@ -86,10 +82,8 @@ fn bridged_channels_work_across_substrates() {
         "bridge",
         vec![
             ComponentManifest::new("frontend").channel("ask", "vault", 0xB1),
-            ComponentManifest::new("vault").requires(&[
-                AttackerModel::RemoteSoftware,
-                AttackerModel::PhysicalBus,
-            ]),
+            ComponentManifest::new("vault")
+                .requires(&[AttackerModel::RemoteSoftware, AttackerModel::PhysicalBus]),
         ],
     );
     let mut asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();
@@ -99,7 +93,10 @@ fn bridged_channels_work_across_substrates() {
     );
     // The declared channel works even though the endpoints live on
     // different substrates.
-    assert_eq!(asm.call_channel("frontend", "ask", b"ping").unwrap(), b"ping");
+    assert_eq!(
+        asm.call_channel("frontend", "ask", b"ping").unwrap(),
+        b"ping"
+    );
 }
 
 #[test]
@@ -108,10 +105,8 @@ fn bridged_badges_are_preserved() {
         "badge-bridge",
         vec![
             ComponentManifest::new("client").channel("ask", "badge-reporter", 0xCAFE),
-            ComponentManifest::new("badge-reporter").requires(&[
-                AttackerModel::RemoteSoftware,
-                AttackerModel::PhysicalBus,
-            ]),
+            ComponentManifest::new("badge-reporter")
+                .requires(&[AttackerModel::RemoteSoftware, AttackerModel::PhysicalBus]),
         ],
     );
     let mut asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();
@@ -159,10 +154,8 @@ fn stateful_components_survive_many_bridged_calls() {
         "state",
         vec![
             ComponentManifest::new("driver").channel("count", "counter", 1),
-            ComponentManifest::new("counter").requires(&[
-                AttackerModel::RemoteSoftware,
-                AttackerModel::PhysicalBus,
-            ]),
+            ComponentManifest::new("counter")
+                .requires(&[AttackerModel::RemoteSoftware, AttackerModel::PhysicalBus]),
         ],
     );
     let mut asm = compose(&app, mixed_pool(), &mut TestFactory).unwrap();

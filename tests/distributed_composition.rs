@@ -30,7 +30,10 @@ fn factory(cm: &ComponentManifest) -> Option<Box<dyn Component>> {
 /// The server machine: an SGX pool hosting the vault in an enclave.
 fn server_assembly() -> Assembly {
     let sgx = Sgx::new(
-        MachineBuilder::new().name("cloud-server").frames(256).build(),
+        MachineBuilder::new()
+            .name("cloud-server")
+            .frames(256)
+            .build(),
         "cloud",
     );
     let pool: Vec<Box<dyn Substrate>> = vec![Box::new(sgx)];
@@ -56,7 +59,10 @@ fn vault_trust(server_asm: &Assembly) -> TrustPolicy {
     // Reconstruct the platform key from an identical machine (the
     // "manufacturer endorsement list" in the sim is deterministic).
     let sgx = Sgx::new(
-        MachineBuilder::new().name("cloud-server").frames(256).build(),
+        MachineBuilder::new()
+            .name("cloud-server")
+            .frames(256)
+            .build(),
         "cloud",
     );
     trust.trust_platform(sgx.platform_verifying_key().unwrap());
@@ -105,7 +111,14 @@ fn attested_remote_vault_round_trip() {
         server_asm.measurement("vault").unwrap()
     );
     // Round trip: seal remotely, unseal remotely.
-    let sealed = call(&mut net, &mut client, &mut server, &mut server_asm, b"s:my secret").unwrap();
+    let sealed = call(
+        &mut net,
+        &mut client,
+        &mut server,
+        &mut server_asm,
+        b"s:my secret",
+    )
+    .unwrap();
     let mut req = b"u:".to_vec();
     req.extend_from_slice(&sealed);
     let plain = call(&mut net, &mut client, &mut server, &mut server_asm, &req).unwrap();
@@ -117,7 +130,10 @@ fn trojaned_vault_image_is_rejected_before_any_request() {
     let mut net = Network::new("dist-trojan");
     // The provider silently deploys a different vault build.
     let sgx = Sgx::new(
-        MachineBuilder::new().name("cloud-server").frames(256).build(),
+        MachineBuilder::new()
+            .name("cloud-server")
+            .frames(256)
+            .build(),
         "cloud",
     );
     let pool: Vec<Box<dyn Substrate>> = vec![Box::new(sgx)];

@@ -48,11 +48,17 @@ fn windows_measures_boot_into_the_ftpm_and_quotes() {
 fn bitlocker_style_key_release() {
     let (mut tz, cap) = surface();
     let windows = cap.owner;
-    tz.invoke(windows, &cap, b"extend:7,correct windows").unwrap();
-    let blob = tz.invoke(windows, &cap, b"seal:7;volume master key").unwrap();
+    tz.invoke(windows, &cap, b"extend:7,correct windows")
+        .unwrap();
+    let blob = tz
+        .invoke(windows, &cap, b"seal:7;volume master key")
+        .unwrap();
     let mut req = b"unseal:7;".to_vec();
     req.extend_from_slice(&blob);
-    assert_eq!(tz.invoke(windows, &cap, &req).unwrap(), b"volume master key");
+    assert_eq!(
+        tz.invoke(windows, &cap, &req).unwrap(),
+        b"volume master key"
+    );
     // A tampered boot cannot release the key.
     tz.invoke(windows, &cap, b"extend:7,evil maid").unwrap();
     assert!(tz.invoke(windows, &cap, &req).is_err());

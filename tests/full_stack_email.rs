@@ -69,7 +69,8 @@ fn renderer_compromise_cannot_touch_the_mail_store() {
 
     // Exploit the renderer.
     let evil = format!("<script>{EXPLOIT_MARKER}</script>");
-    app.deliver_hostile("html-renderer", evil.as_bytes()).unwrap();
+    app.deliver_hostile("html-renderer", evil.as_bytes())
+        .unwrap();
     let report = app.attack_report("html-renderer").unwrap();
     assert!(report.active);
     assert!(report.contained());
@@ -84,7 +85,12 @@ fn renderer_compromise_cannot_touch_the_mail_store() {
 
 #[test]
 fn every_subsystem_compromise_is_audited_and_contained() {
-    for subsystem in ["html-renderer", "imap-engine", "address-book", "input-method"] {
+    for subsystem in [
+        "html-renderer",
+        "imap-engine",
+        "address-book",
+        "input-method",
+    ] {
         let mut app = HorizontalEmail::build(pool()).unwrap();
         app.deliver_hostile(subsystem, EXPLOIT_MARKER.as_bytes())
             .unwrap();

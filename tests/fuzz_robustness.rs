@@ -1,27 +1,39 @@
-//! Property tests: every parser that consumes adversarial bytes fails
-//! *cleanly* on arbitrary input — no panics, no silent acceptance.
+//! Robustness sweeps: every parser that consumes adversarial bytes
+//! fails *cleanly* on arbitrary input — no panics, no silent acceptance.
 //!
 //! This is the flip side of §III-B: hostile-input handling is isolated
 //! into components, but those components must also never crash the
 //! substrate dispatcher. (`forbid(unsafe_code)` rules out memory
-//! corruption; these tests rule out logic panics.)
+//! corruption; these deterministic fuzz sweeps rule out logic panics.)
 
 use lateral::components::ftpm::decode_quote;
 use lateral::components::html::parse_html;
 use lateral::components::imap::parse_fetch;
-use lateral::net::channel::{decode_evidence, ChannelPolicy, ClientHandshake, ServerHandshake};
-use lateral::net::wire::Reader;
 use lateral::crypto::rng::Drbg;
 use lateral::crypto::sign::{Signature, SigningKey, VerifyingKey};
+use lateral::net::channel::{decode_evidence, ChannelPolicy, ClientHandshake, ServerHandshake};
+use lateral::net::wire::Reader;
 use lateral::vpfs::{LegacyFs, MemBlockDevice, Vpfs, BLOCK_SIZE};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn wire_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let mut r = Reader::new(&bytes);
+fn bytes(rng: &mut Drbg, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(max_len as u64 + 1) as usize;
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+fn text(rng: &mut Drbg, max_len: usize) -> String {
+    String::from_utf8_lossy(&bytes(rng, max_len)).into_owned()
+}
+
+#[test]
+fn wire_reader_never_panics() {
+    let mut rng = Drbg::from_seed(b"fuzz wire");
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 256);
+        let mut r = Reader::new(&data);
         // Drain up to 8 fields; every outcome must be Ok or Err, never a
         // panic.
         for _ in 0..8 {
@@ -30,74 +42,102 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn evidence_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let _ = decode_evidence(&bytes);
+#[test]
+fn evidence_decoder_never_panics() {
+    let mut rng = Drbg::from_seed(b"fuzz evidence");
+    for _ in 0..CASES {
+        let _ = decode_evidence(&bytes(&mut rng, 512));
     }
+}
 
-    #[test]
-    fn quote_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let _ = decode_quote(&bytes);
+#[test]
+fn quote_decoder_never_panics() {
+    let mut rng = Drbg::from_seed(b"fuzz quote");
+    for _ in 0..CASES {
+        let _ = decode_quote(&bytes(&mut rng, 512));
     }
+}
 
-    #[test]
-    fn html_parser_never_panics(input in "\\PC{0,300}") {
-        let _ = parse_html(&input);
+#[test]
+fn html_parser_never_panics() {
+    let mut rng = Drbg::from_seed(b"fuzz html");
+    for _ in 0..CASES {
+        let _ = parse_html(&text(&mut rng, 300));
     }
+}
 
-    #[test]
-    fn imap_parser_never_panics(input in "\\PC{0,300}") {
-        let _ = parse_fetch(&input);
+#[test]
+fn imap_parser_never_panics() {
+    let mut rng = Drbg::from_seed(b"fuzz imap");
+    for _ in 0..CASES {
+        let _ = parse_fetch(&text(&mut rng, 300));
     }
+}
 
-    #[test]
-    fn signature_decoder_never_accepts_garbage_blindly(bytes in any::<[u8; 64]>()) {
+#[test]
+fn signature_decoder_never_accepts_garbage_blindly() {
+    let mut rng = Drbg::from_seed(b"fuzz sig");
+    for _ in 0..CASES {
+        let mut raw = [0u8; 64];
+        rng.fill_bytes(&mut raw);
         // Either rejected at decode, or decoded but then fails to verify
         // against a real key and message.
-        if let Ok(sig) = Signature::from_bytes(&bytes) {
+        if let Ok(sig) = Signature::from_bytes(&raw) {
             let key = SigningKey::from_seed(b"fuzz");
-            prop_assert!(key.verifying_key().verify(b"message", &sig).is_err());
+            assert!(key.verifying_key().verify(b"message", &sig).is_err());
         }
     }
+}
 
-    #[test]
-    fn verifying_key_decoder_never_panics(bytes in any::<[u8; 32]>()) {
-        let _ = VerifyingKey::from_bytes(&bytes);
+#[test]
+fn verifying_key_decoder_never_panics() {
+    let mut rng = Drbg::from_seed(b"fuzz vk");
+    for _ in 0..CASES {
+        let mut raw = [0u8; 32];
+        rng.fill_bytes(&mut raw);
+        let _ = VerifyingKey::from_bytes(&raw);
     }
+}
 
-    #[test]
-    fn client_handshake_survives_arbitrary_server_hello(
-        bytes in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
-        let mut rng = Drbg::from_seed(b"fuzz hs");
-        let (state, _hello) = ClientHandshake::start(SigningKey::from_seed(b"c"), &mut rng);
+#[test]
+fn client_handshake_survives_arbitrary_server_hello() {
+    let mut rng = Drbg::from_seed(b"fuzz client hello");
+    for _ in 0..CASES {
+        let junk = bytes(&mut rng, 512);
+        let mut hs_rng = Drbg::from_seed(b"fuzz hs");
+        let (state, _hello) = ClientHandshake::start(SigningKey::from_seed(b"c"), &mut hs_rng);
         // Random bytes must never be accepted (the chance of forging a
         // valid signature is negligible) and must never panic.
-        prop_assert!(state
-            .finish(&bytes, &ChannelPolicy::open(), |_| None)
+        assert!(state
+            .finish(&junk, &ChannelPolicy::open(), |_| None)
             .is_err());
     }
+}
 
-    #[test]
-    fn server_handshake_survives_arbitrary_client_hello(
-        bytes in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        let mut rng = Drbg::from_seed(b"fuzz hs 2");
+#[test]
+fn server_handshake_survives_arbitrary_client_hello() {
+    let mut rng = Drbg::from_seed(b"fuzz server hello");
+    for _ in 0..CASES {
+        let junk = bytes(&mut rng, 256);
+        let mut hs_rng = Drbg::from_seed(b"fuzz hs 2");
         // accept() may succeed only for well-formed hellos (two 32-byte
         // fields); anything else errors cleanly.
-        let _ = ServerHandshake::accept(&SigningKey::from_seed(b"s"), &mut rng, &bytes);
+        let _ = ServerHandshake::accept(&SigningKey::from_seed(b"s"), &mut hs_rng, &junk);
     }
+}
 
-    #[test]
-    fn legacy_fs_mount_survives_random_disks(
-        blocks in proptest::collection::vec(any::<u8>(), 0..BLOCK_SIZE),
-        total in 32usize..64,
-    ) {
+#[test]
+fn legacy_fs_mount_survives_random_disks() {
+    let mut rng = Drbg::from_seed(b"fuzz disks");
+    for _ in 0..CASES {
+        let junk = bytes(&mut rng, BLOCK_SIZE - 1);
+        let total = 32 + rng.gen_range(32) as usize;
         let mut device = MemBlockDevice::new(total);
         // Write attacker-chosen bytes over the superblock region.
         let mut sb = [0u8; BLOCK_SIZE];
-        sb[..blocks.len()].copy_from_slice(&blocks);
+        sb[..junk.len()].copy_from_slice(&junk);
         use lateral::vpfs::BlockDevice;
         device.write_block(0, &sb).unwrap();
         // Mount may or may not accept the garbage magic; every
@@ -107,21 +147,27 @@ proptest! {
             let _ = fs.read("anything");
         }
     }
+}
 
-    #[test]
-    fn vpfs_mount_never_accepts_garbage_roots(
-        junk in proptest::collection::vec(any::<u8>(), 0..200),
-    ) {
+#[test]
+fn vpfs_mount_never_accepts_garbage_roots() {
+    let mut rng = Drbg::from_seed(b"fuzz roots");
+    for _ in 0..CASES {
+        let junk = bytes(&mut rng, 200);
         let mut legacy = LegacyFs::format(MemBlockDevice::new(64)).unwrap();
         legacy.write("vpfs_root", &junk).unwrap();
-        prop_assert!(Vpfs::mount(legacy, &[1u8; 32], None).is_err());
+        assert!(Vpfs::mount(legacy, &[1u8; 32], None).is_err());
     }
+}
 
-    #[test]
-    fn subverted_component_report_roundtrips(
-        oob in 0u32..100, granted in 0u32..10, forged in 0u32..200,
-    ) {
+#[test]
+fn subverted_component_report_roundtrips() {
+    let mut rng = Drbg::from_seed(b"fuzz report");
+    for _ in 0..CASES {
         use lateral::components::compromise::AttackReport;
+        let oob = rng.gen_range(100) as u32;
+        let granted = rng.gen_range(10) as u32;
+        let forged = rng.gen_range(200) as u32;
         let r = AttackReport {
             active: true,
             oob_reads_attempted: oob + 1,
@@ -131,6 +177,6 @@ proptest! {
             forged_attempted: forged + 1,
             forged_succeeded: forged,
         };
-        prop_assert_eq!(AttackReport::decode(&r.encode()).unwrap(), r);
+        assert_eq!(AttackReport::decode(&r.encode()).unwrap(), r);
     }
 }

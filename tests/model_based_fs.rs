@@ -1,12 +1,13 @@
-//! Model-based property tests: the storage stack vs. an in-memory model.
+//! Model-based tests: the storage stack vs. an in-memory model.
 //!
-//! Random sequences of create/overwrite/read/remove are applied both to
-//! the real implementation (legacy FS, and VPFS over it) and to a plain
-//! `BTreeMap` model; observable behavior must match exactly. This is the
-//! strongest correctness net we have over the §III-D storage stack.
+//! Deterministic random sequences of create/overwrite/read/remove
+//! (driven by the seeded `Drbg`) are applied both to the real
+//! implementation (legacy FS, and VPFS over it) and to a plain
+//! `BTreeMap` model; observable behavior must match exactly. This is
+//! the strongest correctness net we have over the §III-D storage stack.
 
+use lateral::crypto::rng::Drbg;
 use lateral::vpfs::{FsError, LegacyFs, MemBlockDevice, Vpfs};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 #[derive(Clone, Debug)]
@@ -17,22 +18,31 @@ enum Op {
     List,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let name = prop::sample::select(vec!["a", "b", "c", "d", "e"]);
-    let data = prop::collection::vec(any::<u8>(), 0..2048);
-    prop_oneof![
-        (name.clone(), data).prop_map(|(n, d)| Op::Write(n.to_string(), d)),
-        name.clone().prop_map(|n| Op::Read(n.to_string())),
-        name.prop_map(|n| Op::Remove(n.to_string())),
-        Just(Op::List),
-    ]
+fn gen_op(rng: &mut Drbg, max_data: usize) -> Op {
+    let name = ["a", "b", "c", "d", "e"][rng.gen_range(5) as usize].to_string();
+    match rng.gen_range(4) {
+        0 => {
+            let len = rng.gen_range(max_data as u64 + 1) as usize;
+            let mut data = vec![0u8; len];
+            rng.fill_bytes(&mut data);
+            Op::Write(name, data)
+        }
+        1 => Op::Read(name),
+        2 => Op::Remove(name),
+        _ => Op::List,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn gen_ops(rng: &mut Drbg, max_ops: usize, max_data: usize) -> Vec<Op> {
+    let n = 1 + rng.gen_range(max_ops as u64 - 1) as usize;
+    (0..n).map(|_| gen_op(rng, max_data)).collect()
+}
 
-    #[test]
-    fn legacy_fs_matches_map_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn legacy_fs_matches_map_model() {
+    let mut rng = Drbg::from_seed(b"model legacy fs");
+    for _ in 0..48 {
+        let ops = gen_ops(&mut rng, 40, 2048);
         let mut fs = LegacyFs::format(MemBlockDevice::new(512)).unwrap();
         let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
         for op in ops {
@@ -42,31 +52,35 @@ proptest! {
                     model.insert(name, data);
                 }
                 Op::Read(name) => match (fs.read(&name), model.get(&name)) {
-                    (Ok(real), Some(expected)) => prop_assert_eq!(&real, expected),
+                    (Ok(real), Some(expected)) => assert_eq!(&real, expected),
                     (Err(FsError::NotFound(_)), None) => {}
                     (real, expected) => {
-                        prop_assert!(false, "divergence on read {name}: {real:?} vs {expected:?}")
+                        panic!("divergence on read {name}: {real:?} vs {expected:?}")
                     }
                 },
                 Op::Remove(name) => match (fs.remove(&name), model.remove(&name)) {
                     (Ok(()), Some(_)) => {}
                     (Err(FsError::NotFound(_)), None) => {}
                     (real, expected) => {
-                        prop_assert!(false, "divergence on remove {name}: {real:?} vs {expected:?}")
+                        panic!("divergence on remove {name}: {real:?} vs {expected:?}")
                     }
                 },
                 Op::List => {
                     let mut real = fs.list().unwrap();
                     real.sort();
                     let expected: Vec<String> = model.keys().cloned().collect();
-                    prop_assert_eq!(real, expected);
+                    assert_eq!(real, expected);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn vpfs_matches_map_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn vpfs_matches_map_model() {
+    let mut rng = Drbg::from_seed(b"model vpfs");
+    for _ in 0..32 {
+        let ops = gen_ops(&mut rng, 40, 2048);
         let legacy = LegacyFs::format(MemBlockDevice::new(1024)).unwrap();
         let mut vpfs = Vpfs::format(legacy, &[7u8; 32]).unwrap();
         let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
@@ -77,23 +91,23 @@ proptest! {
                     model.insert(name, data);
                 }
                 Op::Read(name) => match (vpfs.read(&name), model.get(&name)) {
-                    (Ok(real), Some(expected)) => prop_assert_eq!(&real, expected),
+                    (Ok(real), Some(expected)) => assert_eq!(&real, expected),
                     (Err(FsError::NotFound(_)), None) => {}
                     (real, expected) => {
-                        prop_assert!(false, "divergence on read {name}: {real:?} vs {expected:?}")
+                        panic!("divergence on read {name}: {real:?} vs {expected:?}")
                     }
                 },
                 Op::Remove(name) => match (vpfs.remove(&name), model.remove(&name)) {
                     (Ok(()), Some(_)) => {}
                     (Err(FsError::NotFound(_)), None) => {}
                     (real, expected) => {
-                        prop_assert!(false, "divergence on remove {name}: {real:?} vs {expected:?}")
+                        panic!("divergence on remove {name}: {real:?} vs {expected:?}")
                     }
                 },
                 Op::List => {
                     let real = vpfs.list();
                     let expected: Vec<String> = model.keys().cloned().collect();
-                    prop_assert_eq!(real, expected);
+                    assert_eq!(real, expected);
                 }
             }
         }
@@ -103,15 +117,17 @@ proptest! {
         let legacy = LegacyFs::mount(device).unwrap();
         let mut remounted = Vpfs::mount(legacy, &[7u8; 32], Some(root)).unwrap();
         for (name, data) in &model {
-            prop_assert_eq!(&remounted.read(name).unwrap(), data);
+            assert_eq!(&remounted.read(name).unwrap(), data);
         }
     }
+}
 
-    #[test]
-    fn vpfs_state_survives_arbitrary_remount_points(
-        ops in prop::collection::vec(op_strategy(), 1..20),
-        remount_every in 1usize..5,
-    ) {
+#[test]
+fn vpfs_state_survives_arbitrary_remount_points() {
+    let mut rng = Drbg::from_seed(b"model vpfs remount");
+    for _ in 0..32 {
+        let ops = gen_ops(&mut rng, 20, 2048);
+        let remount_every = 1 + rng.gen_range(4) as usize;
         let legacy = LegacyFs::format(MemBlockDevice::new(1024)).unwrap();
         let mut vpfs = Vpfs::format(legacy, &[9u8; 32]).unwrap();
         let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
@@ -133,7 +149,7 @@ proptest! {
                 }
                 Op::Read(name) => {
                     if let Some(expected) = model.get(&name) {
-                        prop_assert_eq!(&vpfs.read(&name).unwrap(), expected);
+                        assert_eq!(&vpfs.read(&name).unwrap(), expected);
                     }
                 }
                 Op::List => {}

@@ -1,12 +1,16 @@
-//! Model-based property test over the unified substrate interface:
+//! Model-based test over the unified substrate interface: deterministic
 //! random domain/capability lifecycle sequences must behave identically
 //! to a trivial reference model — on every backend.
 //!
 //! This pins down the semantics that the paper's whole architecture
 //! rests on: capabilities work exactly when (a) their owner is alive,
 //! (b) their slot has not been revoked, and (c) their target is alive —
-//! and never otherwise.
+//! and never otherwise. Since the fabric refactor these semantics are
+//! implemented once in `substrate::fabric`; the per-backend sweeps below
+//! plus the testkit parity suite verify that every backend actually
+//! routes through it.
 
+use lateral::crypto::rng::Drbg;
 use lateral::crypto::sign::SigningKey;
 use lateral::crypto::Digest;
 use lateral::hw::machine::MachineBuilder;
@@ -15,9 +19,9 @@ use lateral::sgx::Sgx;
 use lateral::substrate::cap::{Badge, ChannelCap};
 use lateral::substrate::software::SoftwareSubstrate;
 use lateral::substrate::substrate::{DomainSpec, Substrate};
-use lateral::substrate::testkit::Echo;
+use lateral::substrate::testkit::{parity, Echo};
 use lateral::substrate::DomainId;
-use proptest::prelude::*;
+use lateral_bench::e2_conformance::all_substrates;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -29,25 +33,35 @@ enum Op {
     InvokeForged(u32, u32, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Spawn),
-        1 => any::<usize>().prop_map(Op::Destroy),
-        3 => (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Grant(a, b)),
-        1 => any::<usize>().prop_map(Op::Revoke),
-        4 => any::<usize>().prop_map(Op::Invoke),
-        1 => (any::<u32>(), 0u32..4, 1u64..100)
-            .prop_map(|(o, s, n)| Op::InvokeForged(o, s, n)),
-    ]
+fn gen_op(rng: &mut Drbg) -> Op {
+    // Weighted like the original proptest strategy: 3/13 spawn, 1/13
+    // destroy, 3/13 grant, 1/13 revoke, 4/13 invoke, 1/13 forged.
+    match rng.gen_range(13) {
+        0..=2 => Op::Spawn,
+        3 => Op::Destroy(rng.next_u64() as usize),
+        4..=6 => Op::Grant(rng.next_u64() as usize, rng.next_u64() as usize),
+        7 => Op::Revoke(rng.next_u64() as usize),
+        8..=11 => Op::Invoke(rng.next_u64() as usize),
+        _ => Op::InvokeForged(
+            rng.next_u32(),
+            rng.gen_range(4) as u32,
+            1 + rng.gen_range(99),
+        ),
+    }
+}
+
+fn gen_ops(rng: &mut Drbg) -> Vec<Op> {
+    let n = 1 + rng.gen_range(59) as usize;
+    (0..n).map(|_| gen_op(rng)).collect()
 }
 
 #[derive(Default)]
 struct Model {
-    domains: Vec<DomainId>,       // live domains
+    domains: Vec<DomainId>,            // live domains
     caps: Vec<(ChannelCap, DomainId)>, // (cap, target) — pruned on revoke/destroy
 }
 
-fn check_sequence(sub: &mut dyn Substrate, ops: &[Op]) -> Result<(), TestCaseError> {
+fn check_sequence(sub: &mut dyn Substrate, ops: &[Op]) {
     let mut model = Model::default();
     let mut spawned = 0u32;
     for op in ops {
@@ -89,7 +103,7 @@ fn check_sequence(sub: &mut dyn Substrate, ops: &[Op]) -> Result<(), TestCaseErr
                 let (cap, _) = model.caps.remove(sel % model.caps.len());
                 sub.revoke_channel(&cap).expect("revoke live cap");
                 // Invoking the revoked cap must now fail.
-                prop_assert!(sub.invoke(cap.owner, &cap, b"x").is_err());
+                assert!(sub.invoke(cap.owner, &cap, b"x").is_err());
             }
             Op::Invoke(sel) => {
                 if model.caps.is_empty() {
@@ -100,7 +114,7 @@ fn check_sequence(sub: &mut dyn Substrate, ops: &[Op]) -> Result<(), TestCaseErr
                 // (the component is not currently executing; reentrancy
                 // applies only to calls made from *inside* a handler).
                 let reply = sub.invoke(cap.owner, &cap, b"ping");
-                prop_assert_eq!(reply.expect("live cap invokes"), b"ping".to_vec());
+                assert_eq!(reply.expect("live cap invokes"), b"ping".to_vec());
             }
             Op::InvokeForged(owner, slot, nonce) => {
                 let presenter = model
@@ -116,37 +130,67 @@ fn check_sequence(sub: &mut dyn Substrate, ops: &[Op]) -> Result<(), TestCaseErr
                 if model.domains.is_empty() {
                     continue;
                 }
-                prop_assert!(
+                assert!(
                     sub.invoke(presenter, &forged, b"x").is_err(),
                     "forged cap must never be honored"
                 );
             }
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    #[test]
-    fn software_substrate_lifecycle(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn software_substrate_lifecycle() {
+    let mut rng = Drbg::from_seed(b"model substrate sw");
+    for _ in 0..CASES {
+        let ops = gen_ops(&mut rng);
         let mut sub = SoftwareSubstrate::new("model");
-        check_sequence(&mut sub, &ops)?;
+        check_sequence(&mut sub, &ops);
     }
+}
 
-    #[test]
-    fn microkernel_lifecycle(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn microkernel_lifecycle() {
+    let mut rng = Drbg::from_seed(b"model substrate mk");
+    for _ in 0..CASES {
+        let ops = gen_ops(&mut rng);
         let machine = MachineBuilder::new().name("model-mk").frames(256).build();
         let mut sub = Microkernel::new(machine, "model")
             .with_attestation(SigningKey::from_seed(b"model"), Digest::ZERO);
-        check_sequence(&mut sub, &ops)?;
+        check_sequence(&mut sub, &ops);
     }
+}
 
-    #[test]
-    fn sgx_lifecycle(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn sgx_lifecycle() {
+    let mut rng = Drbg::from_seed(b"model substrate sgx");
+    for _ in 0..CASES {
+        let ops = gen_ops(&mut rng);
         let machine = MachineBuilder::new().name("model-sgx").frames(256).build();
         let mut sub = Sgx::new(machine, "model");
-        check_sequence(&mut sub, &ops)?;
+        check_sequence(&mut sub, &ops);
+    }
+}
+
+// ------------------------------------------------------- fabric parity
+//
+// The testkit parity suite runs the exact same scenario battery —
+// reentrancy, revoke-then-invoke, badge demultiplexing, seal round-trip
+// to identity, and stale caps into destroyed-then-respawned domains —
+// against every backend. A failure names the backend and scenario.
+
+#[test]
+fn fabric_parity_holds_on_all_six_backends() {
+    for mut sub in all_substrates() {
+        parity::assert_parity(sub.as_mut());
+    }
+}
+
+#[test]
+fn stale_cap_into_respawned_domain_rejected_on_all_six() {
+    for mut sub in all_substrates() {
+        parity::assert_stale_cap_rejected(sub.as_mut());
     }
 }

@@ -51,12 +51,7 @@ fn claim_smart_meter_e3() {
 fn claim_cost_ladder_e4() {
     // §III-E: decomposition costs constant factors, not the network.
     let m = e4_invocation::run();
-    let at = |needle: &str| {
-        m.iter()
-            .find(|x| x.name.contains(needle))
-            .unwrap()
-            .cycles[0]
-    };
+    let at = |needle: &str| m.iter().find(|x| x.name.contains(needle)).unwrap().cycles[0];
     assert!(at("function") < at("microkernel"));
     assert!(at("microkernel") < at("TrustZone"));
     assert!(at("TrustZone") <= at("SGX"));
@@ -73,7 +68,11 @@ fn claim_vpfs_e5() {
     for p in e5_vpfs::run_io() {
         let raw = (p.raw.0 + p.raw.1).max(1);
         let v = p.vpfs.0 + p.vpfs.1;
-        assert!(v <= raw * 4, "overhead bounded at {}B: {v} vs {raw}", p.size);
+        assert!(
+            v <= raw * 4,
+            "overhead bounded at {}B: {v} vs {raw}",
+            p.size
+        );
     }
     let tampers = e5_vpfs::run_tamper();
     assert!(tampers.iter().all(|t| t.vpfs_detected));
@@ -108,7 +107,10 @@ fn claim_confused_deputy_e8() {
     let badge = trials.iter().find(|t| t.mode.contains("badge")).unwrap();
     let field = trials.iter().find(|t| t.mode.contains("message")).unwrap();
     assert_eq!(badge.thefts, 0);
-    assert!(field.thefts * 10 > field.sessions * 8, "attack mostly works");
+    assert!(
+        field.thefts * 10 > field.sessions * 8,
+        "attack mostly works"
+    );
 }
 
 #[test]

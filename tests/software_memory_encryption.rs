@@ -59,9 +59,7 @@ fn scratchpad_spill_gives_trustzone_sgx_class_bus_protection() {
         .unwrap();
     assert_eq!(probed, sealed, "TrustZone DRAM is probe-readable…");
     assert!(
-        !probed
-            .windows(SECRET.len())
-            .any(|w| w == SECRET),
+        !probed.windows(SECRET.len()).any(|w| w == SECRET),
         "…but carries no plaintext"
     );
 
@@ -125,7 +123,10 @@ fn spill_ids_prevent_replay_across_pages() {
     let secure = Initiator::cpu(World::Secure);
     let key = [0x66u8; 32];
     machine.scratchpad.write(secure, 0, b"page zero").unwrap();
-    machine.scratchpad.write(secure, 1024, b"page one!").unwrap();
+    machine
+        .scratchpad
+        .write(secure, 1024, b"page one!")
+        .unwrap();
     let s0 = machine.scratchpad.spill(secure, 0, 9, &key, 0).unwrap();
     let s1 = machine.scratchpad.spill(secure, 1024, 9, &key, 1).unwrap();
     // Attacker swaps the two spilled pages.
