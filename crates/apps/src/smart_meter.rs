@@ -314,6 +314,7 @@ pub struct SmartMeterWorld {
     meter_domain: DomainId,
     meter_env: DomainId,
     meter_cap: ChannelCap,
+    meter_policy: ChannelPolicy,
     frontend_env: DomainId,
     frontend_cap: ChannelCap,
     gateway_cap: ChannelCap,
@@ -428,7 +429,7 @@ impl SmartMeterWorld {
         let agent = MeterAgent::new(
             "meter-7",
             SigningKey::from_seed(b"meter channel identity"),
-            meter_policy,
+            meter_policy.clone(),
         );
         let (meter_domain, meter_env, meter_cap, trustzone) = match trustzone {
             Some(mut tz) => {
@@ -516,6 +517,7 @@ impl SmartMeterWorld {
             meter_domain,
             meter_env,
             meter_cap,
+            meter_policy,
             frontend_env,
             frontend_cap,
             gateway_cap,
@@ -686,6 +688,59 @@ impl SmartMeterWorld {
         self.meter_domain
     }
 
+    /// Installs a deterministic fault plan into the TrustZone fabric
+    /// (robustness experiments crash the meter agent at precise points).
+    ///
+    /// # Panics
+    ///
+    /// Panics for fake-meter worlds — there is no TrustZone to inject
+    /// into.
+    pub fn inject_meter_fault(&mut self, plan: lateral_substrate::fault::FaultPlan) {
+        self.trustzone
+            .as_mut()
+            .expect("fault injection targets the real TrustZone meter")
+            .fabric_mut_ref()
+            .expect("trustzone routes through the fabric")
+            .install_fault_plan(plan);
+    }
+
+    /// The supervision cycle for a crashed meter agent: destroy the
+    /// fail-stopped domain, respawn fresh firmware from [`METER_IMAGE`],
+    /// verify the successor measures identically, and re-grant the
+    /// environment channel. Channel state is *not* replayed — the next
+    /// [`SmartMeterWorld::billing_round`] performs a full mutually
+    /// attested handshake, which is exactly how the successor proves
+    /// itself to the utility again.
+    ///
+    /// # Errors
+    ///
+    /// A string describing the failure (no TrustZone, spawn failure, or
+    /// measurement divergence).
+    pub fn recover_meter(&mut self) -> Result<(), String> {
+        let tz = self
+            .trustzone
+            .as_mut()
+            .ok_or_else(|| "fake meters are not supervised".to_string())?;
+        let spec = DomainSpec::named("meter-agent").with_image(METER_IMAGE);
+        let baseline = spec.measurement();
+        let _ = tz.destroy(self.meter_domain);
+        let agent = MeterAgent::new(
+            "meter-7",
+            SigningKey::from_seed(b"meter channel identity"),
+            self.meter_policy.clone(),
+        );
+        let successor = tz.spawn(spec, Box::new(agent)).map_err(|e| e.to_string())?;
+        if tz.measurement(successor).map_err(|e| e.to_string())? != baseline {
+            let _ = tz.destroy(successor);
+            return Err("successor measurement diverged from meter firmware".into());
+        }
+        self.meter_cap = tz
+            .grant_channel(self.meter_env, successor, Badge(1))
+            .map_err(|e| e.to_string())?;
+        self.meter_domain = successor;
+        Ok(())
+    }
+
     /// Asks the deployed frontend how many identified records it
     /// retained (ground truth for the privacy property).
     pub fn retained_identified_records(&mut self) -> u64 {
@@ -770,6 +825,34 @@ mod tests {
             world.billing_round(),
             BillingOutcome::NoService(_)
         ));
+    }
+
+    #[test]
+    fn crashed_meter_recovers_and_reattests() {
+        use lateral_substrate::fault::{FaultPlan, FaultSpec};
+
+        let mut world = SmartMeterWorld::new(WorldConfig::default());
+        assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
+
+        // The meter firmware fail-stops on its next invocation.
+        world.inject_meter_fault(FaultPlan::new().with(FaultSpec::crash("meter-agent", 1)));
+        match world.billing_round() {
+            BillingOutcome::Refused(reason) => {
+                assert!(reason.contains("crashed"), "fail-stop visible: {reason}");
+            }
+            other => panic!("expected refusal during the crash window, got {other:?}"),
+        }
+        // The crash window persists until something supervises it.
+        assert!(!matches!(world.billing_round(), BillingOutcome::Billed(_)));
+
+        // Destroy → respawn → re-measure → re-grant; the next round then
+        // re-attests the successor to the utility from scratch.
+        world.recover_meter().unwrap();
+        match world.billing_round() {
+            BillingOutcome::Billed(ack) => assert!(ack.starts_with("billed:meter-7:")),
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        assert_eq!(world.retained_identified_records(), 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | E7 | §I/III-B — per-asset TCB accounting | [`e7_tcb`] |
 //! | E8 | §III-C — confused deputy with/without badges | [`e8_deputy`] |
 //! | E9 | §II-D — attack × substrate matrix | [`e9_matrix`] |
+//! | E10 | §III-A — recovery under fault injection | [`e10_recovery`] |
 //!
 //! Every experiment is deterministic (seeded DRBGs, logical clocks);
 //! `cargo run -p lateral-bench --bin repro -- all` prints the full set.
@@ -23,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod e10_recovery;
 pub mod e1_containment;
 pub mod e2_conformance;
 pub mod e3_smart_meter;
@@ -35,7 +37,7 @@ pub mod e9_matrix;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+pub const EXPERIMENTS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 /// Runs one experiment by id, returning its printed report.
 ///
@@ -53,6 +55,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "e7" => Ok(e7_tcb::report()),
         "e8" => Ok(e8_deputy::report()),
         "e9" => Ok(e9_matrix::report()),
+        "e10" => Ok(e10_recovery::report()),
         other => Err(format!(
             "unknown experiment '{other}' (available: {})",
             EXPERIMENTS.join(", ")

@@ -63,7 +63,11 @@ impl AttackReport {
         .into_bytes()
     }
 
-    /// Parses a report produced by [`AttackReport::encode`].
+    /// Parses a report produced by [`AttackReport::encode`]. Strict:
+    /// every field must appear exactly once and parse fully — truncated
+    /// or partial reports are rejected, never silently defaulted (an
+    /// attacker in the reporting path must not be able to shrink their
+    /// own audit trail).
     ///
     /// # Errors
     ///
@@ -72,10 +76,14 @@ impl AttackReport {
         let text =
             std::str::from_utf8(bytes).map_err(|_| ComponentError::new("report not UTF-8"))?;
         let mut report = AttackReport::default();
+        let mut seen: Vec<&str> = Vec::new();
         for part in text.split(';') {
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| ComponentError::new("malformed report field"))?;
+            if seen.contains(&key) {
+                return Err(ComponentError::new(format!("duplicate field '{key}'")));
+            }
             let parse_pair = |v: &str| -> Result<(u32, u32), ComponentError> {
                 let (a, b) = v
                     .split_once('/')
@@ -86,7 +94,13 @@ impl AttackReport {
                 ))
             };
             match key {
-                "active" => report.active = value == "true",
+                "active" => {
+                    report.active = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(ComponentError::new("bad boolean")),
+                    }
+                }
                 "oob" => {
                     let (s, a) = parse_pair(value)?;
                     report.oob_reads_succeeded = s;
@@ -109,6 +123,10 @@ impl AttackReport {
                 }
                 _ => return Err(ComponentError::new(format!("unknown field '{key}'"))),
             }
+            seen.push(key);
+        }
+        if seen.len() != 5 {
+            return Err(ComponentError::new("incomplete report"));
         }
         Ok(report)
     }

@@ -70,7 +70,7 @@ pub struct Placement {
     pub domain: DomainId,
 }
 
-enum ChannelRef {
+pub(crate) enum ChannelRef {
     /// Caller and target share a substrate: the caller's own capability.
     Local { substrate: usize, cap: ChannelCap },
     /// Endpoints on different substrates: the composer relays through an
@@ -80,12 +80,16 @@ enum ChannelRef {
 }
 
 /// A running application.
+///
+/// Internals are crate-visible so the [`crate::supervisor`] can drive
+/// the destroy → respawn → re-grant cycle without widening the public
+/// surface.
 pub struct Assembly {
-    substrates: Vec<Box<dyn Substrate>>,
-    placements: BTreeMap<String, Placement>,
-    channels: BTreeMap<(String, String), ChannelRef>,
-    env_domains: Vec<Option<DomainId>>,
-    env_caps: BTreeMap<(String, u64), (usize, ChannelCap)>,
+    pub(crate) substrates: Vec<Box<dyn Substrate>>,
+    pub(crate) placements: BTreeMap<String, Placement>,
+    pub(crate) channels: BTreeMap<(String, String), ChannelRef>,
+    pub(crate) env_domains: Vec<Option<DomainId>>,
+    pub(crate) env_caps: BTreeMap<(String, u64), (usize, ChannelCap)>,
 }
 
 impl std::fmt::Debug for Assembly {
@@ -190,41 +194,23 @@ pub fn compose(
     // Phase 2: channels (declaration order — components may rely on it
     // when enumerating their capability space).
     for cm in &app.components {
-        let from = assembly.placements[&cm.name];
         for ch in &cm.channels {
-            let to = assembly.placements[&ch.to];
-            let key = (cm.name.clone(), ch.label.clone());
-            if from.substrate == to.substrate {
-                let cap = assembly.substrates[from.substrate].grant_channel(
-                    from.domain,
-                    to.domain,
-                    Badge(ch.badge),
-                )?;
-                assembly.channels.insert(
-                    key,
-                    ChannelRef::Local {
-                        substrate: from.substrate,
-                        cap,
-                    },
-                );
-            } else {
-                let env = assembly.env_domain(to.substrate)?;
-                let cap = assembly.substrates[to.substrate].grant_channel(
-                    env,
-                    to.domain,
-                    Badge(ch.badge),
-                )?;
-                assembly.channels.insert(
-                    key,
-                    ChannelRef::Bridged {
-                        substrate: to.substrate,
-                        cap,
-                    },
-                );
-            }
+            assembly.establish_channel(&cm.name, &ch.label, &ch.to, ch.badge)?;
         }
     }
     Ok(assembly)
+}
+
+/// Liveness of an assembly, as reported by [`Assembly::health`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Health {
+    /// Every placed component is alive.
+    Healthy,
+    /// The named components are down (crashed and not yet restarted, or
+    /// quarantined); the rest of the assembly keeps serving.
+    Degraded(Vec<String>),
+    /// Every component is down (or the supervisor escalated a crash).
+    Failed,
 }
 
 impl Assembly {
@@ -388,6 +374,125 @@ impl Assembly {
                 })
             })
             .collect()
+    }
+
+    /// Grants (or re-grants, overwriting the channel-map entry) the
+    /// declared channel `from_name.label → to_name`. Both endpoints must
+    /// be placed.
+    pub(crate) fn establish_channel(
+        &mut self,
+        from_name: &str,
+        label: &str,
+        to_name: &str,
+        badge: u64,
+    ) -> Result<(), CoreError> {
+        let from = self.placement(from_name)?;
+        let to = self.placement(to_name)?;
+        let key = (from_name.to_string(), label.to_string());
+        if from.substrate == to.substrate {
+            let cap = self.substrates[from.substrate].grant_channel(
+                from.domain,
+                to.domain,
+                Badge(badge),
+            )?;
+            self.channels.insert(
+                key,
+                ChannelRef::Local {
+                    substrate: from.substrate,
+                    cap,
+                },
+            );
+        } else {
+            let env = self.env_domain(to.substrate)?;
+            let cap = self.substrates[to.substrate].grant_channel(env, to.domain, Badge(badge))?;
+            self.channels.insert(
+                key,
+                ChannelRef::Bridged {
+                    substrate: to.substrate,
+                    cap,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Destroys a component's (possibly crashed) domain and spawns a
+    /// fresh successor from the manifest on the *same* substrate. The
+    /// destroyed domain's capabilities are already dead by fabric
+    /// semantics; the channel-map and env-cap entries involving the
+    /// component are dropped so the supervisor re-grants from a clean
+    /// slate. On spawn failure the component stays placed at its dead
+    /// domain id (every call fails until a later restart succeeds).
+    pub(crate) fn respawn(
+        &mut self,
+        cm: &ComponentManifest,
+        component: Box<dyn Component>,
+    ) -> Result<(), CoreError> {
+        let p = self.placement(&cm.name)?;
+        // The old domain may already be gone if a previous restart
+        // attempt failed after the destroy.
+        let _ = self.substrates[p.substrate].destroy(p.domain);
+        self.channels.retain(|(from, _), _| from != &cm.name);
+        self.env_caps.retain(|(target, _), _| target != &cm.name);
+        let spec = DomainSpec::named(&cm.name)
+            .with_image(&cm.image)
+            .with_mem_pages(cm.mem_pages)
+            .with_loc(cm.loc);
+        let domain = self.substrates[p.substrate].spawn(spec, component)?;
+        self.placements.insert(
+            cm.name.clone(),
+            Placement {
+                substrate: p.substrate,
+                domain,
+            },
+        );
+        Ok(())
+    }
+
+    /// Re-establishes every manifest-declared channel from or to `name`
+    /// (exactly the declared set — the POLA guarantee survives the
+    /// restart). Channels whose other endpoint is itself down are
+    /// skipped; that endpoint's own restart re-grants them.
+    pub(crate) fn regrant(&mut self, app: &AppManifest, name: &str) -> Result<(), CoreError> {
+        for cm in &app.components {
+            for ch in &cm.channels {
+                if cm.name != name && ch.to != name {
+                    continue;
+                }
+                let endpoints_alive = [&cm.name, &ch.to].iter().all(|n| {
+                    self.placements
+                        .get(n.as_str())
+                        .is_some_and(|p| self.substrates[p.substrate].measurement(p.domain).is_ok())
+                });
+                if !endpoints_alive {
+                    continue;
+                }
+                self.establish_channel(&cm.name, &ch.label, &ch.to, ch.badge)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Liveness summary: a component counts as down when its domain no
+    /// longer exists (destroyed, not yet respawned) or the fabric marked
+    /// it crashed.
+    pub fn health(&self) -> Health {
+        let mut down = Vec::new();
+        for (name, p) in &self.placements {
+            let sub = &self.substrates[p.substrate];
+            let dead = sub.measurement(p.domain).is_err()
+                || sub.fabric_ref().is_some_and(|f| f.is_crashed(p.domain));
+            if dead {
+                down.push(name.clone());
+            }
+        }
+        if down.is_empty() {
+            Health::Healthy
+        } else if down.len() == self.placements.len() {
+            Health::Failed
+        } else {
+            Health::Degraded(down)
+        }
     }
 
     /// Tears down a component: its domain is destroyed (memory scrubbed,

@@ -19,6 +19,11 @@
 //!   information-flow reachability over the channel graph (the blast
 //!   radius of experiment E1), confused-deputy candidate detection, and
 //!   a Graphviz exporter for human review.
+//! * [`supervisor`] — the recovery layer: manifests declare per-component
+//!   restart policies, and a [`supervisor::Supervisor`] drives crashed
+//!   components through destroy → respawn → re-measure → re-attest →
+//!   re-grant, quarantining those that exhaust their restart budget while
+//!   the rest of the assembly keeps serving.
 //! * [`remote`] — cross-machine composition: assembly components exported
 //!   over the adversarial network behind attested secure channels
 //!   ("our envisioned architecture also extends across the network",
@@ -31,6 +36,7 @@ pub mod analysis;
 pub mod composer;
 pub mod manifest;
 pub mod remote;
+pub mod supervisor;
 
 use std::error::Error;
 use std::fmt;
@@ -52,6 +58,11 @@ pub enum CoreError {
     Substrate(String),
     /// A name lookup failed (component or channel label).
     NotFound(String),
+    /// The target component is temporarily unavailable: its domain
+    /// crashed and the supervisor has not (yet) restarted it, or it
+    /// exhausted its restart budget and is quarantined. Callers seeing
+    /// this during the bounded restart window should back off and retry.
+    Unavailable(String),
 }
 
 impl fmt::Display for CoreError {
@@ -63,6 +74,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Substrate(r) => write!(f, "substrate error: {r}"),
             CoreError::NotFound(r) => write!(f, "not found: {r}"),
+            CoreError::Unavailable(r) => write!(f, "temporarily unavailable: {r}"),
         }
     }
 }
@@ -71,6 +83,14 @@ impl Error for CoreError {}
 
 impl From<lateral_substrate::SubstrateError> for CoreError {
     fn from(e: lateral_substrate::SubstrateError) -> Self {
-        CoreError::Substrate(e.to_string())
+        match e {
+            // A fail-stopped domain is a liveness condition, not a
+            // composition failure: the supervisor destroys and respawns
+            // it, so callers get the retryable variant.
+            lateral_substrate::SubstrateError::DomainCrashed(_) => {
+                CoreError::Unavailable(e.to_string())
+            }
+            _ => CoreError::Substrate(e.to_string()),
+        }
     }
 }

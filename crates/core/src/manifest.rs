@@ -51,6 +51,40 @@ pub enum TrustClass {
     Legacy,
 }
 
+/// What the supervisor does when a component's domain fail-stops.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RestartPolicy {
+    /// Crash once, stay down: the component is quarantined immediately
+    /// (the default — supervision is opt-in per component).
+    Never,
+    /// Destroy, respawn from the image, re-attest, and re-grant — up to
+    /// `max_restarts` times, with a doubling logical-clock backoff.
+    Restart {
+        /// Restart budget over the component's lifetime; exceeding it
+        /// quarantines the component.
+        max_restarts: u32,
+        /// Logical-clock ticks before the first restart attempt; doubles
+        /// per consecutive restart (capped at 64× the base).
+        backoff_base: u64,
+    },
+    /// A crash of this component fails the whole assembly (it is load-
+    /// bearing beyond repair — e.g. the root of trust).
+    Escalate,
+}
+
+impl RestartPolicy {
+    /// The backoff before restart attempt `n` (0-based): doubling from
+    /// the base, capped at 64× base. Zero for policies without restarts.
+    pub fn backoff(&self, n: u32) -> u64 {
+        match self {
+            RestartPolicy::Restart { backoff_base, .. } => {
+                backoff_base.saturating_mul(1u64 << n.min(6))
+            }
+            _ => 0,
+        }
+    }
+}
+
 /// One component in the application.
 #[derive(Clone, Debug)]
 pub struct ComponentManifest {
@@ -70,6 +104,8 @@ pub struct ComponentManifest {
     pub assets: Vec<Asset>,
     /// Channels this component may use (POLA: nothing else exists).
     pub channels: Vec<ChannelDecl>,
+    /// What the supervisor does when this component crashes.
+    pub restart: RestartPolicy,
 }
 
 impl ComponentManifest {
@@ -85,6 +121,7 @@ impl ComponentManifest {
             required_defense: [AttackerModel::RemoteSoftware].into_iter().collect(),
             assets: Vec::new(),
             channels: Vec::new(),
+            restart: RestartPolicy::Never,
         }
     }
 
@@ -135,6 +172,22 @@ impl ComponentManifest {
             badge,
         });
         self
+    }
+
+    /// Sets the restart policy.
+    #[must_use]
+    pub fn restart(mut self, policy: RestartPolicy) -> ComponentManifest {
+        self.restart = policy;
+        self
+    }
+
+    /// Shorthand: supervised restart with the given budget and backoff.
+    #[must_use]
+    pub fn restartable(self, max_restarts: u32, backoff_base: u64) -> ComponentManifest {
+        self.restart(RestartPolicy::Restart {
+            max_restarts,
+            backoff_base,
+        })
     }
 }
 
@@ -237,6 +290,211 @@ impl AppManifest {
     pub fn channel_count(&self) -> usize {
         self.components.iter().map(|c| c.channels.len()).sum()
     }
+
+    /// Parses the line-based manifest text format produced by
+    /// [`AppManifest::to_text`]:
+    ///
+    /// ```text
+    /// app demo
+    /// component meter
+    ///   image 6d65746572
+    ///   loc 1200
+    ///   pages 4
+    ///   legacy
+    ///   requires remote-software compromised-os
+    ///   asset readings personal
+    ///   channel report utility 7
+    ///   restart 3 1000
+    /// component utility
+    ///   restart never
+    /// ```
+    ///
+    /// `image` takes the hex-encoded code image; `restart` takes
+    /// `never`, `escalate`, or `<max_restarts> <backoff_base>`. Blank
+    /// lines and `#` comments are ignored. The result is validated
+    /// before it is returned — adversarial input either parses into a
+    /// consistent manifest or fails loudly, never silently half-loads.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidManifest`] on any unknown directive, malformed
+    /// number, missing context, or post-parse validation failure.
+    pub fn parse(text: &str) -> Result<AppManifest, CoreError> {
+        let bad = |line_no: usize, why: &str| {
+            CoreError::InvalidManifest(format!("manifest line {}: {why}", line_no + 1))
+        };
+        let mut app: Option<AppManifest> = None;
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let directive = words.next().expect("non-empty line has a first word");
+            let rest: Vec<&str> = words.collect();
+            if directive == "app" {
+                if app.is_some() {
+                    return Err(bad(no, "duplicate 'app' line"));
+                }
+                let [name] = rest.as_slice() else {
+                    return Err(bad(no, "expected 'app <name>'"));
+                };
+                app = Some(AppManifest::new(name, Vec::new()));
+                continue;
+            }
+            let app = app
+                .as_mut()
+                .ok_or_else(|| bad(no, "directive before 'app' line"))?;
+            if directive == "component" {
+                let [name] = rest.as_slice() else {
+                    return Err(bad(no, "expected 'component <name>'"));
+                };
+                app.components.push(ComponentManifest::new(name));
+                continue;
+            }
+            let cm = app
+                .components
+                .last_mut()
+                .ok_or_else(|| bad(no, "directive before any 'component'"))?;
+            match (directive, rest.as_slice()) {
+                ("image", [hex]) => {
+                    cm.image = decode_hex(hex).ok_or_else(|| bad(no, "malformed image hex"))?;
+                }
+                ("loc", [n]) => {
+                    cm.loc = n.parse().map_err(|_| bad(no, "malformed loc"))?;
+                }
+                ("pages", [n]) => {
+                    cm.mem_pages = n.parse().map_err(|_| bad(no, "malformed pages"))?;
+                }
+                ("legacy", []) => cm.trust = TrustClass::Legacy,
+                ("requires", models) if !models.is_empty() => {
+                    cm.required_defense = models
+                        .iter()
+                        .map(|m| parse_model(m).ok_or_else(|| bad(no, "unknown attacker model")))
+                        .collect::<Result<_, _>>()?;
+                }
+                ("asset", [name, sens]) => {
+                    let sensitivity =
+                        parse_sensitivity(sens).ok_or_else(|| bad(no, "unknown sensitivity"))?;
+                    cm.assets.push(Asset {
+                        name: (*name).to_string(),
+                        sensitivity,
+                    });
+                }
+                ("channel", [label, to, badge]) => {
+                    let badge = badge.parse().map_err(|_| bad(no, "malformed badge"))?;
+                    cm.channels.push(ChannelDecl {
+                        label: (*label).to_string(),
+                        to: (*to).to_string(),
+                        badge,
+                    });
+                }
+                ("restart", ["never"]) => cm.restart = RestartPolicy::Never,
+                ("restart", ["escalate"]) => cm.restart = RestartPolicy::Escalate,
+                ("restart", [max, base]) => {
+                    cm.restart = RestartPolicy::Restart {
+                        max_restarts: max.parse().map_err(|_| bad(no, "malformed max_restarts"))?,
+                        backoff_base: base
+                            .parse()
+                            .map_err(|_| bad(no, "malformed backoff_base"))?,
+                    };
+                }
+                _ => return Err(bad(no, "unknown or malformed directive")),
+            }
+        }
+        let app = app.ok_or_else(|| CoreError::InvalidManifest("empty manifest text".into()))?;
+        app.validate()?;
+        Ok(app)
+    }
+
+    /// Serializes to the text format [`AppManifest::parse`] accepts.
+    /// `parse(m.to_text())` reproduces `m` (the round-trip the fuzz
+    /// suite pins down).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "app {}", self.name);
+        for c in &self.components {
+            let _ = writeln!(out, "component {}", c.name);
+            let _ = writeln!(out, "  image {}", encode_hex(&c.image));
+            let _ = writeln!(out, "  loc {}", c.loc);
+            let _ = writeln!(out, "  pages {}", c.mem_pages);
+            if c.trust == TrustClass::Legacy {
+                let _ = writeln!(out, "  legacy");
+            }
+            let models: Vec<String> = c.required_defense.iter().map(|m| m.to_string()).collect();
+            if !models.is_empty() {
+                let _ = writeln!(out, "  requires {}", models.join(" "));
+            }
+            for a in &c.assets {
+                let _ = writeln!(
+                    out,
+                    "  asset {} {}",
+                    a.name,
+                    sensitivity_name(a.sensitivity)
+                );
+            }
+            for ch in &c.channels {
+                let _ = writeln!(out, "  channel {} {} {}", ch.label, ch.to, ch.badge);
+            }
+            match c.restart {
+                RestartPolicy::Never => {
+                    let _ = writeln!(out, "  restart never");
+                }
+                RestartPolicy::Escalate => {
+                    let _ = writeln!(out, "  restart escalate");
+                }
+                RestartPolicy::Restart {
+                    max_restarts,
+                    backoff_base,
+                } => {
+                    let _ = writeln!(out, "  restart {max_restarts} {backoff_base}");
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_sensitivity(s: &str) -> Option<Sensitivity> {
+    match s {
+        "public" => Some(Sensitivity::Public),
+        "personal" => Some(Sensitivity::Personal),
+        "secret" => Some(Sensitivity::Secret),
+        _ => None,
+    }
+}
+
+fn sensitivity_name(s: Sensitivity) -> &'static str {
+    match s {
+        Sensitivity::Public => "public",
+        Sensitivity::Personal => "personal",
+        Sensitivity::Secret => "secret",
+    }
+}
+
+fn parse_model(s: &str) -> Option<AttackerModel> {
+    match s {
+        "remote-software" => Some(AttackerModel::RemoteSoftware),
+        "compromised-os" => Some(AttackerModel::CompromisedOs),
+        "malicious-device" => Some(AttackerModel::MaliciousDevice),
+        "physical-bus" => Some(AttackerModel::PhysicalBus),
+        "physical-boot" => Some(AttackerModel::PhysicalBoot),
+        _ => None,
+    }
+}
+
+fn encode_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok())
+        .collect()
 }
 
 #[cfg(test)]
@@ -314,6 +572,70 @@ mod tests {
             ],
         );
         assert!(app.validate().is_err());
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let app = AppManifest::new(
+            "meterapp",
+            vec![
+                ComponentManifest::new("meter")
+                    .image(b"meter-image")
+                    .loc(1_200)
+                    .asset("readings", Sensitivity::Personal)
+                    .channel("report", "utility", 7)
+                    .restartable(3, 1_000),
+                ComponentManifest::new("utility")
+                    .legacy()
+                    .requires(&[AttackerModel::RemoteSoftware, AttackerModel::CompromisedOs])
+                    .restart(RestartPolicy::Escalate),
+            ],
+        );
+        let text = app.to_text();
+        let parsed = AppManifest::parse(&text).unwrap();
+        assert_eq!(parsed.to_text(), text);
+        assert_eq!(
+            parsed.component("meter").unwrap().restart,
+            RestartPolicy::Restart {
+                max_restarts: 3,
+                backoff_base: 1_000
+            }
+        );
+        assert_eq!(parsed.component("meter").unwrap().image, b"meter-image");
+        assert_eq!(
+            parsed.component("utility").unwrap().restart,
+            RestartPolicy::Escalate
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        for bad in [
+            "",
+            "component orphan",
+            "app a\nloc 3",
+            "app a\ncomponent c\nloc nine",
+            "app a\ncomponent c\nfrobnicate 1",
+            "app a\napp b",
+            "app a\ncomponent c\nrestart sometimes",
+            "app a\ncomponent c\nimage zz",
+            "app a\ncomponent c\nchannel x c 1", // self-channel fails validate()
+        ] {
+            assert!(AppManifest::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RestartPolicy::Restart {
+            max_restarts: 10,
+            backoff_base: 100,
+        };
+        assert_eq!(p.backoff(0), 100);
+        assert_eq!(p.backoff(1), 200);
+        assert_eq!(p.backoff(6), 6_400);
+        assert_eq!(p.backoff(60), 6_400, "capped at 64x base");
+        assert_eq!(RestartPolicy::Never.backoff(3), 0);
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! The supervision tree: crashed components restart, re-attest, and
+//! rejoin the assembly.
+//!
+//! E1 proves *containment* — a fault stays inside its domain — but a
+//! production assembly also needs *recovery*: once a domain fail-stops,
+//! every channel into it serves errors forever unless something puts a
+//! successor in its place. The [`Supervisor`] is that something. It
+//! owns a composed [`Assembly`] together with the [`AppManifest`] and
+//! [`ComponentFactory`] that built it (the composer itself retains
+//! neither), and drives each crash through the paper-faithful cycle:
+//!
+//! 1. **destroy** the crashed domain — the fabric revokes every
+//!    capability targeting it, so stale channels are dead by
+//!    construction, not by convention;
+//! 2. wait out a **capped, doubling logical-clock backoff** declared in
+//!    the manifest ([`RestartPolicy`]);
+//! 3. **respawn** from the manifest image on the same substrate —
+//!    nothing is replayed; the successor starts from its image like any
+//!    cold boot;
+//! 4. **re-measure and re-attest**: the successor must measure
+//!    identically to the baseline recorded at composition, and (where
+//!    the substrate can attest) produce evidence carrying that same
+//!    measurement — a restarted impostor cannot slip in;
+//! 5. **re-grant exactly the manifest-declared channels** — POLA
+//!    survives the restart because the grant set is recomputed from the
+//!    manifest, never from runtime state.
+//!
+//! Callers see a bounded window of [`CoreError::Unavailable`]; a
+//! component that exhausts its restart budget is quarantined while the
+//! rest of the assembly keeps serving ([`Health::Degraded`]); an
+//! [`RestartPolicy::Escalate`] component failing takes the whole
+//! assembly to [`Health::Failed`].
+
+use std::collections::BTreeMap;
+
+use lateral_crypto::Digest;
+use lateral_substrate::attest::AttestationEvidence;
+use lateral_substrate::substrate::Substrate;
+use lateral_substrate::SubstrateError;
+
+use crate::composer::{compose, Assembly, ComponentFactory, Health};
+use crate::manifest::{AppManifest, RestartPolicy};
+use crate::CoreError;
+
+/// Report data bound into both the baseline and every post-restart
+/// attestation, so recovered evidence is byte-comparable to the
+/// original.
+pub const ATTEST_CONTEXT: &[u8] = b"lateral.supervisor.attest";
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum State {
+    Up,
+    /// Crashed; next restart attempt allowed once the component's
+    /// substrate clock reaches `resume_at`.
+    Down {
+        resume_at: u64,
+    },
+    Quarantined,
+}
+
+/// Supervises a composed assembly: detects fail-stops on the call path,
+/// restarts per the manifest's [`RestartPolicy`], and reports
+/// [`Health`].
+pub struct Supervisor {
+    assembly: Assembly,
+    app: AppManifest,
+    factory: Box<dyn ComponentFactory>,
+    states: BTreeMap<String, State>,
+    restart_counts: BTreeMap<String, u32>,
+    baselines: BTreeMap<String, Digest>,
+    baseline_evidence: BTreeMap<String, Option<AttestationEvidence>>,
+    last_evidence: BTreeMap<String, Option<AttestationEvidence>>,
+    escalated: Option<String>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Supervisor({} components, {:?})",
+            self.states.len(),
+            self.health()
+        )
+    }
+}
+
+impl Supervisor {
+    /// Composes `app` over `substrates` and places it under supervision,
+    /// recording each component's baseline measurement and (where the
+    /// substrate can attest) baseline attestation evidence.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`compose`] can return.
+    pub fn new(
+        app: AppManifest,
+        substrates: Vec<Box<dyn Substrate>>,
+        mut factory: Box<dyn ComponentFactory>,
+    ) -> Result<Supervisor, CoreError> {
+        let assembly = compose(&app, substrates, factory.as_mut())?;
+        let mut sup = Supervisor {
+            assembly,
+            app,
+            factory,
+            states: BTreeMap::new(),
+            restart_counts: BTreeMap::new(),
+            baselines: BTreeMap::new(),
+            baseline_evidence: BTreeMap::new(),
+            last_evidence: BTreeMap::new(),
+            escalated: None,
+        };
+        for cm in &sup.app.components.clone() {
+            sup.states.insert(cm.name.clone(), State::Up);
+            sup.restart_counts.insert(cm.name.clone(), 0);
+            let m = sup.assembly.measurement(&cm.name)?;
+            sup.baselines.insert(cm.name.clone(), m);
+            let ev = sup.attest_raw(&cm.name)?;
+            sup.baseline_evidence.insert(cm.name.clone(), ev.clone());
+            sup.last_evidence.insert(cm.name.clone(), ev);
+        }
+        Ok(sup)
+    }
+
+    /// Attests a component with [`ATTEST_CONTEXT`], returning `None`
+    /// where the substrate cannot attest (e.g. pure software).
+    fn attest_raw(&mut self, name: &str) -> Result<Option<AttestationEvidence>, CoreError> {
+        let p = self.assembly.placement(name)?;
+        match self.assembly.substrates[p.substrate].attest(p.domain, ATTEST_CONTEXT) {
+            Ok(ev) => Ok(Some(ev)),
+            Err(SubstrateError::Unsupported(_)) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn clock_of(&self, name: &str) -> Result<u64, CoreError> {
+        let p = self.assembly.placement(name)?;
+        Ok(self.assembly.substrates[p.substrate].now())
+    }
+
+    /// Supervised environment invocation of a component. Routes through
+    /// the assembly when the component is up; during a crash window it
+    /// returns [`CoreError::Unavailable`] and, once the backoff deadline
+    /// passes, performs the restart inline before dispatching.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unavailable`] while the component is down,
+    /// quarantined, or the assembly has failed; otherwise the underlying
+    /// assembly errors.
+    pub fn call(&mut self, name: &str, data: &[u8]) -> Result<Vec<u8>, CoreError> {
+        if let Some(who) = &self.escalated {
+            return Err(CoreError::Unavailable(format!(
+                "assembly failed: crash of '{who}' escalated"
+            )));
+        }
+        let state = self
+            .states
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("component '{name}'")))?;
+        match state {
+            State::Quarantined => Err(CoreError::Unavailable(format!(
+                "'{name}' is quarantined (restart budget exhausted)"
+            ))),
+            State::Down { resume_at } => {
+                if self.clock_of(name)? < resume_at {
+                    return Err(CoreError::Unavailable(format!(
+                        "'{name}' is down, restart at tick {resume_at}"
+                    )));
+                }
+                match self.try_restart(name) {
+                    Ok(()) => {
+                        self.states.insert(name.to_string(), State::Up);
+                        self.dispatch(name, data)
+                    }
+                    Err(e) => {
+                        self.note_restart_failure(name);
+                        Err(CoreError::Unavailable(format!(
+                            "restart of '{name}' failed: {e}"
+                        )))
+                    }
+                }
+            }
+            State::Up => self.dispatch(name, data),
+        }
+    }
+
+    fn dispatch(&mut self, name: &str, data: &[u8]) -> Result<Vec<u8>, CoreError> {
+        match self.assembly.call_component(name, data) {
+            Err(CoreError::Unavailable(r)) => {
+                // The fabric reported a fail-stop mid-call: begin the
+                // supervision cycle now.
+                self.on_crash(name);
+                Err(CoreError::Unavailable(r))
+            }
+            other => other,
+        }
+    }
+
+    /// Crash handling: destroy the domain immediately (stale caps die
+    /// with it), then schedule per policy.
+    fn on_crash(&mut self, name: &str) {
+        if let Ok(p) = self.assembly.placement(name) {
+            let _ = self.assembly.substrates[p.substrate].destroy(p.domain);
+        }
+        let policy = self
+            .app
+            .component(name)
+            .map(|c| c.restart)
+            .unwrap_or(RestartPolicy::Never);
+        match policy {
+            RestartPolicy::Never => {
+                self.states.insert(name.to_string(), State::Quarantined);
+            }
+            RestartPolicy::Escalate => {
+                self.states.insert(name.to_string(), State::Quarantined);
+                self.escalated = Some(name.to_string());
+            }
+            RestartPolicy::Restart { max_restarts, .. } => {
+                let count = *self.restart_counts.get(name).unwrap_or(&0);
+                if count >= max_restarts {
+                    self.states.insert(name.to_string(), State::Quarantined);
+                } else {
+                    let resume_at = self
+                        .clock_of(name)
+                        .unwrap_or(0)
+                        .saturating_add(policy.backoff(count));
+                    self.states
+                        .insert(name.to_string(), State::Down { resume_at });
+                }
+            }
+        }
+    }
+
+    fn note_restart_failure(&mut self, name: &str) {
+        let count = {
+            let c = self.restart_counts.entry(name.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let policy = self
+            .app
+            .component(name)
+            .map(|c| c.restart)
+            .unwrap_or(RestartPolicy::Never);
+        match policy {
+            RestartPolicy::Restart { max_restarts, .. } if count < max_restarts => {
+                let resume_at = self
+                    .clock_of(name)
+                    .unwrap_or(0)
+                    .saturating_add(policy.backoff(count));
+                self.states
+                    .insert(name.to_string(), State::Down { resume_at });
+            }
+            _ => {
+                self.states.insert(name.to_string(), State::Quarantined);
+            }
+        }
+    }
+
+    /// The restart cycle: respawn from the image, verify the successor
+    /// measures as the baseline, re-attest, re-grant declared channels.
+    fn try_restart(&mut self, name: &str) -> Result<(), CoreError> {
+        let cm = self
+            .app
+            .component(name)
+            .ok_or_else(|| CoreError::NotFound(format!("component '{name}'")))?
+            .clone();
+        let component = self.factory.build(&cm).ok_or_else(|| {
+            CoreError::InvalidManifest(format!("factory cannot rebuild '{name}'"))
+        })?;
+        self.assembly.respawn(&cm, component)?;
+        let baseline = self.baselines[name];
+        let m = self.assembly.measurement(name)?;
+        if m != baseline {
+            return Err(CoreError::Substrate(format!(
+                "respawned '{name}' measurement diverged from baseline"
+            )));
+        }
+        let ev = self.attest_raw(name)?;
+        if let Some(ev) = &ev {
+            if ev.measurement != baseline {
+                return Err(CoreError::Substrate(format!(
+                    "respawned '{name}' attestation evidence diverged from baseline"
+                )));
+            }
+        }
+        self.last_evidence.insert(name.to_string(), ev);
+        self.restart_counts
+            .entry(name.to_string())
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+        self.assembly.regrant(&self.app, name)?;
+        Ok(())
+    }
+
+    /// Liveness summary. [`Health::Failed`] when an escalating component
+    /// crashed or everything is down; [`Health::Degraded`] names the
+    /// components currently down or quarantined.
+    pub fn health(&self) -> Health {
+        if self.escalated.is_some() {
+            return Health::Failed;
+        }
+        let down: Vec<String> = self
+            .states
+            .iter()
+            .filter(|(_, s)| !matches!(s, State::Up))
+            .map(|(n, _)| n.clone())
+            .collect();
+        if down.is_empty() {
+            Health::Healthy
+        } else if down.len() == self.states.len() {
+            Health::Failed
+        } else {
+            Health::Degraded(down)
+        }
+    }
+
+    /// Restarts performed for a component so far.
+    pub fn restarts(&self, name: &str) -> u32 {
+        *self.restart_counts.get(name).unwrap_or(&0)
+    }
+
+    /// Whether a component exhausted its budget (or crashed under
+    /// `Never`/`Escalate`) and is out of service for good.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        matches!(self.states.get(name), Some(State::Quarantined))
+    }
+
+    /// The measurement recorded at composition time.
+    pub fn baseline_measurement(&self, name: &str) -> Option<Digest> {
+        self.baselines.get(name).copied()
+    }
+
+    /// The attestation evidence recorded at composition time (`None`
+    /// when the hosting substrate cannot attest).
+    pub fn baseline_evidence(&self, name: &str) -> Option<&AttestationEvidence> {
+        self.baseline_evidence.get(name).and_then(|e| e.as_ref())
+    }
+
+    /// The most recent attestation evidence (updated on every
+    /// successful restart).
+    pub fn evidence(&self, name: &str) -> Option<&AttestationEvidence> {
+        self.last_evidence.get(name).and_then(|e| e.as_ref())
+    }
+
+    /// The supervised assembly (read side).
+    pub fn assembly(&self) -> &Assembly {
+        &self.assembly
+    }
+
+    /// The supervised assembly (write side — fault-plan installation,
+    /// attack injection in experiments).
+    pub fn assembly_mut(&mut self) -> &mut Assembly {
+        &mut self.assembly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ComponentManifest;
+    use lateral_substrate::component::Component;
+    use lateral_substrate::fault::{FaultPlan, FaultSpec};
+    use lateral_substrate::software::SoftwareSubstrate;
+    use lateral_substrate::testkit::Echo;
+
+    fn factory() -> Box<dyn ComponentFactory> {
+        Box::new(|_: &ComponentManifest| Some(Box::new(Echo) as Box<dyn Component>))
+    }
+
+    fn pool() -> Vec<Box<dyn Substrate>> {
+        vec![Box::new(SoftwareSubstrate::new("sup-test"))]
+    }
+
+    fn two_workers(policy: RestartPolicy) -> AppManifest {
+        AppManifest::new(
+            "supervised",
+            vec![
+                ComponentManifest::new("worker").restart(policy),
+                ComponentManifest::new("sidekick"),
+            ],
+        )
+    }
+
+    fn install(sup: &mut Supervisor, plan: FaultPlan) {
+        sup.assembly_mut()
+            .substrate_mut(0)
+            .fabric_mut_ref()
+            .expect("software routes through the fabric")
+            .install_fault_plan(plan);
+    }
+
+    /// Drives `worker` + `sidekick` until the worker answers again,
+    /// returning (lost calls, answered).
+    fn drive(sup: &mut Supervisor, rounds: usize) -> (u32, u32) {
+        let (mut lost, mut served) = (0, 0);
+        for _ in 0..rounds {
+            match sup.call("worker", b"ping") {
+                Ok(_) => served += 1,
+                Err(CoreError::Unavailable(_)) => lost += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            // Sidekick traffic keeps the logical clock moving through
+            // the backoff window.
+            sup.call("sidekick", b"tick").unwrap();
+        }
+        (lost, served)
+    }
+
+    #[test]
+    fn transient_crash_restarts_within_budget() {
+        let app = two_workers(RestartPolicy::Restart {
+            max_restarts: 3,
+            backoff_base: 20,
+        });
+        let mut sup = Supervisor::new(app, pool(), factory()).unwrap();
+        install(
+            &mut sup,
+            FaultPlan::new().with(FaultSpec::crash("worker", 2)),
+        );
+        let baseline = sup.baseline_measurement("worker").unwrap();
+        let (lost, served) = drive(&mut sup, 40);
+        assert!(lost >= 1, "the injected crash loses at least one call");
+        assert!(served >= 30, "service resumed after the bounded window");
+        assert_eq!(sup.restarts("worker"), 1);
+        assert_eq!(sup.health(), Health::Healthy);
+        assert_eq!(sup.assembly().measurement("worker").unwrap(), baseline);
+    }
+
+    #[test]
+    fn permanent_crash_exhausts_budget_and_quarantines() {
+        let app = two_workers(RestartPolicy::Restart {
+            max_restarts: 2,
+            backoff_base: 10,
+        });
+        let mut sup = Supervisor::new(app, pool(), factory()).unwrap();
+        install(
+            &mut sup,
+            FaultPlan::new().with(FaultSpec::crash("worker", 1).permanent()),
+        );
+        let (_, served) = drive(&mut sup, 60);
+        assert_eq!(served, 0, "a permanent fault never recovers");
+        assert!(sup.is_quarantined("worker"));
+        assert_eq!(sup.restarts("worker"), 2, "budget fully spent first");
+        assert_eq!(sup.health(), Health::Degraded(vec!["worker".into()]));
+        // The rest of the assembly keeps serving.
+        assert_eq!(sup.call("sidekick", b"x").unwrap(), b"x");
+    }
+
+    #[test]
+    fn never_policy_quarantines_on_first_crash() {
+        let app = two_workers(RestartPolicy::Never);
+        let mut sup = Supervisor::new(app, pool(), factory()).unwrap();
+        install(
+            &mut sup,
+            FaultPlan::new().with(FaultSpec::crash("worker", 1)),
+        );
+        assert!(matches!(
+            sup.call("worker", b"x"),
+            Err(CoreError::Unavailable(_))
+        ));
+        assert!(sup.is_quarantined("worker"));
+        assert_eq!(sup.restarts("worker"), 0);
+    }
+
+    #[test]
+    fn escalate_policy_fails_the_assembly() {
+        let app = two_workers(RestartPolicy::Escalate);
+        let mut sup = Supervisor::new(app, pool(), factory()).unwrap();
+        install(
+            &mut sup,
+            FaultPlan::new().with(FaultSpec::crash("worker", 1)),
+        );
+        let _ = sup.call("worker", b"x");
+        assert_eq!(sup.health(), Health::Failed);
+        assert!(matches!(
+            sup.call("sidekick", b"x"),
+            Err(CoreError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn spawn_fault_during_restart_consumes_budget_then_recovers() {
+        let app = two_workers(RestartPolicy::Restart {
+            max_restarts: 3,
+            backoff_base: 10,
+        });
+        let mut sup = Supervisor::new(app, pool(), factory()).unwrap();
+        // Crash once; the first respawn attempt also fails.
+        install(
+            &mut sup,
+            FaultPlan::new()
+                .with(FaultSpec::crash("worker", 1))
+                .with(FaultSpec::fail_spawn("worker", 1)),
+        );
+        let (lost, served) = drive(&mut sup, 60);
+        assert!(lost >= 2, "crash + failed restart both lose calls");
+        assert!(served > 0, "second restart attempt succeeds");
+        assert_eq!(sup.restarts("worker"), 2);
+        assert_eq!(sup.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn restarted_component_keeps_declared_channels_only() {
+        let app = AppManifest::new(
+            "wired",
+            vec![
+                ComponentManifest::new("caller").channel("ask", "worker", 9),
+                ComponentManifest::new("worker").restartable(3, 10),
+                ComponentManifest::new("sidekick"),
+            ],
+        );
+        let mut sup = Supervisor::new(app, pool(), factory()).unwrap();
+        assert_eq!(
+            sup.assembly_mut()
+                .call_channel("caller", "ask", b"hi")
+                .unwrap(),
+            b"hi"
+        );
+        install(
+            &mut sup,
+            FaultPlan::new().with(FaultSpec::crash("worker", 1)),
+        );
+        let _ = sup.call("worker", b"boom");
+        // Drive the clock, then let the supervisor restart the worker.
+        for _ in 0..20 {
+            let _ = sup.call("sidekick", b"tick");
+            let _ = sup.call("worker", b"ping");
+        }
+        assert_eq!(sup.health(), Health::Healthy);
+        // The declared channel was re-granted onto the fresh domain.
+        assert_eq!(
+            sup.assembly_mut()
+                .call_channel("caller", "ask", b"hi")
+                .unwrap(),
+            b"hi"
+        );
+        // And nothing undeclared appeared.
+        assert!(sup
+            .assembly_mut()
+            .call_channel("sidekick", "ask", b"x")
+            .is_err());
+    }
+}

@@ -366,6 +366,10 @@ impl Substrate for Flicker {
     fn fabric_ref(&self) -> Option<&Fabric> {
         Some(&self.fabric)
     }
+
+    fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
+        Some(&mut self.fabric)
+    }
 }
 
 #[cfg(test)]

@@ -531,6 +531,10 @@ impl Substrate for Microkernel {
     fn fabric_ref(&self) -> Option<&Fabric> {
         Some(&self.fabric)
     }
+
+    fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
+        Some(&mut self.fabric)
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,9 @@ pub enum AttackMode {
     Passive,
     /// Drop every packet (availability attack).
     DropAll,
+    /// Drop the next `n` packets, then behave passively — a transient
+    /// outage window, for exercising bounded retry deterministically.
+    DropFirst(u64),
     /// Flip a byte in every payload.
     CorruptAll,
     /// Deliver each packet, then deliver a copy a second time.
@@ -134,6 +137,21 @@ impl Network {
             AttackMode::DropAll => {
                 self.dropped += 1;
                 Ok(())
+            }
+            AttackMode::DropFirst(n) => {
+                if n > 1 {
+                    self.mode = AttackMode::DropFirst(n - 1);
+                    self.dropped += 1;
+                    Ok(())
+                } else if n == 1 {
+                    // Window over after this drop.
+                    self.mode = AttackMode::Passive;
+                    self.dropped += 1;
+                    Ok(())
+                } else {
+                    self.mode = AttackMode::Passive;
+                    self.deliver(packet)
+                }
             }
             AttackMode::CorruptAll => {
                 let mut p = packet;
@@ -259,6 +277,18 @@ mod tests {
         n.send(&a, &b, b"x").unwrap();
         assert_eq!(n.pending(&b), 0);
         assert_eq!(n.dropped(), 1);
+    }
+
+    #[test]
+    fn drop_first_n_is_a_transient_window() {
+        let (mut n, a, b) = net();
+        n.set_attack(AttackMode::DropFirst(2));
+        n.send(&a, &b, b"one").unwrap();
+        n.send(&a, &b, b"two").unwrap();
+        n.send(&a, &b, b"three").unwrap();
+        assert_eq!(n.dropped(), 2);
+        assert_eq!(n.recv(&b).unwrap().unwrap().payload, b"three");
+        assert!(n.recv(&b).unwrap().is_none());
     }
 
     #[test]

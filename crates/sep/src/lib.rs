@@ -456,6 +456,10 @@ impl Substrate for Sep {
     fn fabric_ref(&self) -> Option<&Fabric> {
         Some(&self.fabric)
     }
+
+    fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
+        Some(&mut self.fabric)
+    }
 }
 
 #[cfg(test)]

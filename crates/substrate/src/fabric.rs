@@ -23,13 +23,14 @@
 //! trace buffers ([`Fabric::trace_bytes`]) — the uniform measurement
 //! layer the E4 cost ladder and the repro tables read from.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use lateral_crypto::Digest;
 
 use crate::attest::AttestationEvidence;
 use crate::cap::{Badge, CapTable, ChannelCap};
 use crate::component::{Component, ComponentError, Invocation};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::substrate::{CallCtx, DomainRecord, DomainSpec, DomainTable, Substrate};
 use crate::{DomainId, SubstrateError};
 
@@ -109,14 +110,27 @@ pub enum TraceOutcome {
     Reentrancy,
     /// The component (or the dispatch below it) failed.
     Failed,
+    /// The engine injected a scheduled fault at this point (the
+    /// [`crate::fault::FaultPlan`] fired). The event pins the exact
+    /// logical position of the injection, which is what makes two
+    /// identical runs produce byte-identical fault traces.
+    Injected,
+    /// The call targeted a domain that already fail-stopped — the
+    /// bounded `Unavailable` window callers see until the supervisor
+    /// respawns the victim.
+    Crashed,
 }
 
 impl TraceOutcome {
+    // Codes are append-only (new variants take the next number) so the
+    // 50-byte TraceEvent encoding stays stable across PRs.
     fn code(self) -> u8 {
         match self {
             TraceOutcome::Ok => 0,
             TraceOutcome::Reentrancy => 1,
             TraceOutcome::Failed => 2,
+            TraceOutcome::Injected => 3,
+            TraceOutcome::Crashed => 4,
         }
     }
 }
@@ -266,6 +280,8 @@ pub struct Fabric {
     trace_capacity: usize,
     next_seq: u64,
     stats: FabricStats,
+    faults: FaultPlan,
+    crashed: BTreeSet<DomainId>,
 }
 
 impl Default for Fabric {
@@ -299,6 +315,8 @@ impl Fabric {
             trace_capacity: capacity.max(1),
             next_seq: 0,
             stats: FabricStats::default(),
+            faults: FaultPlan::new(),
+            crashed: BTreeSet::new(),
         }
     }
 
@@ -342,6 +360,58 @@ impl Fabric {
             ev.encode_into(&mut out);
         }
         out
+    }
+
+    /// Installs (replacing any previous) deterministic fault schedule.
+    /// The engine consults it on every spawn, invoke, grant, and seal.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault schedule (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether `id` has fail-stopped (an injected crash not yet cleared
+    /// by destroying the domain).
+    pub fn is_crashed(&self, id: DomainId) -> bool {
+        self.crashed.contains(&id)
+    }
+
+    /// The currently crashed domains, in id order.
+    pub fn crashed_domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.crashed.iter().copied()
+    }
+
+    /// Advances the fault plan for one observed operation on `id` and
+    /// reports whether a fault fires now. Returns `false` for ids not
+    /// in the table (nothing to match a name against).
+    fn fault_fires(&mut self, id: DomainId, kind: FaultKind) -> bool {
+        let name = match self.table.get(id) {
+            Ok(rec) => rec.spec.name.clone(),
+            Err(_) => return false,
+        };
+        self.faults.observe(&name, kind)
+    }
+
+    fn mark_crashed(&mut self, id: DomainId) {
+        self.crashed.insert(id);
+    }
+
+    fn clear_crashed(&mut self, id: DomainId) {
+        self.crashed.remove(&id);
+    }
+
+    /// Appends a fault-path event ([`TraceOutcome::Injected`] or
+    /// [`TraceOutcome::Crashed`]) to the ring without attributing
+    /// invocation/channel counters — injections are not dispatches.
+    fn record_fault(&mut self, event: TraceEvent) {
+        if self.trace.len() == self.trace_capacity {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(event);
+        self.next_seq += 1;
     }
 
     fn ensure_domain(&mut self, id: DomainId) {
@@ -542,6 +612,32 @@ pub fn spawn<B: BackendPolicy>(
         backend.fabric_mut().forget_domain(id);
         return Err(e);
     }
+    // An injected spawn fault behaves exactly like a late platform
+    // failure: resources were placed and charged, then the launch
+    // fail-stops and everything rolls back (the id stays consumed —
+    // ids are never reused, fault or no fault).
+    if backend.fabric_mut().fault_fires(id, FaultKind::FailSpawn) {
+        let at = backend.now();
+        let fabric = backend.fabric_mut();
+        let event = TraceEvent {
+            seq: fabric.next_seq(),
+            at,
+            caller: id,
+            callee: id,
+            badge: Badge(0),
+            bytes: 0,
+            crossing: CrossingKind::Local,
+            cost: 0,
+            outcome: TraceOutcome::Injected,
+        };
+        fabric.record_fault(event);
+        let _ = fabric.table_mut().remove(id);
+        backend.unplace(id);
+        backend.fabric_mut().forget_domain(id);
+        return Err(SubstrateError::Platform(
+            "injected fault: fail-stop on spawn".into(),
+        ));
+    }
     let mut comp = backend.fabric_mut().table_mut().take_component(id)?;
     let result = {
         let mut ctx = CallCtx::new(backend as &mut dyn Substrate, id, measurement);
@@ -569,7 +665,9 @@ pub fn spawn<B: BackendPolicy>(
 pub fn destroy<B: BackendPolicy>(backend: &mut B, id: DomainId) -> Result<(), SubstrateError> {
     backend.fabric_mut().table_mut().remove(id)?;
     backend.unplace(id);
-    backend.fabric_mut().forget_domain(id);
+    let fabric = backend.fabric_mut();
+    fabric.forget_domain(id);
+    fabric.clear_crashed(id);
     Ok(())
 }
 
@@ -584,9 +682,32 @@ pub fn grant_channel<B: BackendPolicy>(
     to: DomainId,
     badge: Badge,
 ) -> Result<ChannelCap, SubstrateError> {
-    let table = backend.fabric_mut().table_mut();
-    table.get(to)?;
-    let rec = table.get_mut(from)?;
+    {
+        let table = backend.fabric().table();
+        table.get(to)?;
+        table.get(from)?;
+    }
+    if backend.fabric_mut().fault_fires(to, FaultKind::DenyGrant) {
+        let at = backend.now();
+        let fabric = backend.fabric_mut();
+        fabric.note_denial(from);
+        let event = TraceEvent {
+            seq: fabric.next_seq(),
+            at,
+            caller: from,
+            callee: to,
+            badge,
+            bytes: 0,
+            crossing: CrossingKind::Local,
+            cost: 0,
+            outcome: TraceOutcome::Injected,
+        };
+        fabric.record_fault(event);
+        return Err(SubstrateError::AccessDenied(
+            "injected fault: channel grant denied".into(),
+        ));
+    }
+    let rec = backend.fabric_mut().table_mut().get_mut(from)?;
     Ok(rec.caps.install(from, to, badge))
 }
 
@@ -630,6 +751,46 @@ pub fn invoke<B: BackendPolicy>(
         }
     };
     let target = entry.target;
+    // Fail-stop window: calls into an already-crashed domain fail fast
+    // and land in the trace — E10 counts these as lost invocations.
+    if backend.fabric().is_crashed(target) {
+        let at = backend.now();
+        let fabric = backend.fabric_mut();
+        fabric.note_denial(caller);
+        let event = TraceEvent {
+            seq: fabric.next_seq(),
+            at,
+            caller,
+            callee: target,
+            badge: entry.badge,
+            bytes: data.len() as u64,
+            crossing: CrossingKind::Local,
+            cost: 0,
+            outcome: TraceOutcome::Crashed,
+        };
+        fabric.record_fault(event);
+        return Err(SubstrateError::DomainCrashed(target));
+    }
+    // Scheduled crash: this dispatch attempt is the Nth — the component
+    // never runs, the domain fail-stops until destroyed and respawned.
+    if backend.fabric_mut().fault_fires(target, FaultKind::Crash) {
+        let at = backend.now();
+        let fabric = backend.fabric_mut();
+        fabric.mark_crashed(target);
+        let event = TraceEvent {
+            seq: fabric.next_seq(),
+            at,
+            caller,
+            callee: target,
+            badge: entry.badge,
+            bytes: data.len() as u64,
+            crossing: CrossingKind::Local,
+            cost: 0,
+            outcome: TraceOutcome::Injected,
+        };
+        fabric.record_fault(event);
+        return Err(SubstrateError::DomainCrashed(target));
+    }
     if let Err(e) = backend.begin_invoke(caller, target) {
         if matches!(e, SubstrateError::Reentrancy(_)) {
             backend.fabric_mut().note_reentrancy(caller);
@@ -733,7 +894,32 @@ pub fn seal<B: BackendPolicy>(
     data: &[u8],
 ) -> Result<Vec<u8>, SubstrateError> {
     let m = backend.fabric().table().get(domain)?.measurement;
-    backend.seal_blob(domain, &m, data)
+    let mut blob = backend.seal_blob(domain, &m, data)?;
+    if backend
+        .fabric_mut()
+        .fault_fires(domain, FaultKind::CorruptSeal)
+    {
+        // Silent corruption: the caller gets a blob back, but its
+        // integrity check fails at unseal time.
+        if let Some(byte) = blob.last_mut() {
+            *byte ^= 0x01;
+        }
+        let at = backend.now();
+        let fabric = backend.fabric_mut();
+        let event = TraceEvent {
+            seq: fabric.next_seq(),
+            at,
+            caller: domain,
+            callee: domain,
+            badge: Badge(0),
+            bytes: data.len() as u64,
+            crossing: CrossingKind::Local,
+            cost: 0,
+            outcome: TraceOutcome::Injected,
+        };
+        fabric.record_fault(event);
+    }
+    Ok(blob)
 }
 
 /// Engine: reverses [`seal`].

@@ -1,0 +1,231 @@
+//! Deterministic fault injection for the substrate fabric.
+//!
+//! A [`FaultPlan`] is a declarative schedule of failures — crash on the
+//! Nth invocation, fail-stop on spawn, channel-grant denial, seal
+//! corruption — installed into a [`crate::fabric::Fabric`] before a run.
+//! Faults select their victim by *domain name*, not id, so a plan keeps
+//! applying across respawns (a supervised restart allocates a fresh
+//! [`crate::DomainId`], but the successor keeps the manifest name).
+//!
+//! Everything is counted on the fabric's own operation stream: the
+//! "Nth invocation" is the Nth capability-validated dispatch attempt at
+//! the victim, independent of wall-clock or scheduling. Combined with
+//! the simulator's logical clock this makes fault schedules perfectly
+//! reproducible — two identical runs inject at identical trace
+//! positions and produce byte-identical fault traces
+//! ([`crate::fabric::Fabric::trace_bytes`]), which `scripts/check.sh`
+//! enforces for the E10 recovery sweep.
+//!
+//! Transient vs. permanent: a *transient* fault fires exactly once (the
+//! Nth matching operation) and never again — a supervised restart then
+//! sticks, modelling a heisenbug or a single-event upset. A *persistent*
+//! fault keeps firing on every matching operation from the Nth onward —
+//! each respawned incarnation dies again, exhausting the component's
+//! restart budget and driving the supervisor's quarantine path.
+
+/// The operation class a fault intercepts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Fail-stop the victim during an invocation: the dispatch is
+    /// aborted, the domain is marked crashed, and every later call into
+    /// it fails with [`crate::SubstrateError::DomainCrashed`] until a
+    /// supervisor destroys and respawns it.
+    Crash,
+    /// Abort a spawn of the victim (by name) before its component
+    /// starts — models image-load and resource failures during restart.
+    FailSpawn,
+    /// Deny a channel grant *into* the victim — models a capability
+    /// authority refusing reconnection.
+    DenyGrant,
+    /// Silently corrupt the output of the victim's next seal operation
+    /// — the blob is returned, but unsealing it later fails its
+    /// integrity check.
+    CorruptSeal,
+}
+
+impl FaultKind {
+    /// Stable short name (reports, traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::FailSpawn => "fail-spawn",
+            FaultKind::DenyGrant => "deny-grant",
+            FaultKind::CorruptSeal => "corrupt-seal",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled fault: *which* operation class, against *which* domain
+/// name, firing on the *Nth* matching operation, once or persistently.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultSpec {
+    /// Victim selector: the domain's diagnostic name
+    /// ([`crate::substrate::DomainSpec::name`]). Name-based so the spec
+    /// survives respawns, which change the id but not the name.
+    pub domain: String,
+    /// The operation class intercepted.
+    pub kind: FaultKind,
+    /// Fires on the `after`-th matching operation (1-based). `after ==
+    /// 1` fires immediately on the first match.
+    pub after: u64,
+    /// `false`: fire exactly once (transient). `true`: fire on every
+    /// matching operation from the `after`-th onward (permanent).
+    pub persistent: bool,
+}
+
+impl FaultSpec {
+    /// A transient crash on the `nth` invocation of `domain`.
+    pub fn crash(domain: &str, nth: u64) -> FaultSpec {
+        FaultSpec {
+            domain: domain.to_string(),
+            kind: FaultKind::Crash,
+            after: nth.max(1),
+            persistent: false,
+        }
+    }
+
+    /// A transient fail-stop on the `nth` spawn of `domain`.
+    pub fn fail_spawn(domain: &str, nth: u64) -> FaultSpec {
+        FaultSpec {
+            domain: domain.to_string(),
+            kind: FaultKind::FailSpawn,
+            after: nth.max(1),
+            persistent: false,
+        }
+    }
+
+    /// A transient denial of the `nth` channel grant into `domain`.
+    pub fn deny_grant(domain: &str, nth: u64) -> FaultSpec {
+        FaultSpec {
+            domain: domain.to_string(),
+            kind: FaultKind::DenyGrant,
+            after: nth.max(1),
+            persistent: false,
+        }
+    }
+
+    /// A transient corruption of the `nth` seal performed by `domain`.
+    pub fn corrupt_seal(domain: &str, nth: u64) -> FaultSpec {
+        FaultSpec {
+            domain: domain.to_string(),
+            kind: FaultKind::CorruptSeal,
+            after: nth.max(1),
+            persistent: false,
+        }
+    }
+
+    /// Marks the fault permanent: it fires on every matching operation
+    /// from the `after`-th onward (each respawn dies again).
+    #[must_use]
+    pub fn permanent(mut self) -> FaultSpec {
+        self.persistent = true;
+        self
+    }
+}
+
+/// A deterministic schedule of [`FaultSpec`]s plus the per-spec match
+/// counters the fabric advances as operations stream past. Installed
+/// via [`crate::fabric::Fabric::install_fault_plan`].
+#[derive(Clone, Default, Debug)]
+pub struct FaultPlan {
+    specs: Vec<(FaultSpec, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder-style: adds a spec.
+    #[must_use]
+    pub fn with(mut self, spec: FaultSpec) -> FaultPlan {
+        self.push(spec);
+        self
+    }
+
+    /// Adds a spec.
+    pub fn push(&mut self, spec: FaultSpec) {
+        self.specs.push((spec, 0));
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Iterates the scheduled specs (counters not exposed).
+    pub fn specs(&self) -> impl Iterator<Item = &FaultSpec> {
+        self.specs.iter().map(|(s, _)| s)
+    }
+
+    /// Advances every spec matching `(domain, kind)` by one observed
+    /// operation and reports whether any of them fires now. Transient
+    /// specs fire exactly on their `after`-th match; persistent specs
+    /// fire on every match from the `after`-th onward.
+    pub fn observe(&mut self, domain: &str, kind: FaultKind) -> bool {
+        let mut fire = false;
+        for (spec, seen) in &mut self.specs {
+            if spec.kind != kind || spec.domain != domain {
+                continue;
+            }
+            *seen += 1;
+            if *seen == spec.after || (spec.persistent && *seen > spec.after) {
+                fire = true;
+            }
+        }
+        fire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_fires_exactly_once() {
+        let mut plan = FaultPlan::new().with(FaultSpec::crash("w", 3));
+        assert!(!plan.observe("w", FaultKind::Crash));
+        assert!(!plan.observe("w", FaultKind::Crash));
+        assert!(plan.observe("w", FaultKind::Crash));
+        assert!(!plan.observe("w", FaultKind::Crash));
+    }
+
+    #[test]
+    fn permanent_keeps_firing() {
+        let mut plan = FaultPlan::new().with(FaultSpec::crash("w", 2).permanent());
+        assert!(!plan.observe("w", FaultKind::Crash));
+        assert!(plan.observe("w", FaultKind::Crash));
+        assert!(plan.observe("w", FaultKind::Crash));
+        assert!(plan.observe("w", FaultKind::Crash));
+    }
+
+    #[test]
+    fn selector_is_name_and_kind() {
+        let mut plan = FaultPlan::new().with(FaultSpec::crash("w", 1));
+        assert!(!plan.observe("other", FaultKind::Crash));
+        assert!(!plan.observe("w", FaultKind::FailSpawn));
+        assert!(plan.observe("w", FaultKind::Crash));
+    }
+
+    #[test]
+    fn independent_counters_per_spec() {
+        let mut plan = FaultPlan::new()
+            .with(FaultSpec::crash("a", 1))
+            .with(FaultSpec::fail_spawn("a", 2));
+        assert!(plan.observe("a", FaultKind::Crash));
+        assert!(!plan.observe("a", FaultKind::FailSpawn));
+        assert!(plan.observe("a", FaultKind::FailSpawn));
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`fabric`] — the shared engine behind every backend: domain
 //!   lifecycle, capability checks, reentrancy, tracing, and stats are
 //!   implemented once; backends plug in via [`fabric::BackendPolicy`].
+//! * [`fault`] — deterministic fault injection: a [`fault::FaultPlan`]
+//!   installed into the fabric crashes, denies, or corrupts at exact
+//!   logical positions, reproducibly, for the E10 recovery experiment.
 //! * [`attest`] — substrate-independent attestation evidence and the
 //!   verifier's trust policy.
 //! * [`software`] — a reference backend isolating purely by the Rust type
@@ -71,6 +74,7 @@ pub mod cap;
 pub mod component;
 pub mod conformance;
 pub mod fabric;
+pub mod fault;
 pub mod software;
 pub mod substrate;
 pub mod testkit;
@@ -102,6 +106,10 @@ pub enum SubstrateError {
     /// Synchronous re-entry into a domain already on the call stack —
     /// sync IPC would deadlock here.
     Reentrancy(DomainId),
+    /// The target domain fail-stopped (an injected or real crash) and
+    /// awaits supervised destruction and respawn; callers see this for
+    /// the bounded unavailability window.
+    DomainCrashed(DomainId),
     /// The target component returned an application-level failure.
     ComponentFailure(String),
     /// The backend does not implement the requested optional feature.
@@ -121,6 +129,7 @@ impl fmt::Display for SubstrateError {
             SubstrateError::InvalidCapability(r) => write!(f, "invalid capability: {r}"),
             SubstrateError::AccessDenied(r) => write!(f, "access denied: {r}"),
             SubstrateError::Reentrancy(d) => write!(f, "re-entrant call into {d}"),
+            SubstrateError::DomainCrashed(d) => write!(f, "{d} crashed, awaiting restart"),
             SubstrateError::ComponentFailure(r) => write!(f, "component failure: {r}"),
             SubstrateError::Unsupported(r) => write!(f, "unsupported on this substrate: {r}"),
             SubstrateError::OutOfResources(r) => write!(f, "out of resources: {r}"),

@@ -293,6 +293,10 @@ impl Substrate for SoftwareSubstrate {
     fn fabric_ref(&self) -> Option<&Fabric> {
         Some(&self.fabric)
     }
+
+    fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
+        Some(&mut self.fabric)
+    }
 }
 
 #[cfg(test)]

@@ -241,6 +241,14 @@ pub trait Substrate {
     fn fabric_ref(&self) -> Option<&crate::fabric::Fabric> {
         None
     }
+
+    /// Mutable access to the backend's fabric — how supervisors and
+    /// fault-injection harnesses install a [`crate::fault::FaultPlan`]
+    /// through the object-safe interface without knowing the concrete
+    /// backend type.
+    fn fabric_mut_ref(&mut self) -> Option<&mut crate::fabric::Fabric> {
+        None
+    }
 }
 
 /// The services a component sees while executing. A thin, POLA-scoped

@@ -340,6 +340,78 @@ pub mod parity {
         sub.destroy(client).unwrap();
         sub.destroy(respawned).unwrap();
     }
+
+    /// The recovery scenario at substrate level, driven by deterministic
+    /// fault injection: a [`crate::fault::FaultPlan`] crashes the victim
+    /// on its 2nd invocation; callers see a fail-stop window
+    /// ([`SubstrateError::DomainCrashed`]); the victim is destroyed and
+    /// respawned from the same image; the successor re-measures
+    /// identically to the original, the stale capability stays dead, and
+    /// a fresh grant restores service — the supervisor's restart cycle,
+    /// checked backend by backend.
+    pub fn assert_crash_respawn_supervised(sub: &mut dyn Substrate) {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let name = sub.profile().name.clone();
+        let spec = || DomainSpec::named("parity-crash-victim").with_image(b"crash victim image");
+        let client = sub
+            .spawn(DomainSpec::named("parity-crash-client"), Box::new(Echo))
+            .unwrap();
+        let victim = sub.spawn(spec(), Box::new(Echo)).unwrap();
+        let baseline = sub.measurement(victim).unwrap();
+        let cap = sub.grant_channel(client, victim, Badge(7)).unwrap();
+
+        let fabric = sub
+            .fabric_mut_ref()
+            .unwrap_or_else(|| panic!("[{name}] backend must expose its fabric for injection"));
+        fabric
+            .install_fault_plan(FaultPlan::new().with(FaultSpec::crash("parity-crash-victim", 2)));
+
+        assert_eq!(
+            sub.invoke(client, &cap, b"one").unwrap(),
+            b"one",
+            "[{name}] call before the fault point is healthy"
+        );
+        let crash = sub
+            .invoke(client, &cap, b"two")
+            .expect_err("second call must hit the injected crash");
+        assert!(
+            matches!(crash, SubstrateError::DomainCrashed(_)),
+            "[{name}] expected DomainCrashed, got: {crash}"
+        );
+        assert!(
+            matches!(
+                sub.invoke(client, &cap, b"three"),
+                Err(SubstrateError::DomainCrashed(_))
+            ),
+            "[{name}] crashed domain fail-stops until restarted"
+        );
+
+        // The supervisor's restart cycle: destroy, respawn from the same
+        // image, re-measure, re-grant.
+        sub.destroy(victim).unwrap();
+        let successor = sub.spawn(spec(), Box::new(Echo)).unwrap();
+        assert_ne!(
+            successor, victim,
+            "[{name}] the successor gets a fresh domain id"
+        );
+        assert_eq!(
+            sub.measurement(successor).unwrap(),
+            baseline,
+            "[{name}] respawn from the same image re-measures identically"
+        );
+        assert!(
+            sub.invoke(client, &cap, b"stale").is_err(),
+            "[{name}] the pre-crash cap must not reach the successor"
+        );
+        let fresh = sub.grant_channel(client, successor, Badge(7)).unwrap();
+        assert_eq!(
+            sub.invoke(client, &fresh, b"served").unwrap(),
+            b"served",
+            "[{name}] service resumes on the re-granted channel"
+        );
+        sub.destroy(client).unwrap();
+        sub.destroy(successor).unwrap();
+    }
 }
 
 #[cfg(test)]

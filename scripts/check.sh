@@ -17,4 +17,15 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> determinism gate: E10 fault-injection sweep twice"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p lateral-bench --bin repro -- e10 > "$tmpdir/e10-a.txt"
+cargo run --release -q -p lateral-bench --bin repro -- e10 > "$tmpdir/e10-b.txt"
+if ! cmp -s "$tmpdir/e10-a.txt" "$tmpdir/e10-b.txt"; then
+    echo "DETERMINISM VIOLATION: two identical E10 runs diverged:" >&2
+    diff "$tmpdir/e10-a.txt" "$tmpdir/e10-b.txt" >&2 || true
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -74,6 +74,36 @@ fn e9_matches_the_paper_matrix() {
 }
 
 #[test]
+fn e10_recovers_and_quarantines() {
+    let r = lateral_bench::run("e10").unwrap();
+    // Every backend recovers from the transient crash and degrades (not
+    // fails) under the permanent one; hardware backends re-attest.
+    for backend in [
+        "software",
+        "microkernel",
+        "trustzone",
+        "sgx",
+        "sep",
+        "flicker",
+    ] {
+        let rows: Vec<&str> = r.lines().filter(|l| l.starts_with(backend)).collect();
+        assert!(rows.len() >= 3, "{backend} rows present");
+        assert!(
+            rows[0].contains("healthy"),
+            "{backend} recovers: {}",
+            rows[0]
+        );
+        assert!(
+            rows[2].contains("degraded(worker)"),
+            "{backend} quarantines: {}",
+            rows[2]
+        );
+    }
+    assert!(r.contains("match"), "re-attestation evidence verified");
+    assert!(r.contains("fault-trace digest"));
+}
+
+#[test]
 fn all_experiments_run_via_driver_interface() {
     for id in lateral_bench::EXPERIMENTS {
         let r = lateral_bench::run(id).unwrap();

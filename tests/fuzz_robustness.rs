@@ -161,6 +161,70 @@ fn vpfs_mount_never_accepts_garbage_roots() {
 }
 
 #[test]
+fn attack_report_decoder_never_panics_or_silently_accepts() {
+    use lateral::components::compromise::AttackReport;
+    let mut rng = Drbg::from_seed(b"fuzz attack report");
+    for _ in 0..CASES {
+        let junk = bytes(&mut rng, 96);
+        // Arbitrary bytes either fail cleanly or decode to a report that
+        // re-encodes to a decodable, equal value — never a panic, never a
+        // half-parsed inconsistent accept.
+        if let Ok(report) = AttackReport::decode(&junk) {
+            assert_eq!(
+                AttackReport::decode(&report.encode()).unwrap(),
+                report,
+                "accepted input must round-trip consistently"
+            );
+        }
+    }
+    // Truncations of a valid encoding must be rejected, not misread.
+    let valid = AttackReport {
+        active: true,
+        oob_reads_attempted: 7,
+        oob_reads_succeeded: 3,
+        granted_channels: 2,
+        exfil_successes: 2,
+        forged_attempted: 9,
+        forged_succeeded: 0,
+    }
+    .encode();
+    for cut in 0..valid.len() {
+        assert!(
+            AttackReport::decode(&valid[..cut]).is_err(),
+            "truncation at {cut} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn manifest_parser_never_panics_or_silently_accepts() {
+    use lateral::core::manifest::AppManifest;
+    let mut rng = Drbg::from_seed(b"fuzz manifest");
+    for _ in 0..CASES {
+        let junk = text(&mut rng, 400);
+        // Arbitrary text either errors cleanly or yields a manifest that
+        // survives its own validation and round-trips through the text
+        // form — silent acceptance of garbage would poison composition.
+        if let Ok(app) = AppManifest::parse(&junk) {
+            app.validate()
+                .expect("parse() only returns valid manifests");
+            let reparsed = AppManifest::parse(&app.to_text()).expect("round-trip");
+            assert_eq!(reparsed.name, app.name);
+            assert_eq!(reparsed.components.len(), app.components.len());
+        }
+    }
+    // Line-level mutations of a well-formed manifest must never panic.
+    let good = "app metered\ncomponent worker\nrestart 3 10\nchannel ask worker 9\n";
+    let mut rng = Drbg::from_seed(b"fuzz manifest lines");
+    for _ in 0..CASES {
+        let mut mutated: Vec<u8> = good.as_bytes().to_vec();
+        let idx = rng.gen_range(mutated.len() as u64) as usize;
+        mutated[idx] ^= (1 + rng.gen_range(255)) as u8;
+        let _ = AppManifest::parse(&String::from_utf8_lossy(&mutated));
+    }
+}
+
+#[test]
 fn subverted_component_report_roundtrips() {
     let mut rng = Drbg::from_seed(b"fuzz report");
     for _ in 0..CASES {

@@ -194,3 +194,13 @@ fn stale_cap_into_respawned_domain_rejected_on_all_six() {
         parity::assert_stale_cap_rejected(sub.as_mut());
     }
 }
+
+#[test]
+fn crash_respawn_under_supervision_on_all_six() {
+    // The recovery cycle — injected crash, fail-stop window, respawn
+    // from the same image, identical re-measurement, stale cap dead,
+    // fresh grant serving — must behave identically on every backend.
+    for mut sub in all_substrates() {
+        parity::assert_crash_respawn_supervised(sub.as_mut());
+    }
+}
