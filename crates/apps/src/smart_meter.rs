@@ -33,6 +33,7 @@ use lateral_net::channel::{
 };
 use lateral_net::sim::{AttackMode, Network};
 use lateral_net::Addr;
+use lateral_registry::{ManifestDraft, Registry};
 use lateral_sgx::Sgx;
 use lateral_substrate::attest::TrustPolicy;
 use lateral_substrate::cap::{Badge, ChannelCap};
@@ -303,6 +304,11 @@ pub enum BillingOutcome {
 
 /// The assembled Figure 3 world.
 pub struct SmartMeterWorld {
+    /// The appliance's component registry: meter firmware is published,
+    /// certified, and served from here — spawn and recovery both
+    /// resolve through it, so a revocation grounds the meter until
+    /// certified firmware ships.
+    pub registry: Registry,
     /// Appliance: microkernel side (Android, gateway, GUI).
     pub kernel: Microkernel,
     /// Appliance: TrustZone side (meter agent) — absent for fake meters.
@@ -425,6 +431,24 @@ impl SmartMeterWorld {
             .grant_channel(frontend_env, frontend_domain, Badge(1))
             .expect("grant");
 
+        // --- component registry --------------------------------------------
+        // The meter firmware is served from a registry, not baked into
+        // the spawn site: publish + certify here, resolve at every spawn
+        // (including supervised recovery).
+        let firmware_publisher = SigningKey::from_seed(b"meter firmware publisher");
+        let mut registry = Registry::new("appliance-registry");
+        registry.trust_root(&firmware_publisher.verifying_key());
+        let firmware_manifest = ManifestDraft::new("meter-agent", METER_IMAGE)
+            .loc(2_000)
+            .sign(&firmware_publisher, None);
+        registry
+            .publish(METER_IMAGE, firmware_manifest)
+            .expect("publish meter firmware");
+        let meter_firmware = registry
+            .resolve("meter-agent")
+            .expect("meter firmware certifies")
+            .image;
+
         // --- spawn the meter agent -----------------------------------------
         let agent = MeterAgent::new(
             "meter-7",
@@ -435,7 +459,7 @@ impl SmartMeterWorld {
             Some(mut tz) => {
                 let d = tz
                     .spawn(
-                        DomainSpec::named("meter-agent").with_image(METER_IMAGE),
+                        DomainSpec::named("meter-agent").with_image(&meter_firmware),
                         Box::new(agent),
                     )
                     .expect("spawn meter");
@@ -451,10 +475,11 @@ impl SmartMeterWorld {
             None => {
                 // Fake meter: the agent runs on the plain microkernel with
                 // NO attestation identity. Its image even *claims* to be
-                // genuine — attestation is what catches the lie.
+                // genuine (certified bytes straight from the registry) —
+                // attestation is what catches the lie.
                 let d = kernel
                     .spawn(
-                        DomainSpec::named("meter-agent").with_image(METER_IMAGE),
+                        DomainSpec::named("meter-agent").with_image(&meter_firmware),
                         Box::new(agent),
                     )
                     .expect("spawn fake meter");
@@ -510,6 +535,7 @@ impl SmartMeterWorld {
         network.set_attack(config.network_attack);
 
         let mut world = SmartMeterWorld {
+            registry,
             kernel,
             trustzone,
             utility,
@@ -704,24 +730,29 @@ impl SmartMeterWorld {
             .install_fault_plan(plan);
     }
 
-    /// The supervision cycle for a crashed meter agent: destroy the
-    /// fail-stopped domain, respawn fresh firmware from [`METER_IMAGE`],
-    /// verify the successor measures identically, and re-grant the
-    /// environment channel. Channel state is *not* replayed — the next
-    /// [`SmartMeterWorld::billing_round`] performs a full mutually
-    /// attested handshake, which is exactly how the successor proves
-    /// itself to the utility again.
+    /// The supervision cycle for a crashed meter agent: re-resolve the
+    /// firmware through the registry (a revoked image grounds the
+    /// meter), destroy the fail-stopped domain, respawn the freshly
+    /// served bytes, verify the successor measures identically, and
+    /// re-grant the environment channel. Channel state is *not*
+    /// replayed — the next [`SmartMeterWorld::billing_round`] performs
+    /// a full mutually attested handshake, which is exactly how the
+    /// successor proves itself to the utility again.
     ///
     /// # Errors
     ///
-    /// A string describing the failure (no TrustZone, spawn failure, or
-    /// measurement divergence).
+    /// A string describing the failure (no TrustZone, refused firmware
+    /// resolution, spawn failure, or measurement divergence).
     pub fn recover_meter(&mut self) -> Result<(), String> {
+        let firmware = self
+            .registry
+            .resolve("meter-agent")
+            .map_err(|e| format!("firmware resolution: {e}"))?;
         let tz = self
             .trustzone
             .as_mut()
             .ok_or_else(|| "fake meters are not supervised".to_string())?;
-        let spec = DomainSpec::named("meter-agent").with_image(METER_IMAGE);
+        let spec = DomainSpec::named("meter-agent").with_image(&firmware.image);
         let baseline = spec.measurement();
         let _ = tz.destroy(self.meter_domain);
         let agent = MeterAgent::new(
@@ -853,6 +884,30 @@ mod tests {
             other => panic!("expected recovery, got {other:?}"),
         }
         assert_eq!(world.retained_identified_records(), 0);
+    }
+
+    #[test]
+    fn revoked_firmware_grounds_the_meter_until_recertified() {
+        use lateral_registry::measurement_of;
+        use lateral_substrate::fault::{FaultPlan, FaultSpec};
+
+        let mut world = SmartMeterWorld::new(WorldConfig::default());
+        assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
+
+        // A vulnerability is found in the deployed firmware; the
+        // registry revokes it while the meter happens to crash.
+        world
+            .registry
+            .revoke(measurement_of(METER_IMAGE), "field recall")
+            .unwrap();
+        world.inject_meter_fault(FaultPlan::new().with(FaultSpec::crash("meter-agent", 1)));
+        assert!(!matches!(world.billing_round(), BillingOutcome::Billed(_)));
+
+        // Recovery re-resolves through the registry and is refused — the
+        // supervisor must not respawn recalled firmware.
+        let err = world.recover_meter().unwrap_err();
+        assert!(err.contains("revoked"), "{err}");
+        assert!(!matches!(world.billing_round(), BillingOutcome::Billed(_)));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | E8 | §III-C — confused deputy with/without badges | [`e8_deputy`] |
 //! | E9 | §II-D — attack × substrate matrix | [`e9_matrix`] |
 //! | E10 | §III-A — recovery under fault injection | [`e10_recovery`] |
+//! | E11 | §III-B — registry admission and revocation | [`e11_registry`] |
 //!
 //! Every experiment is deterministic (seeded DRBGs, logical clocks);
 //! `cargo run -p lateral-bench --bin repro -- all` prints the full set.
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod e10_recovery;
+pub mod e11_registry;
 pub mod e1_containment;
 pub mod e2_conformance;
 pub mod e3_smart_meter;
@@ -37,7 +39,9 @@ pub mod e9_matrix;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const EXPERIMENTS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 /// Runs one experiment by id, returning its printed report.
 ///
@@ -56,6 +60,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "e8" => Ok(e8_deputy::report()),
         "e9" => Ok(e9_matrix::report()),
         "e10" => Ok(e10_recovery::report()),
+        "e11" => Ok(e11_registry::report()),
         other => Err(format!(
             "unknown experiment '{other}' (available: {})",
             EXPERIMENTS.join(", ")

@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use lateral_crypto::Digest;
+use lateral_registry::Registry;
 use lateral_substrate::attest::AttestationEvidence;
 use lateral_substrate::cap::{Badge, ChannelCap};
 use lateral_substrate::component::Component;
@@ -199,6 +200,60 @@ pub fn compose(
         }
     }
     Ok(assembly)
+}
+
+/// Checks one component manifest against the registry: the registry
+/// must hold a certified, unrevoked image for the component's name, and
+/// the manifest's image bytes must be exactly the certified bytes.
+/// Returns the resolution so callers can adopt registry-served images.
+///
+/// # Errors
+///
+/// [`CoreError::AdmissionRefused`] carrying the registry's refusal.
+pub(crate) fn admit_component(
+    cm: &ComponentManifest,
+    registry: &mut Registry,
+) -> Result<lateral_registry::ResolvedImage, CoreError> {
+    let resolved = registry
+        .resolve(&cm.name)
+        .map_err(|e| CoreError::AdmissionRefused {
+            component: cm.name.clone(),
+            reason: e.to_string(),
+        })?;
+    if resolved.image != cm.image {
+        return Err(CoreError::AdmissionRefused {
+            component: cm.name.clone(),
+            reason: format!(
+                "manifest image measures {} but the certified image is {}",
+                lateral_registry::measurement_of(&cm.image).short_hex(),
+                resolved.digest.short_hex()
+            ),
+        });
+    }
+    Ok(resolved)
+}
+
+/// Composes `app` under **admission control**: every component image is
+/// resolved through `registry` first, and composition refuses to start
+/// any component whose image is uncertified, revoked, or different from
+/// the certified bytes. This is the paper's trusted-distribution story:
+/// the composer spawns only what the certification pipeline let through.
+///
+/// # Errors
+///
+/// [`CoreError::AdmissionRefused`] on any registry refusal, plus
+/// everything [`compose`] can return.
+pub fn compose_admitted(
+    app: &AppManifest,
+    substrates: Vec<Box<dyn Substrate>>,
+    factory: &mut dyn ComponentFactory,
+    registry: &mut Registry,
+) -> Result<Assembly, CoreError> {
+    app.validate()?;
+    for cm in &app.components {
+        admit_component(cm, registry)?;
+    }
+    compose(app, substrates, factory)
 }
 
 /// Liveness of an assembly, as reported by [`Assembly::health`].
@@ -671,6 +726,91 @@ mod tests {
         assert_eq!(row.bytes, 2 * (8 + 8));
         assert_eq!(row.denials, 0);
         assert_eq!(row.reentrancy_faults, 0);
+    }
+
+    mod admission {
+        use super::*;
+        use lateral_crypto::sign::SigningKey;
+        use lateral_registry::ManifestDraft;
+
+        fn registry_with(entries: &[(&str, &[u8])]) -> Registry {
+            let root = SigningKey::from_seed(b"composer admission root");
+            let mut reg = Registry::new("admission-test");
+            reg.trust_root(&root.verifying_key());
+            for (name, image) in entries {
+                reg.publish(image, ManifestDraft::new(name, image).sign(&root, None))
+                    .unwrap();
+            }
+            reg
+        }
+
+        #[test]
+        fn certified_app_composes() {
+            let mut reg = registry_with(&[("ui", b"ui v1"), ("counter", b"counter v1")]);
+            let app = AppManifest::new(
+                "demo",
+                vec![
+                    ComponentManifest::new("ui")
+                        .image(b"ui v1")
+                        .channel("count", "counter", 5),
+                    ComponentManifest::new("counter").image(b"counter v1"),
+                ],
+            );
+            let mut asm = compose_admitted(&app, pool(), &mut echo_factory, &mut reg).unwrap();
+            let r = asm.call_channel("ui", "count", b"").unwrap();
+            assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), 1);
+            assert!(reg.stats().resolves >= 2);
+        }
+
+        #[test]
+        fn unregistered_component_refused() {
+            let mut reg = registry_with(&[("ui", b"ui v1")]);
+            let app = AppManifest::new(
+                "demo",
+                vec![
+                    ComponentManifest::new("ui").image(b"ui v1"),
+                    ComponentManifest::new("counter").image(b"counter v1"),
+                ],
+            );
+            let err = compose_admitted(&app, pool(), &mut echo_factory, &mut reg).unwrap_err();
+            assert!(
+                matches!(err, CoreError::AdmissionRefused { ref component, .. } if component == "counter"),
+                "{err}"
+            );
+        }
+
+        #[test]
+        fn revoked_component_refused() {
+            let mut reg = registry_with(&[("ui", b"ui v1")]);
+            let digest = lateral_registry::measurement_of(b"ui v1");
+            reg.revoke(digest, "compromised build host").unwrap();
+            let app = AppManifest::new("demo", vec![ComponentManifest::new("ui").image(b"ui v1")]);
+            let err = compose_admitted(&app, pool(), &mut echo_factory, &mut reg).unwrap_err();
+            match err {
+                CoreError::AdmissionRefused { component, reason } => {
+                    assert_eq!(component, "ui");
+                    assert!(reason.contains("revoked"), "{reason}");
+                }
+                other => panic!("expected refusal, got {other}"),
+            }
+        }
+
+        #[test]
+        fn digest_mismatched_image_refused() {
+            let mut reg = registry_with(&[("ui", b"ui v1")]);
+            // The app manifest conjures different bytes than certified.
+            let app = AppManifest::new(
+                "demo",
+                vec![ComponentManifest::new("ui").image(b"ui v1 (tampered)")],
+            );
+            let err = compose_admitted(&app, pool(), &mut echo_factory, &mut reg).unwrap_err();
+            match err {
+                CoreError::AdmissionRefused { reason, .. } => {
+                    assert!(reason.contains("certified image"), "{reason}");
+                }
+                other => panic!("expected refusal, got {other}"),
+            }
+        }
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub enum CoreError {
     /// exhausted its restart budget and is quarantined. Callers seeing
     /// this during the bounded restart window should back off and retry.
     Unavailable(String),
+    /// Admission control refused a component image: the registry knows
+    /// no certified image for it, the digest is revoked, or the
+    /// manifest's image does not match the certified bytes.
+    AdmissionRefused {
+        /// The component whose image was refused.
+        component: String,
+        /// Why admission control said no.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -75,6 +84,9 @@ impl fmt::Display for CoreError {
             CoreError::Substrate(r) => write!(f, "substrate error: {r}"),
             CoreError::NotFound(r) => write!(f, "not found: {r}"),
             CoreError::Unavailable(r) => write!(f, "temporarily unavailable: {r}"),
+            CoreError::AdmissionRefused { component, reason } => {
+                write!(f, "admission refused for '{component}': {reason}")
+            }
         }
     }
 }

@@ -242,11 +242,18 @@ impl AppManifest {
                 }
             }
             let mut labels = BTreeSet::new();
+            let mut targets = BTreeSet::new();
             for ch in &c.channels {
                 if !labels.insert(&ch.label) {
                     return Err(CoreError::InvalidManifest(format!(
                         "duplicate channel label '{}' in '{}'",
                         ch.label, c.name
+                    )));
+                }
+                if !targets.insert((&ch.to, ch.badge)) {
+                    return Err(CoreError::InvalidManifest(format!(
+                        "duplicate channel declaration '{}' -> '{}' badge {} in '{}'",
+                        ch.label, ch.to, ch.badge, c.name
                     )));
                 }
                 if ch.to == c.name {
@@ -324,6 +331,7 @@ impl AppManifest {
             CoreError::InvalidManifest(format!("manifest line {}: {why}", line_no + 1))
         };
         let mut app: Option<AppManifest> = None;
+        let mut seen_scalars: BTreeSet<String> = BTreeSet::new();
         for (no, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -350,12 +358,24 @@ impl AppManifest {
                     return Err(bad(no, "expected 'component <name>'"));
                 };
                 app.components.push(ComponentManifest::new(name));
+                seen_scalars.clear();
                 continue;
             }
             let cm = app
                 .components
                 .last_mut()
                 .ok_or_else(|| bad(no, "directive before any 'component'"))?;
+            // Scalar directives may appear at most once per component;
+            // silently letting a later line overwrite an earlier one is
+            // exactly the kind of ambiguity adversarial manifests trade
+            // on ("restart never" up top, "restart 9 1" further down).
+            let scalar = matches!(
+                directive,
+                "image" | "loc" | "pages" | "legacy" | "requires" | "restart"
+            );
+            if scalar && !seen_scalars.insert(directive.to_string()) {
+                return Err(bad(no, &format!("duplicate '{directive}' directive")));
+            }
             match (directive, rest.as_slice()) {
                 ("image", [hex]) => {
                     cm.image = decode_hex(hex).ok_or_else(|| bad(no, "malformed image hex"))?;
@@ -572,6 +592,39 @@ mod tests {
             ],
         );
         assert!(app.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_channel_declaration_rejected() {
+        // Same (target, badge) pair under two different labels: the
+        // grants would be indistinguishable at the receiving end.
+        let app = AppManifest::new(
+            "x",
+            vec![
+                ComponentManifest::new("a")
+                    .channel("c1", "b", 1)
+                    .channel("c2", "b", 1),
+                ComponentManifest::new("b"),
+            ],
+        );
+        assert!(matches!(app.validate(), Err(CoreError::InvalidManifest(_))));
+    }
+
+    #[test]
+    fn duplicate_scalar_directives_rejected_in_text() {
+        for bad in [
+            "app a\ncomponent c\nloc 1\nloc 2",
+            "app a\ncomponent c\nimage 00\nimage 01",
+            "app a\ncomponent c\npages 1\npages 2",
+            "app a\ncomponent c\nlegacy\nlegacy",
+            "app a\ncomponent c\nrequires remote-software\nrequires compromised-os",
+            "app a\ncomponent c\nrestart never\nrestart 9 1",
+        ] {
+            assert!(AppManifest::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+        // A fresh component resets the once-per-component tracking.
+        let app = AppManifest::parse("app a\ncomponent c\nloc 1\ncomponent d\nloc 2").unwrap();
+        assert_eq!(app.components.len(), 2);
     }
 
     #[test]

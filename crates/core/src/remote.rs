@@ -267,6 +267,16 @@ impl RemoteClient {
         }
     }
 
+    /// Installs a revocation list into the client's channel policy —
+    /// `Registry::revoked_digests()` from `lateral-registry` is the
+    /// canonical source. Handshakes from then on reject peer evidence
+    /// whose measurement is on the list, so a revoked component cannot
+    /// re-authenticate across the network even if its platform and
+    /// measurement would otherwise satisfy the trust policy.
+    pub fn set_revocations(&mut self, revoked: Vec<[u8; 32]>) {
+        self.policy.revoked_measurements = Some(revoked);
+    }
+
     /// Whether the secure session is established.
     pub fn connected(&self) -> bool {
         matches!(self.state, ClientSession::Established(..))

@@ -34,11 +34,12 @@
 use std::collections::BTreeMap;
 
 use lateral_crypto::Digest;
+use lateral_registry::Registry;
 use lateral_substrate::attest::AttestationEvidence;
 use lateral_substrate::substrate::Substrate;
 use lateral_substrate::SubstrateError;
 
-use crate::composer::{compose, Assembly, ComponentFactory, Health};
+use crate::composer::{compose, compose_admitted, Assembly, ComponentFactory, Health};
 use crate::manifest::{AppManifest, RestartPolicy};
 use crate::CoreError;
 
@@ -71,6 +72,11 @@ pub struct Supervisor {
     baseline_evidence: BTreeMap<String, Option<AttestationEvidence>>,
     last_evidence: BTreeMap<String, Option<AttestationEvidence>>,
     escalated: Option<String>,
+    /// Admission-control mode: present when the supervisor was built
+    /// with [`Supervisor::new_admitted`]. Every respawn re-resolves
+    /// through it, and [`Supervisor::tick`] sweeps it for revocations.
+    registry: Option<Registry>,
+    ticks: u64,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -98,6 +104,34 @@ impl Supervisor {
         mut factory: Box<dyn ComponentFactory>,
     ) -> Result<Supervisor, CoreError> {
         let assembly = compose(&app, substrates, factory.as_mut())?;
+        Supervisor::from_parts(assembly, app, factory, None)
+    }
+
+    /// Like [`Supervisor::new`], but under **admission control**: the
+    /// initial composition and every later respawn resolve images
+    /// through `registry` ([`compose_admitted`]), and
+    /// [`Supervisor::tick`] quarantines running instances of revoked
+    /// digests.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`compose_admitted`] can return.
+    pub fn new_admitted(
+        app: AppManifest,
+        substrates: Vec<Box<dyn Substrate>>,
+        mut factory: Box<dyn ComponentFactory>,
+        mut registry: Registry,
+    ) -> Result<Supervisor, CoreError> {
+        let assembly = compose_admitted(&app, substrates, factory.as_mut(), &mut registry)?;
+        Supervisor::from_parts(assembly, app, factory, Some(registry))
+    }
+
+    fn from_parts(
+        assembly: Assembly,
+        app: AppManifest,
+        factory: Box<dyn ComponentFactory>,
+        registry: Option<Registry>,
+    ) -> Result<Supervisor, CoreError> {
         let mut sup = Supervisor {
             assembly,
             app,
@@ -108,6 +142,8 @@ impl Supervisor {
             baseline_evidence: BTreeMap::new(),
             last_evidence: BTreeMap::new(),
             escalated: None,
+            registry,
+            ticks: 0,
         };
         for cm in &sup.app.components.clone() {
             sup.states.insert(cm.name.clone(), State::Up);
@@ -172,6 +208,15 @@ impl Supervisor {
                     Ok(()) => {
                         self.states.insert(name.to_string(), State::Up);
                         self.dispatch(name, data)
+                    }
+                    Err(e @ CoreError::AdmissionRefused { .. }) => {
+                        // A refused image will stay refused until the
+                        // registry changes: no point burning restart
+                        // budget on retries — quarantine now.
+                        self.states.insert(name.to_string(), State::Quarantined);
+                        Err(CoreError::Unavailable(format!(
+                            "restart of '{name}' refused: {e}"
+                        )))
                     }
                     Err(e) => {
                         self.note_restart_failure(name);
@@ -258,32 +303,67 @@ impl Supervisor {
         }
     }
 
-    /// The restart cycle: respawn from the image, verify the successor
-    /// measures as the baseline, re-attest, re-grant declared channels.
+    /// The restart cycle: **re-resolve the image** (never reuse the
+    /// copy captured at first spawn — revocations and certified image
+    /// updates must take effect on restart), respawn, verify the
+    /// successor measures as expected, re-attest, re-grant declared
+    /// channels.
+    ///
+    /// Without a registry the expected measurement is the composition
+    /// baseline. With one, a *different* certified digest for the name
+    /// is a legitimate image update: the supervisor adopts it and the
+    /// new measurement becomes the baseline; a revoked or uncertified
+    /// digest refuses the restart outright.
     fn try_restart(&mut self, name: &str) -> Result<(), CoreError> {
-        let cm = self
+        let mut cm = self
             .app
             .component(name)
             .ok_or_else(|| CoreError::NotFound(format!("component '{name}'")))?
             .clone();
+        let mut adopted_update = false;
+        if let Some(registry) = &mut self.registry {
+            let resolved = registry
+                .resolve(name)
+                .map_err(|e| CoreError::AdmissionRefused {
+                    component: name.to_string(),
+                    reason: format!("respawn re-resolution: {e}"),
+                })?;
+            if resolved.image != cm.image {
+                // A newer certified image was published since the last
+                // spawn: adopt it, in the app manifest too, so later
+                // restarts and re-grants agree.
+                cm.image = resolved.image.clone();
+                adopted_update = true;
+                if let Some(c) = self.app.components.iter_mut().find(|c| c.name == name) {
+                    c.image = resolved.image;
+                }
+            }
+        }
         let component = self.factory.build(&cm).ok_or_else(|| {
             CoreError::InvalidManifest(format!("factory cannot rebuild '{name}'"))
         })?;
         self.assembly.respawn(&cm, component)?;
-        let baseline = self.baselines[name];
         let m = self.assembly.measurement(name)?;
-        if m != baseline {
-            return Err(CoreError::Substrate(format!(
-                "respawned '{name}' measurement diverged from baseline"
-            )));
+        if adopted_update {
+            self.baselines.insert(name.to_string(), m);
+        } else {
+            let baseline = self.baselines[name];
+            if m != baseline {
+                return Err(CoreError::Substrate(format!(
+                    "respawned '{name}' measurement diverged from baseline"
+                )));
+            }
         }
         let ev = self.attest_raw(name)?;
         if let Some(ev) = &ev {
-            if ev.measurement != baseline {
+            if ev.measurement != self.baselines[name] {
                 return Err(CoreError::Substrate(format!(
                     "respawned '{name}' attestation evidence diverged from baseline"
                 )));
             }
+        }
+        if adopted_update {
+            self.baseline_evidence.insert(name.to_string(), ev.clone());
         }
         self.last_evidence.insert(name.to_string(), ev);
         self.restart_counts
@@ -342,6 +422,55 @@ impl Supervisor {
     /// successful restart).
     pub fn evidence(&self, name: &str) -> Option<&AttestationEvidence> {
         self.last_evidence.get(name).and_then(|e| e.as_ref())
+    }
+
+    /// One supervision health tick. With a registry attached, sweeps
+    /// every *running* component: an instance whose measurement digest
+    /// has been revoked is destroyed and quarantined on the spot — the
+    /// revocation-to-quarantine latency is therefore bounded by the
+    /// tick cadence. Returns the names quarantined by this tick.
+    pub fn tick(&mut self) -> Vec<String> {
+        self.ticks += 1;
+        let Some(registry) = &self.registry else {
+            return Vec::new();
+        };
+        let up: Vec<String> = self
+            .states
+            .iter()
+            .filter(|(_, s)| matches!(s, State::Up))
+            .map(|(n, _)| n.clone())
+            .collect();
+        let mut quarantined = Vec::new();
+        for name in up {
+            let Ok(digest) = self.assembly.measurement(&name) else {
+                continue;
+            };
+            if registry.is_revoked(digest) {
+                if let Ok(p) = self.assembly.placement(&name) {
+                    let _ = self.assembly.substrates[p.substrate].destroy(p.domain);
+                }
+                self.states.insert(name.clone(), State::Quarantined);
+                quarantined.push(name);
+            }
+        }
+        quarantined
+    }
+
+    /// Health ticks performed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The attached registry, when built with
+    /// [`Supervisor::new_admitted`].
+    pub fn registry(&self) -> Option<&Registry> {
+        self.registry.as_ref()
+    }
+
+    /// Mutable access to the attached registry (publishing updates,
+    /// revoking digests mid-run).
+    pub fn registry_mut(&mut self) -> Option<&mut Registry> {
+        self.registry.as_mut()
     }
 
     /// The supervised assembly (read side).
@@ -499,6 +628,124 @@ mod tests {
         assert!(served > 0, "second restart attempt succeeds");
         assert_eq!(sup.restarts("worker"), 2);
         assert_eq!(sup.health(), Health::Healthy);
+    }
+
+    mod admitted {
+        use super::*;
+        use lateral_crypto::sign::SigningKey;
+        use lateral_registry::{measurement_of, ManifestDraft};
+
+        /// A registry trusting one root, holding every component of the
+        /// two-workers app under its manifest-default image bytes.
+        fn registry() -> Registry {
+            let root = SigningKey::from_seed(b"supervisor admission root");
+            let mut reg = Registry::new("sup-admission");
+            reg.trust_root(&root.verifying_key());
+            for (name, image) in [("worker", b"worker".as_slice()), ("sidekick", b"sidekick")] {
+                reg.publish(image, ManifestDraft::new(name, image).sign(&root, None))
+                    .unwrap();
+            }
+            reg
+        }
+
+        fn admitted_sup(policy: RestartPolicy) -> Supervisor {
+            Supervisor::new_admitted(two_workers(policy), pool(), factory(), registry()).unwrap()
+        }
+
+        #[test]
+        fn revoked_running_instance_quarantined_on_next_tick() {
+            let mut sup = admitted_sup(RestartPolicy::Restart {
+                max_restarts: 3,
+                backoff_base: 10,
+            });
+            assert_eq!(sup.call("worker", b"ping").unwrap(), b"ping");
+            assert_eq!(sup.tick(), Vec::<String>::new(), "nothing revoked yet");
+            sup.registry_mut()
+                .unwrap()
+                .revoke(measurement_of(b"worker"), "supply-chain incident")
+                .unwrap();
+            // Still up until the sweep runs...
+            assert!(!sup.is_quarantined("worker"));
+            // ...and quarantined by the very next tick.
+            assert_eq!(sup.tick(), vec!["worker".to_string()]);
+            assert!(sup.is_quarantined("worker"));
+            assert_eq!(sup.ticks(), 2);
+            assert!(matches!(
+                sup.call("worker", b"ping"),
+                Err(CoreError::Unavailable(_))
+            ));
+            // The rest of the assembly keeps serving.
+            assert_eq!(sup.call("sidekick", b"x").unwrap(), b"x");
+            assert_eq!(sup.health(), Health::Degraded(vec!["worker".into()]));
+        }
+
+        #[test]
+        fn respawn_of_revoked_image_refused() {
+            let mut sup = admitted_sup(RestartPolicy::Restart {
+                max_restarts: 3,
+                backoff_base: 10,
+            });
+            install(
+                &mut sup,
+                FaultPlan::new().with(FaultSpec::crash("worker", 2)),
+            );
+            // Crash the worker, then revoke its image while it is down.
+            let _ = sup.call("worker", b"ping");
+            let _ = sup.call("worker", b"boom");
+            sup.registry_mut()
+                .unwrap()
+                .revoke(measurement_of(b"worker"), "revoked while down")
+                .unwrap();
+            let (_, served) = drive(&mut sup, 40);
+            assert_eq!(served, 0, "a revoked image must never respawn");
+            assert!(sup.is_quarantined("worker"));
+            assert_eq!(sup.restarts("worker"), 0);
+        }
+
+        #[test]
+        fn certified_image_update_adopted_on_restart() {
+            let mut sup = admitted_sup(RestartPolicy::Restart {
+                max_restarts: 3,
+                backoff_base: 10,
+            });
+            let old_baseline = sup.baseline_measurement("worker").unwrap();
+            // Publish worker v2 — a *certified* update — then crash v1.
+            let root = SigningKey::from_seed(b"supervisor admission root");
+            sup.registry_mut()
+                .unwrap()
+                .publish(
+                    b"worker v2",
+                    ManifestDraft::new("worker", b"worker v2").sign(&root, None),
+                )
+                .unwrap();
+            install(
+                &mut sup,
+                FaultPlan::new().with(FaultSpec::crash("worker", 2)),
+            );
+            let (lost, served) = drive(&mut sup, 40);
+            assert!(lost >= 1 && served > 0, "lost={lost} served={served}");
+            // The respawn re-resolved: v2 is running and is the new
+            // baseline (the old image would have failed the measurement
+            // check instead).
+            let new_baseline = sup.baseline_measurement("worker").unwrap();
+            assert_ne!(new_baseline, old_baseline);
+            assert_eq!(new_baseline, measurement_of(b"worker v2"));
+            assert_eq!(sup.assembly().measurement("worker").unwrap(), new_baseline);
+        }
+
+        #[test]
+        fn uncertified_image_refused_at_construction() {
+            let stranger = SigningKey::from_seed(b"stranger");
+            let mut reg = registry();
+            reg.publish(
+                b"rogue",
+                ManifestDraft::new("rogue", b"rogue").sign(&stranger, None),
+            )
+            .unwrap();
+            let app = AppManifest::new("rogue-app", vec![ComponentManifest::new("rogue")]);
+            let err = Supervisor::new_admitted(app, pool(), factory(), reg).unwrap_err();
+            assert!(matches!(err, CoreError::AdmissionRefused { .. }), "{err}");
+        }
     }
 
     #[test]

@@ -97,15 +97,20 @@ pub struct ChannelPolicy {
     /// Attestation requirements; when set, the peer MUST present valid
     /// evidence bound to this channel.
     pub attestation: Option<TrustPolicy>,
+    /// Revoked measurement digests (a registry's revocation list): any
+    /// presented evidence whose measurement is on this list is
+    /// rejected, even before the trust policy runs.
+    pub revoked_measurements: Option<Vec<[u8; 32]>>,
 }
 
 impl std::fmt::Debug for ChannelPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ChannelPolicy(pinned={}, attestation={})",
+            "ChannelPolicy(pinned={}, attestation={}, revocations={})",
             self.pinned_keys.is_some(),
-            self.attestation.is_some()
+            self.attestation.is_some(),
+            self.revoked_measurements.as_ref().map_or(0, Vec::len)
         )
     }
 }
@@ -121,6 +126,7 @@ impl ChannelPolicy {
         ChannelPolicy {
             pinned_keys: Some(vec![key.to_bytes()]),
             attestation: None,
+            revoked_measurements: None,
         }
     }
 
@@ -128,6 +134,16 @@ impl ChannelPolicy {
     #[must_use]
     pub fn with_attestation(mut self, policy: TrustPolicy) -> ChannelPolicy {
         self.attestation = Some(policy);
+        self
+    }
+
+    /// Attaches a revocation list (e.g. `Registry::revoked_digests`
+    /// from `lateral-registry`): evidence carrying any of these
+    /// measurements is rejected regardless of what the trust policy
+    /// would say.
+    #[must_use]
+    pub fn with_revocations(mut self, revoked: Vec<[u8; 32]>) -> ChannelPolicy {
+        self.revoked_measurements = Some(revoked);
         self
     }
 
@@ -142,6 +158,14 @@ impl ChannelPolicy {
                 return Err(NetError::HandshakeFailed(
                     "peer identity key is not pinned".into(),
                 ));
+            }
+        }
+        if let (Some(revoked), Some(ev)) = (&self.revoked_measurements, evidence) {
+            if revoked.contains(&ev.measurement.0) {
+                return Err(NetError::AttestationRejected(format!(
+                    "peer measurement {} is revoked",
+                    ev.measurement.short_hex()
+                )));
             }
         }
         match (&self.attestation, evidence) {
@@ -763,6 +787,58 @@ mod tests {
             handshake(&client_policy, &ChannelPolicy::open(), |_| None),
             Err(NetError::AttestationRejected(_))
         ));
+    }
+
+    #[test]
+    fn revoked_measurement_rejected_despite_valid_attestation() {
+        // The trust policy *would* accept this evidence — platform
+        // trusted, measurement expected — but the measurement is on the
+        // revocation list, so the channel refuses it.
+        let platform = SigningKey::from_seed(b"sgx platform");
+        let good = Digest::of(b"anonymizer v1");
+        let mut trust = TrustPolicy::new();
+        trust.trust_platform(platform.verifying_key());
+        trust.expect_measurement(good);
+        let client_policy = ChannelPolicy::open()
+            .with_attestation(trust)
+            .with_revocations(vec![good.0]);
+        let result = handshake(&client_policy, &ChannelPolicy::open(), |transcript| {
+            Some(AttestationEvidence::sign(
+                "sgx",
+                &platform,
+                good,
+                Digest::ZERO,
+                transcript.as_bytes(),
+            ))
+        });
+        match result {
+            Err(NetError::AttestationRejected(r)) => assert!(r.contains("revoked"), "{r}"),
+            other => panic!("expected rejection, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn unrevoked_measurement_passes_revocation_check() {
+        let platform = SigningKey::from_seed(b"sgx platform");
+        let good = Digest::of(b"anonymizer v1");
+        let mut trust = TrustPolicy::new();
+        trust.trust_platform(platform.verifying_key());
+        trust.expect_measurement(good);
+        let client_policy = ChannelPolicy::open()
+            .with_attestation(trust)
+            .with_revocations(vec![Digest::of(b"some other build").0]);
+        assert!(
+            handshake(&client_policy, &ChannelPolicy::open(), |transcript| {
+                Some(AttestationEvidence::sign(
+                    "sgx",
+                    &platform,
+                    good,
+                    Digest::ZERO,
+                    transcript.as_bytes(),
+                ))
+            })
+            .is_ok()
+        );
     }
 
     #[test]

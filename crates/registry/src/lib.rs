@@ -1,0 +1,665 @@
+//! A deterministic, content-addressed component registry with a
+//! certification pipeline.
+//!
+//! The paper's component ecosystem (§III) presumes a trusted
+//! distribution channel: components arrive as manifest-described images
+//! and the composer instantiates them with only the declared channels —
+//! but nothing in PRs 1–2 said *which* images deserve to be spawned at
+//! all. This crate is that missing layer:
+//!
+//! * **Content-addressed store** — images are keyed by their measurement
+//!   digest, the same `Digest::of_parts("lateral.domain.image", image)`
+//!   every substrate reports at spawn, so the name a composer resolves
+//!   and the measurement an attester verifies are one value.
+//! * **Signed publisher manifests** ([`manifest`]) — a strict,
+//!   no-partial-acceptance submission format signed with
+//!   `lateral_crypto::sign`, optionally endorsed by a registry root.
+//! * **Certification pipeline** ([`pipeline`]) — ordered static passes
+//!   (publisher chain, POLA lint, TCB budget) producing a
+//!   [`CertificationReport`] that is **memoized** per (digest, pass-set
+//!   version), with hit/miss counters in [`RegistryStats`].
+//! * **Revocation** — a digest can be revoked with a reason; resolution
+//!   refuses it, the supervisor quarantines running instances, and
+//!   channel policies reject its attestation evidence over the network.
+//! * **Deterministic trace** — every operation appends a fixed-width
+//!   record to a bounded ring ([`Registry::trace_bytes`]); two identical
+//!   runs produce byte-identical traces, which E11 asserts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manifest;
+pub mod pipeline;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use lateral_crypto::sign::VerifyingKey;
+use lateral_crypto::Digest;
+
+pub use manifest::{ChannelSpec, Endorsement, ManifestDraft, SignedManifest};
+pub use pipeline::{CertificationReport, PassResult, PassVerdict, PASS_SET_VERSION};
+
+/// Computes the measurement digest a substrate would report for
+/// `image` — the registry's content address. Kept in lock-step with
+/// `DomainSpec::measurement` in `lateral-substrate` (same domain tag),
+/// without depending on that crate.
+pub fn measurement_of(image: &[u8]) -> Digest {
+    Digest::of_parts(&[b"lateral.domain.image", image])
+}
+
+/// Errors from registry operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum RegistryError {
+    /// A submission failed to parse.
+    Decode(String),
+    /// A signature or endorsement failed to verify.
+    Signature(String),
+    /// The submitted image does not hash to the manifest's digest.
+    DigestMismatch {
+        /// Digest the manifest claims.
+        claimed: Digest,
+        /// Digest the image actually measures to.
+        actual: Digest,
+    },
+    /// No image/component under that key.
+    NotFound(String),
+    /// The digest failed certification; carries the first failing pass.
+    Uncertified {
+        /// The digest that failed.
+        digest: Digest,
+        /// Name of the first failing pass.
+        pass: String,
+        /// Why it failed.
+        reason: String,
+    },
+    /// The digest has been revoked.
+    Revoked {
+        /// The revoked digest.
+        digest: Digest,
+        /// Reason recorded at revocation time.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Decode(r) => write!(f, "manifest decode: {r}"),
+            RegistryError::Signature(r) => write!(f, "signature: {r}"),
+            RegistryError::DigestMismatch { claimed, actual } => write!(
+                f,
+                "digest mismatch: manifest claims {} but image measures {}",
+                claimed.short_hex(),
+                actual.short_hex()
+            ),
+            RegistryError::NotFound(r) => write!(f, "not found: {r}"),
+            RegistryError::Uncertified {
+                digest,
+                pass,
+                reason,
+            } => write!(
+                f,
+                "image {} is not certified: pass '{pass}' failed: {reason}",
+                digest.short_hex()
+            ),
+            RegistryError::Revoked { digest, reason } => {
+                write!(f, "image {} is revoked: {reason}", digest.short_hex())
+            }
+        }
+    }
+}
+
+impl Error for RegistryError {}
+
+/// Aggregate counters, in the style of the fabric engine's
+/// `FabricStats`.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct RegistryStats {
+    /// Images accepted into the store.
+    pub published: u64,
+    /// Certification requests answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Certification requests that ran the pipeline.
+    pub cache_misses: u64,
+    /// Resolutions that handed out an image.
+    pub resolves: u64,
+    /// Resolutions refused (uncertified, revoked, or unknown).
+    pub refusals: u64,
+    /// Digests revoked so far.
+    pub revocations: u64,
+}
+
+impl RegistryStats {
+    /// Cache hits as a fraction of all certification requests
+    /// (0.0 when none were made).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Operation codes in the deterministic trace (append-only; codes are
+/// never renumbered).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum TraceOp {
+    /// An image was published.
+    Publish = 0,
+    /// Certification ran the pipeline (aux = 1 if certified).
+    CertifyRun = 1,
+    /// Certification was answered from the verdict cache.
+    CertifyHit = 2,
+    /// A digest was revoked.
+    Revoke = 3,
+    /// A resolution handed out an image.
+    ResolveOk = 4,
+    /// A resolution was refused (aux encodes the refusal class).
+    ResolveRefused = 5,
+}
+
+/// One fixed-width trace record: `(seq, op, digest, aux)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Monotone per-registry sequence number.
+    pub seq: u64,
+    /// What happened.
+    pub op: TraceOp,
+    /// The digest the operation concerned (ZERO when unknown).
+    pub digest: Digest,
+    /// Operation-specific detail (certified flag, refusal class, …).
+    pub aux: u64,
+}
+
+/// Encoded size of one trace record.
+pub const TRACE_EVENT_LEN: usize = 8 + 1 + 32 + 8;
+
+impl TraceEvent {
+    /// Appends the canonical 49-byte little-endian encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.push(self.op as u8);
+        out.extend_from_slice(self.digest.as_bytes());
+        out.extend_from_slice(&self.aux.to_le_bytes());
+    }
+}
+
+/// Refusal classes recorded in [`TraceOp::ResolveRefused`] aux values.
+pub mod refusal {
+    /// The name or digest is unknown.
+    pub const UNKNOWN: u64 = 1;
+    /// The digest failed certification.
+    pub const UNCERTIFIED: u64 = 2;
+    /// The digest is revoked.
+    pub const REVOKED: u64 = 3;
+}
+
+/// A successfully resolved image, ready to hand to a composer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedImage {
+    /// Component name the image serves.
+    pub component: String,
+    /// Measurement digest (content address).
+    pub digest: Digest,
+    /// The image bytes.
+    pub image: Vec<u8>,
+    /// Publisher verifying key from the certified manifest.
+    pub publisher: [u8; 32],
+}
+
+struct ImageEntry {
+    image: Vec<u8>,
+    manifest: SignedManifest,
+}
+
+/// Bound on the trace ring, mirroring the fabric engine's discipline.
+const TRACE_CAPACITY: usize = 4096;
+
+/// The registry: content-addressed image store, memoized certification,
+/// and revocation.
+///
+/// ```
+/// use lateral_crypto::sign::SigningKey;
+/// use lateral_registry::{ManifestDraft, Registry};
+///
+/// # fn main() -> Result<(), lateral_registry::RegistryError> {
+/// let mut reg = Registry::new("doc");
+/// let publisher = SigningKey::from_seed(b"publisher");
+/// reg.trust_root(&publisher.verifying_key());
+/// let image = b"frobnicator v1";
+/// let manifest = ManifestDraft::new("frobnicator", image).sign(&publisher, None);
+/// let digest = reg.publish(image, manifest)?;
+/// let resolved = reg.resolve("frobnicator")?;
+/// assert_eq!(resolved.digest, digest);
+/// assert_eq!(resolved.image, image);
+/// reg.revoke(digest, "key ceremony compromised")?;
+/// assert!(reg.resolve("frobnicator").is_err());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Registry {
+    name: String,
+    roots: BTreeSet<[u8; 32]>,
+    substrate_classes: Vec<(String, u64)>,
+    images: BTreeMap<Digest, ImageEntry>,
+    by_name: BTreeMap<String, Digest>,
+    verdicts: BTreeMap<(Digest, u32), CertificationReport>,
+    revoked: BTreeMap<Digest, String>,
+    stats: RegistryStats,
+    trace: VecDeque<TraceEvent>,
+    next_seq: u64,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Registry('{}', {} images, {} revoked)",
+            self.name,
+            self.images.len(),
+            self.revoked.len()
+        )
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with no trusted roots and no substrate
+    /// classes (the TCB-budget pass is then vacuous — add classes with
+    /// [`Registry::with_substrate_class`]).
+    pub fn new(name: &str) -> Registry {
+        Registry {
+            name: name.to_string(),
+            roots: BTreeSet::new(),
+            substrate_classes: Vec::new(),
+            images: BTreeMap::new(),
+            by_name: BTreeMap::new(),
+            verdicts: BTreeMap::new(),
+            revoked: BTreeMap::new(),
+            stats: RegistryStats::default(),
+            trace: VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The registry's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Trusts `root` to publish directly and to endorse publishers.
+    pub fn trust_root(&mut self, root: &VerifyingKey) {
+        self.roots.insert(root.to_bytes());
+    }
+
+    /// Adds a substrate class `(name, substrate TCB lines)` to the
+    /// TCB-budget accounting. Changing the class table invalidates the
+    /// verdict cache — earlier reports were produced against different
+    /// inputs.
+    #[must_use]
+    pub fn with_substrate_class(mut self, class: &str, tcb_loc: u64) -> Registry {
+        self.substrate_classes.push((class.to_string(), tcb_loc));
+        self.verdicts.clear();
+        self
+    }
+
+    /// Publishes `image` under `manifest`. Content addressing is
+    /// enforced here: the image must hash to the manifest's digest.
+    /// Publishing is idempotent per digest; the component name maps to
+    /// the *latest* published digest. Certification is lazy — it runs
+    /// (memoized) at first resolution or explicit
+    /// [`Registry::certify`].
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DigestMismatch`] when the bytes do not match the
+    /// manifest.
+    pub fn publish(
+        &mut self,
+        image: &[u8],
+        manifest: SignedManifest,
+    ) -> Result<Digest, RegistryError> {
+        let actual = measurement_of(image);
+        if actual != manifest.digest {
+            return Err(RegistryError::DigestMismatch {
+                claimed: manifest.digest,
+                actual,
+            });
+        }
+        let digest = manifest.digest;
+        self.by_name.insert(manifest.component.clone(), digest);
+        self.images.insert(
+            digest,
+            ImageEntry {
+                image: image.to_vec(),
+                manifest,
+            },
+        );
+        self.stats.published += 1;
+        self.record(TraceOp::Publish, digest, 0);
+        Ok(digest)
+    }
+
+    /// Certifies `digest`, answering from the verdict cache when a
+    /// report for (digest, [`PASS_SET_VERSION`]) exists.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] for unknown digests. A *failing*
+    /// report is returned as `Ok` — refusal semantics live in
+    /// [`Registry::resolve`].
+    pub fn certify(&mut self, digest: Digest) -> Result<CertificationReport, RegistryError> {
+        let entry = self
+            .images
+            .get(&digest)
+            .ok_or_else(|| RegistryError::NotFound(format!("digest {}", digest.short_hex())))?;
+        let key = (digest, PASS_SET_VERSION);
+        if let Some(report) = self.verdicts.get(&key) {
+            let report = report.clone();
+            self.stats.cache_hits += 1;
+            self.record(TraceOp::CertifyHit, digest, u64::from(report.certified));
+            return Ok(report);
+        }
+        let report = pipeline::run_pipeline(&entry.manifest, &self.roots, &self.substrate_classes);
+        self.verdicts.insert(key, report.clone());
+        self.stats.cache_misses += 1;
+        self.record(TraceOp::CertifyRun, digest, u64::from(report.certified));
+        Ok(report)
+    }
+
+    /// Revokes `digest` with `reason`. Idempotent; the first reason
+    /// sticks.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] for digests never published.
+    pub fn revoke(&mut self, digest: Digest, reason: &str) -> Result<(), RegistryError> {
+        if !self.images.contains_key(&digest) {
+            return Err(RegistryError::NotFound(format!(
+                "digest {}",
+                digest.short_hex()
+            )));
+        }
+        if self.revoked.contains_key(&digest) {
+            return Ok(());
+        }
+        self.revoked.insert(digest, reason.to_string());
+        self.stats.revocations += 1;
+        self.record(TraceOp::Revoke, digest, 0);
+        Ok(())
+    }
+
+    /// Whether `digest` is revoked.
+    pub fn is_revoked(&self, digest: Digest) -> bool {
+        self.revoked.contains_key(&digest)
+    }
+
+    /// Every revoked digest as raw bytes — the denylist handed to
+    /// `lateral_net` channel policies.
+    pub fn revoked_digests(&self) -> Vec<[u8; 32]> {
+        self.revoked.keys().map(|d| d.0).collect()
+    }
+
+    /// Resolves the latest published image for `component`, refusing
+    /// uncertified and revoked digests.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] / [`RegistryError::Uncertified`] /
+    /// [`RegistryError::Revoked`].
+    pub fn resolve(&mut self, component: &str) -> Result<ResolvedImage, RegistryError> {
+        let Some(digest) = self.by_name.get(component).copied() else {
+            self.stats.refusals += 1;
+            self.record(TraceOp::ResolveRefused, Digest::ZERO, refusal::UNKNOWN);
+            return Err(RegistryError::NotFound(format!("component '{component}'")));
+        };
+        self.resolve_digest(digest)
+    }
+
+    /// Resolves an exact digest, refusing uncertified and revoked ones.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Registry::resolve`].
+    pub fn resolve_digest(&mut self, digest: Digest) -> Result<ResolvedImage, RegistryError> {
+        if let Some(reason) = self.revoked.get(&digest).cloned() {
+            self.stats.refusals += 1;
+            self.record(TraceOp::ResolveRefused, digest, refusal::REVOKED);
+            return Err(RegistryError::Revoked { digest, reason });
+        }
+        if !self.images.contains_key(&digest) {
+            self.stats.refusals += 1;
+            self.record(TraceOp::ResolveRefused, digest, refusal::UNKNOWN);
+            return Err(RegistryError::NotFound(format!(
+                "digest {}",
+                digest.short_hex()
+            )));
+        }
+        let report = self.certify(digest)?;
+        if !report.certified {
+            let (pass, reason) = report.first_failure().expect("uncertified has a failure");
+            let (pass, reason) = (pass.to_string(), reason.to_string());
+            self.stats.refusals += 1;
+            self.record(TraceOp::ResolveRefused, digest, refusal::UNCERTIFIED);
+            return Err(RegistryError::Uncertified {
+                digest,
+                pass,
+                reason,
+            });
+        }
+        let entry = &self.images[&digest];
+        let resolved = ResolvedImage {
+            component: entry.manifest.component.clone(),
+            digest,
+            image: entry.image.clone(),
+            publisher: entry.manifest.publisher,
+        };
+        self.stats.resolves += 1;
+        self.record(TraceOp::ResolveOk, digest, 0);
+        Ok(resolved)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats.clone()
+    }
+
+    /// The trace ring, oldest first.
+    pub fn trace(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.trace.iter()
+    }
+
+    /// Canonical byte encoding of the trace ring — byte-identical
+    /// across identical runs (the E11 determinism gate).
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.trace.len() * TRACE_EVENT_LEN);
+        for ev in &self.trace {
+            ev.encode_into(&mut out);
+        }
+        out
+    }
+
+    fn record(&mut self, op: TraceOp, digest: Digest, aux: u64) {
+        if self.trace.len() == TRACE_CAPACITY {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(TraceEvent {
+            seq: self.next_seq,
+            op,
+            digest,
+            aux,
+        });
+        self.next_seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_crypto::sign::SigningKey;
+
+    fn registry_with_root(seed: &[u8]) -> (Registry, SigningKey) {
+        let key = SigningKey::from_seed(seed);
+        let mut reg = Registry::new("test");
+        reg.trust_root(&key.verifying_key());
+        (reg, key)
+    }
+
+    #[test]
+    fn publish_resolve_round_trip() {
+        let (mut reg, key) = registry_with_root(b"root");
+        let image = b"svc v1";
+        let digest = reg
+            .publish(image, ManifestDraft::new("svc", image).sign(&key, None))
+            .unwrap();
+        let r = reg.resolve("svc").unwrap();
+        assert_eq!(r.digest, digest);
+        assert_eq!(r.image, image);
+        assert_eq!(r.component, "svc");
+        assert_eq!(reg.stats().resolves, 1);
+    }
+
+    #[test]
+    fn digest_mismatch_refused_at_publish() {
+        let (mut reg, key) = registry_with_root(b"root");
+        let manifest = ManifestDraft::new("svc", b"real image").sign(&key, None);
+        let err = reg.publish(b"different bytes", manifest).unwrap_err();
+        assert!(matches!(err, RegistryError::DigestMismatch { .. }));
+        assert_eq!(reg.stats().published, 0);
+    }
+
+    #[test]
+    fn verdict_cache_hits_on_repeat() {
+        let (mut reg, key) = registry_with_root(b"root");
+        let image = b"svc v1";
+        let digest = reg
+            .publish(image, ManifestDraft::new("svc", image).sign(&key, None))
+            .unwrap();
+        let first = reg.certify(digest).unwrap();
+        let second = reg.certify(digest).unwrap();
+        assert_eq!(first, second);
+        let stats = reg.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert!(stats.hit_ratio() > 0.0);
+        // Resolution also rides the cache.
+        reg.resolve("svc").unwrap();
+        assert_eq!(reg.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn uncertified_image_refused_at_resolve() {
+        let (mut reg, _key) = registry_with_root(b"root");
+        let stranger = SigningKey::from_seed(b"stranger");
+        let image = b"rogue v1";
+        reg.publish(
+            image,
+            ManifestDraft::new("rogue", image).sign(&stranger, None),
+        )
+        .unwrap();
+        let err = reg.resolve("rogue").unwrap_err();
+        assert!(matches!(err, RegistryError::Uncertified { .. }), "{err}");
+        assert_eq!(reg.stats().refusals, 1);
+    }
+
+    #[test]
+    fn revoked_image_refused_and_listed() {
+        let (mut reg, key) = registry_with_root(b"root");
+        let image = b"svc v1";
+        let digest = reg
+            .publish(image, ManifestDraft::new("svc", image).sign(&key, None))
+            .unwrap();
+        reg.resolve("svc").unwrap();
+        reg.revoke(digest, "private key leaked").unwrap();
+        reg.revoke(digest, "second reason ignored").unwrap();
+        assert!(reg.is_revoked(digest));
+        assert_eq!(reg.revoked_digests(), vec![digest.0]);
+        assert_eq!(reg.stats().revocations, 1);
+        let err = reg.resolve("svc").unwrap_err();
+        assert!(matches!(err, RegistryError::Revoked { .. }));
+        match err {
+            RegistryError::Revoked { reason, .. } => assert_eq!(reason, "private key leaked"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn revoking_unknown_digest_fails() {
+        let (mut reg, _) = registry_with_root(b"root");
+        assert!(matches!(
+            reg.revoke(Digest::of(b"ghost"), "nope"),
+            Err(RegistryError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn newer_publish_supersedes_by_name() {
+        let (mut reg, key) = registry_with_root(b"root");
+        let d1 = reg
+            .publish(
+                b"svc v1",
+                ManifestDraft::new("svc", b"svc v1").sign(&key, None),
+            )
+            .unwrap();
+        let d2 = reg
+            .publish(
+                b"svc v2",
+                ManifestDraft::new("svc", b"svc v2").sign(&key, None),
+            )
+            .unwrap();
+        assert_ne!(d1, d2);
+        assert_eq!(reg.resolve("svc").unwrap().digest, d2);
+        // The superseded digest remains addressable by content.
+        assert_eq!(reg.resolve_digest(d1).unwrap().digest, d1);
+        // Revoking v2 does not block an explicit fallback to v1.
+        reg.revoke(d2, "bad release").unwrap();
+        assert!(reg.resolve("svc").is_err());
+        assert!(reg.resolve_digest(d1).is_ok());
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_bounded() {
+        let run = || {
+            let (mut reg, key) = registry_with_root(b"root");
+            let image = b"svc v1";
+            let digest = reg
+                .publish(image, ManifestDraft::new("svc", image).sign(&key, None))
+                .unwrap();
+            reg.resolve("svc").unwrap();
+            reg.resolve("svc").unwrap();
+            reg.revoke(digest, "drill").unwrap();
+            let _ = reg.resolve("svc");
+            reg.trace_bytes()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "identical runs must trace identically");
+        assert!(!a.is_empty());
+        assert_eq!(a.len() % TRACE_EVENT_LEN, 0);
+    }
+
+    #[test]
+    fn tcb_budget_classes_gate_certification() {
+        let key = SigningKey::from_seed(b"root");
+        let mut reg = Registry::new("budget").with_substrate_class("monolith", 20_000_000);
+        reg.trust_root(&key.verifying_key());
+        let image = b"svc v1";
+        reg.publish(
+            image,
+            ManifestDraft::new("svc", image)
+                .loc(500)
+                .budget(100_000)
+                .sign(&key, None),
+        )
+        .unwrap();
+        let err = reg.resolve("svc").unwrap_err();
+        match err {
+            RegistryError::Uncertified { pass, .. } => assert_eq!(pass, "tcb-budget"),
+            other => panic!("expected uncertified, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The certification pipeline: ordered static passes over a submission.
+//!
+//! Certification is *static* — it never runs the image. Three passes, in
+//! a fixed order, each producing a verdict that lands in the
+//! [`CertificationReport`]:
+//!
+//! 1. **`publisher-chain`** — the manifest's publisher signature must
+//!    verify, and the publisher key must be trusted: either it is a
+//!    registry root itself, or a root endorsed it (one-level chain).
+//! 2. **`pola-lint`** — the declared channel graph must be *closed*: no
+//!    channel may target an undeclared endpoint, labels and (target,
+//!    badge) pairs must be unique, and no channel may carry an
+//!    ambient-authority badge (badge 0 — "anyone" — or the composer's
+//!    reserved environment badge).
+//! 3. **`tcb-budget`** — the E7-style accounting: for every substrate
+//!    class the registry serves, declared component lines plus that
+//!    class's substrate TCB must stay within the manifest's budget.
+//!
+//! The pass set is versioned ([`PASS_SET_VERSION`]); verdict caching is
+//! keyed on (digest, version), so changing the passes invalidates every
+//! memoized report.
+
+use std::collections::BTreeSet;
+
+use crate::manifest::SignedManifest;
+
+/// Version of the pass set below. Bump when pass semantics change so
+/// memoized verdicts from older pipelines are never reused.
+pub const PASS_SET_VERSION: u32 = 1;
+
+/// The ambient-authority badge: a capability granted to "anyone".
+pub const AMBIENT_BADGE: u64 = 0;
+
+/// The composer's reserved environment badge (`lateral_core`'s
+/// `ENV_BADGE`); a manifest granting it would let a peer impersonate
+/// the harness environment.
+pub const ENV_RESERVED_BADGE: u64 = 0xE4F;
+
+/// Outcome of one certification pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PassVerdict {
+    /// The pass accepted the submission.
+    Pass,
+    /// The pass rejected the submission, with the reason.
+    Fail(String),
+}
+
+/// One pass's verdict inside a [`CertificationReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassResult {
+    /// Stable pass name (`publisher-chain`, `pola-lint`, `tcb-budget`).
+    pub pass: &'static str,
+    /// What the pass decided.
+    pub verdict: PassVerdict,
+}
+
+/// The memoized product of running the pipeline over one digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertificationReport {
+    /// Pass-set version the report was produced under.
+    pub pass_set_version: u32,
+    /// Per-pass verdicts, in pipeline order.
+    pub passes: Vec<PassResult>,
+    /// `true` iff every pass accepted.
+    pub certified: bool,
+}
+
+impl CertificationReport {
+    /// The first failing pass, as `(pass, reason)`.
+    pub fn first_failure(&self) -> Option<(&'static str, &str)> {
+        self.passes.iter().find_map(|p| match &p.verdict {
+            PassVerdict::Fail(reason) => Some((p.pass, reason.as_str())),
+            PassVerdict::Pass => None,
+        })
+    }
+}
+
+/// Runs the full pipeline. `roots` are the registry's trusted root
+/// keys; `substrate_classes` is the (name, substrate TCB lines) table
+/// the TCB-budget pass accounts against.
+pub fn run_pipeline(
+    manifest: &SignedManifest,
+    roots: &BTreeSet<[u8; 32]>,
+    substrate_classes: &[(String, u64)],
+) -> CertificationReport {
+    let passes = vec![
+        PassResult {
+            pass: "publisher-chain",
+            verdict: publisher_chain(manifest, roots),
+        },
+        PassResult {
+            pass: "pola-lint",
+            verdict: pola_lint(manifest),
+        },
+        PassResult {
+            pass: "tcb-budget",
+            verdict: tcb_budget(manifest, substrate_classes),
+        },
+    ];
+    let certified = passes
+        .iter()
+        .all(|p| matches!(p.verdict, PassVerdict::Pass));
+    CertificationReport {
+        pass_set_version: PASS_SET_VERSION,
+        passes,
+        certified,
+    }
+}
+
+fn publisher_chain(manifest: &SignedManifest, roots: &BTreeSet<[u8; 32]>) -> PassVerdict {
+    if let Err(e) = manifest.verify_signature() {
+        return PassVerdict::Fail(format!("manifest signature: {e}"));
+    }
+    if roots.contains(&manifest.publisher) {
+        return PassVerdict::Pass;
+    }
+    match &manifest.endorsement {
+        None => PassVerdict::Fail(
+            "publisher key is not a trusted root and carries no endorsement".into(),
+        ),
+        Some(end) => {
+            if !roots.contains(&end.root) {
+                return PassVerdict::Fail("endorsing key is not a trusted root".into());
+            }
+            match end.verify(&manifest.publisher) {
+                Ok(()) => PassVerdict::Pass,
+                Err(e) => PassVerdict::Fail(format!("endorsement: {e}")),
+            }
+        }
+    }
+}
+
+fn pola_lint(manifest: &SignedManifest) -> PassVerdict {
+    let mut endpoints = BTreeSet::new();
+    for e in &manifest.endpoints {
+        if e == &manifest.component {
+            return PassVerdict::Fail(format!("'{e}' declares itself as an endpoint"));
+        }
+        if !endpoints.insert(e.as_str()) {
+            return PassVerdict::Fail(format!("duplicate endpoint '{e}'"));
+        }
+    }
+    let mut labels = BTreeSet::new();
+    let mut targets = BTreeSet::new();
+    for ch in &manifest.channels {
+        if !labels.insert(ch.label.as_str()) {
+            return PassVerdict::Fail(format!("duplicate channel label '{}'", ch.label));
+        }
+        if !targets.insert((ch.to.as_str(), ch.badge)) {
+            return PassVerdict::Fail(format!(
+                "duplicate channel to '{}' with badge {}",
+                ch.to, ch.badge
+            ));
+        }
+        if !endpoints.contains(ch.to.as_str()) {
+            return PassVerdict::Fail(format!(
+                "channel '{}' targets undeclared endpoint '{}'",
+                ch.label, ch.to
+            ));
+        }
+        if ch.badge == AMBIENT_BADGE {
+            return PassVerdict::Fail(format!("channel '{}' grants the ambient badge 0", ch.label));
+        }
+        if ch.badge == ENV_RESERVED_BADGE {
+            return PassVerdict::Fail(format!(
+                "channel '{}' grants the reserved environment badge",
+                ch.label
+            ));
+        }
+    }
+    PassVerdict::Pass
+}
+
+fn tcb_budget(manifest: &SignedManifest, substrate_classes: &[(String, u64)]) -> PassVerdict {
+    for (class, substrate_tcb) in substrate_classes {
+        let total = manifest.loc.saturating_add(*substrate_tcb);
+        if total > manifest.tcb_budget {
+            return PassVerdict::Fail(format!(
+                "class '{class}': {} component + {substrate_tcb} substrate = {total} lines \
+                 exceeds budget {}",
+                manifest.loc, manifest.tcb_budget
+            ));
+        }
+    }
+    PassVerdict::Pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{Endorsement, ManifestDraft};
+    use lateral_crypto::sign::SigningKey;
+
+    fn roots_of(keys: &[&SigningKey]) -> BTreeSet<[u8; 32]> {
+        keys.iter().map(|k| k.verifying_key().to_bytes()).collect()
+    }
+
+    fn classes() -> Vec<(String, u64)> {
+        vec![("microkernel".into(), 10_000), ("enclave".into(), 12_000)]
+    }
+
+    #[test]
+    fn clean_submission_certifies() {
+        let root = SigningKey::from_seed(b"root");
+        let m = ManifestDraft::new("svc", b"img")
+            .loc(2_000)
+            .budget(20_000)
+            .endpoint("peer")
+            .channel("ask", "peer", 3)
+            .sign(&root, None);
+        let report = run_pipeline(&m, &roots_of(&[&root]), &classes());
+        assert!(report.certified, "{report:?}");
+        assert_eq!(report.passes.len(), 3);
+        assert_eq!(report.first_failure(), None);
+    }
+
+    #[test]
+    fn endorsed_publisher_certifies() {
+        let root = SigningKey::from_seed(b"root");
+        let publisher = SigningKey::from_seed(b"indie");
+        let end = Endorsement::issue(&root, &publisher.verifying_key());
+        let m = ManifestDraft::new("svc", b"img").sign(&publisher, Some(end));
+        assert!(run_pipeline(&m, &roots_of(&[&root]), &[]).certified);
+    }
+
+    #[test]
+    fn untrusted_publisher_fails_chain() {
+        let root = SigningKey::from_seed(b"root");
+        let stranger = SigningKey::from_seed(b"stranger");
+        let m = ManifestDraft::new("svc", b"img").sign(&stranger, None);
+        let report = run_pipeline(&m, &roots_of(&[&root]), &[]);
+        assert!(!report.certified);
+        assert_eq!(report.first_failure().unwrap().0, "publisher-chain");
+    }
+
+    #[test]
+    fn endorsement_by_untrusted_root_fails() {
+        let fake_root = SigningKey::from_seed(b"fake-root");
+        let publisher = SigningKey::from_seed(b"indie");
+        let end = Endorsement::issue(&fake_root, &publisher.verifying_key());
+        let m = ManifestDraft::new("svc", b"img").sign(&publisher, Some(end));
+        let real_roots = roots_of(&[&SigningKey::from_seed(b"root")]);
+        assert!(!run_pipeline(&m, &real_roots, &[]).certified);
+    }
+
+    #[test]
+    fn open_channel_graph_fails_pola_lint() {
+        let root = SigningKey::from_seed(b"root");
+        let m = ManifestDraft::new("svc", b"img")
+            .channel("leak", "unlisted", 5)
+            .sign(&root, None);
+        let report = run_pipeline(&m, &roots_of(&[&root]), &[]);
+        assert_eq!(report.first_failure().unwrap().0, "pola-lint");
+    }
+
+    #[test]
+    fn ambient_badges_fail_pola_lint() {
+        let root = SigningKey::from_seed(b"root");
+        for badge in [AMBIENT_BADGE, ENV_RESERVED_BADGE] {
+            let m = ManifestDraft::new("svc", b"img")
+                .endpoint("peer")
+                .channel("grab", "peer", badge)
+                .sign(&root, None);
+            let report = run_pipeline(&m, &roots_of(&[&root]), &[]);
+            assert!(!report.certified, "badge {badge} accepted");
+            assert_eq!(report.first_failure().unwrap().0, "pola-lint");
+        }
+    }
+
+    #[test]
+    fn duplicate_channel_target_fails_pola_lint() {
+        let root = SigningKey::from_seed(b"root");
+        let m = ManifestDraft::new("svc", b"img")
+            .endpoint("peer")
+            .channel("a", "peer", 5)
+            .channel("b", "peer", 5)
+            .sign(&root, None);
+        assert!(!run_pipeline(&m, &roots_of(&[&root]), &[]).certified);
+    }
+
+    #[test]
+    fn over_budget_fails_tcb_pass() {
+        let root = SigningKey::from_seed(b"root");
+        let m = ManifestDraft::new("svc", b"img")
+            .loc(15_000)
+            .budget(20_000)
+            .sign(&root, None);
+        let report = run_pipeline(&m, &roots_of(&[&root]), &classes());
+        assert!(!report.certified);
+        let (pass, reason) = report.first_failure().unwrap();
+        assert_eq!(pass, "tcb-budget");
+        assert!(reason.contains("microkernel"), "{reason}");
+    }
+}

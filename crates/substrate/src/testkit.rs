@@ -412,6 +412,64 @@ pub mod parity {
         sub.destroy(client).unwrap();
         sub.destroy(successor).unwrap();
     }
+
+    /// Admission-gate parity: an image served through a
+    /// [`lateral_registry::Registry`] spawns while certified and is
+    /// refused once revoked — identically on every backend. The gate
+    /// itself lives above the substrate; what this asserts per backend
+    /// is the content-addressing contract it relies on: the digest the
+    /// registry certifies is exactly the measurement the spawned domain
+    /// reports, and after revocation the resolver refuses before any
+    /// domain is created.
+    pub fn assert_revoked_image_rejected(
+        sub: &mut dyn Substrate,
+        registry: &mut lateral_registry::Registry,
+    ) {
+        use lateral_crypto::sign::SigningKey;
+        use lateral_registry::{ManifestDraft, RegistryError};
+
+        let name = sub.profile().name.clone();
+        let publisher = SigningKey::from_seed(b"parity registry publisher");
+        registry.trust_root(&publisher.verifying_key());
+        let image: &[u8] = b"parity gated image v1";
+        let manifest = ManifestDraft::new("parity-gated", image).sign(&publisher, None);
+        let digest = registry
+            .publish(image, manifest)
+            .unwrap_or_else(|e| panic!("[{name}] publish: {e}"));
+
+        // Certified: resolution succeeds and the spawned domain measures
+        // as exactly the digest the registry certified.
+        let resolved = registry
+            .resolve("parity-gated")
+            .unwrap_or_else(|e| panic!("[{name}] certified image must resolve: {e}"));
+        let gated = sub
+            .spawn(
+                DomainSpec::named("parity-gated").with_image(&resolved.image),
+                Box::new(Echo),
+            )
+            .unwrap_or_else(|e| panic!("[{name}] spawn of certified image: {e}"));
+        assert_eq!(
+            sub.measurement(gated).unwrap(),
+            resolved.digest,
+            "[{name}] domain measurement must equal the registry digest"
+        );
+        sub.destroy(gated).unwrap();
+
+        // Revoked: resolution refuses, so the admission gate never
+        // reaches the substrate — no new domain for this image.
+        registry.revoke(digest, "parity revocation").unwrap();
+        let refused = registry
+            .resolve("parity-gated")
+            .expect_err("revoked image must not resolve");
+        assert!(
+            matches!(refused, RegistryError::Revoked { .. }),
+            "[{name}] expected Revoked refusal, got: {refused}"
+        );
+        assert!(
+            registry.resolve_digest(digest).is_err(),
+            "[{name}] exact-digest resolution of a revoked image must refuse"
+        );
+    }
 }
 
 #[cfg(test)]

@@ -28,4 +28,17 @@ if ! cmp -s "$tmpdir/e10-a.txt" "$tmpdir/e10-b.txt"; then
     exit 1
 fi
 
+echo "==> determinism gate: E11 registry admission sweep twice"
+cargo run --release -q -p lateral-bench --bin repro -- e11 > "$tmpdir/e11-a.txt"
+cargo run --release -q -p lateral-bench --bin repro -- e11 > "$tmpdir/e11-b.txt"
+if ! cmp -s "$tmpdir/e11-a.txt" "$tmpdir/e11-b.txt"; then
+    echo "DETERMINISM VIOLATION: two identical E11 runs diverged:" >&2
+    diff "$tmpdir/e11-a.txt" "$tmpdir/e11-b.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q "registry-trace digest" "$tmpdir/e11-a.txt"; then
+    echo "E11 output is missing its registry-trace digest table" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -29,6 +29,9 @@
 //!   GUI, input method, anonymizer, gateway, mail engine, …).
 //! * [`core`] — the ecosystem runtime: manifests, composer, POLA
 //!   enforcement, TCB / information-flow / confused-deputy analysis.
+//! * [`registry`] — content-addressed component registry with the
+//!   certification pipeline (POLA lint, TCB-budget lint, publisher
+//!   chain) backing composer admission control.
 //! * [`apps`] — the paper's worked scenarios: decomposed email client and
 //!   the smart-meter / utility-server distributed system.
 //!
@@ -43,6 +46,7 @@ pub use lateral_flicker as flicker;
 pub use lateral_hw as hw;
 pub use lateral_microkernel as microkernel;
 pub use lateral_net as net;
+pub use lateral_registry as registry;
 pub use lateral_sep as sep;
 pub use lateral_sgx as sgx;
 pub use lateral_substrate as substrate;

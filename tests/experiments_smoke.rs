@@ -104,6 +104,29 @@ fn e10_recovers_and_quarantines() {
 }
 
 #[test]
+fn e11_admits_certified_and_refuses_revoked() {
+    let r = lateral_bench::run("e11").unwrap();
+    for backend in [
+        "software",
+        "microkernel",
+        "trustzone",
+        "sgx",
+        "sep",
+        "flicker",
+    ] {
+        let row = r
+            .lines()
+            .find(|l| l.starts_with(backend))
+            .unwrap_or_else(|| panic!("{backend} row present"));
+        assert!(row.contains("admitted:yes"), "{backend}: {row}");
+        assert!(row.contains("refused:yes"), "{backend}: {row}");
+        assert!(!row.contains(":NO"), "{backend}: {row}");
+        assert!(row.contains("1 tick(s)"), "{backend}: {row}");
+    }
+    assert!(r.contains("registry-trace digest"));
+}
+
+#[test]
 fn all_experiments_run_via_driver_interface() {
     for id in lateral_bench::EXPERIMENTS {
         let r = lateral_bench::run(id).unwrap();

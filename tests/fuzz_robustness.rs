@@ -225,6 +225,88 @@ fn manifest_parser_never_panics_or_silently_accepts() {
 }
 
 #[test]
+fn signed_manifest_decoder_never_panics_or_silently_accepts() {
+    use lateral::registry::{ManifestDraft, SignedManifest};
+    let mut rng = Drbg::from_seed(b"fuzz signed manifest");
+    for _ in 0..CASES {
+        let junk = text(&mut rng, 400);
+        // Arbitrary text either errors cleanly or decodes to a manifest
+        // whose canonical text round-trips to an equal value — the same
+        // no-partial-acceptance bar as `AttackReport::decode`.
+        if let Ok(m) = SignedManifest::decode(&junk) {
+            assert_eq!(
+                SignedManifest::decode(&m.to_text()).unwrap(),
+                m,
+                "accepted input must round-trip consistently"
+            );
+        }
+    }
+    // A genuinely signed manifest decodes, verifies, and round-trips.
+    let key = SigningKey::from_seed(b"fuzz manifest publisher");
+    let valid = ManifestDraft::new("meter", b"meter image")
+        .endpoint("read")
+        .channel("push", "sink", 7)
+        .sign(&key, None)
+        .to_text();
+    let decoded = SignedManifest::decode(&valid).unwrap();
+    decoded.verify_signature().unwrap();
+    // Every strict prefix is rejected — the signature line is mandatory
+    // and a truncated hex field never half-parses. (The full text minus
+    // only its trailing newline is the one equivalent form.)
+    for cut in 0..valid.len() - 1 {
+        assert!(
+            SignedManifest::decode(&valid[..cut]).is_err(),
+            "truncation at {cut} must be rejected"
+        );
+    }
+    // Byte-level mutations must never panic; when they decode, the
+    // signature check still gates acceptance into a registry.
+    let mut rng = Drbg::from_seed(b"fuzz signed manifest bytes");
+    for _ in 0..CASES {
+        let mut mutated: Vec<u8> = valid.as_bytes().to_vec();
+        let idx = rng.gen_range(mutated.len() as u64) as usize;
+        mutated[idx] ^= (1 + rng.gen_range(255)) as u8;
+        if let Ok(m) = SignedManifest::decode(&String::from_utf8_lossy(&mutated)) {
+            // A flipped payload bit that still parses must break the
+            // signature; a flip inside the signature hex likewise.
+            if m != decoded {
+                assert!(m.verify_signature().is_err(), "forged manifest verified");
+            }
+        }
+    }
+}
+
+#[test]
+fn app_manifest_rejects_duplicate_declarations() {
+    use lateral::core::manifest::AppManifest;
+    // Duplicate component names.
+    let err = AppManifest::parse("app a\ncomponent w\ncomponent w\n")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("duplicate component name"), "{err}");
+    // Duplicate channel declarations (same label).
+    let err = AppManifest::parse(
+        "app a\ncomponent w\nchannel ask sink 1\nchannel ask sink 2\ncomponent sink\n",
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("duplicate channel label"), "{err}");
+    // Duplicate channel declarations (same target and badge, distinct
+    // labels).
+    let err = AppManifest::parse(
+        "app a\ncomponent w\nchannel ask sink 1\nchannel tell sink 1\ncomponent sink\n",
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("duplicate channel declaration"), "{err}");
+    // Duplicate scalar directives within one component.
+    let err = AppManifest::parse("app a\ncomponent w\nloc 10\nloc 20\n")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("duplicate 'loc'"), "{err}");
+}
+
+#[test]
 fn subverted_component_report_roundtrips() {
     let mut rng = Drbg::from_seed(b"fuzz report");
     for _ in 0..CASES {
