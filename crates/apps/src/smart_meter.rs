@@ -40,6 +40,7 @@ use lateral_substrate::cap::{Badge, ChannelCap};
 use lateral_substrate::component::{Component, ComponentError, Invocation};
 use lateral_substrate::substrate::{DomainContext, DomainSpec, Substrate};
 use lateral_substrate::DomainId;
+use lateral_telemetry::outcome as span_outcome;
 use lateral_trustzone::TrustZone;
 
 /// Image of the genuine meter firmware.
@@ -609,8 +610,51 @@ impl SmartMeterWorld {
     }
 
     /// Runs one full billing round: handshake with mutual channel-bound
-    /// attestation, one reading, one acknowledgment.
+    /// attestation, one reading, one acknowledgment. The whole round is
+    /// recorded as one `billing round` span on each side's fabric, so
+    /// every handshake and record invocation nests into a causal tree
+    /// (rendered by [`SmartMeterWorld::telemetry_report`]).
     pub fn billing_round(&mut self) -> BillingOutcome {
+        let meter_span = {
+            let sub: &mut dyn Substrate = match &mut self.trustzone {
+                Some(tz) => tz,
+                None => &mut self.kernel,
+            };
+            let at = sub.now();
+            sub.telemetry_mut_ref()
+                .map(|t| t.begin_span("billing round", "app", at))
+        };
+        let utility_span = {
+            let at = self.utility.now();
+            self.utility
+                .telemetry_mut_ref()
+                .map(|t| t.begin_span("billing round", "app", at))
+        };
+        let outcome = self.billing_round_steps();
+        let code = match &outcome {
+            BillingOutcome::Billed(_) => span_outcome::OK,
+            _ => span_outcome::FAILED,
+        };
+        if let Some(id) = meter_span {
+            let sub: &mut dyn Substrate = match &mut self.trustzone {
+                Some(tz) => tz,
+                None => &mut self.kernel,
+            };
+            let at = sub.now();
+            if let Some(t) = sub.telemetry_mut_ref() {
+                t.end_span(id, at, code);
+            }
+        }
+        if let Some(id) = utility_span {
+            let at = self.utility.now();
+            if let Some(t) = self.utility.telemetry_mut_ref() {
+                t.end_span(id, at, code);
+            }
+        }
+        outcome
+    }
+
+    fn billing_round_steps(&mut self) -> BillingOutcome {
         // 1. Meter → utility: ClientHello.
         let hello = match self.meter_call(b"hello:") {
             Ok(h) => h,
@@ -714,6 +758,26 @@ impl SmartMeterWorld {
         self.meter_domain
     }
 
+    /// Renders both sides' span trees — the meter substrate's and the
+    /// utility's — so a billing round can be read as the causal story
+    /// it is.
+    pub fn telemetry_report(&self) -> String {
+        let meter = match &self.trustzone {
+            Some(tz) => tz.telemetry_ref(),
+            None => self.kernel.telemetry_ref(),
+        };
+        format!(
+            "meter:\n{}utility:\n{}",
+            meter
+                .map(lateral_telemetry::Telemetry::render_tree)
+                .unwrap_or_default(),
+            self.utility
+                .telemetry_ref()
+                .map(lateral_telemetry::Telemetry::render_tree)
+                .unwrap_or_default(),
+        )
+    }
+
     /// Installs a deterministic fault plan into the TrustZone fabric
     /// (robustness experiments crash the meter agent at precise points).
     ///
@@ -796,6 +860,37 @@ mod tests {
         assert_eq!(world.retained_identified_records(), 0);
         // Subsequent rounds reuse… a new handshake each round also works.
         assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
+    }
+
+    #[test]
+    fn billing_round_is_one_span_tree_on_each_side() {
+        let mut world = SmartMeterWorld::new(WorldConfig::default());
+        assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
+        let report = world.telemetry_report();
+        let (meter, utility) = report
+            .split_once("utility:\n")
+            .expect("report has both sides");
+        for side in [meter, utility] {
+            assert!(
+                side.contains("billing round [app]"),
+                "round root present: {side}"
+            );
+            // Invocations nest under the round root (two-space indent).
+            assert!(
+                side.contains("\n  invoke "),
+                "invocations nest under the round: {side}"
+            );
+        }
+        // A refused round closes its spans as failed.
+        let mut world = SmartMeterWorld::new(WorldConfig {
+            manipulated_anonymizer: true,
+            ..WorldConfig::default()
+        });
+        assert!(matches!(world.billing_round(), BillingOutcome::Refused(_)));
+        assert!(
+            world.telemetry_report().contains("billing round [app]"),
+            "failed rounds still record the span"
+        );
     }
 
     #[test]

@@ -154,7 +154,42 @@ pub fn compose(
         channels: BTreeMap::new(),
         env_caps: BTreeMap::new(),
     };
+    // One `compose` span per pool substrate: every spawn and grant the
+    // phases below perform on that substrate nests under it, so the
+    // whole composition is one causal tree per fabric.
+    let spans: Vec<Option<lateral_telemetry::SpanId>> = assembly
+        .substrates
+        .iter_mut()
+        .map(|sub| {
+            let at = sub.now();
+            sub.telemetry_mut_ref()
+                .map(|t| t.begin_span(&format!("compose {}", app.name), "compose", at))
+        })
+        .collect();
+    let result = compose_phases(app, &mut assembly, factory);
+    let outcome = if result.is_ok() {
+        lateral_telemetry::outcome::OK
+    } else {
+        lateral_telemetry::outcome::FAILED
+    };
+    for (idx, span) in spans.into_iter().enumerate() {
+        if let Some(span) = span {
+            let sub = &mut assembly.substrates[idx];
+            let at = sub.now();
+            if let Some(t) = sub.telemetry_mut_ref() {
+                t.end_span(span, at, outcome);
+            }
+        }
+    }
+    result?;
+    Ok(assembly)
+}
 
+fn compose_phases(
+    app: &AppManifest,
+    assembly: &mut Assembly,
+    factory: &mut dyn ComponentFactory,
+) -> Result<(), CoreError> {
     // Phase 1: placement + spawn.
     for cm in &app.components {
         let mut candidates: Vec<(usize, u64)> = assembly
@@ -199,7 +234,7 @@ pub fn compose(
             assembly.establish_channel(&cm.name, &ch.label, &ch.to, ch.badge)?;
         }
     }
-    Ok(assembly)
+    Ok(())
 }
 
 /// Checks one component manifest against the registry: the registry

@@ -29,8 +29,10 @@ use lateral_net::channel::{
     ChannelPolicy, ClientHandshake, PeerInfo, SecureChannel, ServerAwaitFinish, ServerHandshake,
 };
 use lateral_net::sim::Network;
+use lateral_net::wire::Reader;
 use lateral_net::Addr;
 use lateral_substrate::cap::Badge;
+use lateral_telemetry::{outcome as span_outcome, SpanId, Telemetry, TraceContext};
 
 use crate::composer::Assembly;
 use crate::CoreError;
@@ -54,6 +56,17 @@ fn unframe(packet: &[u8]) -> Result<(u8, &[u8]), CoreError> {
         .split_first()
         .map(|(k, body)| (*k, body))
         .ok_or_else(|| CoreError::Substrate("empty packet".into()))
+}
+
+/// Splits an opened record body into its propagated [`TraceContext`]
+/// and payload, or `None` for a legacy untraced body. The context codec
+/// itself is strict; only the *absence* of the envelope is tolerated.
+fn split_traced(body: &[u8]) -> Option<(TraceContext, Vec<u8>)> {
+    let mut r = Reader::new(body);
+    let ctx = TraceContext::decode(r.field().ok()?).ok()?;
+    let payload = r.field().ok()?.to_vec();
+    r.finish().ok()?;
+    Some((ctx, payload))
 }
 
 /// What a server exports.
@@ -88,6 +101,7 @@ pub struct RemoteServer {
     export: ServiceExport,
     sessions: std::collections::BTreeMap<Addr, ServerSession>,
     rng: Drbg,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for RemoteServer {
@@ -112,12 +126,24 @@ impl RemoteServer {
             export,
             sessions: std::collections::BTreeMap::new(),
             rng,
+            telemetry: Telemetry::new(),
         }
     }
 
     /// The bound address.
     pub fn addr(&self) -> &Addr {
         &self.addr
+    }
+
+    /// The server's telemetry: accept/serve spans (serve spans adopt
+    /// the caller's propagated trace) and remote-layer metrics.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The server's telemetry, writable.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// The verified identity of an established client, if any.
@@ -167,16 +193,45 @@ impl RemoteServer {
         let (kind, body) = unframe(payload)?;
         match kind {
             MSG_HELLO => {
-                let pending = ServerHandshake::accept(&self.export.identity, &mut self.rng, body)
-                    .map_err(|e| CoreError::Substrate(format!("accept: {e}")))?;
+                let at = self.telemetry.tick();
+                let accept = self
+                    .telemetry
+                    .begin_span(&format!("accept {from}"), "remote", at);
+                let pending =
+                    match ServerHandshake::accept(&self.export.identity, &mut self.rng, body) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(accept, at, span_outcome::FAILED);
+                            return Err(CoreError::Substrate(format!("accept: {e}")));
+                        }
+                    };
                 let evidence = if self.export.attest {
-                    Some(assembly.attest(&self.export.component, pending.transcript().as_bytes())?)
+                    let at = self.telemetry.tick();
+                    let span = self.telemetry.begin_span("attest.evidence", "remote", at);
+                    let ev =
+                        assembly.attest(&self.export.component, pending.transcript().as_bytes());
+                    let at = self.telemetry.tick();
+                    match ev {
+                        Ok(ev) => {
+                            self.telemetry.end_span(span, at, span_outcome::OK);
+                            Some(ev)
+                        }
+                        Err(e) => {
+                            self.telemetry.end_span(span, at, span_outcome::FAILED);
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(accept, at, span_outcome::FAILED);
+                            return Err(e);
+                        }
+                    }
                 } else {
                     None
                 };
                 let (awaiting, server_hello) = pending.respond(evidence, body);
                 self.sessions
                     .insert(from.clone(), ServerSession::AwaitingFinish(awaiting));
+                let at = self.telemetry.tick();
+                self.telemetry.end_span(accept, at, span_outcome::OK);
                 Ok((MSG_SERVER_HELLO, server_hello))
             }
             MSG_FINISH => {
@@ -191,6 +246,10 @@ impl RemoteServer {
                     from.clone(),
                     ServerSession::Established(Box::new(channel), info),
                 );
+                let at = self.telemetry.tick();
+                self.telemetry
+                    .instant("session.established", "remote", at, span_outcome::OK);
+                self.telemetry.metrics_mut().incr("remote.sessions", 1);
                 Ok((MSG_REPLY, b"connected".to_vec()))
             }
             MSG_REQUEST => {
@@ -202,16 +261,71 @@ impl RemoteServer {
                 let ServerSession::Established(channel, _) = session else {
                     return Err(CoreError::Substrate("handshake incomplete".into()));
                 };
-                let request = channel
-                    .open(body)
-                    .map_err(|e| CoreError::Substrate(format!("record: {e}")))?;
-                let reply = assembly.call_component_badged(&component, badge, &request)?;
+                let body_plain = match channel.open(body) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        let at = self.telemetry.tick();
+                        self.telemetry
+                            .instant("channel.open", "channel", at, span_outcome::FAILED);
+                        return Err(CoreError::Substrate(format!("record: {e}")));
+                    }
+                };
+                // A traced record lands the serve span in the *caller's*
+                // trace; untraced (legacy) requests start a local one.
+                let (ctx, request) = match split_traced(&body_plain) {
+                    Some((ctx, payload)) => (Some(ctx), payload),
+                    None => (None, body_plain),
+                };
+                let at = self.telemetry.tick();
+                let serve = match ctx {
+                    Some(ctx) => self.telemetry.begin_span_in(
+                        ctx,
+                        &format!("serve {component}"),
+                        "remote",
+                        at,
+                    ),
+                    None => self
+                        .telemetry
+                        .begin_span(&format!("serve {component}"), "remote", at),
+                };
+                let at = self.telemetry.tick();
+                self.telemetry
+                    .instant("channel.open", "channel", at, span_outcome::OK);
+                let reply = match assembly.call_component_badged(&component, badge, &request) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let at = self.telemetry.tick();
+                        self.telemetry.end_span(serve, at, span_outcome::FAILED);
+                        self.telemetry
+                            .metrics_mut()
+                            .incr("remote.serve.failures", 1);
+                        return Err(e);
+                    }
+                };
                 let ServerSession::Established(channel, _) =
                     self.sessions.get_mut(from).expect("session checked above")
                 else {
                     unreachable!("session type checked above");
                 };
-                Ok((MSG_REPLY, channel.seal(&reply)))
+                let record = match ctx {
+                    Some(ctx) => {
+                        // The reply continues the caller's trace, with
+                        // the serve span as its causal parent.
+                        let reply_ctx = TraceContext {
+                            trace_id: ctx.trace_id,
+                            parent: serve,
+                        };
+                        channel.seal_traced(reply_ctx, &reply)
+                    }
+                    None => channel.seal(&reply),
+                };
+                let at = self.telemetry.tick();
+                self.telemetry
+                    .instant("channel.seal", "channel", at, span_outcome::OK);
+                let at = self.telemetry.tick();
+                self.telemetry.end_span(serve, at, span_outcome::OK);
+                self.telemetry.metrics_mut().incr("remote.requests", 1);
+                Ok((MSG_REPLY, record))
             }
             other => Err(CoreError::Substrate(format!("unexpected frame {other}"))),
         }
@@ -236,6 +350,13 @@ pub struct RemoteClient {
     attest_component: Option<String>,
     state: ClientSession,
     rng: Drbg,
+    telemetry: Telemetry,
+    /// One open session-root span; connects and requests nest under it
+    /// so the whole client lifetime is a single causal tree.
+    session_span: SpanId,
+    connect_span: Option<SpanId>,
+    /// In-flight request: its span and the context it propagated.
+    request: Option<(SpanId, TraceContext)>,
 }
 
 impl std::fmt::Debug for RemoteClient {
@@ -256,6 +377,9 @@ impl RemoteClient {
     ) -> RemoteClient {
         net.register(addr.clone());
         let rng = Drbg::from_seed(&[b"lateral.remote.client.", addr.0.as_bytes()].concat());
+        let mut telemetry = Telemetry::new();
+        let at = telemetry.tick();
+        let session_span = telemetry.begin_span(&format!("remote {server}"), "remote", at);
         RemoteClient {
             addr,
             server,
@@ -264,7 +388,29 @@ impl RemoteClient {
             attest_component: attest_component.map(|s| s.to_string()),
             state: ClientSession::Idle,
             rng,
+            telemetry,
+            session_span,
+            connect_span: None,
+            request: None,
         }
+    }
+
+    /// The client's telemetry: one session-root span with `connect`
+    /// (attestation verification attached) and `request`
+    /// (seal/open attached) child spans, plus remote-layer metrics.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The client's telemetry, writable.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// The always-open session-root span every connect and request
+    /// nests under.
+    pub fn session_span(&self) -> SpanId {
+        self.session_span
     }
 
     /// Installs a revocation list into the client's channel policy —
@@ -296,6 +442,13 @@ impl RemoteClient {
     ///
     /// Network registration failures.
     pub fn start(&mut self, net: &mut Network) -> Result<(), CoreError> {
+        if let Some(old) = self.connect_span.take() {
+            // A previous connect attempt never completed.
+            let at = self.telemetry.tick();
+            self.telemetry.end_span(old, at, span_outcome::FAILED);
+        }
+        let at = self.telemetry.tick();
+        self.connect_span = Some(self.telemetry.begin_span("connect", "remote", at));
         let (state, hello) = ClientHandshake::start(self.identity.clone(), &mut self.rng);
         self.state = ClientSession::HelloSent(state);
         net.send(
@@ -333,6 +486,11 @@ impl RemoteClient {
             std::mem::replace(&mut self.state, ClientSession::Idle),
         ) {
             (MSG_SERVER_HELLO, ClientSession::HelloSent(state)) => {
+                // `finish` verifies the server's channel binding and —
+                // under an attesting policy — its attestation evidence,
+                // so the verification lands in the connect span's tree.
+                let at = self.telemetry.tick();
+                let verify = self.telemetry.begin_span("attest.verify", "remote", at);
                 let policy = std::mem::take(&mut self.policy);
                 let result = state.finish(body, &policy, |transcript| {
                     match (&self.attest_component, assembly) {
@@ -341,8 +499,21 @@ impl RemoteClient {
                     }
                 });
                 self.policy = policy;
-                let (channel, finish, info) =
-                    result.map_err(|e| CoreError::Substrate(format!("handshake: {e}")))?;
+                let at = self.telemetry.tick();
+                let (channel, finish, info) = match result {
+                    Ok(parts) => {
+                        self.telemetry.end_span(verify, at, span_outcome::OK);
+                        parts
+                    }
+                    Err(e) => {
+                        self.telemetry.end_span(verify, at, span_outcome::FAILED);
+                        if let Some(c) = self.connect_span.take() {
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(c, at, span_outcome::FAILED);
+                        }
+                        return Err(CoreError::Substrate(format!("handshake: {e}")));
+                    }
+                };
                 self.state = ClientSession::FinishSent(Box::new(channel), info);
                 net.send(
                     &self.addr.clone(),
@@ -354,12 +525,23 @@ impl RemoteClient {
             }
             (MSG_REPLY, ClientSession::FinishSent(channel, info)) if body == b"connected" => {
                 self.state = ClientSession::Established(channel, info);
+                if let Some(c) = self.connect_span.take() {
+                    let at = self.telemetry.tick();
+                    self.telemetry.end_span(c, at, span_outcome::OK);
+                }
+                self.telemetry.metrics_mut().incr("remote.connects", 1);
                 Ok(true)
             }
-            (MSG_ERROR, _) => Err(CoreError::Substrate(format!(
-                "server error: {}",
-                String::from_utf8_lossy(body)
-            ))),
+            (MSG_ERROR, _) => {
+                if let Some(c) = self.connect_span.take() {
+                    let at = self.telemetry.tick();
+                    self.telemetry.end_span(c, at, span_outcome::FAILED);
+                }
+                Err(CoreError::Substrate(format!(
+                    "server error: {}",
+                    String::from_utf8_lossy(body)
+                )))
+            }
             (k, state) => {
                 self.state = state;
                 Err(CoreError::Substrate(format!("unexpected frame {k}")))
@@ -376,7 +558,21 @@ impl RemoteClient {
         let ClientSession::Established(channel, _) = &mut self.state else {
             return Err(CoreError::Substrate("not connected".into()));
         };
-        let record = channel.seal(payload);
+        if let Some((old, _)) = self.request.take() {
+            // The previous request's reply never arrived.
+            let at = self.telemetry.tick();
+            self.telemetry.end_span(old, at, span_outcome::FAILED);
+        }
+        let at = self.telemetry.tick();
+        let span = self.telemetry.begin_span("request", "remote", at);
+        let ctx = self.telemetry.context().expect("request span is open");
+        let at = self.telemetry.tick();
+        let seal_span = self.telemetry.begin_span("channel.seal", "channel", at);
+        let record = channel.seal_traced(ctx, payload);
+        let at = self.telemetry.tick();
+        self.telemetry.end_span(seal_span, at, span_outcome::OK);
+        self.request = Some((span, ctx));
+        self.telemetry.metrics_mut().incr("remote.requests", 1);
         net.send(
             &self.addr.clone(),
             &self.server.clone(),
@@ -403,15 +599,50 @@ impl RemoteClient {
                 let ClientSession::Established(channel, _) = &mut self.state else {
                     return Err(CoreError::Substrate("not connected".into()));
                 };
-                channel
-                    .open(body)
-                    .map(Some)
-                    .map_err(|e| CoreError::Substrate(format!("record: {e}")))
+                let at = self.telemetry.tick();
+                let open_span = self.telemetry.begin_span("channel.open", "channel", at);
+                let opened = channel.open_traced(body);
+                let at = self.telemetry.tick();
+                match opened {
+                    Ok((ctx, payload)) => {
+                        self.telemetry.end_span(open_span, at, span_outcome::OK);
+                        if let Some((span, sent)) = self.request.take() {
+                            let echoed = ctx.trace_id == sent.trace_id;
+                            let outcome = if echoed {
+                                span_outcome::OK
+                            } else {
+                                span_outcome::FAILED
+                            };
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(span, at, outcome);
+                            if !echoed {
+                                return Err(CoreError::Substrate(
+                                    "reply landed in a foreign trace".into(),
+                                ));
+                            }
+                        }
+                        Ok(Some(payload))
+                    }
+                    Err(e) => {
+                        self.telemetry.end_span(open_span, at, span_outcome::FAILED);
+                        if let Some((span, _)) = self.request.take() {
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(span, at, span_outcome::FAILED);
+                        }
+                        Err(CoreError::Substrate(format!("record: {e}")))
+                    }
+                }
             }
-            MSG_ERROR => Err(CoreError::Substrate(format!(
-                "server error: {}",
-                String::from_utf8_lossy(body)
-            ))),
+            MSG_ERROR => {
+                if let Some((span, _)) = self.request.take() {
+                    let at = self.telemetry.tick();
+                    self.telemetry.end_span(span, at, span_outcome::FAILED);
+                }
+                Err(CoreError::Substrate(format!(
+                    "server error: {}",
+                    String::from_utf8_lossy(body)
+                )))
+            }
             k => Err(CoreError::Substrate(format!("unexpected frame {k}"))),
         }
     }
@@ -494,6 +725,59 @@ mod tests {
             client_policy: ChannelPolicy::open(),
             attest: false,
         }
+    }
+
+    #[test]
+    fn remote_call_lands_in_the_callers_trace_with_sub_spans() {
+        let mut net = Network::new("remote-trace");
+        let mut server_asm = assembly(vec![ComponentManifest::new("counter")]);
+        let mut server = RemoteServer::bind(&mut net, Addr::new("svc"), export("counter"));
+        let mut client = RemoteClient::new(
+            &mut net,
+            Addr::new("client"),
+            Addr::new("svc"),
+            SigningKey::from_seed(b"c"),
+            ChannelPolicy::open(),
+            None,
+        );
+        establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap();
+        call(&mut net, &mut client, &mut server, &mut server_asm, b"x").unwrap();
+
+        let t = client.telemetry();
+        let span = |name: &str| {
+            t.spans()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("client recorded a '{name}' span"))
+                .clone()
+        };
+        let root = client.session_span();
+        let root_trace = t.open_spans().find(|s| s.id == root).unwrap().trace_id;
+        // connect (with attestation verification attached) and the
+        // request (with seal/open attached) are children of the session
+        // root — one connected tree.
+        let connect = span("connect");
+        assert_eq!(connect.parent, root);
+        assert_eq!(span("attest.verify").parent, connect.id);
+        let request = span("request");
+        assert_eq!(request.parent, root);
+        assert_eq!(span("channel.seal").parent, request.id);
+        assert_eq!(span("channel.open").parent, request.id);
+        assert!(t.spans().all(|s| s.trace_id == root_trace));
+        // The server's serve span adopted the propagated context: same
+        // trace id, parented on the client's request span.
+        let serve = server
+            .telemetry()
+            .spans()
+            .find(|s| s.name == "serve counter")
+            .expect("server recorded the serve span")
+            .clone();
+        assert_eq!(serve.trace_id, root_trace);
+        assert_eq!(serve.parent, request.id);
+        assert_eq!(serve.outcome, span_outcome::OK);
+        // And the rendered client tree nests request → seal/open.
+        let tree = client.telemetry().render_tree();
+        assert!(tree.contains("remote svc [remote]"));
+        assert!(tree.contains("\n    channel.seal [channel]"));
     }
 
     #[test]

@@ -315,6 +315,43 @@ impl Supervisor {
     /// new measurement becomes the baseline; a revoked or uncertified
     /// digest refuses the restart outright.
     fn try_restart(&mut self, name: &str) -> Result<(), CoreError> {
+        // The whole recovery cycle — rebuild, respawn, re-measure,
+        // re-attest, re-grant — is one `respawn` span on the
+        // component's substrate, so the spawn and grant spans the cycle
+        // triggers nest under it causally.
+        let span = self.assembly.placement(name).ok().and_then(|p| {
+            let sub = self.assembly.substrate_mut(p.substrate);
+            let at = sub.now();
+            sub.telemetry_mut_ref().map(|t| {
+                (
+                    p.substrate,
+                    at,
+                    t.begin_span(&format!("respawn {name}"), "supervisor", at),
+                )
+            })
+        });
+        let result = self.restart_cycle(name);
+        if let Some((idx, started, span)) = span {
+            let sub = self.assembly.substrate_mut(idx);
+            let at = sub.now();
+            let outcome = if result.is_ok() {
+                lateral_telemetry::outcome::OK
+            } else {
+                lateral_telemetry::outcome::FAILED
+            };
+            if let Some(t) = sub.telemetry_mut_ref() {
+                t.end_span(span, at, outcome);
+                let metrics = t.metrics_mut();
+                if result.is_ok() {
+                    metrics.incr("supervisor.restarts", 1);
+                }
+                metrics.observe("supervisor.respawn.ticks", at.saturating_sub(started));
+            }
+        }
+        result
+    }
+
+    fn restart_cycle(&mut self, name: &str) -> Result<(), CoreError> {
         let mut cm = self
             .app
             .component(name)

@@ -27,6 +27,7 @@ use lateral_crypto::Digest;
 use lateral_substrate::attest::{AttestationEvidence, TrustPolicy, VerifiedIdentity};
 use lateral_substrate::substrate::Substrate;
 use lateral_substrate::DomainId;
+use lateral_telemetry::TraceContext;
 
 use crate::wire::{put_field, Reader};
 use crate::NetError;
@@ -240,6 +241,38 @@ impl SecureChannel {
             })?;
         self.recv_seq += 1;
         Ok(plain)
+    }
+
+    /// Seals the next outgoing record with a [`TraceContext`] riding
+    /// *inside* the sealed payload, so trace propagation is
+    /// confidentiality- and integrity-protected along with the data —
+    /// an on-path adversary can neither read nor splice causal links.
+    pub fn seal_traced(&mut self, ctx: TraceContext, plaintext: &[u8]) -> Vec<u8> {
+        let mut body = Vec::with_capacity(plaintext.len() + 32);
+        put_field(&mut body, &ctx.encode());
+        put_field(&mut body, plaintext);
+        self.seal(&body)
+    }
+
+    /// Opens a record sealed by [`SecureChannel::seal_traced`],
+    /// returning the propagated context and the payload. The embedded
+    /// context codec is strict: a record whose context field is
+    /// malformed is rejected whole, exactly like a forged record.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::RecordRejected`] for corrupted, replayed, reordered,
+    /// or foreign records; [`NetError::Decode`] when the sealed body is
+    /// not a well-formed (context, payload) pair.
+    pub fn open_traced(&mut self, record: &[u8]) -> Result<(TraceContext, Vec<u8>), NetError> {
+        let body = self.open(record)?;
+        let mut r = Reader::new(&body);
+        let ctx_field = r.field()?;
+        let ctx = TraceContext::decode(ctx_field)
+            .map_err(|_| NetError::Decode("malformed trace context in sealed record".into()))?;
+        let payload = r.field()?.to_vec();
+        r.finish()?;
+        Ok((ctx, payload))
     }
 
     /// Seals an outgoing record with an **explicit** sequence number
@@ -669,6 +702,25 @@ mod tests {
         assert_eq!(s.open(&rec).unwrap(), b"GET INBOX");
         let reply = s.seal(b"42 messages");
         assert_eq!(c.open(&reply).unwrap(), b"42 messages");
+    }
+
+    #[test]
+    fn traced_records_carry_the_context_and_reject_malformed_ones() {
+        use lateral_telemetry::SpanId;
+        let (mut c, mut s, _, _) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent: SpanId(21),
+        };
+        let rec = c.seal_traced(ctx, b"metered reading");
+        let (got, payload) = s.open_traced(&rec).unwrap();
+        assert_eq!(got, ctx);
+        assert_eq!(payload, b"metered reading");
+        // A plain record is not a traced record: the strict inner codec
+        // rejects it instead of misreading payload bytes as a context.
+        let plain = c.seal(b"untagged");
+        assert!(s.open_traced(&plain).is_err());
     }
 
     #[test]

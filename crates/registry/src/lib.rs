@@ -37,6 +37,7 @@ use std::fmt;
 
 use lateral_crypto::sign::VerifyingKey;
 use lateral_crypto::Digest;
+use lateral_telemetry::MetricsRegistry;
 
 pub use manifest::{ChannelSpec, Endorsement, ManifestDraft, SignedManifest};
 pub use pipeline::{CertificationReport, PassResult, PassVerdict, PASS_SET_VERSION};
@@ -142,6 +143,29 @@ impl RegistryStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// An owned copy of the counters as they stand now — the value to
+    /// keep when the registry will keep serving (later operations would
+    /// show through a borrow).
+    #[must_use]
+    pub fn snapshot(&self) -> RegistryStats {
+        self.clone()
+    }
+}
+
+impl fmt::Display for RegistryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "published={} hits={} misses={} resolves={} refusals={} revocations={}",
+            self.published,
+            self.cache_hits,
+            self.cache_misses,
+            self.resolves,
+            self.refusals,
+            self.revocations
+        )
     }
 }
 
@@ -251,7 +275,7 @@ pub struct Registry {
     by_name: BTreeMap<String, Digest>,
     verdicts: BTreeMap<(Digest, u32), CertificationReport>,
     revoked: BTreeMap<Digest, String>,
-    stats: RegistryStats,
+    metrics: MetricsRegistry,
     trace: VecDeque<TraceEvent>,
     next_seq: u64,
 }
@@ -281,7 +305,7 @@ impl Registry {
             by_name: BTreeMap::new(),
             verdicts: BTreeMap::new(),
             revoked: BTreeMap::new(),
-            stats: RegistryStats::default(),
+            metrics: MetricsRegistry::new(),
             trace: VecDeque::new(),
             next_seq: 0,
         }
@@ -340,7 +364,7 @@ impl Registry {
                 manifest,
             },
         );
-        self.stats.published += 1;
+        self.metrics.incr("registry.published", 1);
         self.record(TraceOp::Publish, digest, 0);
         Ok(digest)
     }
@@ -361,13 +385,13 @@ impl Registry {
         let key = (digest, PASS_SET_VERSION);
         if let Some(report) = self.verdicts.get(&key) {
             let report = report.clone();
-            self.stats.cache_hits += 1;
+            self.metrics.incr("registry.cache_hits", 1);
             self.record(TraceOp::CertifyHit, digest, u64::from(report.certified));
             return Ok(report);
         }
         let report = pipeline::run_pipeline(&entry.manifest, &self.roots, &self.substrate_classes);
         self.verdicts.insert(key, report.clone());
-        self.stats.cache_misses += 1;
+        self.metrics.incr("registry.cache_misses", 1);
         self.record(TraceOp::CertifyRun, digest, u64::from(report.certified));
         Ok(report)
     }
@@ -389,7 +413,7 @@ impl Registry {
             return Ok(());
         }
         self.revoked.insert(digest, reason.to_string());
-        self.stats.revocations += 1;
+        self.metrics.incr("registry.revocations", 1);
         self.record(TraceOp::Revoke, digest, 0);
         Ok(())
     }
@@ -414,7 +438,7 @@ impl Registry {
     /// [`RegistryError::Revoked`].
     pub fn resolve(&mut self, component: &str) -> Result<ResolvedImage, RegistryError> {
         let Some(digest) = self.by_name.get(component).copied() else {
-            self.stats.refusals += 1;
+            self.metrics.incr("registry.refusals", 1);
             self.record(TraceOp::ResolveRefused, Digest::ZERO, refusal::UNKNOWN);
             return Err(RegistryError::NotFound(format!("component '{component}'")));
         };
@@ -428,12 +452,12 @@ impl Registry {
     /// Same as [`Registry::resolve`].
     pub fn resolve_digest(&mut self, digest: Digest) -> Result<ResolvedImage, RegistryError> {
         if let Some(reason) = self.revoked.get(&digest).cloned() {
-            self.stats.refusals += 1;
+            self.metrics.incr("registry.refusals", 1);
             self.record(TraceOp::ResolveRefused, digest, refusal::REVOKED);
             return Err(RegistryError::Revoked { digest, reason });
         }
         if !self.images.contains_key(&digest) {
-            self.stats.refusals += 1;
+            self.metrics.incr("registry.refusals", 1);
             self.record(TraceOp::ResolveRefused, digest, refusal::UNKNOWN);
             return Err(RegistryError::NotFound(format!(
                 "digest {}",
@@ -444,7 +468,7 @@ impl Registry {
         if !report.certified {
             let (pass, reason) = report.first_failure().expect("uncertified has a failure");
             let (pass, reason) = (pass.to_string(), reason.to_string());
-            self.stats.refusals += 1;
+            self.metrics.incr("registry.refusals", 1);
             self.record(TraceOp::ResolveRefused, digest, refusal::UNCERTIFIED);
             return Err(RegistryError::Uncertified {
                 digest,
@@ -459,14 +483,29 @@ impl Registry {
             image: entry.image.clone(),
             publisher: entry.manifest.publisher,
         };
-        self.stats.resolves += 1;
+        self.metrics.incr("registry.resolves", 1);
         self.record(TraceOp::ResolveOk, digest, 0);
         Ok(resolved)
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters, rebuilt from the unified metrics registry
+    /// (the single source of truth since the telemetry layer landed).
     pub fn stats(&self) -> RegistryStats {
-        self.stats.clone()
+        RegistryStats {
+            published: self.metrics.counter("registry.published"),
+            cache_hits: self.metrics.counter("registry.cache_hits"),
+            cache_misses: self.metrics.counter("registry.cache_misses"),
+            resolves: self.metrics.counter("registry.resolves"),
+            refusals: self.metrics.counter("registry.refusals"),
+            revocations: self.metrics.counter("registry.revocations"),
+        }
+    }
+
+    /// The unified metrics registry behind [`Registry::stats`] —
+    /// experiments aggregate it with the fabric's collector for a
+    /// node-wide metrics table.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The trace ring, oldest first.

@@ -26,6 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use lateral_crypto::Digest;
+use lateral_telemetry::{outcome as span_outcome, Telemetry};
 
 use crate::attest::AttestationEvidence;
 use crate::cap::{Badge, CapTable, ChannelCap};
@@ -269,6 +270,37 @@ impl FabricStats {
     pub fn total_reentrancy_faults(&self) -> u64 {
         self.domains.values().map(|c| c.reentrancy_faults).sum()
     }
+
+    /// An owned copy of the counters as they stand now — the value to
+    /// keep when the fabric will keep running (a borrowed `&FabricStats`
+    /// would observe later traffic).
+    #[must_use]
+    pub fn snapshot(&self) -> FabricStats {
+        self.clone()
+    }
+}
+
+impl std::fmt::Display for FabricStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "invocations={} bytes={} denials={} reentrancy={}",
+            self.total_invocations(),
+            self.total_bytes(),
+            self.total_denials(),
+            self.total_reentrancy_faults()
+        )?;
+        for (kind, c) in &self.crossings {
+            writeln!(
+                f,
+                "crossing {:12} count={} bytes={}",
+                kind.name(),
+                c.count,
+                c.bytes
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// The per-substrate fabric state: the domain table (the single copy),
@@ -282,6 +314,7 @@ pub struct Fabric {
     stats: FabricStats,
     faults: FaultPlan,
     crashed: BTreeSet<DomainId>,
+    telemetry: Telemetry,
 }
 
 impl Default for Fabric {
@@ -317,6 +350,7 @@ impl Fabric {
             stats: FabricStats::default(),
             faults: FaultPlan::new(),
             crashed: BTreeSet::new(),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -334,6 +368,19 @@ impl Fabric {
     /// The aggregate counters.
     pub fn stats(&self) -> &FabricStats {
         &self.stats
+    }
+
+    /// The causal telemetry collector: every engine operation lands as
+    /// a span here, and higher layers (composer, supervisor) open their
+    /// enclosing spans on the same collector so one flow is one tree.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The telemetry collector, writable — for opening enclosing spans
+    /// and reading/merging metrics.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// The retained trace events, oldest first.
@@ -430,6 +477,7 @@ impl Fabric {
 
     fn note_denial(&mut self, caller: DomainId) {
         self.stats.domains.entry(caller).or_default().denials += 1;
+        self.telemetry.metrics_mut().incr("fabric.denials", 1);
     }
 
     fn note_reentrancy(&mut self, caller: DomainId) {
@@ -438,10 +486,21 @@ impl Fabric {
             .entry(caller)
             .or_default()
             .reentrancy_faults += 1;
+        self.telemetry.metrics_mut().incr("fabric.reentrancy", 1);
     }
 
     fn record(&mut self, event: TraceEvent, slot: u32, reply_bytes: u64) {
         let moved = event.bytes + reply_bytes;
+        {
+            let metrics = self.telemetry.metrics_mut();
+            metrics.incr("fabric.invocations", 1);
+            metrics.incr("fabric.bytes", moved);
+            metrics.incr(&format!("crossing.{}", event.crossing.name()), 1);
+            metrics.observe(
+                &format!("crossing.{}.cost", event.crossing.name()),
+                event.cost,
+            );
+        }
         {
             let d = self.stats.domains.entry(event.caller).or_default();
             d.invocations += 1;
@@ -593,6 +652,7 @@ pub fn spawn<B: BackendPolicy>(
     component: Box<dyn Component>,
     kind: DomainKind,
 ) -> Result<DomainId, SubstrateError> {
+    let span_name = format!("spawn {}", spec.name);
     let measurement = spec.measurement();
     let id = backend.fabric_mut().table_mut().insert(DomainRecord {
         spec,
@@ -631,6 +691,9 @@ pub fn spawn<B: BackendPolicy>(
             outcome: TraceOutcome::Injected,
         };
         fabric.record_fault(event);
+        fabric
+            .telemetry
+            .instant(&span_name, "fabric", at, span_outcome::INJECTED);
         let _ = fabric.table_mut().remove(id);
         backend.unplace(id);
         backend.fabric_mut().forget_domain(id);
@@ -638,16 +701,43 @@ pub fn spawn<B: BackendPolicy>(
             "injected fault: fail-stop on spawn".into(),
         ));
     }
-    let mut comp = backend.fabric_mut().table_mut().take_component(id)?;
+    let at = backend.now();
+    let span = backend
+        .fabric_mut()
+        .telemetry
+        .begin_span(&span_name, "fabric", at);
+    let mut comp = match backend.fabric_mut().table_mut().take_component(id) {
+        Ok(c) => c,
+        Err(e) => {
+            let at = backend.now();
+            backend
+                .fabric_mut()
+                .telemetry
+                .end_span(span, at, span_outcome::FAILED);
+            return Err(e);
+        }
+    };
     let result = {
         let mut ctx = CallCtx::new(backend as &mut dyn Substrate, id, measurement);
         comp.on_start(&mut ctx)
     };
     backend.fabric_mut().table_mut().put_component(id, comp);
     match result {
-        Ok(()) => Ok(id),
+        Ok(()) => {
+            let at = backend.now();
+            backend
+                .fabric_mut()
+                .telemetry
+                .end_span(span, at, span_outcome::OK);
+            Ok(id)
+        }
         Err(e) => {
             destroy(backend, id)?;
+            let at = backend.now();
+            backend
+                .fabric_mut()
+                .telemetry
+                .end_span(span, at, span_outcome::FAILED);
             Err(SubstrateError::ComponentFailure(e.0))
         }
     }
@@ -663,11 +753,16 @@ pub fn spawn<B: BackendPolicy>(
 ///
 /// [`SubstrateError::NoSuchDomain`].
 pub fn destroy<B: BackendPolicy>(backend: &mut B, id: DomainId) -> Result<(), SubstrateError> {
+    let name = backend.fabric().table().get(id)?.spec.name.clone();
     backend.fabric_mut().table_mut().remove(id)?;
     backend.unplace(id);
+    let at = backend.now();
     let fabric = backend.fabric_mut();
     fabric.forget_domain(id);
     fabric.clear_crashed(id);
+    fabric
+        .telemetry
+        .instant(&format!("destroy {name}"), "fabric", at, span_outcome::OK);
     Ok(())
 }
 
@@ -682,11 +777,12 @@ pub fn grant_channel<B: BackendPolicy>(
     to: DomainId,
     badge: Badge,
 ) -> Result<ChannelCap, SubstrateError> {
-    {
+    let span_name = {
         let table = backend.fabric().table();
-        table.get(to)?;
-        table.get(from)?;
-    }
+        let to_name = &table.get(to)?.spec.name;
+        let from_name = &table.get(from)?.spec.name;
+        format!("grant {from_name}->{to_name}")
+    };
     if backend.fabric_mut().fault_fires(to, FaultKind::DenyGrant) {
         let at = backend.now();
         let fabric = backend.fabric_mut();
@@ -703,10 +799,18 @@ pub fn grant_channel<B: BackendPolicy>(
             outcome: TraceOutcome::Injected,
         };
         fabric.record_fault(event);
+        fabric
+            .telemetry
+            .instant(&span_name, "fabric", at, span_outcome::INJECTED);
         return Err(SubstrateError::AccessDenied(
             "injected fault: channel grant denied".into(),
         ));
     }
+    let at = backend.now();
+    backend
+        .fabric_mut()
+        .telemetry
+        .instant(&span_name, "fabric", at, span_outcome::OK);
     let rec = backend.fabric_mut().table_mut().get_mut(from)?;
     Ok(rec.caps.install(from, to, badge))
 }
@@ -751,6 +855,13 @@ pub fn invoke<B: BackendPolicy>(
         }
     };
     let target = entry.target;
+    let span_name = {
+        let table = backend.fabric().table();
+        match table.get(target) {
+            Ok(rec) => format!("invoke {}", rec.spec.name),
+            Err(_) => format!("invoke domain{}", target.0),
+        }
+    };
     // Fail-stop window: calls into an already-crashed domain fail fast
     // and land in the trace — E10 counts these as lost invocations.
     if backend.fabric().is_crashed(target) {
@@ -769,6 +880,9 @@ pub fn invoke<B: BackendPolicy>(
             outcome: TraceOutcome::Crashed,
         };
         fabric.record_fault(event);
+        fabric
+            .telemetry
+            .instant(&span_name, "fabric", at, span_outcome::CRASHED);
         return Err(SubstrateError::DomainCrashed(target));
     }
     // Scheduled crash: this dispatch attempt is the Nth — the component
@@ -789,11 +903,19 @@ pub fn invoke<B: BackendPolicy>(
             outcome: TraceOutcome::Injected,
         };
         fabric.record_fault(event);
+        fabric
+            .telemetry
+            .instant(&span_name, "fabric", at, span_outcome::INJECTED);
         return Err(SubstrateError::DomainCrashed(target));
     }
     if let Err(e) = backend.begin_invoke(caller, target) {
         if matches!(e, SubstrateError::Reentrancy(_)) {
-            backend.fabric_mut().note_reentrancy(caller);
+            let at = backend.now();
+            let fabric = backend.fabric_mut();
+            fabric.note_reentrancy(caller);
+            fabric
+                .telemetry
+                .instant(&span_name, "fabric", at, span_outcome::REENTRANCY);
         }
         return Err(e);
     }
@@ -807,6 +929,10 @@ pub fn invoke<B: BackendPolicy>(
     let cost = backend.crossing_cost(crossing, data.len());
     backend.advance_clock(cost);
     let at = backend.now();
+    let span = backend
+        .fabric_mut()
+        .telemetry
+        .begin_span(&span_name, "fabric", at);
     let result = run_component(backend, target, entry.badge, data);
     backend.end_invoke(caller, target);
     let (outcome, reply_bytes) = match &result {
@@ -817,6 +943,11 @@ pub fn invoke<B: BackendPolicy>(
         }
         Err(_) => (TraceOutcome::Failed, 0),
     };
+    let span_end = backend.now();
+    backend
+        .fabric_mut()
+        .telemetry
+        .end_span(span, span_end, outcome.code());
     let fabric = backend.fabric_mut();
     let event = TraceEvent {
         seq: fabric.next_seq(),
@@ -893,8 +1024,15 @@ pub fn seal<B: BackendPolicy>(
     domain: DomainId,
     data: &[u8],
 ) -> Result<Vec<u8>, SubstrateError> {
-    let m = backend.fabric().table().get(domain)?.measurement;
+    let rec = backend.fabric().table().get(domain)?;
+    let m = rec.measurement;
+    let span_name = format!("seal {}", rec.spec.name);
     let mut blob = backend.seal_blob(domain, &m, data)?;
+    let at = backend.now();
+    backend
+        .fabric_mut()
+        .telemetry
+        .instant(&span_name, "fabric", at, span_outcome::OK);
     if backend
         .fabric_mut()
         .fault_fires(domain, FaultKind::CorruptSeal)
@@ -932,8 +1070,21 @@ pub fn unseal<B: BackendPolicy>(
     domain: DomainId,
     sealed: &[u8],
 ) -> Result<Vec<u8>, SubstrateError> {
-    let m = backend.fabric().table().get(domain)?.measurement;
-    backend.unseal_blob(domain, &m, sealed)
+    let rec = backend.fabric().table().get(domain)?;
+    let m = rec.measurement;
+    let span_name = format!("unseal {}", rec.spec.name);
+    let result = backend.unseal_blob(domain, &m, sealed);
+    let at = backend.now();
+    let outcome = if result.is_ok() {
+        span_outcome::OK
+    } else {
+        span_outcome::FAILED
+    };
+    backend
+        .fabric_mut()
+        .telemetry
+        .instant(&span_name, "fabric", at, outcome);
+    result
 }
 
 /// Engine: assembles attestation evidence for `domain`.
@@ -946,6 +1097,10 @@ pub fn attest<B: BackendPolicy>(
     domain: DomainId,
     report_data: &[u8],
 ) -> Result<AttestationEvidence, SubstrateError> {
+    // No span here: whether evidence assembly succeeds is a *backend
+    // capability* (software cannot attest, SGX can), and fabric spans
+    // must stay backend-invariant. Attestation shows up causally in the
+    // remote layer's `attest.verify` / `attest.evidence` spans instead.
     let m = backend.fabric().table().get(domain)?.measurement;
     backend.attest_evidence(domain, m, report_data)
 }

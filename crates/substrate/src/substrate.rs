@@ -249,6 +249,21 @@ pub trait Substrate {
     fn fabric_mut_ref(&mut self) -> Option<&mut crate::fabric::Fabric> {
         None
     }
+
+    /// The backend's causal telemetry collector — spans for every
+    /// engine operation plus the unified metrics registry. Defaults to
+    /// delegating through [`Substrate::fabric_ref`], so fabric-routed
+    /// backends get it for free.
+    fn telemetry_ref(&self) -> Option<&lateral_telemetry::Telemetry> {
+        self.fabric_ref().map(|f| f.telemetry())
+    }
+
+    /// Mutable telemetry access — how the composer, supervisor, and
+    /// experiments open enclosing spans on a backend's collector
+    /// through the object-safe interface.
+    fn telemetry_mut_ref(&mut self) -> Option<&mut lateral_telemetry::Telemetry> {
+        self.fabric_mut_ref().map(|f| f.telemetry_mut())
+    }
 }
 
 /// The services a component sees while executing. A thin, POLA-scoped

@@ -173,9 +173,10 @@ pub mod parity {
     use crate::cap::Badge;
     use crate::substrate::{DomainSpec, Substrate};
     use crate::SubstrateError;
+    use lateral_telemetry::{outcome, SpanId};
 
     /// Runs the full parity battery: reentrancy, revoke-then-invoke,
-    /// badge demultiplexing, and seal-to-identity.
+    /// badge demultiplexing, seal-to-identity, and trace propagation.
     ///
     /// # Panics
     ///
@@ -186,6 +187,7 @@ pub mod parity {
         assert_revoke_then_invoke_fails(sub);
         assert_badge_demultiplexing(sub);
         assert_seal_to_identity(sub);
+        assert_trace_propagation(sub);
     }
 
     /// A component that calls back into its own domain mid-handler must
@@ -302,6 +304,69 @@ pub mod parity {
         );
         sub.destroy(a).unwrap();
         sub.destroy(b).unwrap();
+    }
+
+    /// One scenario is one connected span tree: every fabric event
+    /// recorded while an experiment-level root span is open shares the
+    /// root's trace id and links back to it through parent edges, on
+    /// every backend identically.
+    pub fn assert_trace_propagation(sub: &mut dyn Substrate) {
+        let name = sub.profile().name.clone();
+        let at = sub.now();
+        let tel = sub
+            .telemetry_mut_ref()
+            .unwrap_or_else(|| panic!("[{name}] backend must expose fabric telemetry"));
+        let root = tel.begin_span("parity-trace", "experiment", at);
+        let trace = tel.context().expect("root span is open").trace_id;
+        let svc = sub
+            .spawn(DomainSpec::named("parity-traced-svc"), Box::new(Echo))
+            .unwrap();
+        let client = sub
+            .spawn(DomainSpec::named("parity-traced-client"), Box::new(Echo))
+            .unwrap();
+        let cap = sub.grant_channel(client, svc, Badge(7)).unwrap();
+        assert_eq!(sub.invoke(client, &cap, b"one").unwrap(), b"one");
+        assert_eq!(sub.invoke(client, &cap, b"two").unwrap(), b"two");
+        sub.destroy(client).unwrap();
+        sub.destroy(svc).unwrap();
+        let at = sub.now();
+        let tel = sub.telemetry_mut_ref().unwrap();
+        tel.end_span(root, at, outcome::OK);
+
+        let spans: Vec<_> = tel
+            .spans()
+            .filter(|s| s.trace_id == trace)
+            .cloned()
+            .collect();
+        // root + 2 spawns + grant + 2 invokes + 2 destroys
+        assert_eq!(
+            spans.len(),
+            8,
+            "[{name}] the scenario records exactly its own events"
+        );
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id.0).collect();
+        for s in &spans {
+            if s.id == root {
+                assert_eq!(s.parent, SpanId::NONE, "[{name}] root has no parent");
+            } else {
+                assert!(
+                    ids.contains(&s.parent.0),
+                    "[{name}] span '{}' must link into the trace",
+                    s.name
+                );
+            }
+        }
+        for event in [
+            "spawn parity-traced-svc",
+            "grant parity-traced-client->parity-traced-svc",
+            "invoke parity-traced-svc",
+            "destroy parity-traced-client",
+        ] {
+            assert!(
+                spans.iter().any(|s| s.name == event && s.parent == root),
+                "[{name}] '{event}' must be a child of the scenario root"
+            );
+        }
     }
 
     /// Regression for the destroy/respawn hole: a capability granted

@@ -1,0 +1,842 @@
+//! Unified causal telemetry: deterministic spans, cross-channel trace
+//! propagation, and a metrics registry.
+//!
+//! Every layer of the reproduction already keeps some private trace —
+//! the fabric's crossing ring, the registry's operation log, the
+//! supervisor's restart counters — but none of them can answer the
+//! question the paper's trust story actually raises: *which* composed
+//! invocation caused *that* remote attestation check? This crate is the
+//! shared answer:
+//!
+//! * **Causal spans** ([`Span`], [`Telemetry`]) — intervals on the
+//!   deterministic logical clock with explicit parent/child links, so a
+//!   `compose → grant → invoke → seal → respawn` flow is one tree. Span
+//!   and trace ids are allocated from per-[`Telemetry`] counters (never
+//!   wall time, never randomness), so two runs of the same scenario
+//!   produce byte-identical trees.
+//! * **Trace propagation** ([`TraceContext`]) — an 18-byte strict codec
+//!   that rides inside sealed channel records, so the serving side of a
+//!   remote call adopts the caller's trace instead of starting a
+//!   disconnected one. Decoding is all-or-nothing: wrong length, wrong
+//!   magic, wrong version, or a zero trace id are rejected, never
+//!   half-accepted.
+//! * **Metrics registry** ([`MetricsRegistry`]) — named counters and
+//!   fixed-bucket logical-tick histograms ([`Histogram`]) replacing the
+//!   scattered per-layer counters with one registry the old accessors
+//!   are rebuilt from.
+//! * **Deterministic exporter** — fixed-width renderers
+//!   ([`Telemetry::render_tree`], [`MetricsRegistry::render`]) and
+//!   canonical digests ([`Telemetry::tree_digest`]). The tree digest
+//!   covers only *shape* — depth, layer, name, outcome — and excludes
+//!   timestamps and crossing costs, so it is invariant across backends
+//!   whose crossings cost differently (E12 asserts exactly this).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use lateral_crypto::Digest;
+
+/// Spans retained in the closed-span ring before the oldest is dropped.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// Errors from the telemetry layer (today: only codec rejection).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TelemetryError {
+    /// A [`TraceContext`] wire blob was malformed and was rejected
+    /// whole.
+    Codec,
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Codec => write!(f, "malformed trace-context encoding"),
+        }
+    }
+}
+
+impl Error for TelemetryError {}
+
+/// Identifies one span within its [`Telemetry`]. Zero means "no span"
+/// (a root's parent); real ids are allocated from 1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span (a trace root's parent).
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// The propagated slice of a trace: which trace, and which span in it
+/// the next piece of work should hang under. This is what crosses
+/// channel and machine boundaries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceContext {
+    /// The trace being continued (allocated from 1; 0 never appears on
+    /// the wire).
+    pub trace_id: u64,
+    /// The span the receiver's work is causally under.
+    pub parent: SpanId,
+}
+
+/// First byte of every encoded [`TraceContext`].
+const CTX_MAGIC: u8 = 0xC7;
+/// Codec version; bump on any layout change.
+const CTX_VERSION: u8 = 0x01;
+/// Exact encoded length: magic, version, trace id, parent span id.
+pub const CTX_ENCODED_LEN: usize = 18;
+
+impl TraceContext {
+    /// Encodes to the fixed 18-byte wire form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CTX_ENCODED_LEN);
+        out.push(CTX_MAGIC);
+        out.push(CTX_VERSION);
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.parent.0.to_le_bytes());
+        out
+    }
+
+    /// Decodes the strict wire form. All-or-nothing: any length, magic,
+    /// or version mismatch — or a zero trace id, which no encoder emits
+    /// — rejects the whole blob.
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::Codec`] on any malformation.
+    pub fn decode(data: &[u8]) -> Result<TraceContext, TelemetryError> {
+        if data.len() != CTX_ENCODED_LEN || data[0] != CTX_MAGIC || data[1] != CTX_VERSION {
+            return Err(TelemetryError::Codec);
+        }
+        let trace_id = u64::from_le_bytes(data[2..10].try_into().expect("length checked"));
+        let parent = u64::from_le_bytes(data[10..18].try_into().expect("length checked"));
+        if trace_id == 0 {
+            return Err(TelemetryError::Codec);
+        }
+        Ok(TraceContext {
+            trace_id,
+            parent: SpanId(parent),
+        })
+    }
+}
+
+/// Span outcome codes. These mirror the fabric's `TraceOutcome` codes
+/// 0–4 so fabric events map straight through; the codes are append-only
+/// and never renumbered.
+pub mod outcome {
+    /// Completed normally.
+    pub const OK: u8 = 0;
+    /// Refused: the target domain was already mid-invocation.
+    pub const REENTRANCY: u8 = 1;
+    /// The operation itself failed.
+    pub const FAILED: u8 = 2;
+    /// A deterministic fault-injection fired.
+    pub const INJECTED: u8 = 3;
+    /// The target domain crashed (or was already crashed).
+    pub const CRASHED: u8 = 4;
+
+    /// Stable display name for an outcome code.
+    #[must_use]
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            OK => "ok",
+            REENTRANCY => "reentrancy",
+            FAILED => "failed",
+            INJECTED => "injected",
+            CRASHED => "crashed",
+            _ => "unknown",
+        }
+    }
+}
+
+/// One interval on the logical clock, linked to its parent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// This span's id (unique within its [`Telemetry`]).
+    pub id: SpanId,
+    /// The trace (tree) this span belongs to.
+    pub trace_id: u64,
+    /// Parent span, or [`SpanId::NONE`] for a trace root. A parent from
+    /// a *remote* telemetry (adopted via [`Telemetry::begin_span_in`])
+    /// does not resolve locally; the span renders as that trace's local
+    /// root.
+    pub parent: SpanId,
+    /// What the span covers, e.g. `invoke meter`.
+    pub name: String,
+    /// Which layer opened it: `fabric`, `channel`, `remote`,
+    /// `supervisor`, `compose`, …
+    pub layer: &'static str,
+    /// Logical-clock tick when the span was opened.
+    pub start: u64,
+    /// Logical-clock tick when the span was closed (≥ `start`).
+    pub end: u64,
+    /// Outcome code (see [`outcome`]).
+    pub outcome: u8,
+}
+
+impl Span {
+    /// Logical ticks the span covered.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Upper bucket bounds for [`Histogram`]; the last bucket is overflow.
+pub const HISTOGRAM_BOUNDS: [u64; 8] = [1, 4, 16, 64, 256, 1024, 4096, 16384];
+
+/// A fixed-bucket histogram of logical-tick values. Buckets are the
+/// powers of four up to 16384 plus one overflow bucket, which covers
+/// everything from a free local call to the most expensive late-launch
+/// crossing.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BOUNDS.len() + 1],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn observe(&mut self, value: u64) {
+        let idx = HISTOGRAM_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(HISTOGRAM_BOUNDS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observed value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket counts, lowest bound first; the final entry is the
+    /// overflow bucket.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} sum={} max={} buckets=[{}]",
+            self.count,
+            self.sum,
+            self.max,
+            self.buckets
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    }
+}
+
+/// Named counters and histograms for one layer or one whole node.
+/// Deterministically ordered (`BTreeMap`), so rendering and digesting
+/// never depend on registration order.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into the named histogram (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The named histogram, if any value was ever observed.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, histograms
+    /// add bucket-wise) — used to aggregate per-substrate registries
+    /// into one node-wide view.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            let mine = self.histograms.entry(name.clone()).or_default();
+            for (m, o) in mine.buckets.iter_mut().zip(hist.buckets.iter()) {
+                *m += o;
+            }
+            mine.count += hist.count;
+            mine.sum += hist.sum;
+            mine.max = mine.max.max(hist.max);
+        }
+    }
+
+    /// Fixed-width text table of every counter and histogram.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:width$}  {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(out, "{name:width$}  {hist}");
+        }
+        out
+    }
+
+    /// Digest over every counter and histogram, in canonical order.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        Digest::of(self.render().as_bytes())
+    }
+
+    /// Digest over the counters selected by `keep` (histograms and the
+    /// rejected counters excluded). E12 uses this to project out the
+    /// backend-specific series — crossing kinds and costs differ per
+    /// substrate — and assert the rest is identical on all six.
+    #[must_use]
+    pub fn digest_filtered(&self, keep: impl Fn(&str) -> bool) -> Digest {
+        let mut canon = String::new();
+        for (name, value) in &self.counters {
+            if keep(name) {
+                let _ = writeln!(canon, "{name}={value}");
+            }
+        }
+        Digest::of(canon.as_bytes())
+    }
+}
+
+/// One layer's (or one node's) span collector plus its metrics.
+///
+/// Spans nest through an explicit stack: [`Telemetry::begin_span`]
+/// opens a child of the innermost open span (or a new trace root when
+/// none is open), and [`Telemetry::end_span`] closes it into the
+/// bounded ring. Holders without a substrate clock (remote endpoints)
+/// can timestamp from the built-in [`Telemetry::tick`] counter.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    capacity: usize,
+    next_span: u64,
+    next_trace: u64,
+    /// Innermost-last stack of open span ids.
+    stack: Vec<SpanId>,
+    open: Vec<Span>,
+    closed: VecDeque<Span>,
+    spans_recorded: u64,
+    ticks: u64,
+    metrics: MetricsRegistry,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A collector with the default span ring capacity.
+    #[must_use]
+    pub fn new() -> Telemetry {
+        Telemetry::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A collector retaining at most `capacity` closed spans.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Telemetry {
+        Telemetry {
+            capacity: capacity.max(1),
+            next_span: 1,
+            next_trace: 1,
+            stack: Vec::new(),
+            open: Vec::new(),
+            closed: VecDeque::new(),
+            spans_recorded: 0,
+            ticks: 0,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Advances and returns the built-in logical tick, for holders that
+    /// have no substrate clock to timestamp from.
+    pub fn tick(&mut self) -> u64 {
+        self.ticks += 1;
+        self.ticks
+    }
+
+    /// Opens a span at tick `at`: a child of the innermost open span,
+    /// or the root of a fresh trace when none is open.
+    pub fn begin_span(&mut self, name: &str, layer: &'static str, at: u64) -> SpanId {
+        let (trace_id, parent) = match self.stack.last() {
+            Some(&top) => (self.trace_of(top), top),
+            None => {
+                let t = self.next_trace;
+                self.next_trace += 1;
+                (t, SpanId::NONE)
+            }
+        };
+        self.push_span(trace_id, parent, name, layer, at)
+    }
+
+    /// Opens a span *inside a propagated trace*: when no span is open,
+    /// the new span adopts `ctx`'s trace and parent, so a remote
+    /// request lands in its caller's tree. When a span is already open,
+    /// local causality wins and this behaves like
+    /// [`Telemetry::begin_span`].
+    pub fn begin_span_in(
+        &mut self,
+        ctx: TraceContext,
+        name: &str,
+        layer: &'static str,
+        at: u64,
+    ) -> SpanId {
+        match self.stack.last() {
+            Some(&top) => {
+                let trace = self.trace_of(top);
+                self.push_span(trace, top, name, layer, at)
+            }
+            None => {
+                // Keep local trace-id allocation clear of the adopted id
+                // so a later local root cannot collide with this trace.
+                self.next_trace = self.next_trace.max(ctx.trace_id + 1);
+                self.push_span(ctx.trace_id, ctx.parent, name, layer, at)
+            }
+        }
+    }
+
+    /// Records an already-finished event as a zero-or-more-tick span
+    /// under the innermost open span, without touching the stack.
+    pub fn instant(&mut self, name: &str, layer: &'static str, at: u64, outcome: u8) -> SpanId {
+        let id = self.begin_span(name, layer, at);
+        self.end_span(id, at, outcome);
+        id
+    }
+
+    /// Closes `id` at tick `at` with `outcome`, moving it into the
+    /// ring. Unknown ids are ignored (the span may have been dropped by
+    /// a full ring of a smaller collector it was forwarded to).
+    pub fn end_span(&mut self, id: SpanId, at: u64, outcome: u8) {
+        let Some(idx) = self.open.iter().position(|s| s.id == id) else {
+            return;
+        };
+        let mut span = self.open.swap_remove(idx);
+        span.end = at.max(span.start);
+        span.outcome = outcome;
+        self.stack.retain(|&s| s != id);
+        if self.closed.len() == self.capacity {
+            self.closed.pop_front();
+        }
+        self.closed.push_back(span);
+    }
+
+    /// The innermost open span, or [`SpanId::NONE`].
+    #[must_use]
+    pub fn current(&self) -> SpanId {
+        self.stack.last().copied().unwrap_or(SpanId::NONE)
+    }
+
+    /// The context to propagate from here: the innermost open span's
+    /// trace and id, or `None` when no span is open.
+    #[must_use]
+    pub fn context(&self) -> Option<TraceContext> {
+        self.stack.last().map(|&top| TraceContext {
+            trace_id: self.trace_of(top),
+            parent: top,
+        })
+    }
+
+    /// Closed spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.closed.iter()
+    }
+
+    /// Spans currently open (in opening order).
+    pub fn open_spans(&self) -> impl Iterator<Item = &Span> {
+        self.open.iter()
+    }
+
+    /// Closed spans currently retained in the ring.
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Spans ever closed, including those the ring has since dropped.
+    #[must_use]
+    pub fn spans_recorded(&self) -> u64 {
+        self.spans_recorded
+    }
+
+    /// This collector's metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// This collector's metrics, writable.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Renders every retained trace as a fixed-width indented tree:
+    /// one line per span, children indented under parents, ordered by
+    /// trace id then span id. Includes timestamps, so this rendering is
+    /// per-backend; the cross-backend-invariant projection is
+    /// [`Telemetry::tree_digest`].
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        self.walk(|depth, span| {
+            let _ = writeln!(
+                out,
+                "{:indent$}{} [{}] {}..{} {}",
+                "",
+                span.name,
+                span.layer,
+                span.start,
+                span.end,
+                outcome::name(span.outcome),
+                indent = depth * 2
+            );
+        });
+        out
+    }
+
+    /// Canonical digest of every retained trace's *shape*: depth,
+    /// layer, name, and outcome per span, in deterministic order —
+    /// timestamps, costs, and crossing kinds excluded, so the digest is
+    /// identical across backends whose crossings differ.
+    #[must_use]
+    pub fn tree_digest(&self) -> Digest {
+        self.digest_spans(None)
+    }
+
+    /// [`Telemetry::tree_digest`] restricted to one trace — the digest
+    /// an experiment asserts about *its* flow, unaffected by whatever
+    /// other traces the same collector retained.
+    #[must_use]
+    pub fn trace_digest(&self, trace_id: u64) -> Digest {
+        self.digest_spans(Some(trace_id))
+    }
+
+    fn digest_spans(&self, trace: Option<u64>) -> Digest {
+        let mut canon = Vec::new();
+        self.walk(|depth, span| {
+            if trace.is_some_and(|t| span.trace_id != t) {
+                return;
+            }
+            canon.push(depth.min(255) as u8);
+            canon.extend_from_slice(span.layer.as_bytes());
+            canon.push(0);
+            canon.extend_from_slice(span.name.as_bytes());
+            canon.push(0);
+            canon.push(span.outcome);
+            canon.push(0x1e);
+        });
+        Digest::of_parts(&[b"lateral.telemetry.tree", &canon])
+    }
+
+    fn trace_of(&self, id: SpanId) -> u64 {
+        self.open
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.trace_id)
+            .unwrap_or(0)
+    }
+
+    fn push_span(
+        &mut self,
+        trace_id: u64,
+        parent: SpanId,
+        name: &str,
+        layer: &'static str,
+        at: u64,
+    ) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.open.push(Span {
+            id,
+            trace_id,
+            parent,
+            name: name.to_string(),
+            layer,
+            start: at,
+            end: at,
+            outcome: outcome::OK,
+        });
+        self.stack.push(id);
+        self.spans_recorded += 1;
+        id
+    }
+
+    /// Depth-first walk over all retained spans (closed, then still
+    /// open), grouped by trace, children in span-id order. Spans whose
+    /// parent is absent (a true root, an adopted remote parent, or a
+    /// parent the ring dropped) anchor at depth 0.
+    fn walk(&self, mut visit: impl FnMut(usize, &Span)) {
+        let all: Vec<&Span> = self.closed.iter().chain(self.open.iter()).collect();
+        let ids: std::collections::BTreeSet<u64> = all.iter().map(|s| s.id.0).collect();
+        let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+        let mut roots: Vec<&Span> = Vec::new();
+        for span in &all {
+            if span.parent != SpanId::NONE && ids.contains(&span.parent.0) {
+                children.entry(span.parent.0).or_default().push(span);
+            } else {
+                roots.push(span);
+            }
+        }
+        roots.sort_by_key(|s| (s.trace_id, s.id));
+        for list in children.values_mut() {
+            list.sort_by_key(|s| s.id);
+        }
+        // Iterative DFS; depth-tagged.
+        let mut stack: Vec<(usize, &Span)> = roots.into_iter().rev().map(|s| (0, s)).collect();
+        while let Some((depth, span)) = stack.pop() {
+            visit(depth, span);
+            if let Some(kids) = children.get(&span.id.0) {
+                for kid in kids.iter().rev() {
+                    stack.push((depth + 1, kid));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_codec_round_trips() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent: SpanId(42),
+        };
+        let wire = ctx.encode();
+        assert_eq!(wire.len(), CTX_ENCODED_LEN);
+        assert_eq!(TraceContext::decode(&wire).unwrap(), ctx);
+    }
+
+    #[test]
+    fn context_codec_rejects_malformed() {
+        let good = TraceContext {
+            trace_id: 9,
+            parent: SpanId(3),
+        }
+        .encode();
+        for cut in 0..good.len() {
+            assert!(TraceContext::decode(&good[..cut]).is_err());
+        }
+        let mut long = good.clone();
+        long.push(0);
+        assert!(TraceContext::decode(&long).is_err());
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 1;
+        assert!(TraceContext::decode(&bad_magic).is_err());
+        let mut bad_version = good.clone();
+        bad_version[1] ^= 1;
+        assert!(TraceContext::decode(&bad_version).is_err());
+        let zero_trace = TraceContext {
+            trace_id: 1,
+            parent: SpanId(0),
+        };
+        let mut wire = zero_trace.encode();
+        wire[2..10].fill(0); // trace_id = 0
+        assert!(TraceContext::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn spans_nest_under_the_innermost_open_span() {
+        let mut t = Telemetry::new();
+        let root = t.begin_span("root", "test", 1);
+        let child = t.begin_span("child", "test", 2);
+        let grandchild = t.begin_span("grand", "test", 3);
+        t.end_span(grandchild, 4, outcome::OK);
+        t.end_span(child, 5, outcome::FAILED);
+        t.end_span(root, 6, outcome::OK);
+        let spans: Vec<&Span> = t.spans().collect();
+        assert_eq!(spans.len(), 3);
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).copied().unwrap();
+        assert_eq!(by_name("root").parent, SpanId::NONE);
+        assert_eq!(by_name("child").parent, by_name("root").id);
+        assert_eq!(by_name("grand").parent, by_name("child").id);
+        assert!(spans.iter().all(|s| s.trace_id == by_name("root").trace_id));
+        assert_eq!(by_name("child").outcome, outcome::FAILED);
+    }
+
+    #[test]
+    fn begin_span_in_adopts_the_propagated_trace() {
+        let mut caller = Telemetry::new();
+        let req = caller.begin_span("request", "remote", 1);
+        let ctx = caller.context().expect("request is open");
+        let mut server = Telemetry::new();
+        let serve = server.begin_span_in(ctx, "serve", "remote", 10);
+        server.end_span(serve, 11, outcome::OK);
+        caller.end_span(req, 2, outcome::OK);
+        let serve_span = server.spans().next().unwrap();
+        assert_eq!(serve_span.trace_id, ctx.trace_id);
+        assert_eq!(serve_span.parent, req);
+        // A later local root must not collide with the adopted trace.
+        let local = server.begin_span("local", "test", 20);
+        let local_trace = server.open_spans().next().unwrap().trace_id;
+        assert!(local_trace > ctx.trace_id);
+        server.end_span(local, 21, outcome::OK);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_everything() {
+        let mut t = Telemetry::with_capacity(4);
+        for i in 0..10 {
+            let id = t.begin_span(&format!("s{i}"), "test", i);
+            t.end_span(id, i, outcome::OK);
+        }
+        assert_eq!(t.span_count(), 4);
+        assert_eq!(t.spans_recorded(), 10);
+        assert_eq!(t.spans().next().unwrap().name, "s6");
+    }
+
+    #[test]
+    fn tree_digest_ignores_timestamps_but_not_shape() {
+        let build = |offset: u64| {
+            let mut t = Telemetry::new();
+            let root = t.begin_span("root", "test", offset);
+            let child = t.begin_span("work", "test", offset + 17);
+            t.end_span(child, offset + 40, outcome::OK);
+            t.end_span(root, offset + 50, outcome::OK);
+            t
+        };
+        assert_eq!(build(0).tree_digest(), build(1000).tree_digest());
+        let mut other = Telemetry::new();
+        let root = other.begin_span("root", "test", 0);
+        let child = other.begin_span("work", "test", 17);
+        other.end_span(child, 40, outcome::FAILED);
+        other.end_span(root, 50, outcome::OK);
+        assert_ne!(build(0).tree_digest(), other.tree_digest());
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let mut t = Telemetry::new();
+        let root = t.begin_span("root", "test", 0);
+        let child = t.begin_span("leaf", "test", 1);
+        t.end_span(child, 2, outcome::OK);
+        t.end_span(root, 3, outcome::OK);
+        let tree = t.render_tree();
+        assert!(tree.contains("root [test] 0..3 ok"));
+        assert!(tree.contains("\n  leaf [test] 1..2 ok"));
+    }
+
+    #[test]
+    fn metrics_counters_histograms_and_filtered_digest() {
+        let mut m = MetricsRegistry::new();
+        m.incr("fabric.invocations", 3);
+        m.incr("crossing.smc", 2);
+        m.observe("crossing.smc.cost", 40);
+        m.observe("crossing.smc.cost", 3000);
+        assert_eq!(m.counter("fabric.invocations"), 3);
+        let hist = m.histogram("crossing.smc.cost").unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.max(), 3000);
+        assert_eq!(hist.sum(), 3040);
+        // The invariant projection sees only the kept counters.
+        let mut other = MetricsRegistry::new();
+        other.incr("fabric.invocations", 3);
+        other.incr("crossing.ipc", 9);
+        other.observe("crossing.ipc.cost", 1);
+        assert_eq!(
+            m.digest_filtered(|name| !name.starts_with("crossing.")),
+            other.digest_filtered(|name| !name.starts_with("crossing.")),
+        );
+        assert_ne!(m.digest(), other.digest());
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.incr("x", 1);
+        a.observe("h", 5);
+        let mut b = MetricsRegistry::new();
+        b.incr("x", 2);
+        b.incr("y", 7);
+        b.observe("h", 2000);
+        a.absorb(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 2000);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_digest_matches() {
+        let mut m = MetricsRegistry::new();
+        m.incr("b", 2);
+        m.incr("a", 1);
+        m.observe("c", 10);
+        let first = m.render();
+        assert_eq!(first, m.render());
+        assert_eq!(m.digest(), Digest::of(first.as_bytes()));
+        // Name-ordered regardless of registration order.
+        assert!(first.find("a ").unwrap() < first.find("b ").unwrap());
+    }
+}

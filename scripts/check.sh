@@ -41,4 +41,21 @@ if ! grep -q "registry-trace digest" "$tmpdir/e11-a.txt"; then
     exit 1
 fi
 
+echo "==> determinism gate: E12 causal-telemetry round twice"
+cargo run --release -q -p lateral-bench --bin repro -- e12 > "$tmpdir/e12-a.txt"
+cargo run --release -q -p lateral-bench --bin repro -- e12 > "$tmpdir/e12-b.txt"
+if ! cmp -s "$tmpdir/e12-a.txt" "$tmpdir/e12-b.txt"; then
+    echo "DETERMINISM VIOLATION: two identical E12 runs diverged:" >&2
+    diff "$tmpdir/e12-a.txt" "$tmpdir/e12-b.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q "telemetry digest" "$tmpdir/e12-a.txt"; then
+    echo "E12 output is missing its telemetry digests" >&2
+    exit 1
+fi
+if grep -q "backend-invariant: NO" "$tmpdir/e12-a.txt"; then
+    echo "E12 telemetry digests diverged across backends" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -50,6 +50,7 @@ pub use lateral_registry as registry;
 pub use lateral_sep as sep;
 pub use lateral_sgx as sgx;
 pub use lateral_substrate as substrate;
+pub use lateral_telemetry as telemetry;
 pub use lateral_tpm as tpm;
 pub use lateral_trustzone as trustzone;
 pub use lateral_vpfs as vpfs;

@@ -197,6 +197,56 @@ fn attack_report_decoder_never_panics_or_silently_accepts() {
 }
 
 #[test]
+fn trace_context_decoder_never_panics_or_silently_accepts() {
+    use lateral::telemetry::{SpanId, TraceContext, CTX_ENCODED_LEN};
+    let mut rng = Drbg::from_seed(b"fuzz trace context");
+    for _ in 0..CASES {
+        let junk = bytes(&mut rng, 2 * CTX_ENCODED_LEN);
+        // Arbitrary bytes either fail cleanly or decode to a context
+        // that re-encodes to a decodable, equal value — never a panic,
+        // never a half-parsed accept. (A context travels inside sealed
+        // channel records, but the codec itself must hold this bar
+        // unauthenticated.)
+        if let Ok(ctx) = TraceContext::decode(&junk) {
+            assert_eq!(
+                TraceContext::decode(&ctx.encode()).unwrap(),
+                ctx,
+                "accepted input must round-trip consistently"
+            );
+        }
+    }
+    let valid = TraceContext {
+        trace_id: 0xE12_F00D,
+        parent: SpanId(42),
+    }
+    .encode();
+    assert_eq!(valid.len(), CTX_ENCODED_LEN);
+    // Truncations of a valid encoding must be rejected, not misread.
+    for cut in 0..valid.len() {
+        assert!(
+            TraceContext::decode(&valid[..cut]).is_err(),
+            "truncation at {cut} must be rejected"
+        );
+    }
+    // Trailing garbage is rejected too — the codec is all-or-nothing.
+    let mut padded = valid.clone();
+    padded.push(0);
+    assert!(TraceContext::decode(&padded).is_err());
+    // Byte-level mutations must never panic; flips in the magic,
+    // version, or the trace-id's zero-guard are rejected outright.
+    let mut rng = Drbg::from_seed(b"fuzz trace context bytes");
+    for _ in 0..CASES {
+        let mut mutated = valid.clone();
+        let idx = rng.gen_range(mutated.len() as u64) as usize;
+        mutated[idx] ^= (1 + rng.gen_range(255)) as u8;
+        if let Ok(ctx) = TraceContext::decode(&mutated) {
+            assert_ne!(ctx.trace_id, 0, "a zero trace id must never decode");
+            assert_eq!(TraceContext::decode(&ctx.encode()).unwrap(), ctx);
+        }
+    }
+}
+
+#[test]
 fn manifest_parser_never_panics_or_silently_accepts() {
     use lateral::core::manifest::AppManifest;
     let mut rng = Drbg::from_seed(b"fuzz manifest");
