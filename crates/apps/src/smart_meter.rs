@@ -580,6 +580,19 @@ impl SmartMeterWorld {
         }
     }
 
+    fn meter_call_batch(&mut self, payloads: &[&[u8]]) -> Result<Vec<Vec<u8>>, String> {
+        let (env, cap) = (self.meter_env, self.meter_cap);
+        match &mut self.trustzone {
+            Some(tz) => tz
+                .invoke_batch(env, &cap, payloads)
+                .map_err(|e| e.to_string()),
+            None => self
+                .kernel
+                .invoke_batch(env, &cap, payloads)
+                .map_err(|e| e.to_string()),
+        }
+    }
+
     fn utility_call(&mut self, data: &[u8]) -> Result<Vec<u8>, String> {
         let (env, cap) = (self.frontend_env, self.frontend_cap);
         self.utility
@@ -702,6 +715,39 @@ impl SmartMeterWorld {
             Ok(ack) => BillingOutcome::Billed(String::from_utf8_lossy(&ack).into_owned()),
             Err(e) => BillingOutcome::Refused(format!("meter: {e}")),
         }
+    }
+
+    /// Sends `n` further readings over the session established by a
+    /// completed [`SmartMeterWorld::billing_round`], using the batched
+    /// invocation path on the meter side: one `send-reading:` batch
+    /// produces all sealed records (one capability check, one span),
+    /// each record still crosses the adversarial network and is
+    /// processed by the utility individually, and one final `recv:`
+    /// batch consumes every acknowledgment. Returns the acks in order.
+    ///
+    /// # Errors
+    ///
+    /// The first failing step's error, as a message.
+    pub fn batched_readings(&mut self, n: usize) -> Result<Vec<String>, String> {
+        let requests: Vec<&[u8]> = (0..n).map(|_| b"send-reading:".as_slice()).collect();
+        let records = self.meter_call_batch(&requests)?;
+        let mut ack_requests = Vec::with_capacity(records.len());
+        for record in &records {
+            let wire = self
+                .ship_to_utility(record)
+                .ok_or_else(|| "reading lost".to_string())?;
+            let ack = self.utility_call(&[b"process:".as_slice(), &wire].concat())?;
+            let ack_wire = self
+                .ship_to_meter(&ack)
+                .ok_or_else(|| "ack lost".to_string())?;
+            ack_requests.push([b"recv:".as_slice(), &ack_wire].concat());
+        }
+        let views: Vec<&[u8]> = ack_requests.iter().map(Vec::as_slice).collect();
+        let acks = self.meter_call_batch(&views)?;
+        Ok(acks
+            .into_iter()
+            .map(|a| String::from_utf8_lossy(&a).into_owned())
+            .collect())
     }
 
     /// Compromised Android floods `dest` with `attempts` sends of
@@ -859,6 +905,20 @@ mod tests {
         }
         assert_eq!(world.retained_identified_records(), 0);
         // Subsequent rounds reuse… a new handshake each round also works.
+        assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
+    }
+
+    #[test]
+    fn batched_readings_bill_in_order_after_handshake() {
+        let mut world = SmartMeterWorld::new(WorldConfig::default());
+        assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
+        let acks = world.batched_readings(3).expect("batched readings bill");
+        assert_eq!(acks.len(), 3);
+        for ack in &acks {
+            assert!(ack.starts_with("billed:meter-7:"), "ack: {ack}");
+        }
+        assert_eq!(world.retained_identified_records(), 0);
+        // The session survives the batch: a fresh full round still works.
         assert!(matches!(world.billing_round(), BillingOutcome::Billed(_)));
     }
 

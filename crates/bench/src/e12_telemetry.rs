@@ -263,13 +263,13 @@ pub fn run_remote() -> RemoteTrace {
     let request = client
         .telemetry()
         .spans()
-        .find(|s| s.name == "request")
+        .find(|s| &*s.name == "request")
         .expect("client recorded the request span")
         .clone();
     let serve = server
         .telemetry()
         .spans()
-        .find(|s| s.name == "serve utility")
+        .find(|s| &*s.name == "serve utility")
         .expect("server recorded the serve span")
         .clone();
     RemoteTrace {

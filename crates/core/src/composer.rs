@@ -380,6 +380,40 @@ impl Assembly {
         }
     }
 
+    /// Invokes a declared channel once per payload through the
+    /// substrate's batched path: one capability validation, one backend
+    /// gate, one telemetry span for the whole batch (see
+    /// [`Substrate::invoke_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown channels; otherwise the first
+    /// failing payload's substrate error (later payloads unattempted).
+    pub fn call_channel_batch(
+        &mut self,
+        from: &str,
+        label: &str,
+        payloads: &[&[u8]],
+    ) -> Result<Vec<Vec<u8>>, CoreError> {
+        let key = (from.to_string(), label.to_string());
+        let chref = self
+            .channels
+            .get(&key)
+            .ok_or_else(|| CoreError::NotFound(format!("channel '{from}'.'{label}'")))?;
+        match chref {
+            ChannelRef::Local { substrate, cap } => {
+                let (sub, cap) = (*substrate, *cap);
+                let caller = self.placements[from].domain;
+                Ok(self.substrates[sub].invoke_batch(caller, &cap, payloads)?)
+            }
+            ChannelRef::Bridged { substrate, cap } => {
+                let (sub, cap) = (*substrate, *cap);
+                let env = self.env_domains[sub].expect("bridge env exists");
+                Ok(self.substrates[sub].invoke_batch(env, &cap, payloads)?)
+            }
+        }
+    }
+
     /// Environment invocation of a component with [`ENV_BADGE`].
     ///
     /// # Errors
@@ -635,6 +669,30 @@ mod tests {
         let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
         let r = asm.call_channel("ui", "count", b"").unwrap();
         assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn batched_channel_call_returns_in_order_replies() {
+        let app = AppManifest::new(
+            "demo",
+            vec![
+                ComponentManifest::new("ui").channel("count", "counter", 5),
+                ComponentManifest::new("counter"),
+            ],
+        );
+        let mut asm = compose(&app, pool(), &mut echo_factory).unwrap();
+        let replies = asm
+            .call_channel_batch("ui", "count", &[b"", b"", b""])
+            .unwrap();
+        let counts: Vec<u64> = replies
+            .into_iter()
+            .map(|r| u64::from_le_bytes(r.try_into().unwrap()))
+            .collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+        assert!(matches!(
+            asm.call_channel_batch("ui", "missing", &[b"x"]),
+            Err(CoreError::NotFound(_))
+        ));
     }
 
     #[test]

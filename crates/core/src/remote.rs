@@ -746,7 +746,7 @@ mod tests {
         let t = client.telemetry();
         let span = |name: &str| {
             t.spans()
-                .find(|s| s.name == name)
+                .find(|s| &*s.name == name)
                 .unwrap_or_else(|| panic!("client recorded a '{name}' span"))
                 .clone()
         };
@@ -768,7 +768,7 @@ mod tests {
         let serve = server
             .telemetry()
             .spans()
-            .find(|s| s.name == "serve counter")
+            .find(|s| &*s.name == "serve counter")
             .expect("server recorded the serve span")
             .clone();
         assert_eq!(serve.trace_id, root_trace);

@@ -307,18 +307,23 @@ impl SecureChannel {
         }
         let seq = u64::from_le_bytes(record[..8].try_into().expect("8-byte prefix"));
         let boxed = &record[8..];
-        if seq > self.recv_seq {
-            return Err(NetError::RecordRejected(format!(
-                "sequence gap: expected {}, got {} (record lost)",
-                self.recv_seq, seq
-            )));
-        }
+        // Authenticate before classifying: the sequence prefix is
+        // attacker-writable, so gap-vs-duplicate is only decided for
+        // records the AEAD (keyed by that same claimed sequence) proves
+        // the peer actually sent. Classifying first would let a forged
+        // future-sequence prefix masquerade as a genuine loss signal.
         let plain = self
             .recv
             .open(seq, b"channel.record.numbered", boxed)
             .map_err(|_| {
                 NetError::RecordRejected("numbered record failed to authenticate".into())
             })?;
+        if seq > self.recv_seq {
+            return Err(NetError::RecordRejected(format!(
+                "sequence gap: expected {}, got {} (record lost)",
+                self.recv_seq, seq
+            )));
+        }
         if seq < self.recv_seq {
             // Authentic retransmission of something already delivered.
             return Ok(None);
@@ -1023,6 +1028,39 @@ mod tests {
             s.open_numbered(&second),
             Err(NetError::RecordRejected(_))
         ));
+    }
+
+    #[test]
+    fn numbered_forged_future_prefix_is_a_forgery_not_a_gap() {
+        // Regression: the 8-byte sequence prefix is unauthenticated, so
+        // an on-path attacker can splice a future sequence onto a real
+        // record. That must be reported as an authentication failure —
+        // not as a "sequence gap (record lost)", which would let the
+        // attacker fabricate loss signals and desynchronize recovery
+        // logic — and must leave the receive window untouched.
+        let (mut c, mut s, _, _) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        let record = c.seal_numbered(b"genuine reading");
+        let mut forged = 7u64.to_le_bytes().to_vec();
+        forged.extend_from_slice(&record[8..]);
+        match s.open_numbered(&forged) {
+            Err(NetError::RecordRejected(msg)) => {
+                assert!(
+                    msg.contains("authenticate"),
+                    "forged prefix must fail authentication, got: {msg}"
+                );
+                assert!(
+                    !msg.contains("gap"),
+                    "forged prefix must not be classified as loss: {msg}"
+                );
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // The untampered record still delivers: no state was burned.
+        assert_eq!(
+            s.open_numbered(&record).unwrap().unwrap(),
+            b"genuine reading"
+        );
     }
 
     #[test]

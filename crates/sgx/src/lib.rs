@@ -423,6 +423,15 @@ impl Substrate for Sgx {
         fabric::invoke(self, caller, cap, data)
     }
 
+    fn invoke_batch(
+        &mut self,
+        caller: DomainId,
+        cap: &ChannelCap,
+        payloads: &[&[u8]],
+    ) -> Result<Vec<Vec<u8>>, SubstrateError> {
+        fabric::invoke_batch(self, caller, cap, payloads)
+    }
+
     fn measurement(&self, domain: DomainId) -> Result<Digest, SubstrateError> {
         fabric::measurement(self, domain)
     }

@@ -26,7 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use lateral_crypto::Digest;
-use lateral_telemetry::{outcome as span_outcome, Telemetry};
+use lateral_telemetry::{outcome as span_outcome, CounterId, HistogramId, LabelId, Telemetry};
 
 use crate::attest::AttestationEvidence;
 use crate::cap::{Badge, CapTable, ChannelCap};
@@ -92,6 +92,37 @@ impl CrossingKind {
             CrossingKind::EnclaveTransition => 3,
             CrossingKind::Mailbox => 4,
             CrossingKind::LateLaunch => 5,
+        }
+    }
+
+    /// Number of crossing kinds (sizes the fabric's metric-handle cache).
+    const COUNT: usize = 6;
+
+    /// Static metric key for this kind's crossing counter — the same
+    /// string `format!("crossing.{}", kind.name())` used to build on
+    /// every recorded event, now a compile-time constant the fabric
+    /// interns once.
+    pub fn counter_metric(self) -> &'static str {
+        match self {
+            CrossingKind::Local => "crossing.local",
+            CrossingKind::Ipc => "crossing.ipc",
+            CrossingKind::WorldSwitch => "crossing.smc",
+            CrossingKind::EnclaveTransition => "crossing.enclave",
+            CrossingKind::Mailbox => "crossing.mailbox",
+            CrossingKind::LateLaunch => "crossing.late-launch",
+        }
+    }
+
+    /// Static metric key for this kind's cost histogram
+    /// (`crossing.<name>.cost`).
+    pub fn cost_metric(self) -> &'static str {
+        match self {
+            CrossingKind::Local => "crossing.local.cost",
+            CrossingKind::Ipc => "crossing.ipc.cost",
+            CrossingKind::WorldSwitch => "crossing.smc.cost",
+            CrossingKind::EnclaveTransition => "crossing.enclave.cost",
+            CrossingKind::Mailbox => "crossing.mailbox.cost",
+            CrossingKind::LateLaunch => "crossing.late-launch.cost",
         }
     }
 }
@@ -303,6 +334,49 @@ impl std::fmt::Display for FabricStats {
     }
 }
 
+/// Interned span labels for one domain, precomputed once at spawn so
+/// the per-invocation path never formats a span name. `Copy` — handing
+/// one out does not borrow the fabric.
+#[derive(Clone, Copy, Debug)]
+struct DomainLabels {
+    invoke: LabelId,
+    destroy: LabelId,
+    seal: LabelId,
+    unseal: LabelId,
+}
+
+/// Cached metric handles for the `fabric.*` / `crossing.*` families.
+/// Each is registered on first use (exactly when the old string-keyed
+/// path would have created the row) and reused forever after, so the
+/// steady-state hot path is two `Vec` index bumps instead of two
+/// `format!` allocations plus four map probes.
+#[derive(Clone, Copy, Default, Debug)]
+struct FabricMetricIds {
+    invocations: Option<CounterId>,
+    bytes: Option<CounterId>,
+    denials: Option<CounterId>,
+    reentrancy: Option<CounterId>,
+    crossings: [Option<(CounterId, HistogramId)>; CrossingKind::COUNT],
+}
+
+/// Registers-on-first-use lookup for a cached counter handle. A free
+/// function (not a method) so callers can hold disjoint borrows of the
+/// telemetry and the handle slot.
+fn cached_counter(
+    telemetry: &mut Telemetry,
+    slot: &mut Option<CounterId>,
+    name: &'static str,
+) -> CounterId {
+    match *slot {
+        Some(id) => id,
+        None => {
+            let id = telemetry.metrics_mut().counter_id(name);
+            *slot = Some(id);
+            id
+        }
+    }
+}
+
 /// The per-substrate fabric state: the domain table (the single copy),
 /// the trace ring buffer, and the aggregate counters. Each backend owns
 /// exactly one `Fabric` instead of its own `DomainTable`.
@@ -315,6 +389,13 @@ pub struct Fabric {
     faults: FaultPlan,
     crashed: BTreeSet<DomainId>,
     telemetry: Telemetry,
+    /// Per-domain interned labels, indexed by the dense `DomainId`
+    /// (ids are never reused, so a slot is written at most twice:
+    /// once at spawn, cleared at destroy).
+    domain_labels: Vec<Option<DomainLabels>>,
+    /// Interned `grant {from}->{to}` labels keyed by endpoint pair.
+    grant_labels: BTreeMap<(DomainId, DomainId), LabelId>,
+    metric_ids: FabricMetricIds,
 }
 
 impl Default for Fabric {
@@ -351,6 +432,9 @@ impl Fabric {
             faults: FaultPlan::new(),
             crashed: BTreeSet::new(),
             telemetry: Telemetry::new(),
+            domain_labels: Vec::new(),
+            grant_labels: BTreeMap::new(),
+            metric_ids: FabricMetricIds::default(),
         }
     }
 
@@ -435,11 +519,75 @@ impl Fabric {
     /// reports whether a fault fires now. Returns `false` for ids not
     /// in the table (nothing to match a name against).
     fn fault_fires(&mut self, id: DomainId, kind: FaultKind) -> bool {
+        let Ok(rec) = self.table.get(id) else {
+            return false;
+        };
+        self.faults.observe(&rec.spec.name, kind)
+    }
+
+    /// The interned span labels for `id`, computed (four interns, one
+    /// name clone) the first time a domain is seen and a `Copy` cache
+    /// hit ever after. `None` when the domain is not in the table.
+    fn domain_labels(&mut self, id: DomainId) -> Option<DomainLabels> {
+        let idx = id.0 as usize;
+        if let Some(Some(labels)) = self.domain_labels.get(idx) {
+            return Some(*labels);
+        }
         let name = match self.table.get(id) {
             Ok(rec) => rec.spec.name.clone(),
-            Err(_) => return false,
+            Err(_) => return None,
         };
-        self.faults.observe(&name, kind)
+        let labels = DomainLabels {
+            invoke: self.telemetry.intern(&format!("invoke {name}")),
+            destroy: self.telemetry.intern(&format!("destroy {name}")),
+            seal: self.telemetry.intern(&format!("seal {name}")),
+            unseal: self.telemetry.intern(&format!("unseal {name}")),
+        };
+        if self.domain_labels.len() <= idx {
+            self.domain_labels.resize(idx + 1, None);
+        }
+        self.domain_labels[idx] = Some(labels);
+        Some(labels)
+    }
+
+    /// Drops the cached labels for a destroyed domain so later lookups
+    /// fall back to the missing-domain path (ids are never reused).
+    fn clear_domain_labels(&mut self, id: DomainId) {
+        if let Some(slot) = self.domain_labels.get_mut(id.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// The interned `grant {from}->{to}` label. Endpoints are
+    /// re-validated on every call — in the same `to` then `from` order
+    /// as the original formatting code — so a cached label never masks
+    /// a missing domain.
+    fn grant_label(&mut self, from: DomainId, to: DomainId) -> Result<LabelId, SubstrateError> {
+        let to_name = &self.table.get(to)?.spec.name;
+        if let Some(&label) = self.grant_labels.get(&(from, to)) {
+            self.table.get(from)?;
+            return Ok(label);
+        }
+        let name = format!("grant {}->{}", self.table.get(from)?.spec.name, to_name);
+        let label = self.telemetry.intern(&name);
+        self.grant_labels.insert((from, to), label);
+        Ok(label)
+    }
+
+    /// Cached `(counter, cost histogram)` handles for one crossing
+    /// kind, registered on first use.
+    fn crossing_ids(&mut self, kind: CrossingKind) -> (CounterId, HistogramId) {
+        let idx = kind.code() as usize;
+        if let Some(ids) = self.metric_ids.crossings[idx] {
+            return ids;
+        }
+        let metrics = self.telemetry.metrics_mut();
+        let ids = (
+            metrics.counter_id(kind.counter_metric()),
+            metrics.histogram_id(kind.cost_metric()),
+        );
+        self.metric_ids.crossings[idx] = Some(ids);
+        ids
     }
 
     fn mark_crashed(&mut self, id: DomainId) {
@@ -477,7 +625,12 @@ impl Fabric {
 
     fn note_denial(&mut self, caller: DomainId) {
         self.stats.domains.entry(caller).or_default().denials += 1;
-        self.telemetry.metrics_mut().incr("fabric.denials", 1);
+        let id = cached_counter(
+            &mut self.telemetry,
+            &mut self.metric_ids.denials,
+            "fabric.denials",
+        );
+        self.telemetry.metrics_mut().incr_by_id(id, 1);
     }
 
     fn note_reentrancy(&mut self, caller: DomainId) {
@@ -486,20 +639,33 @@ impl Fabric {
             .entry(caller)
             .or_default()
             .reentrancy_faults += 1;
-        self.telemetry.metrics_mut().incr("fabric.reentrancy", 1);
+        let id = cached_counter(
+            &mut self.telemetry,
+            &mut self.metric_ids.reentrancy,
+            "fabric.reentrancy",
+        );
+        self.telemetry.metrics_mut().incr_by_id(id, 1);
     }
 
     fn record(&mut self, event: TraceEvent, slot: u32, reply_bytes: u64) {
         let moved = event.bytes + reply_bytes;
         {
-            let metrics = self.telemetry.metrics_mut();
-            metrics.incr("fabric.invocations", 1);
-            metrics.incr("fabric.bytes", moved);
-            metrics.incr(&format!("crossing.{}", event.crossing.name()), 1);
-            metrics.observe(
-                &format!("crossing.{}.cost", event.crossing.name()),
-                event.cost,
+            let invocations = cached_counter(
+                &mut self.telemetry,
+                &mut self.metric_ids.invocations,
+                "fabric.invocations",
             );
+            let bytes = cached_counter(
+                &mut self.telemetry,
+                &mut self.metric_ids.bytes,
+                "fabric.bytes",
+            );
+            let (count, cost) = self.crossing_ids(event.crossing);
+            let metrics = self.telemetry.metrics_mut();
+            metrics.incr_by_id(invocations, 1);
+            metrics.incr_by_id(bytes, moved);
+            metrics.incr_by_id(count, 1);
+            metrics.observe_by_id(cost, event.cost);
         }
         {
             let d = self.stats.domains.entry(event.caller).or_default();
@@ -652,7 +818,10 @@ pub fn spawn<B: BackendPolicy>(
     component: Box<dyn Component>,
     kind: DomainKind,
 ) -> Result<DomainId, SubstrateError> {
-    let span_name = format!("spawn {}", spec.name);
+    let spawn_label = backend
+        .fabric_mut()
+        .telemetry
+        .intern(&format!("spawn {}", spec.name));
     let measurement = spec.measurement();
     let id = backend.fabric_mut().table_mut().insert(DomainRecord {
         spec,
@@ -693,7 +862,7 @@ pub fn spawn<B: BackendPolicy>(
         fabric.record_fault(event);
         fabric
             .telemetry
-            .instant(&span_name, "fabric", at, span_outcome::INJECTED);
+            .instant_label(spawn_label, "fabric", at, span_outcome::INJECTED);
         let _ = fabric.table_mut().remove(id);
         backend.unplace(id);
         backend.fabric_mut().forget_domain(id);
@@ -701,11 +870,14 @@ pub fn spawn<B: BackendPolicy>(
             "injected fault: fail-stop on spawn".into(),
         ));
     }
+    // Precompute the domain's invoke/destroy/seal/unseal labels now so
+    // no later hot-path operation ever formats a span name for it.
+    backend.fabric_mut().domain_labels(id);
     let at = backend.now();
     let span = backend
         .fabric_mut()
         .telemetry
-        .begin_span(&span_name, "fabric", at);
+        .begin_span_label(spawn_label, "fabric", at);
     let mut comp = match backend.fabric_mut().table_mut().take_component(id) {
         Ok(c) => c,
         Err(e) => {
@@ -753,16 +925,21 @@ pub fn spawn<B: BackendPolicy>(
 ///
 /// [`SubstrateError::NoSuchDomain`].
 pub fn destroy<B: BackendPolicy>(backend: &mut B, id: DomainId) -> Result<(), SubstrateError> {
-    let name = backend.fabric().table().get(id)?.spec.name.clone();
+    backend.fabric().table().get(id)?;
+    let labels = backend
+        .fabric_mut()
+        .domain_labels(id)
+        .expect("domain exists: just validated");
     backend.fabric_mut().table_mut().remove(id)?;
     backend.unplace(id);
     let at = backend.now();
     let fabric = backend.fabric_mut();
     fabric.forget_domain(id);
     fabric.clear_crashed(id);
+    fabric.clear_domain_labels(id);
     fabric
         .telemetry
-        .instant(&format!("destroy {name}"), "fabric", at, span_outcome::OK);
+        .instant_label(labels.destroy, "fabric", at, span_outcome::OK);
     Ok(())
 }
 
@@ -777,12 +954,7 @@ pub fn grant_channel<B: BackendPolicy>(
     to: DomainId,
     badge: Badge,
 ) -> Result<ChannelCap, SubstrateError> {
-    let span_name = {
-        let table = backend.fabric().table();
-        let to_name = &table.get(to)?.spec.name;
-        let from_name = &table.get(from)?.spec.name;
-        format!("grant {from_name}->{to_name}")
-    };
+    let span_label = backend.fabric_mut().grant_label(from, to)?;
     if backend.fabric_mut().fault_fires(to, FaultKind::DenyGrant) {
         let at = backend.now();
         let fabric = backend.fabric_mut();
@@ -801,7 +973,7 @@ pub fn grant_channel<B: BackendPolicy>(
         fabric.record_fault(event);
         fabric
             .telemetry
-            .instant(&span_name, "fabric", at, span_outcome::INJECTED);
+            .instant_label(span_label, "fabric", at, span_outcome::INJECTED);
         return Err(SubstrateError::AccessDenied(
             "injected fault: channel grant denied".into(),
         ));
@@ -810,7 +982,7 @@ pub fn grant_channel<B: BackendPolicy>(
     backend
         .fabric_mut()
         .telemetry
-        .instant(&span_name, "fabric", at, span_outcome::OK);
+        .instant_label(span_label, "fabric", at, span_outcome::OK);
     let rec = backend.fabric_mut().table_mut().get_mut(from)?;
     Ok(rec.caps.install(from, to, badge))
 }
@@ -855,16 +1027,16 @@ pub fn invoke<B: BackendPolicy>(
         }
     };
     let target = entry.target;
-    let span_name = {
-        let table = backend.fabric().table();
-        match table.get(target) {
-            Ok(rec) => format!("invoke {}", rec.spec.name),
-            Err(_) => format!("invoke domain{}", target.0),
-        }
-    };
+    let span_label = invoke_label(backend, target);
     // Fail-stop window: calls into an already-crashed domain fail fast
     // and land in the trace — E10 counts these as lost invocations.
     if backend.fabric().is_crashed(target) {
+        // The event records the crossing the call *would* have made —
+        // a crashed SGX domain is still behind an enclave boundary —
+        // with zero cost (nothing was dispatched).
+        let crossing = backend
+            .crossing(caller, target)
+            .unwrap_or(CrossingKind::Local);
         let at = backend.now();
         let fabric = backend.fabric_mut();
         fabric.note_denial(caller);
@@ -875,19 +1047,22 @@ pub fn invoke<B: BackendPolicy>(
             callee: target,
             badge: entry.badge,
             bytes: data.len() as u64,
-            crossing: CrossingKind::Local,
+            crossing,
             cost: 0,
             outcome: TraceOutcome::Crashed,
         };
         fabric.record_fault(event);
         fabric
             .telemetry
-            .instant(&span_name, "fabric", at, span_outcome::CRASHED);
+            .instant_label(span_label, "fabric", at, span_outcome::CRASHED);
         return Err(SubstrateError::DomainCrashed(target));
     }
     // Scheduled crash: this dispatch attempt is the Nth — the component
     // never runs, the domain fail-stops until destroyed and respawned.
     if backend.fabric_mut().fault_fires(target, FaultKind::Crash) {
+        let crossing = backend
+            .crossing(caller, target)
+            .unwrap_or(CrossingKind::Local);
         let at = backend.now();
         let fabric = backend.fabric_mut();
         fabric.mark_crashed(target);
@@ -898,14 +1073,14 @@ pub fn invoke<B: BackendPolicy>(
             callee: target,
             badge: entry.badge,
             bytes: data.len() as u64,
-            crossing: CrossingKind::Local,
+            crossing,
             cost: 0,
             outcome: TraceOutcome::Injected,
         };
         fabric.record_fault(event);
         fabric
             .telemetry
-            .instant(&span_name, "fabric", at, span_outcome::INJECTED);
+            .instant_label(span_label, "fabric", at, span_outcome::INJECTED);
         return Err(SubstrateError::DomainCrashed(target));
     }
     if let Err(e) = backend.begin_invoke(caller, target) {
@@ -915,7 +1090,7 @@ pub fn invoke<B: BackendPolicy>(
             fabric.note_reentrancy(caller);
             fabric
                 .telemetry
-                .instant(&span_name, "fabric", at, span_outcome::REENTRANCY);
+                .instant_label(span_label, "fabric", at, span_outcome::REENTRANCY);
         }
         return Err(e);
     }
@@ -932,7 +1107,7 @@ pub fn invoke<B: BackendPolicy>(
     let span = backend
         .fabric_mut()
         .telemetry
-        .begin_span(&span_name, "fabric", at);
+        .begin_span_label(span_label, "fabric", at);
     let result = run_component(backend, target, entry.badge, data);
     backend.end_invoke(caller, target);
     let (outcome, reply_bytes) = match &result {
@@ -962,6 +1137,181 @@ pub fn invoke<B: BackendPolicy>(
     };
     fabric.record(event, cap.slot, reply_bytes);
     result
+}
+
+/// The interned `invoke {name}` label for `target`, falling back to
+/// `invoke domain{N}` when the domain is gone (stale-cap window).
+fn invoke_label<B: BackendPolicy>(backend: &mut B, target: DomainId) -> LabelId {
+    match backend.fabric_mut().domain_labels(target) {
+        Some(labels) => labels.invoke,
+        None => {
+            let name = format!("invoke domain{}", target.0);
+            backend.fabric_mut().telemetry.intern(&name)
+        }
+    }
+}
+
+/// Engine: the batched invocation path. Validates the capability once,
+/// runs the backend gate once, classifies the crossing once, and opens
+/// a *single* span for the whole batch — then dispatches each payload
+/// with exactly the per-payload effects of [`invoke`]: the crossing
+/// cost is charged per payload, every dispatch lands in the trace ring
+/// and counters byte-identically to the loop equivalent, and scheduled
+/// crash faults fire at the same dispatch attempt. On the first error
+/// the batch stops (exactly where a `for` loop over [`invoke`] would
+/// have stopped) and returns it.
+///
+/// The only observable difference from the loop is the span tree: one
+/// `invoke {name}` span instead of N.
+///
+/// # Errors
+///
+/// See [`Substrate::invoke`]; the error is the first failing payload's.
+pub fn invoke_batch<B: BackendPolicy>(
+    backend: &mut B,
+    caller: DomainId,
+    cap: &ChannelCap,
+    payloads: &[&[u8]],
+) -> Result<Vec<Vec<u8>>, SubstrateError> {
+    if payloads.is_empty() {
+        return Ok(Vec::new());
+    }
+    let entry = {
+        let table = backend.fabric().table();
+        let caller_rec = table.get(caller)?;
+        match caller_rec.caps.lookup(caller, cap) {
+            Ok(e) => e,
+            Err(e) => {
+                backend.fabric_mut().note_denial(caller);
+                return Err(e);
+            }
+        }
+    };
+    let target = entry.target;
+    let span_label = invoke_label(backend, target);
+    if backend.fabric().is_crashed(target) {
+        // Identical to the single-invoke fail-stop window: one denial,
+        // one Crashed event for the first payload, fail the batch fast.
+        let crossing = backend
+            .crossing(caller, target)
+            .unwrap_or(CrossingKind::Local);
+        let at = backend.now();
+        let fabric = backend.fabric_mut();
+        fabric.note_denial(caller);
+        let event = TraceEvent {
+            seq: fabric.next_seq(),
+            at,
+            caller,
+            callee: target,
+            badge: entry.badge,
+            bytes: payloads[0].len() as u64,
+            crossing,
+            cost: 0,
+            outcome: TraceOutcome::Crashed,
+        };
+        fabric.record_fault(event);
+        fabric
+            .telemetry
+            .instant_label(span_label, "fabric", at, span_outcome::CRASHED);
+        return Err(SubstrateError::DomainCrashed(target));
+    }
+    if let Err(e) = backend.begin_invoke(caller, target) {
+        if matches!(e, SubstrateError::Reentrancy(_)) {
+            let at = backend.now();
+            let fabric = backend.fabric_mut();
+            fabric.note_reentrancy(caller);
+            fabric
+                .telemetry
+                .instant_label(span_label, "fabric", at, span_outcome::REENTRANCY);
+        }
+        return Err(e);
+    }
+    let crossing = match backend.crossing(caller, target) {
+        Ok(kind) => kind,
+        Err(e) => {
+            backend.end_invoke(caller, target);
+            return Err(e);
+        }
+    };
+    let span_at = backend.now();
+    let span = backend
+        .fabric_mut()
+        .telemetry
+        .begin_span_label(span_label, "fabric", span_at);
+    let mut replies = Vec::with_capacity(payloads.len());
+    let mut batch_err = None;
+    for data in payloads {
+        // Scheduled crash faults advance per dispatch attempt, so the
+        // Nth payload of a batch fires the same fault the Nth loop
+        // iteration would.
+        if backend.fabric_mut().fault_fires(target, FaultKind::Crash) {
+            let at = backend.now();
+            let fabric = backend.fabric_mut();
+            fabric.mark_crashed(target);
+            let event = TraceEvent {
+                seq: fabric.next_seq(),
+                at,
+                caller,
+                callee: target,
+                badge: entry.badge,
+                bytes: data.len() as u64,
+                crossing,
+                cost: 0,
+                outcome: TraceOutcome::Injected,
+            };
+            fabric.record_fault(event);
+            batch_err = Some(SubstrateError::DomainCrashed(target));
+            break;
+        }
+        let cost = backend.crossing_cost(crossing, data.len());
+        backend.advance_clock(cost);
+        let at = backend.now();
+        let result = run_component(backend, target, entry.badge, data);
+        let (outcome, reply_bytes) = match &result {
+            Ok(reply) => (TraceOutcome::Ok, reply.len() as u64),
+            Err(SubstrateError::Reentrancy(_)) => {
+                backend.fabric_mut().note_reentrancy(caller);
+                (TraceOutcome::Reentrancy, 0)
+            }
+            Err(_) => (TraceOutcome::Failed, 0),
+        };
+        let fabric = backend.fabric_mut();
+        let event = TraceEvent {
+            seq: fabric.next_seq(),
+            at,
+            caller,
+            callee: target,
+            badge: entry.badge,
+            bytes: data.len() as u64,
+            crossing,
+            cost,
+            outcome,
+        };
+        fabric.record(event, cap.slot, reply_bytes);
+        match result {
+            Ok(reply) => replies.push(reply),
+            Err(e) => {
+                batch_err = Some(e);
+                break;
+            }
+        }
+    }
+    backend.end_invoke(caller, target);
+    let span_end = backend.now();
+    let code = match &batch_err {
+        None => span_outcome::OK,
+        Some(SubstrateError::DomainCrashed(_)) => span_outcome::INJECTED,
+        Some(SubstrateError::Reentrancy(_)) => span_outcome::REENTRANCY,
+        Some(_) => span_outcome::FAILED,
+    };
+    backend
+        .fabric_mut()
+        .telemetry
+        .end_span(span, span_end, code);
+    match batch_err {
+        Some(e) => Err(e),
+        None => Ok(replies),
+    }
 }
 
 /// Take-out/put-back dispatch of the target component (re-entry shows
@@ -1024,15 +1374,17 @@ pub fn seal<B: BackendPolicy>(
     domain: DomainId,
     data: &[u8],
 ) -> Result<Vec<u8>, SubstrateError> {
-    let rec = backend.fabric().table().get(domain)?;
-    let m = rec.measurement;
-    let span_name = format!("seal {}", rec.spec.name);
+    let m = backend.fabric().table().get(domain)?.measurement;
+    let labels = backend
+        .fabric_mut()
+        .domain_labels(domain)
+        .expect("domain exists: just validated");
     let mut blob = backend.seal_blob(domain, &m, data)?;
     let at = backend.now();
     backend
         .fabric_mut()
         .telemetry
-        .instant(&span_name, "fabric", at, span_outcome::OK);
+        .instant_label(labels.seal, "fabric", at, span_outcome::OK);
     if backend
         .fabric_mut()
         .fault_fires(domain, FaultKind::CorruptSeal)
@@ -1070,9 +1422,11 @@ pub fn unseal<B: BackendPolicy>(
     domain: DomainId,
     sealed: &[u8],
 ) -> Result<Vec<u8>, SubstrateError> {
-    let rec = backend.fabric().table().get(domain)?;
-    let m = rec.measurement;
-    let span_name = format!("unseal {}", rec.spec.name);
+    let m = backend.fabric().table().get(domain)?.measurement;
+    let labels = backend
+        .fabric_mut()
+        .domain_labels(domain)
+        .expect("domain exists: just validated");
     let result = backend.unseal_blob(domain, &m, sealed);
     let at = backend.now();
     let outcome = if result.is_ok() {
@@ -1083,7 +1437,7 @@ pub fn unseal<B: BackendPolicy>(
     backend
         .fabric_mut()
         .telemetry
-        .instant(&span_name, "fabric", at, outcome);
+        .instant_label(labels.unseal, "fabric", at, outcome);
     result
 }
 

@@ -143,6 +143,31 @@ pub trait Substrate {
         data: &[u8],
     ) -> Result<Vec<u8>, SubstrateError>;
 
+    /// Invokes the same channel once per payload, returning the replies
+    /// in order. Semantically a `for` loop over [`Substrate::invoke`]
+    /// (and the default implementation is exactly that), but backends
+    /// built on the fabric engine validate the capability, run the
+    /// invocation gate, and open the telemetry span once for the whole
+    /// batch — the allocation- and validation-free hot path E13
+    /// measures. Trace events and metrics are byte-identical to the
+    /// loop; only the span tree differs (one span instead of N).
+    ///
+    /// # Errors
+    ///
+    /// As [`Substrate::invoke`]; the first failing payload's error, with
+    /// later payloads not attempted.
+    fn invoke_batch(
+        &mut self,
+        caller: DomainId,
+        cap: &ChannelCap,
+        payloads: &[&[u8]],
+    ) -> Result<Vec<Vec<u8>>, SubstrateError> {
+        payloads
+            .iter()
+            .map(|data| self.invoke(caller, cap, data))
+            .collect()
+    }
+
     /// The code identity of a domain.
     ///
     /// # Errors

@@ -363,10 +363,76 @@ pub mod parity {
             "destroy parity-traced-client",
         ] {
             assert!(
-                spans.iter().any(|s| s.name == event && s.parent == root),
+                spans.iter().any(|s| &*s.name == event && s.parent == root),
                 "[{name}] '{event}' must be a child of the scenario root"
             );
         }
+    }
+
+    /// `invoke_batch` parity: driven against two same-seed instances of
+    /// one backend, a batch on one must leave byte-identical trace-ring
+    /// bytes and metrics digests to the equivalent invoke loop on the
+    /// other. The span *tree* is the one sanctioned difference — the
+    /// batch opens a single `invoke` span where the loop opens N — and
+    /// that difference is asserted too, so a regression in either
+    /// direction (batch re-growing per-payload spans, or diverging
+    /// observable state) fails loudly.
+    pub fn assert_batch_matches_loop(looped: &mut dyn Substrate, batched: &mut dyn Substrate) {
+        let name = looped.profile().name.clone();
+        let payloads: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; 3 + i as usize * 17]).collect();
+
+        let setup = |sub: &mut dyn Substrate| {
+            let svc = sub
+                .spawn(DomainSpec::named("batch-parity-svc"), Box::new(Echo))
+                .unwrap();
+            let client = sub
+                .spawn(DomainSpec::named("batch-parity-client"), Box::new(Echo))
+                .unwrap();
+            let cap = sub.grant_channel(client, svc, Badge(7)).unwrap();
+            (client, cap)
+        };
+
+        let (client_a, cap_a) = setup(looped);
+        let loop_replies: Vec<Vec<u8>> = payloads
+            .iter()
+            .map(|p| looped.invoke(client_a, &cap_a, p).unwrap())
+            .collect();
+
+        let (client_b, cap_b) = setup(batched);
+        let views: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let batch_replies = batched.invoke_batch(client_b, &cap_b, &views).unwrap();
+
+        assert_eq!(
+            loop_replies, batch_replies,
+            "[{name}] batch replies must match the loop's"
+        );
+        assert_eq!(
+            looped.fabric_ref().unwrap().trace_bytes(),
+            batched.fabric_ref().unwrap().trace_bytes(),
+            "[{name}] batch trace ring must be byte-identical to the loop's"
+        );
+        assert_eq!(
+            looped.telemetry_ref().unwrap().metrics().digest(),
+            batched.telemetry_ref().unwrap().metrics().digest(),
+            "[{name}] batch metrics digest must match the loop's"
+        );
+        let invoke_spans = |sub: &dyn Substrate| {
+            sub.telemetry_ref()
+                .unwrap()
+                .spans()
+                .filter(|s| &*s.name == "invoke batch-parity-svc")
+                .count()
+        };
+        assert_eq!(
+            invoke_spans(looped),
+            payloads.len(),
+            "[{name}] the loop opens one span per payload"
+        );
+        assert_eq!(
+            invoke_spans(batched),
+            1,
+            "[{name}] the batch opens exactly one span"
+        );
     }
 
     /// Regression for the destroy/respawn hole: a capability granted

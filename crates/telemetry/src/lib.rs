@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use lateral_crypto::Digest;
 
@@ -63,6 +64,24 @@ impl Error for TelemetryError {}
 /// (a root's parent); real ids are allocated from 1.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct SpanId(pub u64);
+
+/// Stable handle to a span name interned in a [`Telemetry`] (see
+/// [`Telemetry::intern`]). Opening a span through a label
+/// ([`Telemetry::begin_span_label`]) reuses the interned string, so the
+/// hot invocation paths never re-format or re-allocate span names.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct LabelId(u32);
+
+/// Stable handle to a counter registered in a [`MetricsRegistry`]
+/// (see [`MetricsRegistry::counter_id`]). Incrementing through the
+/// handle is a plain vector index — no allocation, no map lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CounterId(u32);
+
+/// Stable handle to a histogram registered in a [`MetricsRegistry`]
+/// (see [`MetricsRegistry::histogram_id`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HistogramId(u32);
 
 impl SpanId {
     /// The absent span (a trace root's parent).
@@ -164,8 +183,10 @@ pub struct Span {
     /// does not resolve locally; the span renders as that trace's local
     /// root.
     pub parent: SpanId,
-    /// What the span covers, e.g. `invoke meter`.
-    pub name: String,
+    /// What the span covers, e.g. `invoke meter`. A shared string:
+    /// spans opened through an interned [`LabelId`] all point at the
+    /// same allocation.
+    pub name: Arc<str>,
     /// Which layer opened it: `fabric`, `channel`, `remote`,
     /// `supervisor`, `compose`, …
     pub layer: &'static str,
@@ -257,13 +278,30 @@ impl fmt::Display for Histogram {
 }
 
 /// Named counters and histograms for one layer or one whole node.
-/// Deterministically ordered (`BTreeMap`), so rendering and digesting
-/// never depend on registration order.
-#[derive(Clone, Default, PartialEq, Eq, Debug)]
+///
+/// Values live in registration-order vectors addressed by stable
+/// handles ([`CounterId`], [`HistogramId`]); a `BTreeMap` name index
+/// keeps every read-side surface — iteration, rendering, digesting —
+/// in canonical name order regardless of registration order. Recording
+/// through a handle touches only the vector, so the fabric's
+/// per-invocation counters cost no allocation and no map walk.
+#[derive(Clone, Default, Debug)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+    counter_index: BTreeMap<Arc<str>, u32>,
+    counters: Vec<(Arc<str>, u64)>,
+    histogram_index: BTreeMap<Arc<str>, u32>,
+    histograms: Vec<(Arc<str>, Histogram)>,
 }
+
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &MetricsRegistry) -> bool {
+        // Name-ordered comparison: two registries are equal when they
+        // hold the same values, whatever order registration happened in.
+        self.counters().eq(other.counters()) && self.histograms().eq(other.histograms())
+    }
+}
+
+impl Eq for MetricsRegistry {}
 
 impl MetricsRegistry {
     /// An empty registry.
@@ -272,50 +310,97 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Adds `by` to the named counter (creating it at zero).
-    pub fn incr(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    /// Registers (or finds) the named counter and returns its stable
+    /// handle. Callers on hot paths resolve the handle once and then
+    /// increment through [`MetricsRegistry::incr_by_id`].
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        if let Some(&i) = self.counter_index.get(name) {
+            return CounterId(i);
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let i = u32::try_from(self.counters.len()).expect("counter count fits u32");
+        self.counters.push((arc.clone(), 0));
+        self.counter_index.insert(arc, i);
+        CounterId(i)
     }
 
-    /// Current value of a counter (0 if never incremented).
+    /// Adds `by` to the counter behind `id` — a vector index, no
+    /// allocation.
+    pub fn incr_by_id(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0 as usize].1 += by;
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        let id = self.counter_id(name);
+        self.incr_by_id(id, by);
+    }
+
+    /// Current value of a counter (0 if never registered).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_index
+            .get(name)
+            .map_or(0, |&i| self.counters[i as usize].1)
+    }
+
+    /// Registers (or finds) the named histogram and returns its stable
+    /// handle.
+    pub fn histogram_id(&mut self, name: &str) -> HistogramId {
+        if let Some(&i) = self.histogram_index.get(name) {
+            return HistogramId(i);
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let i = u32::try_from(self.histograms.len()).expect("histogram count fits u32");
+        self.histograms.push((arc.clone(), Histogram::default()));
+        self.histogram_index.insert(arc, i);
+        HistogramId(i)
+    }
+
+    /// Records `value` into the histogram behind `id`.
+    pub fn observe_by_id(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0 as usize].1.observe(value);
     }
 
     /// Records `value` into the named histogram (creating it empty).
     pub fn observe(&mut self, name: &str, value: u64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .observe(value);
+        let id = self.histogram_id(name);
+        self.observe_by_id(id, value);
     }
 
-    /// The named histogram, if any value was ever observed.
+    /// The named histogram, if it was ever registered.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.histogram_index
+            .get(name)
+            .map(|&i| &self.histograms[i as usize].1)
     }
 
     /// All counters, in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counter_index
+            .iter()
+            .map(|(name, &i)| (&**name, self.counters[i as usize].1))
     }
 
     /// All histograms, in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+        self.histogram_index
+            .iter()
+            .map(|(name, &i)| (&**name, &self.histograms[i as usize].1))
     }
 
     /// Merges another registry into this one (counters add, histograms
     /// add bucket-wise) — used to aggregate per-substrate registries
     /// into one node-wide view.
     pub fn absorb(&mut self, other: &MetricsRegistry) {
-        for (name, value) in &other.counters {
-            *self.counters.entry(name.clone()).or_insert(0) += value;
+        for (name, &i) in &other.counter_index {
+            self.incr(name, other.counters[i as usize].1);
         }
-        for (name, hist) in &other.histograms {
-            let mine = self.histograms.entry(name.clone()).or_default();
+        for (name, &i) in &other.histogram_index {
+            let hist = &other.histograms[i as usize].1;
+            let id = self.histogram_id(name);
+            let mine = &mut self.histograms[id.0 as usize].1;
             for (m, o) in mine.buckets.iter_mut().zip(hist.buckets.iter()) {
                 *m += o;
             }
@@ -329,17 +414,17 @@ impl MetricsRegistry {
     #[must_use]
     pub fn render(&self) -> String {
         let width = self
-            .counters
+            .counter_index
             .keys()
-            .chain(self.histograms.keys())
+            .chain(self.histogram_index.keys())
             .map(|k| k.len())
             .max()
             .unwrap_or(0);
         let mut out = String::new();
-        for (name, value) in &self.counters {
+        for (name, value) in self.counters() {
             let _ = writeln!(out, "{name:width$}  {value}");
         }
-        for (name, hist) in &self.histograms {
+        for (name, hist) in self.histograms() {
             let _ = writeln!(out, "{name:width$}  {hist}");
         }
         out
@@ -358,7 +443,7 @@ impl MetricsRegistry {
     #[must_use]
     pub fn digest_filtered(&self, keep: impl Fn(&str) -> bool) -> Digest {
         let mut canon = String::new();
-        for (name, value) in &self.counters {
+        for (name, value) in self.counters() {
             if keep(name) {
                 let _ = writeln!(canon, "{name}={value}");
             }
@@ -386,6 +471,8 @@ pub struct Telemetry {
     spans_recorded: u64,
     ticks: u64,
     metrics: MetricsRegistry,
+    labels: Vec<Arc<str>>,
+    label_index: BTreeMap<Arc<str>, u32>,
 }
 
 impl Default for Telemetry {
@@ -414,7 +501,29 @@ impl Telemetry {
             spans_recorded: 0,
             ticks: 0,
             metrics: MetricsRegistry::new(),
+            labels: Vec::new(),
+            label_index: BTreeMap::new(),
         }
+    }
+
+    /// Interns `name`, returning a stable [`LabelId`]. Interning the
+    /// same string twice returns the same id; the allocation happens
+    /// once, and every span opened through the label shares it.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&i) = self.label_index.get(name) {
+            return LabelId(i);
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let i = u32::try_from(self.labels.len()).expect("label count fits u32");
+        self.labels.push(arc.clone());
+        self.label_index.insert(arc, i);
+        LabelId(i)
+    }
+
+    /// The interned string behind `label`.
+    #[must_use]
+    pub fn label(&self, label: LabelId) -> &str {
+        &self.labels[label.0 as usize]
     }
 
     /// Advances and returns the built-in logical tick, for holders that
@@ -427,6 +536,19 @@ impl Telemetry {
     /// Opens a span at tick `at`: a child of the innermost open span,
     /// or the root of a fresh trace when none is open.
     pub fn begin_span(&mut self, name: &str, layer: &'static str, at: u64) -> SpanId {
+        let name: Arc<str> = Arc::from(name);
+        self.begin_span_arc(name, layer, at)
+    }
+
+    /// [`Telemetry::begin_span`] through an interned label — the
+    /// allocation-free hot path: the span's name is an `Arc` clone of
+    /// the interned string.
+    pub fn begin_span_label(&mut self, label: LabelId, layer: &'static str, at: u64) -> SpanId {
+        let name = Arc::clone(&self.labels[label.0 as usize]);
+        self.begin_span_arc(name, layer, at)
+    }
+
+    fn begin_span_arc(&mut self, name: Arc<str>, layer: &'static str, at: u64) -> SpanId {
         let (trace_id, parent) = match self.stack.last() {
             Some(&top) => (self.trace_of(top), top),
             None => {
@@ -453,13 +575,13 @@ impl Telemetry {
         match self.stack.last() {
             Some(&top) => {
                 let trace = self.trace_of(top);
-                self.push_span(trace, top, name, layer, at)
+                self.push_span(trace, top, Arc::from(name), layer, at)
             }
             None => {
                 // Keep local trace-id allocation clear of the adopted id
                 // so a later local root cannot collide with this trace.
                 self.next_trace = self.next_trace.max(ctx.trace_id + 1);
-                self.push_span(ctx.trace_id, ctx.parent, name, layer, at)
+                self.push_span(ctx.trace_id, ctx.parent, Arc::from(name), layer, at)
             }
         }
     }
@@ -468,6 +590,19 @@ impl Telemetry {
     /// under the innermost open span, without touching the stack.
     pub fn instant(&mut self, name: &str, layer: &'static str, at: u64, outcome: u8) -> SpanId {
         let id = self.begin_span(name, layer, at);
+        self.end_span(id, at, outcome);
+        id
+    }
+
+    /// [`Telemetry::instant`] through an interned label (allocation-free).
+    pub fn instant_label(
+        &mut self,
+        label: LabelId,
+        layer: &'static str,
+        at: u64,
+        outcome: u8,
+    ) -> SpanId {
+        let id = self.begin_span_label(label, layer, at);
         self.end_span(id, at, outcome);
         id
     }
@@ -608,7 +743,7 @@ impl Telemetry {
         &mut self,
         trace_id: u64,
         parent: SpanId,
-        name: &str,
+        name: Arc<str>,
         layer: &'static str,
         at: u64,
     ) -> SpanId {
@@ -618,7 +753,7 @@ impl Telemetry {
             id,
             trace_id,
             parent,
-            name: name.to_string(),
+            name,
             layer,
             start: at,
             end: at,
@@ -716,7 +851,7 @@ mod tests {
         t.end_span(root, 6, outcome::OK);
         let spans: Vec<&Span> = t.spans().collect();
         assert_eq!(spans.len(), 3);
-        let by_name = |n: &str| spans.iter().find(|s| s.name == n).copied().unwrap();
+        let by_name = |n: &str| spans.iter().find(|s| &*s.name == n).copied().unwrap();
         assert_eq!(by_name("root").parent, SpanId::NONE);
         assert_eq!(by_name("child").parent, by_name("root").id);
         assert_eq!(by_name("grand").parent, by_name("child").id);
@@ -752,7 +887,84 @@ mod tests {
         }
         assert_eq!(t.span_count(), 4);
         assert_eq!(t.spans_recorded(), 10);
-        assert_eq!(t.spans().next().unwrap().name, "s6");
+        assert_eq!(&*t.spans().next().unwrap().name, "s6");
+    }
+
+    #[test]
+    fn interned_labels_are_stable_and_shared() {
+        let mut t = Telemetry::new();
+        let a = t.intern("invoke meter");
+        let b = t.intern("invoke meter");
+        let c = t.intern("invoke utility");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.label(a), "invoke meter");
+        // A span opened through the label carries the same shared string
+        // a by-name span would.
+        let s1 = t.begin_span_label(a, "test", 1);
+        t.end_span(s1, 2, outcome::OK);
+        let s2 = t.begin_span("invoke meter", "test", 3);
+        t.end_span(s2, 4, outcome::OK);
+        let names: Vec<&str> = t.spans().map(|s| &*s.name).collect();
+        assert_eq!(names, ["invoke meter", "invoke meter"]);
+        // Same tree shape whichever API opened the span.
+        let build = |by_label: bool| {
+            let mut t = Telemetry::new();
+            let id = if by_label {
+                let l = t.intern("op");
+                t.begin_span_label(l, "test", 5)
+            } else {
+                t.begin_span("op", "test", 5)
+            };
+            t.end_span(id, 6, outcome::OK);
+            t.tree_digest()
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn export_with_evicted_parents_never_dangles() {
+        // Close the parent *before* its child (allowed), then push enough
+        // spans through the cap-2 ring to evict the parent while the child
+        // is still retained. Exporting must not panic, and the orphaned
+        // child must anchor at depth 0 instead of pointing at a span the
+        // ring no longer holds.
+        let mut t = Telemetry::with_capacity(2);
+        let root = t.begin_span("root", "test", 0);
+        let child = t.begin_span("child", "test", 1);
+        t.end_span(root, 2, outcome::OK);
+        for i in 0..3u64 {
+            let filler = t.begin_span("filler", "test", 3 + i);
+            t.end_span(filler, 3 + i, outcome::OK);
+        }
+        t.end_span(child, 9, outcome::OK);
+        let retained_ids: std::collections::BTreeSet<u64> = t.spans().map(|s| s.id.0).collect();
+        assert!(
+            !retained_ids.contains(&root.0),
+            "parent must have been evicted for this test to bite"
+        );
+        let tree = t.render_tree();
+        assert!(tree.contains("child"), "orphan is still exported: {tree}");
+        // Anchored at depth 0: the child's line is not indented.
+        assert!(
+            tree.lines().any(|l| l.starts_with("child")),
+            "orphan must anchor as a root: {tree}"
+        );
+        // Every rendered parent link resolves to a retained span.
+        let mut seen = 0;
+        t.walk(|depth, span| {
+            seen += 1;
+            if depth > 0 {
+                assert!(
+                    retained_ids.contains(&span.parent.0),
+                    "span {:?} rendered under a parent the ring dropped",
+                    span.name
+                );
+            }
+        });
+        assert_eq!(seen, t.span_count());
+        // And the digest is reproducible.
+        assert_eq!(t.tree_digest(), t.tree_digest());
     }
 
     #[test]
@@ -808,6 +1020,43 @@ mod tests {
             other.digest_filtered(|name| !name.starts_with("crossing.")),
         );
         assert_ne!(m.digest(), other.digest());
+    }
+
+    #[test]
+    fn metric_handles_match_by_name_recording() {
+        let mut by_name = MetricsRegistry::new();
+        by_name.incr("fabric.invocations", 2);
+        by_name.observe("crossing.ipc.cost", 120);
+        let mut by_id = MetricsRegistry::new();
+        let c = by_id.counter_id("fabric.invocations");
+        let h = by_id.histogram_id("crossing.ipc.cost");
+        by_id.incr_by_id(c, 1);
+        by_id.incr_by_id(c, 1);
+        by_id.observe_by_id(h, 120);
+        assert_eq!(by_name, by_id);
+        assert_eq!(by_name.render(), by_id.render());
+        assert_eq!(by_name.digest(), by_id.digest());
+        // Re-registering returns the same handle.
+        assert_eq!(c, by_id.counter_id("fabric.invocations"));
+        assert_eq!(h, by_id.histogram_id("crossing.ipc.cost"));
+        // Registration alone creates the series at zero/empty.
+        let mut fresh = MetricsRegistry::new();
+        fresh.counter_id("fabric.denials");
+        assert_eq!(fresh.counter("fabric.denials"), 0);
+        assert!(fresh.render().contains("fabric.denials"));
+    }
+
+    #[test]
+    fn registry_equality_ignores_registration_order() {
+        let mut a = MetricsRegistry::new();
+        a.incr("x", 1);
+        a.incr("y", 2);
+        let mut b = MetricsRegistry::new();
+        b.incr("y", 2);
+        b.incr("x", 1);
+        assert_eq!(a, b);
+        b.incr("x", 1);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -196,6 +196,17 @@ fn stale_cap_into_respawned_domain_rejected_on_all_six() {
 }
 
 #[test]
+fn invoke_batch_matches_invoke_loop_on_all_six() {
+    // Two same-seed instances of each backend: the batch path on one
+    // must leave byte-identical trace bytes and metrics digests to the
+    // equivalent invoke loop on the other — with exactly one invoke
+    // span instead of N as the only sanctioned difference.
+    for (mut looped, mut batched) in all_substrates().into_iter().zip(all_substrates()) {
+        parity::assert_batch_matches_loop(looped.as_mut(), batched.as_mut());
+    }
+}
+
+#[test]
 fn crash_respawn_under_supervision_on_all_six() {
     // The recovery cycle — injected crash, fail-stop window, respawn
     // from the same image, identical re-measurement, stale cap dead,
