@@ -13,6 +13,7 @@ use lateral_crypto::Digest;
 use lateral_hw::machine::MachineBuilder;
 use lateral_microkernel::Microkernel;
 use lateral_sgx::Sgx;
+use lateral_substrate::cap::Badge;
 use lateral_substrate::software::SoftwareSubstrate;
 use lateral_substrate::substrate::{DomainSpec, Substrate};
 use lateral_substrate::testkit::Echo;
@@ -39,7 +40,7 @@ fn invoke_pair(sub: &mut dyn Substrate) -> impl FnMut() + '_ {
     let caller = sub
         .spawn(DomainSpec::named("caller"), Box::new(Echo))
         .expect("spawn caller");
-    let cap = sub.grant_channel(caller, callee, 7).expect("grant");
+    let cap = sub.grant_channel(caller, callee, Badge(7)).expect("grant");
     move || {
         let reply = sub.invoke(caller, &cap, b"ping").expect("invoke");
         black_box(reply);

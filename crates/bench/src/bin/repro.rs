@@ -27,7 +27,20 @@ fn main() -> ExitCode {
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for id in &ids {
-            handles.push(scope.spawn(move || lateral_bench::run(id)));
+            handles.push(scope.spawn(move || {
+                if *id == "e14" {
+                    // E14 also emits the machine-readable benchmark
+                    // record; share one measurement run with the report.
+                    let (report, json) = lateral_bench::e14_scaling::report_and_json();
+                    match std::fs::write("BENCH_E14.json", &json) {
+                        Ok(()) => eprintln!("note: wrote BENCH_E14.json"),
+                        Err(e) => eprintln!("note: could not write BENCH_E14.json: {e}"),
+                    }
+                    Ok(report)
+                } else {
+                    lateral_bench::run(id)
+                }
+            }));
         }
         for (slot, handle) in results.iter_mut().zip(handles) {
             *slot = Some(handle.join().expect("experiment thread panicked"));

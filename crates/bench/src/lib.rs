@@ -20,6 +20,7 @@
 //! | E11 | §III-B — registry admission and revocation | [`e11_registry`] |
 //! | E12 | §II-D/III-C — unified causal telemetry | [`e12_telemetry`] |
 //! | E13 | §III-A — invocation throughput, batched crossings | [`e13_throughput`] |
+//! | E14 | §III-A — shard scaling, cross-shard crossings | [`e14_scaling`] |
 //!
 //! Every experiment is deterministic (seeded DRBGs, logical clocks);
 //! `cargo run -p lateral-bench --bin repro -- all` prints the full set.
@@ -31,6 +32,7 @@ pub mod e10_recovery;
 pub mod e11_registry;
 pub mod e12_telemetry;
 pub mod e13_throughput;
+pub mod e14_scaling;
 pub mod e1_containment;
 pub mod e2_conformance;
 pub mod e3_smart_meter;
@@ -43,8 +45,8 @@ pub mod e9_matrix;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Runs one experiment by id, returning its printed report.
@@ -67,6 +69,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "e11" => Ok(e11_registry::report()),
         "e12" => Ok(e12_telemetry::report()),
         "e13" => Ok(e13_throughput::report()),
+        "e14" => Ok(e14_scaling::report()),
         other => Err(format!(
             "unknown experiment '{other}' (available: {})",
             EXPERIMENTS.join(", ")

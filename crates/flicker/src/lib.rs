@@ -368,6 +368,10 @@ impl Substrate for Flicker {
         self.clock
     }
 
+    fn charge_cycles(&mut self, cycles: u64) {
+        BackendPolicy::advance_clock(self, cycles);
+    }
+
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
         fabric::list_caps(self, domain)
     }

@@ -458,6 +458,10 @@ impl Substrate for Sep {
         self.machine.clock.now()
     }
 
+    fn charge_cycles(&mut self, cycles: u64) {
+        BackendPolicy::advance_clock(self, cycles);
+    }
+
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
         fabric::list_caps(self, domain)
     }

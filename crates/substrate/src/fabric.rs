@@ -69,6 +69,12 @@ pub enum CrossingKind {
     Mailbox,
     /// DRTM late-launch session entry/exit (Flicker).
     LateLaunch,
+    /// Hop between two shard engines of a [`crate::shard::ShardFabric`]:
+    /// a bounded-inbox round trip between per-core fabrics, charged on
+    /// the *caller's* shard clock. The cost is a property of the shard
+    /// runtime, not of the intra-shard isolation mechanism, so it is
+    /// identical on every backend (see [`crate::shard::xshard_cost`]).
+    Shard,
 }
 
 impl CrossingKind {
@@ -81,10 +87,13 @@ impl CrossingKind {
             CrossingKind::EnclaveTransition => "enclave",
             CrossingKind::Mailbox => "mailbox",
             CrossingKind::LateLaunch => "late-launch",
+            CrossingKind::Shard => "xshard",
         }
     }
 
     fn code(self) -> u8 {
+        // Codes are append-only so the 50-byte TraceEvent encoding
+        // stays stable across PRs.
         match self {
             CrossingKind::Local => 0,
             CrossingKind::Ipc => 1,
@@ -92,11 +101,12 @@ impl CrossingKind {
             CrossingKind::EnclaveTransition => 3,
             CrossingKind::Mailbox => 4,
             CrossingKind::LateLaunch => 5,
+            CrossingKind::Shard => 6,
         }
     }
 
     /// Number of crossing kinds (sizes the fabric's metric-handle cache).
-    const COUNT: usize = 6;
+    const COUNT: usize = 7;
 
     /// Static metric key for this kind's crossing counter — the same
     /// string `format!("crossing.{}", kind.name())` used to build on
@@ -110,6 +120,7 @@ impl CrossingKind {
             CrossingKind::EnclaveTransition => "crossing.enclave",
             CrossingKind::Mailbox => "crossing.mailbox",
             CrossingKind::LateLaunch => "crossing.late-launch",
+            CrossingKind::Shard => "crossing.xshard",
         }
     }
 
@@ -123,6 +134,7 @@ impl CrossingKind {
             CrossingKind::EnclaveTransition => "crossing.enclave.cost",
             CrossingKind::Mailbox => "crossing.mailbox.cost",
             CrossingKind::LateLaunch => "crossing.late-launch.cost",
+            CrossingKind::Shard => "crossing.xshard.cost",
         }
     }
 }
@@ -154,9 +166,11 @@ pub enum TraceOutcome {
 }
 
 impl TraceOutcome {
-    // Codes are append-only (new variants take the next number) so the
-    // 50-byte TraceEvent encoding stays stable across PRs.
-    fn code(self) -> u8 {
+    /// Stable wire code of this outcome, the last byte of the 50-byte
+    /// [`TraceEvent`] encoding. Codes are append-only (new variants
+    /// take the next number) so the encoding stays stable across PRs;
+    /// the shard merge digest folds them in directly.
+    pub fn code(self) -> u8 {
         match self {
             TraceOutcome::Ok => 0,
             TraceOutcome::Reentrancy => 1,
@@ -601,7 +615,9 @@ impl Fabric {
     /// Appends a fault-path event ([`TraceOutcome::Injected`] or
     /// [`TraceOutcome::Crashed`]) to the ring without attributing
     /// invocation/channel counters — injections are not dispatches.
-    fn record_fault(&mut self, event: TraceEvent) {
+    /// Public so the shard layer ([`crate::shard`]) can record its
+    /// caller-side cross-shard fault events with engine semantics.
+    pub fn record_fault(&mut self, event: TraceEvent) {
         if self.trace.len() == self.trace_capacity {
             self.trace.pop_front();
         }
@@ -623,7 +639,11 @@ impl Fabric {
         }
     }
 
-    fn note_denial(&mut self, caller: DomainId) {
+    /// Counts a refused capability presentation against `caller` (the
+    /// `fabric.denials` metric plus the per-domain counter). Public so
+    /// the shard layer can attribute cross-shard denials to the caller's
+    /// shard exactly as the engine attributes intra-shard ones.
+    pub fn note_denial(&mut self, caller: DomainId) {
         self.stats.domains.entry(caller).or_default().denials += 1;
         let id = cached_counter(
             &mut self.telemetry,
@@ -633,7 +653,9 @@ impl Fabric {
         self.telemetry.metrics_mut().incr_by_id(id, 1);
     }
 
-    fn note_reentrancy(&mut self, caller: DomainId) {
+    /// Counts a refused synchronous re-entry against `caller` — the
+    /// shard layer's cross-shard twin of the engine's own accounting.
+    pub fn note_reentrancy(&mut self, caller: DomainId) {
         self.stats
             .domains
             .entry(caller)
@@ -647,7 +669,13 @@ impl Fabric {
         self.telemetry.metrics_mut().incr_by_id(id, 1);
     }
 
-    fn record(&mut self, event: TraceEvent, slot: u32, reply_bytes: u64) {
+    /// Appends a completed-dispatch event to the ring and attributes
+    /// every counter the engine keeps: the `fabric.*` metric family,
+    /// the crossing counter/cost histogram for `event.crossing`, and
+    /// the per-domain / per-channel (`caller`, `slot`) / per-crossing
+    /// stats. Public so the shard layer records cross-shard dispatches
+    /// with byte-identical accounting to intra-shard ones.
+    pub fn record(&mut self, event: TraceEvent, slot: u32, reply_bytes: u64) {
         let moved = event.bytes + reply_bytes;
         {
             let invocations = cached_counter(
@@ -689,7 +717,8 @@ impl Fabric {
         self.next_seq += 1;
     }
 
-    fn next_seq(&self) -> u64 {
+    /// The sequence number the next recorded event must carry.
+    pub fn next_seq(&self) -> u64 {
         self.next_seq
     }
 }

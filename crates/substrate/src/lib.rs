@@ -27,6 +27,10 @@
 //! * [`fault`] — deterministic fault injection: a [`fault::FaultPlan`]
 //!   installed into the fabric crashes, denies, or corrupts at exact
 //!   logical positions, reproducibly, for the E10 recovery experiment.
+//! * [`shard`] — the sharded multi-core fabric: N per-shard engines
+//!   behind one [`substrate::Substrate`] surface, with deterministic
+//!   placement, an explicit cross-shard crossing class, and a
+//!   deterministic `(epoch, shard, seq)` trace merge (experiment E14).
 //! * [`attest`] — substrate-independent attestation evidence and the
 //!   verifier's trust policy.
 //! * [`software`] — a reference backend isolating purely by the Rust type
@@ -75,6 +79,7 @@ pub mod component;
 pub mod conformance;
 pub mod fabric;
 pub mod fault;
+pub mod shard;
 pub mod software;
 pub mod substrate;
 pub mod testkit;

@@ -249,6 +249,16 @@ pub trait Substrate {
     /// Current logical time in cycles.
     fn now(&self) -> u64;
 
+    /// Advances the substrate's logical clock by `cycles` without
+    /// dispatching anything — how the shard layer charges the
+    /// cross-shard crossing cost on the *caller's* shard clock through
+    /// the object-safe interface. Backends built on the fabric engine
+    /// forward to their [`crate::fabric::BackendPolicy::advance_clock`];
+    /// the default is a no-op for substrates without a clock to charge.
+    fn charge_cycles(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+
     /// Lists the live capabilities of `domain` (the L4-style cap-space
     /// enumeration components use to discover channels the composer
     /// granted them after spawn).

@@ -169,7 +169,7 @@ impl Component for Forwarder {
 /// backend (via its profile) on failure so a cross-backend sweep pins the
 /// offender immediately.
 pub mod parity {
-    use super::{BadgeReporter, Echo, Forwarder};
+    use super::{BadgeReporter, Echo, Forwarder, Sealer};
     use crate::cap::Badge;
     use crate::substrate::{DomainSpec, Substrate};
     use crate::SubstrateError;
@@ -432,6 +432,118 @@ pub mod parity {
             invoke_spans(batched),
             1,
             "[{name}] the batch opens exactly one span"
+        );
+    }
+
+    /// Cross-shard parity: two same-seed instances of one backend
+    /// become the shards of a [`crate::shard::ShardFabric`], and the
+    /// explicit cross-shard crossing class must behave identically on
+    /// every backend — the grant lands in the fabric-level slot range,
+    /// the invocation dispatches on the remote shard while the caller's
+    /// shard records a [`crate::fabric::CrossingKind::Shard`] event
+    /// against the global callee with the [`crate::shard::xshard_cost`]
+    /// charge, sealed storage still binds to the remote domain's
+    /// identity, and a revoked cross-shard capability is refused with
+    /// the denial attributed on the caller's shard.
+    pub fn assert_cross_shard_crossing(instances: Vec<Box<dyn Substrate>>) {
+        use crate::fabric::{CrossingKind, TraceOutcome};
+        use crate::shard::{xshard_cost, ShardFabric, ShardId, XSHARD_SLOT_BASE};
+        assert!(
+            instances.len() >= 2,
+            "cross-shard parity needs two instances of the backend"
+        );
+        let name = instances[0].profile().name.clone();
+        let mut fab = ShardFabric::new(instances);
+        fab.pin("xshard-client", ShardId(0));
+        fab.pin("xshard-remote", ShardId(1));
+        fab.pin("xshard-sealer", ShardId(1));
+        let client = fab
+            .spawn(DomainSpec::named("xshard-client"), Box::new(Echo))
+            .unwrap_or_else(|e| panic!("[{name}] spawn client: {e}"));
+        let remote = fab
+            .spawn(DomainSpec::named("xshard-remote"), Box::new(Echo))
+            .unwrap_or_else(|e| panic!("[{name}] spawn remote: {e}"));
+        assert_eq!(fab.shard_of(client), Some(ShardId(0)));
+        assert_eq!(fab.shard_of(remote), Some(ShardId(1)));
+
+        let cap = fab
+            .grant_channel(client, remote, Badge(0x5AD))
+            .unwrap_or_else(|e| panic!("[{name}] cross-shard grant: {e}"));
+        assert!(
+            cap.slot >= XSHARD_SLOT_BASE,
+            "[{name}] cross-shard grants use the fabric-level slot range"
+        );
+        let reply = fab
+            .invoke(client, &cap, b"across")
+            .unwrap_or_else(|e| panic!("[{name}] cross-shard invoke: {e}"));
+        assert_eq!(reply, b"across", "[{name}] cross-shard echo reply");
+        {
+            let f0 = fab
+                .shard(ShardId(0))
+                .fabric_ref()
+                .unwrap_or_else(|| panic!("[{name}] shard 0 must expose its fabric"));
+            let last = f0
+                .trace()
+                .last()
+                .unwrap_or_else(|| panic!("[{name}] caller shard recorded no event"));
+            assert_eq!(
+                last.crossing,
+                CrossingKind::Shard,
+                "[{name}] the caller's shard records the xshard crossing"
+            );
+            assert_eq!(
+                last.callee, remote,
+                "[{name}] the event names the global callee"
+            );
+            assert_eq!(
+                last.cost,
+                xshard_cost(6),
+                "[{name}] the crossing charges the shard cost ladder"
+            );
+            assert_eq!(last.outcome, TraceOutcome::Ok);
+        }
+
+        // Seal across shards: the blob binds to the remote sealer's
+        // identity on its own shard, and round-trips through the
+        // fabric-level capability.
+        let sealer = fab
+            .spawn(DomainSpec::named("xshard-sealer"), Box::new(Sealer))
+            .unwrap_or_else(|e| panic!("[{name}] spawn sealer: {e}"));
+        let cap_seal = fab
+            .grant_channel(client, sealer, Badge(0x5EA1))
+            .unwrap_or_else(|e| panic!("[{name}] grant sealer: {e}"));
+        let blob = fab
+            .invoke(client, &cap_seal, b"s:xshard secret")
+            .unwrap_or_else(|e| panic!("[{name}] cross-shard seal: {e}"));
+        let mut unseal_req = b"u:".to_vec();
+        unseal_req.extend_from_slice(&blob);
+        assert_eq!(
+            fab.invoke(client, &cap_seal, &unseal_req)
+                .unwrap_or_else(|e| panic!("[{name}] cross-shard unseal: {e}")),
+            b"xshard secret",
+            "[{name}] sealed data round-trips across the shard boundary"
+        );
+
+        // Revocation crosses shards correctly: the capability dies, the
+        // refusal is a denial on the caller's shard.
+        let denials_before = fab
+            .shard(ShardId(0))
+            .fabric_ref()
+            .map_or(0, |f| f.stats().total_denials());
+        fab.revoke_channel(&cap)
+            .unwrap_or_else(|e| panic!("[{name}] cross-shard revoke: {e}"));
+        assert!(
+            fab.invoke(client, &cap, b"dead").is_err(),
+            "[{name}] revoked cross-shard cap must be refused"
+        );
+        let denials_after = fab
+            .shard(ShardId(0))
+            .fabric_ref()
+            .map_or(0, |f| f.stats().total_denials());
+        assert_eq!(
+            denials_after,
+            denials_before + 1,
+            "[{name}] the refusal counts as a denial on the caller's shard"
         );
     }
 

@@ -716,6 +716,18 @@ impl Telemetry {
 
     fn digest_spans(&self, trace: Option<u64>) -> Digest {
         let mut canon = Vec::new();
+        self.append_tree_shape(trace, &mut canon);
+        Digest::of_parts(&[b"lateral.telemetry.tree", &canon])
+    }
+
+    // The canonical shape bytes behind every tree digest: one record
+    // per span (depth, layer, name, outcome, 0x1e terminator) in
+    // deterministic walk order. Shared by the per-collector digests
+    // above and by [`merged_tree_digest`], which concatenates the
+    // shape bytes of several collectors under the same domain
+    // separator — that sharing is what makes a one-collector merge
+    // equal the collector's own `tree_digest()`.
+    fn append_tree_shape(&self, trace: Option<u64>, canon: &mut Vec<u8>) {
         self.walk(|depth, span| {
             if trace.is_some_and(|t| span.trace_id != t) {
                 return;
@@ -728,7 +740,6 @@ impl Telemetry {
             canon.push(span.outcome);
             canon.push(0x1e);
         });
-        Digest::of_parts(&[b"lateral.telemetry.tree", &canon])
     }
 
     fn trace_of(&self, id: SpanId) -> u64 {
@@ -795,6 +806,21 @@ impl Telemetry {
             }
         }
     }
+}
+
+/// Canonical tree digest over several collectors treated as one
+/// logical telemetry tree — what a sharded fabric reports for its
+/// merged trace. Each collector contributes its deterministic shape
+/// bytes in iteration order (callers pass shards in shard-id order),
+/// under the same domain separator as [`Telemetry::tree_digest`], so
+/// a single-collector merge equals that collector's own
+/// `tree_digest()` byte for byte.
+pub fn merged_tree_digest<'a>(parts: impl IntoIterator<Item = &'a Telemetry>) -> Digest {
+    let mut canon = Vec::new();
+    for telemetry in parts {
+        telemetry.append_tree_shape(None, &mut canon);
+    }
+    Digest::of_parts(&[b"lateral.telemetry.tree", &canon])
 }
 
 #[cfg(test)]
@@ -1087,5 +1113,60 @@ mod tests {
         assert_eq!(m.digest(), Digest::of(first.as_bytes()));
         // Name-ordered regardless of registration order.
         assert!(first.find("a ").unwrap() < first.find("b ").unwrap());
+    }
+
+    #[test]
+    fn export_digest_is_invariant_under_registration_order() {
+        // Two registries register the same families in opposite orders
+        // (as two shards whose traffic touched families at different
+        // times would), then record identical totals.
+        let mut forward = MetricsRegistry::new();
+        for name in ["fabric.invocations", "crossing.xshard", "fabric.bytes"] {
+            forward.counter_id(name);
+        }
+        forward.histogram_id("crossing.xshard.cost");
+        let mut reverse = MetricsRegistry::new();
+        reverse.histogram_id("crossing.xshard.cost");
+        for name in ["fabric.bytes", "crossing.xshard", "fabric.invocations"] {
+            reverse.counter_id(name);
+        }
+        for m in [&mut forward, &mut reverse] {
+            m.incr("fabric.invocations", 12);
+            m.incr("fabric.bytes", 480);
+            m.incr("crossing.xshard", 3);
+            m.observe("crossing.xshard.cost", 251);
+        }
+        assert_eq!(forward.render(), reverse.render());
+        assert_eq!(forward.digest(), reverse.digest());
+
+        // Merging shard registries is order-invariant too.
+        let mut extra = MetricsRegistry::new();
+        extra.incr("fabric.denials", 1);
+        extra.incr("crossing.xshard", 2);
+        let mut ab = forward.clone();
+        ab.absorb(&extra);
+        let mut ba = extra.clone();
+        ba.absorb(&reverse);
+        assert_eq!(ab.digest(), ba.digest());
+        assert_eq!(ab.counter("crossing.xshard"), 5);
+    }
+
+    #[test]
+    fn merged_tree_digest_of_one_collector_is_its_own() {
+        let mut t = Telemetry::new();
+        let root = t.begin_span("root", "experiment", 0);
+        t.instant("child", "fabric", 1, outcome::OK);
+        t.end_span(root, 2, outcome::OK);
+        assert_eq!(merged_tree_digest([&t]), t.tree_digest());
+
+        // Two collectors concatenate in iteration order: stable, and
+        // sensitive to shard order (the merge key), not to anything
+        // else.
+        let mut u = Telemetry::new();
+        u.instant("other", "fabric", 3, outcome::FAILED);
+        let m01 = merged_tree_digest([&t, &u]);
+        assert_eq!(m01, merged_tree_digest([&t, &u]));
+        assert_ne!(m01, merged_tree_digest([&u, &t]));
+        assert_ne!(m01, t.tree_digest());
     }
 }

@@ -482,6 +482,10 @@ impl Substrate for TrustZone {
         self.machine.clock.now()
     }
 
+    fn charge_cycles(&mut self, cycles: u64) {
+        BackendPolicy::advance_clock(self, cycles);
+    }
+
     fn list_caps(&self, domain: DomainId) -> Result<Vec<ChannelCap>, SubstrateError> {
         fabric::list_caps(self, domain)
     }

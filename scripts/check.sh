@@ -19,18 +19,19 @@ cargo fmt --check
 
 # Run-twice determinism gate over the deterministic experiment suite.
 # Each experiment runs twice and the outputs must be byte-identical —
-# except lines tagged "wall-clock" (E13's throughput measurement),
-# which are inherently timing-dependent and stripped before comparing.
-# Per-experiment marker greps keep the reports honest about what they
-# claim to have measured.
+# except lines tagged "wall-clock" (E13/E14 throughput measurements)
+# and "host-cores" (E14's shard-count sweep tops out at the host core
+# count), which are inherently machine-dependent and stripped before
+# comparing. Per-experiment marker greps keep the reports honest about
+# what they claim to have measured.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-for exp in e10 e11 e12 e13; do
+for exp in e10 e11 e12 e13 e14; do
     echo "==> determinism gate: $exp twice"
     cargo run --release -q -p lateral-bench --bin repro -- "$exp" > "$tmpdir/$exp-raw.txt"
-    grep -v "wall-clock" "$tmpdir/$exp-raw.txt" > "$tmpdir/$exp-a.txt"
+    grep -vE "wall-clock|host-cores" "$tmpdir/$exp-raw.txt" > "$tmpdir/$exp-a.txt"
     cargo run --release -q -p lateral-bench --bin repro -- "$exp" \
-        | grep -v "wall-clock" > "$tmpdir/$exp-b.txt"
+        | grep -vE "wall-clock|host-cores" > "$tmpdir/$exp-b.txt"
     if ! cmp -s "$tmpdir/$exp-a.txt" "$tmpdir/$exp-b.txt"; then
         echo "DETERMINISM VIOLATION: two identical $exp runs diverged:" >&2
         diff "$tmpdir/$exp-a.txt" "$tmpdir/$exp-b.txt" >&2 || true
@@ -60,6 +61,20 @@ for exp in e10 e11 e12 e13; do
         fi
         if grep -q "backend-invariant: NO" "$tmpdir/$exp-a.txt"; then
             echo "E13 digests diverged across backends" >&2
+            exit 1
+        fi
+        ;;
+    e14)
+        if ! grep -q "invocations/sec" "$tmpdir/$exp-raw.txt"; then
+            echo "E14 output is missing its shard-scaling measurement" >&2
+            exit 1
+        fi
+        if ! grep -q "round trips/sec" "$tmpdir/$exp-raw.txt"; then
+            echo "E14 output is missing its cross-shard measurement" >&2
+            exit 1
+        fi
+        if grep -q "backend-invariant: NO" "$tmpdir/$exp-a.txt"; then
+            echo "E14 merged-trace digests diverged across backends" >&2
             exit 1
         fi
         ;;
