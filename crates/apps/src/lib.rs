@@ -15,10 +15,17 @@
 //!   a utility server (SGX enclave hosting the anonymizer frontend, an
 //!   untrusted host database) across an adversarial network, with mutual
 //!   channel-bound attestation.
+//! * [`fleet`] — the smart-meter scenario at fleet scale: N simulated
+//!   meters shipping sealed reading batches through per-shard
+//!   concentrators into a sharded aggregation fabric, with bounded
+//!   ingest queues (explicit backpressure), deterministic churn (crash
+//!   waves, firmware recalls) and deadline-aware WAN retry. The E15
+//!   experiment gates its robustness invariants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod email;
+pub mod fleet;
 pub mod mail_world;
 pub mod smart_meter;

@@ -28,13 +28,20 @@ fn main() -> ExitCode {
         let mut handles = Vec::new();
         for id in &ids {
             handles.push(scope.spawn(move || {
+                // E14 and E15 also emit machine-readable benchmark
+                // records; share one measurement run with the report.
                 if *id == "e14" {
-                    // E14 also emits the machine-readable benchmark
-                    // record; share one measurement run with the report.
                     let (report, json) = lateral_bench::e14_scaling::report_and_json();
                     match std::fs::write("BENCH_E14.json", &json) {
                         Ok(()) => eprintln!("note: wrote BENCH_E14.json"),
                         Err(e) => eprintln!("note: could not write BENCH_E14.json: {e}"),
+                    }
+                    Ok(report)
+                } else if *id == "e15" {
+                    let (report, json) = lateral_bench::e15_fleet::report_and_json();
+                    match std::fs::write("BENCH_E15.json", &json) {
+                        Ok(()) => eprintln!("note: wrote BENCH_E15.json"),
+                        Err(e) => eprintln!("note: could not write BENCH_E15.json: {e}"),
                     }
                     Ok(report)
                 } else {

@@ -21,6 +21,7 @@
 //! | E12 | §II-D/III-C — unified causal telemetry | [`e12_telemetry`] |
 //! | E13 | §III-A — invocation throughput, batched crossings | [`e13_throughput`] |
 //! | E14 | §III-A — shard scaling, cross-shard crossings | [`e14_scaling`] |
+//! | E15 | §III-A/B — fleet robustness: churn, backpressure, recall | [`e15_fleet`] |
 //!
 //! Every experiment is deterministic (seeded DRBGs, logical clocks);
 //! `cargo run -p lateral-bench --bin repro -- all` prints the full set.
@@ -33,6 +34,7 @@ pub mod e11_registry;
 pub mod e12_telemetry;
 pub mod e13_throughput;
 pub mod e14_scaling;
+pub mod e15_fleet;
 pub mod e1_containment;
 pub mod e2_conformance;
 pub mod e3_smart_meter;
@@ -45,8 +47,8 @@ pub mod e9_matrix;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id, returning its printed report.
@@ -70,6 +72,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "e12" => Ok(e12_telemetry::report()),
         "e13" => Ok(e13_throughput::report()),
         "e14" => Ok(e14_scaling::report()),
+        "e15" => Ok(e15_fleet::report()),
         other => Err(format!(
             "unknown experiment '{other}' (available: {})",
             EXPERIMENTS.join(", ")

@@ -213,7 +213,7 @@ impl Supervisor {
                         // A refused image will stay refused until the
                         // registry changes: no point burning restart
                         // budget on retries — quarantine now.
-                        self.states.insert(name.to_string(), State::Quarantined);
+                        self.quarantine(name);
                         Err(CoreError::Unavailable(format!(
                             "restart of '{name}' refused: {e}"
                         )))
@@ -255,16 +255,16 @@ impl Supervisor {
             .unwrap_or(RestartPolicy::Never);
         match policy {
             RestartPolicy::Never => {
-                self.states.insert(name.to_string(), State::Quarantined);
+                self.quarantine(name);
             }
             RestartPolicy::Escalate => {
-                self.states.insert(name.to_string(), State::Quarantined);
+                self.quarantine(name);
                 self.escalated = Some(name.to_string());
             }
             RestartPolicy::Restart { max_restarts, .. } => {
                 let count = *self.restart_counts.get(name).unwrap_or(&0);
                 if count >= max_restarts {
-                    self.states.insert(name.to_string(), State::Quarantined);
+                    self.quarantine(name);
                 } else {
                     let resume_at = self
                         .clock_of(name)
@@ -298,7 +298,25 @@ impl Supervisor {
                     .insert(name.to_string(), State::Down { resume_at });
             }
             _ => {
-                self.states.insert(name.to_string(), State::Quarantined);
+                self.quarantine(name);
+            }
+        }
+    }
+
+    /// The single quarantine transition point: flips `name` to
+    /// [`State::Quarantined`] and counts the transition — exactly once
+    /// per component lifetime — as `supervisor.quarantines` on the
+    /// component's substrate telemetry. Re-quarantining is a state
+    /// no-op and never double-counts.
+    fn quarantine(&mut self, name: &str) {
+        let already = matches!(self.states.get(name), Some(State::Quarantined));
+        self.states.insert(name.to_string(), State::Quarantined);
+        if already {
+            return;
+        }
+        if let Ok(p) = self.assembly.placement(name) {
+            if let Some(t) = self.assembly.substrate_mut(p.substrate).telemetry_mut_ref() {
+                t.metrics_mut().incr("supervisor.quarantines", 1);
             }
         }
     }
@@ -468,9 +486,9 @@ impl Supervisor {
     /// tick cadence. Returns the names quarantined by this tick.
     pub fn tick(&mut self) -> Vec<String> {
         self.ticks += 1;
-        let Some(registry) = &self.registry else {
+        if self.registry.is_none() {
             return Vec::new();
-        };
+        }
         let up: Vec<String> = self
             .states
             .iter()
@@ -482,11 +500,12 @@ impl Supervisor {
             let Ok(digest) = self.assembly.measurement(&name) else {
                 continue;
             };
-            if registry.is_revoked(digest) {
+            let revoked = self.registry.as_ref().is_some_and(|r| r.is_revoked(digest));
+            if revoked {
                 if let Ok(p) = self.assembly.placement(&name) {
                     let _ = self.assembly.substrates[p.substrate].destroy(p.domain);
                 }
-                self.states.insert(name.clone(), State::Quarantined);
+                self.quarantine(&name);
                 quarantined.push(name);
             }
         }
@@ -612,6 +631,40 @@ mod tests {
         assert_eq!(sup.health(), Health::Degraded(vec!["worker".into()]));
         // The rest of the assembly keeps serving.
         assert_eq!(sup.call("sidekick", b"x").unwrap(), b"x");
+    }
+
+    #[test]
+    fn quarantine_counter_increments_exactly_once_per_exhaustion() {
+        let app = two_workers(RestartPolicy::Restart {
+            max_restarts: 2,
+            backoff_base: 10,
+        });
+        let mut sup = Supervisor::new(app, pool(), factory()).unwrap();
+        install(
+            &mut sup,
+            FaultPlan::new().with(FaultSpec::crash("worker", 1).permanent()),
+        );
+        let quarantines = |sup: &mut Supervisor| {
+            sup.assembly_mut()
+                .substrate_mut(0)
+                .telemetry_mut_ref()
+                .unwrap()
+                .metrics_mut()
+                .counter("supervisor.quarantines")
+        };
+        assert_eq!(quarantines(&mut sup), 0);
+        let _ = drive(&mut sup, 60);
+        assert!(sup.is_quarantined("worker"));
+        assert_eq!(
+            quarantines(&mut sup),
+            1,
+            "one budget exhaustion = one count"
+        );
+        // Hitting the quarantined component again never re-counts.
+        for _ in 0..5 {
+            let _ = sup.call("worker", b"x");
+        }
+        assert_eq!(quarantines(&mut sup), 1);
     }
 
     #[test]

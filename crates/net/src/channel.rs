@@ -333,6 +333,149 @@ impl SecureChannel {
     }
 }
 
+/// A deterministic capped-doubling retransmission schedule on the
+/// logical clock: attempt 0 fires immediately, attempt `i` fires
+/// `min(base << (i-1), cap)` ticks after attempt `i-1`, for at most
+/// `attempts` transmissions — optionally bounded by an absolute
+/// logical-clock `deadline` (deadline-aware retry).
+///
+/// Two delivery models share the schedule:
+///
+/// * **blind** ([`BackoffSchedule::eager`]): the sender cannot observe
+///   delivery at all, so every scheduled attempt is transmitted and the
+///   receiver's dedup absorbs the surplus — the old fixed-count
+///   `send_with_retry` semantics.
+/// * **link-acknowledged** ([`BackoffSchedule::capped`]): the transport
+///   reports whether a copy was handed to the destination inbox (not
+///   whether the application accepted it), so the sender stops at the
+///   first delivered copy and classifies full-schedule silence as a
+///   typed [`NetError::Timeout`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BackoffSchedule {
+    /// Delay (logical ticks) between the first and second attempt.
+    pub base: u64,
+    /// Upper bound on the doubling delay.
+    pub cap: u64,
+    /// Maximum transmissions (≥ 1).
+    pub attempts: u32,
+    /// Absolute logical-clock deadline: an attempt whose fire time is
+    /// past this point is not transmitted ([`NetError::Timeout`]).
+    pub deadline: Option<u64>,
+    /// `true`: transmit every scheduled attempt regardless of delivery
+    /// (the sender is delivery-blind). `false`: stop at the first
+    /// delivered copy.
+    pub blind: bool,
+}
+
+impl BackoffSchedule {
+    /// A link-acknowledged capped-doubling schedule.
+    #[must_use]
+    pub fn capped(base: u64, cap: u64, attempts: u32) -> BackoffSchedule {
+        BackoffSchedule {
+            base,
+            cap,
+            attempts: attempts.max(1),
+            deadline: None,
+            blind: false,
+        }
+    }
+
+    /// The blind fixed-count schedule (zero delay, transmit every
+    /// attempt) — `send_with_retry`'s historical semantics.
+    #[must_use]
+    pub fn eager(attempts: u32) -> BackoffSchedule {
+        BackoffSchedule {
+            base: 0,
+            cap: 0,
+            attempts: attempts.max(1),
+            deadline: None,
+            blind: true,
+        }
+    }
+
+    /// Bounds the schedule by an absolute logical-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, at: u64) -> BackoffSchedule {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Delay before transmission `attempt` (0-based): 0 for the first,
+    /// then `min(base << (attempt-1), cap)`.
+    #[must_use]
+    pub fn delay_before(&self, attempt: u32) -> u64 {
+        if attempt == 0 || self.base == 0 {
+            return 0;
+        }
+        let doubled = self
+            .base
+            .checked_shl(attempt - 1)
+            .unwrap_or(self.cap.max(self.base));
+        doubled.min(self.cap.max(self.base))
+    }
+}
+
+/// Sends `record` on a deterministic [`BackoffSchedule`], advancing
+/// `clock` by each inter-attempt delay. Returns the number of
+/// transmissions performed.
+///
+/// Link-acknowledged schedules stop at the first delivered copy; blind
+/// schedules transmit every attempt ([`BackoffSchedule::eager`]). The
+/// schedule — not wall-clock — decides every retransmission point, so
+/// two identical runs retry at identical logical times.
+///
+/// # Errors
+///
+/// [`NetError::RetryExhausted`] carrying the attempt count and the
+/// final classified cause: a [`NetError::Timeout`] when every scheduled
+/// copy went undelivered or the deadline passed, or a hard send error
+/// (e.g. [`NetError::UnknownAddr`]) which aborts the schedule at once.
+pub fn send_with_backoff(
+    net: &mut crate::sim::Network,
+    from: &crate::Addr,
+    to: &crate::Addr,
+    record: &[u8],
+    schedule: &BackoffSchedule,
+    clock: &mut u64,
+) -> Result<u32, NetError> {
+    let mut attempts = 0u32;
+    for attempt in 0..schedule.attempts.max(1) {
+        let fire_at = clock.saturating_add(schedule.delay_before(attempt));
+        if let Some(deadline) = schedule.deadline {
+            if fire_at > deadline {
+                return Err(NetError::RetryExhausted {
+                    attempts,
+                    last_err: Box::new(NetError::Timeout(format!(
+                        "logical deadline {deadline} reached at tick {fire_at} \
+                         after {attempts} transmission(s)"
+                    ))),
+                });
+            }
+        }
+        *clock = fire_at;
+        let delivered_before = net.delivered();
+        if let Err(e) = net.send(from, to, record) {
+            return Err(NetError::RetryExhausted {
+                attempts: attempts + 1,
+                last_err: Box::new(e),
+            });
+        }
+        attempts += 1;
+        if !schedule.blind && net.delivered() > delivered_before {
+            return Ok(attempts);
+        }
+    }
+    if schedule.blind {
+        return Ok(attempts);
+    }
+    Err(NetError::RetryExhausted {
+        attempts,
+        last_err: Box::new(NetError::Timeout(format!(
+            "no copy delivered within {attempts} transmission(s)"
+        ))),
+    })
+}
+
 /// Sends `record` through the adversarial network up to `attempts` times
 /// (bounded retry). The sender cannot observe drops, so every attempt is
 /// transmitted; the receiver's [`SecureChannel::open_numbered`] dedup
@@ -340,6 +483,10 @@ impl SecureChannel {
 /// ([`crate::sim::AttackMode::DropFirst`] or a temporary
 /// [`crate::sim::AttackMode::DropAll`]), at least one copy lands as soon
 /// as the window closes within the retry budget.
+///
+/// Thin wrapper over [`send_with_backoff`] with the blind
+/// [`BackoffSchedule::eager`] schedule (zero delays, every attempt
+/// transmitted, drops invisible).
 ///
 /// # Errors
 ///
@@ -351,10 +498,19 @@ pub fn send_with_retry(
     record: &[u8],
     attempts: u32,
 ) -> Result<(), NetError> {
-    for _ in 0..attempts.max(1) {
-        net.send(from, to, record)?;
+    let mut clock = 0;
+    match send_with_backoff(
+        net,
+        from,
+        to,
+        record,
+        &BackoffSchedule::eager(attempts),
+        &mut clock,
+    ) {
+        Ok(_) => Ok(()),
+        Err(NetError::RetryExhausted { last_err, .. }) => Err(*last_err),
+        Err(e) => Err(e),
     }
-    Ok(())
 }
 
 fn transcript_digest(client_hello: &[u8], server_core: &[u8]) -> Digest {
@@ -988,6 +1144,223 @@ mod tests {
             s.open_numbered(&p.payload).unwrap().unwrap(),
             b"reading: 43 kWh"
         );
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_doubling() {
+        let s = BackoffSchedule::capped(2, 16, 8);
+        let delays: Vec<u64> = (0..8).map(|i| s.delay_before(i)).collect();
+        assert_eq!(delays, [0, 2, 4, 8, 16, 16, 16, 16]);
+        // Eager (blind) schedules never wait.
+        let e = BackoffSchedule::eager(3);
+        assert!((0..3).all(|i| e.delay_before(i) == 0));
+        // Attempt counts far past the doubling range stay capped
+        // instead of overflowing the shift.
+        assert_eq!(s.delay_before(200), 16);
+    }
+
+    #[test]
+    fn backoff_stops_at_first_delivered_copy() {
+        use crate::sim::{AttackMode, Network};
+        use crate::Addr;
+
+        let mut net = Network::new("backoff");
+        let (a, b) = (Addr::new("meter"), Addr::new("utility"));
+        net.register(a.clone());
+        net.register(b.clone());
+        net.set_attack(AttackMode::DropFirst(2));
+
+        let mut clock = 100;
+        let attempts = send_with_backoff(
+            &mut net,
+            &a,
+            &b,
+            b"r",
+            &BackoffSchedule::capped(2, 16, 6),
+            &mut clock,
+        )
+        .unwrap();
+        // Two drops, then the third attempt lands and the sender stops:
+        // exactly one copy reaches the inbox.
+        assert_eq!(attempts, 3);
+        assert_eq!(net.pending(&b), 1);
+        assert_eq!(net.dropped(), 2);
+        // The logical clock advanced by the deterministic schedule
+        // (0 + 2 + 4 ticks of delay).
+        assert_eq!(clock, 106);
+    }
+
+    #[test]
+    fn backoff_classifies_silent_loss_as_timeout() {
+        use crate::sim::{AttackMode, Network};
+        use crate::Addr;
+
+        let mut net = Network::new("backoff-loss");
+        let (a, b) = (Addr::new("meter"), Addr::new("utility"));
+        net.register(a.clone());
+        net.register(b.clone());
+        net.set_attack(AttackMode::DropAll);
+
+        let mut clock = 0;
+        let err = send_with_backoff(
+            &mut net,
+            &a,
+            &b,
+            b"r",
+            &BackoffSchedule::capped(1, 8, 4),
+            &mut clock,
+        )
+        .unwrap_err();
+        match err {
+            NetError::RetryExhausted { attempts, last_err } => {
+                assert_eq!(attempts, 4);
+                assert!(matches!(*last_err, NetError::Timeout(_)), "{last_err}");
+            }
+            other => panic!("expected RetryExhausted, got {other}"),
+        }
+        // All four transmissions were made and dropped.
+        assert_eq!(net.dropped(), 4);
+    }
+
+    #[test]
+    fn backoff_respects_the_logical_deadline() {
+        use crate::sim::{AttackMode, Network};
+        use crate::Addr;
+
+        let mut net = Network::new("backoff-deadline");
+        let (a, b) = (Addr::new("meter"), Addr::new("utility"));
+        net.register(a.clone());
+        net.register(b.clone());
+        net.set_attack(AttackMode::DropAll);
+
+        // Deadline admits attempts at ticks 0, 4, 12 but not 28.
+        let mut clock = 0;
+        let err = send_with_backoff(
+            &mut net,
+            &a,
+            &b,
+            b"r",
+            &BackoffSchedule::capped(4, 64, 10).with_deadline(20),
+            &mut clock,
+        )
+        .unwrap_err();
+        match err {
+            NetError::RetryExhausted { attempts, last_err } => {
+                assert_eq!(attempts, 3, "only the pre-deadline attempts fire");
+                assert!(
+                    matches!(&*last_err, NetError::Timeout(r) if r.contains("deadline")),
+                    "{last_err}"
+                );
+            }
+            other => panic!("expected RetryExhausted, got {other}"),
+        }
+        assert_eq!(clock, 12, "the clock stops at the last transmitted attempt");
+    }
+
+    #[test]
+    fn backoff_aborts_on_hard_send_errors() {
+        use crate::sim::Network;
+        use crate::Addr;
+
+        let mut net = Network::new("backoff-unknown");
+        let a = Addr::new("meter");
+        net.register(a.clone());
+        let mut clock = 0;
+        let err = send_with_backoff(
+            &mut net,
+            &a,
+            &Addr::new("ghost"),
+            b"r",
+            &BackoffSchedule::capped(1, 4, 5),
+            &mut clock,
+        )
+        .unwrap_err();
+        match err {
+            NetError::RetryExhausted { attempts, last_err } => {
+                assert_eq!(attempts, 1, "a hard error aborts the schedule");
+                assert!(matches!(*last_err, NetError::UnknownAddr(_)));
+            }
+            other => panic!("expected RetryExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn numbered_records_survive_steady_loss_with_backoff() {
+        use crate::sim::{AttackMode, Network};
+        use crate::Addr;
+
+        let (mut c, mut s, _, _) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        let mut net = Network::new("steady-loss");
+        let (a, b) = (Addr::new("meter"), Addr::new("utility"));
+        net.register(a.clone());
+        net.register(b.clone());
+        // Every third packet the adversary sees is swallowed.
+        net.set_attack(AttackMode::DropEvery(3));
+
+        let mut clock = 0;
+        let mut delivered = Vec::new();
+        for i in 0..20u32 {
+            let record = c.seal_numbered(format!("reading {i}").as_bytes());
+            send_with_backoff(
+                &mut net,
+                &a,
+                &b,
+                &record,
+                &BackoffSchedule::capped(2, 16, 4),
+                &mut clock,
+            )
+            .expect("steady loss is survivable within the schedule");
+            while let Some(p) = net.recv(&b).unwrap() {
+                // Decode path under loss: duplicates (none expected
+                // here) dedup, in-order records decrypt.
+                if let Some(plain) = s.open_numbered(&p.payload).unwrap() {
+                    delivered.push(String::from_utf8(plain).unwrap());
+                }
+            }
+        }
+        assert_eq!(delivered.len(), 20, "every reading arrives exactly once");
+        assert_eq!(delivered[0], "reading 0");
+        assert_eq!(delivered[19], "reading 19");
+        assert!(net.dropped() > 0, "the soak actually exercised loss");
+    }
+
+    #[test]
+    fn numbered_records_absorb_duplicate_bursts() {
+        use crate::sim::{AttackMode, Network};
+        use crate::Addr;
+
+        let (mut c, mut s, _, _) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        let mut net = Network::new("dup-burst");
+        let (a, b) = (Addr::new("meter"), Addr::new("utility"));
+        net.register(a.clone());
+        net.register(b.clone());
+        net.set_attack(AttackMode::DuplicateBurst(2));
+
+        let mut clock = 0;
+        let mut unique = 0;
+        let mut dups = 0;
+        for i in 0..5u32 {
+            let record = c.seal_numbered(format!("reading {i}").as_bytes());
+            send_with_backoff(
+                &mut net,
+                &a,
+                &b,
+                &record,
+                &BackoffSchedule::capped(1, 4, 2),
+                &mut clock,
+            )
+            .unwrap();
+            while let Some(p) = net.recv(&b).unwrap() {
+                match s.open_numbered(&p.payload).unwrap() {
+                    Some(_) => unique += 1,
+                    None => dups += 1,
+                }
+            }
+        }
+        assert_eq!(unique, 5, "each reading decodes exactly once");
+        assert_eq!(dups, 10, "every burst copy is absorbed by dedup");
     }
 
     #[test]

@@ -58,6 +58,21 @@ pub enum NetError {
     RecordRejected(String),
     /// The remote attestation check failed.
     AttestationRejected(String),
+    /// Delivery was not observed in time — the typed timeout
+    /// classification for deadline-aware senders: either every scheduled
+    /// transmission went undelivered, or the schedule's logical-clock
+    /// deadline passed before the next attempt.
+    Timeout(String),
+    /// A bounded retry schedule gave up. `attempts` counts the
+    /// transmissions actually performed; `last_err` is the final
+    /// classified cause (a [`NetError::Timeout`] for silent loss or a
+    /// hard send error such as [`NetError::UnknownAddr`]).
+    RetryExhausted {
+        /// Transmissions performed before giving up.
+        attempts: u32,
+        /// The final classified cause.
+        last_err: Box<NetError>,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -68,6 +83,10 @@ impl fmt::Display for NetError {
             NetError::HandshakeFailed(r) => write!(f, "handshake failed: {r}"),
             NetError::RecordRejected(r) => write!(f, "record rejected: {r}"),
             NetError::AttestationRejected(r) => write!(f, "attestation rejected: {r}"),
+            NetError::Timeout(r) => write!(f, "timeout: {r}"),
+            NetError::RetryExhausted { attempts, last_err } => {
+                write!(f, "retry exhausted after {attempts} attempt(s): {last_err}")
+            }
         }
     }
 }

@@ -33,6 +33,17 @@ pub enum AttackMode {
     /// Drop the next `n` packets, then behave passively — a transient
     /// outage window, for exercising bounded retry deterministically.
     DropFirst(u64),
+    /// Steady loss: drop every `n`-th packet (the n-th, 2n-th, …,
+    /// counted over all traffic the adversary has seen) and deliver the
+    /// rest — the soak-test mode for retransmission schedules.
+    /// `DropEvery(0)` and `DropEvery(1)` degenerate to [`AttackMode::DropAll`]
+    /// semantics for every packet only at `n == 1`; `n == 0` is treated
+    /// as passive.
+    DropEvery(u64),
+    /// Duplicate burst: deliver each packet, then `n` extra copies —
+    /// sustained replay pressure for receiver-side dedup
+    /// (`DuplicateBurst(0)` is passive).
+    DuplicateBurst(u64),
     /// Flip a byte in every payload.
     CorruptAll,
     /// Deliver each packet, then deliver a copy a second time.
@@ -152,6 +163,23 @@ impl Network {
                     self.mode = AttackMode::Passive;
                     self.deliver(packet)
                 }
+            }
+            AttackMode::DropEvery(n) => {
+                // `recorded` already holds this packet, so its length is
+                // the 1-based position in the adversary's traffic view.
+                if n > 0 && (self.recorded.len() as u64).is_multiple_of(n) {
+                    self.dropped += 1;
+                    Ok(())
+                } else {
+                    self.deliver(packet)
+                }
+            }
+            AttackMode::DuplicateBurst(n) => {
+                self.deliver(packet.clone())?;
+                for _ in 0..n {
+                    self.deliver(packet.clone())?;
+                }
+                Ok(())
             }
             AttackMode::CorruptAll => {
                 let mut p = packet;
@@ -289,6 +317,42 @@ mod tests {
         assert_eq!(n.dropped(), 2);
         assert_eq!(n.recv(&b).unwrap().unwrap().payload, b"three");
         assert!(n.recv(&b).unwrap().is_none());
+    }
+
+    #[test]
+    fn drop_every_nth_is_steady_loss() {
+        let (mut n, a, b) = net();
+        n.set_attack(AttackMode::DropEvery(3));
+        for i in 0..9u8 {
+            n.send(&a, &b, &[i]).unwrap();
+        }
+        // Packets 3, 6, 9 dropped; the rest delivered in order.
+        assert_eq!(n.dropped(), 3);
+        assert_eq!(n.pending(&b), 6);
+        let got: Vec<u8> = (0..6)
+            .map(|_| n.recv(&b).unwrap().unwrap().payload[0])
+            .collect();
+        assert_eq!(got, [0, 1, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn drop_every_zero_is_passive() {
+        let (mut n, a, b) = net();
+        n.set_attack(AttackMode::DropEvery(0));
+        n.send(&a, &b, b"x").unwrap();
+        assert_eq!(n.pending(&b), 1);
+        assert_eq!(n.dropped(), 0);
+    }
+
+    #[test]
+    fn duplicate_burst_delivers_extra_copies() {
+        let (mut n, a, b) = net();
+        n.set_attack(AttackMode::DuplicateBurst(3));
+        n.send(&a, &b, b"x").unwrap();
+        assert_eq!(n.pending(&b), 4, "original + 3 duplicates");
+        for _ in 0..4 {
+            assert_eq!(n.recv(&b).unwrap().unwrap().payload, b"x");
+        }
     }
 
     #[test]

@@ -189,6 +189,136 @@ impl FaultPlan {
     }
 }
 
+/// What a fleet-scope churn event does when its tick arrives.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChurnKind {
+    /// Crash a deterministic fraction of the fleet, expressed in parts
+    /// per million (10_000 ppm = 1%). Victim selection is a pure
+    /// function of `(tick, member id)` — see [`ChurnEvent::selects`] —
+    /// so two runs (and all backends) crash the same members.
+    CrashFraction {
+        /// Crash probability threshold in parts per million.
+        ppm: u32,
+    },
+    /// Revoke a firmware image (by registry name) mid-fleet — the
+    /// recall. The world layer resolves the name to a digest, revokes
+    /// it in the registry, and quarantines every member running it.
+    Recall {
+        /// Registry name of the recalled image.
+        image: String,
+    },
+}
+
+/// One scheduled fleet-churn event: *what* happens at *which* logical
+/// tick. Unlike [`FaultSpec`], which counts per-domain operations,
+/// churn events fire on the world's logical clock and target the fleet
+/// as a whole.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChurnEvent {
+    /// The logical tick this event fires at.
+    pub at: u64,
+    /// What happens.
+    pub kind: ChurnKind,
+}
+
+impl ChurnEvent {
+    /// A crash event: at tick `at`, each fleet member independently
+    /// crashes with probability `ppm`/1_000_000.
+    pub fn crash_fraction(at: u64, ppm: u32) -> ChurnEvent {
+        ChurnEvent {
+            at,
+            kind: ChurnKind::CrashFraction {
+                ppm: ppm.min(1_000_000),
+            },
+        }
+    }
+
+    /// A firmware recall: at tick `at`, the image named `image` is
+    /// revoked and every member running it must quarantine.
+    pub fn recall(at: u64, image: &str) -> ChurnEvent {
+        ChurnEvent {
+            at,
+            kind: ChurnKind::Recall {
+                image: image.to_string(),
+            },
+        }
+    }
+
+    /// Deterministic victim selection for [`ChurnKind::CrashFraction`]:
+    /// returns whether member `id` crashes in this event. A pure
+    /// splitmix-style hash of `(at, id)` reduced mod 1_000_000 and
+    /// compared against the ppm threshold — no RNG state, so selection
+    /// is identical across runs, backends, and replay.
+    #[must_use]
+    pub fn selects(&self, id: u64) -> bool {
+        let ChurnKind::CrashFraction { ppm } = &self.kind else {
+            return false;
+        };
+        let mut x = self
+            .at
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(id)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 31;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 29;
+        (x % 1_000_000) < u64::from(*ppm)
+    }
+}
+
+/// A deterministic fleet-churn schedule: [`ChurnEvent`]s ordered by
+/// tick, fired exactly once each as the world clock passes them. The
+/// fleet-scope sibling of [`FaultPlan`] — where a `FaultPlan` scripts
+/// one domain's operation stream, a `ChurnPlan` scripts population-
+/// level failure (mass crashes, firmware recalls) on the logical clock.
+#[derive(Clone, Default, Debug)]
+pub struct ChurnPlan {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// An empty plan (no churn).
+    pub fn new() -> ChurnPlan {
+        ChurnPlan::default()
+    }
+
+    /// Builder-style: adds an event, keeping the schedule tick-sorted
+    /// (stable for same-tick events: insertion order).
+    #[must_use]
+    pub fn with(mut self, event: ChurnEvent) -> ChurnPlan {
+        self.push(event);
+        self
+    }
+
+    /// Adds an event, keeping the schedule tick-sorted.
+    pub fn push(&mut self, event: ChurnEvent) {
+        let pos = self.events.partition_point(|e| e.at <= event.at);
+        self.events.insert(pos, event);
+    }
+
+    /// Number of scheduled events (fired or not).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the scheduled events in tick order.
+    pub fn events(&self) -> impl Iterator<Item = &ChurnEvent> {
+        self.events.iter()
+    }
+
+    /// Events due at exactly `tick`, in schedule order. The world layer
+    /// calls this once per tick; events are a pure schedule, so the
+    /// plan needs no mutable fired-state.
+    pub fn due(&self, tick: u64) -> impl Iterator<Item = &ChurnEvent> {
+        self.events.iter().filter(move |e| e.at == tick)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +357,52 @@ mod tests {
         assert!(plan.observe("a", FaultKind::Crash));
         assert!(!plan.observe("a", FaultKind::FailSpawn));
         assert!(plan.observe("a", FaultKind::FailSpawn));
+    }
+
+    #[test]
+    fn churn_plan_is_tick_sorted_and_due_is_exact() {
+        let plan = ChurnPlan::new()
+            .with(ChurnEvent::recall(20, "fw-v2"))
+            .with(ChurnEvent::crash_fraction(5, 10_000))
+            .with(ChurnEvent::crash_fraction(20, 50_000));
+        let ticks: Vec<u64> = plan.events().map(|e| e.at).collect();
+        assert_eq!(ticks, [5, 20, 20]);
+        assert_eq!(plan.due(5).count(), 1);
+        // Same-tick events keep insertion order: recall first.
+        let at20: Vec<&ChurnEvent> = plan.due(20).collect();
+        assert_eq!(at20.len(), 2);
+        assert!(matches!(at20[0].kind, ChurnKind::Recall { .. }));
+        assert_eq!(plan.due(6).count(), 0);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn churn_selection_is_deterministic_and_near_rate() {
+        // 1% of a 100k population: the hash-based selector must pick a
+        // stable set close to the nominal rate, and two evaluations
+        // must agree exactly.
+        let ev = ChurnEvent::crash_fraction(42, 10_000);
+        let picked: Vec<u64> = (0..100_000).filter(|&id| ev.selects(id)).collect();
+        let again: Vec<u64> = (0..100_000).filter(|&id| ev.selects(id)).collect();
+        assert_eq!(picked, again);
+        assert!(
+            (800..1200).contains(&picked.len()),
+            "1% of 100k should select ~1000, got {}",
+            picked.len()
+        );
+        // Different ticks select different victim sets.
+        let other = ChurnEvent::crash_fraction(43, 10_000);
+        assert_ne!(
+            picked,
+            (0..100_000)
+                .filter(|&id| other.selects(id))
+                .collect::<Vec<u64>>()
+        );
+        // Recalls never select crash victims.
+        assert!(!ChurnEvent::recall(1, "fw").selects(7));
+        // ppm 0 selects nobody; ppm 1_000_000 selects everybody.
+        assert!(!(0..1000).any(|id| ChurnEvent::crash_fraction(9, 0).selects(id)));
+        assert!((0..1000).all(|id| ChurnEvent::crash_fraction(9, 1_000_000).selects(id)));
     }
 }

@@ -26,7 +26,7 @@ cargo fmt --check
 # what they claim to have measured.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-for exp in e10 e11 e12 e13 e14; do
+for exp in e10 e11 e12 e13 e14 e15; do
     echo "==> determinism gate: $exp twice"
     cargo run --release -q -p lateral-bench --bin repro -- "$exp" > "$tmpdir/$exp-raw.txt"
     grep -vE "wall-clock|host-cores" "$tmpdir/$exp-raw.txt" > "$tmpdir/$exp-a.txt"
@@ -75,6 +75,20 @@ for exp in e10 e11 e12 e13 e14; do
         fi
         if grep -q "backend-invariant: NO" "$tmpdir/$exp-a.txt"; then
             echo "E14 merged-trace digests diverged across backends" >&2
+            exit 1
+        fi
+        ;;
+    e15)
+        if ! grep -q "readings/sec" "$tmpdir/$exp-raw.txt"; then
+            echo "E15 output is missing its fleet throughput measurement" >&2
+            exit 1
+        fi
+        if grep -q "backend-invariant: NO" "$tmpdir/$exp-a.txt"; then
+            echo "E15 fleet-state digests diverged across backends" >&2
+            exit 1
+        fi
+        if ! test -f BENCH_E15.json; then
+            echo "E15 did not write BENCH_E15.json" >&2
             exit 1
         fi
         ;;
