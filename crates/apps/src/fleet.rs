@@ -19,7 +19,12 @@
 //!   hash-selected fraction of the fleet at exact logical ticks and can
 //!   issue a mid-fleet firmware recall that revokes a digest in the
 //!   registry; recalled meters quarantine in the same tick while the
-//!   rest of the fleet keeps aggregating. Crashed meters run the
+//!   rest of the fleet keeps aggregating. A **distrust wave** is the
+//!   recall's web-of-trust sibling: the auditor cohort's signed
+//!   distrust reviews drop a build's score below the registry's
+//!   `wot-threshold` admission bar, quarantining its cohort in the
+//!   same tick with zero restart budget burned — no revocation ever
+//!   written. Crashed meters run the
 //!   supervision cycle: destroy → backoff → respawn (re-resolving
 //!   firmware through the registry, where a revocation grounds them) →
 //!   re-measure → re-attest ([`TrustPolicy::verify`]) → re-grant.
@@ -52,6 +57,7 @@ use lateral_substrate::fault::{ChurnKind, ChurnPlan};
 use lateral_substrate::shard::{shard_channels, ShardFabric, ShardId, ShardInbox, ShardPost};
 use lateral_substrate::substrate::{DomainContext, DomainSpec, Substrate};
 use lateral_substrate::{DomainId, SubstrateError};
+use lateral_wot::{Proof, Rating, ReviewProof, TrustGraph, TrustProof};
 
 /// Firmware image of the fleet rollout's v1 cohort.
 pub const FLEET_FW_V1: &[u8] = b"fleet meter firmware v1 (rollout)";
@@ -63,6 +69,16 @@ pub const FLEET_FW_V2: &[u8] = b"fleet meter firmware v2 (hotfix)";
 pub const FLEET_FW_V1_NAME: &str = "fleet-fw-v1";
 /// Registry name of the v2 firmware.
 pub const FLEET_FW_V2_NAME: &str = "fleet-fw-v2";
+
+/// Size of the fleet's firmware reviewer cohort (auditors whose signed
+/// review proofs feed the registry's trust graph).
+pub const FLEET_REVIEWERS: usize = 3;
+/// Minimum review score (milli-units) fleet firmware must hold.
+pub const FLEET_WOT_THRESHOLD_MILLI: i64 = 500;
+/// Epoch of the rollout-time endorsements.
+const ENDORSE_EPOCH: u64 = 1;
+/// Epoch of a distrust wave (supersedes the endorsements).
+const DISTRUST_EPOCH: u64 = 2;
 
 /// Which firmware cohort a meter belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -242,6 +258,9 @@ pub struct FleetStats {
     pub respawns: u64,
     /// Meters quarantined by the same-tick recall sweep.
     pub quarantined_by_recall: u64,
+    /// Meters quarantined by a same-tick distrust-wave sweep (the
+    /// firmware's review score dropped below the admission threshold).
+    pub quarantined_by_distrust: u64,
     /// Meters quarantined on respawn (registry refused the firmware).
     pub quarantined_on_respawn: u64,
     /// Meters quarantined by restart-budget exhaustion.
@@ -319,6 +338,10 @@ pub struct FleetWorld {
     post: ShardPost,
     lanes: Vec<ShardLane>,
     meters: Vec<MeterSim>,
+    /// The firmware auditor cohort: their signed review proofs are the
+    /// registry trust graph's input (endorsements at rollout, distrust
+    /// waves under churn).
+    reviewers: Vec<SigningKey>,
     trust: TrustPolicy,
     evidence_v1: AttestationEvidence,
     evidence_v2: AttestationEvidence,
@@ -387,6 +410,40 @@ impl FleetWorld {
             registry
                 .publish(fw.image(), manifest)
                 .expect("publish fleet firmware");
+        }
+
+        // --- firmware review web -----------------------------------------
+        // A small auditor cohort: the first reviewer is the trust root,
+        // vouches for the others, and every reviewer endorses both
+        // builds at rollout. The registry's wot-threshold pass then
+        // gates every resolve on the aggregated score — a later
+        // distrust wave (see `ChurnKind::DistrustWave`) supersedes the
+        // endorsements and grounds the cohort without any revocation.
+        let reviewers: Vec<SigningKey> = (0..FLEET_REVIEWERS)
+            .map(|i| SigningKey::from_seed(format!("fleet firmware reviewer {i}").as_bytes()))
+            .collect();
+        let mut graph = TrustGraph::new();
+        graph.seed_root(&reviewers[0].verifying_key().to_bytes());
+        registry.attach_wot(graph, FLEET_WOT_THRESHOLD_MILLI);
+        for peer in &reviewers[1..] {
+            let vouch = TrustProof::issue(
+                &reviewers[0],
+                &peer.verifying_key(),
+                Rating::High,
+                ENDORSE_EPOCH,
+            );
+            registry
+                .ingest_proof(&Proof::Trust(vouch))
+                .expect("root vouch verifies");
+        }
+        for fw in [Firmware::V1, Firmware::V2] {
+            for reviewer in &reviewers {
+                let endorse =
+                    ReviewProof::issue(reviewer, fw.measurement(), Rating::High, ENDORSE_EPOCH);
+                registry
+                    .ingest_proof(&Proof::Review(endorse))
+                    .expect("rollout endorsement verifies");
+            }
         }
 
         // --- device attestation root -------------------------------------
@@ -481,6 +538,7 @@ impl FleetWorld {
             post,
             lanes,
             meters,
+            reviewers,
             trust,
             evidence_v1: evidence_for(Firmware::V1),
             evidence_v2: evidence_for(Firmware::V2),
@@ -616,6 +674,7 @@ impl FleetWorld {
             s.crashes,
             s.respawns,
             s.quarantined_by_recall,
+            s.quarantined_by_distrust,
             s.quarantined_on_respawn,
             s.quarantined_by_budget,
             s.drain_ticks,
@@ -658,6 +717,7 @@ impl FleetWorld {
                     }
                 }
                 ChurnKind::Recall { image } => self.recall(image),
+                ChurnKind::DistrustWave { image } => self.distrust_wave(image),
             }
         }
     }
@@ -675,6 +735,38 @@ impl FleetWorld {
             if m.firmware == fw && m.state != MeterState::Quarantined {
                 m.state = MeterState::Quarantined;
                 self.stats.quarantined_by_recall += 1;
+            }
+        }
+    }
+
+    /// The distrust wave: every auditor issues a distrust review on the
+    /// build, superseding its rollout endorsement. No revocation is
+    /// written — the registry's trust graph alone drops the score below
+    /// the admission threshold, and every meter running the build is
+    /// quarantined in this same tick (zero restart budget burned). A
+    /// down meter misses the sweep but respawns into the failing
+    /// wot-threshold pass instead.
+    fn distrust_wave(&mut self, image_name: &str) {
+        let fw = if image_name == FLEET_FW_V2_NAME {
+            Firmware::V2
+        } else {
+            Firmware::V1
+        };
+        for reviewer in &self.reviewers {
+            let wave =
+                ReviewProof::issue(reviewer, fw.measurement(), Rating::Distrust, DISTRUST_EPOCH);
+            self.registry
+                .ingest_proof(&Proof::Review(wave))
+                .expect("distrust review verifies");
+        }
+        debug_assert!(
+            self.registry.wot_demoted(fw.measurement()),
+            "a full-cohort distrust wave must demote the build"
+        );
+        for m in &mut self.meters {
+            if m.firmware == fw && m.state != MeterState::Quarantined {
+                m.state = MeterState::Quarantined;
+                self.stats.quarantined_by_distrust += 1;
             }
         }
     }
@@ -1048,6 +1140,48 @@ mod tests {
             ..FleetConfig::default()
         };
         let mut again = FleetWorld::new(software_pool(2), config);
+        again.run();
+        assert_eq!(world.fleet_digest(), again.fleet_digest());
+    }
+
+    #[test]
+    fn distrust_wave_quarantines_cohort_same_tick_without_revocation() {
+        let config = || FleetConfig {
+            rounds: 8,
+            churn: ChurnPlan::new().with(ChurnEvent::distrust_wave(4, FLEET_FW_V2_NAME)),
+            ..FleetConfig::default()
+        };
+        let v2_count = 240 * 250_000 / 1_000_000;
+        let mut world = FleetWorld::new(software_pool(2), config());
+
+        while world.round() <= 4 {
+            world.tick();
+        }
+        // The wave quarantined the whole v2 cohort in its own tick —
+        // through review scores alone, never a revocation.
+        assert_eq!(world.quarantined(), v2_count, "same-tick distrust sweep");
+        assert_eq!(world.stats().quarantined_by_distrust, v2_count as u64);
+        assert!(
+            !world.registry.is_revoked(Firmware::V2.measurement()),
+            "a distrust wave writes no revocation"
+        );
+        assert!(
+            world.registry.resolve(FLEET_FW_V2_NAME).is_err(),
+            "the demoted build must no longer resolve"
+        );
+        assert_eq!(world.stats().crashes, 0, "no restart budget was touched");
+        let acked_at_wave = world.stats().acked;
+
+        let stats = world.run();
+        assert!(
+            stats.acked > acked_at_wave,
+            "the v1 fleet kept aggregating after the wave"
+        );
+        assert_eq!(stats.acked, stats.produced, "zero lost under the wave");
+        conservation(&world);
+
+        // Determinism: a second run reproduces the digest byte for byte.
+        let mut again = FleetWorld::new(software_pool(2), config());
         again.run();
         assert_eq!(world.fleet_digest(), again.fleet_digest());
     }

@@ -28,8 +28,9 @@ fn main() -> ExitCode {
         let mut handles = Vec::new();
         for id in &ids {
             handles.push(scope.spawn(move || {
-                // E14 and E15 also emit machine-readable benchmark
-                // records; share one measurement run with the report.
+                // E14, E15, and E16 also emit machine-readable
+                // benchmark records; share one measurement run with
+                // the report.
                 if *id == "e14" {
                     let (report, json) = lateral_bench::e14_scaling::report_and_json();
                     match std::fs::write("BENCH_E14.json", &json) {
@@ -42,6 +43,13 @@ fn main() -> ExitCode {
                     match std::fs::write("BENCH_E15.json", &json) {
                         Ok(()) => eprintln!("note: wrote BENCH_E15.json"),
                         Err(e) => eprintln!("note: could not write BENCH_E15.json: {e}"),
+                    }
+                    Ok(report)
+                } else if *id == "e16" {
+                    let (report, json) = lateral_bench::e16_wot::report_and_json();
+                    match std::fs::write("BENCH_E16.json", &json) {
+                        Ok(()) => eprintln!("note: wrote BENCH_E16.json"),
+                        Err(e) => eprintln!("note: could not write BENCH_E16.json: {e}"),
                     }
                     Ok(report)
                 } else {

@@ -22,6 +22,7 @@
 //! | E13 | §III-A — invocation throughput, batched crossings | [`e13_throughput`] |
 //! | E14 | §III-A — shard scaling, cross-shard crossings | [`e14_scaling`] |
 //! | E15 | §III-A/B — fleet robustness: churn, backpressure, recall | [`e15_fleet`] |
+//! | E16 | §III-B — web-of-trust certification, incremental EigenTrust | [`e16_wot`] |
 //!
 //! Every experiment is deterministic (seeded DRBGs, logical clocks);
 //! `cargo run -p lateral-bench --bin repro -- all` prints the full set.
@@ -35,6 +36,7 @@ pub mod e12_telemetry;
 pub mod e13_throughput;
 pub mod e14_scaling;
 pub mod e15_fleet;
+pub mod e16_wot;
 pub mod e1_containment;
 pub mod e2_conformance;
 pub mod e3_smart_meter;
@@ -47,8 +49,9 @@ pub mod e9_matrix;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 15] = [
+pub const EXPERIMENTS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Runs one experiment by id, returning its printed report.
@@ -73,6 +76,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "e13" => Ok(e13_throughput::report()),
         "e14" => Ok(e14_scaling::report()),
         "e15" => Ok(e15_fleet::report()),
+        "e16" => Ok(e16_wot::report()),
         other => Err(format!(
             "unknown experiment '{other}' (available: {})",
             EXPERIMENTS.join(", ")

@@ -274,6 +274,11 @@ pub(crate) fn admit_component(
 /// the certified bytes. This is the paper's trusted-distribution story:
 /// the composer spawns only what the certification pipeline let through.
 ///
+/// When the manifest declares a `wot-threshold`, it is installed as the
+/// registry's per-assembly web-of-trust threshold before any component
+/// is resolved, so the certification pipeline's `wot-threshold` pass
+/// judges every image against *this* assembly's bar.
+///
 /// # Errors
 ///
 /// [`CoreError::AdmissionRefused`] on any registry refusal, plus
@@ -285,6 +290,7 @@ pub fn compose_admitted(
     registry: &mut Registry,
 ) -> Result<Assembly, CoreError> {
     app.validate()?;
+    registry.set_wot_threshold(app.wot_threshold);
     for cm in &app.components {
         admit_component(cm, registry)?;
     }
@@ -886,6 +892,31 @@ mod tests {
                 }
                 other => panic!("expected refusal, got {other}"),
             }
+        }
+
+        #[test]
+        fn manifest_threshold_installs_into_the_registry() {
+            use lateral_wot::{Proof, Rating, ReviewProof, TrustGraph};
+            let mut reg = registry_with(&[("ui", b"ui v1")]);
+            let reviewer = SigningKey::from_seed(b"assembly reviewer");
+            let mut graph = TrustGraph::new();
+            graph.seed_root(&reviewer.verifying_key().to_bytes());
+            reg.attach_wot(graph, 0);
+            let digest = lateral_registry::measurement_of(b"ui v1");
+            let review = ReviewProof::issue(&reviewer, digest, Rating::Trust, 1);
+            reg.ingest_proof(&Proof::Review(review)).unwrap();
+            // `trust` from the lone root scores ~1.0 (~1000 milli): it
+            // clears a 500-milli assembly bar but not a 1500-milli one.
+            let app = |milli| {
+                AppManifest::new("demo", vec![ComponentManifest::new("ui").image(b"ui v1")])
+                    .with_wot_threshold(milli)
+            };
+            let err =
+                compose_admitted(&app(1500), pool(), &mut echo_factory, &mut reg).unwrap_err();
+            assert!(matches!(err, CoreError::AdmissionRefused { .. }), "{err}");
+            assert_eq!(reg.wot_threshold_milli(), 1500);
+            compose_admitted(&app(500), pool(), &mut echo_factory, &mut reg).unwrap();
+            assert_eq!(reg.wot_threshold_milli(), 500);
         }
 
         #[test]

@@ -196,6 +196,10 @@ impl ComponentManifest {
 pub struct AppManifest {
     /// Application name.
     pub name: String,
+    /// Minimum web-of-trust review score (in milli-units, `750` =
+    /// 0.750) every component image must clear during certification.
+    /// `None` uses the registry's default threshold.
+    pub wot_threshold: Option<i64>,
     /// The components.
     pub components: Vec<ComponentManifest>,
 }
@@ -205,8 +209,17 @@ impl AppManifest {
     pub fn new(name: &str, components: Vec<ComponentManifest>) -> AppManifest {
         AppManifest {
             name: name.to_string(),
+            wot_threshold: None,
             components,
         }
+    }
+
+    /// Sets the per-assembly web-of-trust admission threshold
+    /// (milli-units; see the `wot-threshold` manifest directive).
+    #[must_use]
+    pub fn with_wot_threshold(mut self, milli: i64) -> AppManifest {
+        self.wot_threshold = Some(milli);
+        self
     }
 
     /// Looks up a component by name.
@@ -303,6 +316,7 @@ impl AppManifest {
     ///
     /// ```text
     /// app demo
+    /// wot-threshold 750
     /// component meter
     ///   image 6d65746572
     ///   loc 1200
@@ -317,7 +331,9 @@ impl AppManifest {
     /// ```
     ///
     /// `image` takes the hex-encoded code image; `restart` takes
-    /// `never`, `escalate`, or `<max_restarts> <backoff_base>`. Blank
+    /// `never`, `escalate`, or `<max_restarts> <backoff_base>`;
+    /// `wot-threshold` is app-level (before the first `component`) and
+    /// takes the minimum review score in milli-units. Blank
     /// lines and `#` comments are ignored. The result is validated
     /// before it is returned — adversarial input either parses into a
     /// consistent manifest or fails loudly, never silently half-loads.
@@ -353,6 +369,23 @@ impl AppManifest {
             let app = app
                 .as_mut()
                 .ok_or_else(|| bad(no, "directive before 'app' line"))?;
+            if directive == "wot-threshold" {
+                if !app.components.is_empty() {
+                    return Err(bad(no, "'wot-threshold' must precede all components"));
+                }
+                if app.wot_threshold.is_some() {
+                    return Err(bad(no, "duplicate 'wot-threshold' directive"));
+                }
+                let [milli] = rest.as_slice() else {
+                    return Err(bad(no, "expected 'wot-threshold <milli>'"));
+                };
+                app.wot_threshold = Some(
+                    milli
+                        .parse()
+                        .map_err(|_| bad(no, "malformed wot-threshold"))?,
+                );
+                continue;
+            }
             if directive == "component" {
                 let [name] = rest.as_slice() else {
                     return Err(bad(no, "expected 'component <name>'"));
@@ -434,6 +467,9 @@ impl AppManifest {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "app {}", self.name);
+        if let Some(milli) = self.wot_threshold {
+            let _ = writeln!(out, "wot-threshold {milli}");
+        }
         for c in &self.components {
             let _ = writeln!(out, "component {}", c.name);
             let _ = writeln!(out, "  image {}", encode_hex(&c.image));
@@ -673,9 +709,27 @@ mod tests {
             "app a\ncomponent c\nrestart sometimes",
             "app a\ncomponent c\nimage zz",
             "app a\ncomponent c\nchannel x c 1", // self-channel fails validate()
+            "wot-threshold 750\napp a",
+            "app a\nwot-threshold 750\nwot-threshold 600",
+            "app a\nwot-threshold many",
+            "app a\ncomponent c\nwot-threshold 750", // app-level only
         ] {
             assert!(AppManifest::parse(bad).is_err(), "accepted: {bad:?}");
         }
+    }
+
+    #[test]
+    fn wot_threshold_round_trips() {
+        let app = AppManifest::new("x", vec![ComponentManifest::new("a")]).with_wot_threshold(750);
+        let text = app.to_text();
+        assert!(text.contains("wot-threshold 750"));
+        let parsed = AppManifest::parse(&text).unwrap();
+        assert_eq!(parsed.wot_threshold, Some(750));
+        assert_eq!(parsed.to_text(), text);
+        // Absent directive stays absent through the round trip.
+        let plain = AppManifest::parse("app a\ncomponent c").unwrap();
+        assert_eq!(plain.wot_threshold, None);
+        assert!(!plain.to_text().contains("wot-threshold"));
     }
 
     #[test]

@@ -481,9 +481,12 @@ impl Supervisor {
 
     /// One supervision health tick. With a registry attached, sweeps
     /// every *running* component: an instance whose measurement digest
-    /// has been revoked is destroyed and quarantined on the spot — the
+    /// has been revoked, or whose web-of-trust score has dropped below
+    /// the registry's admission threshold (a distrust wave landed since
+    /// the spawn), is destroyed and quarantined on the spot — the
     /// revocation-to-quarantine latency is therefore bounded by the
-    /// tick cadence. Returns the names quarantined by this tick.
+    /// tick cadence, and demotion burns zero restart budget. Returns
+    /// the names quarantined by this tick.
     pub fn tick(&mut self) -> Vec<String> {
         self.ticks += 1;
         if self.registry.is_none() {
@@ -501,7 +504,12 @@ impl Supervisor {
                 continue;
             };
             let revoked = self.registry.as_ref().is_some_and(|r| r.is_revoked(digest));
-            if revoked {
+            let demoted = !revoked
+                && self
+                    .registry
+                    .as_mut()
+                    .is_some_and(|r| r.wot_demoted(digest));
+            if revoked || demoted {
                 if let Ok(p) = self.assembly.placement(&name) {
                     let _ = self.assembly.substrates[p.substrate].destroy(p.domain);
                 }
@@ -765,6 +773,56 @@ mod tests {
                 Err(CoreError::Unavailable(_))
             ));
             // The rest of the assembly keeps serving.
+            assert_eq!(sup.call("sidekick", b"x").unwrap(), b"x");
+            assert_eq!(sup.health(), Health::Degraded(vec!["worker".into()]));
+        }
+
+        #[test]
+        fn wot_demoted_instance_quarantined_on_next_tick_without_restarts() {
+            use lateral_wot::{Proof, Rating, ReviewProof, TrustGraph};
+            let mut reg = registry();
+            let reviewer = SigningKey::from_seed(b"fleet reviewer");
+            let mut graph = TrustGraph::new();
+            graph.seed_root(&reviewer.verifying_key().to_bytes());
+            reg.attach_wot(graph, 100);
+            // Both images need clearing reviews before admission.
+            for image in [b"worker".as_slice(), b"sidekick"] {
+                let review = ReviewProof::issue(&reviewer, measurement_of(image), Rating::High, 1);
+                reg.ingest_proof(&Proof::Review(review)).unwrap();
+            }
+            let mut sup = Supervisor::new_admitted(
+                two_workers(RestartPolicy::Restart {
+                    max_restarts: 3,
+                    backoff_base: 10,
+                }),
+                pool(),
+                factory(),
+                reg,
+            )
+            .unwrap();
+            assert_eq!(sup.call("worker", b"ping").unwrap(), b"ping");
+            assert_eq!(sup.tick(), Vec::<String>::new(), "scores still clear");
+            // Distrust wave: the root reviewer's later review supersedes
+            // its earlier `high`, dragging the subject score negative.
+            let wave =
+                ReviewProof::issue(&reviewer, measurement_of(b"worker"), Rating::Distrust, 2);
+            sup.registry_mut()
+                .unwrap()
+                .ingest_proof(&Proof::Review(wave))
+                .unwrap();
+            assert!(
+                !sup.is_quarantined("worker"),
+                "demotion waits for the sweep"
+            );
+            assert_eq!(sup.tick(), vec!["worker".to_string()]);
+            assert!(sup.is_quarantined("worker"));
+            assert_eq!(
+                sup.restarts("worker"),
+                0,
+                "demotion burns zero restart budget"
+            );
+            // Re-ticking never re-quarantines, and the rest keeps serving.
+            assert_eq!(sup.tick(), Vec::<String>::new());
             assert_eq!(sup.call("sidekick", b"x").unwrap(), b"x");
             assert_eq!(sup.health(), Health::Degraded(vec!["worker".into()]));
         }

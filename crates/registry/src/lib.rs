@@ -15,9 +15,17 @@
 //!   no-partial-acceptance submission format signed with
 //!   `lateral_crypto::sign`, optionally endorsed by a registry root.
 //! * **Certification pipeline** ([`pipeline`]) — ordered static passes
-//!   (publisher chain, POLA lint, TCB budget) producing a
-//!   [`CertificationReport`] that is **memoized** per (digest, pass-set
-//!   version), with hit/miss counters in [`RegistryStats`].
+//!   (publisher chain, POLA lint, TCB budget, and — when a
+//!   `lateral-wot` trust graph is attached — the `wot-threshold`
+//!   review-score gate) producing a [`CertificationReport`] that is
+//!   **memoized** per (digest, pass-set version, trust epoch), with
+//!   hit/miss counters in [`RegistryStats`].
+//! * **Web of trust** — [`Registry::attach_wot`] replaces the single
+//!   publisher chain as the admission authority: many parties' signed
+//!   review proofs aggregate into a deterministic EigenTrust score,
+//!   and a digest below the threshold in force is refused at
+//!   resolution and demoted for running instances
+//!   ([`Registry::wot_demoted`]).
 //! * **Revocation** — a digest can be revoked with a reason; resolution
 //!   refuses it, the supervisor quarantines running instances, and
 //!   channel policies reject its attestation evidence over the network.
@@ -38,9 +46,12 @@ use std::fmt;
 use lateral_crypto::sign::VerifyingKey;
 use lateral_crypto::Digest;
 use lateral_telemetry::MetricsRegistry;
+use lateral_wot::{Proof, TrustGraph};
 
 pub use manifest::{ChannelSpec, Endorsement, ManifestDraft, SignedManifest};
-pub use pipeline::{CertificationReport, PassResult, PassVerdict, PASS_SET_VERSION};
+pub use pipeline::{
+    CertificationReport, PassResult, PassVerdict, WotCheck, PASS_SET_VERSION, WOT_PASS,
+};
 
 /// Computes the measurement digest a substrate would report for
 /// `image` — the registry's content address. Kept in lock-step with
@@ -131,6 +142,8 @@ pub struct RegistryStats {
     pub refusals: u64,
     /// Digests revoked so far.
     pub revocations: u64,
+    /// Web-of-trust proofs ingested through the registry.
+    pub wot_proofs: u64,
 }
 
 impl RegistryStats {
@@ -158,13 +171,14 @@ impl fmt::Display for RegistryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "published={} hits={} misses={} resolves={} refusals={} revocations={}",
+            "published={} hits={} misses={} resolves={} refusals={} revocations={} wot_proofs={}",
             self.published,
             self.cache_hits,
             self.cache_misses,
             self.resolves,
             self.refusals,
-            self.revocations
+            self.revocations,
+            self.wot_proofs
         )
     }
 }
@@ -186,6 +200,9 @@ pub enum TraceOp {
     ResolveOk = 4,
     /// A resolution was refused (aux encodes the refusal class).
     ResolveRefused = 5,
+    /// A web-of-trust proof was ingested (digest = proof id, aux = new
+    /// trust epoch).
+    WotIngest = 6,
 }
 
 /// One fixed-width trace record: `(seq, op, digest, aux)`.
@@ -273,8 +290,11 @@ pub struct Registry {
     substrate_classes: Vec<(String, u64)>,
     images: BTreeMap<Digest, ImageEntry>,
     by_name: BTreeMap<String, Digest>,
-    verdicts: BTreeMap<(Digest, u32), CertificationReport>,
+    verdicts: BTreeMap<(Digest, u32, u64), CertificationReport>,
     revoked: BTreeMap<Digest, String>,
+    wot: Option<TrustGraph>,
+    wot_default_threshold_milli: i64,
+    wot_assembly_threshold_milli: Option<i64>,
     metrics: MetricsRegistry,
     trace: VecDeque<TraceEvent>,
     next_seq: u64,
@@ -305,6 +325,9 @@ impl Registry {
             by_name: BTreeMap::new(),
             verdicts: BTreeMap::new(),
             revoked: BTreeMap::new(),
+            wot: None,
+            wot_default_threshold_milli: 0,
+            wot_assembly_threshold_milli: None,
             metrics: MetricsRegistry::new(),
             trace: VecDeque::new(),
             next_seq: 0,
@@ -369,8 +392,91 @@ impl Registry {
         Ok(digest)
     }
 
+    /// Attaches a web-of-trust graph: certification gains the fourth
+    /// `wot-threshold` pass, admitting a digest only when its
+    /// aggregated review score clears the threshold in force
+    /// (`default_threshold_milli` unless an assembly declared its own
+    /// via [`Registry::set_wot_threshold`]). Replaces any previously
+    /// attached graph and invalidates the verdict cache.
+    pub fn attach_wot(&mut self, graph: TrustGraph, default_threshold_milli: i64) {
+        self.wot = Some(graph);
+        self.wot_default_threshold_milli = default_threshold_milli;
+        self.verdicts.clear();
+    }
+
+    /// The attached trust graph, for direct inspection. Prefer
+    /// [`Registry::ingest_proof`] for mutation — it traces the ingest
+    /// and keeps the epoch-keyed verdict cache honest.
+    pub fn wot_graph_mut(&mut self) -> Option<&mut TrustGraph> {
+        self.wot.as_mut()
+    }
+
+    /// The current trust epoch (0 while no graph is attached). Folded
+    /// into the verdict-cache key, so every applied proof invalidates
+    /// cached verdicts wholesale.
+    pub fn wot_epoch(&self) -> u64 {
+        self.wot.as_ref().map_or(0, TrustGraph::epoch)
+    }
+
+    /// Declares the admission threshold of the assembly being composed
+    /// (`None` falls back to the registry default). Changing the value
+    /// in force invalidates the verdict cache — thresholds are pipeline
+    /// inputs that are not part of the cache key.
+    pub fn set_wot_threshold(&mut self, threshold_milli: Option<i64>) {
+        if self.wot_assembly_threshold_milli != threshold_milli {
+            self.wot_assembly_threshold_milli = threshold_milli;
+            self.verdicts.clear();
+        }
+    }
+
+    /// The admission threshold currently in force, in milli-units.
+    pub fn wot_threshold_milli(&self) -> i64 {
+        self.wot_assembly_threshold_milli
+            .unwrap_or(self.wot_default_threshold_milli)
+    }
+
+    /// Ingests a web-of-trust proof into the attached graph, tracing
+    /// the operation. An applied proof bumps the trust epoch, which
+    /// retires every cached verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] when no graph is attached;
+    /// [`RegistryError::Signature`] / [`RegistryError::Decode`] when
+    /// the graph refuses the proof.
+    pub fn ingest_proof(
+        &mut self,
+        proof: &Proof,
+    ) -> Result<lateral_wot::IngestOutcome, RegistryError> {
+        let Some(graph) = self.wot.as_mut() else {
+            return Err(RegistryError::NotFound("no trust graph attached".into()));
+        };
+        let outcome = graph.ingest(proof).map_err(|e| match e {
+            lateral_wot::WotError::Signature(r) => RegistryError::Signature(r),
+            other => RegistryError::Decode(other.to_string()),
+        })?;
+        let epoch = graph.epoch();
+        self.metrics.incr("registry.wot_proofs", 1);
+        self.record(TraceOp::WotIngest, proof.id(), epoch);
+        Ok(outcome)
+    }
+
+    /// Whether `digest`'s review score has fallen below the threshold
+    /// in force — the supervisor's health-tick demotion check. Always
+    /// `false` while no graph is attached.
+    pub fn wot_demoted(&mut self, digest: Digest) -> bool {
+        let threshold = self.wot_threshold_milli();
+        match self.wot.as_mut() {
+            Some(graph) => graph.subject_score_milli(digest) < threshold,
+            None => false,
+        }
+    }
+
     /// Certifies `digest`, answering from the verdict cache when a
-    /// report for (digest, [`PASS_SET_VERSION`]) exists.
+    /// report for (digest, [`PASS_SET_VERSION`], trust epoch) exists.
+    /// The trust-epoch component means a score change — a distrust
+    /// wave, a revoked endorsement — can never be served a stale
+    /// `certified` verdict.
     ///
     /// # Errors
     ///
@@ -378,18 +484,31 @@ impl Registry {
     /// report is returned as `Ok` — refusal semantics live in
     /// [`Registry::resolve`].
     pub fn certify(&mut self, digest: Digest) -> Result<CertificationReport, RegistryError> {
-        let entry = self
-            .images
-            .get(&digest)
-            .ok_or_else(|| RegistryError::NotFound(format!("digest {}", digest.short_hex())))?;
-        let key = (digest, PASS_SET_VERSION);
+        if !self.images.contains_key(&digest) {
+            return Err(RegistryError::NotFound(format!(
+                "digest {}",
+                digest.short_hex()
+            )));
+        }
+        let key = (digest, PASS_SET_VERSION, self.wot_epoch());
         if let Some(report) = self.verdicts.get(&key) {
             let report = report.clone();
             self.metrics.incr("registry.cache_hits", 1);
             self.record(TraceOp::CertifyHit, digest, u64::from(report.certified));
             return Ok(report);
         }
-        let report = pipeline::run_pipeline(&entry.manifest, &self.roots, &self.substrate_classes);
+        let threshold_milli = self.wot_threshold_milli();
+        let wot_check = self.wot.as_mut().map(|graph| WotCheck {
+            score_milli: graph.subject_score_milli(digest),
+            threshold_milli,
+        });
+        let entry = &self.images[&digest];
+        let report = pipeline::run_pipeline(
+            &entry.manifest,
+            &self.roots,
+            &self.substrate_classes,
+            wot_check,
+        );
         self.verdicts.insert(key, report.clone());
         self.metrics.incr("registry.cache_misses", 1);
         self.record(TraceOp::CertifyRun, digest, u64::from(report.certified));
@@ -498,6 +617,7 @@ impl Registry {
             resolves: self.metrics.counter("registry.resolves"),
             refusals: self.metrics.counter("registry.refusals"),
             revocations: self.metrics.counter("registry.revocations"),
+            wot_proofs: self.metrics.counter("registry.wot_proofs"),
         }
     }
 
@@ -679,6 +799,103 @@ mod tests {
         assert_eq!(a, b, "identical runs must trace identically");
         assert!(!a.is_empty());
         assert_eq!(a.len() % TRACE_EVENT_LEN, 0);
+    }
+
+    /// A registry whose wot gate is live: `reviewer` is the seeded
+    /// trust root of the attached graph.
+    fn registry_with_wot(threshold_milli: i64) -> (Registry, SigningKey, SigningKey) {
+        let (mut reg, publisher) = registry_with_root(b"root");
+        let reviewer = SigningKey::from_seed(b"reviewer root");
+        let mut graph = lateral_wot::TrustGraph::new();
+        graph.seed_root(&reviewer.verifying_key().to_bytes());
+        reg.attach_wot(graph, threshold_milli);
+        (reg, publisher, reviewer)
+    }
+
+    #[test]
+    fn wot_pass_gates_resolution_on_review_score() {
+        use lateral_wot::{Proof, Rating, ReviewProof};
+        let (mut reg, publisher, reviewer) = registry_with_wot(100);
+        let image = b"svc v1";
+        let digest = reg
+            .publish(
+                image,
+                ManifestDraft::new("svc", image).sign(&publisher, None),
+            )
+            .unwrap();
+        // Unreviewed: score 0 < 100 milli, refused by the wot pass.
+        let err = reg.resolve("svc").unwrap_err();
+        match err {
+            RegistryError::Uncertified { pass, .. } => assert_eq!(pass, WOT_PASS),
+            other => panic!("expected wot refusal, got {other}"),
+        }
+        // A positive review from the seeded root clears the threshold.
+        let review = ReviewProof::issue(&reviewer, digest, Rating::High, 1);
+        reg.ingest_proof(&Proof::Review(review)).unwrap();
+        reg.resolve("svc").unwrap();
+        assert!(!reg.wot_demoted(digest));
+        assert_eq!(reg.stats().wot_proofs, 1);
+    }
+
+    /// The satellite bugfix regression: a verdict cache keyed only on
+    /// (digest, pass-set version) would keep serving `certified` after
+    /// a distrust wave. The trust-epoch key component forces a miss.
+    #[test]
+    fn distrust_wave_cannot_be_served_a_stale_verdict() {
+        use lateral_wot::{Proof, Rating, ReviewProof};
+        let (mut reg, publisher, reviewer) = registry_with_wot(100);
+        let image = b"svc v1";
+        let digest = reg
+            .publish(
+                image,
+                ManifestDraft::new("svc", image).sign(&publisher, None),
+            )
+            .unwrap();
+        let review = ReviewProof::issue(&reviewer, digest, Rating::High, 1);
+        reg.ingest_proof(&Proof::Review(review)).unwrap();
+        assert!(reg.certify(digest).unwrap().certified);
+        // Same epoch: answered from the cache.
+        assert!(reg.certify(digest).unwrap().certified);
+        assert_eq!(reg.stats().cache_hits, 1);
+        let misses_before = reg.stats().cache_misses;
+        // The reviewer recants at a later epoch: the score collapses.
+        let wave = ReviewProof::issue(&reviewer, digest, Rating::Distrust, 2);
+        reg.ingest_proof(&Proof::Review(wave)).unwrap();
+        let report = reg.certify(digest).unwrap();
+        assert_eq!(
+            reg.stats().cache_misses,
+            misses_before + 1,
+            "epoch change must miss the verdict cache"
+        );
+        assert!(!report.certified, "distrusted digest must fail");
+        assert_eq!(report.first_failure().unwrap().0, WOT_PASS);
+        assert!(reg.wot_demoted(digest));
+        assert!(matches!(
+            reg.resolve("svc").unwrap_err(),
+            RegistryError::Uncertified { .. }
+        ));
+    }
+
+    #[test]
+    fn assembly_threshold_overrides_default_and_invalidates_cache() {
+        use lateral_wot::{Proof, Rating, ReviewProof};
+        let (mut reg, publisher, reviewer) = registry_with_wot(100);
+        let image = b"svc v1";
+        let digest = reg
+            .publish(
+                image,
+                ManifestDraft::new("svc", image).sign(&publisher, None),
+            )
+            .unwrap();
+        let review = ReviewProof::issue(&reviewer, digest, Rating::Trust, 1);
+        reg.ingest_proof(&Proof::Review(review)).unwrap();
+        assert!(reg.certify(digest).unwrap().certified);
+        // A stricter per-assembly threshold refuses the same score —
+        // and must not be answered from the old threshold's cache.
+        reg.set_wot_threshold(Some(1_000_000));
+        assert!(!reg.certify(digest).unwrap().certified);
+        reg.set_wot_threshold(None);
+        assert!(reg.certify(digest).unwrap().certified);
     }
 
     #[test]

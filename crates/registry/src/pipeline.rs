@@ -15,10 +15,16 @@
 //! 3. **`tcb-budget`** — the E7-style accounting: for every substrate
 //!    class the registry serves, declared component lines plus that
 //!    class's substrate TCB must stay within the manifest's budget.
+//! 4. **`wot-threshold`** — the web-of-trust gate (runs only when the
+//!    registry has a trust graph attached): the digest's aggregated
+//!    review score from `lateral-wot` must clear the admission
+//!    threshold in force (the assembly's declared threshold, or the
+//!    registry default). The score is a function of the trust graph,
+//!    so verdict caching additionally keys on the trust epoch.
 //!
 //! The pass set is versioned ([`PASS_SET_VERSION`]); verdict caching is
-//! keyed on (digest, version), so changing the passes invalidates every
-//! memoized report.
+//! keyed on (digest, version, trust epoch), so changing the passes —
+//! or the trust graph — invalidates every memoized report.
 
 use std::collections::BTreeSet;
 
@@ -26,7 +32,11 @@ use crate::manifest::SignedManifest;
 
 /// Version of the pass set below. Bump when pass semantics change so
 /// memoized verdicts from older pipelines are never reused.
-pub const PASS_SET_VERSION: u32 = 1;
+/// (v2: added the `wot-threshold` pass.)
+pub const PASS_SET_VERSION: u32 = 2;
+
+/// Name of the web-of-trust pass, also surfaced in refusal errors.
+pub const WOT_PASS: &str = "wot-threshold";
 
 /// The ambient-authority badge: a capability granted to "anyone".
 pub const AMBIENT_BADGE: u64 = 0;
@@ -48,7 +58,8 @@ pub enum PassVerdict {
 /// One pass's verdict inside a [`CertificationReport`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PassResult {
-    /// Stable pass name (`publisher-chain`, `pola-lint`, `tcb-budget`).
+    /// Stable pass name (`publisher-chain`, `pola-lint`, `tcb-budget`,
+    /// `wot-threshold`).
     pub pass: &'static str,
     /// What the pass decided.
     pub verdict: PassVerdict,
@@ -75,15 +86,30 @@ impl CertificationReport {
     }
 }
 
+/// Input to the `wot-threshold` pass: the digest's aggregated review
+/// score and the admission threshold in force, both in milli-units
+/// (1000 = one unit of trust-weighted review mass). The registry
+/// computes the score from its attached `lateral-wot` trust graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WotCheck {
+    /// Aggregated review score of the digest, in milli-units.
+    pub score_milli: i64,
+    /// Admission threshold the score must meet, in milli-units.
+    pub threshold_milli: i64,
+}
+
 /// Runs the full pipeline. `roots` are the registry's trusted root
 /// keys; `substrate_classes` is the (name, substrate TCB lines) table
-/// the TCB-budget pass accounts against.
+/// the TCB-budget pass accounts against; `wot` carries the
+/// web-of-trust score when the registry has a trust graph attached
+/// (`None` keeps the pipeline at its three static passes).
 pub fn run_pipeline(
     manifest: &SignedManifest,
     roots: &BTreeSet<[u8; 32]>,
     substrate_classes: &[(String, u64)],
+    wot: Option<WotCheck>,
 ) -> CertificationReport {
-    let passes = vec![
+    let mut passes = vec![
         PassResult {
             pass: "publisher-chain",
             verdict: publisher_chain(manifest, roots),
@@ -97,6 +123,12 @@ pub fn run_pipeline(
             verdict: tcb_budget(manifest, substrate_classes),
         },
     ];
+    if let Some(check) = wot {
+        passes.push(PassResult {
+            pass: WOT_PASS,
+            verdict: wot_threshold(check),
+        });
+    }
     let certified = passes
         .iter()
         .all(|p| matches!(p.verdict, PassVerdict::Pass));
@@ -171,6 +203,17 @@ fn pola_lint(manifest: &SignedManifest) -> PassVerdict {
     PassVerdict::Pass
 }
 
+fn wot_threshold(check: WotCheck) -> PassVerdict {
+    if check.score_milli >= check.threshold_milli {
+        PassVerdict::Pass
+    } else {
+        PassVerdict::Fail(format!(
+            "review score {} milli below admission threshold {} milli",
+            check.score_milli, check.threshold_milli
+        ))
+    }
+}
+
 fn tcb_budget(manifest: &SignedManifest, substrate_classes: &[(String, u64)]) -> PassVerdict {
     for (class, substrate_tcb) in substrate_classes {
         let total = manifest.loc.saturating_add(*substrate_tcb);
@@ -208,7 +251,7 @@ mod tests {
             .endpoint("peer")
             .channel("ask", "peer", 3)
             .sign(&root, None);
-        let report = run_pipeline(&m, &roots_of(&[&root]), &classes());
+        let report = run_pipeline(&m, &roots_of(&[&root]), &classes(), None);
         assert!(report.certified, "{report:?}");
         assert_eq!(report.passes.len(), 3);
         assert_eq!(report.first_failure(), None);
@@ -220,7 +263,7 @@ mod tests {
         let publisher = SigningKey::from_seed(b"indie");
         let end = Endorsement::issue(&root, &publisher.verifying_key());
         let m = ManifestDraft::new("svc", b"img").sign(&publisher, Some(end));
-        assert!(run_pipeline(&m, &roots_of(&[&root]), &[]).certified);
+        assert!(run_pipeline(&m, &roots_of(&[&root]), &[], None).certified);
     }
 
     #[test]
@@ -228,7 +271,7 @@ mod tests {
         let root = SigningKey::from_seed(b"root");
         let stranger = SigningKey::from_seed(b"stranger");
         let m = ManifestDraft::new("svc", b"img").sign(&stranger, None);
-        let report = run_pipeline(&m, &roots_of(&[&root]), &[]);
+        let report = run_pipeline(&m, &roots_of(&[&root]), &[], None);
         assert!(!report.certified);
         assert_eq!(report.first_failure().unwrap().0, "publisher-chain");
     }
@@ -240,7 +283,7 @@ mod tests {
         let end = Endorsement::issue(&fake_root, &publisher.verifying_key());
         let m = ManifestDraft::new("svc", b"img").sign(&publisher, Some(end));
         let real_roots = roots_of(&[&SigningKey::from_seed(b"root")]);
-        assert!(!run_pipeline(&m, &real_roots, &[]).certified);
+        assert!(!run_pipeline(&m, &real_roots, &[], None).certified);
     }
 
     #[test]
@@ -249,7 +292,7 @@ mod tests {
         let m = ManifestDraft::new("svc", b"img")
             .channel("leak", "unlisted", 5)
             .sign(&root, None);
-        let report = run_pipeline(&m, &roots_of(&[&root]), &[]);
+        let report = run_pipeline(&m, &roots_of(&[&root]), &[], None);
         assert_eq!(report.first_failure().unwrap().0, "pola-lint");
     }
 
@@ -261,7 +304,7 @@ mod tests {
                 .endpoint("peer")
                 .channel("grab", "peer", badge)
                 .sign(&root, None);
-            let report = run_pipeline(&m, &roots_of(&[&root]), &[]);
+            let report = run_pipeline(&m, &roots_of(&[&root]), &[], None);
             assert!(!report.certified, "badge {badge} accepted");
             assert_eq!(report.first_failure().unwrap().0, "pola-lint");
         }
@@ -275,7 +318,38 @@ mod tests {
             .channel("a", "peer", 5)
             .channel("b", "peer", 5)
             .sign(&root, None);
-        assert!(!run_pipeline(&m, &roots_of(&[&root]), &[]).certified);
+        assert!(!run_pipeline(&m, &roots_of(&[&root]), &[], None).certified);
+    }
+
+    #[test]
+    fn wot_threshold_gates_only_when_attached() {
+        let root = SigningKey::from_seed(b"root");
+        let m = ManifestDraft::new("svc", b"img").sign(&root, None);
+        let roots = roots_of(&[&root]);
+        let ok = run_pipeline(
+            &m,
+            &roots,
+            &[],
+            Some(WotCheck {
+                score_milli: 500,
+                threshold_milli: 500,
+            }),
+        );
+        assert!(ok.certified, "{ok:?}");
+        assert_eq!(ok.passes.len(), 4);
+        let fail = run_pipeline(
+            &m,
+            &roots,
+            &[],
+            Some(WotCheck {
+                score_milli: 499,
+                threshold_milli: 500,
+            }),
+        );
+        assert!(!fail.certified);
+        assert_eq!(fail.first_failure().unwrap().0, WOT_PASS);
+        // Detached graph: the pipeline stays at its three static passes.
+        assert_eq!(run_pipeline(&m, &roots, &[], None).passes.len(), 3);
     }
 
     #[test]
@@ -285,7 +359,7 @@ mod tests {
             .loc(15_000)
             .budget(20_000)
             .sign(&root, None);
-        let report = run_pipeline(&m, &roots_of(&[&root]), &classes());
+        let report = run_pipeline(&m, &roots_of(&[&root]), &classes(), None);
         assert!(!report.certified);
         let (pass, reason) = report.first_failure().unwrap();
         assert_eq!(pass, "tcb-budget");

@@ -207,6 +207,16 @@ pub enum ChurnKind {
         /// Registry name of the recalled image.
         image: String,
     },
+    /// A web-of-trust distrust wave against a firmware image (by
+    /// registry name): the world layer ingests distrust review proofs
+    /// into the registry's trust graph, dropping the image's score
+    /// below the admission threshold, and every member running it must
+    /// quarantine — a recall driven by reputation, not by a publisher
+    /// revocation.
+    DistrustWave {
+        /// Registry name of the distrusted image.
+        image: String,
+    },
 }
 
 /// One scheduled fleet-churn event: *what* happens at *which* logical
@@ -239,6 +249,17 @@ impl ChurnEvent {
         ChurnEvent {
             at,
             kind: ChurnKind::Recall {
+                image: image.to_string(),
+            },
+        }
+    }
+
+    /// A distrust wave: at tick `at`, the reviewer cohort turns on the
+    /// image named `image` and every member running it must quarantine.
+    pub fn distrust_wave(at: u64, image: &str) -> ChurnEvent {
+        ChurnEvent {
+            at,
+            kind: ChurnKind::DistrustWave {
                 image: image.to_string(),
             },
         }
@@ -399,8 +420,9 @@ mod tests {
                 .filter(|&id| other.selects(id))
                 .collect::<Vec<u64>>()
         );
-        // Recalls never select crash victims.
+        // Recalls and distrust waves never select crash victims.
         assert!(!ChurnEvent::recall(1, "fw").selects(7));
+        assert!(!ChurnEvent::distrust_wave(1, "fw").selects(7));
         // ppm 0 selects nobody; ppm 1_000_000 selects everybody.
         assert!(!(0..1000).any(|id| ChurnEvent::crash_fraction(9, 0).selects(id)));
         assert!((0..1000).all(|id| ChurnEvent::crash_fraction(9, 1_000_000).selects(id)));

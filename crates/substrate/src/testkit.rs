@@ -713,6 +713,93 @@ pub mod parity {
             "[{name}] exact-digest resolution of a revoked image must refuse"
         );
     }
+
+    /// Web-of-trust demotion parity: an image admitted because its
+    /// review score clears the registry's threshold is refused — and a
+    /// running instance flagged for same-tick quarantine — once a
+    /// distrust wave drops the score, identically on every backend.
+    /// Like [`assert_revoked_image_rejected`], the gate lives above the
+    /// substrate; what each backend must uphold is that the digest the
+    /// trust graph scores is exactly the measurement the spawned domain
+    /// reports, so demotion decisions transfer to running instances.
+    pub fn assert_wot_demotion_quarantined(
+        sub: &mut dyn Substrate,
+        registry: &mut lateral_registry::Registry,
+    ) {
+        use lateral_crypto::sign::SigningKey;
+        use lateral_registry::{ManifestDraft, RegistryError, WOT_PASS};
+        use lateral_wot::{Proof, Rating, ReviewProof, TrustGraph};
+
+        let name = sub.profile().name.clone();
+        let publisher = SigningKey::from_seed(b"parity wot publisher");
+        registry.trust_root(&publisher.verifying_key());
+        let reviewer = SigningKey::from_seed(b"parity wot reviewer");
+        let mut graph = TrustGraph::new();
+        graph.seed_root(&reviewer.verifying_key().to_bytes());
+        registry.attach_wot(graph, 100);
+
+        let image: &[u8] = b"parity wot-gated image v1";
+        let manifest = ManifestDraft::new("parity-wot-gated", image).sign(&publisher, None);
+        let digest = registry
+            .publish(image, manifest)
+            .unwrap_or_else(|e| panic!("[{name}] publish: {e}"));
+
+        // Unreviewed: the wot-threshold pass refuses before any domain
+        // is created.
+        let refused = registry
+            .resolve("parity-wot-gated")
+            .expect_err("unreviewed image must not resolve");
+        assert!(
+            matches!(refused, RegistryError::Uncertified { ref pass, .. } if pass == WOT_PASS),
+            "[{name}] expected a wot-threshold refusal, got: {refused}"
+        );
+
+        // A high review from the trust root clears the threshold: the
+        // image resolves and the spawned domain measures as certified.
+        let review = ReviewProof::issue(&reviewer, digest, Rating::High, 1);
+        registry
+            .ingest_proof(&Proof::Review(review))
+            .unwrap_or_else(|e| panic!("[{name}] review ingest: {e}"));
+        let resolved = registry
+            .resolve("parity-wot-gated")
+            .unwrap_or_else(|e| panic!("[{name}] reviewed image must resolve: {e}"));
+        let gated = sub
+            .spawn(
+                DomainSpec::named("parity-wot-gated").with_image(&resolved.image),
+                Box::new(Echo),
+            )
+            .unwrap_or_else(|e| panic!("[{name}] spawn of admitted image: {e}"));
+        assert_eq!(
+            sub.measurement(gated).unwrap(),
+            resolved.digest,
+            "[{name}] domain measurement must equal the scored digest"
+        );
+        assert!(
+            !registry.wot_demoted(digest),
+            "[{name}] a clearing score must not read as demoted"
+        );
+
+        // Distrust wave: the same root's later review supersedes its
+        // `high`, dragging the score negative. The running instance is
+        // now flagged for the health sweep, and re-resolution refuses
+        // through the wot pass — the pre-wave verdict is never served.
+        let wave = ReviewProof::issue(&reviewer, digest, Rating::Distrust, 2);
+        registry
+            .ingest_proof(&Proof::Review(wave))
+            .unwrap_or_else(|e| panic!("[{name}] wave ingest: {e}"));
+        assert!(
+            registry.wot_demoted(digest),
+            "[{name}] demotion must be visible to the health sweep"
+        );
+        let refused = registry
+            .resolve("parity-wot-gated")
+            .expect_err("demoted image must not resolve");
+        assert!(
+            matches!(refused, RegistryError::Uncertified { ref pass, .. } if pass == WOT_PASS),
+            "[{name}] expected a post-wave wot-threshold refusal, got: {refused}"
+        );
+        sub.destroy(gated).unwrap();
+    }
 }
 
 #[cfg(test)]

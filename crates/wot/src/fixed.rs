@@ -1,0 +1,89 @@
+//! Q32.32 fixed-point arithmetic for the trust-score computation.
+//!
+//! EigenTrust over floats is a determinism hazard: the score vector
+//! would depend on summation order, FMA contraction, and the host's
+//! rounding mode, so its digest could never be gated backend-invariant
+//! the way E11 gates the registry trace. Everything here is integer
+//! math on `u64` raw values with `u128` intermediates — the same result
+//! on every backend, every host, every run.
+//!
+//! Representation: a score `s` is stored as `round_down(s * 2^32)`.
+//! [`ONE`] is 1.0. Scores live in `[0, 1]` plus a little normalization
+//! slack, so the raw values stay far below `u64::MAX`.
+
+/// 1.0 in Q32.32.
+pub const ONE: u64 = 1 << 32;
+
+/// Fractional bits of the representation.
+pub const FRAC_BITS: u32 = 32;
+
+/// `(a * b) >> 32`, rounding toward zero — the canonical Q32.32
+/// product. Intermediate in `u128`, so no overflow for any pair of
+/// in-range scores.
+#[inline]
+pub fn mul_down(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) >> FRAC_BITS) as u64
+}
+
+/// `(a << 32) / b`, rounding toward zero — the canonical Q32.32
+/// quotient. `b` must be nonzero.
+#[inline]
+pub fn div_down(a: u64, b: u64) -> u64 {
+    (((a as u128) << FRAC_BITS) / b as u128) as u64
+}
+
+/// A Q32.32 value scaled to integer milli-units (thousandths), rounding
+/// toward negative infinity — the unit admission thresholds are
+/// declared in (`wot-threshold 750` means 0.750).
+#[inline]
+pub fn to_milli(raw: i64) -> i64 {
+    let wide = raw as i128 * 1000;
+    // Arithmetic shift on the signed wide product floors toward -inf,
+    // so -0.0001 becomes -1 milli, never 0: a barely-negative score
+    // can't sneak past a zero threshold.
+    (wide >> FRAC_BITS) as i64
+}
+
+/// Renders a Q32.32 value as a decimal string with six fractional
+/// digits (enough to read scores in reports; not used in digests).
+pub fn format_fx(raw: u64) -> String {
+    let int = raw >> FRAC_BITS;
+    let frac = raw & (ONE - 1);
+    let micro = (frac as u128 * 1_000_000) >> FRAC_BITS;
+    format!("{int}.{micro:06}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_squared_is_one() {
+        assert_eq!(mul_down(ONE, ONE), ONE);
+        assert_eq!(div_down(ONE, ONE), ONE);
+    }
+
+    #[test]
+    fn mul_rounds_down() {
+        // (1/3) * 3 < 1 after floor-rounding the quotient.
+        let third = div_down(ONE, 3 * ONE);
+        assert!(mul_down(third, 3 * ONE) < ONE);
+        assert!(ONE - mul_down(third, 3 * ONE) <= 3);
+    }
+
+    #[test]
+    fn milli_floors_toward_negative_infinity() {
+        assert_eq!(to_milli(ONE as i64), 1000);
+        assert_eq!(to_milli(ONE as i64 / 2), 500);
+        assert_eq!(to_milli(-1), -1, "barely negative must not round to 0");
+        assert_eq!(to_milli(0), 0);
+        assert_eq!(to_milli(-(ONE as i64)), -1000);
+    }
+
+    #[test]
+    fn format_is_readable() {
+        assert_eq!(format_fx(ONE), "1.000000");
+        assert_eq!(format_fx(ONE / 2), "0.500000");
+        assert_eq!(format_fx(0), "0.000000");
+    }
+}

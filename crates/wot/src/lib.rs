@@ -1,0 +1,62 @@
+//! Web-of-trust certification for the lateral component ecosystem.
+//!
+//! The paper's lateral-thinking argument says trust decisions should
+//! not hinge on one vertically-integrated authority — yet the
+//! registry's certification (PR 3) ran through a single publisher
+//! chain. This crate replaces that bottleneck with a *distributed*
+//! trust layer in the cargo-crev / EigenTrust mold:
+//!
+//! * [`proof`] — signed, strictly-parsed [`ReviewProof`] /
+//!   [`TrustProof`] / [`Revocation`] artifacts that many mutually
+//!   suspicious parties exchange out of band.
+//! * [`graph`] — a [`TrustGraph`] that ingests proofs into a sparse
+//!   row-normalized trust matrix and computes a **deterministic
+//!   fixed-point EigenTrust score** in Q32.32 integer arithmetic
+//!   ([`fixed`]), with exact **incremental recomputation**: edits
+//!   dirty only the affected rows and re-converge from the previous
+//!   fixed point, provably landing on the byte-identical score vector
+//!   a full recompute would produce.
+//!
+//! `lateral-registry` consumes this as its fourth certification pass
+//! (`wot-threshold`): a digest is admitted only when its aggregated
+//! review score clears the per-assembly threshold, and the
+//! [`TrustGraph::epoch`] is folded into the verdict-cache key so a
+//! distrust wave can never be served a stale `certified` verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed;
+pub mod graph;
+pub mod proof;
+
+use std::error::Error;
+use std::fmt;
+
+pub use graph::{ConvergeMode, ConvergeReport, IngestOutcome, TrustGraph, WotStats};
+pub use proof::{Proof, Rating, ReviewProof, Revocation, TrustProof};
+
+/// Errors from proof decoding, verification, and graph ingestion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum WotError {
+    /// A proof failed to parse.
+    Decode(String),
+    /// A signature failed to verify.
+    Signature(String),
+    /// A structurally valid proof the graph refuses on semantic
+    /// grounds (self-trust, revocation issuer mismatch).
+    Graph(String),
+}
+
+impl fmt::Display for WotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WotError::Decode(r) => write!(f, "proof decode: {r}"),
+            WotError::Signature(r) => write!(f, "proof signature: {r}"),
+            WotError::Graph(r) => write!(f, "trust graph: {r}"),
+        }
+    }
+}
+
+impl Error for WotError {}

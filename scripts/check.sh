@@ -26,7 +26,7 @@ cargo fmt --check
 # what they claim to have measured.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-for exp in e10 e11 e12 e13 e14 e15; do
+for exp in e10 e11 e12 e13 e14 e15 e16; do
     echo "==> determinism gate: $exp twice"
     cargo run --release -q -p lateral-bench --bin repro -- "$exp" > "$tmpdir/$exp-raw.txt"
     grep -vE "wall-clock|host-cores" "$tmpdir/$exp-raw.txt" > "$tmpdir/$exp-a.txt"
@@ -89,6 +89,24 @@ for exp in e10 e11 e12 e13 e14 e15; do
         fi
         if ! test -f BENCH_E15.json; then
             echo "E15 did not write BENCH_E15.json" >&2
+            exit 1
+        fi
+        ;;
+    e16)
+        if ! grep -q "proofs ingested/sec" "$tmpdir/$exp-raw.txt"; then
+            echo "E16 output is missing its proof-ingest measurement" >&2
+            exit 1
+        fi
+        if grep -q "backend-invariant: NO" "$tmpdir/$exp-a.txt"; then
+            echo "E16 score digests diverged across backends" >&2
+            exit 1
+        fi
+        if grep -q "identical: NO" "$tmpdir/$exp-a.txt"; then
+            echo "E16 incremental recompute diverged from full" >&2
+            exit 1
+        fi
+        if ! test -f BENCH_E16.json; then
+            echo "E16 did not write BENCH_E16.json" >&2
             exit 1
         fi
         ;;

@@ -31,7 +31,10 @@
 //!   enforcement, TCB / information-flow / confused-deputy analysis.
 //! * [`registry`] — content-addressed component registry with the
 //!   certification pipeline (POLA lint, TCB-budget lint, publisher
-//!   chain) backing composer admission control.
+//!   chain, web-of-trust threshold) backing composer admission control.
+//! * [`wot`] — web-of-trust certification: signed review/trust/
+//!   revocation proofs and the incremental fixed-point EigenTrust
+//!   scoring graph the registry's `wot-threshold` pass consults.
 //! * [`apps`] — the paper's worked scenarios: decomposed email client and
 //!   the smart-meter / utility-server distributed system.
 //!
@@ -54,3 +57,4 @@ pub use lateral_telemetry as telemetry;
 pub use lateral_tpm as tpm;
 pub use lateral_trustzone as trustzone;
 pub use lateral_vpfs as vpfs;
+pub use lateral_wot as wot;

@@ -357,6 +357,87 @@ fn app_manifest_rejects_duplicate_declarations() {
 }
 
 #[test]
+fn wot_proof_decoders_never_panic_or_silently_accept() {
+    use lateral::wot::Proof;
+    let mut rng = Drbg::from_seed(b"fuzz wot proofs");
+    for _ in 0..CASES {
+        let junk = text(&mut rng, 500);
+        // Arbitrary text either errors cleanly or decodes to a proof
+        // whose canonical text round-trips to an equal value — the same
+        // no-partial-acceptance bar as the signed-manifest decoder.
+        if let Ok(p) = Proof::decode(&junk) {
+            assert_eq!(
+                Proof::decode(&p.to_text()).unwrap(),
+                p,
+                "accepted input must round-trip consistently"
+            );
+        }
+    }
+}
+
+#[test]
+fn wot_proof_decoders_reject_structural_mutations() {
+    use lateral::crypto::Digest;
+    use lateral::wot::{Proof, Rating, ReviewProof, Revocation, TrustProof};
+    let reviewer = SigningKey::from_seed(b"fuzz wot reviewer");
+    let peer = SigningKey::from_seed(b"fuzz wot peer");
+    let subject = Digest::of(b"fuzz wot subject image");
+    let valid_texts = [
+        ReviewProof::issue(&reviewer, subject, Rating::High, 7).to_text(),
+        TrustProof::issue(&reviewer, &peer.verifying_key(), Rating::Trust, 7).to_text(),
+        Revocation::issue(&reviewer, subject, 7).to_text(),
+    ];
+    for valid in &valid_texts {
+        let decoded = Proof::decode(valid).unwrap();
+        decoded.verify_signature().unwrap();
+        // Every strict prefix is rejected — the signature line is
+        // mandatory and a truncated hex field never half-parses. (The
+        // full text minus only its trailing newline is the one
+        // equivalent form.)
+        for cut in 0..valid.len() - 1 {
+            assert!(
+                Proof::decode(&valid[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let lines: Vec<&str> = valid.lines().collect();
+        // Dropping any single line must be rejected: with strict
+        // positional fields there is no optional line to absorb it.
+        for drop in 0..lines.len() {
+            let mut mutated: Vec<&str> = lines.clone();
+            mutated.remove(drop);
+            assert!(
+                Proof::decode(&(mutated.join("\n") + "\n")).is_err(),
+                "line-drop at {drop} must be rejected"
+            );
+        }
+        // Duplicating any single line must be rejected too — duplicate
+        // fields are exactly the ambiguity adversarial proofs trade on.
+        for dup in 0..lines.len() {
+            let mut mutated: Vec<&str> = lines.clone();
+            mutated.insert(dup, lines[dup]);
+            assert!(
+                Proof::decode(&(mutated.join("\n") + "\n")).is_err(),
+                "line-dup at {dup} must be rejected"
+            );
+        }
+        // Byte-level mutations must never panic; when they decode, the
+        // signature check still gates ingestion into a trust graph.
+        let mut rng = Drbg::from_seed(b"fuzz wot proof bytes");
+        for _ in 0..CASES {
+            let mut mutated: Vec<u8> = valid.as_bytes().to_vec();
+            let idx = rng.gen_range(mutated.len() as u64) as usize;
+            mutated[idx] ^= (1 + rng.gen_range(255)) as u8;
+            if let Ok(p) = Proof::decode(&String::from_utf8_lossy(&mutated)) {
+                if p != decoded {
+                    assert!(p.verify_signature().is_err(), "forged proof verified");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn subverted_component_report_roundtrips() {
     let mut rng = Drbg::from_seed(b"fuzz report");
     for _ in 0..CASES {
