@@ -23,6 +23,7 @@
 //! | E14 | §III-A — shard scaling, cross-shard crossings | [`e14_scaling`] |
 //! | E15 | §III-A/B — fleet robustness: churn, backpressure, recall | [`e15_fleet`] |
 //! | E16 | §III-B — web-of-trust certification, incremental EigenTrust | [`e16_wot`] |
+//! | E17 | §III-A — telemetry-driven placement, live migration | [`e17_placement`] |
 //!
 //! Every experiment is deterministic (seeded DRBGs, logical clocks);
 //! `cargo run -p lateral-bench --bin repro -- all` prints the full set.
@@ -37,6 +38,7 @@ pub mod e13_throughput;
 pub mod e14_scaling;
 pub mod e15_fleet;
 pub mod e16_wot;
+pub mod e17_placement;
 pub mod e1_containment;
 pub mod e2_conformance;
 pub mod e3_smart_meter;
@@ -49,9 +51,9 @@ pub mod e9_matrix;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 16] = [
+pub const EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by id, returning its printed report.
@@ -77,6 +79,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "e14" => Ok(e14_scaling::report()),
         "e15" => Ok(e15_fleet::report()),
         "e16" => Ok(e16_wot::report()),
+        "e17" => Ok(e17_placement::report()),
         other => Err(format!(
             "unknown experiment '{other}' (available: {})",
             EXPERIMENTS.join(", ")

@@ -486,6 +486,38 @@ impl Assembly {
         self.placements.keys().cloned().collect()
     }
 
+    /// The merged crossing profile of the whole pool: every substrate's
+    /// retained trace folded edge-wise into one
+    /// [`lateral_telemetry::profile::CrossingProfile`] (substrates
+    /// without a fabric contribute nothing). This is the observation
+    /// input to [`crate::placement::plan_placement`].
+    #[must_use]
+    pub fn crossing_profile(&self) -> lateral_telemetry::profile::CrossingProfile {
+        let mut merged = lateral_telemetry::profile::CrossingProfile::new();
+        for sub in &self.substrates {
+            if let Some(p) = sub.crossing_profile() {
+                merged.absorb(&p);
+            }
+        }
+        merged
+    }
+
+    /// Every pool substrate's profile and introspectable cost model, in
+    /// pool order — the candidate set the placement optimizer scores
+    /// against.
+    #[must_use]
+    pub fn pool_profiles_and_models(
+        &self,
+    ) -> Vec<(
+        lateral_substrate::attacker::SubstrateProfile,
+        Option<lateral_substrate::fabric::CrossingCostModel>,
+    )> {
+        self.substrates
+            .iter()
+            .map(|s| (s.profile().clone(), s.cost_model()))
+            .collect()
+    }
+
     /// Fabric traffic counters for every pool substrate, in pool order.
     ///
     /// Substrates predating the fabric engine (none in-tree) would
@@ -573,6 +605,43 @@ impl Assembly {
             cm.name.clone(),
             Placement {
                 substrate: p.substrate,
+                domain,
+            },
+        );
+        Ok(())
+    }
+
+    /// Live-migrates a component: destroys its current domain (stale
+    /// capabilities die with it, exactly as in a respawn) and spawns a
+    /// fresh successor from the manifest on the `target` pool substrate.
+    /// Channel-map and env-cap entries involving the component are
+    /// dropped so the caller re-grants from a clean slate; sealed-state
+    /// escrow is the caller's job (sealing keys never cross substrates).
+    pub(crate) fn migrate(
+        &mut self,
+        cm: &ComponentManifest,
+        component: Box<dyn Component>,
+        target: usize,
+    ) -> Result<(), CoreError> {
+        if target >= self.substrates.len() {
+            return Err(CoreError::NotFound(format!(
+                "pool substrate index {target}"
+            )));
+        }
+        let p = self.placement(&cm.name)?;
+        let _ = self.substrates[p.substrate].destroy(p.domain);
+        self.channels.retain(|(from, _), _| from != &cm.name);
+        self.env_caps
+            .retain(|(target_name, _), _| target_name != &cm.name);
+        let spec = DomainSpec::named(&cm.name)
+            .with_image(&cm.image)
+            .with_mem_pages(cm.mem_pages)
+            .with_loc(cm.loc);
+        let domain = self.substrates[target].spawn(spec, component)?;
+        self.placements.insert(
+            cm.name.clone(),
+            Placement {
+                substrate: target,
                 domain,
             },
         );

@@ -19,6 +19,12 @@
 //!   information-flow reachability over the channel graph (the blast
 //!   radius of experiment E1), confused-deputy candidate detection, and
 //!   a Graphviz exporter for human review.
+//! * [`placement`] — the observability loop closed: crossing-cost
+//!   profiles folded from the fabric's retained trace are re-priced on
+//!   every pool backend's introspectable cost model, producing a
+//!   deterministic [`placement::PlacementPlan`] the supervisor applies
+//!   by live migration — always inside the manifest's isolation
+//!   envelope.
 //! * [`supervisor`] — the recovery layer: manifests declare per-component
 //!   restart policies, and a [`supervisor::Supervisor`] drives crashed
 //!   components through destroy → respawn → re-measure → re-attest →
@@ -35,6 +41,7 @@
 pub mod analysis;
 pub mod composer;
 pub mod manifest;
+pub mod placement;
 pub mod remote;
 pub mod supervisor;
 

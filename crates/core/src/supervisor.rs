@@ -41,6 +41,7 @@ use lateral_substrate::SubstrateError;
 
 use crate::composer::{compose, compose_admitted, Assembly, ComponentFactory, Health};
 use crate::manifest::{AppManifest, RestartPolicy};
+use crate::placement::{plan_placement, PlacementPlan};
 use crate::CoreError;
 
 /// Report data bound into both the baseline and every post-restart
@@ -77,6 +78,12 @@ pub struct Supervisor {
     /// through it, and [`Supervisor::tick`] sweeps it for revocations.
     registry: Option<Registry>,
     ticks: u64,
+    /// Sealed-state escrow: blobs a component sealed on its current
+    /// substrate, held so live migration can open them at the source
+    /// and re-seal them at the target (sealing keys never cross
+    /// substrates).
+    sealed_escrow: BTreeMap<String, Vec<Vec<u8>>>,
+    migration_counts: BTreeMap<String, u32>,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -144,6 +151,8 @@ impl Supervisor {
             escalated: None,
             registry,
             ticks: 0,
+            sealed_escrow: BTreeMap::new(),
+            migration_counts: BTreeMap::new(),
         };
         for cm in &sup.app.components.clone() {
             sup.states.insert(cm.name.clone(), State::Up);
@@ -422,6 +431,233 @@ impl Supervisor {
         }
         self.last_evidence.insert(name.to_string(), ev);
         self.restart_counts
+            .entry(name.to_string())
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+        self.assembly.regrant(&self.app, name)?;
+        Ok(())
+    }
+
+    /// Places a sealed blob under the supervisor's migration escrow for
+    /// `name`. During a live migration every registered blob is opened
+    /// at the source (while the domain is still alive), carried across,
+    /// and re-sealed at the target — the escrow entry is replaced by
+    /// the re-sealed form, readable via [`Supervisor::sealed_blobs`].
+    pub fn register_sealed(&mut self, name: &str, blob: Vec<u8>) {
+        self.sealed_escrow
+            .entry(name.to_string())
+            .or_default()
+            .push(blob);
+    }
+
+    /// The sealed blobs currently escrowed for `name` (re-sealed under
+    /// the target substrate's keys after a migration).
+    #[must_use]
+    pub fn sealed_blobs(&self, name: &str) -> &[Vec<u8>] {
+        self.sealed_escrow.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Live migrations performed for a component so far.
+    #[must_use]
+    pub fn migrations(&self, name: &str) -> u32 {
+        *self.migration_counts.get(name).unwrap_or(&0)
+    }
+
+    /// The optimizer pass: folds the pool's crossing profiles into one
+    /// merged [`lateral_telemetry::profile::CrossingProfile`] and
+    /// scores every placed component against every pool candidate
+    /// ([`plan_placement`]) under a `placement.score` span per pool
+    /// substrate, counting `placement.plans` and `placement.moves` in
+    /// each substrate's metrics. The plan is returned, not applied —
+    /// [`Supervisor::apply_plan`] is the actuation step.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`plan_placement`] can return.
+    pub fn optimize(&mut self) -> Result<PlacementPlan, CoreError> {
+        let spans: Vec<Option<(usize, lateral_telemetry::SpanId)>> =
+            (0..self.assembly.substrate_count())
+                .map(|idx| {
+                    let sub = self.assembly.substrate_mut(idx);
+                    let at = sub.now();
+                    sub.telemetry_mut_ref()
+                        .map(|t| (idx, t.begin_span("placement.score", "placement", at)))
+                })
+                .collect();
+        let profile = self.assembly.crossing_profile();
+        let result = plan_placement(&self.app, &self.assembly, &profile);
+        let outcome = if result.is_ok() {
+            lateral_telemetry::outcome::OK
+        } else {
+            lateral_telemetry::outcome::FAILED
+        };
+        for span in spans.into_iter().flatten() {
+            let (idx, span) = span;
+            let sub = self.assembly.substrate_mut(idx);
+            let at = sub.now();
+            if let Some(t) = sub.telemetry_mut_ref() {
+                t.end_span(span, at, outcome);
+                if let Ok(plan) = &result {
+                    let metrics = t.metrics_mut();
+                    metrics.incr("placement.plans", 1);
+                    metrics.incr("placement.moves", plan.move_count() as u64);
+                }
+            }
+        }
+        result
+    }
+
+    /// Applies a [`PlacementPlan`]: every decision that moves its
+    /// component is actuated via [`Supervisor::migrate_component`], in
+    /// plan (component-name) order. Components that are not currently
+    /// up are skipped — a crashed or quarantined component has no live
+    /// state to migrate; its own recovery path owns it. Returns the
+    /// number of migrations performed.
+    ///
+    /// # Errors
+    ///
+    /// The first failing migration's error (later moves unattempted).
+    pub fn apply_plan(&mut self, plan: &PlacementPlan) -> Result<u32, CoreError> {
+        let mut applied = 0;
+        for d in plan.moves() {
+            if !matches!(self.states.get(&d.component), Some(State::Up)) {
+                continue;
+            }
+            self.migrate_component(&d.component, d.chosen)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Live-migrates one component to the `target` pool substrate,
+    /// under a `placement.migrate {name}` span on the target (the spawn
+    /// and grant spans of the cycle nest under it), counting
+    /// `placement.migrations` and observing `placement.migrate.ticks`.
+    /// A `target` equal to the current placement is a no-op.
+    ///
+    /// The cycle mirrors the restart cycle, with a seal-escrow leg:
+    /// re-resolve the image when admission-controlled, open every
+    /// escrowed blob at the source while the domain is live, destroy,
+    /// spawn from the manifest image on the target, verify the
+    /// successor measures as the baseline, re-attest where supported,
+    /// re-seal the escrow under the target's keys, and re-grant exactly
+    /// the manifest-declared channels.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for unknown components or pool indexes;
+    /// [`CoreError::AdmissionRefused`] when the registry refuses the
+    /// re-resolution; substrate errors from any leg of the cycle.
+    pub fn migrate_component(&mut self, name: &str, target: usize) -> Result<(), CoreError> {
+        let p = self.assembly.placement(name)?;
+        if target >= self.assembly.substrate_count() {
+            return Err(CoreError::NotFound(format!(
+                "pool substrate index {target}"
+            )));
+        }
+        if p.substrate == target {
+            return Ok(());
+        }
+        let span = {
+            let sub = self.assembly.substrate_mut(target);
+            let at = sub.now();
+            sub.telemetry_mut_ref().map(|t| {
+                (
+                    at,
+                    t.begin_span(&format!("placement.migrate {name}"), "placement", at),
+                )
+            })
+        };
+        let result = self.migrate_cycle(name, target);
+        if let Some((started, span)) = span {
+            let sub = self.assembly.substrate_mut(target);
+            let at = sub.now();
+            let outcome = if result.is_ok() {
+                lateral_telemetry::outcome::OK
+            } else {
+                lateral_telemetry::outcome::FAILED
+            };
+            if let Some(t) = sub.telemetry_mut_ref() {
+                t.end_span(span, at, outcome);
+                let metrics = t.metrics_mut();
+                if result.is_ok() {
+                    metrics.incr("placement.migrations", 1);
+                }
+                metrics.observe("placement.migrate.ticks", at.saturating_sub(started));
+            }
+        }
+        result
+    }
+
+    fn migrate_cycle(&mut self, name: &str, target: usize) -> Result<(), CoreError> {
+        let mut cm = self
+            .app
+            .component(name)
+            .ok_or_else(|| CoreError::NotFound(format!("component '{name}'")))?
+            .clone();
+        let mut adopted_update = false;
+        if let Some(registry) = &mut self.registry {
+            let resolved = registry
+                .resolve(name)
+                .map_err(|e| CoreError::AdmissionRefused {
+                    component: name.to_string(),
+                    reason: format!("migration re-resolution: {e}"),
+                })?;
+            if resolved.image != cm.image {
+                cm.image = resolved.image.clone();
+                adopted_update = true;
+                if let Some(c) = self.app.components.iter_mut().find(|c| c.name == name) {
+                    c.image = resolved.image;
+                }
+            }
+        }
+        // Escrow out: open every registered blob at the source while
+        // the domain is still alive — after the destroy the sealing key
+        // is unreachable and the state would be lost.
+        let p = self.assembly.placement(name)?;
+        let blobs = self.sealed_escrow.get(name).cloned().unwrap_or_default();
+        let mut opened = Vec::with_capacity(blobs.len());
+        for blob in &blobs {
+            opened.push(self.assembly.substrates[p.substrate].unseal(p.domain, blob)?);
+        }
+        let component = self.factory.build(&cm).ok_or_else(|| {
+            CoreError::InvalidManifest(format!("factory cannot rebuild '{name}'"))
+        })?;
+        self.assembly.migrate(&cm, component, target)?;
+        let m = self.assembly.measurement(name)?;
+        if adopted_update {
+            self.baselines.insert(name.to_string(), m);
+        } else {
+            let baseline = self.baselines[name];
+            if m != baseline {
+                return Err(CoreError::Substrate(format!(
+                    "migrated '{name}' measurement diverged from baseline"
+                )));
+            }
+        }
+        let ev = self.attest_raw(name)?;
+        if let Some(ev) = &ev {
+            if ev.measurement != self.baselines[name] {
+                return Err(CoreError::Substrate(format!(
+                    "migrated '{name}' attestation evidence diverged from baseline"
+                )));
+            }
+        }
+        if adopted_update {
+            self.baseline_evidence.insert(name.to_string(), ev.clone());
+        }
+        self.last_evidence.insert(name.to_string(), ev);
+        // Escrow in: re-seal under the target's keys; the escrow entry
+        // now holds blobs only the migrated incarnation can open.
+        let q = self.assembly.placement(name)?;
+        let mut resealed = Vec::with_capacity(opened.len());
+        for plaintext in &opened {
+            resealed.push(self.assembly.substrates[q.substrate].seal(q.domain, plaintext)?);
+        }
+        if !resealed.is_empty() {
+            self.sealed_escrow.insert(name.to_string(), resealed);
+        }
+        self.migration_counts
             .entry(name.to_string())
             .and_modify(|c| *c += 1)
             .or_insert(1);
@@ -893,6 +1129,117 @@ mod tests {
             let app = AppManifest::new("rogue-app", vec![ComponentManifest::new("rogue")]);
             let err = Supervisor::new_admitted(app, pool(), factory(), reg).unwrap_err();
             assert!(matches!(err, CoreError::AdmissionRefused { .. }), "{err}");
+        }
+    }
+
+    mod migration {
+        use super::*;
+
+        fn wired_app() -> AppManifest {
+            AppManifest::new(
+                "migratable",
+                vec![
+                    ComponentManifest::new("caller").channel("ask", "worker", 9),
+                    ComponentManifest::new("worker"),
+                ],
+            )
+        }
+
+        fn two_pool() -> Vec<Box<dyn Substrate>> {
+            vec![
+                Box::new(SoftwareSubstrate::new("pool-a")),
+                Box::new(SoftwareSubstrate::new("pool-b")),
+            ]
+        }
+
+        #[test]
+        fn manual_migration_preserves_state_channels_and_baseline() {
+            let mut sup = Supervisor::new(wired_app(), two_pool(), factory()).unwrap();
+            assert_eq!(sup.assembly().placement("worker").unwrap().substrate, 0);
+            let baseline = sup.baseline_measurement("worker").unwrap();
+            // Seal state on the source and escrow it.
+            let p = sup.assembly().placement("worker").unwrap();
+            let blob = sup
+                .assembly_mut()
+                .substrate_mut(p.substrate)
+                .seal(p.domain, b"worker state")
+                .unwrap();
+            sup.register_sealed("worker", blob);
+
+            sup.migrate_component("worker", 1).unwrap();
+
+            assert_eq!(sup.assembly().placement("worker").unwrap().substrate, 1);
+            assert_eq!(sup.migrations("worker"), 1);
+            assert_eq!(sup.baseline_measurement("worker").unwrap(), baseline);
+            assert_eq!(sup.assembly().measurement("worker").unwrap(), baseline);
+            // The escrow was re-sealed: the target incarnation opens it
+            // byte-identically.
+            let q = sup.assembly().placement("worker").unwrap();
+            let resealed = sup.sealed_blobs("worker")[0].clone();
+            assert_eq!(
+                sup.assembly_mut()
+                    .substrate_mut(q.substrate)
+                    .unseal(q.domain, &resealed)
+                    .unwrap(),
+                b"worker state"
+            );
+            // Declared channels were re-granted — and only declared ones.
+            assert_eq!(
+                sup.assembly_mut()
+                    .call_channel("caller", "ask", b"hi")
+                    .unwrap(),
+                b"hi"
+            );
+            assert!(sup
+                .assembly_mut()
+                .call_channel("worker", "ask", b"x")
+                .is_err());
+            assert_eq!(sup.call("worker", b"direct").unwrap(), b"direct");
+            // Metrics landed on the target substrate.
+            let migrations = sup
+                .assembly_mut()
+                .substrate_mut(1)
+                .telemetry_mut_ref()
+                .unwrap()
+                .metrics_mut()
+                .counter("placement.migrations");
+            assert_eq!(migrations, 1);
+        }
+
+        #[test]
+        fn migration_to_current_placement_is_a_noop() {
+            let mut sup = Supervisor::new(wired_app(), two_pool(), factory()).unwrap();
+            sup.migrate_component("worker", 0).unwrap();
+            assert_eq!(sup.migrations("worker"), 0);
+            assert!(matches!(
+                sup.migrate_component("worker", 7),
+                Err(CoreError::NotFound(_))
+            ));
+        }
+
+        #[test]
+        fn optimize_over_balanced_pool_stays_put() {
+            // Two identical software substrates price every candidate
+            // equally: the plan must prefer the current placement over
+            // churn, and apply_plan must be a no-op.
+            let mut sup = Supervisor::new(wired_app(), two_pool(), factory()).unwrap();
+            for _ in 0..8 {
+                sup.assembly_mut()
+                    .call_channel("caller", "ask", b"payload")
+                    .unwrap();
+            }
+            let plan = sup.optimize().unwrap();
+            assert_eq!(plan.move_count(), 0);
+            assert!(plan.decision("worker").unwrap().calls >= 8);
+            assert_eq!(sup.apply_plan(&plan).unwrap(), 0);
+            let plans = sup
+                .assembly_mut()
+                .substrate_mut(0)
+                .telemetry_mut_ref()
+                .unwrap()
+                .metrics_mut()
+                .counter("placement.plans");
+            assert_eq!(plans, 1);
         }
     }
 

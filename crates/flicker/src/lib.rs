@@ -186,6 +186,17 @@ impl BackendPolicy for Flicker {
         LATE_LAUNCH_COST + bytes as u64 / 8
     }
 
+    fn cost_model(&self) -> fabric::CrossingCostModel {
+        // Every invocation is a DRTM entry/exit pair.
+        fabric::CrossingCostModel::uniform(
+            &self.profile.name,
+            LATE_LAUNCH_COST,
+            1,
+            8,
+            fabric::InvokeKindRule::Always(CrossingKind::LateLaunch),
+        )
+    }
+
     fn advance_clock(&mut self, cycles: u64) {
         self.clock += cycles;
     }
@@ -382,6 +393,10 @@ impl Substrate for Flicker {
 
     fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
         Some(&mut self.fabric)
+    }
+
+    fn cost_model(&self) -> Option<fabric::CrossingCostModel> {
+        Some(BackendPolicy::cost_model(self))
     }
 }
 

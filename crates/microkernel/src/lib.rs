@@ -355,6 +355,18 @@ impl BackendPolicy for Microkernel {
         self.machine.costs.ipc_round_trip + self.machine.costs.copy_cost(bytes)
     }
 
+    fn cost_model(&self) -> fabric::CrossingCostModel {
+        // Every crossing is a synchronous IPC round trip + payload copy.
+        let c = &self.machine.costs;
+        fabric::CrossingCostModel::uniform(
+            &self.profile.name,
+            c.ipc_round_trip,
+            c.copy_per_byte_num,
+            c.copy_per_byte_den,
+            fabric::InvokeKindRule::Always(CrossingKind::Ipc),
+        )
+    }
+
     fn advance_clock(&mut self, cycles: u64) {
         self.machine.clock.advance(cycles);
     }
@@ -547,6 +559,10 @@ impl Substrate for Microkernel {
 
     fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
         Some(&mut self.fabric)
+    }
+
+    fn cost_model(&self) -> Option<fabric::CrossingCostModel> {
+        Some(BackendPolicy::cost_model(self))
     }
 }
 

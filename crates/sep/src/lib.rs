@@ -260,6 +260,29 @@ impl BackendPolicy for Sep {
         base + self.machine.costs.copy_cost(bytes)
     }
 
+    fn cost_model(&self) -> fabric::CrossingCostModel {
+        // Same processor side → IPC; crossing to/from the SEP → a
+        // mailbox round trip.
+        let c = &self.machine.costs;
+        let mut m = fabric::CrossingCostModel::uniform(
+            &self.profile.name,
+            c.ipc_round_trip,
+            c.copy_per_byte_num,
+            c.copy_per_byte_den,
+            fabric::InvokeKindRule::SameSideElse {
+                same: CrossingKind::Ipc,
+                cross: CrossingKind::Mailbox,
+            },
+        );
+        m.set(
+            CrossingKind::Mailbox,
+            2 * c.sep_mailbox,
+            c.copy_per_byte_num,
+            c.copy_per_byte_den,
+        );
+        m
+    }
+
     fn advance_clock(&mut self, cycles: u64) {
         self.machine.clock.advance(cycles);
     }
@@ -472,6 +495,10 @@ impl Substrate for Sep {
 
     fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
         Some(&mut self.fabric)
+    }
+
+    fn cost_model(&self) -> Option<fabric::CrossingCostModel> {
+        Some(BackendPolicy::cost_model(self))
     }
 }
 

@@ -318,6 +318,29 @@ impl BackendPolicy for Sgx {
         base + self.machine.costs.copy_cost(bytes)
     }
 
+    fn cost_model(&self) -> fabric::CrossingCostModel {
+        // Touching an enclave on either side costs an EENTER/EEXIT
+        // pair; host→host is an ordinary call.
+        let c = &self.machine.costs;
+        let mut m = fabric::CrossingCostModel::uniform(
+            &self.profile.name,
+            c.function_call,
+            c.copy_per_byte_num,
+            c.copy_per_byte_den,
+            fabric::InvokeKindRule::AnyTrusted {
+                trusted: CrossingKind::EnclaveTransition,
+                none: CrossingKind::Local,
+            },
+        );
+        m.set(
+            CrossingKind::EnclaveTransition,
+            2 * c.enclave_transition,
+            c.copy_per_byte_num,
+            c.copy_per_byte_den,
+        );
+        m
+    }
+
     fn advance_clock(&mut self, cycles: u64) {
         self.machine.clock.advance(cycles);
     }
@@ -536,6 +559,10 @@ impl Substrate for Sgx {
 
     fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
         Some(&mut self.fabric)
+    }
+
+    fn cost_model(&self) -> Option<fabric::CrossingCostModel> {
+        Some(BackendPolicy::cost_model(self))
     }
 }
 

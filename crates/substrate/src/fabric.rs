@@ -26,6 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use lateral_crypto::Digest;
+use lateral_telemetry::profile::CrossingProfile;
 use lateral_telemetry::{outcome as span_outcome, CounterId, HistogramId, LabelId, Telemetry};
 
 use crate::attest::AttestationEvidence;
@@ -142,6 +143,218 @@ impl CrossingKind {
 impl std::fmt::Display for CrossingKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// How a backend classifies an ordinary cross-domain invoke, expressed
+/// as *data* so an optimizer can predict the crossing kind of a
+/// hypothetical placement without spawning anything. Mirrors the
+/// [`BackendPolicy::crossing`] decision of each backend: the inputs are
+/// the two endpoints' [`DomainKind`] placements (the only state those
+/// decisions consult).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InvokeKindRule {
+    /// Every invoke is the same kind (software, microkernel, flicker).
+    Always(CrossingKind),
+    /// Endpoints on the same side (both trusted or both untrusted) use
+    /// `same`; crossing the boundary uses `cross` (trustzone worlds,
+    /// SEP processor sides).
+    SameSideElse {
+        /// Kind charged when both endpoints share a side.
+        same: CrossingKind,
+        /// Kind charged when the invoke crosses the boundary.
+        cross: CrossingKind,
+    },
+    /// Any trusted endpoint (either side) forces `trusted`; a purely
+    /// untrusted pair uses `none` (SGX enclave transitions).
+    AnyTrusted {
+        /// Kind charged when either endpoint is trusted.
+        trusted: CrossingKind,
+        /// Kind charged when neither endpoint is trusted.
+        none: CrossingKind,
+    },
+}
+
+impl InvokeKindRule {
+    /// The crossing kind an invoke between domains of the given
+    /// placements would be charged.
+    #[must_use]
+    pub fn kind(self, caller: DomainKind, target: DomainKind) -> CrossingKind {
+        let trusted = |k: DomainKind| matches!(k, DomainKind::Trusted);
+        match self {
+            InvokeKindRule::Always(kind) => kind,
+            InvokeKindRule::SameSideElse { same, cross } => {
+                if trusted(caller) == trusted(target) {
+                    same
+                } else {
+                    cross
+                }
+            }
+            InvokeKindRule::AnyTrusted { trusted: t, none } => {
+                if trusted(caller) || trusted(target) {
+                    t
+                } else {
+                    none
+                }
+            }
+        }
+    }
+}
+
+/// One crossing kind's price: `base + bytes * per_byte_num /
+/// per_byte_den` cycles — the same affine shape every backend's
+/// [`BackendPolicy::crossing_cost`] takes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostEntry {
+    /// Fixed cycles per crossing (world switch, IPC round trip, …).
+    pub base: u64,
+    /// Numerator of the per-byte copy cost.
+    pub per_byte_num: u64,
+    /// Denominator of the per-byte copy cost (non-zero).
+    pub per_byte_den: u64,
+}
+
+impl CostEntry {
+    /// The price of one crossing carrying `bytes` payload bytes.
+    #[must_use]
+    pub fn price(&self, bytes: u64) -> u64 {
+        self.base + bytes * self.per_byte_num / self.per_byte_den.max(1)
+    }
+
+    /// The exact price of `calls` crossings carrying `total_bytes`
+    /// between them — the bulk form an optimizer uses to price a
+    /// profiled edge without the rounding loss of a per-call average.
+    #[must_use]
+    pub fn price_bulk(&self, calls: u64, total_bytes: u64) -> u64 {
+        calls * self.base + total_bytes * self.per_byte_num / self.per_byte_den.max(1)
+    }
+}
+
+/// A backend's crossing-cost table *as data*: one [`CostEntry`] per
+/// [`CrossingKind`] plus the [`InvokeKindRule`] describing which kind
+/// an ordinary invoke is charged. Exposed by
+/// [`BackendPolicy::cost_model`] (and `Substrate::cost_model`), this is
+/// the introspection surface the placement optimizer prices
+/// hypothetical placements against — the same numbers
+/// [`BackendPolicy::crossing_cost`] charges at run time, readable
+/// without running anything.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CrossingCostModel {
+    backend: String,
+    entries: [CostEntry; CrossingKind::COUNT],
+    rule: InvokeKindRule,
+}
+
+/// Every crossing kind, in code order (the iteration order of
+/// [`CrossingCostModel::entries`]).
+pub const ALL_CROSSING_KINDS: [CrossingKind; CrossingKind::COUNT] = [
+    CrossingKind::Local,
+    CrossingKind::Ipc,
+    CrossingKind::WorldSwitch,
+    CrossingKind::EnclaveTransition,
+    CrossingKind::Mailbox,
+    CrossingKind::LateLaunch,
+    CrossingKind::Shard,
+];
+
+impl CrossingCostModel {
+    /// A model charging every kind the same entry — backends whose
+    /// `crossing_cost` ignores the kind start here and
+    /// [`CrossingCostModel::set`] the exceptions.
+    #[must_use]
+    pub fn uniform(
+        backend: &str,
+        base: u64,
+        per_byte_num: u64,
+        per_byte_den: u64,
+        rule: InvokeKindRule,
+    ) -> CrossingCostModel {
+        CrossingCostModel {
+            backend: backend.to_string(),
+            entries: [CostEntry {
+                base,
+                per_byte_num,
+                per_byte_den: per_byte_den.max(1),
+            }; CrossingKind::COUNT],
+            rule,
+        }
+    }
+
+    /// Overrides the entry for one kind.
+    pub fn set(&mut self, kind: CrossingKind, base: u64, per_byte_num: u64, per_byte_den: u64) {
+        self.entries[kind.code() as usize] = CostEntry {
+            base,
+            per_byte_num,
+            per_byte_den: per_byte_den.max(1),
+        };
+    }
+
+    /// The backend this model describes (its profile name).
+    #[must_use]
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// The invoke-kind classification rule.
+    #[must_use]
+    pub fn rule(&self) -> InvokeKindRule {
+        self.rule
+    }
+
+    /// The entry for one kind.
+    #[must_use]
+    pub fn entry(&self, kind: CrossingKind) -> &CostEntry {
+        &self.entries[kind.code() as usize]
+    }
+
+    /// All entries in kind-code order, paired with their kinds.
+    pub fn entries(&self) -> impl Iterator<Item = (CrossingKind, &CostEntry)> {
+        ALL_CROSSING_KINDS.iter().map(move |&k| (k, self.entry(k)))
+    }
+
+    /// The price of one `kind` crossing with `bytes` payload bytes.
+    #[must_use]
+    pub fn price(&self, kind: CrossingKind, bytes: u64) -> u64 {
+        self.entry(kind).price(bytes)
+    }
+
+    /// The kind an invoke between the given placements would be
+    /// charged.
+    #[must_use]
+    pub fn invoke_kind(&self, caller: DomainKind, target: DomainKind) -> CrossingKind {
+        self.rule.kind(caller, target)
+    }
+
+    /// Prices `calls` ordinary invokes carrying `total_bytes` between
+    /// domains of the given placements.
+    #[must_use]
+    pub fn price_invokes(
+        &self,
+        caller: DomainKind,
+        target: DomainKind,
+        calls: u64,
+        total_bytes: u64,
+    ) -> u64 {
+        self.entry(self.invoke_kind(caller, target))
+            .price_bulk(calls, total_bytes)
+    }
+
+    /// Fixed-width introspection table: one line per kind.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (kind, e) in self.entries() {
+            let _ = writeln!(
+                out,
+                "{:12} base {:>8} per-byte {}/{}",
+                kind.name(),
+                e.base,
+                e.per_byte_num,
+                e.per_byte_den
+            );
+        }
+        out
     }
 }
 
@@ -507,6 +720,32 @@ impl Fabric {
         out
     }
 
+    /// Folds the retained trace into a [`CrossingProfile`]: one edge
+    /// per `(caller name, callee name, crossing kind)` triple, holding
+    /// the per-call cost histogram and total payload bytes. Every
+    /// retained event contributes — the cost was charged whatever the
+    /// outcome. Domains the table no longer knows (destroyed since the
+    /// event was recorded) fold under the stable placeholder
+    /// `domain-<id>` so the profile never silently drops traffic.
+    #[must_use]
+    pub fn crossing_profile(&self) -> CrossingProfile {
+        let mut profile = CrossingProfile::new();
+        let name_of = |id: DomainId| match self.table.get(id) {
+            Ok(rec) => rec.spec.name.clone(),
+            Err(_) => format!("domain-{}", id.0),
+        };
+        for ev in &self.trace {
+            profile.observe(
+                &name_of(ev.caller),
+                &name_of(ev.callee),
+                ev.crossing.name(),
+                ev.cost,
+                ev.bytes,
+            );
+        }
+        profile
+    }
+
     /// Installs (replacing any previous) deterministic fault schedule.
     /// The engine consults it on every spawn, invoke, grant, and seal.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
@@ -790,6 +1029,14 @@ pub trait BackendPolicy: Substrate {
     /// Cycles a `kind` crossing costs with a `bytes`-sized payload —
     /// the backend's cost model, read by E4 through the trace.
     fn crossing_cost(&self, kind: CrossingKind, bytes: usize) -> u64;
+
+    /// The backend's crossing-cost table *as data* — the same numbers
+    /// [`BackendPolicy::crossing_cost`] charges, exposed so the
+    /// placement optimizer can price a hypothetical placement without
+    /// running it. Contract (pinned by the conformance suite): for
+    /// every kind and payload size,
+    /// `cost_model().price(kind, bytes) == crossing_cost(kind, bytes)`.
+    fn cost_model(&self) -> CrossingCostModel;
 
     /// Advances the backend's logical clock by `cycles`.
     fn advance_clock(&mut self, cycles: u64);

@@ -320,6 +320,22 @@ impl ShardFabric {
         lateral_telemetry::merged_tree_digest(self.shards.iter().filter_map(|s| s.telemetry_ref()))
     }
 
+    /// Every shard's crossing profile merged edge-wise (see
+    /// [`lateral_telemetry::profile::CrossingProfile::absorb`]). The
+    /// merge is order-invariant, so this is a well-defined fleet-wide
+    /// view of where the crossing ticks went; cross-shard hops appear
+    /// as the `xshard` kind on the caller's shard.
+    #[must_use]
+    pub fn merged_crossing_profile(&self) -> lateral_telemetry::profile::CrossingProfile {
+        let mut merged = lateral_telemetry::profile::CrossingProfile::new();
+        for shard in &self.shards {
+            if let Some(p) = shard.crossing_profile() {
+                merged.absorb(&p);
+            }
+        }
+        merged
+    }
+
     fn route(&self, id: DomainId) -> Result<Route, SubstrateError> {
         self.routes
             .get(id.0 as usize)
@@ -782,6 +798,19 @@ impl Substrate for ShardFabric {
 
     fn fabric_mut_ref(&mut self) -> Option<&mut crate::fabric::Fabric> {
         self.shards[0].fabric_mut_ref()
+    }
+
+    fn cost_model(&self) -> Option<crate::fabric::CrossingCostModel> {
+        // The intra-shard entries are the anchor backend's; the
+        // `xshard` row is the shard runtime's backend-invariant hop
+        // cost.
+        let mut m = self.shards[0].cost_model()?;
+        m.set(crate::fabric::CrossingKind::Shard, XSHARD_BASE_COST, 1, 32);
+        Some(m)
+    }
+
+    fn crossing_profile(&self) -> Option<lateral_telemetry::profile::CrossingProfile> {
+        Some(self.merged_crossing_profile())
     }
 }
 

@@ -134,6 +134,17 @@ impl BackendPolicy for SoftwareSubstrate {
         5 + bytes as u64 / 64
     }
 
+    fn cost_model(&self) -> fabric::CrossingCostModel {
+        // Every crossing is a dynamic dispatch: 5 cycles + bytes/64.
+        fabric::CrossingCostModel::uniform(
+            &self.profile.name,
+            5,
+            1,
+            64,
+            fabric::InvokeKindRule::Always(CrossingKind::Local),
+        )
+    }
+
     fn advance_clock(&mut self, cycles: u64) {
         self.clock += cycles;
     }
@@ -309,6 +320,10 @@ impl Substrate for SoftwareSubstrate {
 
     fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
         Some(&mut self.fabric)
+    }
+
+    fn cost_model(&self) -> Option<fabric::CrossingCostModel> {
+        Some(BackendPolicy::cost_model(self))
     }
 }
 

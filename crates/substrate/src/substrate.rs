@@ -299,6 +299,24 @@ pub trait Substrate {
     fn telemetry_mut_ref(&mut self) -> Option<&mut lateral_telemetry::Telemetry> {
         self.fabric_mut_ref().map(|f| f.telemetry_mut())
     }
+
+    /// The backend's crossing-cost table as data (see
+    /// [`crate::fabric::CrossingCostModel`]) — what the placement
+    /// optimizer prices hypothetical placements against. `None` for
+    /// backends without an introspectable cost model; every in-tree
+    /// backend (and the sharded fabric) overrides this.
+    fn cost_model(&self) -> Option<crate::fabric::CrossingCostModel> {
+        None
+    }
+
+    /// The crossing profile folded from the backend's retained trace —
+    /// per-edge cost histograms and byte totals (see
+    /// [`lateral_telemetry::profile::CrossingProfile`]). Defaults to
+    /// delegating through [`Substrate::fabric_ref`]; the sharded
+    /// fabric overrides it with its merged profile.
+    fn crossing_profile(&self) -> Option<lateral_telemetry::profile::CrossingProfile> {
+        self.fabric_ref().map(|f| f.crossing_profile())
+    }
 }
 
 /// The services a component sees while executing. A thin, POLA-scoped

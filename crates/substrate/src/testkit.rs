@@ -800,6 +800,156 @@ pub mod parity {
         );
         sub.destroy(gated).unwrap();
     }
+
+    /// The introspectable cost model is not a second implementation that
+    /// can drift: for every invocation the engine actually recorded, the
+    /// backend's [`crate::fabric::CrossingCostModel`] must reprice the
+    /// observed crossing to exactly the cycles charged, and its
+    /// invoke-kind rule must predict the crossing the engine chose for a
+    /// trusted-to-trusted call — the contract the placement optimizer's
+    /// scoring rests on.
+    pub fn assert_cost_model_prices_observed_crossings(sub: &mut dyn Substrate) {
+        use crate::fabric::{DomainKind, TraceOutcome};
+        let name = sub.profile().name.clone();
+        let model = sub
+            .cost_model()
+            .unwrap_or_else(|| panic!("[{name}] backend must expose its cost model"));
+        assert_eq!(
+            model.backend(),
+            name,
+            "[{name}] the model names the backend it describes"
+        );
+        let svc = sub
+            .spawn(DomainSpec::named("parity-priced-svc"), Box::new(Echo))
+            .unwrap();
+        let client = sub
+            .spawn(DomainSpec::named("parity-priced-client"), Box::new(Echo))
+            .unwrap();
+        let cap = sub.grant_channel(client, svc, Badge(7)).unwrap();
+        // Payload sizes straddling the per-byte divisors (8, 32, 64) so a
+        // wrong numerator or denominator cannot price every case right.
+        for len in [0usize, 1, 7, 8, 63, 64, 65, 512, 4096] {
+            let payload = vec![0xA5u8; len];
+            assert_eq!(sub.invoke(client, &cap, &payload).unwrap(), payload);
+        }
+        let fabric = sub
+            .fabric_ref()
+            .unwrap_or_else(|| panic!("[{name}] backend must expose its fabric"));
+        let mut checked = 0usize;
+        for ev in fabric.trace().filter(|ev| ev.outcome == TraceOutcome::Ok) {
+            assert_eq!(
+                model.price(ev.crossing, ev.bytes),
+                ev.cost,
+                "[{name}] model must reprice {} bytes over {} to the charged cycles",
+                ev.bytes,
+                ev.crossing,
+            );
+            assert_eq!(
+                model.invoke_kind(DomainKind::Trusted, DomainKind::Trusted),
+                ev.crossing,
+                "[{name}] invoke-kind rule must predict the engine's crossing"
+            );
+            checked += 1;
+        }
+        assert!(
+            checked >= 9,
+            "[{name}] the retained trace must cover the priced invocations"
+        );
+        sub.destroy(client).unwrap();
+        sub.destroy(svc).unwrap();
+    }
+
+    /// Live migration parity: a component with sealed state moves from
+    /// `source` to `target` through the seal-escrow cycle — unseal while
+    /// live, destroy, respawn from the same image on the target,
+    /// re-measure identically, re-seal — and comes out byte-identical.
+    /// The stale capability into the source incarnation stays dead, a
+    /// fresh grant restores service on the target, and (where the target
+    /// can attest) the evidence carries the unchanged measurement.
+    pub fn assert_migration_preserves_state(
+        source: &mut dyn Substrate,
+        target: &mut dyn Substrate,
+    ) {
+        let src = source.profile().name.clone();
+        let dst = target.profile().name.clone();
+        let leg = format!("{src}->{dst}");
+        let spec = || DomainSpec::named("parity-migrant").with_image(b"parity migrant image");
+        let secret: &[u8] = b"parity migration secret";
+
+        // Source incarnation: serving, with sealed state.
+        let driver = source
+            .spawn(DomainSpec::named("parity-migrant-driver"), Box::new(Echo))
+            .unwrap();
+        let migrant = source.spawn(spec(), Box::new(Echo)).unwrap();
+        let baseline = source.measurement(migrant).unwrap();
+        let stale = source.grant_channel(driver, migrant, Badge(7)).unwrap();
+        assert_eq!(
+            source.invoke(driver, &stale, b"pre").unwrap(),
+            b"pre",
+            "[{leg}] source incarnation serves before migration"
+        );
+        let sealed = source
+            .seal(migrant, secret)
+            .unwrap_or_else(|e| panic!("[{leg}] seal on source: {e}"));
+
+        // Escrow leg: sealing is keyed per backend, so the blob is opened
+        // while the source incarnation is still alive and carried across
+        // in plaintext under the supervisor's custody.
+        let escrow = source
+            .unseal(migrant, &sealed)
+            .unwrap_or_else(|e| panic!("[{leg}] escrow unseal on source: {e}"));
+        assert_eq!(escrow, secret, "[{leg}] escrow must open the sealed state");
+
+        source.destroy(migrant).unwrap();
+        assert!(
+            source.invoke(driver, &stale, b"gone").is_err(),
+            "[{leg}] cap into the destroyed incarnation must fail"
+        );
+
+        // Target incarnation: same image, same measurement — the code
+        // identity is backend-invariant, which is what lets admission and
+        // attestation decisions transfer across the migration.
+        let successor = target.spawn(spec(), Box::new(Echo)).unwrap();
+        assert_eq!(
+            target.measurement(successor).unwrap(),
+            baseline,
+            "[{leg}] the successor re-measures identically on the target"
+        );
+        let resealed = target
+            .seal(successor, &escrow)
+            .unwrap_or_else(|e| panic!("[{leg}] re-seal on target: {e}"));
+        assert_eq!(
+            target.unseal(successor, &resealed).unwrap(),
+            secret,
+            "[{leg}] sealed state survives migration byte-identically"
+        );
+        assert!(
+            source.invoke(driver, &stale, b"still gone").is_err(),
+            "[{leg}] the stale cap must never reach the migrated incarnation"
+        );
+        let fresh_driver = target
+            .spawn(DomainSpec::named("parity-migrant-driver"), Box::new(Echo))
+            .unwrap();
+        let fresh = target
+            .grant_channel(fresh_driver, successor, Badge(7))
+            .unwrap();
+        assert_eq!(
+            target.invoke(fresh_driver, &fresh, b"served").unwrap(),
+            b"served",
+            "[{leg}] service resumes on the re-granted channel"
+        );
+        match target.attest(successor, b"parity migration") {
+            Ok(evidence) => assert_eq!(
+                evidence.measurement, baseline,
+                "[{leg}] post-migration evidence carries the unchanged measurement"
+            ),
+            Err(SubstrateError::Unsupported(_)) => {}
+            Err(e) => panic!("[{leg}] attest on target: {e}"),
+        }
+        source.destroy(driver).unwrap();
+        target.destroy(fresh_driver).unwrap();
+        target.destroy(successor).unwrap();
+    }
 }
 
 #[cfg(test)]

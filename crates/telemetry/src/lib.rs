@@ -39,6 +39,8 @@ use std::sync::Arc;
 
 use lateral_crypto::Digest;
 
+pub mod profile;
+
 /// Spans retained in the closed-span ring before the oldest is dropped.
 pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
 
@@ -258,6 +260,89 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// Deterministic percentile extraction.
+    ///
+    /// Convention (the one every consumer must share for cross-backend
+    /// digests to agree): the percentile-`p` observation is found by its
+    /// *rank* `ceil(count * p / 100)` (1-based, so `p = 50` of 4
+    /// observations is rank 2), walking buckets in bound order; the
+    /// reported value is the **upper bound** of the bucket holding that
+    /// rank ([`HISTOGRAM_BOUNDS`]), and the overflow bucket reports
+    /// [`Histogram::max`]. Pure integer arithmetic — no floats, no
+    /// interpolation — so p50/p99 are byte-identical across backends,
+    /// runs, and platforms. An empty histogram reports 0. `p` is
+    /// clamped to 1..=100.
+    #[must_use]
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(1, 100);
+        let rank = (self.count * p).div_ceil(100);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return match HISTOGRAM_BOUNDS.get(idx) {
+                    Some(&bound) => bound,
+                    None => self.max, // overflow bucket
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median under the [`Histogram::percentile`] convention.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 99th percentile under the [`Histogram::percentile`] convention.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
+    /// Reconstructs a histogram from its exported parts (the profile
+    /// codec's decode side). Strict: the bucket counts must sum to
+    /// `count`, and an empty histogram must carry zero `sum` and `max`.
+    #[must_use]
+    pub fn from_parts(
+        buckets: [u64; HISTOGRAM_BOUNDS.len() + 1],
+        count: u64,
+        sum: u64,
+        max: u64,
+    ) -> Option<Histogram> {
+        let mut total = 0u64;
+        for &b in &buckets {
+            total = total.checked_add(b)?;
+        }
+        if total != count {
+            return None;
+        }
+        if count == 0 && (sum != 0 || max != 0) {
+            return None;
+        }
+        Some(Histogram {
+            buckets,
+            count,
+            sum,
+            max,
+        })
+    }
+
+    /// Adds another histogram bucket-wise (the same merge
+    /// [`MetricsRegistry::absorb`] performs).
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (m, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *m += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -400,13 +485,7 @@ impl MetricsRegistry {
         for (name, &i) in &other.histogram_index {
             let hist = &other.histograms[i as usize].1;
             let id = self.histogram_id(name);
-            let mine = &mut self.histograms[id.0 as usize].1;
-            for (m, o) in mine.buckets.iter_mut().zip(hist.buckets.iter()) {
-                *m += o;
-            }
-            mine.count += hist.count;
-            mine.sum += hist.sum;
-            mine.max = mine.max.max(hist.max);
+            self.histograms[id.0 as usize].1.absorb(hist);
         }
     }
 
@@ -1022,6 +1101,85 @@ mod tests {
         let tree = t.render_tree();
         assert!(tree.contains("root [test] 0..3 ok"));
         assert!(tree.contains("\n  leaf [test] 1..2 ok"));
+    }
+
+    #[test]
+    fn percentiles_follow_the_upper_bound_convention() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(50), 0, "empty histogram reports 0");
+        // Four observations land in buckets ≤4 (two), ≤16, ≤64.
+        for v in [2, 3, 10, 40] {
+            h.observe(v);
+        }
+        // rank(p50) = ceil(4*50/100) = 2 → second observation → the ≤4
+        // bucket → its upper bound.
+        assert_eq!(h.p50(), 4);
+        // rank(p99) = ceil(4*99/100) = 4 → the ≤64 bucket.
+        assert_eq!(h.p99(), 64);
+        assert_eq!(h.percentile(100), 64);
+        assert_eq!(h.percentile(1), 4);
+        // p is clamped: 0 behaves as 1, 1000 as 100.
+        assert_eq!(h.percentile(0), h.percentile(1));
+        assert_eq!(h.percentile(1000), h.percentile(100));
+        // The overflow bucket reports the exact max, not a bound.
+        let mut big = Histogram::default();
+        big.observe(3);
+        big.observe(70_000);
+        assert_eq!(big.p99(), 70_000);
+        assert_eq!(big.p50(), 4);
+    }
+
+    #[test]
+    fn percentile_is_identical_across_observation_orders() {
+        // The convention must not depend on insertion order — only on
+        // the bucket counts.
+        let mut fwd = Histogram::default();
+        let mut rev = Histogram::default();
+        let values = [1u64, 5, 5, 17, 90, 300, 1_500, 20_000];
+        for &v in &values {
+            fwd.observe(v);
+        }
+        for &v in values.iter().rev() {
+            rev.observe(v);
+        }
+        for p in [1, 25, 50, 75, 90, 99, 100] {
+            assert_eq!(fwd.percentile(p), rev.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn histogram_from_parts_is_strict() {
+        let mut h = Histogram::default();
+        h.observe(3);
+        h.observe(500);
+        let mut buckets = [0u64; HISTOGRAM_BOUNDS.len() + 1];
+        buckets.copy_from_slice(h.buckets());
+        let back = Histogram::from_parts(buckets, h.count(), h.sum(), h.max()).unwrap();
+        assert_eq!(back, h);
+        // Bucket counts not summing to count are rejected.
+        assert!(Histogram::from_parts(buckets, 3, h.sum(), h.max()).is_none());
+        // An empty histogram cannot claim a sum or max.
+        let zero = [0u64; HISTOGRAM_BOUNDS.len() + 1];
+        assert!(Histogram::from_parts(zero, 0, 1, 0).is_none());
+        assert!(Histogram::from_parts(zero, 0, 0, 9).is_none());
+        assert!(Histogram::from_parts(zero, 0, 0, 0).is_some());
+    }
+
+    #[test]
+    fn histogram_absorb_matches_observing_everything() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut all = Histogram::default();
+        for v in [1u64, 9, 100] {
+            a.observe(v);
+            all.observe(v);
+        }
+        for v in [7u64, 30_000] {
+            b.observe(v);
+            all.observe(v);
+        }
+        a.absorb(&b);
+        assert_eq!(a, all);
     }
 
     #[test]

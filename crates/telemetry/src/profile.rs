@@ -1,0 +1,425 @@
+//! Crossing-cost profiles: the observability layer's answer to "where
+//! do this assembly's ticks actually go?".
+//!
+//! A [`CrossingProfile`] folds per-crossing latency observations into
+//! per-edge statistics, where an *edge* is the triple
+//! `(from, to, kind)` — caller domain name, callee domain name, and
+//! the crossing-kind name the backend charged (`"local"`, `"ipc"`,
+//! `"smc"`, `"enclave"`, `"mailbox"`, `"late-launch"`, `"xshard"`).
+//! Each edge keeps a fixed-bucket [`Histogram`] of per-call crossing
+//! costs plus the total payload bytes, so a consumer can read
+//! deterministic p50/p99/total-ticks per edge (the
+//! [`Histogram::percentile`] upper-bound convention) and price the
+//! same traffic on a different backend's cost model.
+//!
+//! Profiles are plain data with a strict line-based text codec
+//! ([`CrossingProfile::to_text`] / [`CrossingProfile::parse`]): decode
+//! is all-or-nothing (unknown directives, malformed numbers,
+//! out-of-order or duplicate edges, and trailing garbage all reject
+//! the whole blob), the emitted form is canonical (edges in key
+//! order), and [`CrossingProfile::digest`] hashes exactly that
+//! canonical form under a domain separator. Profiles from several
+//! engines — the per-shard fabrics of a `ShardFabric`, or the members
+//! of a composed assembly's substrate pool — merge edge-wise with
+//! [`CrossingProfile::absorb`], which is associative and commutative,
+//! so the merged profile is independent of fold order.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use lateral_crypto::Digest;
+
+use crate::{Histogram, HISTOGRAM_BOUNDS};
+
+/// Domain separator for [`CrossingProfile::digest`].
+const PROFILE_DOMAIN: &[u8] = b"lateral.telemetry.crossing-profile";
+
+/// Header line opening every encoded profile.
+const PROFILE_HEADER: &str = "crossing-profile v1";
+
+/// Errors from the profile codec.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProfileCodecError(String);
+
+impl fmt::Display for ProfileCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed crossing-profile: {}", self.0)
+    }
+}
+
+impl Error for ProfileCodecError {}
+
+/// One directed edge's identity: caller name, callee name, and the
+/// crossing-kind name the backend charged. Kind is carried as its
+/// stable display name, not an enum — the profile layer is below the
+/// fabric and must stay meaningful for kinds it has never heard of.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct EdgeKey {
+    /// Caller domain name.
+    pub from: String,
+    /// Callee domain name.
+    pub to: String,
+    /// Crossing-kind display name (`"ipc"`, `"smc"`, …).
+    pub kind: String,
+}
+
+/// Folded statistics for one edge.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct EdgeStats {
+    /// Per-call crossing-cost histogram (logical ticks).
+    pub costs: Histogram,
+    /// Total payload bytes carried over the edge.
+    pub bytes: u64,
+}
+
+impl EdgeStats {
+    /// Calls observed on this edge.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.costs.count()
+    }
+
+    /// Total crossing ticks spent on this edge.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.costs.sum()
+    }
+}
+
+/// Per-edge crossing statistics for one engine (or a merged set of
+/// engines). See the module docs for the codec and merge contracts.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct CrossingProfile {
+    edges: BTreeMap<EdgeKey, EdgeStats>,
+}
+
+impl CrossingProfile {
+    /// An empty profile.
+    #[must_use]
+    pub fn new() -> CrossingProfile {
+        CrossingProfile::default()
+    }
+
+    /// Records one call on the edge `(from, to, kind)` costing `cost`
+    /// ticks and carrying `bytes` payload bytes. Edge names are domain
+    /// names and kind names — whitespace-free by construction; the
+    /// text codec tokenizes on whitespace and relies on that.
+    pub fn observe(&mut self, from: &str, to: &str, kind: &str, cost: u64, bytes: u64) {
+        let stats = self
+            .edges
+            .entry(EdgeKey {
+                from: from.to_string(),
+                to: to.to_string(),
+                kind: kind.to_string(),
+            })
+            .or_default();
+        stats.costs.observe(cost);
+        stats.bytes += bytes;
+    }
+
+    /// All edges, in canonical key order.
+    pub fn edges(&self) -> impl Iterator<Item = (&EdgeKey, &EdgeStats)> {
+        self.edges.iter()
+    }
+
+    /// The stats for one edge, if observed.
+    #[must_use]
+    pub fn edge(&self, from: &str, to: &str, kind: &str) -> Option<&EdgeStats> {
+        self.edges.get(&EdgeKey {
+            from: from.to_string(),
+            to: to.to_string(),
+            kind: kind.to_string(),
+        })
+    }
+
+    /// Distinct edges observed.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total calls across all edges.
+    #[must_use]
+    pub fn total_calls(&self) -> u64 {
+        self.edges.values().map(EdgeStats::calls).sum()
+    }
+
+    /// Total crossing ticks across all edges.
+    #[must_use]
+    pub fn total_ticks(&self) -> u64 {
+        self.edges.values().map(EdgeStats::ticks).sum()
+    }
+
+    /// Merges `other` into this profile edge-wise. Associative and
+    /// commutative, so folding N engines' profiles yields the same
+    /// merged profile in any order.
+    pub fn absorb(&mut self, other: &CrossingProfile) {
+        for (key, stats) in &other.edges {
+            let mine = self.edges.entry(key.clone()).or_default();
+            mine.costs.absorb(&stats.costs);
+            mine.bytes += stats.bytes;
+        }
+    }
+
+    /// Canonical text form: a header line, then one `edge` line per
+    /// edge in key order —
+    ///
+    /// ```text
+    /// crossing-profile v1
+    /// edge <from> <to> <kind> calls <n> ticks <sum> max <m> bytes <b> buckets <b0> … <b8>
+    /// ```
+    ///
+    /// [`CrossingProfile::parse`] accepts exactly this form.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{PROFILE_HEADER}");
+        for (key, stats) in &self.edges {
+            let _ = write!(
+                out,
+                "edge {} {} {} calls {} ticks {} max {} bytes {} buckets",
+                key.from,
+                key.to,
+                key.kind,
+                stats.costs.count(),
+                stats.costs.sum(),
+                stats.costs.max(),
+                stats.bytes,
+            );
+            for b in stats.costs.buckets() {
+                let _ = write!(out, " {b}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Strict decoder for [`CrossingProfile::to_text`]. All-or-nothing:
+    /// a missing or repeated header, an unknown directive, a malformed
+    /// or internally inconsistent edge line (bucket counts must sum to
+    /// `calls`), edges out of canonical order or duplicated, or any
+    /// trailing garbage rejects the whole text. `parse(p.to_text())`
+    /// reproduces `p` exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileCodecError`] on any malformation.
+    pub fn parse(text: &str) -> Result<CrossingProfile, ProfileCodecError> {
+        let bad =
+            |line_no: usize, why: &str| ProfileCodecError(format!("line {}: {why}", line_no + 1));
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first == PROFILE_HEADER => {}
+            _ => return Err(ProfileCodecError("missing header".into())),
+        }
+        let mut edges: BTreeMap<EdgeKey, EdgeStats> = BTreeMap::new();
+        let mut last_key: Option<EdgeKey> = None;
+        for (no, line) in lines {
+            let words: Vec<&str> = line.split(' ').collect();
+            // Exact arity: "edge" + 3 names + 4 labeled scalar pairs +
+            // "buckets" + 9 counts = 22 tokens. split(' ') (not
+            // whitespace) also rejects doubled spaces and tabs.
+            const ARITY: usize = 13 + HISTOGRAM_BOUNDS.len() + 1;
+            if words.len() != ARITY || words[0] != "edge" {
+                return Err(bad(no, "expected an 'edge' line"));
+            }
+            let [from, to, kind] = [words[1], words[2], words[3]];
+            if from.is_empty() || to.is_empty() || kind.is_empty() {
+                return Err(bad(no, "empty edge name"));
+            }
+            let int = |label_idx: usize, label: &str| -> Result<u64, ProfileCodecError> {
+                if words[label_idx] != label {
+                    return Err(bad(no, &format!("expected '{label}'")));
+                }
+                parse_u64(words[label_idx + 1])
+                    .ok_or_else(|| bad(no, &format!("malformed {label}")))
+            };
+            let calls = int(4, "calls")?;
+            let ticks = int(6, "ticks")?;
+            let max = int(8, "max")?;
+            let bytes = int(10, "bytes")?;
+            if words[12] != "buckets" {
+                return Err(bad(no, "expected 'buckets'"));
+            }
+            let mut buckets = [0u64; HISTOGRAM_BOUNDS.len() + 1];
+            for (i, slot) in buckets.iter_mut().enumerate() {
+                *slot =
+                    parse_u64(words[13 + i]).ok_or_else(|| bad(no, "malformed bucket count"))?;
+            }
+            let costs = Histogram::from_parts(buckets, calls, ticks, max)
+                .ok_or_else(|| bad(no, "inconsistent histogram"))?;
+            let key = EdgeKey {
+                from: from.to_string(),
+                to: to.to_string(),
+                kind: kind.to_string(),
+            };
+            if last_key.as_ref().is_some_and(|prev| *prev >= key) {
+                return Err(bad(no, "edges out of canonical order"));
+            }
+            last_key = Some(key.clone());
+            edges.insert(key, EdgeStats { costs, bytes });
+        }
+        Ok(CrossingProfile { edges })
+    }
+
+    /// Canonical digest: the [`CrossingProfile::to_text`] bytes under a
+    /// profile-specific domain separator. Two profiles digest equal iff
+    /// they hold identical edge statistics.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        Digest::of_parts(&[PROFILE_DOMAIN, self.to_text().as_bytes()])
+    }
+
+    /// Fixed-width report table: one line per edge with calls, total
+    /// ticks, and the deterministic p50/p99 (upper-bound convention).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let width = self
+            .edges
+            .keys()
+            .map(|k| k.from.len() + k.to.len() + k.kind.len() + 4)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (key, stats) in &self.edges {
+            let label = format!("{}->{} [{}]", key.from, key.to, key.kind);
+            let _ = writeln!(
+                out,
+                "{label:width$}  calls {:>8}  ticks {:>12}  p50 {:>8}  p99 {:>8}",
+                stats.calls(),
+                stats.ticks(),
+                stats.costs.p50(),
+                stats.costs.p99(),
+            );
+        }
+        out
+    }
+}
+
+/// Strict decimal parser: rejects empty strings, leading `+`/`-`,
+/// leading zeros (except "0" itself), and overflow — the canonical
+/// encoder never emits any of those.
+fn parse_u64(s: &str) -> Option<u64> {
+    if s.is_empty() || (s.len() > 1 && s.starts_with('0')) {
+        return None;
+    }
+    if !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CrossingProfile {
+        let mut p = CrossingProfile::new();
+        for i in 0..5u64 {
+            p.observe("frontend", "ledger", "smc", 3_000 + i, 64);
+        }
+        p.observe("ledger", "audit", "ipc", 1_008, 32);
+        p.observe("frontend", "ledger", "ipc", 1_004, 16);
+        p
+    }
+
+    #[test]
+    fn observe_folds_into_edges() {
+        let p = sample();
+        assert_eq!(p.edge_count(), 3);
+        let smc = p.edge("frontend", "ledger", "smc").unwrap();
+        assert_eq!(smc.calls(), 5);
+        assert_eq!(smc.ticks(), 3_000 + 3_001 + 3_002 + 3_003 + 3_004);
+        assert_eq!(smc.bytes, 5 * 64);
+        assert_eq!(smc.costs.p50(), 4_096);
+        assert_eq!(p.total_calls(), 7);
+        assert!(p.edge("ledger", "frontend", "smc").is_none());
+    }
+
+    #[test]
+    fn text_codec_round_trips_canonically() {
+        let p = sample();
+        let text = p.to_text();
+        let back = CrossingProfile::parse(&text).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.to_text(), text);
+        assert_eq!(back.digest(), p.digest());
+        // Edges appear in canonical key order.
+        let ipc = text.find("frontend ledger ipc").unwrap();
+        let smc = text.find("frontend ledger smc").unwrap();
+        let audit = text.find("ledger audit ipc").unwrap();
+        assert!(ipc < smc && smc < audit);
+        // The empty profile round-trips too.
+        let empty = CrossingProfile::new();
+        assert_eq!(CrossingProfile::parse(&empty.to_text()).unwrap(), empty);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        let good = sample().to_text();
+        let mut shuffled: Vec<&str> = good.lines().collect();
+        shuffled.swap(1, 2); // edges out of canonical order
+        let shuffled = shuffled.join("\n");
+        let dup = {
+            let mut lines: Vec<&str> = good.lines().collect();
+            lines.push(lines[1]);
+            lines.join("\n")
+        };
+        for bad in [
+            "",
+            "crossing-profile v2",
+            &good[..good.len() - 2],            // truncated mid-line
+            &format!("{good}trailing"),         // trailing garbage
+            &format!("{good}{PROFILE_HEADER}"), // repeated header
+            &good.replace("calls", "callz"),
+            &good.replace("edge", "edgy"),
+            &good.replace(" 5 ", " 05 "),        // non-canonical integer
+            &good.replace(" 5 ", " -5 "),        // signed integer
+            &good.replace(" 5 ", "  5 "),        // doubled separator
+            &good.replace("calls 5", "calls 4"), // buckets no longer sum to calls
+            shuffled.as_str(),
+            dup.as_str(),
+        ] {
+            assert!(CrossingProfile::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn absorb_is_order_invariant() {
+        let mut a = CrossingProfile::new();
+        a.observe("x", "y", "ipc", 1_000, 8);
+        a.observe("x", "z", "smc", 3_000, 8);
+        let mut b = CrossingProfile::new();
+        b.observe("x", "y", "ipc", 1_004, 16);
+        b.observe("w", "y", "local", 5, 4);
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.digest(), ba.digest());
+        assert_eq!(ab.edge("x", "y", "ipc").unwrap().calls(), 2);
+        assert_eq!(ab.edge("x", "y", "ipc").unwrap().bytes, 24);
+        assert_eq!(ab.total_ticks(), a.total_ticks() + b.total_ticks());
+    }
+
+    #[test]
+    fn digest_separates_distinct_profiles() {
+        let p = sample();
+        let mut q = sample();
+        q.observe("frontend", "ledger", "smc", 3_000, 64);
+        assert_ne!(p.digest(), q.digest());
+        // And the digest is domain-separated from a bare hash of the text.
+        assert_ne!(p.digest(), Digest::of(p.to_text().as_bytes()));
+    }
+
+    #[test]
+    fn render_reports_deterministic_percentiles() {
+        let table = sample().render();
+        assert!(table.contains("frontend->ledger [smc]"));
+        assert!(table.contains("p50"));
+        assert_eq!(table, sample().render());
+    }
+}

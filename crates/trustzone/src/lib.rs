@@ -286,6 +286,29 @@ impl BackendPolicy for TrustZone {
         base + self.machine.costs.copy_cost(bytes)
     }
 
+    fn cost_model(&self) -> fabric::CrossingCostModel {
+        // Same world → IPC through the secure-world OS; crossing the
+        // NS boundary → an SMC pair.
+        let c = &self.machine.costs;
+        let mut m = fabric::CrossingCostModel::uniform(
+            &self.profile.name,
+            c.ipc_round_trip,
+            c.copy_per_byte_num,
+            c.copy_per_byte_den,
+            fabric::InvokeKindRule::SameSideElse {
+                same: CrossingKind::Ipc,
+                cross: CrossingKind::WorldSwitch,
+            },
+        );
+        m.set(
+            CrossingKind::WorldSwitch,
+            2 * c.smc,
+            c.copy_per_byte_num,
+            c.copy_per_byte_den,
+        );
+        m
+    }
+
     fn advance_clock(&mut self, cycles: u64) {
         self.machine.clock.advance(cycles);
     }
@@ -496,6 +519,10 @@ impl Substrate for TrustZone {
 
     fn fabric_mut_ref(&mut self) -> Option<&mut Fabric> {
         Some(&mut self.fabric)
+    }
+
+    fn cost_model(&self) -> Option<fabric::CrossingCostModel> {
+        Some(BackendPolicy::cost_model(self))
     }
 }
 

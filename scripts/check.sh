@@ -26,7 +26,7 @@ cargo fmt --check
 # what they claim to have measured.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-for exp in e10 e11 e12 e13 e14 e15 e16; do
+for exp in e10 e11 e12 e13 e14 e15 e16 e17; do
     echo "==> determinism gate: $exp twice"
     cargo run --release -q -p lateral-bench --bin repro -- "$exp" > "$tmpdir/$exp-raw.txt"
     grep -vE "wall-clock|host-cores" "$tmpdir/$exp-raw.txt" > "$tmpdir/$exp-a.txt"
@@ -107,6 +107,24 @@ for exp in e10 e11 e12 e13 e14 e15 e16; do
         fi
         if ! test -f BENCH_E16.json; then
             echo "E16 did not write BENCH_E16.json" >&2
+            exit 1
+        fi
+        ;;
+    e17)
+        if ! grep -q "rounds/sec" "$tmpdir/$exp-raw.txt"; then
+            echo "E17 output is missing its wall-clock measurement" >&2
+            exit 1
+        fi
+        if grep -q "backend-invariant: NO" "$tmpdir/$exp-a.txt"; then
+            echo "E17 placement decisions diverged across backends" >&2
+            exit 1
+        fi
+        if grep -qE "VIOLATION|DIVERGED" "$tmpdir/$exp-a.txt"; then
+            echo "E17 live migration violated POLA or lost state" >&2
+            exit 1
+        fi
+        if ! test -f BENCH_E17.json; then
+            echo "E17 did not write BENCH_E17.json" >&2
             exit 1
         fi
         ;;

@@ -438,6 +438,90 @@ fn wot_proof_decoders_reject_structural_mutations() {
 }
 
 #[test]
+fn crossing_profile_parser_never_panics_or_silently_accepts() {
+    use lateral::telemetry::profile::CrossingProfile;
+    let mut rng = Drbg::from_seed(b"fuzz crossing profile");
+    for _ in 0..CASES {
+        let junk = text(&mut rng, 500);
+        // Arbitrary text either errors cleanly or decodes to a profile
+        // whose canonical text round-trips to an equal value — silent
+        // acceptance would poison placement decisions downstream.
+        if let Ok(p) = CrossingProfile::parse(&junk) {
+            assert_eq!(
+                CrossingProfile::parse(&p.to_text()).unwrap(),
+                p,
+                "accepted input must round-trip consistently"
+            );
+            assert_eq!(
+                CrossingProfile::parse(&p.to_text()).unwrap().digest(),
+                p.digest()
+            );
+        }
+    }
+    // Mutations of a valid encoding must never panic, and anything that
+    // still decodes must round-trip; trailing garbage is rejected.
+    let mut valid = CrossingProfile::new();
+    for cost in [5u64, 1_000, 1_008, 3_000, 60_008] {
+        valid.observe("meter", "ledger", "ipc", cost, 64);
+    }
+    valid.observe("ledger", "audit", "smc", 6_000, 32);
+    let valid = valid.to_text();
+    assert!(CrossingProfile::parse(&format!("{valid}x")).is_err());
+    assert!(
+        CrossingProfile::parse(valid.trim_end()).is_ok(),
+        "trailing newline optional"
+    );
+    let mut rng = Drbg::from_seed(b"fuzz crossing profile bytes");
+    for _ in 0..CASES {
+        let mut mutated: Vec<u8> = valid.as_bytes().to_vec();
+        let idx = rng.gen_range(mutated.len() as u64) as usize;
+        mutated[idx] ^= (1 + rng.gen_range(255)) as u8;
+        if let Ok(p) = CrossingProfile::parse(&String::from_utf8_lossy(&mutated)) {
+            assert_eq!(CrossingProfile::parse(&p.to_text()).unwrap(), p);
+        }
+    }
+}
+
+#[test]
+fn placement_plan_parser_never_panics_or_silently_accepts() {
+    use lateral::core::placement::PlacementPlan;
+    let mut rng = Drbg::from_seed(b"fuzz placement plan");
+    for _ in 0..CASES {
+        let junk = text(&mut rng, 500);
+        // Same bar as the crossing-profile codec: the plan drives live
+        // migrations, so a half-parsed accept is a placement attack.
+        if let Ok(p) = PlacementPlan::parse(&junk) {
+            assert_eq!(
+                PlacementPlan::parse(&p.to_text()).unwrap(),
+                p,
+                "accepted input must round-trip consistently"
+            );
+        }
+    }
+    // Mutations of a valid encoding must never panic, and anything that
+    // still decodes must round-trip; trailing garbage is rejected.
+    let valid = "placement-plan v1\n\
+                 component ledger calls 40 bytes 2560 current 0 chosen 1\n\
+                 candidate 0 sgx eligible 1 cost 146560\n\
+                 candidate 1 software eligible 1 cost 240\n\
+                 component meter calls 40 bytes 2560 current 0 chosen 1\n\
+                 candidate 0 sgx eligible 1 cost 146560\n\
+                 candidate 1 software eligible 1 cost 240\n";
+    let decoded = PlacementPlan::parse(valid).unwrap();
+    assert_eq!(decoded.move_count(), 2);
+    assert!(PlacementPlan::parse(&format!("{valid}x")).is_err());
+    let mut rng = Drbg::from_seed(b"fuzz placement plan bytes");
+    for _ in 0..CASES {
+        let mut mutated: Vec<u8> = valid.as_bytes().to_vec();
+        let idx = rng.gen_range(mutated.len() as u64) as usize;
+        mutated[idx] ^= (1 + rng.gen_range(255)) as u8;
+        if let Ok(p) = PlacementPlan::parse(&String::from_utf8_lossy(&mutated)) {
+            assert_eq!(PlacementPlan::parse(&p.to_text()).unwrap(), p);
+        }
+    }
+}
+
+#[test]
 fn subverted_component_report_roundtrips() {
     let mut rng = Drbg::from_seed(b"fuzz report");
     for _ in 0..CASES {

@@ -215,3 +215,29 @@ fn crash_respawn_under_supervision_on_all_six() {
         parity::assert_crash_respawn_supervised(sub.as_mut());
     }
 }
+
+#[test]
+fn cost_model_reprices_the_observed_trace_on_all_six() {
+    // The placement optimizer scores candidates with the introspectable
+    // cost model; this pins the contract that the model never drifts
+    // from what the engine actually charges.
+    for mut sub in all_substrates() {
+        parity::assert_cost_model_prices_observed_crossings(sub.as_mut());
+    }
+}
+
+#[test]
+fn migration_preserves_state_on_all_six() {
+    // Each backend as the migration source with a software target (the
+    // direction E17's optimizer takes), and software as the source into
+    // each backend (the direction a tightened threat model takes):
+    // sealed state must survive byte-identically both ways.
+    for mut source in all_substrates() {
+        let mut target = SoftwareSubstrate::new("migration-target");
+        parity::assert_migration_preserves_state(source.as_mut(), &mut target);
+    }
+    for mut target in all_substrates() {
+        let mut source = SoftwareSubstrate::new("migration-source");
+        parity::assert_migration_preserves_state(&mut source, target.as_mut());
+    }
+}
