@@ -245,6 +245,10 @@ pub struct FleetStats {
     /// Batches whose schedule exhausted with a typed timeout (deferred
     /// whole, re-sealed, retried later).
     pub wan_timeouts: u64,
+    /// Duplicate WAN deliveries absorbed by the numbered receive window
+    /// (a duplicating adversary or a retransmission race; each copy is
+    /// opened once and the replays counted here, never double-ingested).
+    pub wan_duplicates: u64,
     /// Readings delivered to the utility side (post-WAN, pre-ingest).
     pub delivered: u64,
     /// Readings refused by a full ingest inbox (each is deferred and
@@ -668,6 +672,7 @@ impl FleetWorld {
             s.wan_batches,
             s.wan_retransmissions,
             s.wan_timeouts,
+            s.wan_duplicates,
             s.delivered,
             s.shed,
             s.acked,
@@ -926,16 +931,31 @@ impl FleetWorld {
         match sent {
             Ok(attempts) => {
                 self.stats.wan_retransmissions += u64::from(attempts.saturating_sub(1));
-                let plain = self
+                // Drain EVERY delivered copy: a duplicating adversary
+                // (or a retransmission race) can land the same record
+                // several times in one round. The numbered window opens
+                // the fresh copy once and absorbs each replay as
+                // `Ok(None)`; treating a leftover duplicate as a fresh
+                // ack — or leaving it to poison the next round's inbox —
+                // was the bug this loop fixes.
+                let mut plain = None;
+                while let Some(p) = self
                     .network
                     .recv(&lane.util_addr)
                     .expect("utility endpoint is registered")
-                    .map(|p| {
-                        lane.down
-                            .open_numbered(&p.payload)
-                            .expect("retransmissions keep the receive window coherent")
-                            .expect("stop-at-first-delivery never duplicates")
-                    });
+                {
+                    match lane
+                        .down
+                        .open_numbered(&p.payload)
+                        .expect("retransmissions keep the receive window coherent")
+                    {
+                        Some(fresh) => {
+                            debug_assert!(plain.is_none(), "one record per transmit");
+                            plain = Some(fresh);
+                        }
+                        None => self.stats.wan_duplicates += 1,
+                    }
+                }
                 if plain.is_none() {
                     // Delivered per the network's ledger but nothing
                     // arrived — treat as loss and let the caller defer.
@@ -1076,6 +1096,35 @@ mod tests {
 
         // Run-twice determinism: byte-identical fleet digest.
         let mut again = FleetWorld::new(software_pool(2), FleetConfig::default());
+        again.run();
+        assert_eq!(world.fleet_digest(), again.fleet_digest());
+    }
+
+    #[test]
+    fn duplicate_burst_never_double_ingests_a_reading() {
+        // Regression: a duplicating adversary lands every WAN record
+        // several times. Before the transmit drain-and-dedup fix, the
+        // second copy either panicked the single-recv path on the next
+        // round or was mistaken for a fresh ack. Every duplicate must be
+        // absorbed by the numbered window and counted, with conservation
+        // intact.
+        let config = FleetConfig {
+            drop_every: 0, // duplication replaces steady loss
+            ..FleetConfig::default()
+        };
+        let mut world = FleetWorld::new(software_pool(2), config.clone());
+        world.network.set_attack(AttackMode::DuplicateBurst(3));
+        let stats = world.run();
+        assert_eq!(stats.acked, stats.produced, "no reading lost or doubled");
+        assert!(
+            stats.wan_duplicates > 0,
+            "the burst produced duplicates and each was absorbed"
+        );
+        conservation(&world);
+
+        // Run-twice determinism survives the duplicating adversary.
+        let mut again = FleetWorld::new(software_pool(2), config);
+        again.network.set_attack(AttackMode::DuplicateBurst(3));
         again.run();
         assert_eq!(world.fleet_digest(), again.fleet_digest());
     }

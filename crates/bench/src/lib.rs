@@ -24,6 +24,7 @@
 //! | E15 | §III-A/B — fleet robustness: churn, backpressure, recall | [`e15_fleet`] |
 //! | E16 | §III-B — web-of-trust certification, incremental EigenTrust | [`e16_wot`] |
 //! | E17 | §III-A — telemetry-driven placement, live migration | [`e17_placement`] |
+//! | E18 | §III-C — multiplexed remote sessions, resumption, mirrors | [`e18_session`] |
 //!
 //! Every experiment is deterministic (seeded DRBGs, logical clocks);
 //! `cargo run -p lateral-bench --bin repro -- all` prints the full set.
@@ -39,6 +40,7 @@ pub mod e14_scaling;
 pub mod e15_fleet;
 pub mod e16_wot;
 pub mod e17_placement;
+pub mod e18_session;
 pub mod e1_containment;
 pub mod e2_conformance;
 pub mod e3_smart_meter;
@@ -51,9 +53,9 @@ pub mod e9_matrix;
 pub mod table;
 
 /// All experiment ids, in order.
-pub const EXPERIMENTS: [&str; 17] = [
+pub const EXPERIMENTS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Runs one experiment by id, returning its printed report.
@@ -80,6 +82,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "e15" => Ok(e15_fleet::report()),
         "e16" => Ok(e16_wot::report()),
         "e17" => Ok(e17_placement::report()),
+        "e18" => Ok(e18_session::report()),
         other => Err(format!(
             "unknown experiment '{other}' (available: {})",
             EXPERIMENTS.join(", ")

@@ -37,13 +37,13 @@ pub fn encode_quote(q: &Quote) -> Vec<u8> {
 ///
 /// Returns a [`ComponentError`] on malformed input.
 pub fn decode_quote(bytes: &[u8]) -> Result<Quote, ComponentError> {
-    let mut r = Reader::new(bytes);
-    let mut read = |what: &str| {
+    fn read(r: &mut Reader<'_>, what: &str) -> Result<Vec<u8>, ComponentError> {
         r.field()
             .map(|f| f.to_vec())
             .map_err(|e| ComponentError::new(format!("{what}: {e}")))
-    };
-    let sel_raw = read("selection")?;
+    }
+    let mut r = Reader::new(bytes);
+    let sel_raw = read(&mut r, "selection")?;
     if sel_raw.len() % 4 != 0 {
         return Err(ComponentError::new("selection not word-aligned"));
     }
@@ -51,18 +51,22 @@ pub fn decode_quote(bytes: &[u8]) -> Result<Quote, ComponentError> {
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")) as usize)
         .collect();
-    let composite_raw = read("composite")?;
+    let composite_raw = read(&mut r, "composite")?;
     let composite = lateral_crypto::Digest(
         composite_raw
             .as_slice()
             .try_into()
             .map_err(|_| ComponentError::new("composite must be 32 bytes"))?,
     );
-    let nonce = read("nonce")?;
-    let signature: [u8; 64] = read("signature")?
+    let nonce = read(&mut r, "nonce")?;
+    let signature: [u8; 64] = read(&mut r, "signature")?
         .as_slice()
         .try_into()
         .map_err(|_| ComponentError::new("signature must be 64 bytes"))?;
+    // Strict finish: trailing bytes after the last field mean the blob
+    // is not a quote encoding, and a verifier must not accept it.
+    r.finish()
+        .map_err(|e| ComponentError::new(format!("quote trailer: {e}")))?;
     Ok(Quote {
         selection,
         composite,

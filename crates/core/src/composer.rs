@@ -91,6 +91,7 @@ pub struct Assembly {
     pub(crate) channels: BTreeMap<(String, String), ChannelRef>,
     pub(crate) env_domains: Vec<Option<DomainId>>,
     pub(crate) env_caps: BTreeMap<(String, u64), (usize, ChannelCap)>,
+    pub(crate) regrant_epoch: u64,
 }
 
 impl std::fmt::Debug for Assembly {
@@ -153,6 +154,7 @@ pub fn compose(
         placements: BTreeMap::new(),
         channels: BTreeMap::new(),
         env_caps: BTreeMap::new(),
+        regrant_epoch: 0,
     };
     // One `compose` span per pool substrate: every spawn and grant the
     // phases below perform on that substrate nests under it, so the
@@ -456,6 +458,13 @@ impl Assembly {
         Ok(self.substrates[sub].invoke(env, &cap, data)?)
     }
 
+    /// How many times the supervisor has re-granted channels after a
+    /// restart or migration — the session layer's re-grant epoch: any
+    /// bump invalidates outstanding remote resumption tickets.
+    pub fn regrant_epoch(&self) -> u64 {
+        self.regrant_epoch
+    }
+
     /// The measurement of a placed component.
     ///
     /// # Errors
@@ -653,6 +662,10 @@ impl Assembly {
     /// restart). Channels whose other endpoint is itself down are
     /// skipped; that endpoint's own restart re-grants them.
     pub(crate) fn regrant(&mut self, app: &AppManifest, name: &str) -> Result<(), CoreError> {
+        // Every re-grant bumps the epoch: outstanding remote resumption
+        // tickets were minted against the old channel topology and must
+        // force a fresh attestation handshake.
+        self.regrant_epoch += 1;
         for cm in &app.components {
             for ch in &cm.channels {
                 if cm.name != name && ch.to != name {

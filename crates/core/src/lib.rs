@@ -79,6 +79,10 @@ pub enum CoreError {
         /// Why admission control said no.
         reason: String,
     },
+    /// The request exceeded a bounded in-flight window and was refused
+    /// without being served — typed backpressure from the multiplexed
+    /// remote session layer. Drain some replies, then resubmit.
+    Overloaded(String),
 }
 
 impl fmt::Display for CoreError {
@@ -94,6 +98,7 @@ impl fmt::Display for CoreError {
             CoreError::AdmissionRefused { component, reason } => {
                 write!(f, "admission refused for '{component}': {reason}")
             }
+            CoreError::Overloaded(r) => write!(f, "overloaded: {r}"),
         }
     }
 }

@@ -25,12 +25,20 @@
 
 use lateral_crypto::rng::Drbg;
 use lateral_crypto::sign::SigningKey;
+use lateral_crypto::Digest;
 use lateral_net::channel::{
-    ChannelPolicy, ClientHandshake, PeerInfo, SecureChannel, ServerAwaitFinish, ServerHandshake,
+    encode_evidence, ChannelPolicy, ClientHandshake, PeerInfo, SecureChannel, ServerAwaitFinish,
+    ServerHandshake,
+};
+use lateral_net::session::{
+    decode_reply_group, decode_request_group, encode_reply_group, encode_request_group, ReplyEntry,
+    RequestEntry, ResumeAccept, ResumeHello, ResumptionTicket, SessionEpoch, TicketStore,
+    STATUS_ERR, STATUS_OK, STATUS_OVERLOADED,
 };
 use lateral_net::sim::Network;
-use lateral_net::wire::Reader;
+use lateral_net::wire::{put_field, Reader};
 use lateral_net::Addr;
+use lateral_registry::Registry;
 use lateral_substrate::cap::Badge;
 use lateral_telemetry::{outcome as span_outcome, SpanId, Telemetry, TraceContext};
 
@@ -43,6 +51,27 @@ const MSG_FINISH: u8 = 2;
 const MSG_REQUEST: u8 = 3;
 const MSG_REPLY: u8 = 4;
 const MSG_ERROR: u8 = 5;
+const MSG_REQ_GROUP: u8 = 6;
+const MSG_REPLY_GROUP: u8 = 7;
+const MSG_RESUME: u8 = 8;
+const MSG_RESUME_OK: u8 = 9;
+const MSG_RESUME_REJECT: u8 = 10;
+
+/// Default bound on in-flight multiplexed requests per session, both
+/// client-side (submission refusal) and server-side (typed
+/// `Overloaded` replies for over-window entries).
+pub const DEFAULT_WINDOW: usize = 32;
+
+/// Assembles the [`SessionEpoch`] a resumption ticket must match: the
+/// registry's revocation and trust epochs plus the assembly's re-grant
+/// epoch. Any of the three moving forces a fresh attestation handshake.
+pub fn current_session_epoch(registry: &Registry, assembly: &Assembly) -> SessionEpoch {
+    SessionEpoch {
+        revocation: registry.revocation_epoch(),
+        trust: registry.wot_epoch(),
+        regrant: assembly.regrant_epoch(),
+    }
+}
 
 fn frame(kind: u8, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(1 + body.len());
@@ -91,7 +120,10 @@ impl std::fmt::Debug for ServiceExport {
 }
 
 enum ServerSession {
-    AwaitingFinish(ServerAwaitFinish),
+    /// Awaiting the ClientFinish; carries the digest of the evidence
+    /// the server attached to its hello (zero when not attesting) so
+    /// the resumption ticket minted at FINISH is bound to it.
+    AwaitingFinish(ServerAwaitFinish, [u8; 32]),
     Established(Box<SecureChannel>, PeerInfo),
 }
 
@@ -102,6 +134,9 @@ pub struct RemoteServer {
     sessions: std::collections::BTreeMap<Addr, ServerSession>,
     rng: Drbg,
     telemetry: Telemetry,
+    tickets: TicketStore,
+    epoch: SessionEpoch,
+    window: usize,
 }
 
 impl std::fmt::Debug for RemoteServer {
@@ -127,12 +162,37 @@ impl RemoteServer {
             sessions: std::collections::BTreeMap::new(),
             rng,
             telemetry: Telemetry::new(),
+            tickets: TicketStore::new(64),
+            epoch: SessionEpoch {
+                revocation: 0,
+                trust: 0,
+                regrant: 0,
+            },
+            window: DEFAULT_WINDOW,
         }
     }
 
     /// The bound address.
     pub fn addr(&self) -> &Addr {
         &self.addr
+    }
+
+    /// Installs the session epoch resumption tickets are minted in and
+    /// validated against (see [`current_session_epoch`]). Moving the
+    /// epoch invalidates every outstanding ticket at redemption time.
+    pub fn set_epoch(&mut self, epoch: SessionEpoch) {
+        self.epoch = epoch;
+    }
+
+    /// The session epoch currently in force.
+    pub fn epoch(&self) -> SessionEpoch {
+        self.epoch
+    }
+
+    /// Bounds the per-group in-flight window: request-group entries
+    /// beyond it are answered [`STATUS_OVERLOADED`] instead of served.
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
     }
 
     /// The server's telemetry: accept/serve spans (serve spans adopt
@@ -215,6 +275,7 @@ impl RemoteServer {
                     match ev {
                         Ok(ev) => {
                             self.telemetry.end_span(span, at, span_outcome::OK);
+                            self.telemetry.metrics_mut().incr("remote.attestations", 1);
                             Some(ev)
                         }
                         Err(e) => {
@@ -227,21 +288,37 @@ impl RemoteServer {
                 } else {
                     None
                 };
+                // The ticket minted at FINISH is bound to this evidence:
+                // a resumed session inherits exactly the trust artifact
+                // the original handshake established.
+                let evidence_digest = evidence
+                    .as_ref()
+                    .map(|ev| Digest::of(&encode_evidence(ev)).0)
+                    .unwrap_or([0u8; 32]);
                 let (awaiting, server_hello) = pending.respond(evidence, body);
-                self.sessions
-                    .insert(from.clone(), ServerSession::AwaitingFinish(awaiting));
+                self.sessions.insert(
+                    from.clone(),
+                    ServerSession::AwaitingFinish(awaiting, evidence_digest),
+                );
                 let at = self.telemetry.tick();
                 self.telemetry.end_span(accept, at, span_outcome::OK);
                 Ok((MSG_SERVER_HELLO, server_hello))
             }
             MSG_FINISH => {
-                let state = match self.sessions.remove(from) {
-                    Some(ServerSession::AwaitingFinish(s)) => s,
+                let (state, evidence_digest) = match self.sessions.remove(from) {
+                    Some(ServerSession::AwaitingFinish(s, d)) => (s, d),
                     _ => return Err(CoreError::Substrate("no handshake in progress".into())),
                 };
-                let (channel, info) = state
+                let (mut channel, info) = state
                     .complete(body, &self.export.client_policy)
                     .map_err(|e| CoreError::Substrate(format!("finish: {e}")))?;
+                // Mint a single-use resumption ticket bound to the
+                // verified evidence and the epoch in force, sealed with
+                // the fresh channel so the secret never rides in clear.
+                let ticket =
+                    self.tickets
+                        .mint(&mut self.rng, info.key, evidence_digest, self.epoch);
+                let sealed_ticket = channel.seal(&ticket.encode());
                 self.sessions.insert(
                     from.clone(),
                     ServerSession::Established(Box::new(channel), info),
@@ -250,7 +327,62 @@ impl RemoteServer {
                 self.telemetry
                     .instant("session.established", "remote", at, span_outcome::OK);
                 self.telemetry.metrics_mut().incr("remote.sessions", 1);
-                Ok((MSG_REPLY, b"connected".to_vec()))
+                let mut reply = Vec::new();
+                put_field(&mut reply, b"connected");
+                put_field(&mut reply, &sealed_ticket);
+                Ok((MSG_REPLY, reply))
+            }
+            MSG_RESUME => {
+                let hello = ResumeHello::decode(body)
+                    .map_err(|e| CoreError::Substrate(format!("resume hello: {e}")))?;
+                match self.tickets.redeem(&hello, &self.epoch, &mut self.rng) {
+                    Ok(redeemed) => {
+                        let mut channel = redeemed.channel;
+                        // Rotate: mint the successor ticket under the
+                        // current epoch, sealed with the resumed channel.
+                        let next = self.tickets.mint(
+                            &mut self.rng,
+                            redeemed.peer_key,
+                            redeemed.evidence,
+                            self.epoch,
+                        );
+                        let sealed_ticket = channel.seal(&next.encode());
+                        self.sessions.insert(
+                            from.clone(),
+                            ServerSession::Established(
+                                Box::new(channel),
+                                PeerInfo {
+                                    key: redeemed.peer_key,
+                                    attested: None,
+                                },
+                            ),
+                        );
+                        let at = self.telemetry.tick();
+                        self.telemetry
+                            .instant("session.resumed", "remote", at, span_outcome::OK);
+                        self.telemetry.metrics_mut().incr("remote.resumes", 1);
+                        let mut reply = Vec::new();
+                        put_field(&mut reply, &redeemed.accept.encode());
+                        put_field(&mut reply, &sealed_ticket);
+                        Ok((MSG_RESUME_OK, reply))
+                    }
+                    Err(e) => {
+                        // A refusal is a protocol answer, not a session
+                        // teardown: the client falls back to the full
+                        // attestation handshake.
+                        let at = self.telemetry.tick();
+                        self.telemetry.instant(
+                            "session.resume_reject",
+                            "remote",
+                            at,
+                            span_outcome::FAILED,
+                        );
+                        self.telemetry
+                            .metrics_mut()
+                            .incr("remote.resume_rejects", 1);
+                        Ok((MSG_RESUME_REJECT, e.to_string().into_bytes()))
+                    }
+                }
             }
             MSG_REQUEST => {
                 let (component, badge) = (self.export.component.clone(), self.export.badge);
@@ -327,6 +459,85 @@ impl RemoteServer {
                 self.telemetry.metrics_mut().incr("remote.requests", 1);
                 Ok((MSG_REPLY, record))
             }
+            MSG_REQ_GROUP => {
+                let (component, badge) = (self.export.component.clone(), self.export.badge);
+                let window = self.window;
+                let session = self
+                    .sessions
+                    .get_mut(from)
+                    .ok_or_else(|| CoreError::Substrate("no session".into()))?;
+                let ServerSession::Established(channel, _) = session else {
+                    return Err(CoreError::Substrate("handshake incomplete".into()));
+                };
+                let plain = channel
+                    .open(body)
+                    .map_err(|e| CoreError::Substrate(format!("record: {e}")))?;
+                let mut entries = decode_request_group(&plain)
+                    .map_err(|e| CoreError::Substrate(format!("group: {e}")))?;
+                // Deterministic serve-and-reply order regardless of how
+                // the client interleaved submissions: ascending id.
+                entries.sort_by_key(|e| e.id);
+                let mut replies = Vec::with_capacity(entries.len());
+                for (pos, entry) in entries.iter().enumerate() {
+                    if pos >= window {
+                        self.telemetry.metrics_mut().incr("remote.overloads", 1);
+                        replies.push(ReplyEntry {
+                            id: entry.id,
+                            status: STATUS_OVERLOADED,
+                            payload: format!("in-flight window of {window} exceeded").into_bytes(),
+                        });
+                        continue;
+                    }
+                    // Each entry carries its own caller's context: the
+                    // serve span adopts THAT trace, so every multiplexed
+                    // request lands as a child of its own caller, never
+                    // of the session opener or a sibling request.
+                    let at = self.telemetry.tick();
+                    let serve = self.telemetry.begin_span_in(
+                        entry.ctx,
+                        &format!("serve {component}"),
+                        "remote",
+                        at,
+                    );
+                    match assembly.call_component_badged(&component, badge, &entry.payload) {
+                        Ok(r) => {
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(serve, at, span_outcome::OK);
+                            replies.push(ReplyEntry {
+                                id: entry.id,
+                                status: STATUS_OK,
+                                payload: r,
+                            });
+                        }
+                        Err(e) => {
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(serve, at, span_outcome::FAILED);
+                            self.telemetry
+                                .metrics_mut()
+                                .incr("remote.serve.failures", 1);
+                            replies.push(ReplyEntry {
+                                id: entry.id,
+                                status: STATUS_ERR,
+                                payload: e.to_string().into_bytes(),
+                            });
+                        }
+                    }
+                }
+                self.telemetry
+                    .metrics_mut()
+                    .incr("remote.requests", entries.len() as u64);
+                let group = encode_reply_group(&replies);
+                let ServerSession::Established(channel, _) =
+                    self.sessions.get_mut(from).expect("session checked above")
+                else {
+                    unreachable!("session type checked above");
+                };
+                let record = channel.seal(&group);
+                let at = self.telemetry.tick();
+                self.telemetry
+                    .instant("channel.seal", "channel", at, span_outcome::OK);
+                Ok((MSG_REPLY_GROUP, record))
+            }
             other => Err(CoreError::Substrate(format!("unexpected frame {other}"))),
         }
     }
@@ -336,6 +547,9 @@ enum ClientSession {
     Idle,
     HelloSent(ClientHandshake),
     FinishSent(Box<SecureChannel>, PeerInfo),
+    /// A resumption hello is in flight; holds the ticket being redeemed
+    /// and the hello (for the acceptance-proof check).
+    ResumeSent(Box<ResumptionTicket>, ResumeHello),
     Established(Box<SecureChannel>, PeerInfo),
 }
 
@@ -354,9 +568,27 @@ pub struct RemoteClient {
     /// One open session-root span; connects and requests nest under it
     /// so the whole client lifetime is a single causal tree.
     session_span: SpanId,
+    /// The session root's trace id — multiplexed request spans link
+    /// into it explicitly (they cannot use stack nesting: concurrent
+    /// in-flight spans would nest under each other).
+    root_trace: u64,
     connect_span: Option<SpanId>,
-    /// In-flight request: its span and the context it propagated.
+    /// In-flight request (legacy lock-step path): its span and the
+    /// context it propagated.
     request: Option<(SpanId, TraceContext)>,
+    /// Multiplexed in-flight requests by id: span + propagated context.
+    pending: std::collections::BTreeMap<u64, (SpanId, TraceContext)>,
+    /// Requests submitted but not yet flushed into a sealed group.
+    outbox: Vec<RequestEntry>,
+    next_req_id: u64,
+    /// Client-side in-flight bound; submissions beyond it are refused
+    /// with [`CoreError::Overloaded`] before anything hits the wire.
+    window: usize,
+    /// The resumption ticket from the last connect/resume, if any.
+    ticket: Option<ResumptionTicket>,
+    /// Peer identity learned at the last full handshake; a resumed
+    /// session reuses it (the ticket is bound to the same peer).
+    peer_hint: Option<PeerInfo>,
 }
 
 impl std::fmt::Debug for RemoteClient {
@@ -380,6 +612,10 @@ impl RemoteClient {
         let mut telemetry = Telemetry::new();
         let at = telemetry.tick();
         let session_span = telemetry.begin_span(&format!("remote {server}"), "remote", at);
+        let root_trace = telemetry
+            .context()
+            .expect("session root just opened")
+            .trace_id;
         RemoteClient {
             addr,
             server,
@@ -390,9 +626,36 @@ impl RemoteClient {
             rng,
             telemetry,
             session_span,
+            root_trace,
             connect_span: None,
             request: None,
+            pending: std::collections::BTreeMap::new(),
+            outbox: Vec::new(),
+            next_req_id: 1,
+            window: DEFAULT_WINDOW,
+            ticket: None,
+            peer_hint: None,
         }
+    }
+
+    /// Whether a resumption ticket is held (set on every successful
+    /// connect and rotated on every successful resume).
+    pub fn has_ticket(&self) -> bool {
+        self.ticket.is_some()
+    }
+
+    /// Bounds the client-side in-flight window: submissions beyond it
+    /// are refused with [`CoreError::Overloaded`] before hitting the
+    /// wire.
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    /// Multiplexed requests currently awaiting replies (queued ones
+    /// included: `pending` spans submit → reply, and unflushed outbox
+    /// entries are already in it).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
     }
 
     /// The client's telemetry: one session-root span with `connect`
@@ -456,6 +719,40 @@ impl RemoteClient {
             &self.server.clone(),
             &frame(MSG_HELLO, &hello),
         )
+        .map(|_| ())
+        .map_err(|e| CoreError::Substrate(e.to_string()))
+    }
+
+    /// Attempts to resume an earlier session with the held ticket,
+    /// skipping the attestation handshake. On success the next
+    /// [`RemoteClient::poll_handshake`] establishes the channel; on a
+    /// server-side rejection it errors and the caller falls back to
+    /// [`RemoteClient::start`] (the ticket is consumed either way).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Substrate`] when no ticket is held or the network
+    /// refuses the send.
+    pub fn resume(&mut self, net: &mut Network) -> Result<(), CoreError> {
+        let ticket = self
+            .ticket
+            .take()
+            .ok_or_else(|| CoreError::Substrate("no resumption ticket".into()))?;
+        if let Some(old) = self.connect_span.take() {
+            let at = self.telemetry.tick();
+            self.telemetry.end_span(old, at, span_outcome::FAILED);
+        }
+        let at = self.telemetry.tick();
+        self.connect_span = Some(self.telemetry.begin_span("connect.resume", "remote", at));
+        let hello = ResumeHello::new(&ticket, &mut self.rng);
+        let encoded = hello.encode();
+        self.state = ClientSession::ResumeSent(Box::new(ticket), hello);
+        net.send(
+            &self.addr.clone(),
+            &self.server.clone(),
+            &frame(MSG_RESUME, &encoded),
+        )
+        .map(|_| ())
         .map_err(|e| CoreError::Substrate(e.to_string()))
     }
 
@@ -523,7 +820,38 @@ impl RemoteClient {
                 .map_err(|e| CoreError::Substrate(e.to_string()))?;
                 Ok(true)
             }
-            (MSG_REPLY, ClientSession::FinishSent(channel, info)) if body == b"connected" => {
+            (MSG_REPLY, ClientSession::FinishSent(mut channel, info)) => {
+                // The connected acknowledgment carries the sealed
+                // resumption ticket: (marker, sealed-ticket) fields.
+                let mut r = Reader::new(body);
+                let parsed = (|| -> Result<ResumptionTicket, CoreError> {
+                    let marker = r
+                        .field()
+                        .map_err(|e| CoreError::Substrate(format!("connect ack: {e}")))?;
+                    if marker != b"connected" {
+                        return Err(CoreError::Substrate("malformed connect ack".into()));
+                    }
+                    let sealed = r
+                        .field()
+                        .map_err(|e| CoreError::Substrate(format!("connect ack: {e}")))?;
+                    let plain = channel
+                        .open(sealed)
+                        .map_err(|e| CoreError::Substrate(format!("ticket record: {e}")))?;
+                    ResumptionTicket::decode(&plain)
+                        .map_err(|e| CoreError::Substrate(format!("ticket: {e}")))
+                })();
+                let ticket = match parsed {
+                    Ok(t) => t,
+                    Err(e) => {
+                        if let Some(c) = self.connect_span.take() {
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(c, at, span_outcome::FAILED);
+                        }
+                        return Err(e);
+                    }
+                };
+                self.ticket = Some(ticket);
+                self.peer_hint = Some(info.clone());
                 self.state = ClientSession::Established(channel, info);
                 if let Some(c) = self.connect_span.take() {
                     let at = self.telemetry.tick();
@@ -531,6 +859,67 @@ impl RemoteClient {
                 }
                 self.telemetry.metrics_mut().incr("remote.connects", 1);
                 Ok(true)
+            }
+            (MSG_RESUME_OK, ClientSession::ResumeSent(ticket, hello)) => {
+                let parsed = (|| -> Result<(SecureChannel, ResumptionTicket), CoreError> {
+                    let mut r = Reader::new(body);
+                    let accept = ResumeAccept::decode(
+                        r.field()
+                            .map_err(|e| CoreError::Substrate(format!("resume ack: {e}")))?,
+                    )
+                    .map_err(|e| CoreError::Substrate(format!("resume ack: {e}")))?;
+                    let sealed = r
+                        .field()
+                        .map_err(|e| CoreError::Substrate(format!("resume ack: {e}")))?;
+                    let mut channel =
+                        lateral_net::session::complete_resume(&ticket, &hello, &accept)
+                            .map_err(|e| CoreError::Substrate(format!("resume: {e}")))?;
+                    let plain = channel
+                        .open(sealed)
+                        .map_err(|e| CoreError::Substrate(format!("ticket record: {e}")))?;
+                    let next = ResumptionTicket::decode(&plain)
+                        .map_err(|e| CoreError::Substrate(format!("ticket: {e}")))?;
+                    Ok((channel, next))
+                })();
+                match parsed {
+                    Ok((channel, next)) => {
+                        self.ticket = Some(next);
+                        let info = self.peer_hint.clone().unwrap_or(PeerInfo {
+                            key: [0u8; 32],
+                            attested: None,
+                        });
+                        self.state = ClientSession::Established(Box::new(channel), info);
+                        if let Some(c) = self.connect_span.take() {
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(c, at, span_outcome::OK);
+                        }
+                        self.telemetry.metrics_mut().incr("remote.resumes", 1);
+                        Ok(true)
+                    }
+                    Err(e) => {
+                        if let Some(c) = self.connect_span.take() {
+                            let at = self.telemetry.tick();
+                            self.telemetry.end_span(c, at, span_outcome::FAILED);
+                        }
+                        Err(e)
+                    }
+                }
+            }
+            (MSG_RESUME_REJECT, ClientSession::ResumeSent(..)) => {
+                // The ticket is spent (epoch moved or server state was
+                // lost); fall back to the full attestation handshake
+                // via [`RemoteClient::start`].
+                if let Some(c) = self.connect_span.take() {
+                    let at = self.telemetry.tick();
+                    self.telemetry.end_span(c, at, span_outcome::FAILED);
+                }
+                self.telemetry
+                    .metrics_mut()
+                    .incr("remote.resume_rejects", 1);
+                Err(CoreError::Substrate(format!(
+                    "resume rejected: {}",
+                    String::from_utf8_lossy(body)
+                )))
             }
             (MSG_ERROR, _) => {
                 if let Some(c) = self.connect_span.take() {
@@ -578,7 +967,172 @@ impl RemoteClient {
             &self.server.clone(),
             &frame(MSG_REQUEST, &record),
         )
+        .map(|_| ())
         .map_err(|e| CoreError::Substrate(e.to_string()))
+    }
+
+    /// Queues one multiplexed request and returns its id. Nothing hits
+    /// the wire until [`RemoteClient::flush`]; many requests may be in
+    /// flight at once, each landing as a child span of its own caller
+    /// context under the session root.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Overloaded`] when the in-flight window is full;
+    /// [`CoreError::Substrate`] when not connected.
+    pub fn submit(&mut self, payload: &[u8]) -> Result<u64, CoreError> {
+        if !matches!(self.state, ClientSession::Established(..)) {
+            return Err(CoreError::Substrate("not connected".into()));
+        }
+        if self.in_flight() >= self.window {
+            self.telemetry.metrics_mut().incr("remote.overloads", 1);
+            return Err(CoreError::Overloaded(format!(
+                "in-flight window of {} exceeded",
+                self.window
+            )));
+        }
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        // Linked, not stacked: concurrent request spans are siblings
+        // under the session root, never nested under one another.
+        let at = self.telemetry.tick();
+        let span = self.telemetry.begin_span_linked(
+            TraceContext {
+                trace_id: self.root_trace,
+                parent: self.session_span,
+            },
+            "request",
+            "remote",
+            at,
+        );
+        let ctx = TraceContext {
+            trace_id: self.root_trace,
+            parent: span,
+        };
+        self.pending.insert(id, (span, ctx));
+        self.outbox.push(RequestEntry {
+            id,
+            ctx,
+            payload: payload.to_vec(),
+        });
+        self.telemetry.metrics_mut().incr("remote.requests", 1);
+        Ok(id)
+    }
+
+    /// Seals every queued submission into one request-group record and
+    /// sends it. Returns the number of requests flushed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Substrate`] when not connected or the send fails.
+    pub fn flush(&mut self, net: &mut Network) -> Result<usize, CoreError> {
+        let ClientSession::Established(channel, _) = &mut self.state else {
+            return Err(CoreError::Substrate("not connected".into()));
+        };
+        if self.outbox.is_empty() {
+            return Ok(0);
+        }
+        let entries = std::mem::take(&mut self.outbox);
+        let group = encode_request_group(&entries);
+        let record = channel.seal(&group);
+        let at = self.telemetry.tick();
+        self.telemetry
+            .instant("channel.seal", "channel", at, span_outcome::OK);
+        net.send(
+            &self.addr.clone(),
+            &self.server.clone(),
+            &frame(MSG_REQ_GROUP, &record),
+        )
+        .map(|_| entries.len())
+        .map_err(|e| CoreError::Substrate(e.to_string()))
+    }
+
+    /// Drains one pending reply-group record (if any), ending the span
+    /// of every answered request. Returns `(id, outcome)` pairs in the
+    /// server's deterministic reply order — ascending id.
+    ///
+    /// # Errors
+    ///
+    /// Record verification failures or server-reported errors; per
+    /// -request failures are returned *inside* the vec, typed
+    /// [`CoreError::Overloaded`] for window refusals.
+    #[allow(clippy::type_complexity)]
+    pub fn poll_group_replies(
+        &mut self,
+        net: &mut Network,
+    ) -> Result<Vec<(u64, Result<Vec<u8>, CoreError>)>, CoreError> {
+        let Some(packet) = net
+            .recv(&self.addr)
+            .map_err(|e| CoreError::Substrate(e.to_string()))?
+        else {
+            return Ok(Vec::new());
+        };
+        let (kind, body) = unframe(&packet.payload)?;
+        match kind {
+            MSG_REPLY_GROUP => {
+                let ClientSession::Established(channel, _) = &mut self.state else {
+                    return Err(CoreError::Substrate("not connected".into()));
+                };
+                let plain = channel
+                    .open(body)
+                    .map_err(|e| CoreError::Substrate(format!("record: {e}")))?;
+                let at = self.telemetry.tick();
+                self.telemetry
+                    .instant("channel.open", "channel", at, span_outcome::OK);
+                let entries = decode_reply_group(&plain)
+                    .map_err(|e| CoreError::Substrate(format!("group: {e}")))?;
+                let mut out = Vec::with_capacity(entries.len());
+                for entry in entries {
+                    if let Some((span, _)) = self.pending.remove(&entry.id) {
+                        let at = self.telemetry.tick();
+                        let outcome = if entry.status == STATUS_OK {
+                            span_outcome::OK
+                        } else {
+                            span_outcome::FAILED
+                        };
+                        self.telemetry.end_span(span, at, outcome);
+                    }
+                    let result = match entry.status {
+                        STATUS_OK => Ok(entry.payload),
+                        STATUS_OVERLOADED => Err(CoreError::Overloaded(
+                            String::from_utf8_lossy(&entry.payload).into_owned(),
+                        )),
+                        _ => Err(CoreError::Substrate(
+                            String::from_utf8_lossy(&entry.payload).into_owned(),
+                        )),
+                    };
+                    out.push((entry.id, result));
+                }
+                Ok(out)
+            }
+            MSG_ERROR => Err(CoreError::Substrate(format!(
+                "server error: {}",
+                String::from_utf8_lossy(body)
+            ))),
+            k => Err(CoreError::Substrate(format!("unexpected frame {k}"))),
+        }
+    }
+
+    /// Drops the established channel (e.g. the connection went away),
+    /// failing every in-flight request span. The resumption ticket is
+    /// kept: the next [`RemoteClient::resume`] skips the attestation
+    /// handshake if the server's epoch has not moved.
+    pub fn disconnect(&mut self) {
+        self.state = ClientSession::Idle;
+        self.outbox.clear();
+        let pending = std::mem::take(&mut self.pending);
+        for (_, (span, _)) in pending {
+            let at = self.telemetry.tick();
+            self.telemetry.end_span(span, at, span_outcome::FAILED);
+        }
+        if let Some((span, _)) = self.request.take() {
+            let at = self.telemetry.tick();
+            self.telemetry.end_span(span, at, span_outcome::FAILED);
+        }
+        if let Some(c) = self.connect_span.take() {
+            let at = self.telemetry.tick();
+            self.telemetry.end_span(c, at, span_outcome::FAILED);
+        }
     }
 
     /// Receives one pending reply, if any.
@@ -691,6 +1245,189 @@ pub fn call(
     client
         .poll_reply(net)?
         .ok_or_else(|| CoreError::Substrate("reply lost in transit".into()))
+}
+
+/// Convenience driver: submits every payload as one multiplexed group,
+/// flushes, pumps the server once, and collects the replies **in
+/// submission order**. One seal/open round trip carries the whole batch.
+///
+/// # Errors
+///
+/// Transport/session failures; per-request outcomes (including typed
+/// [`CoreError::Overloaded`] refusals) land inside the returned vec.
+#[allow(clippy::type_complexity)]
+pub fn call_batch(
+    net: &mut Network,
+    client: &mut RemoteClient,
+    server: &mut RemoteServer,
+    server_assembly: &mut Assembly,
+    payloads: &[Vec<u8>],
+) -> Result<Vec<Result<Vec<u8>, CoreError>>, CoreError> {
+    let mut ids = Vec::with_capacity(payloads.len());
+    for payload in payloads {
+        ids.push(client.submit(payload)?);
+    }
+    client.flush(net)?;
+    server.pump(net, server_assembly)?;
+    let mut by_id: std::collections::BTreeMap<u64, Result<Vec<u8>, CoreError>> =
+        client.poll_group_replies(net)?.into_iter().collect();
+    ids.into_iter()
+        .map(|id| {
+            by_id
+                .remove(&id)
+                .ok_or_else(|| CoreError::Substrate(format!("reply {id} lost in transit")))
+        })
+        .collect()
+}
+
+/// Convenience driver: resumes with the held ticket when possible,
+/// falling back to the full attestation handshake. Returns `true` when
+/// the session was resumed (no re-attestation happened).
+///
+/// # Errors
+///
+/// The fallback handshake's failure (a resume rejection alone is not an
+/// error — it triggers the fallback).
+pub fn resume_or_establish(
+    net: &mut Network,
+    client: &mut RemoteClient,
+    client_assembly: Option<&mut Assembly>,
+    server: &mut RemoteServer,
+    server_assembly: &mut Assembly,
+) -> Result<bool, CoreError> {
+    if client.has_ticket() {
+        client.resume(net)?;
+        server.pump(net, server_assembly)?;
+        if client.poll_handshake(net, None).is_ok() && client.connected() {
+            return Ok(true);
+        }
+    }
+    establish(net, client, client_assembly, server, server_assembly)?;
+    Ok(false)
+}
+
+/// Testkit parity check: on `sub`, interleaved multiplexed requests must
+/// each land as a child span of **their own caller**, never of the
+/// session opener or a sibling — the E12 guarantee extended to the
+/// session layer, uniform across all six backends.
+///
+/// # Panics
+///
+/// When the backend breaks the per-request span-lineage guarantee.
+pub fn assert_multiplexed_trace_propagation(sub: Box<dyn lateral_substrate::substrate::Substrate>) {
+    use crate::manifest::{AppManifest, ComponentManifest};
+    use lateral_substrate::component::Component;
+    use lateral_substrate::testkit::Counter;
+
+    let backend = sub.profile().name.clone();
+    let mut factory = |_: &ComponentManifest| -> Option<Box<dyn Component>> {
+        Some(Box::new(Counter::default()))
+    };
+    let manifest = AppManifest::new("mux-parity", vec![ComponentManifest::new("counter")]);
+    let mut asm = crate::composer::compose(&manifest, vec![sub], &mut factory)
+        .unwrap_or_else(|e| panic!("[{backend}] compose: {e}"));
+
+    let mut net = Network::new(&format!("mux-{backend}"));
+    let mut server = RemoteServer::bind(
+        &mut net,
+        Addr::new("svc"),
+        ServiceExport {
+            component: "counter".into(),
+            badge: Badge(0xB0B),
+            identity: SigningKey::from_seed(b"mux parity server"),
+            client_policy: ChannelPolicy::open(),
+            attest: false,
+        },
+    );
+    let mut client = RemoteClient::new(
+        &mut net,
+        Addr::new("client"),
+        Addr::new("svc"),
+        SigningKey::from_seed(b"mux parity client"),
+        ChannelPolicy::open(),
+        None,
+    );
+    establish(&mut net, &mut client, None, &mut server, &mut asm)
+        .unwrap_or_else(|e| panic!("[{backend}] establish: {e}"));
+
+    let payloads: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8]).collect();
+    let mut ids = Vec::new();
+    for p in &payloads {
+        ids.push(
+            client
+                .submit(p)
+                .unwrap_or_else(|e| panic!("[{backend}] submit: {e}")),
+        );
+    }
+    assert_eq!(
+        client.in_flight(),
+        4,
+        "[{backend}] all four requests in flight before the flush"
+    );
+    client
+        .flush(&mut net)
+        .unwrap_or_else(|e| panic!("[{backend}] flush: {e}"));
+    server
+        .pump(&mut net, &mut asm)
+        .unwrap_or_else(|e| panic!("[{backend}] pump: {e}"));
+    let replies = client
+        .poll_group_replies(&mut net)
+        .unwrap_or_else(|e| panic!("[{backend}] poll: {e}"));
+    assert_eq!(replies.len(), 4, "[{backend}] every request answered");
+    let reply_ids: Vec<u64> = replies.iter().map(|(id, _)| *id).collect();
+    assert_eq!(reply_ids, ids, "[{backend}] deterministic ascending order");
+    for (id, result) in &replies {
+        result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("[{backend}] request {id} failed: {e}"));
+    }
+    assert_eq!(client.in_flight(), 0, "[{backend}] window fully drained");
+
+    // Client side: each request span is a *sibling* under the session
+    // root, in the root trace.
+    let t = client.telemetry();
+    let root = client.session_span();
+    let root_trace = t
+        .open_spans()
+        .find(|s| s.id == root)
+        .unwrap_or_else(|| panic!("[{backend}] session root still open"))
+        .trace_id;
+    let request_spans: Vec<_> = t.spans().filter(|s| &*s.name == "request").collect();
+    assert_eq!(request_spans.len(), 4, "[{backend}] four request spans");
+    for s in &request_spans {
+        assert_eq!(
+            s.parent, root,
+            "[{backend}] request span parents on the session root, not a sibling"
+        );
+        assert_eq!(s.trace_id, root_trace, "[{backend}] in the root trace");
+        assert_eq!(s.outcome, span_outcome::OK, "[{backend}] ended OK");
+    }
+    // Server side: each serve span adopted its own caller's context —
+    // same trace, parented on the matching request span, all distinct.
+    let serves: Vec<_> = server
+        .telemetry()
+        .spans()
+        .filter(|s| &*s.name == "serve counter")
+        .cloned()
+        .collect();
+    assert_eq!(serves.len(), 4, "[{backend}] four serve spans");
+    let mut serve_parents: Vec<SpanId> = serves.iter().map(|s| s.parent).collect();
+    serve_parents.sort();
+    serve_parents.dedup();
+    assert_eq!(
+        serve_parents.len(),
+        4,
+        "[{backend}] serve spans parent on four DISTINCT request spans"
+    );
+    let request_ids: std::collections::BTreeSet<SpanId> =
+        request_spans.iter().map(|s| s.id).collect();
+    for s in &serves {
+        assert_eq!(s.trace_id, root_trace, "[{backend}] serve in caller trace");
+        assert!(
+            request_ids.contains(&s.parent),
+            "[{backend}] serve span parents on a request span, not the session opener"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -905,6 +1642,156 @@ mod tests {
         establish(&mut net, &mut client2, None, &mut server, &mut server_asm).unwrap();
         let reply = call(&mut net, &mut client2, &mut server, &mut server_asm, b"").unwrap();
         assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn multiplexed_batch_round_trips_in_submission_order() {
+        let mut net = Network::new("remote-mux");
+        let mut server_asm = assembly(vec![ComponentManifest::new("counter")]);
+        let mut server = RemoteServer::bind(&mut net, Addr::new("svc"), export("counter"));
+        let mut client = RemoteClient::new(
+            &mut net,
+            Addr::new("client"),
+            Addr::new("svc"),
+            SigningKey::from_seed(b"c"),
+            ChannelPolicy::open(),
+            None,
+        );
+        establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..5).map(|_| Vec::new()).collect();
+        let replies = call_batch(
+            &mut net,
+            &mut client,
+            &mut server,
+            &mut server_asm,
+            &payloads,
+        )
+        .unwrap();
+        let counts: Vec<u64> = replies
+            .into_iter()
+            .map(|r| u64::from_le_bytes(r.unwrap().try_into().unwrap()))
+            .collect();
+        assert_eq!(counts, vec![1, 2, 3, 4, 5]);
+        assert_eq!(client.in_flight(), 0);
+        // One sealed record carried all five requests.
+        assert_eq!(
+            server.telemetry().metrics().counter("remote.requests"),
+            5,
+            "server served five multiplexed requests"
+        );
+    }
+
+    #[test]
+    fn over_window_submissions_are_refused_typed() {
+        let mut net = Network::new("remote-window");
+        let mut server_asm = assembly(vec![ComponentManifest::new("counter")]);
+        let mut server = RemoteServer::bind(&mut net, Addr::new("svc"), export("counter"));
+        server.set_window(2);
+        let mut client = RemoteClient::new(
+            &mut net,
+            Addr::new("client"),
+            Addr::new("svc"),
+            SigningKey::from_seed(b"c"),
+            ChannelPolicy::open(),
+            None,
+        );
+        client.set_window(2);
+        establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap();
+        client.submit(b"").unwrap();
+        client.submit(b"").unwrap();
+        // Client-side refusal: nothing hits the wire past the window.
+        let err = client.submit(b"").unwrap_err();
+        assert!(matches!(err, CoreError::Overloaded(_)), "{err}");
+        // Server-side refusal: an oversized group (bypassing the client
+        // bound) answers OVERLOADED for the excess entries.
+        client.set_window(8);
+        client.submit(b"").unwrap();
+        client.flush(&mut net).unwrap();
+        server.pump(&mut net, &mut server_asm).unwrap();
+        let replies = client.poll_group_replies(&mut net).unwrap();
+        assert_eq!(replies.len(), 3);
+        assert!(replies[0].1.is_ok());
+        assert!(replies[1].1.is_ok());
+        assert!(
+            matches!(replies[2].1, Err(CoreError::Overloaded(_))),
+            "third entry refused by the server window"
+        );
+        assert_eq!(server.telemetry().metrics().counter("remote.overloads"), 1);
+    }
+
+    #[test]
+    fn resumption_skips_the_handshake_and_rotates_the_ticket() {
+        let mut net = Network::new("remote-resume");
+        let mut server_asm = assembly(vec![ComponentManifest::new("counter")]);
+        let mut server = RemoteServer::bind(&mut net, Addr::new("svc"), export("counter"));
+        let mut client = RemoteClient::new(
+            &mut net,
+            Addr::new("client"),
+            Addr::new("svc"),
+            SigningKey::from_seed(b"c"),
+            ChannelPolicy::open(),
+            None,
+        );
+        establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap();
+        assert!(client.has_ticket(), "connect minted a resumption ticket");
+        call(&mut net, &mut client, &mut server, &mut server_asm, b"").unwrap();
+
+        client.disconnect();
+        assert!(!client.connected());
+        assert!(client.has_ticket(), "ticket survives the disconnect");
+        let resumed =
+            resume_or_establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap();
+        assert!(resumed, "ticket redeemed without a fresh handshake");
+        assert!(client.has_ticket(), "a rotated successor ticket arrived");
+        assert_eq!(client.telemetry().metrics().counter("remote.resumes"), 1);
+        // The resumed channel carries traffic: counter continues at 2.
+        let reply = call(&mut net, &mut client, &mut server, &mut server_asm, b"").unwrap();
+        assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn epoch_change_forces_reattestation_on_resume() {
+        let mut net = Network::new("remote-epoch");
+        let mut server_asm = assembly(vec![ComponentManifest::new("counter")]);
+        let mut server = RemoteServer::bind(&mut net, Addr::new("svc"), export("counter"));
+        let mut client = RemoteClient::new(
+            &mut net,
+            Addr::new("client"),
+            Addr::new("svc"),
+            SigningKey::from_seed(b"c"),
+            ChannelPolicy::open(),
+            None,
+        );
+        establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap();
+        client.disconnect();
+        // The world moved: revocation epoch advances, every outstanding
+        // ticket is invalid at redemption time.
+        server.set_epoch(lateral_net::session::SessionEpoch {
+            revocation: 1,
+            trust: 0,
+            regrant: 0,
+        });
+        let resumed =
+            resume_or_establish(&mut net, &mut client, None, &mut server, &mut server_asm).unwrap();
+        assert!(!resumed, "stale-epoch ticket fell back to a full handshake");
+        assert!(client.connected());
+        assert_eq!(
+            server
+                .telemetry()
+                .metrics()
+                .counter("remote.resume_rejects"),
+            1
+        );
+        assert_eq!(
+            server.telemetry().metrics().counter("remote.sessions"),
+            2,
+            "two full handshakes total"
+        );
+    }
+
+    #[test]
+    fn multiplexed_parity_assertion_passes_on_software() {
+        assert_multiplexed_trace_propagation(Box::new(SoftwareSubstrate::new("mux")));
     }
 
     #[test]

@@ -217,6 +217,15 @@ impl std::fmt::Debug for SecureChannel {
 }
 
 impl SecureChannel {
+    /// Derives a channel pair directly from a 32-byte shared secret —
+    /// the session-resumption entry point. Both sides must agree on the
+    /// secret (e.g. the resumption master secret from
+    /// [`crate::session`]); `client_side` selects the key orientation
+    /// exactly as the full handshake does.
+    pub fn from_shared(shared: &[u8; 32], client_side: bool) -> SecureChannel {
+        derive_channel(shared, client_side)
+    }
+
     /// Seals the next outgoing record.
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
         let boxed = self.send.seal(self.send_seq, b"channel.record", plaintext);
@@ -453,15 +462,22 @@ pub fn send_with_backoff(
             }
         }
         *clock = fire_at;
-        let delivered_before = net.delivered();
-        if let Err(e) = net.send(from, to, record) {
-            return Err(NetError::RetryExhausted {
-                attempts: attempts + 1,
-                last_err: Box::new(e),
-            });
-        }
+        // The ack is the link layer's per-destination receipt: copies
+        // that actually reached `to`'s inbox. A global delivered-count
+        // delta would also move for redirected traffic (stolen by the
+        // adversary) or unrelated deliveries — a false ack that makes
+        // the sender stop retrying a record the destination never saw.
+        let delivered = match net.send(from, to, record) {
+            Ok(copies) => copies,
+            Err(e) => {
+                return Err(NetError::RetryExhausted {
+                    attempts: attempts + 1,
+                    last_err: Box::new(e),
+                });
+            }
+        };
         attempts += 1;
-        if !schedule.blind && net.delivered() > delivered_before {
+        if !schedule.blind && delivered > 0 {
             return Ok(attempts);
         }
     }
@@ -1255,6 +1271,157 @@ mod tests {
             other => panic!("expected RetryExhausted, got {other}"),
         }
         assert_eq!(clock, 12, "the clock stops at the last transmitted attempt");
+    }
+
+    #[test]
+    fn backoff_deadline_at_the_current_tick_admits_the_immediate_attempt() {
+        // Off-by-one pin: attempt 0 has zero delay, so with a deadline
+        // set at the *current* logical tick the immediate attempt fires
+        // exactly at the deadline — that is legal and must not be
+        // refused as a timeout.
+        use crate::sim::Network;
+        use crate::Addr;
+
+        let mut net = Network::new("deadline-now");
+        let (a, b) = (Addr::new("meter"), Addr::new("utility"));
+        net.register(a.clone());
+        net.register(b.clone());
+
+        let mut clock = 42;
+        let attempts = send_with_backoff(
+            &mut net,
+            &a,
+            &b,
+            b"r",
+            &BackoffSchedule::capped(4, 16, 3).with_deadline(42),
+            &mut clock,
+        )
+        .expect("an immediate attempt at the deadline tick is legal");
+        assert_eq!(attempts, 1);
+        assert_eq!(clock, 42, "the immediate attempt does not advance time");
+        assert_eq!(net.pending(&b), 1);
+
+        // One tick past, the same schedule refuses before transmitting.
+        let mut late = 43;
+        let err = send_with_backoff(
+            &mut net,
+            &a,
+            &b,
+            b"r",
+            &BackoffSchedule::capped(4, 16, 3).with_deadline(42),
+            &mut late,
+        )
+        .unwrap_err();
+        match err {
+            NetError::RetryExhausted { attempts, last_err } => {
+                assert_eq!(attempts, 0, "nothing is transmitted past the deadline");
+                assert!(matches!(*last_err, NetError::Timeout(_)));
+            }
+            other => panic!("expected RetryExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn backoff_ack_ignores_redirected_deliveries() {
+        // Regression: the ack used to be a *global* delivered-count
+        // delta, so a packet stolen by a Redirect adversary (delivered
+        // to the attacker's inbox) read as a fresh ack and the sender
+        // stopped retrying a record the victim never received. The
+        // per-destination receipt classifies it as silence.
+        use crate::sim::{AttackMode, Network};
+        use crate::Addr;
+
+        let mut net = Network::new("redirect-ack");
+        let (a, b) = (Addr::new("meter"), Addr::new("utility"));
+        let mallory = Addr::new("mallory");
+        net.register(a.clone());
+        net.register(b.clone());
+        net.register(mallory.clone());
+        net.set_attack(AttackMode::Redirect {
+            victim: b.clone(),
+            attacker: mallory.clone(),
+        });
+
+        let mut clock = 0;
+        let err = send_with_backoff(
+            &mut net,
+            &a,
+            &b,
+            b"r",
+            &BackoffSchedule::capped(1, 4, 3),
+            &mut clock,
+        )
+        .unwrap_err();
+        match err {
+            NetError::RetryExhausted { attempts, last_err } => {
+                assert_eq!(attempts, 3, "every scheduled attempt is spent");
+                assert!(matches!(*last_err, NetError::Timeout(_)), "{last_err}");
+            }
+            other => panic!("expected RetryExhausted, got {other}"),
+        }
+        assert_eq!(net.pending(&b), 0, "the victim saw nothing");
+        assert_eq!(net.pending(&mallory), 3, "the attacker hoarded every copy");
+    }
+
+    #[test]
+    fn backoff_ack_counts_a_duplicate_burst_once() {
+        // A DuplicateBurst adversary delivers 1 + n copies of the first
+        // transmission. That is ONE fresh ack — the sender must stop
+        // after a single attempt (not misread surplus copies as acks
+        // for retransmissions it never made), and the receiver dedup
+        // absorbs the burst.
+        use crate::sim::{AttackMode, Network};
+        use crate::Addr;
+
+        let (mut c, mut s, _, _) =
+            handshake(&ChannelPolicy::open(), &ChannelPolicy::open(), |_| None).unwrap();
+        let mut net = Network::new("dup-ack");
+        let (a, b) = (Addr::new("meter"), Addr::new("utility"));
+        net.register(a.clone());
+        net.register(b.clone());
+        net.set_attack(AttackMode::DuplicateBurst(3));
+
+        let mut clock = 0;
+        let record = c.seal_numbered(b"reading: 42 kWh");
+        let attempts = send_with_backoff(
+            &mut net,
+            &a,
+            &b,
+            &record,
+            &BackoffSchedule::capped(1, 4, 5),
+            &mut clock,
+        )
+        .unwrap();
+        assert_eq!(attempts, 1, "one delivered transmission is one ack");
+        assert_eq!(net.pending(&b), 4, "original + 3 burst copies in flight");
+
+        let (mut fresh, mut dups) = (0, 0);
+        while let Some(p) = net.recv(&b).unwrap() {
+            match s.open_numbered(&p.payload).unwrap() {
+                Some(plain) => {
+                    assert_eq!(plain, b"reading: 42 kWh");
+                    fresh += 1;
+                }
+                None => dups += 1,
+            }
+        }
+        assert_eq!(fresh, 1, "the reading lands exactly once");
+        assert_eq!(dups, 3, "every burst copy dedups");
+    }
+
+    #[test]
+    fn from_shared_matches_on_both_sides() {
+        let secret = [7u8; 32];
+        let mut c = SecureChannel::from_shared(&secret, true);
+        let mut s = SecureChannel::from_shared(&secret, false);
+        let rec = c.seal(b"resumed traffic");
+        assert_eq!(s.open(&rec).unwrap(), b"resumed traffic");
+        let reply = s.seal(b"ack");
+        assert_eq!(c.open(&reply).unwrap(), b"ack");
+        // Orientation matters: two same-side channels cannot talk.
+        let mut c2 = SecureChannel::from_shared(&secret, true);
+        let rec = c.seal(b"x");
+        assert!(c2.open(&rec).is_err());
     }
 
     #[test]

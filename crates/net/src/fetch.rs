@@ -1,0 +1,362 @@
+//! Content-addressed image fetch from multiple registry mirrors.
+//!
+//! An image is named by the digest of its content, so it does not matter
+//! *who* serves the bytes — the fetcher verifies the measurement against
+//! the requested digest regardless of source (the minimized-trust model:
+//! mirrors are untrusted caches, not authorities). Mirror order is
+//! deterministic and failover between mirrors is driven by the same
+//! [`BackoffSchedule`] the record layer uses, so two identical runs
+//! fail over at identical logical times.
+//!
+//! The frames are deliberately *unsealed*: image content is public and
+//! its integrity comes from the digest check, not from a channel. A
+//! corrupting adversary (or a hostile mirror) only ever costs a
+//! failover, never an accepted forgery.
+
+use std::collections::BTreeMap;
+
+use crate::channel::{send_with_backoff, BackoffSchedule};
+use crate::sim::Network;
+use crate::wire::{put_field, Reader};
+use crate::{Addr, NetError};
+
+/// Frame kind: a fetch request (body = requested digest).
+pub const FETCH_REQ: u8 = 1;
+/// Frame kind: a hit (body = the image bytes).
+pub const FETCH_OK: u8 = 2;
+/// Frame kind: the mirror does not hold the digest.
+pub const FETCH_MISS: u8 = 3;
+
+fn encode_frame(kind: u8, digest: &[u8; 32], body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_field(&mut out, &[kind]);
+    put_field(&mut out, digest);
+    put_field(&mut out, body);
+    out
+}
+
+fn decode_frame(bytes: &[u8]) -> Result<(u8, [u8; 32], Vec<u8>), NetError> {
+    let mut r = Reader::new(bytes);
+    let [kind] = r.array()?;
+    let digest = r.array()?;
+    let body = r.field()?.to_vec();
+    r.finish()?;
+    Ok((kind, digest, body))
+}
+
+/// A registry mirror: an untrusted content-addressed cache bound to a
+/// network address. Simulation knobs model the failure modes the
+/// fetcher must survive: an unresponsive mirror (swallows requests) and
+/// a corrupt one (serves tampered bytes).
+pub struct MirrorStore {
+    addr: Addr,
+    images: BTreeMap<[u8; 32], Vec<u8>>,
+    responsive: bool,
+    corrupt: bool,
+    served: u64,
+}
+
+impl std::fmt::Debug for MirrorStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MirrorStore({}, {} images, responsive={}, corrupt={})",
+            self.addr,
+            self.images.len(),
+            self.responsive,
+            self.corrupt
+        )
+    }
+}
+
+impl MirrorStore {
+    /// Creates a mirror and registers its address on the network.
+    pub fn bind(net: &mut Network, name: &str) -> MirrorStore {
+        let addr = Addr::new(name);
+        net.register(addr.clone());
+        MirrorStore {
+            addr,
+            images: BTreeMap::new(),
+            responsive: true,
+            corrupt: false,
+            served: 0,
+        }
+    }
+
+    /// The mirror's network address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Stores content under its digest.
+    pub fn publish(&mut self, digest: [u8; 32], bytes: Vec<u8>) {
+        self.images.insert(digest, bytes);
+    }
+
+    /// SIMULATION: an unresponsive mirror swallows requests silently.
+    pub fn set_responsive(&mut self, responsive: bool) {
+        self.responsive = responsive;
+    }
+
+    /// SIMULATION: a corrupt mirror serves tampered bytes on every hit.
+    pub fn set_corrupt(&mut self, corrupt: bool) {
+        self.corrupt = corrupt;
+    }
+
+    /// Successful (OK) responses served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Drains the mirror's inbox and answers every well-formed fetch
+    /// request; malformed frames are dropped (an untrusted endpoint
+    /// never crashes on garbage).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownAddr`] only if the requester vanished from the
+    /// network between request and reply.
+    pub fn pump(&mut self, net: &mut Network) -> Result<(), NetError> {
+        while let Some(packet) = net.recv(&self.addr)? {
+            if !self.responsive {
+                continue;
+            }
+            let Ok((kind, digest, _)) = decode_frame(&packet.payload) else {
+                continue;
+            };
+            if kind != FETCH_REQ {
+                continue;
+            }
+            let reply = match self.images.get(&digest) {
+                Some(bytes) => {
+                    let mut body = bytes.clone();
+                    if self.corrupt && !body.is_empty() {
+                        body[0] ^= 0x80;
+                    }
+                    self.served += 1;
+                    encode_frame(FETCH_OK, &digest, &body)
+                }
+                None => encode_frame(FETCH_MISS, &digest, &[]),
+            };
+            net.send(&self.addr, &packet.from, &reply)?;
+        }
+        Ok(())
+    }
+}
+
+/// How a fetch concluded, per mirror — for conservation accounting
+/// (every fetch is served by exactly one mirror or fails typed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FetchReport {
+    /// Mirror that served the verified bytes.
+    pub winner: Option<String>,
+    /// Mirrors skipped because no reply arrived within the schedule.
+    pub unreachable: u32,
+    /// Mirrors that answered [`FETCH_MISS`].
+    pub misses: u32,
+    /// Mirrors whose bytes failed digest verification.
+    pub corrupt_rejected: u32,
+}
+
+/// Fetches `digest` from the first mirror (in deterministic slice
+/// order) that serves bytes whose measurement — computed by the
+/// *caller's* `measure`, never taken on the mirror's word — matches.
+/// Unreachable, missing, and corrupt mirrors each cost one failover
+/// step; the [`BackoffSchedule`] bounds the per-mirror request retries
+/// and advances the shared logical clock.
+///
+/// # Errors
+///
+/// [`NetError::Timeout`] when every mirror fails; hard network errors
+/// (e.g. [`NetError::UnknownAddr`]) propagate immediately.
+pub fn fetch_verified(
+    net: &mut Network,
+    client: &Addr,
+    mirrors: &mut [MirrorStore],
+    digest: &[u8; 32],
+    measure: &dyn Fn(&[u8]) -> [u8; 32],
+    schedule: &BackoffSchedule,
+    clock: &mut u64,
+) -> Result<(Vec<u8>, FetchReport), NetError> {
+    let mut report = FetchReport::default();
+    let request = encode_frame(FETCH_REQ, digest, &[]);
+    for mirror in mirrors.iter_mut() {
+        let mirror_addr = mirror.addr().clone();
+        match send_with_backoff(net, client, &mirror_addr, &request, schedule, clock) {
+            Ok(_) => {}
+            Err(NetError::RetryExhausted { last_err, .. }) => match *last_err {
+                NetError::Timeout(_) => {
+                    report.unreachable += 1;
+                    continue;
+                }
+                hard => return Err(hard),
+            },
+            Err(e) => return Err(e),
+        }
+        mirror.pump(net)?;
+        // Drain every reply (retransmitted requests may have produced
+        // several); the first verified one wins.
+        let mut outcome = None;
+        while let Some(packet) = net.recv(client)? {
+            if outcome.is_some() {
+                continue;
+            }
+            let Ok((kind, echoed, body)) = decode_frame(&packet.payload) else {
+                continue;
+            };
+            if echoed != *digest {
+                continue;
+            }
+            match kind {
+                FETCH_OK if measure(&body) == *digest => outcome = Some(body),
+                FETCH_OK => {
+                    report.corrupt_rejected += 1;
+                }
+                FETCH_MISS => {
+                    report.misses += 1;
+                }
+                _ => {}
+            }
+        }
+        if let Some(bytes) = outcome {
+            report.winner = Some(mirror_addr.to_string());
+            return Ok((bytes, report));
+        }
+        if report.misses == 0 && report.corrupt_rejected == 0 {
+            // Sent but nothing came back: the mirror itself is silent.
+            report.unreachable += 1;
+        }
+    }
+    Err(NetError::Timeout(format!(
+        "no mirror served digest ({} unreachable, {} misses, {} corrupt)",
+        report.unreachable, report.misses, report.corrupt_rejected
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lateral_crypto::Digest;
+
+    fn measure(bytes: &[u8]) -> [u8; 32] {
+        Digest::of_parts(&[b"test.image", bytes]).0
+    }
+
+    fn setup(names: &[&str]) -> (Network, Addr, Vec<MirrorStore>) {
+        let mut net = Network::new("fetch");
+        let client = Addr::new("client");
+        net.register(client.clone());
+        let mirrors = names
+            .iter()
+            .map(|n| MirrorStore::bind(&mut net, n))
+            .collect();
+        (net, client, mirrors)
+    }
+
+    #[test]
+    fn fetch_from_the_first_mirror_that_has_it() {
+        let (mut net, client, mut mirrors) = setup(&["m0", "m1"]);
+        let image = b"image bytes".to_vec();
+        let digest = measure(&image);
+        mirrors[1].publish(digest, image.clone());
+
+        let mut clock = 0;
+        let (bytes, report) = fetch_verified(
+            &mut net,
+            &client,
+            &mut mirrors,
+            &digest,
+            &measure,
+            &BackoffSchedule::capped(1, 4, 3),
+            &mut clock,
+        )
+        .unwrap();
+        assert_eq!(bytes, image);
+        assert_eq!(report.winner.as_deref(), Some("m1"));
+        assert_eq!(report.misses, 1, "m0 answered MISS before m1 won");
+    }
+
+    #[test]
+    fn corrupt_mirror_is_rejected_and_failed_over() {
+        let (mut net, client, mut mirrors) = setup(&["bad", "good"]);
+        let image = b"genuine image".to_vec();
+        let digest = measure(&image);
+        mirrors[0].publish(digest, image.clone());
+        mirrors[0].set_corrupt(true);
+        mirrors[1].publish(digest, image.clone());
+
+        let mut clock = 0;
+        let (bytes, report) = fetch_verified(
+            &mut net,
+            &client,
+            &mut mirrors,
+            &digest,
+            &measure,
+            &BackoffSchedule::capped(1, 4, 3),
+            &mut clock,
+        )
+        .unwrap();
+        assert_eq!(bytes, image, "the verified copy wins regardless of source");
+        assert_eq!(report.winner.as_deref(), Some("good"));
+        assert_eq!(report.corrupt_rejected, 1);
+    }
+
+    #[test]
+    fn unresponsive_mirror_costs_a_deterministic_failover() {
+        let (mut net, client, mut mirrors) = setup(&["dead", "live"]);
+        let image = b"image".to_vec();
+        let digest = measure(&image);
+        mirrors[0].publish(digest, image.clone());
+        mirrors[0].set_responsive(false);
+        mirrors[1].publish(digest, image.clone());
+
+        let mut clock = 0;
+        let (bytes, report) = fetch_verified(
+            &mut net,
+            &client,
+            &mut mirrors,
+            &digest,
+            &measure,
+            &BackoffSchedule::capped(2, 8, 3),
+            &mut clock,
+        )
+        .unwrap();
+        assert_eq!(bytes, image);
+        assert_eq!(report.winner.as_deref(), Some("live"));
+        assert_eq!(
+            report.unreachable, 1,
+            "a delivered-but-silent mirror is classified unreachable"
+        );
+    }
+
+    #[test]
+    fn all_mirrors_failing_is_a_typed_timeout() {
+        let (mut net, client, mut mirrors) = setup(&["m0", "m1"]);
+        let digest = measure(b"never published");
+        let mut clock = 0;
+        let err = fetch_verified(
+            &mut net,
+            &client,
+            &mut mirrors,
+            &digest,
+            &measure,
+            &BackoffSchedule::capped(1, 4, 2),
+            &mut clock,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Timeout(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_frames_never_crash_the_mirror() {
+        let (mut net, client, mut mirrors) = setup(&["m0"]);
+        net.send(&client, &Addr::new("m0"), b"garbage").unwrap();
+        net.send(&client, &Addr::new("m0"), &[]).unwrap();
+        mirrors[0].pump(&mut net).unwrap();
+        assert_eq!(mirrors[0].served(), 0);
+        assert!(
+            net.recv(&client).unwrap().is_none(),
+            "no replies to garbage"
+        );
+    }
+}

@@ -13,7 +13,14 @@
 //!   signatures) producing an AEAD record channel, plus the *attested*
 //!   variant where a party binds [`AttestationEvidence`] to the channel
 //!   key — the paper's mechanism for trusting a remote anonymizer before
-//!   sending it any readings.
+//!   sending it any readings;
+//! * [`session`] — the multiplexed session layer: many in-flight
+//!   requests per channel (ids and trace contexts inside the sealed
+//!   record) and single-use resumption tickets that amortize the
+//!   attestation handshake across a session epoch;
+//! * [`fetch`] — content-addressed image fetch from untrusted registry
+//!   mirrors, digest-verified regardless of source with deterministic
+//!   failover.
 //!
 //! [`AttestationEvidence`]: lateral_substrate::attest::AttestationEvidence
 
@@ -21,6 +28,8 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod fetch;
+pub mod session;
 pub mod sim;
 pub mod wire;
 

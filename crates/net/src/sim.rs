@@ -131,12 +131,19 @@ impl Network {
 
     /// Sends a packet through the adversary.
     ///
+    /// Returns the number of copies the adversary let through **to the
+    /// intended destination** — the link-layer delivery receipt. A
+    /// redirected packet lands in the attacker's inbox, not the
+    /// destination's, so it counts as `0`; senders that treat "some
+    /// packet moved somewhere" as an ack would otherwise confirm sends
+    /// the victim never saw.
+    ///
     /// # Errors
     ///
     /// [`NetError::UnknownAddr`] when the (possibly redirected)
     /// destination is not registered. A dropped packet is *not* an error —
-    /// the sender cannot tell.
-    pub fn send(&mut self, from: &Addr, to: &Addr, payload: &[u8]) -> Result<(), NetError> {
+    /// the sender cannot tell (the receipt is `Ok(0)`).
+    pub fn send(&mut self, from: &Addr, to: &Addr, payload: &[u8]) -> Result<u64, NetError> {
         let packet = Packet {
             from: from.clone(),
             to: to.clone(),
@@ -144,24 +151,24 @@ impl Network {
         };
         self.recorded.push(packet.clone());
         match self.mode.clone() {
-            AttackMode::Passive => self.deliver(packet),
+            AttackMode::Passive => self.deliver(packet).map(|()| 1),
             AttackMode::DropAll => {
                 self.dropped += 1;
-                Ok(())
+                Ok(0)
             }
             AttackMode::DropFirst(n) => {
                 if n > 1 {
                     self.mode = AttackMode::DropFirst(n - 1);
                     self.dropped += 1;
-                    Ok(())
+                    Ok(0)
                 } else if n == 1 {
                     // Window over after this drop.
                     self.mode = AttackMode::Passive;
                     self.dropped += 1;
-                    Ok(())
+                    Ok(0)
                 } else {
                     self.mode = AttackMode::Passive;
-                    self.deliver(packet)
+                    self.deliver(packet).map(|()| 1)
                 }
             }
             AttackMode::DropEvery(n) => {
@@ -169,9 +176,9 @@ impl Network {
                 // the 1-based position in the adversary's traffic view.
                 if n > 0 && (self.recorded.len() as u64).is_multiple_of(n) {
                     self.dropped += 1;
-                    Ok(())
+                    Ok(0)
                 } else {
-                    self.deliver(packet)
+                    self.deliver(packet).map(|()| 1)
                 }
             }
             AttackMode::DuplicateBurst(n) => {
@@ -179,7 +186,7 @@ impl Network {
                 for _ in 0..n {
                     self.deliver(packet.clone())?;
                 }
-                Ok(())
+                Ok(1 + n)
             }
             AttackMode::CorruptAll => {
                 let mut p = packet;
@@ -187,19 +194,20 @@ impl Network {
                     let idx = self.rng.gen_range(p.payload.len() as u64) as usize;
                     p.payload[idx] ^= 0x80;
                 }
-                self.deliver(p)
+                self.deliver(p).map(|()| 1)
             }
             AttackMode::ReplayAll => {
                 self.deliver(packet.clone())?;
-                self.deliver(packet)
+                self.deliver(packet).map(|()| 2)
             }
             AttackMode::Redirect { victim, attacker } => {
                 if packet.to == victim {
                     let mut p = packet;
                     p.to = attacker;
-                    self.deliver(p)
+                    // Stolen: the intended destination saw nothing.
+                    self.deliver(p).map(|()| 0)
                 } else {
-                    self.deliver(packet)
+                    self.deliver(packet).map(|()| 1)
                 }
             }
         }
@@ -385,6 +393,29 @@ mod tests {
         n.send(&a, &b, b"for b").unwrap();
         assert_eq!(n.pending(&b), 0);
         assert_eq!(n.recv(&mallory).unwrap().unwrap().payload, b"for b");
+    }
+
+    #[test]
+    fn send_receipt_counts_copies_to_the_intended_destination() {
+        let (mut n, a, b) = net();
+        assert_eq!(n.send(&a, &b, b"x").unwrap(), 1, "passive delivers one");
+        n.set_attack(AttackMode::DropAll);
+        assert_eq!(n.send(&a, &b, b"x").unwrap(), 0, "dropped: no receipt");
+        n.set_attack(AttackMode::DuplicateBurst(3));
+        assert_eq!(n.send(&a, &b, b"x").unwrap(), 4, "original + 3 copies");
+        n.set_attack(AttackMode::ReplayAll);
+        assert_eq!(n.send(&a, &b, b"x").unwrap(), 2);
+        let mallory = Addr::new("mallory");
+        n.register(mallory.clone());
+        n.set_attack(AttackMode::Redirect {
+            victim: b.clone(),
+            attacker: mallory,
+        });
+        assert_eq!(
+            n.send(&a, &b, b"x").unwrap(),
+            0,
+            "stolen traffic must not read as an ack for the victim"
+        );
     }
 
     #[test]

@@ -548,6 +548,22 @@ impl Registry {
         self.revoked.keys().map(|d| d.0).collect()
     }
 
+    /// The revocation epoch: a monotone count of revocations. Folded
+    /// into remote session epochs, so any revocation landing after a
+    /// resumption ticket was minted forces a fresh attestation
+    /// handshake instead of a silent resume.
+    pub fn revocation_epoch(&self) -> u64 {
+        self.revoked.len() as u64
+    }
+
+    /// Raw content-addressed lookup: the stored bytes for `digest`,
+    /// certification and revocation **unchecked** — this is what an
+    /// untrusted mirror serves. Fetchers verify the measurement
+    /// themselves and consult the authoritative registry for policy.
+    pub fn image_bytes(&self, digest: Digest) -> Option<Vec<u8>> {
+        self.images.get(&digest).map(|e| e.image.clone())
+    }
+
     /// Resolves the latest published image for `component`, refusing
     /// uncertified and revoked digests.
     ///

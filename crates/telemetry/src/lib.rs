@@ -665,6 +665,40 @@ impl Telemetry {
         }
     }
 
+    /// Opens a span as an explicit **link child** of `ctx` — same trace,
+    /// parented on `ctx.parent` — without consulting or joining the
+    /// stack. Concurrent in-flight work (a multiplexed session's many
+    /// simultaneously open requests) cannot use stack discipline: the
+    /// innermost open span at submit time is some *other* request, not
+    /// this span's causal parent. A linked span never becomes the
+    /// implicit parent of later stack spans; close it with
+    /// [`Telemetry::end_span`] like any other.
+    pub fn begin_span_linked(
+        &mut self,
+        ctx: TraceContext,
+        name: &str,
+        layer: &'static str,
+        at: u64,
+    ) -> SpanId {
+        // Keep local trace-id allocation clear of the linked id so a
+        // later local root cannot collide with this trace.
+        self.next_trace = self.next_trace.max(ctx.trace_id + 1);
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.open.push(Span {
+            id,
+            trace_id: ctx.trace_id,
+            parent: ctx.parent,
+            name: Arc::from(name),
+            layer,
+            start: at,
+            end: at,
+            outcome: outcome::OK,
+        });
+        self.spans_recorded += 1;
+        id
+    }
+
     /// Records an already-finished event as a zero-or-more-tick span
     /// under the innermost open span, without touching the stack.
     pub fn instant(&mut self, name: &str, layer: &'static str, at: u64, outcome: u8) -> SpanId {

@@ -26,7 +26,7 @@ cargo fmt --check
 # what they claim to have measured.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-for exp in e10 e11 e12 e13 e14 e15 e16 e17; do
+for exp in e10 e11 e12 e13 e14 e15 e16 e17 e18; do
     echo "==> determinism gate: $exp twice"
     cargo run --release -q -p lateral-bench --bin repro -- "$exp" > "$tmpdir/$exp-raw.txt"
     grep -vE "wall-clock|host-cores" "$tmpdir/$exp-raw.txt" > "$tmpdir/$exp-a.txt"
@@ -125,6 +125,28 @@ for exp in e10 e11 e12 e13 e14 e15 e16 e17; do
         fi
         if ! test -f BENCH_E17.json; then
             echo "E17 did not write BENCH_E17.json" >&2
+            exit 1
+        fi
+        ;;
+    e18)
+        if ! grep -q "requests/sec" "$tmpdir/$exp-raw.txt"; then
+            echo "E18 output is missing its throughput measurement" >&2
+            exit 1
+        fi
+        if grep -q "backend-invariant: NO" "$tmpdir/$exp-a.txt"; then
+            echo "E18 session digests diverged across backends" >&2
+            exit 1
+        fi
+        if grep -q "conserved: NO" "$tmpdir/$exp-a.txt"; then
+            echo "E18 mirror failover lost a fetch" >&2
+            exit 1
+        fi
+        if grep -q "rotated: NO" "$tmpdir/$exp-a.txt"; then
+            echo "E18 resumption failed to rotate the ticket" >&2
+            exit 1
+        fi
+        if ! test -f BENCH_E18.json; then
+            echo "E18 did not write BENCH_E18.json" >&2
             exit 1
         fi
         ;;

@@ -203,3 +203,13 @@ fn vault_lands_in_an_enclave_by_requirement() {
     let asm = server_assembly();
     assert_eq!(asm.substrate_of("vault").unwrap(), "sgx");
 }
+
+#[test]
+fn multiplexed_trace_propagation_is_uniform_across_all_six_backends() {
+    // E12's guarantee extended to the session layer: on every backend,
+    // interleaved in-flight requests each land as a child span of their
+    // own caller — never of the session opener or a sibling request.
+    for sub in lateral_bench::e2_conformance::all_substrates() {
+        lateral::core::remote::assert_multiplexed_trace_propagation(sub);
+    }
+}

@@ -522,6 +522,146 @@ fn placement_plan_parser_never_panics_or_silently_accepts() {
 }
 
 #[test]
+fn trailing_garbage_is_rejected_by_every_binary_codec() {
+    use lateral::crypto::Digest;
+    use lateral::net::channel::encode_evidence;
+    use lateral::net::session::{
+        decode_reply_group, decode_request_group, encode_reply_group, encode_request_group,
+        ReplyEntry, RequestEntry, ResumeAccept, ResumeHello, ResumptionTicket, SessionEpoch,
+        STATUS_OK,
+    };
+    use lateral::substrate::attest::AttestationEvidence;
+    use lateral::telemetry::{SpanId, TraceContext};
+
+    // Every binary codec must be strict-finish: a valid encoding decodes,
+    // and the same bytes with ANY suffix appended are rejected whole —
+    // trailing bytes are where smuggled payloads and parser differentials
+    // live. Sweep several suffixes, not just one.
+    fn sweep<T: std::fmt::Debug>(
+        name: &str,
+        valid: &[u8],
+        decode: impl Fn(&[u8]) -> Result<T, Box<dyn std::error::Error>>,
+    ) {
+        decode(valid).unwrap_or_else(|e| panic!("{name}: valid encoding rejected: {e}"));
+        let mut rng = Drbg::from_seed(b"fuzz trailing garbage");
+        for extra in 1..=4usize {
+            let mut padded = valid.to_vec();
+            for _ in 0..extra {
+                padded.push(rng.gen_range(256) as u8);
+            }
+            assert!(
+                decode(&padded).is_err(),
+                "{name}: accepted {extra} trailing byte(s)"
+            );
+        }
+    }
+
+    let epoch = SessionEpoch {
+        revocation: 3,
+        trust: 1,
+        regrant: 2,
+    };
+    sweep("session-epoch", &epoch.encode(), |b| {
+        SessionEpoch::decode(b).map_err(Into::into)
+    });
+
+    let ticket = ResumptionTicket {
+        id: [7u8; 16],
+        secret: [9u8; 32],
+        evidence: [3u8; 32],
+        epoch,
+    };
+    sweep("resumption-ticket", &ticket.encode(), |b| {
+        ResumptionTicket::decode(b).map_err(Into::into)
+    });
+
+    let mut rng = Drbg::from_seed(b"fuzz resume hello");
+    let hello = ResumeHello::new(&ticket, &mut rng);
+    sweep("resume-hello", &hello.encode(), |b| {
+        ResumeHello::decode(b).map_err(Into::into)
+    });
+
+    let accept = ResumeAccept {
+        nonce: [5u8; 32],
+        proof: [6u8; 32],
+    };
+    sweep("resume-accept", &accept.encode(), |b| {
+        ResumeAccept::decode(b).map_err(Into::into)
+    });
+
+    let requests = vec![RequestEntry {
+        id: 1,
+        ctx: TraceContext {
+            trace_id: 7,
+            parent: SpanId(2),
+        },
+        payload: b"req".to_vec(),
+    }];
+    sweep("request-group", &encode_request_group(&requests), |b| {
+        decode_request_group(b).map_err(Into::into)
+    });
+
+    let replies = vec![ReplyEntry {
+        id: 1,
+        status: STATUS_OK,
+        payload: b"rep".to_vec(),
+    }];
+    sweep("reply-group", &encode_reply_group(&replies), |b| {
+        decode_reply_group(b).map_err(Into::into)
+    });
+
+    let key = SigningKey::from_seed(b"fuzz evidence platform");
+    let evidence = AttestationEvidence {
+        substrate: "microkernel".into(),
+        platform_key: key.verifying_key().to_bytes(),
+        measurement: Digest::of(b"fuzz measurement"),
+        platform_state: Digest::of(b"fuzz platform"),
+        report_data: b"bound channel key".to_vec(),
+        signature: key.sign(b"not checked by the codec").to_bytes(),
+    };
+    sweep("attestation-evidence", &encode_evidence(&evidence), |b| {
+        decode_evidence(b).map_err(Into::into)
+    });
+
+    let mut tpm = lateral::tpm::Tpm::new(b"fuzz tpm");
+    tpm.extend(0, b"event");
+    let quote = tpm.quote(&[0], b"nonce");
+    sweep(
+        "tpm-quote",
+        &lateral::components::ftpm::encode_quote(&quote),
+        |b| decode_quote(b).map_err(Into::into),
+    );
+
+    sweep(
+        "trace-context",
+        &TraceContext {
+            trace_id: 9,
+            parent: SpanId(4),
+        }
+        .encode(),
+        |b| TraceContext::decode(b).map_err(Into::into),
+    );
+}
+
+#[test]
+fn session_codecs_never_panic_on_arbitrary_bytes() {
+    use lateral::net::session::{
+        decode_reply_group, decode_request_group, ResumeAccept, ResumeHello, ResumptionTicket,
+        SessionEpoch,
+    };
+    let mut rng = Drbg::from_seed(b"fuzz session codecs");
+    for _ in 0..CASES {
+        let junk = bytes(&mut rng, 512);
+        let _ = decode_request_group(&junk);
+        let _ = decode_reply_group(&junk);
+        let _ = SessionEpoch::decode(&junk);
+        let _ = ResumptionTicket::decode(&junk);
+        let _ = ResumeHello::decode(&junk);
+        let _ = ResumeAccept::decode(&junk);
+    }
+}
+
+#[test]
 fn subverted_component_report_roundtrips() {
     let mut rng = Drbg::from_seed(b"fuzz report");
     for _ in 0..CASES {
